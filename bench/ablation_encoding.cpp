@@ -1,0 +1,81 @@
+// Ablation A2 (design-choice study, not a paper figure): spike encoder
+// choice — the differentiable constant-current LIF encoder the paper's
+// pipeline uses vs stochastic Poisson rate coding with straight-through
+// gradients. Bagheri et al. (cited as [34]) showed encoding changes
+// white-box sensitivity; this bench quantifies it on our substrate.
+#include <cstdio>
+
+#include "attacks/evaluation.hpp"
+#include "attacks/pgd.hpp"
+#include "bench_common.hpp"
+#include "core/explorer.hpp"
+#include "util/csv.hpp"
+#include "util/stopwatch.hpp"
+#include "util/string_util.hpp"
+
+int main() {
+  using namespace snnsec;
+
+  core::ExplorationConfig cfg = core::default_profile();
+  cfg.v_th_grid = {1.0};
+  cfg.t_grid = {util::full_profile_enabled() ? 64 : 24};
+  bench::print_banner("Ablation A2", "encoder choice vs robustness", cfg);
+  const data::DataBundle data = bench::load_data(cfg);
+  util::Stopwatch total;
+
+  const std::vector<double> epsilons =
+      util::full_profile_enabled() ? std::vector<double>{0.5, 1.0}
+                                   : std::vector<double>{0.1, 0.2};
+
+  data::Dataset attack_set = data.test;
+  if (cfg.attack_test_cap > 0 && attack_set.size() > cfg.attack_test_cap)
+    attack_set = attack_set.take(cfg.attack_test_cap);
+  attack::EvalConfig eval_cfg;
+  eval_cfg.batch_size = cfg.eval_batch;
+
+  util::CsvWriter csv(bench::out_dir() + "/ablation_encoding.csv");
+  {
+    std::vector<std::string> header{"encoder", "clean_accuracy"};
+    for (const double eps : epsilons)
+      header.push_back("robustness_eps_" + util::format_float(eps, 2));
+    csv.write_header(header);
+  }
+
+  struct Variant {
+    const char* name;
+    snn::EncoderKind kind;
+  };
+  const Variant variants[] = {
+      {"constant-current-lif", snn::EncoderKind::kConstantCurrentLif},
+      {"poisson", snn::EncoderKind::kPoisson},
+  };
+
+  std::printf("\n%-22s %-10s", "encoder", "clean");
+  for (const double eps : epsilons) std::printf(" rob@%.2f", eps);
+  std::printf("\n");
+
+  for (const Variant& variant : variants) {
+    core::ExplorationConfig ecfg = cfg;
+    ecfg.snn_template.encoder = variant.kind;
+    core::RobustnessExplorer explorer(ecfg, bench::cache_dir());
+    auto cell = explorer.train_cell(ecfg.v_th_grid[0], ecfg.t_grid[0], data);
+    std::printf("%-22s %-10.3f", variant.name, cell.clean_accuracy);
+    util::CsvWriter::Row row;
+    row << variant.name << cell.clean_accuracy;
+    for (const double eps : epsilons) {
+      attack::Pgd pgd(ecfg.pgd);
+      const auto pt = attack::evaluate_attack(*cell.model, pgd,
+                                              attack_set.images,
+                                              attack_set.labels, eps,
+                                              eval_cfg);
+      std::printf(" %-8.3f", pt.robustness);
+      row << pt.robustness;
+    }
+    std::printf("\n");
+    csv.write(row);
+  }
+
+  std::printf("\ncsv: %s/ablation_encoding.csv | total %s\n",
+              bench::out_dir().c_str(), total.pretty().c_str());
+  return 0;
+}

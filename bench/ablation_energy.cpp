@@ -1,0 +1,76 @@
+// Ablation A3 (extension): the efficiency side of the paper's conclusion —
+// "SNNs' high power efficiency makes them even more interesting". For each
+// learnable (V_th, T) cell we report the spike/synop cost per inference
+// next to its robustness, exposing the security-vs-energy trade-off the
+// structural parameters control: higher thresholds fire less AND often
+// resist attacks better, while longer windows buy accuracy with energy.
+#include <cstdio>
+
+#include "attacks/evaluation.hpp"
+#include "attacks/pgd.hpp"
+#include "bench_common.hpp"
+#include "core/analysis.hpp"
+#include "core/explorer.hpp"
+#include "util/csv.hpp"
+#include "util/stopwatch.hpp"
+#include "util/string_util.hpp"
+
+int main() {
+  using namespace snnsec;
+
+  core::ExplorationConfig cfg = core::default_profile();
+  bench::print_banner("Ablation A3",
+                      "energy (spikes/synops) vs robustness across the grid",
+                      cfg);
+  const data::DataBundle data = bench::load_data(cfg);
+  util::Stopwatch total;
+
+  const double eps = util::full_profile_enabled() ? 1.0 : 0.1;
+  data::Dataset attack_set = data.test;
+  if (cfg.attack_test_cap > 0 && attack_set.size() > cfg.attack_test_cap)
+    attack_set = attack_set.take(cfg.attack_test_cap);
+  attack::EvalConfig eval_cfg;
+  eval_cfg.batch_size = cfg.eval_batch;
+
+  util::CsvWriter csv(bench::out_dir() + "/ablation_energy.csv");
+  csv.write_header({"v_th", "T", "clean_accuracy", "robustness",
+                    "spikes_per_inference", "synops_per_inference",
+                    "energy_nj"});
+
+  std::printf("\n%-7s %-5s %-8s %-8s %-12s %-12s %s\n", "V_th", "T", "clean",
+              "rob", "spikes/inf", "synops/inf", "energy[nJ]");
+
+  core::RobustnessExplorer explorer(cfg, bench::cache_dir());
+  const tensor::Tensor probe = attack_set.take(32).images;
+  for (const double v_th : cfg.v_th_grid) {
+    for (const std::int64_t t : cfg.t_grid) {
+      auto cell = explorer.train_cell(v_th, t, data);
+      if (cell.clean_accuracy < cfg.accuracy_threshold) continue;
+
+      const core::ActivityReport activity =
+          core::measure_activity(*cell.model, probe);
+      attack::Pgd pgd(cfg.pgd);
+      const auto pt = attack::evaluate_attack(*cell.model, pgd,
+                                              attack_set.images,
+                                              attack_set.labels, eps,
+                                              eval_cfg);
+      const double energy = core::estimate_energy_nj(activity);
+      std::printf("%-7.2f %-5lld %-8.3f %-8.3f %-12.0f %-12.0f %.1f\n", v_th,
+                  static_cast<long long>(t), cell.clean_accuracy,
+                  pt.robustness, activity.total_spikes_per_inference,
+                  activity.synops_per_inference, energy);
+      util::CsvWriter::Row row;
+      row << v_th << t << cell.clean_accuracy << pt.robustness
+          << activity.total_spikes_per_inference
+          << activity.synops_per_inference << energy;
+      csv.write(row);
+    }
+  }
+
+  std::printf(
+      "\ninterpretation: cells in the same robustness band can differ "
+      "several-fold in synaptic events — pick the cheap robust one.\n");
+  std::printf("csv: %s/ablation_energy.csv | total %s\n",
+              bench::out_dir().c_str(), total.pretty().c_str());
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Ablation A1 (design-choice study, not a paper figure): how the surrogate
+// slope α affects both learnability and white-box robustness. The surrogate
+// is the lens through which the attacker sees the SNN — a narrower
+// surrogate (large α) degrades the attack gradient as much as the training
+// gradient, which is one mechanism behind the parameter-dependent
+// "inherent robustness" of Figs. 7-9.
+#include <cstdio>
+
+#include "attacks/evaluation.hpp"
+#include "attacks/pgd.hpp"
+#include "bench_common.hpp"
+#include "core/explorer.hpp"
+#include "util/csv.hpp"
+#include "util/stopwatch.hpp"
+#include "util/string_util.hpp"
+
+int main() {
+  using namespace snnsec;
+
+  core::ExplorationConfig cfg = core::default_profile();
+  // One mid-grid structural point; ablate alpha around the default (10).
+  cfg.v_th_grid = {1.0};
+  cfg.t_grid = {util::full_profile_enabled() ? 64 : 24};
+  bench::print_banner("Ablation A1", "surrogate slope alpha vs robustness",
+                      cfg);
+  const data::DataBundle data = bench::load_data(cfg);
+  util::Stopwatch total;
+
+  const std::vector<double> alphas{2.0, 10.0, 50.0};
+  const std::vector<double> epsilons =
+      util::full_profile_enabled() ? std::vector<double>{0.5, 1.0}
+                                   : std::vector<double>{0.1, 0.2};
+
+  data::Dataset attack_set = data.test;
+  if (cfg.attack_test_cap > 0 && attack_set.size() > cfg.attack_test_cap)
+    attack_set = attack_set.take(cfg.attack_test_cap);
+  attack::EvalConfig eval_cfg;
+  eval_cfg.batch_size = cfg.eval_batch;
+
+  util::CsvWriter csv(bench::out_dir() + "/ablation_surrogate.csv");
+  {
+    std::vector<std::string> header{"alpha", "clean_accuracy"};
+    for (const double eps : epsilons)
+      header.push_back("robustness_eps_" + util::format_float(eps, 2));
+    csv.write_header(header);
+  }
+
+  std::printf("\n%-8s %-10s", "alpha", "clean");
+  for (const double eps : epsilons) std::printf(" rob@%.2f", eps);
+  std::printf("\n");
+
+  for (const double alpha : alphas) {
+    core::ExplorationConfig acfg = cfg;
+    acfg.snn_template.surrogate.alpha = static_cast<float>(alpha);
+    core::RobustnessExplorer explorer(acfg, bench::cache_dir());
+    auto cell = explorer.train_cell(acfg.v_th_grid[0], acfg.t_grid[0], data);
+    std::printf("%-8.1f %-10.3f", alpha, cell.clean_accuracy);
+    util::CsvWriter::Row row;
+    row << alpha << cell.clean_accuracy;
+    for (const double eps : epsilons) {
+      attack::Pgd pgd(acfg.pgd);
+      const auto pt = attack::evaluate_attack(*cell.model, pgd,
+                                              attack_set.images,
+                                              attack_set.labels, eps,
+                                              eval_cfg);
+      std::printf(" %-8.3f", pt.robustness);
+      row << pt.robustness;
+    }
+    std::printf("\n");
+    csv.write(row);
+  }
+
+  std::printf("\ncsv: %s/ablation_surrogate.csv | total %s\n",
+              bench::out_dir().c_str(), total.pretty().c_str());
+  return 0;
+}

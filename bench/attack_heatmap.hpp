@@ -1,0 +1,71 @@
+// Shared implementation of Figures 7 and 8: the (V_th, T) robustness heat
+// map under white-box PGD at one noise budget.
+#pragma once
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/explorer.hpp"
+#include "core/report_image.hpp"
+#include "core/sweet_spot.hpp"
+#include "util/stopwatch.hpp"
+
+namespace snnsec::bench {
+
+/// `paper_eps` is the budget as printed in the paper (1.0 for Fig. 7,
+/// 1.5 for Fig. 8); `quick_eps` is its calibrated quick-profile equivalent.
+inline int run_attack_heatmap(const char* figure, double paper_eps,
+                              double quick_eps, const char* csv_name) {
+  core::ExplorationConfig cfg = core::default_profile();
+  const double eps = util::full_profile_enabled() ? paper_eps : quick_eps;
+  cfg.eps_grid = {eps};
+
+  char description[128];
+  std::snprintf(description, sizeof(description),
+                "robustness heat map under PGD eps=%.2f (paper eps=%.2f)",
+                eps, paper_eps);
+  print_banner(figure, description, cfg);
+  const data::DataBundle data = load_data(cfg);
+  util::Stopwatch total;
+
+  core::RobustnessExplorer explorer(cfg, cache_dir());
+  const core::ExplorationReport report = explorer.explore(data);
+
+  std::printf("\n%s\n", report.heatmap(0.0).c_str());
+  std::printf("%s\n", report.heatmap(eps).c_str());
+
+  // The paper's key observation: clean accuracy does not predict
+  // robustness. Rank learnable cells and show extremes.
+  core::SweetSpotFinder finder(eps, cfg.accuracy_threshold);
+  const auto ranked = finder.rank(report);
+  if (!ranked.empty()) {
+    const auto& best = ranked.front();
+    const auto& worst = ranked.back();
+    std::printf("most robust cell : (V_th=%.2f, T=%lld) clean=%.2f rob=%.2f\n",
+                best.cell->v_th, static_cast<long long>(best.cell->time_steps),
+                best.cell->clean_accuracy, best.score);
+    std::printf("least robust cell: (V_th=%.2f, T=%lld) clean=%.2f rob=%.2f\n",
+                worst.cell->v_th,
+                static_cast<long long>(worst.cell->time_steps),
+                worst.cell->clean_accuracy, worst.score);
+    const auto fragile = finder.fragile_high_accuracy_cells(report, 0.5);
+    std::printf(
+        "cells learnable yet fragile (rob < 0.5): %zu — the paper's (A3) "
+        "counter-example%s\n",
+        fragile.size(), fragile.empty() ? " did not appear at this budget"
+                                        : "");
+  } else {
+    std::printf("no learnable cells at this profile\n");
+  }
+
+  report.write_csv(out_dir() + "/" + csv_name);
+  std::string ppm_name = csv_name;
+  ppm_name.replace(ppm_name.rfind(".csv"), 4, ".ppm");
+  core::write_heatmap_ppm(report, eps, out_dir() + "/" + ppm_name);
+  std::printf("csv: %s/%s | ppm: %s/%s | total %s\n", out_dir().c_str(),
+              csv_name, out_dir().c_str(), ppm_name.c_str(),
+              total.pretty().c_str());
+  return 0;
+}
+
+}  // namespace snnsec::bench

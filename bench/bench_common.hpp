@@ -1,0 +1,56 @@
+// Shared plumbing for the figure-reproduction harnesses.
+//
+// Every fig*_ binary:
+//   * runs the quick profile by default, the paper-scale profile with
+//     SNNSEC_FULL=1 (see core::default_profile and EXPERIMENTS.md for the
+//     quick-axis calibration quick-ε ≈ paper-ε / 10);
+//   * shares one model-checkpoint cache so Figures 6/7/8/9 train each
+//     (V_th, T) cell exactly once across the whole bench suite;
+//   * prints the figure's series to stdout and writes CSV to bench/out/.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/experiment_config.hpp"
+#include "data/provider.hpp"
+#include "util/env.hpp"
+
+namespace snnsec::bench {
+
+inline std::string out_dir() {
+  return util::env_or("SNNSEC_OUT_DIR", "bench/out");
+}
+
+inline std::string cache_dir() {
+  return util::env_or("SNNSEC_CACHE_DIR", ".snnsec_cache");
+}
+
+inline void print_banner(const char* figure, const char* description,
+                         const core::ExplorationConfig& cfg) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure, description);
+  std::printf("profile: %s | %s\n",
+              util::full_profile_enabled() ? "FULL (paper-scale)"
+                                           : "quick (SNNSEC_FULL=1 for paper scale)",
+              cfg.summary().c_str());
+  std::printf("==============================================================\n");
+}
+
+inline data::DataBundle load_data(const core::ExplorationConfig& cfg) {
+  const data::DataBundle bundle = data::load_digits(cfg.data);
+  std::printf("data: %s | train %s | test %s\n", bundle.source(),
+              bundle.train.summary().c_str(), bundle.test.summary().c_str());
+  return bundle;
+}
+
+/// ε axis for the CNN-vs-SNN curve figures (1 and 9). The paper sweeps
+/// 0..1.5 on MNIST; the quick profile sweeps the calibrated 0..0.2 range
+/// (quick ε ≈ paper ε / 10 — see EXPERIMENTS.md).
+inline std::vector<double> curve_epsilons() {
+  if (util::full_profile_enabled())
+    return {0.0, 0.1, 0.25, 0.5, 0.75, 1.0, 1.25, 1.5};
+  return {0.0, 0.025, 0.05, 0.075, 0.1, 0.15, 0.2};
+}
+
+}  // namespace snnsec::bench

@@ -1,0 +1,93 @@
+// Figure 1 (motivational case study): PGD accuracy vs noise budget ε for a
+// 5-layer CNN and an SNN with the same layers/neurons, default structural
+// parameters. The paper's qualitative claims to reproduce:
+//   (1) at small ε the CNN is more accurate,
+//   (2) the curves cross at a moderate ε (paper: ~0.5; quick axis: ~0.1),
+//   (3) beyond the crossover the SNN holds a large accuracy gap (>50%).
+#include <cstdio>
+
+#include "attacks/evaluation.hpp"
+#include "attacks/pgd.hpp"
+#include "bench_common.hpp"
+#include "core/baseline.hpp"
+#include "core/explorer.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/csv.hpp"
+#include "util/stopwatch.hpp"
+#include "util/string_util.hpp"
+
+int main() {
+  using namespace snnsec;
+
+  core::ExplorationConfig cfg = core::default_profile();
+  bench::print_banner("Fig. 1", "PGD on CNN vs SNN (default V_th, T)", cfg);
+  const data::DataBundle data = bench::load_data(cfg);
+  util::Stopwatch total;
+
+  // Default structural parameters: the paper's (V_th, T) = (1, 64); the
+  // quick profile's T axis tops out at 32, so its default is (1, 32).
+  const double v_th = 1.0;
+  const std::int64_t t_window =
+      util::full_profile_enabled() ? 64 : cfg.t_grid.back();
+
+  core::RobustnessExplorer explorer(cfg, bench::cache_dir());
+  std::printf("\ntraining CNN baseline...\n");
+  const auto cnn = core::train_cnn_baseline(cfg, data);
+  std::printf("CNN clean accuracy: %.3f (%.1fs)\n", cnn.clean_accuracy,
+              cnn.train_seconds);
+  std::printf("training SNN (V_th=%.2f, T=%lld)...\n", v_th,
+              static_cast<long long>(t_window));
+  auto snn_cell = explorer.train_cell(v_th, t_window, data);
+  std::printf("SNN clean accuracy: %.3f (%.1fs%s)\n", snn_cell.clean_accuracy,
+              snn_cell.train_seconds, snn_cell.from_cache ? ", cached" : "");
+
+  data::Dataset attack_set = data.test;
+  if (cfg.attack_test_cap > 0 && attack_set.size() > cfg.attack_test_cap)
+    attack_set = attack_set.take(cfg.attack_test_cap);
+
+  attack::EvalConfig eval_cfg;
+  eval_cfg.batch_size = cfg.eval_batch;
+  const auto epsilons = bench::curve_epsilons();
+
+  util::CsvWriter csv(bench::out_dir() + "/fig1_motivation.csv");
+  csv.write_header({"epsilon", "cnn_accuracy", "snn_accuracy"});
+
+  std::printf("\n%-10s %-14s %-14s %s\n", "epsilon", "CNN accuracy",
+              "SNN accuracy", "(PGD, white-box)");
+  util::PlotSeries cnn_series{"CNN", {}};
+  util::PlotSeries snn_series{"SNN", {}};
+  double crossover = -1.0;
+  double max_gap = 0.0;
+  for (const double eps : epsilons) {
+    attack::Pgd pgd_cnn(cfg.pgd);
+    attack::Pgd pgd_snn(cfg.pgd);
+    const auto pt_cnn = attack::evaluate_attack(
+        *cnn.model, pgd_cnn, attack_set.images, attack_set.labels, eps,
+        eval_cfg);
+    const auto pt_snn = attack::evaluate_attack(
+        *snn_cell.model, pgd_snn, attack_set.images, attack_set.labels, eps,
+        eval_cfg);
+    std::printf("%-10.3f %-14.3f %-14.3f\n", eps, pt_cnn.robustness,
+                pt_snn.robustness);
+    cnn_series.y.push_back(pt_cnn.robustness);
+    snn_series.y.push_back(pt_snn.robustness);
+    util::CsvWriter::Row row;
+    row << eps << pt_cnn.robustness << pt_snn.robustness;
+    csv.write(row);
+    if (crossover < 0.0 && eps > 0.0 && pt_snn.robustness > pt_cnn.robustness)
+      crossover = eps;
+    max_gap = std::max(max_gap, pt_snn.robustness - pt_cnn.robustness);
+  }
+
+  util::PlotOptions plot_opts;
+  plot_opts.x_label = "eps";
+  std::printf("\n%s", util::ascii_plot(epsilons, {cnn_series, snn_series},
+                                        plot_opts).c_str());
+  std::printf("\nsummary: crossover at eps %s; max SNN-over-CNN gap %.1f%%\n",
+              crossover < 0 ? "not reached" :
+                  util::format_float(crossover, 3).c_str(),
+              max_gap * 100);
+  std::printf("csv: %s/fig1_motivation.csv | total %s\n",
+              bench::out_dir().c_str(), total.pretty().c_str());
+  return 0;
+}

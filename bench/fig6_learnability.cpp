@@ -1,0 +1,52 @@
+// Figure 6 (learnability study): clean-accuracy heat map over the
+// (V_th, T) grid. Claims to reproduce:
+//   (1) the high-accuracy region sits toward low V_th / high T,
+//   (2) the map is NOT monotonic — dead cells border high-accuracy cells
+//       (in our substrate the T=8 column collapses while T>=16 learns).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/explorer.hpp"
+#include "core/report_image.hpp"
+#include "util/stopwatch.hpp"
+
+int main() {
+  using namespace snnsec;
+
+  core::ExplorationConfig cfg = core::default_profile();
+  cfg.eps_grid.clear();  // learnability only — no attacks in this figure
+  bench::print_banner("Fig. 6", "clean-accuracy heat map over (V_th, T)",
+                      cfg);
+  const data::DataBundle data = bench::load_data(cfg);
+  util::Stopwatch total;
+
+  core::RobustnessExplorer explorer(cfg, bench::cache_dir());
+  const core::ExplorationReport report = explorer.explore(data);
+
+  std::printf("\n%s\n", report.heatmap(0.0).c_str());
+  std::printf("learnable cells (acc >= %.0f%%): %.0f%%\n",
+              cfg.accuracy_threshold * 100,
+              report.learnable_fraction() * 100);
+
+  // Non-monotonicity check (pointer 2 of the figure): is there a cell below
+  // threshold adjacent (in T) to one far above it?
+  bool non_monotone = false;
+  for (const double v : cfg.v_th_grid) {
+    for (std::size_t j = 0; j + 1 < cfg.t_grid.size(); ++j) {
+      const auto* a = report.find(v, cfg.t_grid[j]);
+      const auto* b = report.find(v, cfg.t_grid[j + 1]);
+      if (a && b &&
+          std::abs(a->clean_accuracy - b->clean_accuracy) > 0.4)
+        non_monotone = true;
+    }
+  }
+  std::printf("sharp accuracy cliffs between neighboring cells: %s\n",
+              non_monotone ? "yes (matches the paper's pointer 2)" : "no");
+
+  report.write_csv(bench::out_dir() + "/fig6_learnability.csv");
+  core::write_heatmap_ppm(report, 0.0,
+                          bench::out_dir() + "/fig6_learnability.ppm");
+  std::printf("csv+ppm: %s/fig6_learnability.{csv,ppm} | total %s\n",
+              bench::out_dir().c_str(), total.pretty().c_str());
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Figure 7: robustness heat map over (V_th, T) under PGD with the paper's
+// ε = 1 (quick-profile calibrated ε = 0.1). Claims to reproduce:
+//   (1) high clean accuracy does not guarantee robustness — some
+//       high-accuracy cells collapse while others barely move,
+//   (2) robustness varies strongly across the structural-parameter grid.
+#include "attack_heatmap.hpp"
+
+int main() {
+  return snnsec::bench::run_attack_heatmap("Fig. 7", /*paper_eps=*/1.0,
+                                           /*quick_eps=*/0.1,
+                                           "fig7_attack_heatmap_eps1.csv");
+}

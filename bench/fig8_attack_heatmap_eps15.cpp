@@ -1,0 +1,11 @@
+// Figure 8: robustness heat map over (V_th, T) under PGD with the paper's
+// ε = 1.5 (quick-profile calibrated ε = 0.15). Claims to reproduce: the
+// coexistence of high / medium / low robustness cells at a strong budget,
+// e.g. the paper's (1, 48) high vs (2.25, 56) low vs (1, 32) medium.
+#include "attack_heatmap.hpp"
+
+int main() {
+  return snnsec::bench::run_attack_heatmap("Fig. 8", /*paper_eps=*/1.5,
+                                           /*quick_eps=*/0.15,
+                                           "fig8_attack_heatmap_eps15.csv");
+}

@@ -1,0 +1,131 @@
+// Substrate micro-benchmarks (google-benchmark): the kernels the whole
+// reproduction stands on — GEMM, im2col conv, LIF stepping, BPTT, encoder,
+// and one full PGD step on the spiking LeNet.
+#include <benchmark/benchmark.h>
+
+#include "attacks/pgd.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "snn/lif_layer.hpp"
+#include "snn/spiking_lenet.hpp"
+#include "tensor/gemm.hpp"
+
+namespace {
+
+using namespace snnsec;
+using tensor::Shape;
+using tensor::Tensor;
+
+void BM_Gemm(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  util::Rng rng(1);
+  const Tensor a = Tensor::randn(Shape{n, n}, rng);
+  const Tensor b = Tensor::randn(Shape{n, n}, rng);
+  for (auto _ : state) {
+    Tensor c = tensor::matmul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  const std::int64_t batch = state.range(0);
+  util::Rng rng(2);
+  nn::Conv2d conv(nn::Conv2dSpec{6, 16, 5, 1, 2}, rng);
+  const Tensor x = Tensor::randn(Shape{batch, 6, 14, 14}, rng);
+  for (auto _ : state) {
+    Tensor y = conv.forward(x, nn::Mode::kEval);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_Conv2dForward)->Arg(8)->Arg(64);
+
+void BM_Conv2dBackward(benchmark::State& state) {
+  const std::int64_t batch = state.range(0);
+  util::Rng rng(3);
+  nn::Conv2d conv(nn::Conv2dSpec{6, 16, 5, 1, 2}, rng);
+  const Tensor x = Tensor::randn(Shape{batch, 6, 14, 14}, rng);
+  const Tensor g = Tensor::randn(Shape{batch, 16, 14, 14}, rng);
+  for (auto _ : state) {
+    conv.forward(x, nn::Mode::kTrain);
+    Tensor dx = conv.backward(g);
+    benchmark::DoNotOptimize(dx.data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_Conv2dBackward)->Arg(8)->Arg(64);
+
+void BM_LifLayerForward(benchmark::State& state) {
+  const std::int64_t t = state.range(0);
+  snn::LifLayer lif(t, snn::LifParameters{}, snn::Surrogate{});
+  util::Rng rng(4);
+  const Tensor x = Tensor::rand_uniform(Shape{t * 32, 256}, rng, 0.0f, 2.0f);
+  for (auto _ : state) {
+    Tensor z = lif.forward(x, nn::Mode::kEval);
+    benchmark::DoNotOptimize(z.data());
+  }
+  // neuron-steps per second
+  state.SetItemsProcessed(state.iterations() * t * 32 * 256);
+}
+BENCHMARK(BM_LifLayerForward)->Arg(16)->Arg(64);
+
+void BM_LifLayerBptt(benchmark::State& state) {
+  const std::int64_t t = state.range(0);
+  snn::LifLayer lif(t, snn::LifParameters{}, snn::Surrogate{});
+  util::Rng rng(5);
+  const Tensor x = Tensor::rand_uniform(Shape{t * 32, 256}, rng, 0.0f, 2.0f);
+  const Tensor g = Tensor::randn(Shape{t * 32, 256}, rng);
+  for (auto _ : state) {
+    lif.forward(x, nn::Mode::kTrain);
+    Tensor dx = lif.backward(g);
+    benchmark::DoNotOptimize(dx.data());
+  }
+  state.SetItemsProcessed(state.iterations() * t * 32 * 256);
+}
+BENCHMARK(BM_LifLayerBptt)->Arg(16)->Arg(64);
+
+void BM_SpikingLenetInference(benchmark::State& state) {
+  const std::int64_t t = state.range(0);
+  nn::LenetSpec arch = nn::LenetSpec{}.scaled(0.5);
+  arch.image_size = 16;
+  snn::SnnConfig cfg;
+  cfg.time_steps = t;
+  util::Rng rng(6);
+  auto model = snn::build_spiking_lenet(arch, cfg, rng);
+  const Tensor x = Tensor::rand_uniform(Shape{16, 1, 16, 16}, rng);
+  for (auto _ : state) {
+    Tensor logits = model->logits(x);
+    benchmark::DoNotOptimize(logits.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_SpikingLenetInference)->Arg(8)->Arg(32);
+
+void BM_PgdStepOnSnn(benchmark::State& state) {
+  nn::LenetSpec arch = nn::LenetSpec{}.scaled(0.5);
+  arch.image_size = 16;
+  snn::SnnConfig cfg;
+  cfg.time_steps = 16;
+  util::Rng rng(7);
+  auto model = snn::build_spiking_lenet(arch, cfg, rng);
+  const Tensor x = Tensor::rand_uniform(Shape{8, 1, 16, 16}, rng);
+  const std::vector<std::int64_t> y{0, 1, 2, 3, 4, 5, 6, 7};
+  attack::PgdConfig pcfg;
+  pcfg.steps = 1;
+  pcfg.random_start = false;
+  attack::AttackBudget budget;
+  budget.epsilon = 0.1;
+  for (auto _ : state) {
+    attack::Pgd pgd(pcfg);
+    Tensor adv = pgd.perturb(*model, x, y, budget);
+    benchmark::DoNotOptimize(adv.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_PgdStepOnSnn);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// attack_gallery: visual tour of the attack library — renders a digit,
+// attacks it with FGSM, PGD and noise baselines at the same budget, and
+// prints each adversarial image as ASCII art together with the victim's
+// prediction. Makes "imperceptible perturbation, different label" tangible
+// in a terminal.
+//
+//   ./attack_gallery [--digit 7] [--eps 0.15] [--time-steps 24]
+#include <cstdio>
+
+#include "attacks/deepfool.hpp"
+#include "attacks/fgsm.hpp"
+#include "attacks/mifgsm.hpp"
+#include "attacks/noise.hpp"
+#include "attacks/pgd.hpp"
+#include "data/provider.hpp"
+#include "data/synth_digits.hpp"
+#include "nn/trainer.hpp"
+#include "snn/spiking_lenet.hpp"
+#include "tensor/ops.hpp"
+#include "util/cli.hpp"
+#include "util/env.hpp"
+
+int main(int argc, char** argv) {
+  using namespace snnsec;
+  using tensor::Shape;
+  using tensor::Tensor;
+
+  util::ArgParser args("attack_gallery", "ASCII gallery of attacks on an SNN");
+  auto& digit = args.add_int("digit", 7, "digit to attack (0-9)");
+  auto& eps = args.add_double("eps", 0.15, "L-inf budget");
+  auto& time_steps = args.add_int("time-steps", 24, "SNN time window");
+  auto& train_n = args.add_int("train", 800, "training samples");
+  args.parse(argc, argv);
+  SNNSEC_CHECK(digit >= 0 && digit <= 9, "--digit must be 0..9");
+
+  data::DataSpec dspec;
+  dspec.train_n = train_n;
+  dspec.test_n = 100;
+  dspec.image_size = 16;
+  const data::DataBundle bundle = data::load_digits(dspec);
+
+  nn::LenetSpec arch = nn::LenetSpec{}.scaled(0.5);
+  arch.image_size = 16;
+  snn::SnnConfig scfg;
+  scfg.time_steps = time_steps;
+  util::Rng rng(util::master_seed());
+  auto model = snn::build_spiking_lenet(arch, scfg, rng);
+
+  std::printf("training victim SNN (T=%lld)...\n",
+              static_cast<long long>(time_steps));
+  nn::TrainConfig tcfg;
+  tcfg.epochs = 4;
+  tcfg.lr = 4e-3;
+  nn::Trainer(tcfg).fit(*model, bundle.train.images, bundle.train.labels);
+
+  // Render the victim sample.
+  data::SynthConfig synth_cfg;
+  synth_cfg.image_size = 16;
+  util::Rng sample_rng = rng.fork("victim");
+  Tensor x(Shape{1, 1, 16, 16});
+  data::Canvas canvas(16, 16);
+  data::render_digit(digit, synth_cfg, sample_rng, canvas);
+  canvas.copy_to(x, 0);
+  const std::vector<std::int64_t> label{digit};
+
+  attack::AttackBudget budget;
+  budget.epsilon = eps;
+  attack::PgdConfig pcfg;
+  pcfg.steps = 15;
+  pcfg.rel_stepsize = 0.1;
+  attack::Fgsm fgsm;
+  attack::Pgd pgd(pcfg);
+  attack::MiFgsm mifgsm;
+  attack::DeepFool deepfool;
+  attack::UniformNoise noise;
+
+  struct Entry {
+    const char* name;
+    Tensor image;
+  };
+  std::vector<Entry> gallery;
+  gallery.push_back({"clean", x});
+  gallery.push_back({"uniform noise", noise.perturb(*model, x, label, budget)});
+  gallery.push_back({"FGSM", fgsm.perturb(*model, x, label, budget)});
+  gallery.push_back({"MI-FGSM", mifgsm.perturb(*model, x, label, budget)});
+  gallery.push_back({"PGD", pgd.perturb(*model, x, label, budget)});
+  gallery.push_back({"DeepFool", deepfool.perturb(*model, x, label, budget)});
+
+  std::printf("\ntrue label: %lld | budget eps=%.2f\n\n",
+              static_cast<long long>(digit), eps);
+  for (const Entry& entry : gallery) {
+    const auto pred = model->predict(entry.image);
+    const float dist = tensor::linf_distance(entry.image, x);
+    std::printf("--- %-14s -> predicted %lld %s (L-inf %.3f)\n", entry.name,
+                static_cast<long long>(pred[0]),
+                pred[0] == digit ? "[correct]" : "[FOOLED]", dist);
+    std::printf("%s\n", data::ascii_art(entry.image, 0).c_str());
+  }
+  std::printf(
+      "Gradient-based attacks concentrate the same budget where it hurts;\n"
+      "random noise of equal size barely matters.\n");
+  return 0;
+}

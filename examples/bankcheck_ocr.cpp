@@ -1,0 +1,134 @@
+// bankcheck_ocr: the paper's introduction motivates the threat with
+// automatic bank-check reading — "an attacker could easily fool the model
+// to predict wrong bank account numbers or wrong amounts of money".
+//
+// This demo simulates exactly that scenario: a multi-digit courtesy-amount
+// field is read digit-by-digit by (a) a CNN and (b) a structurally-tuned
+// SNN; a white-box adversary then perturbs every digit within an
+// imperceptibility budget and we compare the amounts each reader reports.
+//
+//   ./bankcheck_ocr [--amount 90210] [--eps 0.12] [--show-digits]
+#include <cstdio>
+#include <string>
+
+#include "attacks/pgd.hpp"
+#include "data/provider.hpp"
+#include "data/synth_digits.hpp"
+#include "nn/lenet.hpp"
+#include "nn/trainer.hpp"
+#include "snn/spiking_lenet.hpp"
+#include "util/cli.hpp"
+#include "util/env.hpp"
+
+namespace {
+
+using namespace snnsec;
+using tensor::Shape;
+using tensor::Tensor;
+
+/// Render each digit of `amount` as one image row in a batch.
+data::Dataset render_amount(const std::string& amount, std::int64_t size,
+                            util::Rng& rng) {
+  data::Dataset out;
+  out.num_classes = 10;
+  const std::int64_t n = static_cast<std::int64_t>(amount.size());
+  out.images = Tensor(Shape{n, 1, size, size});
+  data::SynthConfig cfg;
+  cfg.image_size = size;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t digit = amount[static_cast<std::size_t>(i)] - '0';
+    out.labels.push_back(digit);
+    data::Canvas canvas(size, size);
+    data::render_digit(digit, cfg, rng, canvas);
+    canvas.copy_to(out.images, i);
+  }
+  return out;
+}
+
+std::string read_amount(nn::Classifier& model, const Tensor& digits) {
+  std::string out;
+  for (const auto d : model.predict(digits))
+    out += static_cast<char>('0' + d);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args("bankcheck_ocr",
+                       "adversarial bank-check amount reading demo");
+  auto& amount = args.add_string("amount", "90210", "amount digits to read");
+  auto& eps = args.add_double("eps", 0.12, "adversarial budget (L-inf)");
+  auto& train_n = args.add_int("train", 1000, "training samples");
+  auto& show = args.add_flag("show-digits", "print ASCII art of the digits");
+  args.parse(argc, argv);
+
+  for (const char c : amount)
+    SNNSEC_CHECK(c >= '0' && c <= '9', "--amount must be digits only");
+
+  // Train the two check readers on the digit task.
+  data::DataSpec dspec;
+  dspec.train_n = train_n;
+  dspec.test_n = 100;
+  dspec.image_size = 16;
+  const data::DataBundle bundle = data::load_digits(dspec);
+
+  nn::LenetSpec arch = nn::LenetSpec{}.scaled(0.5);
+  arch.image_size = 16;
+  nn::TrainConfig tcfg;
+  tcfg.epochs = 5;
+  tcfg.lr = 4e-3;
+  util::Rng rng(util::master_seed());
+
+  std::printf("training the CNN check reader...\n");
+  util::Rng cnn_rng = rng.fork("cnn");
+  auto cnn = nn::build_paper_cnn(arch, cnn_rng);
+  nn::Trainer(tcfg).fit(*cnn, bundle.train.images, bundle.train.labels);
+
+  std::printf("training the SNN check reader (tuned V_th=2, T=32)...\n");
+  snn::SnnConfig scfg;
+  scfg.v_th = 2.0;  // a sweet spot from the exploration study
+  scfg.time_steps = 32;
+  util::Rng snn_rng = rng.fork("snn");
+  auto snn = snn::build_spiking_lenet(arch, scfg, snn_rng);
+  nn::Trainer(tcfg).fit(*snn, bundle.train.images, bundle.train.labels);
+
+  // The check arrives.
+  util::Rng check_rng = rng.fork("check");
+  const data::Dataset check = render_amount(amount, 16, check_rng);
+  if (show)
+    for (std::int64_t i = 0; i < check.size(); ++i)
+      std::printf("%s\n", data::ascii_art(check.images, i).c_str());
+
+  std::printf("\ncourtesy amount on the check : $%s\n", amount.c_str());
+  std::printf("CNN reads (clean)            : $%s\n",
+              read_amount(*cnn, check.images).c_str());
+  std::printf("SNN reads (clean)            : $%s\n",
+              read_amount(*snn, check.images).c_str());
+
+  // The adversary perturbs each digit within the budget, against each
+  // reader separately (white-box).
+  attack::PgdConfig pcfg;
+  pcfg.steps = 10;
+  pcfg.rel_stepsize = 0.1;
+  attack::AttackBudget budget;
+  budget.epsilon = eps;
+  attack::Pgd pgd_cnn(pcfg), pgd_snn(pcfg);
+  const Tensor adv_cnn =
+      pgd_cnn.perturb(*cnn, check.images, check.labels, budget);
+  const Tensor adv_snn =
+      pgd_snn.perturb(*snn, check.images, check.labels, budget);
+
+  const std::string cnn_read = read_amount(*cnn, adv_cnn);
+  const std::string snn_read = read_amount(*snn, adv_snn);
+  std::printf("\nadversary budget eps = %.2f (imperceptible smudges)\n", eps);
+  std::printf("CNN reads (attacked)         : $%s %s\n", cnn_read.c_str(),
+              cnn_read == amount ? "[correct]" : "[FOOLED]");
+  std::printf("SNN reads (attacked)         : $%s %s\n", snn_read.c_str(),
+              snn_read == amount ? "[correct]" : "[FOOLED]");
+
+  std::printf(
+      "\nA structurally-tuned SNN keeps more digits intact under the same\n"
+      "white-box budget — the deployment argument of the paper's intro.\n");
+  return 0;
+}

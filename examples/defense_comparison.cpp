@@ -1,0 +1,96 @@
+// defense_comparison: the paper's implicit question — is structural-
+// parameter tuning a real *defense*? Compare three models under the same
+// white-box PGD sweep:
+//   1. a standard CNN                       (no defense)
+//   2. the same CNN adversarially trained   (classical defense)
+//   3. an SNN at a robust (V_th, T) cell    (the paper's defense)
+//
+//   ./defense_comparison [--train 1000] [--adv-eps 0.05]
+#include <cstdio>
+
+#include "attacks/adv_training.hpp"
+#include "attacks/evaluation.hpp"
+#include "attacks/pgd.hpp"
+#include "data/provider.hpp"
+#include "nn/lenet.hpp"
+#include "nn/metrics.hpp"
+#include "nn/trainer.hpp"
+#include "snn/spiking_lenet.hpp"
+#include "util/cli.hpp"
+#include "util/env.hpp"
+
+int main(int argc, char** argv) {
+  using namespace snnsec;
+
+  util::ArgParser args("defense_comparison",
+                       "structural tuning vs adversarial training");
+  auto& train_n = args.add_int("train", 1000, "training samples");
+  auto& adv_eps =
+      args.add_double("adv-eps", 0.05, "adversarial-training budget");
+  auto& eps_list = args.add_double_list(
+      "eps-list", "0,0.025,0.05,0.1,0.15", "evaluation budgets");
+  args.parse(argc, argv);
+
+  data::DataSpec dspec;
+  dspec.train_n = train_n;
+  dspec.test_n = 150;
+  dspec.image_size = 16;
+  const data::DataBundle bundle = data::load_digits(dspec);
+  std::printf("data: %s (%s)\n", bundle.train.summary().c_str(),
+              bundle.source());
+
+  nn::LenetSpec arch = nn::LenetSpec{}.scaled(0.5);
+  arch.image_size = 16;
+  util::Rng rng(util::master_seed());
+
+  // 1. Standard CNN.
+  std::printf("training standard CNN...\n");
+  util::Rng rng_a = rng.fork("cnn-std");
+  auto cnn_std = nn::build_paper_cnn(arch, rng_a);
+  nn::TrainConfig tcfg;
+  tcfg.epochs = 5;
+  tcfg.lr = 4e-3;
+  nn::Trainer(tcfg).fit(*cnn_std, bundle.train.images, bundle.train.labels);
+
+  // 2. Adversarially trained CNN (Madry-style, half clean / half PGD).
+  std::printf("adversarially training CNN (eps=%.3f)...\n", adv_eps);
+  util::Rng rng_b = rng.fork("cnn-adv");
+  auto cnn_adv = nn::build_paper_cnn(arch, rng_b);
+  attack::AdversarialTrainConfig acfg;
+  acfg.base = tcfg;
+  acfg.epsilon = adv_eps;
+  attack::adversarial_fit(*cnn_adv, bundle.train.images, bundle.train.labels,
+                          acfg);
+
+  // 3. SNN at a robust structural cell (from the exploration study).
+  std::printf("training SNN at the sweet spot (V_th=1, T=16)...\n");
+  snn::SnnConfig scfg;
+  scfg.v_th = 1.0;
+  scfg.time_steps = 16;
+  util::Rng rng_c = rng.fork("snn");
+  auto snn_model = snn::build_spiking_lenet(arch, scfg, rng_c);
+  nn::Trainer(tcfg).fit(*snn_model, bundle.train.images,
+                        bundle.train.labels);
+
+  attack::PgdConfig pcfg;
+  pcfg.steps = 10;
+  pcfg.rel_stepsize = 0.1;
+  std::printf("\n%-8s %-12s %-12s %-12s\n", "eps", "CNN", "CNN+advtrain",
+              "SNN(1,16)");
+  for (const double eps : eps_list) {
+    attack::Pgd p1(pcfg), p2(pcfg), p3(pcfg);
+    const auto r1 = attack::evaluate_attack(
+        *cnn_std, p1, bundle.test.images, bundle.test.labels, eps);
+    const auto r2 = attack::evaluate_attack(
+        *cnn_adv, p2, bundle.test.images, bundle.test.labels, eps);
+    const auto r3 = attack::evaluate_attack(
+        *snn_model, p3, bundle.test.images, bundle.test.labels, eps);
+    std::printf("%-8.3f %-12.3f %-12.3f %-12.3f\n", eps, r1.robustness,
+                r2.robustness, r3.robustness);
+  }
+  std::printf(
+      "\nStructural tuning costs nothing at training time (it is a design\n"
+      "choice), while adversarial training multiplies the training budget —\n"
+      "and the two compose.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// snn_vs_cnn: the paper's motivational experiment as a compact demo —
+// train a CNN and an SNN of identical shape, sweep the PGD budget, and
+// watch the crossover where the SNN becomes the more robust model.
+//
+//   ./snn_vs_cnn [--train 800] [--time-steps 24] [--eps-list 0,0.05,0.1,0.2]
+#include <cstdio>
+
+#include "attacks/evaluation.hpp"
+#include "attacks/pgd.hpp"
+#include "data/provider.hpp"
+#include "nn/lenet.hpp"
+#include "nn/metrics.hpp"
+#include "nn/trainer.hpp"
+#include "snn/spiking_lenet.hpp"
+#include "util/cli.hpp"
+#include "util/env.hpp"
+
+int main(int argc, char** argv) {
+  using namespace snnsec;
+
+  util::ArgParser args("snn_vs_cnn",
+                       "CNN vs SNN robustness crossover (paper Fig. 1)");
+  auto& train_n = args.add_int("train", 1000, "training samples");
+  auto& test_n = args.add_int("test", 150, "test samples");
+  auto& time_steps = args.add_int("time-steps", 24, "SNN time window T");
+  auto& epochs = args.add_int("epochs", 5, "training epochs");
+  auto& eps_list =
+      args.add_double_list("eps-list", "0,0.025,0.05,0.1,0.15", "PGD budgets");
+  args.parse(argc, argv);
+
+  data::DataSpec dspec;
+  dspec.train_n = train_n;
+  dspec.test_n = test_n;
+  dspec.image_size = 16;
+  const data::DataBundle bundle = data::load_digits(dspec);
+  std::printf("data: %s (%s)\n", bundle.train.summary().c_str(),
+              bundle.source());
+
+  nn::LenetSpec arch = nn::LenetSpec{}.scaled(0.5);
+  arch.image_size = 16;
+  nn::TrainConfig tcfg;
+  tcfg.epochs = epochs;
+  tcfg.lr = 4e-3;
+
+  util::Rng rng(util::master_seed());
+  util::Rng cnn_rng = rng.fork("cnn");
+  util::Rng snn_rng = rng.fork("snn");
+
+  std::printf("training CNN (same 3 conv + 2 fc shape)...\n");
+  auto cnn = nn::build_paper_cnn(arch, cnn_rng);
+  nn::Trainer(tcfg).fit(*cnn, bundle.train.images, bundle.train.labels);
+
+  std::printf("training SNN (V_th=1, T=%lld)...\n",
+              static_cast<long long>(time_steps));
+  snn::SnnConfig scfg;
+  scfg.time_steps = time_steps;
+  auto snn = snn::build_spiking_lenet(arch, scfg, snn_rng);
+  nn::Trainer(tcfg).fit(*snn, bundle.train.images, bundle.train.labels);
+
+  std::printf("clean accuracy: CNN %.1f%% | SNN %.1f%%\n\n",
+              nn::accuracy(*cnn, bundle.test.images, bundle.test.labels) * 100,
+              nn::accuracy(*snn, bundle.test.images, bundle.test.labels) * 100);
+
+  attack::PgdConfig pcfg;
+  pcfg.steps = 10;
+  pcfg.rel_stepsize = 0.1;
+  std::printf("%-8s %-10s %-10s %s\n", "eps", "CNN", "SNN", "leader");
+  for (const double eps : eps_list) {
+    attack::Pgd pgd_cnn(pcfg), pgd_snn(pcfg);
+    const auto pc = attack::evaluate_attack(*cnn, pgd_cnn, bundle.test.images,
+                                            bundle.test.labels, eps);
+    const auto ps = attack::evaluate_attack(*snn, pgd_snn, bundle.test.images,
+                                            bundle.test.labels, eps);
+    std::printf("%-8.3f %-10.3f %-10.3f %s\n", eps, pc.robustness,
+                ps.robustness,
+                ps.robustness > pc.robustness + 1e-9 ? "SNN <-" : "CNN");
+  }
+  std::printf(
+      "\nThe crossover mirrors the paper's Fig. 1: past a moderate budget the\n"
+      "spiking network degrades far more slowly than its CNN twin.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// sweetspot_tuning: "design trustworthy SNNs" (paper Sec. VI-C) — run the
+// exploration methodology on a small (V_th, T) grid, rank the learnable
+// cells by robustness at a target budget, and report the sweet spot plus
+// the fragile high-accuracy cells that motivate the whole study.
+//
+//   ./sweetspot_tuning [--vth-grid 0.5,1,1.5,2] [--t-grid 16,24]
+//                      [--eps 0.15] [--ath 0.6]
+#include <cstdio>
+
+#include "core/explorer.hpp"
+#include <algorithm>
+
+#include "core/sweet_spot.hpp"
+#include "util/cli.hpp"
+#include "util/env.hpp"
+
+int main(int argc, char** argv) {
+  using namespace snnsec;
+
+  util::ArgParser args("sweetspot_tuning",
+                       "structural-parameter tuning for trustworthy SNNs");
+  auto& vth_grid =
+      args.add_double_list("vth-grid", "0.5,1.0,2.0", "thresholds to explore");
+  auto& t_grid = args.add_int_list("t-grid", "16,24", "time windows");
+  auto& eps = args.add_double("eps", 0.15, "target attack budget");
+  auto& ath = args.add_double("ath", 0.6, "learnability threshold A_th");
+  auto& train_n = args.add_int("train", 800, "training samples");
+  args.parse(argc, argv);
+
+  core::ExplorationConfig cfg;
+  cfg.v_th_grid = vth_grid;
+  cfg.t_grid = t_grid;
+  cfg.eps_grid = {eps};
+  cfg.accuracy_threshold = ath;
+  cfg.arch = nn::LenetSpec{}.scaled(0.5);
+  cfg.arch.image_size = 16;
+  cfg.train.epochs = 4;
+  cfg.train.lr = 4e-3;
+  cfg.data.train_n = train_n;
+  cfg.data.test_n = 150;
+  cfg.data.image_size = 16;
+  cfg.pgd.steps = 10;
+  cfg.pgd.rel_stepsize = 0.1;
+  cfg.attack_test_cap = 60;
+  cfg.seed = util::master_seed();
+
+  std::printf("exploring %s\n", cfg.summary().c_str());
+  const data::DataBundle data = data::load_digits(cfg.data);
+  core::RobustnessExplorer explorer(cfg);
+  const core::ExplorationReport report = explorer.explore(data);
+
+  std::printf("\n%s\n%s\n", report.heatmap(0.0).c_str(),
+              report.heatmap(eps).c_str());
+
+  core::SweetSpotFinder finder(eps, ath);
+  const auto ranked = finder.rank(report);
+  if (ranked.empty()) {
+    std::printf("no learnable cell passed A_th=%.2f — enlarge the grid or "
+                "training budget\n", ath);
+    return 1;
+  }
+  std::printf("ranking at eps=%.2f (learnable cells only):\n", eps);
+  for (const auto& rc : ranked) {
+    std::printf("  (V_th=%.2f, T=%-3lld) clean=%.2f robustness=%.2f\n",
+                rc.cell->v_th, static_cast<long long>(rc.cell->time_steps),
+                rc.cell->clean_accuracy, rc.score);
+  }
+  const auto* best = finder.best(report);
+  std::printf("\n>>> sweet spot: (V_th=%.2f, T=%lld) — deploy this one.\n",
+              best->v_th, static_cast<long long>(best->time_steps));
+
+  // Flag cells clearly worse than the sweet spot (and below 0.5 absolute).
+  const double fragility =
+      std::min(0.5, finder.best(report)->robustness_at(eps).value_or(0.0) * 0.6);
+  const auto fragile = finder.fragile_high_accuracy_cells(report, fragility);
+  if (!fragile.empty()) {
+    std::printf(
+        ">>> warning: %zu cell(s) look accurate but collapse under attack\n"
+        "    (the paper's answer A3: accuracy is NOT a robustness proxy):\n",
+        fragile.size());
+    for (const auto& rc : fragile)
+      std::printf("    (V_th=%.2f, T=%lld) clean=%.2f robustness=%.2f\n",
+                  rc.cell->v_th, static_cast<long long>(rc.cell->time_steps),
+                  rc.cell->clean_accuracy, rc.score);
+  }
+  return 0;
+}

@@ -1,0 +1,123 @@
+#include "attacks/adv_training.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <numeric>
+
+#include "nn/metrics.hpp"
+#include "util/logging.hpp"
+#include "util/stopwatch.hpp"
+
+namespace snnsec::attack {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+namespace {
+
+std::unique_ptr<nn::Optimizer> make_optimizer(nn::Classifier& model,
+                                              const nn::TrainConfig& cfg) {
+  if (cfg.optimizer == nn::OptimizerKind::kSgd) {
+    nn::Sgd::Config sc;
+    sc.lr = cfg.lr;
+    sc.momentum = cfg.momentum;
+    sc.weight_decay = cfg.weight_decay;
+    return std::make_unique<nn::Sgd>(model.parameters(), sc);
+  }
+  nn::Adam::Config ac;
+  ac.lr = cfg.lr;
+  ac.weight_decay = cfg.weight_decay;
+  return std::make_unique<nn::Adam>(model.parameters(), ac);
+}
+
+Tensor gather_rows(const Tensor& x, const std::vector<std::int64_t>& order,
+                   std::int64_t begin, std::int64_t end) {
+  std::vector<std::int64_t> dims = x.shape().dims();
+  dims[0] = end - begin;
+  Tensor out((Shape(dims)));
+  const std::int64_t row = x.numel() / x.dim(0);
+  for (std::int64_t i = begin; i < end; ++i)
+    std::memcpy(out.data() + (i - begin) * row,
+                x.data() + order[static_cast<std::size_t>(i)] * row,
+                static_cast<std::size_t>(row) * sizeof(float));
+  return out;
+}
+
+}  // namespace
+
+nn::TrainHistory adversarial_fit(nn::Classifier& model, const Tensor& x,
+                                 const std::vector<std::int64_t>& labels,
+                                 const AdversarialTrainConfig& config) {
+  const std::int64_t n = x.dim(0);
+  SNNSEC_CHECK(n > 0, "adversarial_fit: empty training set");
+  SNNSEC_CHECK(static_cast<std::int64_t>(labels.size()) == n,
+               "adversarial_fit: label count mismatch");
+  SNNSEC_CHECK(config.epsilon >= 0.0, "adversarial_fit: negative epsilon");
+  SNNSEC_CHECK(config.clean_fraction >= 0.0 && config.clean_fraction <= 1.0,
+               "adversarial_fit: clean_fraction outside [0, 1]");
+
+  auto optimizer = make_optimizer(model, config.base);
+  util::Rng shuffle_rng(config.base.shuffle_seed);
+  std::vector<std::int64_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+
+  AttackBudget budget;
+  budget.epsilon = config.epsilon;
+
+  nn::TrainHistory history;
+  for (std::int64_t epoch = 0; epoch < config.base.epochs; ++epoch) {
+    util::Stopwatch watch;
+    shuffle_rng.shuffle(order);
+    double loss_sum = 0.0;
+    std::int64_t batches = 0;
+    for (std::int64_t b = 0; b < n; b += config.base.batch_size) {
+      const std::int64_t e = std::min(n, b + config.base.batch_size);
+      Tensor xb = gather_rows(x, order, b, e);
+      std::vector<std::int64_t> yb(static_cast<std::size_t>(e - b));
+      for (std::int64_t i = b; i < e; ++i)
+        yb[static_cast<std::size_t>(i - b)] =
+            labels[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])];
+
+      if (config.epsilon > 0.0) {
+        // Perturb the adversarial tail of the batch against the current
+        // model; the head stays clean.
+        const std::int64_t clean_n = static_cast<std::int64_t>(
+            std::llround(config.clean_fraction * static_cast<double>(e - b)));
+        if (clean_n < e - b) {
+          Pgd pgd(config.pgd);
+          const Tensor tail = nn::slice_batch(xb, clean_n, e - b);
+          const std::vector<std::int64_t> tail_labels(yb.begin() + clean_n,
+                                                      yb.end());
+          const Tensor adv_tail =
+              pgd.perturb(model, tail, tail_labels, budget);
+          const std::int64_t row = xb.numel() / xb.dim(0);
+          std::memcpy(xb.data() + clean_n * row, adv_tail.data(),
+                      static_cast<std::size_t>(adv_tail.numel()) *
+                          sizeof(float));
+        }
+      }
+      loss_sum += model.train_batch(xb, yb, *optimizer);
+      ++batches;
+    }
+
+    nn::EpochStats stats;
+    stats.epoch = epoch;
+    stats.train_loss =
+        loss_sum / static_cast<double>(std::max<std::int64_t>(batches, 1));
+    const std::int64_t eval_n = std::min<std::int64_t>(n, 512);
+    stats.train_accuracy =
+        nn::accuracy(model, nn::slice_batch(x, 0, eval_n),
+                     {labels.begin(), labels.begin() + eval_n},
+                     config.base.batch_size);
+    stats.seconds = watch.seconds();
+    if (config.base.verbose)
+      SNNSEC_LOG_INFO("adv epoch " << epoch << ": loss=" << stats.train_loss
+                                   << " acc=" << stats.train_accuracy);
+    history.epochs.push_back(stats);
+  }
+  return history;
+}
+
+}  // namespace snnsec::attack

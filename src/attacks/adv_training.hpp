@@ -1,0 +1,32 @@
+// Adversarial training (Madry et al., 2018): the classical defense the
+// paper's structural-parameter tuning is an alternative to. Provided so
+// the two defenses can be compared on the same substrate — each mini-batch
+// is (partially) replaced by PGD examples generated against the current
+// model before the optimization step.
+#pragma once
+
+#include "attacks/pgd.hpp"
+#include "nn/classifier.hpp"
+#include "nn/trainer.hpp"
+
+namespace snnsec::attack {
+
+struct AdversarialTrainConfig {
+  nn::TrainConfig base;      ///< optimizer/epochs/batching
+  double epsilon = 0.1;      ///< training perturbation budget
+  PgdConfig pgd{.steps = 5, .rel_stepsize = 0.25, .abs_stepsize = -1.0,
+                .random_start = true, .seed = 77};
+  /// Fraction of each batch left clean (0 = pure adversarial training,
+  /// 0.5 = half/half as in many practical recipes).
+  double clean_fraction = 0.5;
+};
+
+/// Train `model` on (x, labels) with on-the-fly PGD examples. Returns the
+/// same per-epoch statistics as nn::Trainer::fit (loss is measured on the
+/// possibly-perturbed batches).
+nn::TrainHistory adversarial_fit(nn::Classifier& model,
+                                 const tensor::Tensor& x,
+                                 const std::vector<std::int64_t>& labels,
+                                 const AdversarialTrainConfig& config);
+
+}  // namespace snnsec::attack

@@ -1,0 +1,27 @@
+#include "attacks/attack.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace snnsec::attack {
+
+void project_linf(tensor::Tensor& x, const tensor::Tensor& reference,
+                  const AttackBudget& budget) {
+  SNNSEC_CHECK(x.shape() == reference.shape(),
+               "project_linf: shape mismatch " << x.shape().to_string()
+                                               << " vs "
+                                               << reference.shape().to_string());
+  SNNSEC_CHECK(budget.epsilon >= 0.0, "project_linf: negative epsilon");
+  const float eps = static_cast<float>(budget.epsilon);
+  float* px = x.data();
+  const float* pr = reference.data();
+  const std::int64_t n = x.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float lo = std::max(budget.pixel_min, pr[i] - eps);
+    const float hi = std::min(budget.pixel_max, pr[i] + eps);
+    px[i] = std::clamp(px[i], lo, hi);
+  }
+}
+
+}  // namespace snnsec::attack

@@ -1,0 +1,55 @@
+// Attack: the white-box adversarial-example generator interface.
+//
+// Threat model (paper Sec. IV): the adversary has full knowledge of the
+// victim — architecture, weights, and the structural parameters (V_th, T)
+// — and ascends the exact input gradient the model exposes through
+// Classifier::input_gradient (for the SNN, that gradient flows through the
+// full unrolled time window via surrogate derivatives).
+//
+// All attacks here are untargeted L∞ attacks on images in [0, 1]: the
+// produced example satisfies ||x* − x||∞ ≤ ε and x* ∈ [0, 1]^d.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/classifier.hpp"
+#include "tensor/tensor.hpp"
+
+namespace snnsec::attack {
+
+struct AttackBudget {
+  double epsilon = 0.1;  ///< L∞ noise budget ε
+  /// Valid pixel range (images are normalized to [0, 1]).
+  float pixel_min = 0.0f;
+  float pixel_max = 1.0f;
+};
+
+class Attack {
+ public:
+  virtual ~Attack() = default;
+
+  Attack() = default;
+  Attack(const Attack&) = delete;
+  Attack& operator=(const Attack&) = delete;
+
+  /// Perturb a batch [N, C, H, W] given its true labels; returns the
+  /// adversarial batch (same shape), guaranteed within budget and range.
+  virtual tensor::Tensor perturb(nn::Classifier& model,
+                                 const tensor::Tensor& x,
+                                 const std::vector<std::int64_t>& labels,
+                                 const AttackBudget& budget) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+using AttackPtr = std::unique_ptr<Attack>;
+
+/// Project `x` onto the L∞ ball of radius eps around `reference`, then
+/// clamp to the pixel range. In-place.
+void project_linf(tensor::Tensor& x, const tensor::Tensor& reference,
+                  const AttackBudget& budget);
+
+}  // namespace snnsec::attack

@@ -1,0 +1,45 @@
+// DeepFool (Moosavi-Dezfooli et al., CVPR 2016), untargeted L2 variant,
+// used here as a minimal-perturbation probe of the decision boundary.
+//
+// Per iteration, for the current class c and every other class k it
+// linearizes f_k - f_c and steps to the nearest linearized boundary:
+//
+//   w_k = ∇f_k(x) − ∇f_c(x),  f'_k = f_k(x) − f_c(x)
+//   l*  = argmin_k |f'_k| / ||w_k||_2
+//   x  += (1 + overshoot) * |f'_{l*}| / ||w_{l*}||² * w_{l*}
+//
+// Per-class gradients come from Classifier::output_gradient (one backward
+// per class per sample batch). The result is finally clipped into the
+// requested L∞ budget/box so DeepFool plugs into the same evaluation
+// harness as PGD.
+#pragma once
+
+#include "attacks/attack.hpp"
+
+namespace snnsec::attack {
+
+struct DeepFoolConfig {
+  std::int64_t max_iterations = 20;
+  double overshoot = 0.02;
+};
+
+class DeepFool final : public Attack {
+ public:
+  explicit DeepFool(DeepFoolConfig config = {});
+
+  tensor::Tensor perturb(nn::Classifier& model, const tensor::Tensor& x,
+                         const std::vector<std::int64_t>& labels,
+                         const AttackBudget& budget) override;
+  std::string name() const override;
+
+  /// Mean L2 norm of the minimal perturbations found in the most recent
+  /// perturb() call (before the L∞ clip) — DeepFool's native robustness
+  /// metric rho.
+  double last_mean_l2() const { return last_mean_l2_; }
+
+ private:
+  DeepFoolConfig config_;
+  double last_mean_l2_ = 0.0;
+};
+
+}  // namespace snnsec::attack

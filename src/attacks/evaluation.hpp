@@ -1,0 +1,44 @@
+// Robustness evaluation: the inner loop of the paper's Algorithm 1
+// (lines 5–15). For a trained model and a noise budget ε, generate one
+// adversarial example per test sample and count the failures:
+//
+//   Robustness(ε) = 1 − Adv / |D|
+//
+// i.e. exactly the model's accuracy on the adversarial set (an attack
+// "succeeds" when the perturbed sample is classified wrong, matching the
+// algorithm's S_ij(X*) ≠ L_t check).
+#pragma once
+
+#include <vector>
+
+#include "attacks/attack.hpp"
+
+namespace snnsec::attack {
+
+struct RobustnessPoint {
+  double epsilon = 0.0;
+  double robustness = 0.0;          ///< 1 - Adv/|D| (adversarial accuracy)
+  double attack_success_rate = 0.0; ///< Adv/|D|
+  double mean_linf = 0.0;           ///< mean L∞ distance actually used
+  double mean_loss = 0.0;           ///< model loss on adversarial inputs
+};
+
+struct EvalConfig {
+  std::int64_t batch_size = 32;
+  float pixel_min = 0.0f;
+  float pixel_max = 1.0f;
+};
+
+/// Evaluate one (model, attack, ε) triple over the whole test set.
+RobustnessPoint evaluate_attack(nn::Classifier& model, Attack& atk,
+                                const tensor::Tensor& x,
+                                const std::vector<std::int64_t>& labels,
+                                double epsilon, const EvalConfig& cfg = {});
+
+/// Sweep a list of noise budgets (the ε axis of Figs. 1 and 9).
+std::vector<RobustnessPoint> robustness_curve(
+    nn::Classifier& model, Attack& atk, const tensor::Tensor& x,
+    const std::vector<std::int64_t>& labels,
+    const std::vector<double>& epsilons, const EvalConfig& cfg = {});
+
+}  // namespace snnsec::attack

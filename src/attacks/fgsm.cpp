@@ -1,0 +1,19 @@
+#include "attacks/fgsm.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace snnsec::attack {
+
+using tensor::Tensor;
+
+Tensor Fgsm::perturb(nn::Classifier& model, const Tensor& x,
+                     const std::vector<std::int64_t>& labels,
+                     const AttackBudget& budget) {
+  const Tensor grad = model.input_gradient(x, labels);
+  Tensor adv = x;
+  adv.axpy_(static_cast<float>(budget.epsilon), tensor::sign(grad));
+  project_linf(adv, x, budget);
+  return adv;
+}
+
+}  // namespace snnsec::attack

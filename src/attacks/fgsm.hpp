@@ -1,0 +1,18 @@
+// Fast Gradient Sign Method (Goodfellow et al., 2015):
+//   x* = clip(x + ε · sign(∇_x L(x, y))).
+// The single-step special case of PGD; used as a cheap baseline attack.
+#pragma once
+
+#include "attacks/attack.hpp"
+
+namespace snnsec::attack {
+
+class Fgsm final : public Attack {
+ public:
+  tensor::Tensor perturb(nn::Classifier& model, const tensor::Tensor& x,
+                         const std::vector<std::int64_t>& labels,
+                         const AttackBudget& budget) override;
+  std::string name() const override { return "FGSM"; }
+};
+
+}  // namespace snnsec::attack

@@ -1,0 +1,59 @@
+#include "attacks/mifgsm.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "tensor/ops.hpp"
+#include "util/error.hpp"
+
+namespace snnsec::attack {
+
+using tensor::Tensor;
+
+MiFgsm::MiFgsm(MiFgsmConfig config) : config_(config) {
+  SNNSEC_CHECK(config_.steps > 0, "MiFgsm: steps must be positive");
+  SNNSEC_CHECK(config_.decay >= 0.0, "MiFgsm: negative momentum decay");
+  SNNSEC_CHECK(config_.rel_stepsize > 0.0, "MiFgsm: non-positive step size");
+}
+
+Tensor MiFgsm::perturb(nn::Classifier& model, const Tensor& x,
+                       const std::vector<std::int64_t>& labels,
+                       const AttackBudget& budget) {
+  if (budget.epsilon <= 0.0) return x;
+  const float alpha =
+      static_cast<float>(config_.rel_stepsize * budget.epsilon);
+  const std::int64_t n = x.dim(0);
+  const std::int64_t per_sample = x.numel() / n;
+
+  Tensor adv = x;
+  Tensor momentum(x.shape());
+  const float mu = static_cast<float>(config_.decay);
+  for (std::int64_t step = 0; step < config_.steps; ++step) {
+    const Tensor grad = model.input_gradient(adv, labels);
+    // Per-sample L1 normalization (the paper's formulation).
+    float* pm = momentum.data();
+    const float* pg = grad.data();
+    for (std::int64_t i = 0; i < n; ++i) {
+      double l1 = 0.0;
+      for (std::int64_t j = 0; j < per_sample; ++j)
+        l1 += std::fabs(pg[i * per_sample + j]);
+      const float inv =
+          l1 > 0.0 ? static_cast<float>(1.0 / l1) : 0.0f;
+      for (std::int64_t j = 0; j < per_sample; ++j) {
+        const std::int64_t k = i * per_sample + j;
+        pm[k] = mu * pm[k] + pg[k] * inv;
+      }
+    }
+    adv.axpy_(alpha, tensor::sign(momentum));
+    project_linf(adv, x, budget);
+  }
+  return adv;
+}
+
+std::string MiFgsm::name() const {
+  std::ostringstream oss;
+  oss << "MI-FGSM(steps=" << config_.steps << ", mu=" << config_.decay << ")";
+  return oss.str();
+}
+
+}  // namespace snnsec::attack

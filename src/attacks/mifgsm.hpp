@@ -1,0 +1,36 @@
+// Momentum Iterative FGSM (Dong et al., CVPR 2018).
+//
+// Accumulates a momentum term over normalized gradients to escape poor
+// local ascent directions — typically stronger than plain BIM and more
+// transferable than PGD:
+//
+//   g_{t+1} = mu * g_t + grad / ||grad||_1
+//   x_{t+1} = P( x_t + alpha * sign(g_{t+1}) )
+#pragma once
+
+#include "attacks/attack.hpp"
+
+namespace snnsec::attack {
+
+struct MiFgsmConfig {
+  std::int64_t steps = 10;
+  double decay = 1.0;         ///< momentum factor mu
+  double rel_stepsize = 0.1;  ///< alpha = rel_stepsize * eps
+};
+
+class MiFgsm final : public Attack {
+ public:
+  explicit MiFgsm(MiFgsmConfig config = {});
+
+  tensor::Tensor perturb(nn::Classifier& model, const tensor::Tensor& x,
+                         const std::vector<std::int64_t>& labels,
+                         const AttackBudget& budget) override;
+  std::string name() const override;
+
+  const MiFgsmConfig& config() const { return config_; }
+
+ private:
+  MiFgsmConfig config_;
+};
+
+}  // namespace snnsec::attack

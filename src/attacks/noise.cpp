@@ -1,0 +1,31 @@
+#include "attacks/noise.hpp"
+
+namespace snnsec::attack {
+
+using tensor::Tensor;
+
+Tensor UniformNoise::perturb(nn::Classifier& /*model*/, const Tensor& x,
+                             const std::vector<std::int64_t>& /*labels*/,
+                             const AttackBudget& budget) {
+  Tensor adv = x;
+  const float eps = static_cast<float>(budget.epsilon);
+  float* p = adv.data();
+  for (std::int64_t i = 0; i < adv.numel(); ++i)
+    p[i] += static_cast<float>(rng_.uniform(-eps, eps));
+  project_linf(adv, x, budget);
+  return adv;
+}
+
+Tensor GaussianNoise::perturb(nn::Classifier& /*model*/, const Tensor& x,
+                              const std::vector<std::int64_t>& /*labels*/,
+                              const AttackBudget& budget) {
+  Tensor adv = x;
+  const double eps = budget.epsilon;
+  float* p = adv.data();
+  for (std::int64_t i = 0; i < adv.numel(); ++i)
+    p[i] += static_cast<float>(rng_.normal(0.0, eps));
+  project_linf(adv, x, budget);
+  return adv;
+}
+
+}  // namespace snnsec::attack

@@ -1,0 +1,39 @@
+// Non-adaptive noise "attacks" — sanity baselines that separate adversarial
+// vulnerability from plain noise sensitivity.
+#pragma once
+
+#include "attacks/attack.hpp"
+#include "util/rng.hpp"
+
+namespace snnsec::attack {
+
+/// Uniform noise in [-ε, ε] added to every pixel.
+class UniformNoise final : public Attack {
+ public:
+  explicit UniformNoise(std::uint64_t seed = 123) : rng_(seed) {}
+
+  tensor::Tensor perturb(nn::Classifier& model, const tensor::Tensor& x,
+                         const std::vector<std::int64_t>& labels,
+                         const AttackBudget& budget) override;
+  std::string name() const override { return "UniformNoise"; }
+
+ private:
+  util::Rng rng_;
+};
+
+/// Gaussian noise with stddev ε (clipped into the L∞ ball so budgets stay
+/// comparable with the gradient attacks).
+class GaussianNoise final : public Attack {
+ public:
+  explicit GaussianNoise(std::uint64_t seed = 321) : rng_(seed) {}
+
+  tensor::Tensor perturb(nn::Classifier& model, const tensor::Tensor& x,
+                         const std::vector<std::int64_t>& labels,
+                         const AttackBudget& budget) override;
+  std::string name() const override { return "GaussianNoise"; }
+
+ private:
+  util::Rng rng_;
+};
+
+}  // namespace snnsec::attack

@@ -1,0 +1,56 @@
+#include "attacks/pgd.hpp"
+
+#include <sstream>
+
+#include "tensor/ops.hpp"
+#include "util/error.hpp"
+
+namespace snnsec::attack {
+
+using tensor::Tensor;
+
+Pgd::Pgd(PgdConfig config) : config_(config), rng_(config.seed) {
+  SNNSEC_CHECK(config_.steps > 0, "Pgd: steps must be positive");
+  SNNSEC_CHECK(config_.rel_stepsize > 0.0 || config_.abs_stepsize > 0.0,
+               "Pgd: need a positive step size");
+}
+
+Tensor Pgd::perturb(nn::Classifier& model, const Tensor& x,
+                    const std::vector<std::int64_t>& labels,
+                    const AttackBudget& budget) {
+  if (budget.epsilon <= 0.0) return x;
+  const float alpha = static_cast<float>(config_.step_size(budget.epsilon));
+
+  Tensor adv = x;
+  if (config_.random_start) {
+    const float eps = static_cast<float>(budget.epsilon);
+    float* p = adv.data();
+    for (std::int64_t i = 0; i < adv.numel(); ++i)
+      p[i] += static_cast<float>(rng_.uniform(-eps, eps));
+    project_linf(adv, x, budget);
+  }
+
+  // Untargeted: ascend the loss on the true labels. Targeted: descend the
+  // loss on the target labels (labels are then the attacker's targets).
+  const float direction = config_.targeted ? -alpha : alpha;
+  for (std::int64_t step = 0; step < config_.steps; ++step) {
+    const Tensor grad = model.input_gradient(adv, labels);
+    adv.axpy_(direction, tensor::sign(grad));
+    project_linf(adv, x, budget);
+  }
+  return adv;
+}
+
+std::string Pgd::name() const {
+  std::ostringstream oss;
+  oss << "PGD(steps=" << config_.steps << ", alpha=";
+  if (config_.abs_stepsize > 0.0)
+    oss << config_.abs_stepsize;
+  else
+    oss << config_.rel_stepsize << "*eps";
+  oss << (config_.random_start ? ", random start" : "")
+      << (config_.targeted ? ", targeted" : "") << ")";
+  return oss.str();
+}
+
+}  // namespace snnsec::attack

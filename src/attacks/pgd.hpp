@@ -1,0 +1,50 @@
+// Projected Gradient Descent (Madry et al., 2018) — Eq. 3 of the paper:
+//
+//   x^{t+1} = P_{S_x}( x^t + α · sign(∇_x L_θ(x^t, y)) )
+//
+// with P the projection onto the L∞ ball of radius ε intersected with the
+// valid pixel box. Defaults follow Foolbox v3's LinfPGD (the attack
+// implementation the paper used): random uniform start inside the ball,
+// 40 steps, relative step size 0.025 (α = 0.025·ε... see PgdConfig).
+#pragma once
+
+#include "attacks/attack.hpp"
+#include "util/rng.hpp"
+
+namespace snnsec::attack {
+
+struct PgdConfig {
+  std::int64_t steps = 40;
+  /// Targeted mode: instead of maximizing the loss on the true label,
+  /// minimize it on the provided target labels (the classic "misread the
+  /// amount as a chosen digit" threat from the paper's bank-check intro).
+  bool targeted = false;
+  /// α = rel_stepsize · ε (Foolbox LinfPGD convention). When abs_stepsize
+  /// is positive it overrides the relative one.
+  double rel_stepsize = 0.025;
+  double abs_stepsize = -1.0;
+  bool random_start = true;
+  std::uint64_t seed = 99;
+
+  double step_size(double epsilon) const {
+    return abs_stepsize > 0.0 ? abs_stepsize : rel_stepsize * epsilon;
+  }
+};
+
+class Pgd final : public Attack {
+ public:
+  explicit Pgd(PgdConfig config = {});
+
+  tensor::Tensor perturb(nn::Classifier& model, const tensor::Tensor& x,
+                         const std::vector<std::int64_t>& labels,
+                         const AttackBudget& budget) override;
+  std::string name() const override;
+
+  const PgdConfig& config() const { return config_; }
+
+ private:
+  PgdConfig config_;
+  util::Rng rng_;
+};
+
+}  // namespace snnsec::attack

@@ -1,0 +1,126 @@
+#include "attacks/simba.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "tensor/ops.hpp"
+#include "util/error.hpp"
+
+namespace snnsec::attack {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Simba::Simba(SimbaConfig config) : config_(config), rng_(config.seed) {
+  SNNSEC_CHECK(config_.max_queries > 0, "Simba: max_queries must be positive");
+}
+
+Tensor Simba::perturb(nn::Classifier& model, const Tensor& x,
+                      const std::vector<std::int64_t>& labels,
+                      const AttackBudget& budget) {
+  last_query_count_ = 0;
+  if (budget.epsilon <= 0.0) return x;
+  const std::int64_t n = x.dim(0);
+  const std::int64_t per_sample = x.numel() / n;
+  SNNSEC_CHECK(static_cast<std::int64_t>(labels.size()) == n,
+               "Simba: label count mismatch");
+  const float step = static_cast<float>(
+      config_.step > 0.0 ? config_.step : budget.epsilon);
+
+  // Per-sample random pixel visit order (the "pixel basis").
+  std::vector<std::vector<std::int64_t>> order(static_cast<std::size_t>(n));
+  for (auto& o : order) {
+    o.resize(static_cast<std::size_t>(per_sample));
+    std::iota(o.begin(), o.end(), 0);
+    rng_.shuffle(o);
+  }
+
+  Tensor adv = x;
+  // True-class probabilities on the current adversarial batch.
+  auto true_probs = [&](const Tensor& batch) {
+    const Tensor probs = tensor::softmax_rows(model.logits(batch));
+    ++last_query_count_;
+    std::vector<float> out(static_cast<std::size_t>(n));
+    const std::int64_t c = probs.dim(1);
+    for (std::int64_t i = 0; i < n; ++i)
+      out[static_cast<std::size_t>(i)] =
+          probs[i * c + labels[static_cast<std::size_t>(i)]];
+    return out;
+  };
+  auto predictions = [&](const Tensor& batch) {
+    return tensor::argmax_rows(model.logits(batch));
+  };
+
+  std::vector<float> best_p = true_probs(adv);
+  std::vector<bool> done(static_cast<std::size_t>(n), false);
+  {
+    const auto pred = predictions(adv);
+    for (std::int64_t i = 0; i < n; ++i)
+      if (pred[static_cast<std::size_t>(i)] !=
+          labels[static_cast<std::size_t>(i)])
+        done[static_cast<std::size_t>(i)] = true;
+  }
+
+  std::vector<std::int64_t> cursor(static_cast<std::size_t>(n), 0);
+  while (last_query_count_ < config_.max_queries) {
+    // Propose one new pixel direction per unfinished sample.
+    bool any_active = false;
+    std::vector<std::int64_t> pixel(static_cast<std::size_t>(n), -1);
+    for (std::int64_t i = 0; i < n; ++i) {
+      auto& cur = cursor[static_cast<std::size_t>(i)];
+      if (done[static_cast<std::size_t>(i)] || cur >= per_sample) continue;
+      pixel[static_cast<std::size_t>(i)] =
+          order[static_cast<std::size_t>(i)][static_cast<std::size_t>(cur++)];
+      any_active = true;
+    }
+    if (!any_active) break;
+
+    for (const float sign : {+1.0f, -1.0f}) {
+      Tensor candidate = adv;
+      bool any_candidate = false;
+      for (std::int64_t i = 0; i < n; ++i) {
+        const std::int64_t j = pixel[static_cast<std::size_t>(i)];
+        if (j < 0 || done[static_cast<std::size_t>(i)]) continue;
+        candidate[i * per_sample + j] += sign * step;
+        any_candidate = true;
+      }
+      if (!any_candidate) break;
+      project_linf(candidate, x, budget);
+      const auto p = true_probs(candidate);
+      bool improved_any = false;
+      for (std::int64_t i = 0; i < n; ++i) {
+        const std::int64_t j = pixel[static_cast<std::size_t>(i)];
+        if (j < 0 || done[static_cast<std::size_t>(i)]) continue;
+        if (p[static_cast<std::size_t>(i)] <
+            best_p[static_cast<std::size_t>(i)]) {
+          best_p[static_cast<std::size_t>(i)] =
+              p[static_cast<std::size_t>(i)];
+          adv[i * per_sample + j] = candidate[i * per_sample + j];
+          pixel[static_cast<std::size_t>(i)] = -1;  // consumed
+          improved_any = true;
+        }
+      }
+      if (!improved_any && sign < 0.0f) break;
+      (void)improved_any;
+    }
+
+    // Periodically retire samples that already flipped.
+    if ((last_query_count_ & 15) == 0) {
+      const auto pred = predictions(adv);
+      for (std::int64_t i = 0; i < n; ++i)
+        if (pred[static_cast<std::size_t>(i)] !=
+            labels[static_cast<std::size_t>(i)])
+          done[static_cast<std::size_t>(i)] = true;
+    }
+  }
+  return adv;
+}
+
+std::string Simba::name() const {
+  std::ostringstream oss;
+  oss << "SimBA(queries<=" << config_.max_queries << ")";
+  return oss.str();
+}
+
+}  // namespace snnsec::attack

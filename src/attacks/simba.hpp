@@ -1,0 +1,46 @@
+// SimBA — Simple Black-box Attack (Guo et al., ICML 2019), pixel basis.
+//
+// A *score-based black-box* attack: it never queries gradients, only the
+// victim's output probabilities. Per iteration it picks an unused pixel
+// direction q and keeps x ± step·q whenever the true-class probability
+// drops. Complements the white-box suite: if white-box PGD fails on an SNN
+// cell but SimBA succeeds, the cell's apparent robustness is gradient
+// obfuscation rather than a flat decision landscape (relevant to how much
+// of the paper's "inherent robustness" survives a gradient-free adversary;
+// cf. the black-box comparison of Marchisio et al. [14]).
+#pragma once
+
+#include "attacks/attack.hpp"
+#include "util/rng.hpp"
+
+namespace snnsec::attack {
+
+struct SimbaConfig {
+  /// Query budget: at most this many candidate directions are tried
+  /// (each costs 1-2 model evaluations).
+  std::int64_t max_queries = 2000;
+  /// Step per pixel; defaults to the full budget ε (set smaller for finer
+  /// staircases at more queries).
+  double step = -1.0;
+  std::uint64_t seed = 7;
+};
+
+class Simba final : public Attack {
+ public:
+  explicit Simba(SimbaConfig config = {});
+
+  tensor::Tensor perturb(nn::Classifier& model, const tensor::Tensor& x,
+                         const std::vector<std::int64_t>& labels,
+                         const AttackBudget& budget) override;
+  std::string name() const override;
+
+  /// Model evaluations consumed by the most recent perturb() call.
+  std::int64_t last_query_count() const { return last_query_count_; }
+
+ private:
+  SimbaConfig config_;
+  util::Rng rng_;
+  std::int64_t last_query_count_ = 0;
+};
+
+}  // namespace snnsec::attack

@@ -1,0 +1,82 @@
+#include "core/analysis.hpp"
+
+#include <sstream>
+
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "snn/lif_layer.hpp"
+#include "util/error.hpp"
+
+namespace snnsec::core {
+
+namespace {
+
+/// Outgoing synapses per spike for the next weight layer after index `i`
+/// in the stack (approximate for convolutions: each input activation feeds
+/// ~ Cout * k^2 / stride^2 synapses, border effects ignored).
+double downstream_fanout(nn::Sequential& net, std::size_t i) {
+  for (std::size_t j = i + 1; j < net.size(); ++j) {
+    if (const auto* lin = dynamic_cast<const nn::Linear*>(&net.layer(j)))
+      return static_cast<double>(lin->out_features());
+    if (const auto* conv = dynamic_cast<const nn::Conv2d*>(&net.layer(j))) {
+      const auto& spec = conv->spec();
+      return static_cast<double>(spec.out_channels * spec.kernel *
+                                 spec.kernel) /
+             static_cast<double>(spec.stride * spec.stride);
+    }
+  }
+  return 0.0;  // nothing downstream consumes these spikes
+}
+
+}  // namespace
+
+ActivityReport measure_activity(snn::SpikingClassifier& model,
+                                const tensor::Tensor& batch) {
+  SNNSEC_CHECK(batch.ndim() == 4 && batch.dim(0) > 0,
+               "measure_activity: batch must be non-empty [N,C,H,W]");
+  const std::int64_t n = batch.dim(0);
+  const std::int64_t t = model.time_steps();
+
+  // One inference pass populates every LifLayer's activity counters.
+  (void)model.logits(batch);
+
+  ActivityReport report;
+  report.time_steps = t;
+  nn::Sequential& net = model.net();
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    const auto* lif = dynamic_cast<const snn::LifLayer*>(&net.layer(i));
+    if (lif == nullptr) continue;
+    LayerActivity activity;
+    activity.layer_name = net.layer(i).name();
+    activity.spike_rate = lif->last_spike_rate();
+    activity.neurons = lif->last_output_numel() / (t * n);
+    activity.spikes_per_inference =
+        activity.spike_rate * static_cast<double>(activity.neurons) *
+        static_cast<double>(t);
+    report.total_spikes_per_inference += activity.spikes_per_inference;
+    report.synops_per_inference +=
+        activity.spikes_per_inference * downstream_fanout(net, i);
+    report.layers.push_back(std::move(activity));
+  }
+  return report;
+}
+
+double estimate_energy_nj(const ActivityReport& report, double nj_per_synop) {
+  SNNSEC_CHECK(nj_per_synop > 0.0, "estimate_energy_nj: non-positive cost");
+  return report.synops_per_inference * nj_per_synop;
+}
+
+std::string ActivityReport::summary() const {
+  std::ostringstream oss;
+  oss << "T=" << time_steps << ", "
+      << static_cast<long long>(total_spikes_per_inference)
+      << " spikes/inference, "
+      << static_cast<long long>(synops_per_inference) << " synops/inference";
+  for (const auto& layer : layers)
+    oss << "\n  " << layer.layer_name << ": rate=" << layer.spike_rate
+        << " neurons=" << layer.neurons
+        << " spikes=" << layer.spikes_per_inference;
+  return oss.str();
+}
+
+}  // namespace snnsec::core

@@ -1,0 +1,49 @@
+// Spike-activity analysis: the energy side of the paper's story.
+//
+// The paper positions SNNs as "efficient and robust"; on neuromorphic
+// hardware (TrueNorth/Loihi) energy is dominated by synaptic events, i.e.
+// spikes × fan-out. The structural parameters that shape robustness also
+// shape the spike count: a higher V_th fires less (cheaper, and — per the
+// exploration study — often *more* robust), a longer window T costs
+// proportionally more. This module measures that trade-off.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "snn/spiking_network.hpp"
+
+namespace snnsec::core {
+
+struct LayerActivity {
+  std::string layer_name;
+  double spike_rate = 0.0;     ///< mean spikes per neuron per time step
+  std::int64_t neurons = 0;    ///< population size (per sample)
+  double spikes_per_inference = 0.0;  ///< rate * neurons * T
+};
+
+struct ActivityReport {
+  std::vector<LayerActivity> layers;
+  std::int64_t time_steps = 0;
+  /// Total spikes emitted per classified sample (all LIF populations).
+  double total_spikes_per_inference = 0.0;
+  /// Synaptic-operation proxy: spikes weighted by each population's
+  /// outgoing fan-out (events delivered to downstream synapses).
+  double synops_per_inference = 0.0;
+
+  std::string summary() const;
+};
+
+/// Run `batch` through the model (inference) and measure per-layer spike
+/// activity. The batch should be representative test data.
+ActivityReport measure_activity(snn::SpikingClassifier& model,
+                                const tensor::Tensor& batch);
+
+/// Energy proxy in nanojoules using a per-synaptic-event cost
+/// (default 0.077 nJ ~ Loihi-class published estimates; configurable since
+/// absolute numbers are hardware-specific).
+double estimate_energy_nj(const ActivityReport& report,
+                          double nj_per_synop = 0.077);
+
+}  // namespace snnsec::core

@@ -1,0 +1,25 @@
+#include "core/baseline.hpp"
+
+#include "nn/metrics.hpp"
+#include "nn/trainer.hpp"
+#include "util/stopwatch.hpp"
+
+namespace snnsec::core {
+
+TrainedBaseline train_cnn_baseline(const ExplorationConfig& config,
+                                   const data::DataBundle& data) {
+  TrainedBaseline out;
+  util::Rng rng(config.seed);
+  util::Rng init_rng = rng.fork("cnn-init");
+  out.model = nn::build_paper_cnn(config.arch, init_rng);
+
+  util::Stopwatch watch;
+  nn::Trainer trainer(config.train);
+  trainer.fit(*out.model, data.train.images, data.train.labels);
+  out.train_seconds = watch.seconds();
+  out.clean_accuracy = nn::accuracy(*out.model, data.test.images,
+                                    data.test.labels, config.eval_batch);
+  return out;
+}
+
+}  // namespace snnsec::core

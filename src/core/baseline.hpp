@@ -1,0 +1,23 @@
+// CNN baseline helpers for the CNN-vs-SNN comparisons (Figs. 1 and 9).
+#pragma once
+
+#include <memory>
+
+#include "core/experiment_config.hpp"
+#include "data/provider.hpp"
+#include "nn/feedforward.hpp"
+
+namespace snnsec::core {
+
+struct TrainedBaseline {
+  std::unique_ptr<nn::FeedforwardClassifier> model;
+  double clean_accuracy = 0.0;
+  double train_seconds = 0.0;
+};
+
+/// Train the paper's 5-layer CNN with the exploration config's architecture
+/// and training budget.
+TrainedBaseline train_cnn_baseline(const ExplorationConfig& config,
+                                   const data::DataBundle& data);
+
+}  // namespace snnsec::core

@@ -1,0 +1,87 @@
+#include "core/experiment_config.hpp"
+
+#include <sstream>
+
+#include "util/env.hpp"
+#include "util/error.hpp"
+
+namespace snnsec::core {
+
+void ExplorationConfig::validate() const {
+  SNNSEC_CHECK(!v_th_grid.empty() && !t_grid.empty(),
+               "ExplorationConfig: empty structural grid");
+  for (const double v : v_th_grid)
+    SNNSEC_CHECK(v > 0.0, "ExplorationConfig: non-positive v_th " << v);
+  for (const auto t : t_grid)
+    SNNSEC_CHECK(t > 0, "ExplorationConfig: non-positive T " << t);
+  for (const double e : eps_grid)
+    SNNSEC_CHECK(e >= 0.0, "ExplorationConfig: negative epsilon " << e);
+  SNNSEC_CHECK(accuracy_threshold >= 0.0 && accuracy_threshold <= 1.0,
+               "ExplorationConfig: A_th outside [0, 1]");
+  SNNSEC_CHECK(eval_batch > 0, "ExplorationConfig: bad eval_batch");
+  arch.validate();
+}
+
+std::string ExplorationConfig::summary() const {
+  std::ostringstream oss;
+  oss << "grid " << v_th_grid.size() << " V_th x " << t_grid.size()
+      << " T cells, " << eps_grid.size() << " eps budgets, A_th="
+      << accuracy_threshold << ", " << arch.image_size << "x"
+      << arch.image_size << " images, train_n=" << data.train_n
+      << ", test_n=" << data.test_n << ", epochs=" << train.epochs
+      << ", pgd_steps=" << pgd.steps;
+  return oss.str();
+}
+
+ExplorationConfig paper_profile() {
+  ExplorationConfig cfg;
+  for (int i = 1; i <= 10; ++i) cfg.v_th_grid.push_back(0.25 * i);
+  for (int j = 1; j <= 12; ++j) cfg.t_grid.push_back(8 * j);
+  cfg.eps_grid = {0.1, 0.5, 1.0, 1.5};
+  cfg.accuracy_threshold = 0.70;
+
+  cfg.arch = nn::LenetSpec{};  // 28x28, full LeNet channel counts
+  cfg.snn_template = snn::SnnConfig{};
+  cfg.train.epochs = 5;
+  cfg.train.batch_size = 32;
+  cfg.train.lr = 1e-3;
+  cfg.data.train_n = 60000;
+  cfg.data.test_n = 10000;
+  cfg.data.image_size = 28;
+  cfg.pgd.steps = 40;
+  cfg.attack_test_cap = 1000;
+  return cfg;
+}
+
+ExplorationConfig quick_profile() {
+  ExplorationConfig cfg;
+  cfg.v_th_grid = {0.5, 1.0, 1.5, 2.0, 2.5};
+  cfg.t_grid = {8, 16, 24, 32};
+  // Calibrated ε axis: on 16x16 synthetic digits the informative L∞ range
+  // is ~10x smaller than on 28x28 MNIST, so quick ε ≈ paper ε / 10
+  // (0.05 -> 0.5 crossover region, 0.1 -> 1.0, 0.15 -> 1.5). The full
+  // profile keeps the paper's axis. See EXPERIMENTS.md.
+  cfg.eps_grid = {0.025, 0.05, 0.1, 0.15};
+  cfg.accuracy_threshold = 0.70;
+
+  cfg.arch = nn::LenetSpec{}.scaled(0.5);
+  cfg.arch.image_size = 16;
+  cfg.snn_template = snn::SnnConfig{};
+  cfg.train.epochs = 5;
+  cfg.train.batch_size = 32;
+  cfg.train.lr = 4e-3;
+  cfg.data.train_n = 1000;
+  cfg.data.test_n = 200;
+  cfg.data.image_size = 16;
+  cfg.pgd.steps = 10;
+  cfg.pgd.rel_stepsize = 0.1;  // 10 steps x 0.1ε spans the full ball
+  cfg.attack_test_cap = 60;
+  cfg.eval_batch = 32;
+  return cfg;
+}
+
+ExplorationConfig default_profile() {
+  return util::full_profile_enabled() ? paper_profile() : quick_profile();
+}
+
+}  // namespace snnsec::core

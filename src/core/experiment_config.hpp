@@ -1,0 +1,56 @@
+// Experiment configuration for the (V_th, T) robustness exploration
+// (Algorithm 1 of the paper) plus the quick/full profiles used by the
+// figure harnesses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "attacks/pgd.hpp"
+#include "data/provider.hpp"
+#include "nn/lenet.hpp"
+#include "nn/trainer.hpp"
+#include "snn/spiking_lenet.hpp"
+
+namespace snnsec::core {
+
+struct ExplorationConfig {
+  /// Structural-parameter grids (Algorithm 1 inputs V_i and T_j).
+  std::vector<double> v_th_grid;
+  std::vector<std::int64_t> t_grid;
+  /// Adversarial noise budgets ε_k.
+  std::vector<double> eps_grid;
+  /// Learnability threshold A_th: cells below it are skipped by the
+  /// security study (paper uses 70%).
+  double accuracy_threshold = 0.70;
+
+  nn::LenetSpec arch;            ///< shared CNN/SNN architecture
+  snn::SnnConfig snn_template;   ///< v_th/time_steps overridden per cell
+  nn::TrainConfig train;
+  attack::PgdConfig pgd;
+  data::DataSpec data;
+
+  std::int64_t eval_batch = 32;
+  /// Cap on test samples used for adversarial evaluation (PGD is ~steps×
+  /// more expensive than inference); -1 = all.
+  std::int64_t attack_test_cap = -1;
+  std::uint64_t seed = 42;
+
+  void validate() const;
+  std::string summary() const;
+};
+
+/// The paper's full grid: V_th ∈ {0.25, 0.5, …, 2.5}, T ∈ {8, 16, …, 96},
+/// ε ∈ {0.1, 0.5, 1.0, 1.5}, 28×28 images, full LeNet channels.
+ExplorationConfig paper_profile();
+
+/// Laptop-scale profile used by default in the figure benches: coarser
+/// subgrid, 16×16 images, scaled-down channels, short training, fewer PGD
+/// steps. Set SNNSEC_FULL=1 to get paper_profile() from the benches.
+ExplorationConfig quick_profile();
+
+/// quick_profile() or paper_profile() based on util::full_profile_enabled().
+ExplorationConfig default_profile();
+
+}  // namespace snnsec::core

@@ -1,0 +1,163 @@
+#include "core/explorer.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "nn/metrics.hpp"
+#include "tensor/serialize.hpp"
+#include "util/logging.hpp"
+#include "util/stopwatch.hpp"
+
+namespace snnsec::core {
+
+using tensor::Tensor;
+
+RobustnessExplorer::RobustnessExplorer(ExplorationConfig config,
+                                       std::string cache_dir)
+    : config_(std::move(config)), cache_dir_(std::move(cache_dir)) {
+  config_.validate();
+}
+
+std::string RobustnessExplorer::cell_cache_path(
+    double v_th, std::int64_t time_steps) const {
+  if (cache_dir_.empty()) return {};
+  // Fingerprint everything that determines the trained weights so stale
+  // checkpoints are never reused across config changes.
+  std::ostringstream key;
+  key << "a" << config_.arch.image_size << "_" << config_.arch.conv1_channels
+      << "_" << config_.arch.conv2_channels << "_"
+      << config_.arch.conv3_channels << "_" << config_.arch.fc_hidden << "_t"
+      << config_.train.epochs << "_" << config_.train.batch_size << "_"
+      << config_.train.lr << "_d" << config_.data.train_n << "_"
+      << config_.data.image_size << "_" << config_.data.seed << "_s"
+      << config_.seed << "_sg" << static_cast<int>(config_.snn_template.surrogate.kind)
+      << "_" << config_.snn_template.surrogate.alpha << "_e"
+      << static_cast<int>(config_.snn_template.encoder);
+  std::uint64_t h = util::hash_label(key.str());
+  char name[128];
+  std::snprintf(name, sizeof(name), "cell_v%.4f_t%lld_%016llx.snnt", v_th,
+                static_cast<long long>(time_steps),
+                static_cast<unsigned long long>(h));
+  return (std::filesystem::path(cache_dir_) / name).string();
+}
+
+RobustnessExplorer::TrainedCell RobustnessExplorer::train_cell(
+    double v_th, std::int64_t time_steps, const data::DataBundle& data) {
+  TrainedCell out;
+  snn::SnnConfig snn_cfg = config_.snn_template;
+  snn_cfg.v_th = v_th;
+  snn_cfg.time_steps = time_steps;
+
+  util::Rng rng(config_.seed);
+  util::Rng init_rng = rng.fork("snn-init");
+  out.model = snn::build_spiking_lenet(config_.arch, snn_cfg, init_rng);
+
+  const std::string cache_path = cell_cache_path(v_th, time_steps);
+  if (!cache_path.empty() && std::filesystem::exists(cache_path)) {
+    std::ifstream is(cache_path, std::ios::binary);
+    auto archive = tensor::load_archive(is);
+    auto params = out.model->parameters();
+    SNNSEC_CHECK(archive.count("meta") == 1 &&
+                     archive.size() == params.size() + 1,
+                 "corrupt cell checkpoint " << cache_path);
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      char pname[16];
+      std::snprintf(pname, sizeof(pname), "p%03zu", i);
+      const auto it = archive.find(pname);
+      SNNSEC_CHECK(it != archive.end() &&
+                       it->second.shape() == params[i]->value.shape(),
+                   "checkpoint parameter mismatch in " << cache_path);
+      params[i]->value = it->second;
+    }
+    const Tensor& meta = archive.at("meta");
+    out.clean_accuracy = meta[0];
+    out.train_seconds = meta[1];
+    out.from_cache = true;
+    return out;
+  }
+
+  util::Stopwatch watch;
+  nn::Trainer trainer(config_.train);
+  trainer.fit(*out.model, data.train.images, data.train.labels);
+  out.train_seconds = watch.seconds();
+  out.clean_accuracy = nn::accuracy(*out.model, data.test.images,
+                                    data.test.labels, config_.eval_batch);
+
+  if (!cache_path.empty()) {
+    std::map<std::string, Tensor> archive;
+    auto params = out.model->parameters();
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      char pname[16];
+      std::snprintf(pname, sizeof(pname), "p%03zu", i);
+      archive.emplace(pname, params[i]->value);
+    }
+    Tensor meta(tensor::Shape{2});
+    meta[0] = static_cast<float>(out.clean_accuracy);
+    meta[1] = static_cast<float>(out.train_seconds);
+    archive.emplace("meta", std::move(meta));
+    tensor::save_archive_file(cache_path, archive);
+  }
+  return out;
+}
+
+ExplorationReport RobustnessExplorer::explore(
+    const data::DataBundle& data,
+    const std::function<void(const CellResult&)>& on_cell) {
+  ExplorationReport report;
+  report.v_th_grid = config_.v_th_grid;
+  report.t_grid = config_.t_grid;
+  report.eps_grid = config_.eps_grid;
+  report.accuracy_threshold = config_.accuracy_threshold;
+
+  // Attack evaluation set (optionally capped: PGD is ~steps x inference).
+  data::Dataset attack_set = data.test;
+  if (config_.attack_test_cap > 0 &&
+      attack_set.size() > config_.attack_test_cap)
+    attack_set = attack_set.take(config_.attack_test_cap);
+
+  attack::EvalConfig eval_cfg;
+  eval_cfg.batch_size = config_.eval_batch;
+
+  const std::size_t total = config_.v_th_grid.size() * config_.t_grid.size();
+  std::size_t done = 0;
+  for (const double v_th : config_.v_th_grid) {
+    for (const std::int64_t t : config_.t_grid) {
+      util::Stopwatch watch;
+      TrainedCell trained = train_cell(v_th, t, data);
+
+      CellResult cell;
+      cell.v_th = v_th;
+      cell.time_steps = t;
+      cell.clean_accuracy = trained.clean_accuracy;
+      cell.learnable = trained.clean_accuracy >= config_.accuracy_threshold;
+      cell.train_seconds = trained.train_seconds;
+
+      if (cell.learnable) {
+        // Security study (Algorithm 1 lines 5-15): fresh PGD per budget.
+        for (const double eps : config_.eps_grid) {
+          attack::Pgd pgd(config_.pgd);
+          cell.robustness.emplace(
+              eps, attack::evaluate_attack(*trained.model, pgd,
+                                           attack_set.images,
+                                           attack_set.labels, eps, eval_cfg));
+        }
+      }
+      cell.spike_rates = trained.model->spike_rates();
+
+      ++done;
+      SNNSEC_LOG_INFO("cell " << done << "/" << total << " (v_th=" << v_th
+                              << ", T=" << t << "): acc="
+                              << cell.clean_accuracy
+                              << (cell.learnable ? "" : " [skipped]") << " in "
+                              << watch.pretty()
+                              << (trained.from_cache ? " (cached)" : ""));
+      if (on_cell) on_cell(cell);
+      report.cells.push_back(std::move(cell));
+    }
+  }
+  return report;
+}
+
+}  // namespace snnsec::core

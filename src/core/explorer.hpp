@@ -1,0 +1,56 @@
+// RobustnessExplorer: the paper's Algorithm 1.
+//
+//   for each V_th in the threshold grid:
+//     for each T in the time-window grid:
+//       train SNN(V_th, T)
+//       if clean accuracy >= A_th:              (learnability filter)
+//         for each noise budget ε:
+//           Robustness(ε) = 1 − fooled/|D|      (white-box PGD)
+//
+// Models are trained once per cell and optionally checkpointed to a cache
+// directory so the three heatmap figures (6, 7, 8) share one training pass.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "core/experiment_config.hpp"
+#include "core/report.hpp"
+#include "data/provider.hpp"
+#include "snn/spiking_network.hpp"
+
+namespace snnsec::core {
+
+class RobustnessExplorer {
+ public:
+  /// `cache_dir` (optional): directory for per-cell weight checkpoints.
+  RobustnessExplorer(ExplorationConfig config, std::string cache_dir = "");
+
+  /// Run the full grid on the given data. `on_cell` (optional) observes
+  /// each finished cell (progress reporting).
+  ExplorationReport explore(
+      const data::DataBundle& data,
+      const std::function<void(const CellResult&)>& on_cell = nullptr);
+
+  /// Train (or load from cache) the SNN for one grid cell and return it
+  /// together with its clean accuracy. Exposed for the curve benches
+  /// (Fig. 9) that track individual (V_th, T) combinations.
+  struct TrainedCell {
+    std::unique_ptr<snn::SpikingClassifier> model;
+    double clean_accuracy = 0.0;
+    double train_seconds = 0.0;
+    bool from_cache = false;
+  };
+  TrainedCell train_cell(double v_th, std::int64_t time_steps,
+                         const data::DataBundle& data);
+
+  const ExplorationConfig& config() const { return config_; }
+
+ private:
+  std::string cell_cache_path(double v_th, std::int64_t time_steps) const;
+
+  ExplorationConfig config_;
+  std::string cache_dir_;
+};
+
+}  // namespace snnsec::core

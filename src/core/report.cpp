@@ -1,0 +1,100 @@
+#include "core/report.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace snnsec::core {
+
+std::optional<double> CellResult::robustness_at(double epsilon) const {
+  if (!learnable) return std::nullopt;
+  if (epsilon == 0.0) return clean_accuracy;
+  // Tolerant key lookup (grid values are exact doubles from config, but be
+  // safe against formatting round-trips).
+  for (const auto& [eps, pt] : robustness)
+    if (std::fabs(eps - epsilon) < 1e-9) return pt.robustness;
+  return std::nullopt;
+}
+
+const CellResult* ExplorationReport::find(double v_th, std::int64_t t) const {
+  for (const auto& cell : cells)
+    if (cell.time_steps == t && std::fabs(cell.v_th - v_th) < 1e-9)
+      return &cell;
+  return nullptr;
+}
+
+std::string ExplorationReport::heatmap(double epsilon) const {
+  std::ostringstream oss;
+  if (epsilon == 0.0)
+    oss << "clean accuracy [%] over (V_th, T)\n";
+  else
+    oss << "robustness [%] under PGD eps=" << epsilon << " over (V_th, T)\n";
+  // Header: V_th columns.
+  oss << "  T \\ V_th |";
+  for (const double v : v_th_grid) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), " %5.2f", v);
+    oss << buf;
+  }
+  oss << '\n';
+  oss << "  ---------+" << std::string(v_th_grid.size() * 6, '-') << '\n';
+  // Rows: highest T at the top, like the paper's figures.
+  for (auto it = t_grid.rbegin(); it != t_grid.rend(); ++it) {
+    char head[16];
+    std::snprintf(head, sizeof(head), "  %6lld   |",
+                  static_cast<long long>(*it));
+    oss << head;
+    for (const double v : v_th_grid) {
+      const CellResult* cell = find(v, *it);
+      const auto r = cell ? cell->robustness_at(epsilon) : std::nullopt;
+      if (!cell) {
+        oss << "     ?";
+      } else if (epsilon == 0.0) {
+        char buf[16];
+        std::snprintf(buf, sizeof(buf), " %5.1f", cell->clean_accuracy * 100);
+        oss << buf;
+      } else if (r) {
+        char buf[16];
+        std::snprintf(buf, sizeof(buf), " %5.1f", *r * 100);
+        oss << buf;
+      } else {
+        oss << "  ----";  // skipped: failed the learnability filter
+      }
+    }
+    oss << '\n';
+  }
+  return oss.str();
+}
+
+void ExplorationReport::write_csv(const std::string& path) const {
+  util::CsvWriter csv(path);
+  std::vector<std::string> header = {"v_th", "T", "clean_accuracy",
+                                     "learnable"};
+  for (const double eps : eps_grid)
+    header.push_back("robustness_eps_" + util::format_float(eps, 2));
+  csv.write_header(header);
+  for (const auto& cell : cells) {
+    util::CsvWriter::Row row;
+    row << cell.v_th << cell.time_steps << cell.clean_accuracy
+        << (cell.learnable ? "1" : "0");
+    for (const double eps : eps_grid) {
+      const auto r = cell.robustness_at(eps);
+      row << (r ? util::format_float(*r, 6) : std::string("NA"));
+    }
+    csv.write(row);
+  }
+}
+
+double ExplorationReport::learnable_fraction() const {
+  if (cells.empty()) return 0.0;
+  std::int64_t n = 0;
+  for (const auto& cell : cells)
+    if (cell.learnable) ++n;
+  return static_cast<double>(n) / static_cast<double>(cells.size());
+}
+
+}  // namespace snnsec::core

@@ -1,0 +1,52 @@
+// Exploration results: per-cell records, heatmap rendering, CSV emission.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "attacks/evaluation.hpp"
+
+namespace snnsec::core {
+
+/// One (V_th, T) grid cell of Algorithm 1.
+struct CellResult {
+  double v_th = 0.0;
+  std::int64_t time_steps = 0;
+  double clean_accuracy = 0.0;
+  bool learnable = false;  ///< clean_accuracy >= A_th
+  /// ε -> robustness point (only filled for learnable cells).
+  std::map<double, attack::RobustnessPoint> robustness;
+  /// Mean spike rate per LIF layer after the final evaluation forward.
+  std::vector<double> spike_rates;
+  double train_seconds = 0.0;
+
+  /// Robustness at ε (clean accuracy when ε == 0); nullopt when the cell
+  /// was skipped or ε was not evaluated.
+  std::optional<double> robustness_at(double epsilon) const;
+};
+
+struct ExplorationReport {
+  std::vector<double> v_th_grid;
+  std::vector<std::int64_t> t_grid;
+  std::vector<double> eps_grid;
+  double accuracy_threshold = 0.0;
+  std::vector<CellResult> cells;  ///< row-major: v_th outer, T inner
+
+  const CellResult* find(double v_th, std::int64_t t) const;
+
+  /// ASCII heatmap of clean accuracy (the paper's Fig. 6), or of
+  /// robustness at `epsilon` (Figs. 7–8) when epsilon > 0. Skipped cells
+  /// print as "----".
+  std::string heatmap(double epsilon = 0.0) const;
+
+  /// Flat CSV: v_th, T, clean_acc, learnable, then one robustness column
+  /// per ε in eps_grid.
+  void write_csv(const std::string& path) const;
+
+  /// Fraction of grid cells that passed the learnability filter.
+  double learnable_fraction() const;
+};
+
+}  // namespace snnsec::core

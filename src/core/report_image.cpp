@@ -1,0 +1,58 @@
+#include "core/report_image.hpp"
+
+#include "util/error.hpp"
+#include "util/pgm.hpp"
+
+namespace snnsec::core {
+
+void write_heatmap_ppm(const ExplorationReport& report, double epsilon,
+                       const std::string& path,
+                       const HeatmapImageOptions& options) {
+  SNNSEC_CHECK(!report.v_th_grid.empty() && !report.t_grid.empty(),
+               "write_heatmap_ppm: empty report grid");
+  SNNSEC_CHECK(options.cell_size > 0 && options.border >= 0,
+               "write_heatmap_ppm: bad geometry options");
+  SNNSEC_CHECK(options.max_value > options.min_value,
+               "write_heatmap_ppm: bad value range");
+  const std::int64_t cols =
+      static_cast<std::int64_t>(report.v_th_grid.size());
+  const std::int64_t rows = static_cast<std::int64_t>(report.t_grid.size());
+  const std::int64_t cell = options.cell_size;
+  const std::int64_t border = options.border;
+  util::RgbImage image(cols * cell + (cols + 1) * border,
+                       rows * cell + (rows + 1) * border);
+  // Dark background doubles as the grid lines.
+  image.fill_rect(0, 0, image.width, image.height, 24, 24, 24);
+
+  for (std::int64_t row = 0; row < rows; ++row) {
+    // Longest window on top, matching the paper's axes.
+    const std::int64_t t =
+        report.t_grid[static_cast<std::size_t>(rows - 1 - row)];
+    for (std::int64_t col = 0; col < cols; ++col) {
+      const double v_th = report.v_th_grid[static_cast<std::size_t>(col)];
+      const CellResult* result = report.find(v_th, t);
+      const std::int64_t x0 = border + col * (cell + border);
+      const std::int64_t y0 = border + row * (cell + border);
+      if (result == nullptr) {
+        image.fill_rect(x0, y0, cell, cell, 60, 60, 60);
+        continue;
+      }
+      const auto value = result->robustness_at(epsilon);
+      if (!value) {
+        // Skipped by the learnability filter: hatched gray block.
+        image.fill_rect(x0, y0, cell, cell, 96, 96, 96);
+        for (std::int64_t d = 0; d < cell; d += 4)
+          image.fill_rect(x0 + d, y0 + d, 2, 2, 140, 140, 140);
+        continue;
+      }
+      const double t_norm = (*value - options.min_value) /
+                            (options.max_value - options.min_value);
+      std::uint8_t r = 0, g = 0, b = 0;
+      util::colormap_viridis(t_norm, r, g, b);
+      image.fill_rect(x0, y0, cell, cell, r, g, b);
+    }
+  }
+  util::write_ppm(path, image);
+}
+
+}  // namespace snnsec::core

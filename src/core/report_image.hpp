@@ -1,0 +1,26 @@
+// Render ExplorationReport heat maps as PPM images — the visual twin of the
+// paper's Figures 6-8 (viridis colormap, V_th on x, T on y with the longest
+// window on top, gray cells = skipped by the learnability filter).
+#pragma once
+
+#include <string>
+
+#include "core/report.hpp"
+
+namespace snnsec::core {
+
+struct HeatmapImageOptions {
+  int cell_size = 32;  ///< pixels per grid cell
+  int border = 2;      ///< grid line thickness
+  /// Value range mapped onto the colormap.
+  double min_value = 0.0;
+  double max_value = 1.0;
+};
+
+/// Write the clean-accuracy map (epsilon == 0) or the robustness map at
+/// `epsilon` to a binary PPM file.
+void write_heatmap_ppm(const ExplorationReport& report, double epsilon,
+                       const std::string& path,
+                       const HeatmapImageOptions& options = {});
+
+}  // namespace snnsec::core

@@ -1,0 +1,41 @@
+#include "core/sweet_spot.hpp"
+
+#include <algorithm>
+
+namespace snnsec::core {
+
+std::vector<RankedCell> SweetSpotFinder::rank(
+    const ExplorationReport& report) const {
+  std::vector<RankedCell> out;
+  for (const auto& cell : report.cells) {
+    if (!cell.learnable || cell.clean_accuracy < min_clean_accuracy_)
+      continue;
+    const auto r = cell.robustness_at(epsilon_);
+    if (!r) continue;
+    out.push_back({&cell, *r});
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const RankedCell& a, const RankedCell& b) {
+                     return a.score > b.score;
+                   });
+  return out;
+}
+
+const CellResult* SweetSpotFinder::best(
+    const ExplorationReport& report) const {
+  const auto ranked = rank(report);
+  return ranked.empty() ? nullptr : ranked.front().cell;
+}
+
+std::vector<RankedCell> SweetSpotFinder::fragile_high_accuracy_cells(
+    const ExplorationReport& report, double fragility_threshold) const {
+  std::vector<RankedCell> out;
+  for (const auto& ranked : rank(report)) {
+    if (ranked.score < fragility_threshold) out.push_back(ranked);
+  }
+  // rank() returns best-first; fragile list reads worst-first.
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace snnsec::core

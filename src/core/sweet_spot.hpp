@@ -1,0 +1,45 @@
+// Sweet-spot analysis: "design trustworthy SNNs by fine-tuning their
+// structural parameters around the previously-found sweet spots"
+// (paper Sec. I-C / VI-C).
+//
+// A sweet spot is a learnable (V_th, T) cell whose robustness at the
+// target noise budget is maximal; ranking also exposes the paper's central
+// counter-example — cells with high clean accuracy and *low* robustness.
+#pragma once
+
+#include <vector>
+
+#include "core/report.hpp"
+
+namespace snnsec::core {
+
+struct RankedCell {
+  const CellResult* cell = nullptr;
+  double score = 0.0;  ///< robustness at the target ε
+};
+
+class SweetSpotFinder {
+ public:
+  /// `epsilon`: the noise budget robustness is ranked at;
+  /// `min_clean_accuracy`: learnability constraint (paper's A_th).
+  SweetSpotFinder(double epsilon, double min_clean_accuracy)
+      : epsilon_(epsilon), min_clean_accuracy_(min_clean_accuracy) {}
+
+  /// Learnable cells sorted by robustness at ε, best first.
+  std::vector<RankedCell> rank(const ExplorationReport& report) const;
+
+  /// The single best cell, or nullptr when no cell qualifies.
+  const CellResult* best(const ExplorationReport& report) const;
+
+  /// Cells that look trustworthy by accuracy but are fragile under attack:
+  /// clean accuracy >= `min_clean_accuracy` yet robustness at ε below
+  /// `fragility_threshold`. These are the paper's (A3) counter-examples.
+  std::vector<RankedCell> fragile_high_accuracy_cells(
+      const ExplorationReport& report, double fragility_threshold) const;
+
+ private:
+  double epsilon_;
+  double min_clean_accuracy_;
+};
+
+}  // namespace snnsec::core

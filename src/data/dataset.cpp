@@ -1,0 +1,110 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace snnsec::data {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+void Dataset::validate() const {
+  SNNSEC_CHECK(images.ndim() == 4, "Dataset: images must be [N,C,H,W], got "
+                                       << images.shape().to_string());
+  SNNSEC_CHECK(static_cast<std::int64_t>(labels.size()) == size(),
+               "Dataset: " << labels.size() << " labels for " << size()
+                           << " images");
+  SNNSEC_CHECK(num_classes > 1, "Dataset: need >= 2 classes");
+  for (const auto l : labels)
+    SNNSEC_CHECK(l >= 0 && l < num_classes,
+                 "Dataset: label " << l << " outside [0, " << num_classes
+                                   << ")");
+  const float* p = images.data();
+  for (std::int64_t i = 0; i < images.numel(); ++i)
+    SNNSEC_CHECK(p[i] >= -1e-6f && p[i] <= 1.0f + 1e-6f,
+                 "Dataset: pixel " << p[i] << " outside [0, 1]");
+}
+
+Dataset Dataset::subset(std::int64_t begin, std::int64_t end) const {
+  const std::int64_t n = size();
+  SNNSEC_CHECK(0 <= begin && begin <= end && end <= n,
+               "Dataset::subset: bad range [" << begin << ", " << end
+                                              << ") of " << n);
+  Dataset out;
+  out.num_classes = num_classes;
+  std::vector<std::int64_t> dims = images.shape().dims();
+  dims[0] = end - begin;
+  out.images = Tensor((Shape(dims)));
+  const std::int64_t row = images.numel() / std::max<std::int64_t>(n, 1);
+  std::memcpy(out.images.data(), images.data() + begin * row,
+              static_cast<std::size_t>((end - begin) * row) * sizeof(float));
+  out.labels.assign(labels.begin() + begin, labels.begin() + end);
+  return out;
+}
+
+Dataset Dataset::take(std::int64_t n) const {
+  return subset(0, std::min(n, size()));
+}
+
+void Dataset::shuffle(util::Rng& rng) {
+  const std::int64_t n = size();
+  std::vector<std::int64_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  const std::int64_t row = images.numel() / std::max<std::int64_t>(n, 1);
+  Tensor shuffled(images.shape());
+  std::vector<std::int64_t> new_labels(labels.size());
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t src = order[static_cast<std::size_t>(i)];
+    std::memcpy(shuffled.data() + i * row, images.data() + src * row,
+                static_cast<std::size_t>(row) * sizeof(float));
+    new_labels[static_cast<std::size_t>(i)] =
+        labels[static_cast<std::size_t>(src)];
+  }
+  images = std::move(shuffled);
+  labels = std::move(new_labels);
+}
+
+std::vector<std::int64_t> Dataset::class_histogram() const {
+  std::vector<std::int64_t> hist(static_cast<std::size_t>(num_classes), 0);
+  for (const auto l : labels) ++hist[static_cast<std::size_t>(l)];
+  return hist;
+}
+
+std::string Dataset::summary() const {
+  std::ostringstream oss;
+  oss << "N=" << size() << " " << num_classes << " classes " << channels()
+      << "x" << height() << "x" << width();
+  return oss.str();
+}
+
+std::pair<Dataset, Dataset> split(const Dataset& d, std::int64_t train_n) {
+  SNNSEC_CHECK(train_n >= 0 && train_n <= d.size(),
+               "split: train_n " << train_n << " out of range");
+  return {d.subset(0, train_n), d.subset(train_n, d.size())};
+}
+
+std::string ascii_art(const Tensor& images, std::int64_t index) {
+  SNNSEC_CHECK(images.ndim() == 4, "ascii_art: images must be [N,C,H,W]");
+  SNNSEC_CHECK(index >= 0 && index < images.dim(0), "ascii_art: bad index");
+  static constexpr char kRamp[] = " .:-=+*#%@";
+  const std::int64_t h = images.dim(2);
+  const std::int64_t w = images.dim(3);
+  const float* p = images.data() + index * images.dim(1) * h * w;  // channel 0
+  std::ostringstream oss;
+  for (std::int64_t y = 0; y < h; ++y) {
+    for (std::int64_t x = 0; x < w; ++x) {
+      const float v = std::clamp(p[y * w + x], 0.0f, 1.0f);
+      const int level = static_cast<int>(v * 9.0f + 0.5f);
+      oss << kRamp[level] << kRamp[level];  // double width ~ square aspect
+    }
+    oss << '\n';
+  }
+  return oss.str();
+}
+
+}  // namespace snnsec::data

@@ -1,0 +1,50 @@
+// Dataset: images + labels, with split/subset/shuffle utilities.
+//
+// Images are [N, C, H, W] float32 in [0, 1]; labels are class indices.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace snnsec::data {
+
+struct Dataset {
+  tensor::Tensor images;              // [N, C, H, W]
+  std::vector<std::int64_t> labels;   // N entries
+  std::int64_t num_classes = 10;
+
+  std::int64_t size() const { return images.ndim() > 0 ? images.dim(0) : 0; }
+  std::int64_t channels() const { return images.dim(1); }
+  std::int64_t height() const { return images.dim(2); }
+  std::int64_t width() const { return images.dim(3); }
+
+  /// Throws util::Error when shapes/labels/pixel range are inconsistent.
+  void validate() const;
+
+  /// Rows [begin, end).
+  Dataset subset(std::int64_t begin, std::int64_t end) const;
+
+  /// First n rows (n clamped to size).
+  Dataset take(std::int64_t n) const;
+
+  /// In-place deterministic permutation of (image, label) pairs.
+  void shuffle(util::Rng& rng);
+
+  /// Per-class sample counts.
+  std::vector<std::int64_t> class_histogram() const;
+
+  /// "N=1000 10 classes 1x28x28".
+  std::string summary() const;
+};
+
+/// Split into (train, test) with the first `train_n` rows training.
+std::pair<Dataset, Dataset> split(const Dataset& d, std::int64_t train_n);
+
+/// ASCII-art rendering of one image (for terminal demos / examples).
+std::string ascii_art(const tensor::Tensor& images, std::int64_t index);
+
+}  // namespace snnsec::data

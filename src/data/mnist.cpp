@@ -1,0 +1,118 @@
+#include "data/mnist.hpp"
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace snnsec::data {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+namespace {
+
+std::uint32_t read_be32(std::istream& is, const std::string& path) {
+  unsigned char b[4];
+  is.read(reinterpret_cast<char*>(b), 4);
+  SNNSEC_CHECK(is.good(), "truncated IDX header in " << path);
+  return (static_cast<std::uint32_t>(b[0]) << 24) |
+         (static_cast<std::uint32_t>(b[1]) << 16) |
+         (static_cast<std::uint32_t>(b[2]) << 8) |
+         static_cast<std::uint32_t>(b[3]);
+}
+
+std::string find_file(const std::string& dir,
+                      std::initializer_list<const char*> candidates) {
+  for (const char* name : candidates) {
+    const std::filesystem::path p = std::filesystem::path(dir) / name;
+    if (std::filesystem::exists(p)) return p.string();
+  }
+  return {};
+}
+
+}  // namespace
+
+Tensor load_idx_images(const std::string& path, std::int64_t max_items) {
+  std::ifstream is(path, std::ios::binary);
+  SNNSEC_CHECK(is.is_open(), "cannot open IDX image file " << path);
+  const std::uint32_t magic = read_be32(is, path);
+  SNNSEC_CHECK(magic == 0x00000803,
+               "bad IDX image magic 0x" << std::hex << magic << " in " << path);
+  std::int64_t n = read_be32(is, path);
+  const std::int64_t h = read_be32(is, path);
+  const std::int64_t w = read_be32(is, path);
+  SNNSEC_CHECK(n > 0 && h > 0 && w > 0 && h <= 4096 && w <= 4096,
+               "implausible IDX image dims in " << path);
+  if (max_items >= 0 && max_items < n) n = max_items;
+
+  Tensor out(Shape{n, 1, h, w});
+  std::vector<unsigned char> row(static_cast<std::size_t>(h * w));
+  for (std::int64_t i = 0; i < n; ++i) {
+    is.read(reinterpret_cast<char*>(row.data()),
+            static_cast<std::streamsize>(row.size()));
+    SNNSEC_CHECK(is.good(), "truncated IDX image payload in " << path);
+    float* dst = out.data() + i * h * w;
+    for (std::size_t j = 0; j < row.size(); ++j)
+      dst[j] = static_cast<float>(row[j]) / 255.0f;
+  }
+  return out;
+}
+
+std::vector<std::int64_t> load_idx_labels(const std::string& path,
+                                          std::int64_t max_items) {
+  std::ifstream is(path, std::ios::binary);
+  SNNSEC_CHECK(is.is_open(), "cannot open IDX label file " << path);
+  const std::uint32_t magic = read_be32(is, path);
+  SNNSEC_CHECK(magic == 0x00000801,
+               "bad IDX label magic 0x" << std::hex << magic << " in " << path);
+  std::int64_t n = read_be32(is, path);
+  SNNSEC_CHECK(n > 0, "empty IDX label file " << path);
+  if (max_items >= 0 && max_items < n) n = max_items;
+  std::vector<std::int64_t> out(static_cast<std::size_t>(n));
+  for (auto& l : out) {
+    unsigned char b = 0;
+    is.read(reinterpret_cast<char*>(&b), 1);
+    SNNSEC_CHECK(is.good(), "truncated IDX label payload in " << path);
+    l = b;
+  }
+  return out;
+}
+
+bool mnist_available(const std::string& dir) {
+  if (dir.empty()) return false;
+  return !find_file(dir, {"train-images-idx3-ubyte", "train-images.idx3-ubyte"})
+              .empty() &&
+         !find_file(dir, {"train-labels-idx1-ubyte", "train-labels.idx1-ubyte"})
+              .empty() &&
+         !find_file(dir, {"t10k-images-idx3-ubyte", "t10k-images.idx3-ubyte"})
+              .empty() &&
+         !find_file(dir, {"t10k-labels-idx1-ubyte", "t10k-labels.idx1-ubyte"})
+              .empty();
+}
+
+Dataset load_mnist(const std::string& dir, bool train,
+                   std::int64_t max_items) {
+  const std::string images_path =
+      train ? find_file(dir, {"train-images-idx3-ubyte",
+                              "train-images.idx3-ubyte"})
+            : find_file(dir, {"t10k-images-idx3-ubyte",
+                              "t10k-images.idx3-ubyte"});
+  const std::string labels_path =
+      train ? find_file(dir, {"train-labels-idx1-ubyte",
+                              "train-labels.idx1-ubyte"})
+            : find_file(dir, {"t10k-labels-idx1-ubyte",
+                              "t10k-labels.idx1-ubyte"});
+  SNNSEC_CHECK(!images_path.empty() && !labels_path.empty(),
+               "MNIST files not found in " << dir);
+  Dataset out;
+  out.images = load_idx_images(images_path, max_items);
+  out.labels = load_idx_labels(labels_path, max_items);
+  out.num_classes = 10;
+  SNNSEC_CHECK(out.size() == static_cast<std::int64_t>(out.labels.size()),
+               "MNIST image/label count mismatch in " << dir);
+  return out;
+}
+
+}  // namespace snnsec::data

@@ -1,0 +1,33 @@
+// MNIST IDX file loader (LeCun's format, uncompressed).
+//
+// When real MNIST files are available (set MNIST_DIR or pass the directory
+// explicitly), every experiment runs on them; otherwise the synthetic digit
+// generator is used (see provider.hpp). File names accepted per split:
+//   train-images-idx3-ubyte / train-images.idx3-ubyte
+//   train-labels-idx1-ubyte / train-labels.idx1-ubyte
+//   t10k-images-idx3-ubyte  / t10k-images.idx3-ubyte   (test)
+//   t10k-labels-idx1-ubyte  / t10k-labels.idx1-ubyte
+#pragma once
+
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace snnsec::data {
+
+/// Parse a big-endian IDX image file into [N, 1, H, W] in [0, 1].
+tensor::Tensor load_idx_images(const std::string& path,
+                               std::int64_t max_items = -1);
+
+/// Parse a big-endian IDX label file.
+std::vector<std::int64_t> load_idx_labels(const std::string& path,
+                                          std::int64_t max_items = -1);
+
+/// True when `dir` contains a recognizable MNIST split layout.
+bool mnist_available(const std::string& dir);
+
+/// Load the train or test split from `dir`; `max_items` truncates (-1: all).
+Dataset load_mnist(const std::string& dir, bool train,
+                   std::int64_t max_items = -1);
+
+}  // namespace snnsec::data

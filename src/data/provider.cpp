@@ -1,0 +1,55 @@
+#include "data/provider.hpp"
+
+#include "data/mnist.hpp"
+#include "data/resize.hpp"
+#include "data/synth_digits.hpp"
+#include "data/synth_fashion.hpp"
+#include "util/env.hpp"
+#include "util/logging.hpp"
+
+namespace snnsec::data {
+
+std::string resolve_mnist_dir(const DataSpec& spec) {
+  if (!spec.mnist_dir.empty()) return spec.mnist_dir;
+  return util::env_or(
+      spec.task == TaskKind::kFashion ? "FASHION_MNIST_DIR" : "MNIST_DIR",
+      "");
+}
+
+DataBundle load_digits(const DataSpec& spec) {
+  SNNSEC_CHECK(spec.train_n > 0 && spec.test_n > 0,
+               "load_digits: split sizes must be positive");
+  DataBundle bundle;
+  const std::string mnist_dir = resolve_mnist_dir(spec);
+  if (!spec.force_synthetic && mnist_available(mnist_dir)) {
+    SNNSEC_LOG_INFO("loading MNIST from " << mnist_dir);
+    bundle.train = load_mnist(mnist_dir, /*train=*/true, spec.train_n);
+    bundle.test = load_mnist(mnist_dir, /*train=*/false, spec.test_n);
+    if (spec.image_size != bundle.train.height()) {
+      bundle.train.images = resize_bilinear(bundle.train.images,
+                                            spec.image_size, spec.image_size);
+      bundle.test.images = resize_bilinear(bundle.test.images,
+                                           spec.image_size, spec.image_size);
+    }
+    bundle.from_mnist = true;
+  } else {
+    SynthConfig cfg;
+    cfg.image_size = spec.image_size;
+    util::Rng rng(spec.seed);
+    util::Rng train_rng = rng.fork("synth-train");
+    util::Rng test_rng = rng.fork("synth-test");
+    if (spec.task == TaskKind::kFashion) {
+      bundle.train = generate_fashion(spec.train_n, cfg, train_rng);
+      bundle.test = generate_fashion(spec.test_n, cfg, test_rng);
+    } else {
+      bundle.train = generate_digits(spec.train_n, cfg, train_rng);
+      bundle.test = generate_digits(spec.test_n, cfg, test_rng);
+    }
+    bundle.from_mnist = false;
+  }
+  bundle.train.validate();
+  bundle.test.validate();
+  return bundle;
+}
+
+}  // namespace snnsec::data

@@ -1,0 +1,43 @@
+// Data provider: one call that yields the experiment's train/test split,
+// using real MNIST when available and the synthetic generator otherwise.
+#pragma once
+
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace snnsec::data {
+
+/// Which 10-class image task to load.
+enum class TaskKind {
+  kDigits,   ///< MNIST or the synthetic digit generator
+  kFashion,  ///< Fashion-MNIST (same IDX format) or the synthetic garments
+};
+
+struct DataSpec {
+  std::int64_t train_n = 1000;
+  std::int64_t test_n = 200;
+  std::int64_t image_size = 28;      ///< images resized/rendered to this
+  std::uint64_t seed = 42;           ///< synthetic generation seed
+  TaskKind task = TaskKind::kDigits;
+  /// IDX directory; empty -> MNIST_DIR (digits) / FASHION_MNIST_DIR
+  /// (fashion) environment variables.
+  std::string mnist_dir;
+  bool force_synthetic = false;      ///< ignore IDX files even if present
+};
+
+struct DataBundle {
+  Dataset train;
+  Dataset test;
+  bool from_mnist = false;
+
+  const char* source() const { return from_mnist ? "mnist" : "synthetic"; }
+};
+
+/// Resolve the MNIST directory: spec.mnist_dir, else $MNIST_DIR, else "".
+std::string resolve_mnist_dir(const DataSpec& spec);
+
+/// Load (or generate) the split described by `spec`.
+DataBundle load_digits(const DataSpec& spec);
+
+}  // namespace snnsec::data

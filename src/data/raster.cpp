@@ -1,0 +1,228 @@
+#include "data/raster.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace snnsec::data {
+
+Affine Affine::then(const Affine& o) const {
+  Affine r;
+  r.a = o.a * a + o.b * c;
+  r.b = o.a * b + o.b * d;
+  r.c = o.c * a + o.d * c;
+  r.d = o.c * b + o.d * d;
+  r.tx = o.a * tx + o.b * ty + o.tx;
+  r.ty = o.c * tx + o.d * ty + o.ty;
+  return r;
+}
+
+Affine Affine::rotation(float radians, Vec2 center) {
+  const float cs = std::cos(radians);
+  const float sn = std::sin(radians);
+  Affine r;
+  r.a = cs;
+  r.b = -sn;
+  r.c = sn;
+  r.d = cs;
+  r.tx = center.x - cs * center.x + sn * center.y;
+  r.ty = center.y - sn * center.x - cs * center.y;
+  return r;
+}
+
+Affine Affine::scaling(float sx, float sy, Vec2 center) {
+  Affine r;
+  r.a = sx;
+  r.d = sy;
+  r.tx = center.x * (1.0f - sx);
+  r.ty = center.y * (1.0f - sy);
+  return r;
+}
+
+Affine Affine::translation(float dx, float dy) {
+  Affine r;
+  r.tx = dx;
+  r.ty = dy;
+  return r;
+}
+
+Affine Affine::shear(float kx, Vec2 center) {
+  Affine r;
+  r.b = kx;
+  r.tx = -kx * center.y;
+  return r;
+}
+
+void Canvas::stamp(Vec2 center, float r, float intensity) {
+  SNNSEC_CHECK(r > 0.0f, "Canvas::stamp: non-positive radius");
+  const std::int64_t x0 =
+      std::max<std::int64_t>(0, static_cast<std::int64_t>(center.x - r - 1));
+  const std::int64_t x1 = std::min<std::int64_t>(
+      width_ - 1, static_cast<std::int64_t>(center.x + r + 1));
+  const std::int64_t y0 =
+      std::max<std::int64_t>(0, static_cast<std::int64_t>(center.y - r - 1));
+  const std::int64_t y1 = std::min<std::int64_t>(
+      height_ - 1, static_cast<std::int64_t>(center.y + r + 1));
+  for (std::int64_t y = y0; y <= y1; ++y) {
+    for (std::int64_t x = x0; x <= x1; ++x) {
+      const float dx = static_cast<float>(x) + 0.5f - center.x;
+      const float dy = static_cast<float>(y) + 0.5f - center.y;
+      const float dist = std::sqrt(dx * dx + dy * dy);
+      // Soft edge over ~1px at the rim.
+      const float v = std::clamp((r - dist) + 0.5f, 0.0f, 1.0f) * intensity;
+      float& px = pixels_[static_cast<std::size_t>(y * width_ + x)];
+      px = std::max(px, v);
+    }
+  }
+}
+
+void Canvas::stroke_polyline(const std::vector<Vec2>& points, float radius,
+                             float intensity) {
+  if (points.empty()) return;
+  if (points.size() == 1) {
+    stamp(points[0], radius, intensity);
+    return;
+  }
+  const float step = 0.4f;  // stamp spacing in pixels
+  for (std::size_t i = 0; i + 1 < points.size(); ++i) {
+    const Vec2 p0 = points[i];
+    const Vec2 p1 = points[i + 1];
+    const float len = std::hypot(p1.x - p0.x, p1.y - p0.y);
+    const int n = std::max(1, static_cast<int>(len / step));
+    for (int k = 0; k <= n; ++k) {
+      const float t = static_cast<float>(k) / static_cast<float>(n);
+      stamp({p0.x + t * (p1.x - p0.x), p0.y + t * (p1.y - p0.y)}, radius,
+            intensity);
+    }
+  }
+}
+
+void Canvas::fill_polygon(const std::vector<Vec2>& vertices, float intensity) {
+  SNNSEC_CHECK(vertices.size() >= 3, "fill_polygon: need >= 3 vertices");
+  // Even-odd point-in-polygon test.
+  const auto inside = [&](float px, float py) {
+    bool in = false;
+    for (std::size_t i = 0, j = vertices.size() - 1; i < vertices.size();
+         j = i++) {
+      const Vec2& a = vertices[i];
+      const Vec2& b = vertices[j];
+      const bool crosses = (a.y > py) != (b.y > py);
+      if (crosses &&
+          px < (b.x - a.x) * (py - a.y) / (b.y - a.y + 1e-12f) + a.x)
+        in = !in;
+    }
+    return in;
+  };
+  // Bounding box.
+  float min_x = vertices[0].x, max_x = vertices[0].x;
+  float min_y = vertices[0].y, max_y = vertices[0].y;
+  for (const Vec2& v : vertices) {
+    min_x = std::min(min_x, v.x);
+    max_x = std::max(max_x, v.x);
+    min_y = std::min(min_y, v.y);
+    max_y = std::max(max_y, v.y);
+  }
+  const std::int64_t x0 =
+      std::max<std::int64_t>(0, static_cast<std::int64_t>(min_x));
+  const std::int64_t x1 =
+      std::min<std::int64_t>(width_ - 1, static_cast<std::int64_t>(max_x) + 1);
+  const std::int64_t y0 =
+      std::max<std::int64_t>(0, static_cast<std::int64_t>(min_y));
+  const std::int64_t y1 = std::min<std::int64_t>(
+      height_ - 1, static_cast<std::int64_t>(max_y) + 1);
+  // 2x2 supersampling -> 5 coverage levels per pixel.
+  for (std::int64_t y = y0; y <= y1; ++y) {
+    for (std::int64_t x = x0; x <= x1; ++x) {
+      int hits = 0;
+      for (const float dx : {0.25f, 0.75f})
+        for (const float dy : {0.25f, 0.75f})
+          if (inside(static_cast<float>(x) + dx, static_cast<float>(y) + dy))
+            ++hits;
+      if (hits == 0) continue;
+      const float v = intensity * static_cast<float>(hits) / 4.0f;
+      float& px = pixels_[static_cast<std::size_t>(y * width_ + x)];
+      px = std::max(px, v);
+    }
+  }
+}
+
+void Canvas::add_noise(float stddev, util::Rng& rng) {
+  if (stddev <= 0.0f) return;
+  for (float& p : pixels_) {
+    p = std::clamp(p + static_cast<float>(rng.normal(0.0, stddev)), 0.0f,
+                   1.0f);
+  }
+}
+
+void Canvas::blur(int passes) {
+  std::vector<float> tmp(pixels_.size());
+  for (int pass = 0; pass < passes; ++pass) {
+    // Horizontal [1 2 1] / 4.
+    for (std::int64_t y = 0; y < height_; ++y) {
+      for (std::int64_t x = 0; x < width_; ++x) {
+        const float l = pixels_[static_cast<std::size_t>(
+            y * width_ + std::max<std::int64_t>(0, x - 1))];
+        const float m = pixels_[static_cast<std::size_t>(y * width_ + x)];
+        const float r = pixels_[static_cast<std::size_t>(
+            y * width_ + std::min(width_ - 1, x + 1))];
+        tmp[static_cast<std::size_t>(y * width_ + x)] =
+            0.25f * l + 0.5f * m + 0.25f * r;
+      }
+    }
+    // Vertical [1 2 1] / 4.
+    for (std::int64_t y = 0; y < height_; ++y) {
+      for (std::int64_t x = 0; x < width_; ++x) {
+        const float u = tmp[static_cast<std::size_t>(
+            std::max<std::int64_t>(0, y - 1) * width_ + x)];
+        const float m = tmp[static_cast<std::size_t>(y * width_ + x)];
+        const float d = tmp[static_cast<std::size_t>(
+            std::min(height_ - 1, y + 1) * width_ + x)];
+        pixels_[static_cast<std::size_t>(y * width_ + x)] =
+            0.25f * u + 0.5f * m + 0.25f * d;
+      }
+    }
+  }
+}
+
+void Canvas::copy_to(tensor::Tensor& images, std::int64_t index,
+                     std::int64_t channel) const {
+  SNNSEC_CHECK(images.ndim() == 4 && images.dim(2) == height_ &&
+                   images.dim(3) == width_,
+               "Canvas::copy_to: tensor shape mismatch");
+  SNNSEC_CHECK(index >= 0 && index < images.dim(0) && channel >= 0 &&
+                   channel < images.dim(1),
+               "Canvas::copy_to: bad index/channel");
+  float* dst = images.data() +
+               (index * images.dim(1) + channel) * height_ * width_;
+  std::copy(pixels_.begin(), pixels_.end(), dst);
+}
+
+std::vector<Vec2> sample_quad_bezier(Vec2 p0, Vec2 p1, Vec2 p2, int n) {
+  SNNSEC_CHECK(n >= 2, "sample_quad_bezier: need >= 2 samples");
+  std::vector<Vec2> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const float t = static_cast<float>(i) / static_cast<float>(n - 1);
+    const float u = 1.0f - t;
+    out.push_back({u * u * p0.x + 2 * u * t * p1.x + t * t * p2.x,
+                   u * u * p0.y + 2 * u * t * p1.y + t * t * p2.y});
+  }
+  return out;
+}
+
+std::vector<Vec2> sample_ellipse(Vec2 center, float rx, float ry, float angle0,
+                                 float angle1, int n) {
+  SNNSEC_CHECK(n >= 2, "sample_ellipse: need >= 2 samples");
+  std::vector<Vec2> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const float t = static_cast<float>(i) / static_cast<float>(n - 1);
+    const float a = angle0 + t * (angle1 - angle0);
+    out.push_back({center.x + rx * std::cos(a), center.y + ry * std::sin(a)});
+  }
+  return out;
+}
+
+}  // namespace snnsec::data

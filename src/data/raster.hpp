@@ -1,0 +1,88 @@
+// Anti-aliased software rasterizer for the synthetic digit generator.
+//
+// A Canvas is a single-channel float image in [0, 1]. Strokes are stamped
+// as soft discs along sampled curve points with max blending, producing
+// smooth, pen-like glyphs similar in texture to MNIST digits.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace snnsec::data {
+
+struct Vec2 {
+  float x = 0.0f;
+  float y = 0.0f;
+};
+
+/// 2-D affine transform: p' = A p + t.
+struct Affine {
+  float a = 1.0f, b = 0.0f;  // row 1
+  float c = 0.0f, d = 1.0f;  // row 2
+  float tx = 0.0f, ty = 0.0f;
+
+  Vec2 apply(Vec2 p) const {
+    return {a * p.x + b * p.y + tx, c * p.x + d * p.y + ty};
+  }
+
+  /// Compose: (this ∘ other)(p) = this(other(p)).
+  Affine then(const Affine& outer) const;
+
+  static Affine identity() { return {}; }
+  /// Rotation by `radians` about `center`.
+  static Affine rotation(float radians, Vec2 center);
+  static Affine scaling(float sx, float sy, Vec2 center);
+  static Affine translation(float dx, float dy);
+  static Affine shear(float kx, Vec2 center);
+};
+
+class Canvas {
+ public:
+  Canvas(std::int64_t height, std::int64_t width)
+      : height_(height), width_(width),
+        pixels_(static_cast<std::size_t>(height * width), 0.0f) {}
+
+  std::int64_t height() const { return height_; }
+  std::int64_t width() const { return width_; }
+  const std::vector<float>& pixels() const { return pixels_; }
+  std::vector<float>& pixels() { return pixels_; }
+
+  /// Stamp a soft disc of radius `r` (pixels) at `center` (pixel coords),
+  /// max-blended, peak intensity `intensity`.
+  void stamp(Vec2 center, float r, float intensity = 1.0f);
+
+  /// Draw a polyline with the given stroke radius by stamping along it at
+  /// sub-pixel spacing.
+  void stroke_polyline(const std::vector<Vec2>& points, float radius,
+                       float intensity = 1.0f);
+
+  /// Fill a simple polygon (even-odd rule) with 2x2 supersampled coverage,
+  /// max-blended at the given intensity. Vertices in pixel coordinates.
+  void fill_polygon(const std::vector<Vec2>& vertices, float intensity = 1.0f);
+
+  /// Additive Gaussian pixel noise, clamped to [0, 1].
+  void add_noise(float stddev, util::Rng& rng);
+
+  /// 3x3 binomial blur (approximate Gaussian), `passes` times.
+  void blur(int passes = 1);
+
+  /// Copy into channel `c` of images[index] ([N, C, H, W] tensor).
+  void copy_to(tensor::Tensor& images, std::int64_t index,
+               std::int64_t channel = 0) const;
+
+ private:
+  std::int64_t height_;
+  std::int64_t width_;
+  std::vector<float> pixels_;
+};
+
+/// Sample a quadratic Bézier (p0, p1 control, p2) at `n` points (n >= 2).
+std::vector<Vec2> sample_quad_bezier(Vec2 p0, Vec2 p1, Vec2 p2, int n);
+
+/// Sample an ellipse arc: center, radii, [angle0, angle1] radians, n points.
+std::vector<Vec2> sample_ellipse(Vec2 center, float rx, float ry,
+                                 float angle0, float angle1, int n);
+
+}  // namespace snnsec::data

@@ -1,0 +1,51 @@
+#include "data/resize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace snnsec::data {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Tensor resize_bilinear(const Tensor& images, std::int64_t out_h,
+                       std::int64_t out_w) {
+  SNNSEC_CHECK(images.ndim() == 4, "resize_bilinear expects [N,C,H,W]");
+  SNNSEC_CHECK(out_h > 0 && out_w > 0, "resize_bilinear: bad output size");
+  const std::int64_t n = images.dim(0);
+  const std::int64_t c = images.dim(1);
+  const std::int64_t h = images.dim(2);
+  const std::int64_t w = images.dim(3);
+  if (h == out_h && w == out_w) return images;
+
+  Tensor out(Shape{n, c, out_h, out_w});
+  const float sy = static_cast<float>(h) / static_cast<float>(out_h);
+  const float sx = static_cast<float>(w) / static_cast<float>(out_w);
+  for (std::int64_t nc = 0; nc < n * c; ++nc) {
+    const float* src = images.data() + nc * h * w;
+    float* dst = out.data() + nc * out_h * out_w;
+    for (std::int64_t oy = 0; oy < out_h; ++oy) {
+      const float fy = (static_cast<float>(oy) + 0.5f) * sy - 0.5f;
+      const std::int64_t y0 =
+          std::clamp<std::int64_t>(static_cast<std::int64_t>(std::floor(fy)),
+                                   0, h - 1);
+      const std::int64_t y1 = std::min(y0 + 1, h - 1);
+      const float wy = std::clamp(fy - static_cast<float>(y0), 0.0f, 1.0f);
+      for (std::int64_t ox = 0; ox < out_w; ++ox) {
+        const float fx = (static_cast<float>(ox) + 0.5f) * sx - 0.5f;
+        const std::int64_t x0 = std::clamp<std::int64_t>(
+            static_cast<std::int64_t>(std::floor(fx)), 0, w - 1);
+        const std::int64_t x1 = std::min(x0 + 1, w - 1);
+        const float wx = std::clamp(fx - static_cast<float>(x0), 0.0f, 1.0f);
+        const float top = src[y0 * w + x0] * (1.0f - wx) + src[y0 * w + x1] * wx;
+        const float bot = src[y1 * w + x0] * (1.0f - wx) + src[y1 * w + x1] * wx;
+        dst[oy * out_w + ox] = top * (1.0f - wy) + bot * wy;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace snnsec::data

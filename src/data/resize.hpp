@@ -1,0 +1,16 @@
+// Bilinear image resize over [N, C, H, W] tensors — used to run MNIST at
+// the reduced resolutions of the quick experiment profiles.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+
+namespace snnsec::data {
+
+/// Resize every image to (out_h, out_w) with bilinear sampling
+/// (align_corners=false convention, matching common DL frameworks).
+tensor::Tensor resize_bilinear(const tensor::Tensor& images,
+                               std::int64_t out_h, std::int64_t out_w);
+
+}  // namespace snnsec::data

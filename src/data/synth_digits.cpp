@@ -1,0 +1,138 @@
+#include "data/synth_digits.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace snnsec::data {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+namespace {
+
+constexpr float kPi = 3.14159265358979323846f;
+constexpr int kCurveSamples = 24;
+
+std::vector<Vec2> bez(Vec2 a, Vec2 b, Vec2 c) {
+  return sample_quad_bezier(a, b, c, kCurveSamples);
+}
+
+std::vector<Vec2> line(Vec2 a, Vec2 b) { return {a, b}; }
+
+std::vector<Vec2> ellipse(Vec2 c, float rx, float ry, float a0 = 0.0f,
+                          float a1 = 2.0f * kPi) {
+  return sample_ellipse(c, rx, ry, a0, a1, 2 * kCurveSamples);
+}
+
+}  // namespace
+
+std::vector<std::vector<Vec2>> digit_strokes(std::int64_t digit) {
+  // Coordinates in the unit box, x right, y down; glyphs roughly centered,
+  // occupying [0.25, 0.75] x [0.18, 0.82].
+  switch (digit) {
+    case 0:
+      return {ellipse({0.50f, 0.50f}, 0.20f, 0.30f)};
+    case 1:
+      return {line({0.52f, 0.20f}, {0.52f, 0.80f}),
+              line({0.40f, 0.32f}, {0.52f, 0.20f})};
+    case 2:
+      return {bez({0.30f, 0.36f}, {0.50f, 0.10f}, {0.70f, 0.36f}),
+              bez({0.70f, 0.36f}, {0.66f, 0.58f}, {0.30f, 0.80f}),
+              line({0.30f, 0.80f}, {0.72f, 0.80f})};
+    case 3:
+      return {bez({0.32f, 0.24f}, {0.72f, 0.22f}, {0.50f, 0.48f}),
+              bez({0.50f, 0.48f}, {0.78f, 0.62f}, {0.34f, 0.80f})};
+    case 4:
+      return {line({0.64f, 0.20f}, {0.64f, 0.80f}),
+              line({0.64f, 0.20f}, {0.30f, 0.60f}),
+              line({0.30f, 0.60f}, {0.76f, 0.60f})};
+    case 5:
+      return {line({0.70f, 0.20f}, {0.36f, 0.20f}),
+              line({0.36f, 0.20f}, {0.34f, 0.46f}),
+              bez({0.34f, 0.46f}, {0.80f, 0.44f}, {0.62f, 0.74f}),
+              bez({0.62f, 0.74f}, {0.50f, 0.86f}, {0.30f, 0.74f})};
+    case 6:
+      return {bez({0.66f, 0.20f}, {0.40f, 0.30f}, {0.34f, 0.58f}),
+              ellipse({0.50f, 0.64f}, 0.17f, 0.17f)};
+    case 7:
+      return {line({0.30f, 0.20f}, {0.72f, 0.20f}),
+              line({0.72f, 0.20f}, {0.44f, 0.80f})};
+    case 8:
+      return {ellipse({0.50f, 0.35f}, 0.15f, 0.14f),
+              ellipse({0.50f, 0.65f}, 0.19f, 0.16f)};
+    case 9:
+      return {ellipse({0.50f, 0.37f}, 0.17f, 0.16f),
+              bez({0.67f, 0.37f}, {0.66f, 0.62f}, {0.52f, 0.80f})};
+    default:
+      SNNSEC_FAIL("digit_strokes: digit " << digit << " outside [0, 9]");
+  }
+}
+
+void render_digit(std::int64_t digit, const SynthConfig& config,
+                  util::Rng& rng, Canvas& canvas) {
+  SNNSEC_CHECK(canvas.height() == config.image_size &&
+                   canvas.width() == config.image_size,
+               "render_digit: canvas does not match config.image_size");
+  const float size = static_cast<float>(config.image_size);
+  const Vec2 center{0.5f, 0.5f};
+
+  // Per-sample random transform in normalized space.
+  const float rot = static_cast<float>(
+      rng.uniform(-config.max_rotation, config.max_rotation));
+  const float sx =
+      static_cast<float>(rng.uniform(config.min_scale, config.max_scale));
+  const float sy =
+      static_cast<float>(rng.uniform(config.min_scale, config.max_scale));
+  const float shear_k =
+      static_cast<float>(rng.uniform(-config.max_shear, config.max_shear));
+  const float dx = static_cast<float>(
+      rng.uniform(-config.max_translate, config.max_translate));
+  const float dy = static_cast<float>(
+      rng.uniform(-config.max_translate, config.max_translate));
+
+  const Affine xform = Affine::rotation(rot, center)
+                           .then(Affine::shear(shear_k, center))
+                           .then(Affine::scaling(sx, sy, center))
+                           .then(Affine::translation(dx, dy));
+
+  const float radius = config.stroke_radius * size / 28.0f *
+                       static_cast<float>(rng.uniform(0.8, 1.25));
+
+  for (const auto& stroke : digit_strokes(digit)) {
+    std::vector<Vec2> pts;
+    pts.reserve(stroke.size());
+    for (Vec2 p : stroke) {
+      // Control-point jitter, then affine, then to pixel coordinates.
+      p.x += static_cast<float>(rng.uniform(-config.jitter, config.jitter));
+      p.y += static_cast<float>(rng.uniform(-config.jitter, config.jitter));
+      const Vec2 q = xform.apply(p);
+      pts.push_back({q.x * size, q.y * size});
+    }
+    canvas.stroke_polyline(pts, radius);
+  }
+  if (config.blur_passes > 0) canvas.blur(config.blur_passes);
+  canvas.add_noise(config.noise_stddev, rng);
+}
+
+Dataset generate_digits(std::int64_t n, const SynthConfig& config,
+                        util::Rng& rng) {
+  SNNSEC_CHECK(n > 0, "generate_digits: n must be positive");
+  SNNSEC_CHECK(config.image_size >= 8, "generate_digits: image too small");
+  Dataset out;
+  out.num_classes = 10;
+  out.images = Tensor(Shape{n, 1, config.image_size, config.image_size});
+  out.labels.resize(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t digit = i % 10;  // class-balanced by construction
+    Canvas canvas(config.image_size, config.image_size);
+    render_digit(digit, config, rng, canvas);
+    canvas.copy_to(out.images, i);
+    out.labels[static_cast<std::size_t>(i)] = digit;
+  }
+  // Decorrelate label order from index order.
+  out.shuffle(rng);
+  return out;
+}
+
+}  // namespace snnsec::data

@@ -1,0 +1,48 @@
+// Procedural handwritten-digit generator: the offline MNIST substitute.
+//
+// Why this is a faithful substitution (see DESIGN.md §2): the paper's
+// methodology needs a learnable 10-class grayscale image task with
+// MNIST-like tensor shapes. Each digit 0–9 is defined as a set of vector
+// strokes (Bézier segments and ellipse arcs in a normalized box); each
+// generated sample applies per-sample random jitter — rotation, anisotropic
+// scale, shear, translation, stroke-width variation, control-point
+// perturbation, pixel noise and blur — so the classes have real
+// within-class variance and the task is non-trivially learnable, while
+// remaining exactly the same code path as MNIST downstream (encoding,
+// training, attacks, exploration).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "data/raster.hpp"
+#include "util/rng.hpp"
+
+namespace snnsec::data {
+
+struct SynthConfig {
+  std::int64_t image_size = 28;  ///< square canvas
+  float stroke_radius = 1.3f;    ///< base pen radius at 28px, scaled with size
+  float noise_stddev = 0.03f;    ///< additive pixel noise
+  float max_rotation = 0.20f;    ///< radians (~11°)
+  float max_shear = 0.15f;
+  float min_scale = 0.85f;
+  float max_scale = 1.10f;
+  float max_translate = 0.06f;   ///< fraction of image size
+  float jitter = 0.02f;          ///< control-point perturbation (fraction)
+  int blur_passes = 1;
+};
+
+/// Vector strokes of a single digit in the unit box (x right, y down).
+std::vector<std::vector<Vec2>> digit_strokes(std::int64_t digit);
+
+/// Rasterize one sample of `digit` with random per-sample jitter.
+void render_digit(std::int64_t digit, const SynthConfig& config,
+                  util::Rng& rng, Canvas& canvas);
+
+/// Generate a class-balanced dataset of n samples (labels cycle 0..9).
+Dataset generate_digits(std::int64_t n, const SynthConfig& config,
+                        util::Rng& rng);
+
+}  // namespace snnsec::data

@@ -1,0 +1,209 @@
+#include "data/synth_fashion.hpp"
+
+#include <array>
+
+#include "util/error.hpp"
+
+namespace snnsec::data {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+namespace {
+
+using Poly = std::vector<Vec2>;
+
+FashionGlyph make_tshirt() {
+  FashionGlyph g;
+  g.fills.push_back(Poly{{0.38f, 0.28f}, {0.62f, 0.28f}, {0.66f, 0.32f},
+                         {0.80f, 0.38f}, {0.74f, 0.50f}, {0.66f, 0.46f},
+                         {0.66f, 0.78f}, {0.34f, 0.78f}, {0.34f, 0.46f},
+                         {0.26f, 0.50f}, {0.20f, 0.38f}, {0.34f, 0.32f}});
+  // Neckline.
+  g.strokes.push_back(Poly{{0.44f, 0.28f}, {0.50f, 0.33f}, {0.56f, 0.28f}});
+  return g;
+}
+
+FashionGlyph make_trouser() {
+  FashionGlyph g;
+  g.fills.push_back(Poly{{0.36f, 0.22f}, {0.64f, 0.22f}, {0.66f, 0.80f},
+                         {0.54f, 0.80f}, {0.51f, 0.42f}, {0.49f, 0.42f},
+                         {0.46f, 0.80f}, {0.34f, 0.80f}});
+  g.strokes.push_back(Poly{{0.36f, 0.28f}, {0.64f, 0.28f}});  // waistband
+  return g;
+}
+
+FashionGlyph make_pullover() {
+  FashionGlyph g;
+  // Long sleeves hanging down the sides.
+  g.fills.push_back(Poly{{0.38f, 0.26f}, {0.62f, 0.26f}, {0.68f, 0.32f},
+                         {0.78f, 0.40f}, {0.74f, 0.74f}, {0.66f, 0.72f},
+                         {0.66f, 0.78f}, {0.34f, 0.78f}, {0.34f, 0.72f},
+                         {0.26f, 0.74f}, {0.22f, 0.40f}, {0.32f, 0.32f}});
+  g.strokes.push_back(Poly{{0.34f, 0.70f}, {0.66f, 0.70f}});  // hem rib
+  return g;
+}
+
+FashionGlyph make_dress() {
+  FashionGlyph g;
+  g.fills.push_back(Poly{{0.43f, 0.20f}, {0.57f, 0.20f}, {0.60f, 0.38f},
+                         {0.72f, 0.80f}, {0.28f, 0.80f}, {0.40f, 0.38f}});
+  g.strokes.push_back(Poly{{0.41f, 0.40f}, {0.59f, 0.40f}});  // waist
+  return g;
+}
+
+FashionGlyph make_coat() {
+  FashionGlyph g;
+  g.fills.push_back(Poly{{0.36f, 0.24f}, {0.64f, 0.24f}, {0.70f, 0.30f},
+                         {0.80f, 0.42f}, {0.76f, 0.78f}, {0.68f, 0.76f},
+                         {0.68f, 0.80f}, {0.32f, 0.80f}, {0.32f, 0.76f},
+                         {0.24f, 0.78f}, {0.20f, 0.42f}, {0.30f, 0.30f}});
+  // Open front.
+  g.strokes.push_back(Poly{{0.50f, 0.26f}, {0.50f, 0.80f}});
+  return g;
+}
+
+FashionGlyph make_sandal() {
+  FashionGlyph g;
+  g.fills.push_back(Poly{{0.18f, 0.62f}, {0.82f, 0.58f}, {0.84f, 0.70f},
+                         {0.18f, 0.72f}});
+  // Straps.
+  g.strokes.push_back(Poly{{0.30f, 0.62f}, {0.42f, 0.44f}, {0.54f, 0.60f}});
+  g.strokes.push_back(Poly{{0.56f, 0.59f}, {0.66f, 0.42f}, {0.78f, 0.58f}});
+  return g;
+}
+
+FashionGlyph make_shirt() {
+  FashionGlyph g;
+  g.fills.push_back(Poly{{0.38f, 0.26f}, {0.62f, 0.26f}, {0.66f, 0.30f},
+                         {0.80f, 0.36f}, {0.74f, 0.48f}, {0.66f, 0.44f},
+                         {0.66f, 0.80f}, {0.34f, 0.80f}, {0.34f, 0.44f},
+                         {0.26f, 0.48f}, {0.20f, 0.36f}, {0.34f, 0.30f}});
+  // Button placket + collar.
+  g.strokes.push_back(Poly{{0.50f, 0.30f}, {0.50f, 0.78f}});
+  g.strokes.push_back(Poly{{0.44f, 0.26f}, {0.50f, 0.32f}, {0.56f, 0.26f}});
+  return g;
+}
+
+FashionGlyph make_sneaker() {
+  FashionGlyph g;
+  g.fills.push_back(Poly{{0.18f, 0.56f}, {0.42f, 0.52f}, {0.58f, 0.44f},
+                         {0.80f, 0.54f}, {0.84f, 0.66f}, {0.82f, 0.72f},
+                         {0.18f, 0.72f}});
+  // Laces + sole line.
+  g.strokes.push_back(Poly{{0.44f, 0.54f}, {0.56f, 0.50f}});
+  g.strokes.push_back(Poly{{0.46f, 0.58f}, {0.60f, 0.54f}});
+  g.strokes.push_back(Poly{{0.20f, 0.68f}, {0.82f, 0.68f}});
+  return g;
+}
+
+FashionGlyph make_bag() {
+  FashionGlyph g;
+  g.fills.push_back(Poly{{0.24f, 0.44f}, {0.76f, 0.44f}, {0.80f, 0.78f},
+                         {0.20f, 0.78f}});
+  // Handle.
+  g.strokes.push_back(
+      sample_ellipse({0.50f, 0.44f}, 0.14f, 0.12f, 3.14159265f, 6.2831853f,
+                     24));
+  return g;
+}
+
+FashionGlyph make_boot() {
+  FashionGlyph g;
+  g.fills.push_back(Poly{{0.34f, 0.22f}, {0.54f, 0.22f}, {0.55f, 0.52f},
+                         {0.78f, 0.58f}, {0.82f, 0.70f}, {0.80f, 0.74f},
+                         {0.32f, 0.74f}});
+  g.strokes.push_back(Poly{{0.34f, 0.68f}, {0.80f, 0.68f}});  // sole
+  return g;
+}
+
+}  // namespace
+
+const FashionGlyph& fashion_glyph(std::int64_t label) {
+  static const std::array<FashionGlyph, 10> kGlyphs = {
+      make_tshirt(),  make_trouser(), make_pullover(), make_dress(),
+      make_coat(),    make_sandal(),  make_shirt(),    make_sneaker(),
+      make_bag(),     make_boot()};
+  SNNSEC_CHECK(label >= 0 && label <= 9,
+               "fashion_glyph: label " << label << " outside [0, 9]");
+  return kGlyphs[static_cast<std::size_t>(label)];
+}
+
+const char* fashion_class_name(std::int64_t label) {
+  static constexpr const char* kNames[] = {
+      "t-shirt", "trouser", "pullover", "dress",  "coat",
+      "sandal",  "shirt",   "sneaker",  "bag",    "ankle boot"};
+  SNNSEC_CHECK(label >= 0 && label <= 9,
+               "fashion_class_name: label " << label << " outside [0, 9]");
+  return kNames[label];
+}
+
+void render_fashion(std::int64_t label, const SynthConfig& config,
+                    util::Rng& rng, Canvas& canvas) {
+  SNNSEC_CHECK(canvas.height() == config.image_size &&
+                   canvas.width() == config.image_size,
+               "render_fashion: canvas does not match config.image_size");
+  const FashionGlyph& glyph = fashion_glyph(label);
+  const float size = static_cast<float>(config.image_size);
+  const Vec2 center{0.5f, 0.5f};
+
+  const float rot = static_cast<float>(
+      rng.uniform(-config.max_rotation, config.max_rotation));
+  const float sx =
+      static_cast<float>(rng.uniform(config.min_scale, config.max_scale));
+  const float sy =
+      static_cast<float>(rng.uniform(config.min_scale, config.max_scale));
+  const float shear_k =
+      static_cast<float>(rng.uniform(-config.max_shear, config.max_shear));
+  const float dx = static_cast<float>(
+      rng.uniform(-config.max_translate, config.max_translate));
+  const float dy = static_cast<float>(
+      rng.uniform(-config.max_translate, config.max_translate));
+  const Affine xform = Affine::rotation(rot, center)
+                           .then(Affine::shear(shear_k, center))
+                           .then(Affine::scaling(sx, sy, center))
+                           .then(Affine::translation(dx, dy));
+
+  // Fabric shade varies per garment (Fashion-MNIST has rich gray levels).
+  const float shade = static_cast<float>(rng.uniform(0.55, 0.95));
+
+  auto to_pixels = [&](const std::vector<Vec2>& pts) {
+    std::vector<Vec2> out;
+    out.reserve(pts.size());
+    for (Vec2 p : pts) {
+      p.x += static_cast<float>(rng.uniform(-config.jitter, config.jitter));
+      p.y += static_cast<float>(rng.uniform(-config.jitter, config.jitter));
+      const Vec2 q = xform.apply(p);
+      out.push_back({q.x * size, q.y * size});
+    }
+    return out;
+  };
+
+  for (const auto& fill : glyph.fills)
+    canvas.fill_polygon(to_pixels(fill), shade);
+  const float radius = config.stroke_radius * size / 28.0f;
+  for (const auto& stroke : glyph.strokes)
+    canvas.stroke_polyline(to_pixels(stroke), radius, 1.0f);
+  if (config.blur_passes > 0) canvas.blur(config.blur_passes);
+  canvas.add_noise(config.noise_stddev, rng);
+}
+
+Dataset generate_fashion(std::int64_t n, const SynthConfig& config,
+                         util::Rng& rng) {
+  SNNSEC_CHECK(n > 0, "generate_fashion: n must be positive");
+  Dataset out;
+  out.num_classes = 10;
+  out.images = Tensor(Shape{n, 1, config.image_size, config.image_size});
+  out.labels.resize(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t label = i % 10;
+    Canvas canvas(config.image_size, config.image_size);
+    render_fashion(label, config, rng, canvas);
+    canvas.copy_to(out.images, i);
+    out.labels[static_cast<std::size_t>(i)] = label;
+  }
+  out.shuffle(rng);
+  return out;
+}
+
+}  // namespace snnsec::data

@@ -1,0 +1,41 @@
+// Procedural Fashion-MNIST-like generator — the second dataset the paper's
+// community baseline mentions ("datasets like MNIST and Fashion MNIST").
+//
+// Each of the ten Fashion-MNIST classes (t-shirt, trouser, pullover, dress,
+// coat, sandal, shirt, sneaker, bag, ankle boot) is a filled silhouette
+// polygon plus optional stroke details, rendered with the same per-sample
+// affine/noise jitter as the digit generator, so the exploration pipeline
+// runs unchanged on a texture-rich second task.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "data/raster.hpp"
+#include "data/synth_digits.hpp"  // SynthConfig
+
+namespace snnsec::data {
+
+struct FashionGlyph {
+  /// Filled silhouettes (unit-box vertex lists).
+  std::vector<std::vector<Vec2>> fills;
+  /// Stroke details (polylines in the unit box), drawn darker regions.
+  std::vector<std::vector<Vec2>> strokes;
+};
+
+/// Silhouette + detail geometry for class 0..9 (Fashion-MNIST label order).
+const FashionGlyph& fashion_glyph(std::int64_t label);
+
+/// Human-readable class name ("t-shirt", "trouser", ...).
+const char* fashion_class_name(std::int64_t label);
+
+/// Rasterize one jittered sample of `label`.
+void render_fashion(std::int64_t label, const SynthConfig& config,
+                    util::Rng& rng, Canvas& canvas);
+
+/// Class-balanced dataset of n samples.
+Dataset generate_fashion(std::int64_t n, const SynthConfig& config,
+                         util::Rng& rng);
+
+}  // namespace snnsec::data

@@ -1,0 +1,107 @@
+#include "nn/activations.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace snnsec::nn {
+
+using tensor::Tensor;
+
+Tensor ReLU::forward(const Tensor& x, Mode mode) {
+  Tensor y(x.shape());
+  const float* px = x.data();
+  float* py = y.data();
+  const std::int64_t n = x.numel();
+  if (cache_enabled(mode)) {
+    mask_ = Tensor(x.shape());
+    float* pm = mask_.data();
+    for (std::int64_t i = 0; i < n; ++i) {
+      const bool pos = px[i] > 0.0f;
+      py[i] = pos ? px[i] : 0.0f;
+      pm[i] = pos ? 1.0f : 0.0f;
+    }
+    have_cache_ = true;
+  } else {
+    for (std::int64_t i = 0; i < n; ++i) py[i] = px[i] > 0.0f ? px[i] : 0.0f;
+  }
+  return y;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  SNNSEC_CHECK(have_cache_ && grad_out.shape() == mask_.shape(),
+               "ReLU::backward cache/shape mismatch");
+  Tensor dx = grad_out;
+  dx.mul_(mask_);
+  return dx;
+}
+
+Tensor Scale::forward(const Tensor& x, Mode /*mode*/) {
+  Tensor y = x;
+  y.mul_scalar_(factor_);
+  return y;
+}
+
+Tensor Scale::backward(const Tensor& grad_out) {
+  Tensor dx = grad_out;
+  dx.mul_scalar_(factor_);
+  return dx;
+}
+
+std::string Scale::name() const {
+  std::ostringstream oss;
+  oss << "Scale(" << factor_ << ")";
+  return oss.str();
+}
+
+Tensor Sigmoid::forward(const Tensor& x, Mode mode) {
+  Tensor y(x.shape());
+  const float* px = x.data();
+  float* py = y.data();
+  const std::int64_t n = x.numel();
+  for (std::int64_t i = 0; i < n; ++i)
+    py[i] = 1.0f / (1.0f + std::exp(-px[i]));
+  if (cache_enabled(mode)) {
+    output_ = y;
+    have_cache_ = true;
+  }
+  return y;
+}
+
+Tensor Sigmoid::backward(const Tensor& grad_out) {
+  SNNSEC_CHECK(have_cache_ && grad_out.shape() == output_.shape(),
+               "Sigmoid::backward cache/shape mismatch");
+  Tensor dx(grad_out.shape());
+  const float* pg = grad_out.data();
+  const float* po = output_.data();
+  float* pd = dx.data();
+  const std::int64_t n = dx.numel();
+  for (std::int64_t i = 0; i < n; ++i) pd[i] = pg[i] * po[i] * (1.0f - po[i]);
+  return dx;
+}
+
+Tensor Tanh::forward(const Tensor& x, Mode mode) {
+  Tensor y(x.shape());
+  const float* px = x.data();
+  float* py = y.data();
+  const std::int64_t n = x.numel();
+  for (std::int64_t i = 0; i < n; ++i) py[i] = std::tanh(px[i]);
+  if (cache_enabled(mode)) {
+    output_ = y;
+    have_cache_ = true;
+  }
+  return y;
+}
+
+Tensor Tanh::backward(const Tensor& grad_out) {
+  SNNSEC_CHECK(have_cache_ && grad_out.shape() == output_.shape(),
+               "Tanh::backward cache/shape mismatch");
+  Tensor dx(grad_out.shape());
+  const float* pg = grad_out.data();
+  const float* po = output_.data();
+  float* pd = dx.data();
+  const std::int64_t n = dx.numel();
+  for (std::int64_t i = 0; i < n; ++i) pd[i] = pg[i] * (1.0f - po[i] * po[i]);
+  return dx;
+}
+
+}  // namespace snnsec::nn

@@ -1,0 +1,60 @@
+// Point-wise activation layers.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace snnsec::nn {
+
+class ReLU final : public Layer {
+ public:
+  tensor::Tensor forward(const tensor::Tensor& x, Mode mode) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+  std::string name() const override { return "ReLU"; }
+  void clear_cache() override { mask_ = tensor::Tensor(); }
+
+ private:
+  tensor::Tensor mask_;  // 1 where x > 0
+  bool have_cache_ = false;
+};
+
+/// Multiply by a fixed scalar (used e.g. as an input-current gain in front
+/// of spike encoders; gradient scales by the same factor).
+class Scale final : public Layer {
+ public:
+  explicit Scale(float factor) : factor_(factor) {}
+
+  tensor::Tensor forward(const tensor::Tensor& x, Mode mode) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+  std::string name() const override;
+
+  float factor() const { return factor_; }
+
+ private:
+  float factor_;
+};
+
+class Sigmoid final : public Layer {
+ public:
+  tensor::Tensor forward(const tensor::Tensor& x, Mode mode) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+  std::string name() const override { return "Sigmoid"; }
+  void clear_cache() override { output_ = tensor::Tensor(); }
+
+ private:
+  tensor::Tensor output_;
+  bool have_cache_ = false;
+};
+
+class Tanh final : public Layer {
+ public:
+  tensor::Tensor forward(const tensor::Tensor& x, Mode mode) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+  std::string name() const override { return "Tanh"; }
+  void clear_cache() override { output_ = tensor::Tensor(); }
+
+ private:
+  tensor::Tensor output_;
+  bool have_cache_ = false;
+};
+
+}  // namespace snnsec::nn

@@ -1,0 +1,168 @@
+#include "nn/conv2d.hpp"
+
+#include <sstream>
+
+#include "nn/init.hpp"
+#include "tensor/gemm.hpp"
+#include "util/thread_pool.hpp"
+
+namespace snnsec::nn {
+
+using tensor::ConvGeometry;
+using tensor::Shape;
+using tensor::Tensor;
+using tensor::Trans;
+
+Conv2d::Conv2d(Conv2dSpec spec, util::Rng& rng, bool bias)
+    : spec_(spec),
+      has_bias_(bias),
+      weight_("weight",
+              kaiming_uniform(
+                  Shape{spec.out_channels,
+                        spec.in_channels * spec.kernel * spec.kernel},
+                  spec.in_channels * spec.kernel * spec.kernel, rng)),
+      bias_("bias",
+            bias ? bias_uniform(spec.out_channels,
+                                spec.in_channels * spec.kernel * spec.kernel,
+                                rng)
+                 : Tensor(Shape{spec.out_channels})) {
+  SNNSEC_CHECK(spec.in_channels > 0 && spec.out_channels > 0,
+               "Conv2d: channel counts must be positive");
+  SNNSEC_CHECK(spec.kernel > 0 && spec.stride > 0 && spec.padding >= 0,
+               "Conv2d: bad kernel/stride/padding");
+}
+
+ConvGeometry Conv2d::geometry(std::int64_t h, std::int64_t w) const {
+  ConvGeometry g;
+  g.channels = spec_.in_channels;
+  g.height = h;
+  g.width = w;
+  g.kernel_h = g.kernel_w = spec_.kernel;
+  g.stride_h = g.stride_w = spec_.stride;
+  g.pad_h = g.pad_w = spec_.padding;
+  g.validate();
+  return g;
+}
+
+Tensor Conv2d::forward(const Tensor& x, Mode mode) {
+  SNNSEC_CHECK(x.ndim() == 4 && x.dim(1) == spec_.in_channels,
+               name() << ": bad input shape " << x.shape().to_string());
+  const std::int64_t n = x.dim(0);
+  const ConvGeometry g = geometry(x.dim(2), x.dim(3));
+  const std::int64_t oh = g.out_h();
+  const std::int64_t ow = g.out_w();
+  const std::int64_t ohw = oh * ow;
+  const std::int64_t patch = g.patch_size();
+  const std::int64_t image_size = g.channels * g.height * g.width;
+
+  Tensor columns(Shape{patch, n * ohw});
+  {
+    float* pcol = columns.data();
+    const float* px = x.data();
+    util::parallel_for(0, n, [&](std::int64_t i) {
+      tensor::im2col_ld(g, px + i * image_size, pcol, n * ohw, i * ohw);
+    });
+  }
+
+  // raw = W [Cout, patch] x columns [patch, N*OHW] -> [Cout, N*OHW]
+  Tensor raw = tensor::matmul(weight_.value, columns);
+
+  // Reorder [Cout][n][ohw] -> [n][Cout][ohw] and add bias.
+  Tensor y(Shape{n, spec_.out_channels, oh, ow});
+  {
+    const float* praw = raw.data();
+    float* py = y.data();
+    const float* pb = bias_.value.data();
+    for (std::int64_t co = 0; co < spec_.out_channels; ++co) {
+      const float b = has_bias_ ? pb[co] : 0.0f;
+      for (std::int64_t i = 0; i < n; ++i) {
+        const float* src = praw + co * (n * ohw) + i * ohw;
+        float* dst = py + (i * spec_.out_channels + co) * ohw;
+        for (std::int64_t j = 0; j < ohw; ++j) dst[j] = src[j] + b;
+      }
+    }
+  }
+
+  if (cache_enabled(mode)) {
+    cached_columns_ = std::move(columns);
+    cached_geom_ = g;
+    cached_batch_ = n;
+    have_cache_ = true;
+  }
+  return y;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  SNNSEC_CHECK(have_cache_, name() << "::backward without cached forward");
+  const ConvGeometry& g = cached_geom_;
+  const std::int64_t n = cached_batch_;
+  const std::int64_t oh = g.out_h();
+  const std::int64_t ow = g.out_w();
+  const std::int64_t ohw = oh * ow;
+  const std::int64_t image_size = g.channels * g.height * g.width;
+  SNNSEC_CHECK(grad_out.ndim() == 4 && grad_out.dim(0) == n &&
+                   grad_out.dim(1) == spec_.out_channels &&
+                   grad_out.dim(2) == oh && grad_out.dim(3) == ow,
+               name() << "::backward: bad grad shape "
+                      << grad_out.shape().to_string());
+
+  // Reorder grad to GEMM layout: G [Cout, N*OHW].
+  Tensor g_mat(Shape{spec_.out_channels, n * ohw});
+  {
+    const float* pg = grad_out.data();
+    float* pm = g_mat.data();
+    for (std::int64_t i = 0; i < n; ++i)
+      for (std::int64_t co = 0; co < spec_.out_channels; ++co) {
+        const float* src = pg + (i * spec_.out_channels + co) * ohw;
+        float* dst = pm + co * (n * ohw) + i * ohw;
+        for (std::int64_t j = 0; j < ohw; ++j) dst[j] = src[j];
+      }
+  }
+
+  // dW += G x columns^T : [Cout, patch]
+  tensor::gemm(Trans::kNo, Trans::kYes, 1.0f, g_mat, cached_columns_, 1.0f,
+               weight_.grad);
+
+  if (has_bias_) {
+    float* pb = bias_.grad.data();
+    const float* pm = g_mat.data();
+    for (std::int64_t co = 0; co < spec_.out_channels; ++co) {
+      double acc = 0.0;
+      const float* row = pm + co * (n * ohw);
+      for (std::int64_t j = 0; j < n * ohw; ++j) acc += row[j];
+      pb[co] += static_cast<float>(acc);
+    }
+  }
+
+  // dColumns = W^T x G : [patch, N*OHW]; then col2im per sample.
+  Tensor dcol = tensor::matmul(weight_.value, g_mat, Trans::kYes, Trans::kNo);
+  Tensor dx(Shape{n, g.channels, g.height, g.width});
+  {
+    const float* pd = dcol.data();
+    float* px = dx.data();
+    util::parallel_for(0, n, [&](std::int64_t i) {
+      tensor::col2im_ld(g, pd, px + i * image_size, n * ohw, i * ohw);
+    });
+  }
+  return dx;
+}
+
+std::vector<Parameter*> Conv2d::parameters() {
+  if (has_bias_) return {&weight_, &bias_};
+  return {&weight_};
+}
+
+std::string Conv2d::name() const {
+  std::ostringstream oss;
+  oss << "Conv2d(" << spec_.in_channels << "->" << spec_.out_channels << ", "
+      << spec_.kernel << "x" << spec_.kernel << ", stride=" << spec_.stride
+      << ", pad=" << spec_.padding << ")";
+  return oss.str();
+}
+
+void Conv2d::clear_cache() {
+  cached_columns_ = Tensor();
+  have_cache_ = false;
+}
+
+}  // namespace snnsec::nn

@@ -1,0 +1,63 @@
+// 2-D convolution (cross-correlation, PyTorch convention) via batched
+// im2col + one large GEMM.
+//
+// Input  : [N, Cin, H, W]
+// Weight : stored as a [Cout, Cin*KH*KW] GEMM-ready matrix
+// Output : [N, Cout, OH, OW]
+//
+// Forward builds a single [Cin*KH*KW, N*OH*OW] column matrix for the whole
+// batch (cached for backward), multiplies once, and scatters rows back into
+// batch order. Backward reuses the cached columns for the weight gradient
+// and runs the transposed GEMM + col2im for the input gradient — the input
+// gradient is what white-box attacks differentiate through.
+#pragma once
+
+#include "nn/layer.hpp"
+#include "tensor/im2col.hpp"
+#include "util/rng.hpp"
+
+namespace snnsec::nn {
+
+struct Conv2dSpec {
+  std::int64_t in_channels = 1;
+  std::int64_t out_channels = 1;
+  std::int64_t kernel = 3;
+  std::int64_t stride = 1;
+  std::int64_t padding = 0;
+};
+
+class Conv2d final : public Layer {
+ public:
+  Conv2d(Conv2dSpec spec, util::Rng& rng, bool bias = true);
+
+  tensor::Tensor forward(const tensor::Tensor& x, Mode mode) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+  std::vector<Parameter*> parameters() override;
+  std::string name() const override;
+  void clear_cache() override;
+
+  const Conv2dSpec& spec() const { return spec_; }
+  Parameter& weight() { return weight_; }
+  Parameter& bias() { return bias_; }
+
+  /// Output spatial size for a given input size.
+  std::int64_t out_size(std::int64_t in_size) const {
+    return (in_size + 2 * spec_.padding - spec_.kernel) / spec_.stride + 1;
+  }
+
+ private:
+  tensor::ConvGeometry geometry(std::int64_t h, std::int64_t w) const;
+
+  Conv2dSpec spec_;
+  bool has_bias_;
+  Parameter weight_;  // [Cout, Cin*K*K]
+  Parameter bias_;    // [Cout]
+
+  // forward cache
+  tensor::Tensor cached_columns_;  // [patch, N*OH*OW]
+  tensor::ConvGeometry cached_geom_{};
+  std::int64_t cached_batch_ = 0;
+  bool have_cache_ = false;
+};
+
+}  // namespace snnsec::nn

@@ -1,0 +1,52 @@
+#include "nn/dropout.hpp"
+
+#include <sstream>
+
+namespace snnsec::nn {
+
+using tensor::Tensor;
+
+Dropout::Dropout(double p, util::Rng rng) : p_(p), rng_(rng) {
+  SNNSEC_CHECK(p >= 0.0 && p < 1.0, "Dropout: p must be in [0, 1), got " << p);
+}
+
+Tensor Dropout::forward(const Tensor& x, Mode mode) {
+  if (!stochastic_enabled(mode) || p_ == 0.0) {
+    identity_pass_ = true;
+    have_cache_ = true;
+    return x;
+  }
+  identity_pass_ = false;
+  const float scale = static_cast<float>(1.0 / (1.0 - p_));
+  mask_ = Tensor(x.shape());
+  Tensor y(x.shape());
+  const float* px = x.data();
+  float* pm = mask_.data();
+  float* py = y.data();
+  const std::int64_t n = x.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float keep = rng_.bernoulli(p_) ? 0.0f : scale;
+    pm[i] = keep;
+    py[i] = px[i] * keep;
+  }
+  have_cache_ = true;
+  return y;
+}
+
+Tensor Dropout::backward(const Tensor& grad_out) {
+  SNNSEC_CHECK(have_cache_, "Dropout::backward without forward");
+  if (identity_pass_) return grad_out;
+  SNNSEC_CHECK(grad_out.shape() == mask_.shape(),
+               "Dropout::backward shape mismatch");
+  Tensor dx = grad_out;
+  dx.mul_(mask_);
+  return dx;
+}
+
+std::string Dropout::name() const {
+  std::ostringstream oss;
+  oss << "Dropout(p=" << p_ << ")";
+  return oss.str();
+}
+
+}  // namespace snnsec::nn

@@ -1,0 +1,29 @@
+// Inverted dropout: active only in kTrain mode; identity in kEval.
+#pragma once
+
+#include "nn/layer.hpp"
+#include "util/rng.hpp"
+
+namespace snnsec::nn {
+
+class Dropout final : public Layer {
+ public:
+  /// `p` is the drop probability in [0, 1).
+  Dropout(double p, util::Rng rng);
+
+  tensor::Tensor forward(const tensor::Tensor& x, Mode mode) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+  std::string name() const override;
+  void clear_cache() override { mask_ = tensor::Tensor(); }
+
+  double p() const { return p_; }
+
+ private:
+  double p_;
+  util::Rng rng_;
+  tensor::Tensor mask_;
+  bool have_cache_ = false;
+  bool identity_pass_ = false;  // last forward was eval-mode
+};
+
+}  // namespace snnsec::nn

@@ -1,0 +1,41 @@
+// FeedforwardClassifier: a Sequential network + softmax-cross-entropy loss
+// packaged behind the Classifier interface. This is the (non-spiking) CNN
+// baseline of the paper.
+#pragma once
+
+#include <memory>
+
+#include "nn/classifier.hpp"
+#include "nn/loss.hpp"
+#include "nn/sequential.hpp"
+
+namespace snnsec::nn {
+
+class FeedforwardClassifier final : public Classifier {
+ public:
+  FeedforwardClassifier(std::unique_ptr<Sequential> net,
+                        std::int64_t num_classes, std::string description);
+
+  tensor::Tensor logits(const tensor::Tensor& x) override;
+  tensor::Tensor input_gradient(const tensor::Tensor& x,
+                                const std::vector<std::int64_t>& labels,
+                                double* loss_out) override;
+  tensor::Tensor output_gradient(const tensor::Tensor& x,
+                                 const tensor::Tensor& cotangent) override;
+  double train_batch(const tensor::Tensor& x,
+                     const std::vector<std::int64_t>& labels,
+                     Optimizer& optimizer) override;
+  std::vector<Parameter*> parameters() override;
+  std::int64_t num_classes() const override { return num_classes_; }
+  std::string describe() const override;
+
+  Sequential& net() { return *net_; }
+
+ private:
+  std::unique_ptr<Sequential> net_;
+  SoftmaxCrossEntropy loss_;
+  std::int64_t num_classes_;
+  std::string description_;
+};
+
+}  // namespace snnsec::nn

@@ -1,0 +1,23 @@
+#include "nn/flatten.hpp"
+
+namespace snnsec::nn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Tensor Flatten::forward(const Tensor& x, Mode mode) {
+  SNNSEC_CHECK(x.ndim() >= 1, "Flatten: rank-0 input");
+  if (cache_enabled(mode)) {
+    input_shape_ = x.shape();
+    have_cache_ = true;
+  }
+  const std::int64_t n = x.dim(0);
+  return x.reshaped(Shape{n, x.numel() / n});
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  SNNSEC_CHECK(have_cache_, "Flatten::backward without forward");
+  return grad_out.reshaped(input_shape_);
+}
+
+}  // namespace snnsec::nn

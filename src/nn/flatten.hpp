@@ -1,0 +1,19 @@
+// Flatten [N, ...] -> [N, prod(...)] (and un-flatten on backward).
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace snnsec::nn {
+
+class Flatten final : public Layer {
+ public:
+  tensor::Tensor forward(const tensor::Tensor& x, Mode mode) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+  std::string name() const override { return "Flatten"; }
+
+ private:
+  tensor::Shape input_shape_;
+  bool have_cache_ = false;
+};
+
+}  // namespace snnsec::nn

@@ -1,0 +1,32 @@
+#include "nn/init.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace snnsec::nn {
+
+tensor::Tensor kaiming_uniform(tensor::Shape shape, std::int64_t fan_in,
+                               util::Rng& rng) {
+  SNNSEC_CHECK(fan_in > 0, "kaiming_uniform: fan_in must be positive");
+  const float bound = 1.0f / std::sqrt(static_cast<float>(fan_in));
+  return tensor::Tensor::rand_uniform(std::move(shape), rng, -bound, bound);
+}
+
+tensor::Tensor xavier_uniform(tensor::Shape shape, std::int64_t fan_in,
+                              std::int64_t fan_out, util::Rng& rng) {
+  SNNSEC_CHECK(fan_in > 0 && fan_out > 0,
+               "xavier_uniform: fans must be positive");
+  const float bound =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return tensor::Tensor::rand_uniform(std::move(shape), rng, -bound, bound);
+}
+
+tensor::Tensor bias_uniform(std::int64_t size, std::int64_t fan_in,
+                            util::Rng& rng) {
+  SNNSEC_CHECK(fan_in > 0, "bias_uniform: fan_in must be positive");
+  const float bound = 1.0f / std::sqrt(static_cast<float>(fan_in));
+  return tensor::Tensor::rand_uniform(tensor::Shape{size}, rng, -bound, bound);
+}
+
+}  // namespace snnsec::nn

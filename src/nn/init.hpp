@@ -1,0 +1,24 @@
+// Weight initialization schemes (PyTorch-compatible defaults).
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace snnsec::nn {
+
+/// Kaiming/He uniform with a = sqrt(5), PyTorch's default for Conv2d/Linear
+/// weights: U(-b, b) with b = sqrt(6 / ((1 + a^2) * fan_in)) = 1/sqrt(fan_in).
+tensor::Tensor kaiming_uniform(tensor::Shape shape, std::int64_t fan_in,
+                               util::Rng& rng);
+
+/// Xavier/Glorot uniform: U(-b, b), b = sqrt(6 / (fan_in + fan_out)).
+tensor::Tensor xavier_uniform(tensor::Shape shape, std::int64_t fan_in,
+                              std::int64_t fan_out, util::Rng& rng);
+
+/// PyTorch default bias init: U(-1/sqrt(fan_in), 1/sqrt(fan_in)).
+tensor::Tensor bias_uniform(std::int64_t size, std::int64_t fan_in,
+                            util::Rng& rng);
+
+}  // namespace snnsec::nn

@@ -1,0 +1,63 @@
+// Layer: the unit of composition for feed-forward networks.
+//
+// snnsec uses layer-local manual backprop instead of a global autograd tape:
+// each layer caches during forward() exactly what its backward() needs, and
+// backward() both accumulates parameter gradients and returns the gradient
+// w.r.t. its input. The chain rule across a network is then a simple
+// reverse iteration (see Sequential). Correctness is enforced by
+// finite-difference gradient-check tests, including the input gradient that
+// white-box attacks consume.
+//
+// Contract:
+//  * backward() must be called at most once per forward(), with a gradient
+//    shaped like that forward()'s output.
+//  * Layers own their Parameters; parameters() exposes stable pointers.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/parameter.hpp"
+#include "tensor/tensor.hpp"
+
+namespace snnsec::nn {
+
+/// Forward-pass mode:
+///  kTrain  — cache for backward, stochastic layers (dropout) active.
+///  kEval   — no caching, deterministic inference.
+///  kAttack — cache for backward (white-box input gradients) but with
+///            inference semantics: stochastic layers are identity.
+enum class Mode { kTrain, kEval, kAttack };
+
+constexpr bool cache_enabled(Mode m) { return m != Mode::kEval; }
+constexpr bool stochastic_enabled(Mode m) { return m == Mode::kTrain; }
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  Layer() = default;
+  Layer(const Layer&) = delete;
+  Layer& operator=(const Layer&) = delete;
+
+  /// Compute the layer output; in kTrain mode, cache what backward() needs.
+  virtual tensor::Tensor forward(const tensor::Tensor& x, Mode mode) = 0;
+
+  /// Given dL/d(output), accumulate dL/d(params) into Parameter::grad and
+  /// return dL/d(input). Valid only after a kTrain forward().
+  virtual tensor::Tensor backward(const tensor::Tensor& grad_out) = 0;
+
+  /// Trainable parameters (empty for stateless layers).
+  virtual std::vector<Parameter*> parameters() { return {}; }
+
+  /// Human-readable layer description, e.g. "Conv2d(1->6, 5x5)".
+  virtual std::string name() const = 0;
+
+  /// Drop forward caches (frees memory between experiments).
+  virtual void clear_cache() {}
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace snnsec::nn

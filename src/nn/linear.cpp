@@ -1,0 +1,81 @@
+#include "nn/linear.hpp"
+
+#include <sstream>
+
+#include "nn/init.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/ops.hpp"
+
+namespace snnsec::nn {
+
+using tensor::Shape;
+using tensor::Tensor;
+using tensor::Trans;
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features,
+               util::Rng& rng, bool bias)
+    : in_features_(in_features),
+      out_features_(out_features),
+      has_bias_(bias),
+      weight_("weight",
+              kaiming_uniform(Shape{out_features, in_features}, in_features,
+                              rng)),
+      bias_("bias", bias ? bias_uniform(out_features, in_features, rng)
+                         : Tensor(Shape{out_features})) {
+  SNNSEC_CHECK(in_features > 0 && out_features > 0,
+               "Linear: feature counts must be positive");
+}
+
+Tensor Linear::forward(const Tensor& x, Mode mode) {
+  SNNSEC_CHECK(x.ndim() == 2 && x.dim(1) == in_features_,
+               "Linear(" << in_features_ << "->" << out_features_
+                         << "): bad input shape " << x.shape().to_string());
+  if (cache_enabled(mode)) {
+    cached_input_ = x;
+    have_cache_ = true;
+  }
+  Tensor y = tensor::matmul(x, weight_.value, Trans::kNo, Trans::kYes);
+  if (has_bias_) {
+    const std::int64_t n = y.dim(0);
+    float* py = y.data();
+    const float* pb = bias_.value.data();
+    for (std::int64_t i = 0; i < n; ++i)
+      for (std::int64_t j = 0; j < out_features_; ++j)
+        py[i * out_features_ + j] += pb[j];
+  }
+  return y;
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+  SNNSEC_CHECK(have_cache_, "Linear::backward without cached forward");
+  SNNSEC_CHECK(grad_out.ndim() == 2 && grad_out.dim(1) == out_features_ &&
+                   grad_out.dim(0) == cached_input_.dim(0),
+               "Linear::backward: bad grad shape "
+                   << grad_out.shape().to_string());
+  // dW += dY^T X ; db += colsum(dY) ; dX = dY W
+  tensor::gemm(Trans::kYes, Trans::kNo, 1.0f, grad_out, cached_input_, 1.0f,
+               weight_.grad);
+  if (has_bias_) {
+    const std::int64_t n = grad_out.dim(0);
+    const float* pg = grad_out.data();
+    float* pb = bias_.grad.data();
+    for (std::int64_t i = 0; i < n; ++i)
+      for (std::int64_t j = 0; j < out_features_; ++j)
+        pb[j] += pg[i * out_features_ + j];
+  }
+  return tensor::matmul(grad_out, weight_.value, Trans::kNo, Trans::kNo);
+}
+
+std::vector<Parameter*> Linear::parameters() {
+  if (has_bias_) return {&weight_, &bias_};
+  return {&weight_};
+}
+
+std::string Linear::name() const {
+  std::ostringstream oss;
+  oss << "Linear(" << in_features_ << "->" << out_features_
+      << (has_bias_ ? "" : ", no bias") << ")";
+  return oss.str();
+}
+
+}  // namespace snnsec::nn

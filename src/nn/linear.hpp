@@ -1,0 +1,37 @@
+// Fully-connected layer: y = x W^T + b.
+#pragma once
+
+#include "nn/layer.hpp"
+#include "util/rng.hpp"
+
+namespace snnsec::nn {
+
+class Linear final : public Layer {
+ public:
+  /// Weight [out_features, in_features] Kaiming-uniform, bias [out_features].
+  Linear(std::int64_t in_features, std::int64_t out_features, util::Rng& rng,
+         bool bias = true);
+
+  tensor::Tensor forward(const tensor::Tensor& x, Mode mode) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+  std::vector<Parameter*> parameters() override;
+  std::string name() const override;
+  void clear_cache() override { cached_input_ = tensor::Tensor(); }
+
+  std::int64_t in_features() const { return in_features_; }
+  std::int64_t out_features() const { return out_features_; }
+  Parameter& weight() { return weight_; }
+  Parameter& bias() { return bias_; }
+  bool has_bias() const { return has_bias_; }
+
+ private:
+  std::int64_t in_features_;
+  std::int64_t out_features_;
+  bool has_bias_;
+  Parameter weight_;
+  Parameter bias_;
+  tensor::Tensor cached_input_;
+  bool have_cache_ = false;
+};
+
+}  // namespace snnsec::nn

@@ -1,0 +1,75 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+#include "util/error.hpp"
+
+namespace snnsec::nn {
+
+using tensor::Tensor;
+
+double SoftmaxCrossEntropy::forward(const Tensor& logits,
+                                    const std::vector<std::int64_t>& labels) {
+  SNNSEC_CHECK(logits.ndim() == 2, "SoftmaxCrossEntropy: logits must be [N,C]");
+  const std::int64_t n = logits.dim(0);
+  const std::int64_t c = logits.dim(1);
+  SNNSEC_CHECK(static_cast<std::int64_t>(labels.size()) == n,
+               "SoftmaxCrossEntropy: " << labels.size() << " labels for " << n
+                                       << " rows");
+  const Tensor logp = tensor::log_softmax_rows(logits);
+  double loss = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t l = labels[static_cast<std::size_t>(i)];
+    SNNSEC_CHECK(l >= 0 && l < c, "label " << l << " outside [0, " << c << ")");
+    loss -= logp[i * c + l];
+  }
+  probs_ = tensor::exp(logp);
+  labels_ = labels;
+  have_cache_ = true;
+  return loss / static_cast<double>(n);
+}
+
+Tensor SoftmaxCrossEntropy::backward() const {
+  SNNSEC_CHECK(have_cache_, "SoftmaxCrossEntropy::backward without forward");
+  const std::int64_t n = probs_.dim(0);
+  const std::int64_t c = probs_.dim(1);
+  Tensor grad = probs_;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  float* pg = grad.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    pg[i * c + labels_[static_cast<std::size_t>(i)]] -= 1.0f;
+  }
+  grad.mul_scalar_(inv_n);
+  return grad;
+}
+
+double MseLoss::forward(const Tensor& output,
+                        const std::vector<std::int64_t>& labels) {
+  SNNSEC_CHECK(output.ndim() == 2, "MseLoss: output must be [N,C]");
+  const std::int64_t n = output.dim(0);
+  const std::int64_t c = output.dim(1);
+  SNNSEC_CHECK(static_cast<std::int64_t>(labels.size()) == n,
+               "MseLoss: label count mismatch");
+  diff_ = output;
+  float* pd = diff_.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t l = labels[static_cast<std::size_t>(i)];
+    SNNSEC_CHECK(l >= 0 && l < c, "label " << l << " outside [0, " << c << ")");
+    pd[i * c + l] -= 1.0f;
+  }
+  double loss = 0.0;
+  for (std::int64_t i = 0; i < diff_.numel(); ++i)
+    loss += static_cast<double>(pd[i]) * pd[i];
+  have_cache_ = true;
+  return loss / static_cast<double>(n * c);
+}
+
+Tensor MseLoss::backward() const {
+  SNNSEC_CHECK(have_cache_, "MseLoss::backward without forward");
+  Tensor grad = diff_;
+  grad.mul_scalar_(2.0f / static_cast<float>(diff_.numel()));
+  return grad;
+}
+
+}  // namespace snnsec::nn

@@ -1,0 +1,41 @@
+// Loss functions with exact analytic gradients.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace snnsec::nn {
+
+/// Mean softmax-cross-entropy over a batch.
+///
+/// forward(logits [N, C], labels) returns the scalar loss; backward()
+/// returns dL/dlogits = (softmax(logits) - onehot) / N for the most recent
+/// forward. This is the training loss for both the CNN and the SNN, and the
+/// objective PGD ascends.
+class SoftmaxCrossEntropy {
+ public:
+  double forward(const tensor::Tensor& logits,
+                 const std::vector<std::int64_t>& labels);
+  tensor::Tensor backward() const;
+
+ private:
+  tensor::Tensor probs_;  // softmax(logits)
+  std::vector<std::int64_t> labels_;
+  bool have_cache_ = false;
+};
+
+/// Mean squared error against one-hot targets (ablation alternative).
+class MseLoss {
+ public:
+  double forward(const tensor::Tensor& output,
+                 const std::vector<std::int64_t>& labels);
+  tensor::Tensor backward() const;
+
+ private:
+  tensor::Tensor diff_;  // output - onehot
+  bool have_cache_ = false;
+};
+
+}  // namespace snnsec::nn

@@ -1,0 +1,73 @@
+#include "nn/metrics.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "tensor/ops.hpp"
+#include "util/error.hpp"
+
+namespace snnsec::nn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Tensor slice_batch(const Tensor& x, std::int64_t begin, std::int64_t end) {
+  SNNSEC_CHECK(x.ndim() >= 1, "slice_batch: rank-0 tensor");
+  const std::int64_t n = x.dim(0);
+  SNNSEC_CHECK(0 <= begin && begin <= end && end <= n,
+               "slice_batch: bad range [" << begin << ", " << end << ") of "
+                                          << n);
+  std::vector<std::int64_t> dims = x.shape().dims();
+  dims[0] = end - begin;
+  Tensor out((Shape(dims)));
+  const std::int64_t row = x.numel() / std::max<std::int64_t>(n, 1);
+  std::memcpy(out.data(), x.data() + begin * row,
+              static_cast<std::size_t>((end - begin) * row) * sizeof(float));
+  return out;
+}
+
+double accuracy(Classifier& model, const Tensor& x,
+                const std::vector<std::int64_t>& labels,
+                std::int64_t batch_size) {
+  const std::int64_t n = x.dim(0);
+  SNNSEC_CHECK(static_cast<std::int64_t>(labels.size()) == n,
+               "accuracy: label count mismatch");
+  SNNSEC_CHECK(batch_size > 0, "accuracy: batch_size must be positive");
+  if (n == 0) return 0.0;
+  std::int64_t correct = 0;
+  for (std::int64_t b = 0; b < n; b += batch_size) {
+    const std::int64_t e = std::min(n, b + batch_size);
+    const auto pred = model.predict(slice_batch(x, b, e));
+    for (std::int64_t i = b; i < e; ++i)
+      if (pred[static_cast<std::size_t>(i - b)] ==
+          labels[static_cast<std::size_t>(i)])
+        ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+std::vector<std::vector<std::int64_t>> confusion_matrix(
+    Classifier& model, const Tensor& x,
+    const std::vector<std::int64_t>& labels, std::int64_t batch_size) {
+  const std::int64_t n = x.dim(0);
+  const std::int64_t c = model.num_classes();
+  SNNSEC_CHECK(static_cast<std::int64_t>(labels.size()) == n,
+               "confusion_matrix: label count mismatch");
+  std::vector<std::vector<std::int64_t>> m(
+      static_cast<std::size_t>(c),
+      std::vector<std::int64_t>(static_cast<std::size_t>(c), 0));
+  for (std::int64_t b = 0; b < n; b += batch_size) {
+    const std::int64_t e = std::min(n, b + batch_size);
+    const auto pred = model.predict(slice_batch(x, b, e));
+    for (std::int64_t i = b; i < e; ++i) {
+      const std::int64_t t = labels[static_cast<std::size_t>(i)];
+      const std::int64_t p = pred[static_cast<std::size_t>(i - b)];
+      SNNSEC_CHECK(t >= 0 && t < c && p >= 0 && p < c,
+                   "confusion_matrix: class out of range");
+      ++m[static_cast<std::size_t>(t)][static_cast<std::size_t>(p)];
+    }
+  }
+  return m;
+}
+
+}  // namespace snnsec::nn

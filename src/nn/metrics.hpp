@@ -1,0 +1,27 @@
+// Evaluation metrics over Classifier models.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/classifier.hpp"
+#include "tensor/tensor.hpp"
+
+namespace snnsec::nn {
+
+/// Fraction of correctly classified samples, computed in mini-batches to
+/// bound memory. X is [N, C, H, W]; labels has N entries.
+double accuracy(Classifier& model, const tensor::Tensor& x,
+                const std::vector<std::int64_t>& labels,
+                std::int64_t batch_size = 64);
+
+/// Confusion matrix [classes x classes]: rows = true label, cols = predicted.
+std::vector<std::vector<std::int64_t>> confusion_matrix(
+    Classifier& model, const tensor::Tensor& x,
+    const std::vector<std::int64_t>& labels, std::int64_t batch_size = 64);
+
+/// Slice rows [begin, end) of a batch-major tensor (dim 0).
+tensor::Tensor slice_batch(const tensor::Tensor& x, std::int64_t begin,
+                           std::int64_t end);
+
+}  // namespace snnsec::nn

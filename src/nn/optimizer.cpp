@@ -1,0 +1,101 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace snnsec::nn {
+
+void Optimizer::apply_grad_clip() {
+  if (grad_clip_norm_ <= 0.0) return;
+  double norm2 = 0.0;
+  for (const Parameter* p : params_) {
+    const float* g = p->grad.data();
+    for (std::int64_t i = 0; i < p->grad.numel(); ++i)
+      norm2 += static_cast<double>(g[i]) * g[i];
+  }
+  const double norm = std::sqrt(norm2);
+  if (norm <= grad_clip_norm_ || norm == 0.0) return;
+  const float scale = static_cast<float>(grad_clip_norm_ / norm);
+  for (Parameter* p : params_) p->grad.mul_scalar_(scale);
+}
+
+Sgd::Sgd(std::vector<Parameter*> params, Config config)
+    : Optimizer(std::move(params)), config_(config) {
+  SNNSEC_CHECK(config_.lr > 0.0, "Sgd: lr must be positive");
+  velocity_.reserve(params_.size());
+  for (const Parameter* p : params_)
+    velocity_.emplace_back(p->value.shape());
+}
+
+void Sgd::step() {
+  apply_grad_clip();
+  const float lr = static_cast<float>(config_.lr);
+  const float mu = static_cast<float>(config_.momentum);
+  const float wd = static_cast<float>(config_.weight_decay);
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    Parameter& p = *params_[k];
+    float* w = p.value.data();
+    const float* g = p.grad.data();
+    float* vel = velocity_[k].data();
+    const std::int64_t n = p.value.numel();
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float grad = g[i] + wd * w[i];
+      if (mu != 0.0f) {
+        vel[i] = mu * vel[i] + grad;
+        w[i] -= lr * vel[i];
+      } else {
+        w[i] -= lr * grad;
+      }
+    }
+  }
+}
+
+Adam::Adam(std::vector<Parameter*> params, Config config)
+    : Optimizer(std::move(params)), config_(config) {
+  SNNSEC_CHECK(config_.lr > 0.0, "Adam: lr must be positive");
+  SNNSEC_CHECK(config_.beta1 >= 0.0 && config_.beta1 < 1.0 &&
+                   config_.beta2 >= 0.0 && config_.beta2 < 1.0,
+               "Adam: betas must be in [0, 1)");
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Parameter* p : params_) {
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+void Adam::step() {
+  apply_grad_clip();
+  ++t_;
+  const double b1 = config_.beta1;
+  const double b2 = config_.beta2;
+  const double bias1 = 1.0 - std::pow(b1, static_cast<double>(t_));
+  const double bias2 = 1.0 - std::pow(b2, static_cast<double>(t_));
+  const float lr = static_cast<float>(config_.lr);
+  const float eps = static_cast<float>(config_.eps);
+  const float wd = static_cast<float>(config_.weight_decay);
+  const float fb1 = static_cast<float>(b1);
+  const float fb2 = static_cast<float>(b2);
+  const float inv_bias1 = static_cast<float>(1.0 / bias1);
+  const float inv_bias2 = static_cast<float>(1.0 / bias2);
+
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    Parameter& p = *params_[k];
+    float* w = p.value.data();
+    const float* g = p.grad.data();
+    float* m = m_[k].data();
+    float* v = v_[k].data();
+    const std::int64_t n = p.value.numel();
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float grad = g[i] + wd * w[i];
+      m[i] = fb1 * m[i] + (1.0f - fb1) * grad;
+      v[i] = fb2 * v[i] + (1.0f - fb2) * grad * grad;
+      const float mhat = m[i] * inv_bias1;
+      const float vhat = v[i] * inv_bias2;
+      w[i] -= lr * mhat / (std::sqrt(vhat) + eps);
+    }
+  }
+}
+
+}  // namespace snnsec::nn

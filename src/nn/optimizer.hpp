@@ -1,0 +1,93 @@
+// First-order optimizers over Parameter lists.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/parameter.hpp"
+
+namespace snnsec::nn {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Parameter*> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Apply one update from the accumulated gradients.
+  virtual void step() = 0;
+
+  void zero_grad() {
+    for (Parameter* p : params_) p->zero_grad();
+  }
+
+  /// Change the learning rate (used by LR schedules between epochs).
+  virtual void set_lr(double lr) = 0;
+  virtual double lr() const = 0;
+
+  /// Enable global-norm gradient clipping before each step (0 disables).
+  void set_grad_clip_norm(double max_norm) { grad_clip_norm_ = max_norm; }
+  double grad_clip_norm() const { return grad_clip_norm_; }
+
+  const std::vector<Parameter*>& params() const { return params_; }
+
+ protected:
+  /// Scale all gradients so their global L2 norm is at most the configured
+  /// maximum. Call at the top of step().
+  void apply_grad_clip();
+
+  std::vector<Parameter*> params_;
+  double grad_clip_norm_ = 0.0;
+};
+
+/// SGD with optional momentum and decoupled weight decay.
+class Sgd final : public Optimizer {
+ public:
+  struct Config {
+    double lr = 0.01;
+    double momentum = 0.0;
+    double weight_decay = 0.0;
+  };
+
+  Sgd(std::vector<Parameter*> params, Config config);
+  void step() override;
+  void set_lr(double lr) override { config_.lr = lr; }
+  double lr() const override { return config_.lr; }
+
+  Config& config() { return config_; }
+
+ private:
+  Config config_;
+  std::vector<tensor::Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba), the optimizer used for both the CNN and SNN here —
+/// matching the reference implementation's torch.optim.Adam defaults.
+class Adam final : public Optimizer {
+ public:
+  struct Config {
+    double lr = 1e-3;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double eps = 1e-8;
+    double weight_decay = 0.0;
+  };
+
+  Adam(std::vector<Parameter*> params, Config config);
+  void step() override;
+  void set_lr(double lr) override { config_.lr = lr; }
+  double lr() const override { return config_.lr; }
+
+  Config& config() { return config_; }
+
+ private:
+  Config config_;
+  std::vector<tensor::Tensor> m_;
+  std::vector<tensor::Tensor> v_;
+  std::int64_t t_ = 0;
+};
+
+}  // namespace snnsec::nn

@@ -1,0 +1,24 @@
+// Parameter: a trainable tensor paired with its gradient accumulator.
+#pragma once
+
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace snnsec::nn {
+
+struct Parameter {
+  Parameter() = default;
+  Parameter(std::string param_name, tensor::Tensor initial)
+      : name(std::move(param_name)),
+        value(std::move(initial)),
+        grad(value.shape()) {}
+
+  void zero_grad() { grad.zero_(); }
+
+  std::string name;
+  tensor::Tensor value;
+  tensor::Tensor grad;
+};
+
+}  // namespace snnsec::nn

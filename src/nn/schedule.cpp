@@ -1,0 +1,59 @@
+#include "nn/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace snnsec::nn {
+
+double LrSchedule::lr_at(std::int64_t epoch, std::int64_t total_epochs,
+                         double base_lr) const {
+  SNNSEC_CHECK(epoch >= 0 && total_epochs > 0,
+               "LrSchedule: bad epoch " << epoch << "/" << total_epochs);
+  SNNSEC_CHECK(base_lr > 0.0, "LrSchedule: base_lr must be positive");
+  switch (kind) {
+    case ScheduleKind::kConstant:
+      return base_lr;
+    case ScheduleKind::kStepDecay: {
+      SNNSEC_CHECK(step_epochs > 0 && gamma > 0.0,
+                   "LrSchedule: bad step decay parameters");
+      const std::int64_t drops = epoch / step_epochs;
+      return base_lr * std::pow(gamma, static_cast<double>(drops));
+    }
+    case ScheduleKind::kCosine: {
+      const double t =
+          total_epochs > 1
+              ? static_cast<double>(epoch) / static_cast<double>(total_epochs - 1)
+              : 0.0;
+      const double floor_lr = std::min(min_lr, base_lr);
+      return floor_lr +
+             0.5 * (base_lr - floor_lr) * (1.0 + std::cos(3.14159265358979 * t));
+    }
+    case ScheduleKind::kLinearWarmup: {
+      SNNSEC_CHECK(warmup_epochs >= 0, "LrSchedule: negative warmup");
+      if (warmup_epochs == 0 || epoch >= warmup_epochs) return base_lr;
+      return base_lr * static_cast<double>(epoch + 1) /
+             static_cast<double>(warmup_epochs + 1);
+    }
+  }
+  return base_lr;
+}
+
+std::string LrSchedule::to_string() const {
+  std::ostringstream oss;
+  switch (kind) {
+    case ScheduleKind::kConstant: oss << "constant"; break;
+    case ScheduleKind::kStepDecay:
+      oss << "step(gamma=" << gamma << ", every=" << step_epochs << ")";
+      break;
+    case ScheduleKind::kCosine: oss << "cosine(min=" << min_lr << ")"; break;
+    case ScheduleKind::kLinearWarmup:
+      oss << "warmup(" << warmup_epochs << ")";
+      break;
+  }
+  return oss.str();
+}
+
+}  // namespace snnsec::nn

@@ -1,0 +1,31 @@
+// Learning-rate schedules for the Trainer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace snnsec::nn {
+
+enum class ScheduleKind {
+  kConstant,
+  kStepDecay,  ///< lr *= gamma every `step_epochs`
+  kCosine,     ///< cosine anneal from base lr to min_lr over all epochs
+  kLinearWarmup,  ///< ramp 0 -> base over `warmup_epochs`, then constant
+};
+
+struct LrSchedule {
+  ScheduleKind kind = ScheduleKind::kConstant;
+  double gamma = 0.5;            ///< step decay factor
+  std::int64_t step_epochs = 2;  ///< step decay period
+  double min_lr = 1e-5;          ///< cosine floor
+  std::int64_t warmup_epochs = 1;
+
+  /// Learning rate for `epoch` (0-based) out of `total_epochs`, given the
+  /// configured base rate.
+  double lr_at(std::int64_t epoch, std::int64_t total_epochs,
+               double base_lr) const;
+
+  std::string to_string() const;
+};
+
+}  // namespace snnsec::nn

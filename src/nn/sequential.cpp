@@ -1,0 +1,52 @@
+#include "nn/sequential.hpp"
+
+#include <sstream>
+
+namespace snnsec::nn {
+
+using tensor::Tensor;
+
+Sequential& Sequential::add(LayerPtr layer) {
+  SNNSEC_CHECK(layer != nullptr, "Sequential::add(nullptr)");
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+Tensor Sequential::forward(const Tensor& x, Mode mode) {
+  Tensor h = x;
+  for (const auto& layer : layers_) h = layer->forward(h, mode);
+  return h;
+}
+
+Tensor Sequential::backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    g = (*it)->backward(g);
+  return g;
+}
+
+std::vector<Parameter*> Sequential::parameters() {
+  std::vector<Parameter*> out;
+  for (const auto& layer : layers_)
+    for (Parameter* p : layer->parameters()) out.push_back(p);
+  return out;
+}
+
+std::string Sequential::name() const {
+  std::ostringstream oss;
+  oss << "Sequential(" << layers_.size() << " layers)";
+  return oss.str();
+}
+
+void Sequential::clear_cache() {
+  for (const auto& layer : layers_) layer->clear_cache();
+}
+
+std::string Sequential::summary() const {
+  std::ostringstream oss;
+  for (std::size_t i = 0; i < layers_.size(); ++i)
+    oss << "  (" << i << ") " << layers_[i]->name() << '\n';
+  return oss.str();
+}
+
+}  // namespace snnsec::nn

@@ -1,0 +1,38 @@
+// Sequential: ordered composition of layers with chained forward/backward.
+#pragma once
+
+#include <memory>
+
+#include "nn/layer.hpp"
+
+namespace snnsec::nn {
+
+class Sequential final : public Layer {
+ public:
+  Sequential() = default;
+
+  /// Append a layer; returns *this for fluent building.
+  Sequential& add(LayerPtr layer);
+
+  template <typename L, typename... Args>
+  Sequential& emplace(Args&&... args) {
+    return add(std::make_unique<L>(std::forward<Args>(args)...));
+  }
+
+  tensor::Tensor forward(const tensor::Tensor& x, Mode mode) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+  std::vector<Parameter*> parameters() override;
+  std::string name() const override;
+  void clear_cache() override;
+
+  std::size_t size() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_.at(i); }
+
+  /// Multi-line human-readable structure dump.
+  std::string summary() const;
+
+ private:
+  std::vector<LayerPtr> layers_;
+};
+
+}  // namespace snnsec::nn

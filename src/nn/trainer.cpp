@@ -1,0 +1,116 @@
+#include "nn/trainer.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <numeric>
+
+#include "nn/metrics.hpp"
+#include "util/logging.hpp"
+#include "util/stopwatch.hpp"
+
+namespace snnsec::nn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+namespace {
+
+std::unique_ptr<Optimizer> make_optimizer(Classifier& model,
+                                          const TrainConfig& cfg) {
+  switch (cfg.optimizer) {
+    case OptimizerKind::kSgd: {
+      Sgd::Config sc;
+      sc.lr = cfg.lr;
+      sc.momentum = cfg.momentum;
+      sc.weight_decay = cfg.weight_decay;
+      return std::make_unique<Sgd>(model.parameters(), sc);
+    }
+    case OptimizerKind::kAdam: {
+      Adam::Config ac;
+      ac.lr = cfg.lr;
+      ac.weight_decay = cfg.weight_decay;
+      return std::make_unique<Adam>(model.parameters(), ac);
+    }
+  }
+  SNNSEC_FAIL("unknown optimizer kind");
+}
+
+/// Gather rows of x (dim 0) by index into a fresh tensor.
+Tensor gather_batch(const Tensor& x, const std::vector<std::int64_t>& order,
+                    std::int64_t begin, std::int64_t end) {
+  std::vector<std::int64_t> dims = x.shape().dims();
+  dims[0] = end - begin;
+  Tensor out((Shape(dims)));
+  const std::int64_t row = x.numel() / x.dim(0);
+  for (std::int64_t i = begin; i < end; ++i) {
+    std::memcpy(out.data() + (i - begin) * row,
+                x.data() + order[static_cast<std::size_t>(i)] * row,
+                static_cast<std::size_t>(row) * sizeof(float));
+  }
+  return out;
+}
+
+}  // namespace
+
+TrainHistory Trainer::fit(
+    Classifier& model, const Tensor& x,
+    const std::vector<std::int64_t>& labels,
+    const std::function<bool(const EpochStats&)>& on_epoch) {
+  const std::int64_t n = x.dim(0);
+  SNNSEC_CHECK(n > 0, "Trainer::fit: empty training set");
+  SNNSEC_CHECK(static_cast<std::int64_t>(labels.size()) == n,
+               "Trainer::fit: label count mismatch");
+  SNNSEC_CHECK(config_.batch_size > 0 && config_.epochs > 0,
+               "Trainer::fit: bad config");
+
+  auto optimizer = make_optimizer(model, config_);
+  optimizer->set_grad_clip_norm(config_.grad_clip_norm);
+  util::Rng shuffle_rng(config_.shuffle_seed);
+
+  std::vector<std::int64_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+
+  TrainHistory history;
+  for (std::int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    util::Stopwatch watch;
+    const double epoch_lr =
+        config_.schedule.lr_at(epoch, config_.epochs, config_.lr);
+    optimizer->set_lr(epoch_lr);
+    shuffle_rng.shuffle(order);
+    double loss_sum = 0.0;
+    std::int64_t batches = 0;
+    for (std::int64_t b = 0; b < n; b += config_.batch_size) {
+      const std::int64_t e = std::min(n, b + config_.batch_size);
+      const Tensor xb = gather_batch(x, order, b, e);
+      std::vector<std::int64_t> yb(static_cast<std::size_t>(e - b));
+      for (std::int64_t i = b; i < e; ++i)
+        yb[static_cast<std::size_t>(i - b)] =
+            labels[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])];
+      loss_sum += model.train_batch(xb, yb, *optimizer);
+      ++batches;
+    }
+
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.train_loss = loss_sum / static_cast<double>(std::max<std::int64_t>(batches, 1));
+    // Evaluate on a capped subset to keep epochs cheap for SNNs.
+    const std::int64_t eval_n = std::min<std::int64_t>(n, 512);
+    stats.train_accuracy =
+        accuracy(model, slice_batch(x, 0, eval_n),
+                 {labels.begin(), labels.begin() + eval_n},
+                 config_.batch_size);
+    stats.learning_rate = epoch_lr;
+    stats.seconds = watch.seconds();
+    if (config_.verbose) {
+      SNNSEC_LOG_INFO("epoch " << epoch << ": loss=" << stats.train_loss
+                               << " acc=" << stats.train_accuracy << " ("
+                               << watch.pretty() << ")");
+    }
+    history.epochs.push_back(stats);
+    if (on_epoch && !on_epoch(stats)) break;
+  }
+  return history;
+}
+
+}  // namespace snnsec::nn

@@ -1,0 +1,68 @@
+// Trainer: generic mini-batch training loop over the Classifier interface.
+//
+// Works identically for the CNN baseline and the SNN (whose train_batch
+// runs BPTT internally) — Algorithm 1's per-cell Train(S_ij) is one
+// Trainer::fit call.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "nn/classifier.hpp"
+#include "nn/schedule.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace snnsec::nn {
+
+enum class OptimizerKind { kSgd, kAdam };
+
+struct TrainConfig {
+  std::int64_t epochs = 3;
+  std::int64_t batch_size = 32;
+  OptimizerKind optimizer = OptimizerKind::kAdam;
+  double lr = 1e-3;
+  double momentum = 0.9;        ///< SGD only
+  double weight_decay = 0.0;
+  std::uint64_t shuffle_seed = 1234;
+  bool verbose = false;         ///< log per-epoch metrics
+  LrSchedule schedule{};        ///< per-epoch learning-rate schedule
+  double grad_clip_norm = 0.0;  ///< global-norm gradient clip (0 = off)
+};
+
+struct EpochStats {
+  std::int64_t epoch = 0;
+  double train_loss = 0.0;
+  double train_accuracy = 0.0;  ///< accuracy over the training set (sampled)
+  double learning_rate = 0.0;   ///< rate used for this epoch
+  double seconds = 0.0;
+};
+
+struct TrainHistory {
+  std::vector<EpochStats> epochs;
+  double final_loss() const {
+    return epochs.empty() ? 0.0 : epochs.back().train_loss;
+  }
+};
+
+class Trainer {
+ public:
+  explicit Trainer(TrainConfig config) : config_(config) {}
+
+  /// Train `model` on (x, labels). Returns per-epoch statistics.
+  /// `on_epoch` (optional) is invoked after each epoch (early-stop hooks,
+  /// logging, ...); returning false stops training.
+  TrainHistory fit(
+      Classifier& model, const tensor::Tensor& x,
+      const std::vector<std::int64_t>& labels,
+      const std::function<bool(const EpochStats&)>& on_epoch = nullptr);
+
+  const TrainConfig& config() const { return config_; }
+
+ private:
+  TrainConfig config_;
+};
+
+}  // namespace snnsec::nn

@@ -1,0 +1,149 @@
+#include "snn/alif_layer.hpp"
+
+#include <sstream>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace snnsec::snn {
+
+using tensor::Tensor;
+
+void AlifParameters::validate() const {
+  lif.validate();
+  SNNSEC_CHECK(beta >= 0.0f, "AlifParameters: negative beta");
+  SNNSEC_CHECK(rho >= 0.0f && rho < 1.0f,
+               "AlifParameters: rho must be in [0, 1)");
+}
+
+AlifLayer::AlifLayer(std::int64_t time_steps, AlifParameters params,
+                     Surrogate surrogate)
+    : time_steps_(time_steps), params_(params), surrogate_(surrogate) {
+  SNNSEC_CHECK(time_steps_ > 0, "AlifLayer: time_steps must be positive");
+  params_.validate();
+}
+
+Tensor AlifLayer::forward(const Tensor& x, nn::Mode mode) {
+  const std::int64_t total = x.dim(0);
+  SNNSEC_CHECK(total % time_steps_ == 0,
+               name() << ": dim0 " << total << " not divisible by T="
+                      << time_steps_);
+  const std::int64_t per_step = x.numel() / time_steps_;
+  const LifParameters& p = params_.lif;
+  const float a = p.a();
+  const float bsyn = p.b();
+  const float beta = params_.beta;
+  const float rho = params_.rho;
+
+  Tensor z(x.shape());
+  Tensor vd(x.shape());
+  Tensor badapt_cache(x.shape());
+  const float* px = x.data();
+  float* pz = z.data();
+  float* pvd = vd.data();
+  float* pb = badapt_cache.data();
+
+  util::parallel_for_chunked(0, per_step, [&](std::int64_t lo, std::int64_t hi) {
+    const std::int64_t len = hi - lo;
+    std::vector<float> state_i(static_cast<std::size_t>(len), 0.0f);
+    std::vector<float> state_v(static_cast<std::size_t>(len), 0.0f);
+    std::vector<float> state_b(static_cast<std::size_t>(len), 0.0f);
+    for (std::int64_t t = 0; t < time_steps_; ++t) {
+      const std::int64_t off = t * per_step + lo;
+      for (std::int64_t k = 0; k < len; ++k) {
+        const float v0 = state_v[static_cast<std::size_t>(k)];
+        const float i0 = state_i[static_cast<std::size_t>(k)];
+        const float b0 = state_b[static_cast<std::size_t>(k)];
+        const float v_decayed = v0 + a * ((p.v_leak - v0) + i0);
+        const float i_decayed = bsyn * i0;
+        const float theta = p.v_th + beta * b0;
+        const float spike = v_decayed > theta ? 1.0f : 0.0f;
+        pvd[off + k] = v_decayed;
+        pb[off + k] = b0;  // pre-update adaptation (enters theta)
+        pz[off + k] = spike;
+        state_v[static_cast<std::size_t>(k)] =
+            (1.0f - spike) * v_decayed + spike * p.v_reset;
+        state_i[static_cast<std::size_t>(k)] = i_decayed + px[off + k];
+        state_b[static_cast<std::size_t>(k)] =
+            rho * b0 + (1.0f - rho) * spike;
+      }
+    }
+  });
+
+  double spike_sum = 0.0;
+  for (std::int64_t i = 0; i < z.numel(); ++i) spike_sum += pz[i];
+  last_spike_rate_ = spike_sum / static_cast<double>(z.numel());
+
+  if (nn::cache_enabled(mode)) {
+    v_decayed_ = std::move(vd);
+    spikes_ = z;
+    adaptation_ = std::move(badapt_cache);
+    per_step_ = per_step;
+    have_cache_ = true;
+  }
+  return z;
+}
+
+Tensor AlifLayer::backward(const Tensor& grad_out) {
+  SNNSEC_CHECK(have_cache_, name() << "::backward without cached forward");
+  SNNSEC_CHECK(grad_out.shape() == spikes_.shape(),
+               name() << "::backward: grad shape mismatch");
+  const LifParameters& p = params_.lif;
+  const float a = p.a();
+  const float bsyn = p.b();
+  const float beta = params_.beta;
+  const float rho = params_.rho;
+  const Surrogate sg = surrogate_;
+  const std::int64_t per_step = per_step_;
+
+  Tensor dx(grad_out.shape());
+  const float* gz = grad_out.data();
+  const float* pvd = v_decayed_.data();
+  const float* pz = spikes_.data();
+  const float* pb = adaptation_.data();
+  float* pdx = dx.data();
+
+  util::parallel_for_chunked(0, per_step, [&](std::int64_t lo, std::int64_t hi) {
+    const std::int64_t len = hi - lo;
+    std::vector<float> gv(static_cast<std::size_t>(len), 0.0f);
+    std::vector<float> gi(static_cast<std::size_t>(len), 0.0f);
+    std::vector<float> gb(static_cast<std::size_t>(len), 0.0f);
+    for (std::int64_t t = time_steps_ - 1; t >= 0; --t) {
+      const std::int64_t off = t * per_step + lo;
+      for (std::int64_t k = 0; k < len; ++k) {
+        const float vd = pvd[off + k];
+        const float z = pz[off + k];
+        const float b0 = pb[off + k];
+        const float carry_v = gv[static_cast<std::size_t>(k)];
+        const float carry_i = gi[static_cast<std::size_t>(k)];
+        const float carry_b = gb[static_cast<std::size_t>(k)];
+        pdx[off + k] = carry_i;
+        const float theta = p.v_th + beta * b0;
+        const float s = sg.grad(vd - theta);
+        const float tdz = gz[off + k] + carry_v * (p.v_reset - vd) +
+                          carry_b * (1.0f - rho);
+        const float gvd = carry_v * (1.0f - z) + tdz * s;
+        gv[static_cast<std::size_t>(k)] = gvd * (1.0f - a);
+        gi[static_cast<std::size_t>(k)] = gvd * a + carry_i * bsyn;
+        gb[static_cast<std::size_t>(k)] = carry_b * rho - tdz * beta * s;
+      }
+    }
+  });
+  return dx;
+}
+
+std::string AlifLayer::name() const {
+  std::ostringstream oss;
+  oss << "AlifLayer(T=" << time_steps_ << ", v_th=" << params_.lif.v_th
+      << ", beta=" << params_.beta << ", rho=" << params_.rho << ")";
+  return oss.str();
+}
+
+void AlifLayer::clear_cache() {
+  v_decayed_ = Tensor();
+  spikes_ = Tensor();
+  adaptation_ = Tensor();
+  have_cache_ = false;
+}
+
+}  // namespace snnsec::snn

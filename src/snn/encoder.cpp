@@ -1,0 +1,55 @@
+#include "snn/encoder.hpp"
+
+#include <sstream>
+
+namespace snnsec::snn {
+
+using tensor::Tensor;
+
+std::unique_ptr<nn::Layer> make_constant_current_encoder(
+    std::int64_t time_steps, LifParameters params, Surrogate surrogate) {
+  return std::make_unique<LifLayer>(time_steps, params, surrogate);
+}
+
+PoissonEncoder::PoissonEncoder(std::int64_t time_steps, util::Rng rng)
+    : time_steps_(time_steps), rng_(rng) {
+  SNNSEC_CHECK(time_steps_ > 0, "PoissonEncoder: time_steps must be positive");
+}
+
+Tensor PoissonEncoder::forward(const Tensor& x, nn::Mode mode) {
+  SNNSEC_CHECK(x.dim(0) % time_steps_ == 0,
+               name() << ": dim0 not divisible by T=" << time_steps_);
+  Tensor z(x.shape());
+  const float* px = x.data();
+  float* pz = z.data();
+  const std::int64_t n = x.numel();
+  Tensor gate(x.shape());
+  float* pgate = gate.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float p = px[i] < 0.0f ? 0.0f : (px[i] > 1.0f ? 1.0f : px[i]);
+    pz[i] = rng_.bernoulli(p) ? 1.0f : 0.0f;
+    pgate[i] = (px[i] > 0.0f && px[i] < 1.0f) ? 1.0f : 0.0f;
+  }
+  if (nn::cache_enabled(mode)) {
+    gate_ = std::move(gate);
+    have_cache_ = true;
+  }
+  return z;
+}
+
+Tensor PoissonEncoder::backward(const Tensor& grad_out) {
+  SNNSEC_CHECK(have_cache_ && grad_out.shape() == gate_.shape(),
+               name() << "::backward cache/shape mismatch");
+  // Straight-through: E[z] = clamp(x, 0, 1), so dE[z]/dx = 1 inside (0, 1).
+  Tensor dx = grad_out;
+  dx.mul_(gate_);
+  return dx;
+}
+
+std::string PoissonEncoder::name() const {
+  std::ostringstream oss;
+  oss << "PoissonEncoder(T=" << time_steps_ << ")";
+  return oss.str();
+}
+
+}  // namespace snnsec::snn

@@ -1,0 +1,46 @@
+// Spike encoders: pixel intensities -> spike trains over the time window.
+//
+// ConstantCurrentLifEncoder (Norse's default, used by the paper's pipeline)
+// feeds each pixel value as a constant input current into a LIF population;
+// brighter pixels charge faster and fire more often. It is exactly a
+// LifLayer applied to the time-replicated image, so white-box gradients
+// flow through the same surrogate machinery as the rest of the network.
+//
+// PoissonEncoder (rate-coding ablation) draws Bernoulli spikes with
+// probability clamp(x, 0, 1) per step; gradients use the straight-through
+// estimator gated by the clamp.
+#pragma once
+
+#include <memory>
+
+#include "nn/layer.hpp"
+#include "snn/lif_layer.hpp"
+#include "util/rng.hpp"
+
+namespace snnsec::snn {
+
+enum class EncoderKind { kConstantCurrentLif, kPoisson };
+
+/// Build the constant-current LIF encoder (just a configured LifLayer).
+std::unique_ptr<nn::Layer> make_constant_current_encoder(
+    std::int64_t time_steps, LifParameters params, Surrogate surrogate);
+
+class PoissonEncoder final : public nn::Layer {
+ public:
+  PoissonEncoder(std::int64_t time_steps, util::Rng rng);
+
+  tensor::Tensor forward(const tensor::Tensor& x, nn::Mode mode) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+  std::string name() const override;
+  void clear_cache() override { gate_ = tensor::Tensor(); }
+
+  std::int64_t time_steps() const { return time_steps_; }
+
+ private:
+  std::int64_t time_steps_;
+  util::Rng rng_;
+  tensor::Tensor gate_;  // straight-through mask: 1 where 0 < x < 1
+  bool have_cache_ = false;
+};
+
+}  // namespace snnsec::snn

@@ -1,0 +1,107 @@
+#include "snn/li_readout.hpp"
+
+#include <limits>
+#include <sstream>
+#include <vector>
+
+namespace snnsec::snn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+LiReadout::LiReadout(std::int64_t time_steps, LifParameters params)
+    : time_steps_(time_steps), params_(params) {
+  SNNSEC_CHECK(time_steps_ > 0, "LiReadout: time_steps must be positive");
+  params_.validate();
+}
+
+Tensor LiReadout::forward(const Tensor& x, nn::Mode mode) {
+  SNNSEC_CHECK(x.ndim() == 2, name() << ": expects [T*N, C], got "
+                                     << x.shape().to_string());
+  const std::int64_t total = x.dim(0);
+  const std::int64_t classes = x.dim(1);
+  SNNSEC_CHECK(total % time_steps_ == 0,
+               name() << ": dim0 " << total << " not divisible by T="
+                      << time_steps_);
+  const std::int64_t n = total / time_steps_;
+  const std::int64_t per_step = n * classes;
+
+  Tensor trace(x.shape());
+  std::vector<float> state_i(static_cast<std::size_t>(per_step), 0.0f);
+  std::vector<float> state_v(static_cast<std::size_t>(per_step), 0.0f);
+  const float* px = x.data();
+  float* pt = trace.data();
+  for (std::int64_t t = 0; t < time_steps_; ++t) {
+    const std::int64_t off = t * per_step;
+    li_step(params_, per_step, px + off, state_i.data(), state_v.data(),
+            pt + off);
+  }
+
+  // Decode: per (n, c) take the max membrane over time.
+  Tensor logits(Shape{n, classes},
+                -std::numeric_limits<float>::infinity());
+  std::vector<std::int64_t> argmax(static_cast<std::size_t>(per_step), 0);
+  float* pl = logits.data();
+  for (std::int64_t t = 0; t < time_steps_; ++t) {
+    const float* row = pt + t * per_step;
+    for (std::int64_t k = 0; k < per_step; ++k) {
+      if (row[k] > pl[k]) {
+        pl[k] = row[k];
+        argmax[static_cast<std::size_t>(k)] = t;
+      }
+    }
+  }
+
+  if (nn::cache_enabled(mode)) {
+    trace_ = std::move(trace);
+    argmax_t_ = std::move(argmax);
+    per_step_ = per_step;
+    have_cache_ = true;
+  }
+  return logits;
+}
+
+Tensor LiReadout::backward(const Tensor& grad_out) {
+  SNNSEC_CHECK(have_cache_, name() << "::backward without cached forward");
+  SNNSEC_CHECK(grad_out.ndim() == 2 &&
+                   grad_out.numel() == per_step_,
+               name() << "::backward: bad grad shape "
+                      << grad_out.shape().to_string());
+  const float a = params_.a();
+  const float b = params_.b();
+
+  Tensor dx(trace_.shape());
+  const float* pg = grad_out.data();
+  float* pdx = dx.data();
+
+  // Reverse-time linear recurrence with the max-decode gradient injected at
+  // each (n, c)'s winning step.
+  std::vector<float> gv(static_cast<std::size_t>(per_step_), 0.0f);
+  std::vector<float> gi(static_cast<std::size_t>(per_step_), 0.0f);
+  for (std::int64_t t = time_steps_ - 1; t >= 0; --t) {
+    const std::int64_t off = t * per_step_;
+    for (std::int64_t k = 0; k < per_step_; ++k) {
+      float carry_v = gv[static_cast<std::size_t>(k)];
+      if (argmax_t_[static_cast<std::size_t>(k)] == t) carry_v += pg[k];
+      const float carry_i = gi[static_cast<std::size_t>(k)];
+      pdx[off + k] = carry_i;
+      gv[static_cast<std::size_t>(k)] = carry_v * (1.0f - a);
+      gi[static_cast<std::size_t>(k)] = carry_v * a + carry_i * b;
+    }
+  }
+  return dx;
+}
+
+std::string LiReadout::name() const {
+  std::ostringstream oss;
+  oss << "LiReadout(T=" << time_steps_ << ", max-over-time)";
+  return oss.str();
+}
+
+void LiReadout::clear_cache() {
+  trace_ = Tensor();
+  argmax_t_.clear();
+  have_cache_ = false;
+}
+
+}  // namespace snnsec::snn

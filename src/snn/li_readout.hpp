@@ -1,0 +1,41 @@
+// LiReadout: non-spiking leaky-integrator output stage with max-over-time
+// decoding (Norse's LI readout + torch.max(voltages, dim=0) pattern).
+//
+// Input : [T*N, C] per-class currents (output of the last linear layer).
+// Output: [N, C] logits — logits[n,c] = max over t of the membrane trace.
+// Backward routes each logit's gradient to its argmax step and then runs
+// the linear leaky-integrator recurrence in reverse.
+#pragma once
+
+#include "nn/layer.hpp"
+#include "snn/lif.hpp"
+
+namespace snnsec::snn {
+
+class LiReadout final : public nn::Layer {
+ public:
+  LiReadout(std::int64_t time_steps, LifParameters params);
+
+  tensor::Tensor forward(const tensor::Tensor& x, nn::Mode mode) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+  std::string name() const override;
+  void clear_cache() override;
+
+  std::int64_t time_steps() const { return time_steps_; }
+  const LifParameters& params() const { return params_; }
+
+  /// Full membrane trace [T*N, C] of the most recent cached forward
+  /// (diagnostics / decoding ablations).
+  const tensor::Tensor& last_trace() const { return trace_; }
+
+ private:
+  std::int64_t time_steps_;
+  LifParameters params_;
+
+  tensor::Tensor trace_;                  // [T*N, C]
+  std::vector<std::int64_t> argmax_t_;    // [N*C] winning time step
+  std::int64_t per_step_ = 0;             // N*C
+  bool have_cache_ = false;
+};
+
+}  // namespace snnsec::snn

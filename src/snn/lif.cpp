@@ -1,0 +1,61 @@
+#include "snn/lif.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace snnsec::snn {
+
+void LifParameters::validate() const {
+  SNNSEC_CHECK(dt > 0.0f, "LifParameters: dt must be positive");
+  const float fa = a();
+  const float fb = b();
+  SNNSEC_CHECK(fa > 0.0f && fa <= 1.0f,
+               "LifParameters: unstable membrane factor a=" << fa
+                   << " (need 0 < dt*tau_mem_inv <= 1)");
+  SNNSEC_CHECK(fb >= 0.0f && fb < 1.0f,
+               "LifParameters: unstable synapse factor b=" << fb
+                   << " (need 0 <= 1 - dt*tau_syn_inv < 1)");
+  SNNSEC_CHECK(v_th > v_leak,
+               "LifParameters: v_th (" << v_th << ") must exceed v_leak ("
+                                       << v_leak << ")");
+}
+
+std::string LifParameters::to_string() const {
+  std::ostringstream oss;
+  oss << "LIF(v_th=" << v_th << ", tau_syn_inv=" << tau_syn_inv
+      << ", tau_mem_inv=" << tau_mem_inv << ", v_leak=" << v_leak
+      << ", v_reset=" << v_reset << ", dt=" << dt << ")";
+  return oss.str();
+}
+
+void lif_step(const LifParameters& p, std::int64_t n, const float* x,
+              float* state_i, float* state_v, float* z_out,
+              float* v_decayed_out) {
+  const float a = p.a();
+  const float b = p.b();
+  for (std::int64_t k = 0; k < n; ++k) {
+    const float vd = state_v[k] + a * ((p.v_leak - state_v[k]) + state_i[k]);
+    const float id = b * state_i[k];
+    const float z = vd > p.v_th ? 1.0f : 0.0f;
+    z_out[k] = z;
+    v_decayed_out[k] = vd;
+    state_v[k] = (1.0f - z) * vd + z * p.v_reset;
+    state_i[k] = id + x[k];
+  }
+}
+
+void li_step(const LifParameters& p, std::int64_t n, const float* x,
+             float* state_i, float* state_v, float* v_out) {
+  const float a = p.a();
+  const float b = p.b();
+  for (std::int64_t k = 0; k < n; ++k) {
+    const float vd = state_v[k] + a * ((p.v_leak - state_v[k]) + state_i[k]);
+    const float id = b * state_i[k];
+    v_out[k] = vd;
+    state_v[k] = vd;
+    state_i[k] = id + x[k];
+  }
+}
+
+}  // namespace snnsec::snn

@@ -1,0 +1,114 @@
+#include "snn/lif_layer.hpp"
+
+#include <sstream>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace snnsec::snn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+LifLayer::LifLayer(std::int64_t time_steps, LifParameters params,
+                   Surrogate surrogate)
+    : time_steps_(time_steps), params_(params), surrogate_(surrogate) {
+  SNNSEC_CHECK(time_steps_ > 0, "LifLayer: time_steps must be positive");
+  params_.validate();
+}
+
+Tensor LifLayer::forward(const Tensor& x, nn::Mode mode) {
+  const std::int64_t total = x.dim(0);
+  SNNSEC_CHECK(total % time_steps_ == 0,
+               name() << ": dim0 " << total << " not divisible by T="
+                      << time_steps_);
+  const std::int64_t per_step = x.numel() / time_steps_;  // N * features
+
+  Tensor z(x.shape());
+  Tensor vd(x.shape());
+  std::vector<float> state_i(static_cast<std::size_t>(per_step), 0.0f);
+  std::vector<float> state_v(static_cast<std::size_t>(per_step), 0.0f);
+
+  const float* px = x.data();
+  float* pz = z.data();
+  float* pvd = vd.data();
+  double spike_sum = 0.0;
+  // Parallelize across neurons: each chunk of the population evolves
+  // independently through all T steps.
+  util::parallel_for_chunked(0, per_step, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t t = 0; t < time_steps_; ++t) {
+      const std::int64_t off = t * per_step;
+      lif_step(params_, hi - lo, px + off + lo, state_i.data() + lo,
+               state_v.data() + lo, pz + off + lo, pvd + off + lo);
+    }
+  });
+  for (std::int64_t i = 0; i < z.numel(); ++i) spike_sum += pz[i];
+  last_spike_rate_ = spike_sum / static_cast<double>(z.numel());
+  last_output_numel_ = z.numel();
+
+  if (nn::cache_enabled(mode)) {
+    v_decayed_ = std::move(vd);
+    spikes_ = z;  // copy; z is also the return value
+    cached_rows_ = per_step;
+    have_cache_ = true;
+  }
+  return z;
+}
+
+Tensor LifLayer::backward(const Tensor& grad_out) {
+  SNNSEC_CHECK(have_cache_, name() << "::backward without cached forward");
+  SNNSEC_CHECK(grad_out.shape() == spikes_.shape(),
+               name() << "::backward: grad shape "
+                      << grad_out.shape().to_string() << " != forward shape "
+                      << spikes_.shape().to_string());
+  const std::int64_t per_step = cached_rows_;
+  const float a = params_.a();
+  const float b = params_.b();
+  const float v_th = params_.v_th;
+  const float v_reset = params_.v_reset;
+  const Surrogate sg = surrogate_;
+
+  Tensor dx(grad_out.shape());
+  const float* gz = grad_out.data();
+  const float* pvd = v_decayed_.data();
+  const float* pz = spikes_.data();
+  float* pdx = dx.data();
+
+  util::parallel_for_chunked(0, per_step, [&](std::int64_t lo, std::int64_t hi) {
+    const std::int64_t len = hi - lo;
+    std::vector<float> gv(static_cast<std::size_t>(len), 0.0f);
+    std::vector<float> gi(static_cast<std::size_t>(len), 0.0f);
+    for (std::int64_t t = time_steps_ - 1; t >= 0; --t) {
+      const std::int64_t off = t * per_step + lo;
+      for (std::int64_t k = 0; k < len; ++k) {
+        const float vd = pvd[off + k];
+        const float z = pz[off + k];
+        const float carry_v = gv[static_cast<std::size_t>(k)];
+        const float carry_i = gi[static_cast<std::size_t>(k)];
+        // dL/dx_t: x enters i_t directly.
+        pdx[off + k] = carry_i;
+        // Spike gradient: external + reset gate contribution.
+        const float tdz = gz[off + k] + carry_v * (v_reset - vd);
+        const float gvd = carry_v * (1.0f - z) + tdz * sg.grad(vd - v_th);
+        gv[static_cast<std::size_t>(k)] = gvd * (1.0f - a);
+        gi[static_cast<std::size_t>(k)] = gvd * a + carry_i * b;
+      }
+    }
+  });
+  return dx;
+}
+
+std::string LifLayer::name() const {
+  std::ostringstream oss;
+  oss << "LifLayer(T=" << time_steps_ << ", v_th=" << params_.v_th << ", "
+      << surrogate_.to_string() << ")";
+  return oss.str();
+}
+
+void LifLayer::clear_cache() {
+  v_decayed_ = Tensor();
+  spikes_ = Tensor();
+  have_cache_ = false;
+}
+
+}  // namespace snnsec::snn

@@ -1,0 +1,63 @@
+// LifLayer: a population of LIF neurons unrolled over the time window T,
+// with exact backpropagation-through-time using a surrogate spike
+// derivative.
+//
+// Sequence convention: a time-major tensor [T*N, features...] where rows
+// t*N .. (t+1)*N-1 hold time step t for the whole mini-batch. Stateless
+// layers (conv/linear/pool) process such tensors unchanged — time is just
+// more batch — so a spiking network is an ordinary nn::Sequential with
+// LifLayer instances where Norse would place LIFCell/LIFFeedForwardCell.
+//
+// Forward caches per step: the pre-reset membrane v_decayed and the spikes
+// z (what the surrogate and reset-gate backward need). Backward runs
+// reverse-time, carrying dL/dv and dL/di across steps:
+//
+//   tdz_t  = g_z[t] + gv ⊙ (v_reset − vd_t)        (spike + reset gate)
+//   gvd    = gv ⊙ (1 − z_t) + tdz_t ⊙ sg(vd_t − v_th)
+//   g_x[t] = gi
+//   gv'    = gvd (1 − a);   gi' = gvd·a + gi·b
+#pragma once
+
+#include "nn/layer.hpp"
+#include "snn/lif.hpp"
+
+namespace snnsec::snn {
+
+class LifLayer final : public nn::Layer {
+ public:
+  /// `time_steps` is the paper's time-window T; each forward input must
+  /// have dim0 == T * N for some batch size N.
+  LifLayer(std::int64_t time_steps, LifParameters params, Surrogate surrogate);
+
+  tensor::Tensor forward(const tensor::Tensor& x, nn::Mode mode) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+  std::string name() const override;
+  void clear_cache() override;
+
+  std::int64_t time_steps() const { return time_steps_; }
+  const LifParameters& params() const { return params_; }
+  const Surrogate& surrogate() const { return surrogate_; }
+
+  /// Mean spike probability per neuron-step in the most recent forward —
+  /// diagnostic for dead/saturated cells in the (V_th, T) grid.
+  double last_spike_rate() const { return last_spike_rate_; }
+
+  /// Total element count ([T*N, F...] numel) of the most recent forward —
+  /// used with last_spike_rate() by the activity/energy analysis.
+  std::int64_t last_output_numel() const { return last_output_numel_; }
+
+ private:
+  std::int64_t time_steps_;
+  LifParameters params_;
+  Surrogate surrogate_;
+
+  // caches (train/attack mode)
+  tensor::Tensor v_decayed_;  // [T*N, F...]
+  tensor::Tensor spikes_;     // [T*N, F...]
+  std::int64_t cached_rows_ = 0;  // N*F per step
+  bool have_cache_ = false;
+  double last_spike_rate_ = 0.0;
+  std::int64_t last_output_numel_ = 0;
+};
+
+}  // namespace snnsec::snn

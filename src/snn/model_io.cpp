@@ -1,0 +1,142 @@
+#include "snn/model_io.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+
+#include "tensor/serialize.hpp"
+#include "util/csv.hpp"  // ensure_parent_dir
+
+namespace snnsec::snn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+namespace {
+
+constexpr float kFormatVersion = 2.0f;
+
+Tensor encode_arch(const nn::LenetSpec& arch) {
+  Tensor t(Shape{10});
+  t[0] = kFormatVersion;
+  t[1] = static_cast<float>(arch.in_channels);
+  t[2] = static_cast<float>(arch.image_size);
+  t[3] = static_cast<float>(arch.num_classes);
+  t[4] = static_cast<float>(arch.conv1_channels);
+  t[5] = static_cast<float>(arch.conv2_channels);
+  t[6] = static_cast<float>(arch.conv3_channels);
+  t[7] = static_cast<float>(arch.fc_hidden);
+  t[8] = static_cast<float>(arch.fc_hidden2);
+  t[9] = static_cast<float>(arch.dropout);
+  return t;
+}
+
+nn::LenetSpec decode_arch(const Tensor& t) {
+  SNNSEC_CHECK(t.numel() == 10 && t[0] == kFormatVersion,
+               "model file: unsupported arch record (version " << t[0] << ")");
+  nn::LenetSpec arch;
+  arch.in_channels = static_cast<std::int64_t>(t[1]);
+  arch.image_size = static_cast<std::int64_t>(t[2]);
+  arch.num_classes = static_cast<std::int64_t>(t[3]);
+  arch.conv1_channels = static_cast<std::int64_t>(t[4]);
+  arch.conv2_channels = static_cast<std::int64_t>(t[5]);
+  arch.conv3_channels = static_cast<std::int64_t>(t[6]);
+  arch.fc_hidden = static_cast<std::int64_t>(t[7]);
+  arch.fc_hidden2 = static_cast<std::int64_t>(t[8]);
+  arch.dropout = t[9];
+  return arch;
+}
+
+Tensor encode_config(const SnnConfig& cfg) {
+  Tensor t(Shape{17});
+  t[0] = kFormatVersion;
+  t[1] = static_cast<float>(cfg.v_th);
+  t[2] = static_cast<float>(cfg.time_steps);
+  t[3] = static_cast<float>(static_cast<int>(cfg.surrogate.kind));
+  t[4] = cfg.surrogate.alpha;
+  t[5] = cfg.neuron.tau_syn_inv;
+  t[6] = cfg.neuron.tau_mem_inv;
+  t[7] = cfg.neuron.v_leak;
+  t[8] = cfg.neuron.v_reset;
+  t[9] = cfg.neuron.dt;
+  t[10] = static_cast<float>(static_cast<int>(cfg.encoder));
+  t[11] = cfg.encoder_uses_vth ? 1.0f : 0.0f;
+  t[12] = static_cast<float>(cfg.weight_gain);
+  t[13] = static_cast<float>(cfg.input_gain);
+  t[14] = static_cast<float>(static_cast<int>(cfg.neuron_model));
+  t[15] = cfg.alif_beta;
+  t[16] = cfg.alif_rho;
+  return t;
+}
+
+SnnConfig decode_config(const Tensor& t) {
+  SNNSEC_CHECK(t.numel() == 17 && t[0] == kFormatVersion,
+               "model file: unsupported snn record (version " << t[0] << ")");
+  SnnConfig cfg;
+  cfg.v_th = t[1];
+  cfg.time_steps = static_cast<std::int64_t>(t[2]);
+  cfg.surrogate.kind = static_cast<SurrogateKind>(static_cast<int>(t[3]));
+  cfg.surrogate.alpha = t[4];
+  cfg.neuron.tau_syn_inv = t[5];
+  cfg.neuron.tau_mem_inv = t[6];
+  cfg.neuron.v_leak = t[7];
+  cfg.neuron.v_reset = t[8];
+  cfg.neuron.dt = t[9];
+  cfg.encoder = static_cast<EncoderKind>(static_cast<int>(t[10]));
+  cfg.encoder_uses_vth = t[11] != 0.0f;
+  cfg.weight_gain = t[12];
+  cfg.input_gain = t[13];
+  cfg.neuron_model = static_cast<NeuronModel>(static_cast<int>(t[14]));
+  cfg.alif_beta = t[15];
+  cfg.alif_rho = t[16];
+  return cfg;
+}
+
+}  // namespace
+
+void save_spiking_lenet(const std::string& path, SpikingClassifier& model,
+                        const nn::LenetSpec& arch, const SnnConfig& config) {
+  std::map<std::string, Tensor> archive;
+  archive.emplace("meta/arch", encode_arch(arch));
+  archive.emplace("meta/snn", encode_config(config));
+  const auto params = model.parameters();
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    char name[16];
+    std::snprintf(name, sizeof(name), "p%03zu", i);
+    archive.emplace(name, params[i]->value);
+  }
+  tensor::save_archive_file(path, archive);
+}
+
+LoadedModel load_spiking_lenet(const std::string& path) {
+  const auto archive = tensor::load_archive_file(path);
+  SNNSEC_CHECK(archive.count("meta/arch") == 1 &&
+                   archive.count("meta/snn") == 1,
+               "model file " << path << ": missing metadata records");
+  LoadedModel out;
+  out.arch = decode_arch(archive.at("meta/arch"));
+  out.config = decode_config(archive.at("meta/snn"));
+
+  // Rebuild and overwrite the (arbitrary) fresh initialization.
+  util::Rng rng(0);
+  out.model = build_spiking_lenet(out.arch, out.config, rng);
+  const auto params = out.model->parameters();
+  SNNSEC_CHECK(archive.size() == params.size() + 2,
+               "model file " << path << ": expected " << params.size()
+                             << " parameter tensors, found "
+                             << archive.size() - 2);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    char name[16];
+    std::snprintf(name, sizeof(name), "p%03zu", i);
+    const auto it = archive.find(name);
+    SNNSEC_CHECK(it != archive.end(), "model file: missing tensor " << name);
+    SNNSEC_CHECK(it->second.shape() == params[i]->value.shape(),
+                 "model file: shape mismatch for "
+                     << name << ": " << it->second.shape().to_string()
+                     << " vs " << params[i]->value.shape().to_string());
+    params[i]->value = it->second;
+  }
+  return out;
+}
+
+}  // namespace snnsec::snn

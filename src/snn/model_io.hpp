@@ -1,0 +1,34 @@
+// Model checkpointing: persist a trained spiking LeNet together with the
+// architecture and structural parameters needed to rebuild it — so a tuned
+// sweet-spot model ("trustworthy SNN") can be shipped and reloaded without
+// retraining.
+//
+// File layout: a tensor archive (tensor/serialize.hpp) with
+//   "meta/arch"   — LenetSpec fields
+//   "meta/snn"    — SnnConfig fields (v_th, T, taus, surrogate, gains, ...)
+//   "p000".."pNN" — parameter tensors in Sequential order
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "snn/spiking_lenet.hpp"
+
+namespace snnsec::snn {
+
+/// Serialize `model`, which must have been produced by build_spiking_lenet
+/// with (`arch`, `config`).
+void save_spiking_lenet(const std::string& path, SpikingClassifier& model,
+                        const nn::LenetSpec& arch, const SnnConfig& config);
+
+struct LoadedModel {
+  std::unique_ptr<SpikingClassifier> model;
+  nn::LenetSpec arch;
+  SnnConfig config;
+};
+
+/// Rebuild the network from the stored architecture/config and restore its
+/// weights. Throws util::Error on format or shape mismatches.
+LoadedModel load_spiking_lenet(const std::string& path);
+
+}  // namespace snnsec::snn

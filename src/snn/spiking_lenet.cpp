@@ -1,0 +1,96 @@
+#include "snn/spiking_lenet.hpp"
+
+#include <sstream>
+
+#include "nn/activations.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/flatten.hpp"
+#include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+#include "snn/li_readout.hpp"
+
+namespace snnsec::snn {
+
+LifParameters SnnConfig::lif_params() const {
+  LifParameters p = neuron;
+  p.v_th = static_cast<float>(v_th);
+  return p;
+}
+
+void SnnConfig::validate() const {
+  SNNSEC_CHECK(time_steps > 0, "SnnConfig: time_steps must be positive");
+  SNNSEC_CHECK(v_th > 0.0, "SnnConfig: v_th must be positive");
+  SNNSEC_CHECK(weight_gain > 0.0, "SnnConfig: weight_gain must be positive");
+  lif_params().validate();
+}
+
+std::unique_ptr<SpikingClassifier> build_spiking_lenet(
+    const nn::LenetSpec& spec, const SnnConfig& config, util::Rng& rng) {
+  spec.validate();
+  config.validate();
+  const std::int64_t t = config.time_steps;
+  const LifParameters lif = config.lif_params();
+  LifParameters encoder_lif = lif;
+  if (!config.encoder_uses_vth) encoder_lif.v_th = config.neuron.v_th;
+
+  // Hidden-layer spiking nonlinearity factory (LIF or ALIF).
+  auto make_spiking = [&](void) -> nn::LayerPtr {
+    if (config.neuron_model == NeuronModel::kAlif) {
+      AlifParameters ap;
+      ap.lif = lif;
+      ap.beta = config.alif_beta;
+      ap.rho = config.alif_rho;
+      return std::make_unique<AlifLayer>(t, ap, config.surrogate);
+    }
+    return std::make_unique<LifLayer>(t, lif, config.surrogate);
+  };
+
+  auto net = std::make_unique<nn::Sequential>();
+  // Input-current gain (Norse-style input normalization stand-in).
+  if (config.input_gain != 1.0)
+    net->emplace<nn::Scale>(static_cast<float>(config.input_gain));
+  // Encoder.
+  if (config.encoder == EncoderKind::kConstantCurrentLif) {
+    net->add(make_constant_current_encoder(t, encoder_lif, config.surrogate));
+  } else {
+    net->emplace<PoissonEncoder>(t, util::Rng(config.poisson_seed));
+  }
+  // conv1 -> LIF -> pool
+  net->emplace<nn::Conv2d>(
+      nn::Conv2dSpec{spec.in_channels, spec.conv1_channels, 5, 1, 2}, rng);
+  net->add(make_spiking());
+  net->emplace<nn::AvgPool2d>(2);
+  // conv2 -> LIF -> pool
+  net->emplace<nn::Conv2d>(
+      nn::Conv2dSpec{spec.conv1_channels, spec.conv2_channels, 5, 1, 2}, rng);
+  net->add(make_spiking());
+  net->emplace<nn::AvgPool2d>(2);
+  // conv3 -> LIF
+  net->emplace<nn::Conv2d>(
+      nn::Conv2dSpec{spec.conv2_channels, spec.conv3_channels, 3, 1, 1}, rng);
+  net->add(make_spiking());
+  // classifier head
+  net->emplace<nn::Flatten>();
+  const std::int64_t flat =
+      spec.conv3_channels * spec.pooled_size() * spec.pooled_size();
+  net->emplace<nn::Linear>(flat, spec.fc_hidden, rng);
+  net->add(make_spiking());
+  net->emplace<nn::Linear>(spec.fc_hidden, spec.num_classes, rng);
+  net->emplace<LiReadout>(t, lif);
+
+  // Rescale weight inits so synaptic currents reach the threshold's working
+  // range (see SnnConfig::weight_gain).
+  if (config.weight_gain != 1.0) {
+    for (nn::Parameter* p : net->parameters())
+      if (p->name == "weight")
+        p->value.mul_scalar_(static_cast<float>(config.weight_gain));
+  }
+
+  std::ostringstream desc;
+  desc << "spiking LeNet (3 conv + 2 fc, " << lif.to_string() << ", "
+       << config.surrogate.to_string() << ")";
+  return std::make_unique<SpikingClassifier>(std::move(net), t,
+                                             spec.num_classes, desc.str());
+}
+
+}  // namespace snnsec::snn

@@ -1,0 +1,64 @@
+// Spiking LeNet builder: the SNN counterpart of nn::build_paper_cnn with
+// "the same number of layers and neurons per layer" (paper, Sec. I-B).
+//
+// Structure (time-major sequence in, logits out):
+//   encoder (constant-current LIF or Poisson)
+//   conv1 5x5 -> LIF -> avgpool2
+//   conv2 5x5 -> LIF -> avgpool2
+//   conv3 3x3 -> LIF
+//   flatten -> fc1 -> LIF -> fc2 -> LiReadout (max-over-time)
+//
+// SnnConfig carries the paper's two structural parameters: the firing
+// threshold v_th (applied to every LIF population, encoder included) and
+// the time window T.
+#pragma once
+
+#include <memory>
+
+#include "nn/lenet.hpp"
+#include "snn/alif_layer.hpp"
+#include "snn/encoder.hpp"
+#include "snn/spiking_network.hpp"
+
+namespace snnsec::snn {
+
+/// Hidden-layer neuron model (the encoder stays plain LIF).
+enum class NeuronModel {
+  kLif,   ///< the paper's leaky integrate-and-fire
+  kAlif,  ///< adaptive-threshold LIF (extension studies)
+};
+
+struct SnnConfig {
+  double v_th = 1.0;             ///< structural parameter #1
+  std::int64_t time_steps = 64;  ///< structural parameter #2 (T)
+  Surrogate surrogate{};
+  LifParameters neuron;          ///< taus/dt template; v_th is overridden
+  NeuronModel neuron_model = NeuronModel::kLif;
+  float alif_beta = 0.5f;        ///< ALIF threshold boost per adaptation
+  float alif_rho = 0.9f;         ///< ALIF adaptation decay
+  EncoderKind encoder = EncoderKind::kConstantCurrentLif;
+  bool encoder_uses_vth = true;  ///< sweep the encoder threshold too
+  std::uint64_t poisson_seed = 7;
+  /// Multiplier on conv/linear weight init. Zero-mean Kaiming weights give
+  /// spiking inputs sub-threshold synaptic currents and the deep layers
+  /// never fire; a gain of a few (standard SNN practice, cf. SpyTorch's
+  /// scaled initialization) puts membrane potentials in the threshold's
+  /// working range. Applied to weights only, not biases.
+  double weight_gain = 16.0;
+  /// Gain on the pixel current fed to the encoder. Plays the role of
+  /// Norse's MNIST normalization ((x - 0.1307)/0.3081 stretches pixels to
+  /// ~[0, 2.8]): stroke pixels then drive the encoder well above threshold
+  /// and the input spike trains carry usable rate information.
+  double input_gain = 3.0;
+
+  /// LIF parameters with this config's threshold applied.
+  LifParameters lif_params() const;
+
+  void validate() const;
+};
+
+/// Build the spiking LeNet for `spec` with structural parameters `config`.
+std::unique_ptr<SpikingClassifier> build_spiking_lenet(
+    const nn::LenetSpec& spec, const SnnConfig& config, util::Rng& rng);
+
+}  // namespace snnsec::snn

@@ -1,0 +1,113 @@
+#include "snn/spiking_network.hpp"
+
+#include <cstring>
+#include <sstream>
+
+namespace snnsec::snn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+SpikingClassifier::SpikingClassifier(std::unique_ptr<nn::Sequential> net,
+                                     std::int64_t time_steps,
+                                     std::int64_t num_classes,
+                                     std::string description)
+    : net_(std::move(net)),
+      time_steps_(time_steps),
+      num_classes_(num_classes),
+      description_(std::move(description)) {
+  SNNSEC_CHECK(net_ != nullptr, "SpikingClassifier: null network");
+  SNNSEC_CHECK(time_steps_ > 0, "SpikingClassifier: T must be positive");
+  SNNSEC_CHECK(num_classes_ > 1, "SpikingClassifier: need >= 2 classes");
+}
+
+Tensor SpikingClassifier::replicate_over_time(const Tensor& x,
+                                              std::int64_t time_steps) {
+  std::vector<std::int64_t> dims = x.shape().dims();
+  SNNSEC_CHECK(!dims.empty(), "replicate_over_time: rank-0 input");
+  dims[0] *= time_steps;
+  Tensor out((Shape(dims)));
+  const std::size_t block = static_cast<std::size_t>(x.numel());
+  for (std::int64_t t = 0; t < time_steps; ++t)
+    std::memcpy(out.data() + static_cast<std::size_t>(t) * block, x.data(),
+                block * sizeof(float));
+  return out;
+}
+
+Tensor SpikingClassifier::sum_over_time(const Tensor& x,
+                                        std::int64_t time_steps) {
+  std::vector<std::int64_t> dims = x.shape().dims();
+  SNNSEC_CHECK(!dims.empty() && dims[0] % time_steps == 0,
+               "sum_over_time: dim0 not divisible by T");
+  dims[0] /= time_steps;
+  Tensor out((Shape(dims)));
+  const std::int64_t block = out.numel();
+  const float* px = x.data();
+  float* po = out.data();
+  for (std::int64_t t = 0; t < time_steps; ++t) {
+    const float* src = px + t * block;
+    for (std::int64_t i = 0; i < block; ++i) po[i] += src[i];
+  }
+  return out;
+}
+
+Tensor SpikingClassifier::logits(const Tensor& x) {
+  return net_->forward(replicate_over_time(x, time_steps_), nn::Mode::kEval);
+}
+
+Tensor SpikingClassifier::input_gradient(
+    const Tensor& x, const std::vector<std::int64_t>& labels,
+    double* loss_out) {
+  const Tensor out =
+      net_->forward(replicate_over_time(x, time_steps_), nn::Mode::kAttack);
+  const double loss = loss_.forward(out, labels);
+  if (loss_out != nullptr) *loss_out = loss;
+  const Tensor grad_seq = net_->backward(loss_.backward());
+  return sum_over_time(grad_seq, time_steps_);
+}
+
+Tensor SpikingClassifier::output_gradient(const Tensor& x,
+                                          const Tensor& cotangent) {
+  const Tensor out =
+      net_->forward(replicate_over_time(x, time_steps_), nn::Mode::kAttack);
+  SNNSEC_CHECK(cotangent.shape() == out.shape(),
+               "output_gradient: cotangent shape "
+                   << cotangent.shape().to_string() << " != logits shape "
+                   << out.shape().to_string());
+  const Tensor grad_seq = net_->backward(cotangent);
+  return sum_over_time(grad_seq, time_steps_);
+}
+
+double SpikingClassifier::train_batch(const Tensor& x,
+                                      const std::vector<std::int64_t>& labels,
+                                      nn::Optimizer& optimizer) {
+  optimizer.zero_grad();
+  const Tensor out =
+      net_->forward(replicate_over_time(x, time_steps_), nn::Mode::kTrain);
+  const double loss = loss_.forward(out, labels);
+  net_->backward(loss_.backward());
+  optimizer.step();
+  return loss;
+}
+
+std::vector<nn::Parameter*> SpikingClassifier::parameters() {
+  return net_->parameters();
+}
+
+std::vector<double> SpikingClassifier::spike_rates() const {
+  std::vector<double> rates;
+  auto* self = const_cast<SpikingClassifier*>(this);
+  for (std::size_t i = 0; i < self->net_->size(); ++i) {
+    if (const auto* lif = dynamic_cast<const LifLayer*>(&self->net_->layer(i)))
+      rates.push_back(lif->last_spike_rate());
+  }
+  return rates;
+}
+
+std::string SpikingClassifier::describe() const {
+  std::ostringstream oss;
+  oss << description_ << " (T=" << time_steps_ << ")\n" << net_->summary();
+  return oss.str();
+}
+
+}  // namespace snnsec::snn

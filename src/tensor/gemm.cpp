@@ -1,0 +1,109 @@
+#include "tensor/gemm.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace snnsec::tensor {
+
+namespace {
+
+struct Dims {
+  std::int64_t m = 0, n = 0, k = 0;
+};
+
+Dims check_dims(Trans trans_a, Trans trans_b, const Tensor& a,
+                const Tensor& b) {
+  SNNSEC_CHECK(a.ndim() == 2 && b.ndim() == 2,
+               "gemm expects rank-2 operands, got " << a.shape().to_string()
+                                                    << " and "
+                                                    << b.shape().to_string());
+  Dims d;
+  const std::int64_t a_rows = a.dim(0), a_cols = a.dim(1);
+  const std::int64_t b_rows = b.dim(0), b_cols = b.dim(1);
+  d.m = (trans_a == Trans::kNo) ? a_rows : a_cols;
+  d.k = (trans_a == Trans::kNo) ? a_cols : a_rows;
+  const std::int64_t bk = (trans_b == Trans::kNo) ? b_rows : b_cols;
+  d.n = (trans_b == Trans::kNo) ? b_cols : b_rows;
+  SNNSEC_CHECK(d.k == bk, "gemm inner-dimension mismatch: "
+                              << a.shape().to_string() << " x "
+                              << b.shape().to_string());
+  return d;
+}
+
+// Pack op(B) row-panel [K, N] contiguously once so the inner loop streams.
+// For our sizes (K,N up to a few thousand) a full pack of B is affordable
+// and keeps the kernel simple.
+void pack_b(Trans trans_b, const Tensor& b, std::int64_t k, std::int64_t n,
+            std::vector<float>& packed) {
+  packed.resize(static_cast<std::size_t>(k * n));
+  const float* pb = b.data();
+  if (trans_b == Trans::kNo) {
+    std::copy(pb, pb + k * n, packed.begin());
+  } else {
+    // b is [N, K]; packed[kk*n + j] = b[j, kk]
+    const std::int64_t ldb = b.dim(1);
+    for (std::int64_t j = 0; j < n; ++j)
+      for (std::int64_t kk = 0; kk < k; ++kk)
+        packed[static_cast<std::size_t>(kk * n + j)] = pb[j * ldb + kk];
+  }
+}
+
+}  // namespace
+
+void gemm(Trans trans_a, Trans trans_b, float alpha, const Tensor& a,
+          const Tensor& b, float beta, Tensor& c) {
+  const Dims d = check_dims(trans_a, trans_b, a, b);
+  SNNSEC_CHECK(c.ndim() == 2 && c.dim(0) == d.m && c.dim(1) == d.n,
+               "gemm output shape " << c.shape().to_string() << " != ["
+                                    << d.m << ", " << d.n << "]");
+
+  std::vector<float> bp;
+  pack_b(trans_b, b, d.k, d.n, bp);
+  const float* pb = bp.data();
+  const float* pa = a.data();
+  float* pc = c.data();
+  const std::int64_t lda = a.dim(1);
+
+  // Row panel task: compute C[i, :] for i in [lo, hi).
+  auto row_panel = [&](std::int64_t lo, std::int64_t hi) {
+    std::vector<float> acc(static_cast<std::size_t>(d.n));
+    for (std::int64_t i = lo; i < hi; ++i) {
+      std::fill(acc.begin(), acc.end(), 0.0f);
+      for (std::int64_t kk = 0; kk < d.k; ++kk) {
+        const float av = (trans_a == Trans::kNo) ? pa[i * lda + kk]
+                                                 : pa[kk * lda + i];
+        if (av == 0.0f) continue;  // spike tensors are sparse; skip zeros
+        const float* brow = pb + kk * d.n;
+        for (std::int64_t j = 0; j < d.n; ++j) acc[static_cast<std::size_t>(j)] += av * brow[j];
+      }
+      float* crow = pc + i * d.n;
+      if (beta == 0.0f) {
+        for (std::int64_t j = 0; j < d.n; ++j)
+          crow[j] = alpha * acc[static_cast<std::size_t>(j)];
+      } else {
+        for (std::int64_t j = 0; j < d.n; ++j)
+          crow[j] = beta * crow[j] + alpha * acc[static_cast<std::size_t>(j)];
+      }
+    }
+  };
+
+  // Parallelize across row panels when the work is big enough to amortize
+  // task dispatch.
+  const std::int64_t flops = d.m * d.n * d.k;
+  if (flops < (1 << 16)) {
+    row_panel(0, d.m);
+  } else {
+    util::parallel_for_chunked(0, d.m, row_panel);
+  }
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b, Trans trans_a, Trans trans_b) {
+  const Dims d = check_dims(trans_a, trans_b, a, b);
+  Tensor c(Shape{d.m, d.n});
+  gemm(trans_a, trans_b, 1.0f, a, b, 0.0f, c);
+  return c;
+}
+
+}  // namespace snnsec::tensor

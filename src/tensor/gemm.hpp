@@ -1,0 +1,26 @@
+// Single-precision GEMM: the workhorse behind Linear and (via im2col)
+// Conv2d, forward and backward.
+//
+// C = alpha * op(A) * op(B) + beta * C, with op in {identity, transpose}.
+// The kernel is cache-blocked and parallelized over row panels of C through
+// util::parallel_for; with SNNSEC_THREADS=1 it is fully deterministic.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+
+namespace snnsec::tensor {
+
+enum class Trans { kNo, kYes };
+
+/// General matrix multiply into an existing, correctly-sized C.
+/// Shapes (logical, after op): A is [M,K], B is [K,N], C is [M,N].
+void gemm(Trans trans_a, Trans trans_b, float alpha, const Tensor& a,
+          const Tensor& b, float beta, Tensor& c);
+
+/// Convenience: returns op(A)*op(B) as a fresh [M,N] tensor.
+Tensor matmul(const Tensor& a, const Tensor& b, Trans trans_a = Trans::kNo,
+              Trans trans_b = Trans::kNo);
+
+}  // namespace snnsec::tensor

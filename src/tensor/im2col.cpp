@@ -1,0 +1,76 @@
+#include "tensor/im2col.hpp"
+
+namespace snnsec::tensor {
+
+void ConvGeometry::validate() const {
+  SNNSEC_CHECK(channels > 0 && height > 0 && width > 0,
+               "ConvGeometry: non-positive input dims");
+  SNNSEC_CHECK(kernel_h > 0 && kernel_w > 0, "ConvGeometry: non-positive kernel");
+  SNNSEC_CHECK(stride_h > 0 && stride_w > 0, "ConvGeometry: non-positive stride");
+  SNNSEC_CHECK(pad_h >= 0 && pad_w >= 0, "ConvGeometry: negative padding");
+  SNNSEC_CHECK(out_h() > 0 && out_w() > 0,
+               "ConvGeometry: empty output (" << out_h() << "x" << out_w()
+                                              << ")");
+}
+
+void im2col(const ConvGeometry& g, const float* image, float* columns) {
+  im2col_ld(g, image, columns, g.out_h() * g.out_w(), 0);
+}
+
+void col2im(const ConvGeometry& g, const float* columns, float* image_grad) {
+  col2im_ld(g, columns, image_grad, g.out_h() * g.out_w(), 0);
+}
+
+void im2col_ld(const ConvGeometry& g, const float* image, float* columns,
+               std::int64_t ld, std::int64_t col0) {
+  const std::int64_t oh = g.out_h();
+  const std::int64_t ow = g.out_w();
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < g.channels; ++c) {
+    const float* plane = image + c * g.height * g.width;
+    for (std::int64_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (std::int64_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
+        float* dst = columns + row * ld + col0;
+        for (std::int64_t oy = 0; oy < oh; ++oy) {
+          const std::int64_t iy = oy * g.stride_h + kh - g.pad_h;
+          if (iy < 0 || iy >= g.height) {
+            for (std::int64_t ox = 0; ox < ow; ++ox) dst[oy * ow + ox] = 0.0f;
+            continue;
+          }
+          const float* src_row = plane + iy * g.width;
+          for (std::int64_t ox = 0; ox < ow; ++ox) {
+            const std::int64_t ix = ox * g.stride_w + kw - g.pad_w;
+            dst[oy * ow + ox] =
+                (ix >= 0 && ix < g.width) ? src_row[ix] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im_ld(const ConvGeometry& g, const float* columns, float* image_grad,
+               std::int64_t ld, std::int64_t col0) {
+  const std::int64_t oh = g.out_h();
+  const std::int64_t ow = g.out_w();
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < g.channels; ++c) {
+    float* plane = image_grad + c * g.height * g.width;
+    for (std::int64_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (std::int64_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
+        const float* src = columns + row * ld + col0;
+        for (std::int64_t oy = 0; oy < oh; ++oy) {
+          const std::int64_t iy = oy * g.stride_h + kh - g.pad_h;
+          if (iy < 0 || iy >= g.height) continue;
+          float* dst_row = plane + iy * g.width;
+          for (std::int64_t ox = 0; ox < ow; ++ox) {
+            const std::int64_t ix = ox * g.stride_w + kw - g.pad_w;
+            if (ix >= 0 && ix < g.width) dst_row[ix] += src[oy * ow + ox];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace snnsec::tensor

@@ -1,0 +1,60 @@
+// im2col / col2im: lower 2-D convolution to GEMM.
+//
+// Layout conventions (all row-major):
+//   image  : [C, H, W]                        (single sample)
+//   column : [C*KH*KW, OH*OW]
+// so that conv output = weight_matrix [Cout, C*KH*KW] x column.
+// col2im is the exact adjoint (scatter-add), used by conv backward.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+
+namespace snnsec::tensor {
+
+struct ConvGeometry {
+  std::int64_t channels = 0;
+  std::int64_t height = 0;
+  std::int64_t width = 0;
+  std::int64_t kernel_h = 0;
+  std::int64_t kernel_w = 0;
+  std::int64_t stride_h = 1;
+  std::int64_t stride_w = 1;
+  std::int64_t pad_h = 0;
+  std::int64_t pad_w = 0;
+
+  std::int64_t out_h() const {
+    return (height + 2 * pad_h - kernel_h) / stride_h + 1;
+  }
+  std::int64_t out_w() const {
+    return (width + 2 * pad_w - kernel_w) / stride_w + 1;
+  }
+  /// Rows of the column matrix.
+  std::int64_t patch_size() const { return channels * kernel_h * kernel_w; }
+
+  /// Throws util::Error when kernel/stride/padding do not produce a
+  /// positive output size.
+  void validate() const;
+};
+
+/// Expand `image` ([C,H,W] flattened, length C*H*W) into `columns`
+/// ([patch_size, OH*OW] flattened). `columns` must be pre-sized; padding
+/// contributes zeros.
+void im2col(const ConvGeometry& g, const float* image, float* columns);
+
+/// Adjoint of im2col: scatter-add `columns` back into `image_grad`
+/// (length C*H*W). Caller zeroes image_grad beforehand if required.
+void col2im(const ConvGeometry& g, const float* columns, float* image_grad);
+
+/// Strided variants for batched lowering: the column matrix has `ld` total
+/// columns (ld >= OH*OW) and this sample's block starts at column `col0`,
+/// i.e. element (row, j) lives at columns[row * ld + col0 + j]. Used to
+/// build one [patch_size, N*OH*OW] matrix for a whole batch so conv becomes
+/// a single large GEMM.
+void im2col_ld(const ConvGeometry& g, const float* image, float* columns,
+               std::int64_t ld, std::int64_t col0);
+void col2im_ld(const ConvGeometry& g, const float* columns, float* image_grad,
+               std::int64_t ld, std::int64_t col0);
+
+}  // namespace snnsec::tensor

@@ -1,0 +1,342 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace snnsec::tensor {
+
+namespace {
+
+/// Apply `op` element-wise with broadcasting. Fast path when shapes match.
+Tensor binary_impl(const Tensor& a, const Tensor& b, float (*op)(float, float)) {
+  if (a.shape() == b.shape()) {
+    Tensor out(a.shape());
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* po = out.data();
+    const std::int64_t n = a.numel();
+    for (std::int64_t i = 0; i < n; ++i) po[i] = op(pa[i], pb[i]);
+    return out;
+  }
+  const Shape out_shape = Shape::broadcast(a.shape(), b.shape());
+  Tensor out(out_shape);
+  const std::int64_t ndim = out_shape.ndim();
+  const auto out_strides = out_shape.strides();
+
+  // Build broadcast strides for each input: stride 0 where the input extent
+  // is 1, aligned at trailing dimensions.
+  auto bcast_strides = [&](const Shape& s) {
+    std::vector<std::int64_t> st(static_cast<std::size_t>(ndim), 0);
+    const auto own = s.strides();
+    const std::int64_t offset = ndim - s.ndim();
+    for (std::int64_t i = 0; i < s.ndim(); ++i) {
+      st[static_cast<std::size_t>(offset + i)] =
+          (s[i] == 1) ? 0 : own[static_cast<std::size_t>(i)];
+    }
+    return st;
+  };
+  const auto sa = bcast_strides(a.shape());
+  const auto sb = bcast_strides(b.shape());
+
+  const std::int64_t total = out_shape.numel();
+  std::vector<std::int64_t> idx(static_cast<std::size_t>(ndim), 0);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  std::int64_t off_a = 0;
+  std::int64_t off_b = 0;
+  for (std::int64_t flat = 0; flat < total; ++flat) {
+    po[flat] = op(pa[off_a], pb[off_b]);
+    // Odometer increment over the output index, updating input offsets.
+    for (std::int64_t d = ndim - 1; d >= 0; --d) {
+      auto& iv = idx[static_cast<std::size_t>(d)];
+      ++iv;
+      off_a += sa[static_cast<std::size_t>(d)];
+      off_b += sb[static_cast<std::size_t>(d)];
+      if (iv < out_shape[d]) break;
+      off_a -= sa[static_cast<std::size_t>(d)] * iv;
+      off_b -= sb[static_cast<std::size_t>(d)] * iv;
+      iv = 0;
+    }
+  }
+  return out;
+}
+
+Tensor unary_impl(const Tensor& a, float (*op)(float)) {
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) po[i] = op(pa[i]);
+  return out;
+}
+
+}  // namespace
+
+Tensor broadcast_binary(const Tensor& a, const Tensor& b,
+                        const std::function<float(float, float)>& op) {
+  // Generic (std::function) version used by tests; routes through a thunk.
+  thread_local const std::function<float(float, float)>* current = nullptr;
+  current = &op;
+  return binary_impl(a, b, [](float x, float y) { return (*current)(x, y); });
+}
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  return binary_impl(a, b, [](float x, float y) { return x + y; });
+}
+Tensor sub(const Tensor& a, const Tensor& b) {
+  return binary_impl(a, b, [](float x, float y) { return x - y; });
+}
+Tensor mul(const Tensor& a, const Tensor& b) {
+  return binary_impl(a, b, [](float x, float y) { return x * y; });
+}
+Tensor div(const Tensor& a, const Tensor& b) {
+  return binary_impl(a, b, [](float x, float y) { return x / y; });
+}
+Tensor maximum(const Tensor& a, const Tensor& b) {
+  return binary_impl(a, b, [](float x, float y) { return std::max(x, y); });
+}
+Tensor minimum(const Tensor& a, const Tensor& b) {
+  return binary_impl(a, b, [](float x, float y) { return std::min(x, y); });
+}
+
+Tensor add_scalar(const Tensor& a, float s) {
+  Tensor out = a;
+  out.add_scalar_(s);
+  return out;
+}
+Tensor mul_scalar(const Tensor& a, float s) {
+  Tensor out = a;
+  out.mul_scalar_(s);
+  return out;
+}
+
+Tensor neg(const Tensor& a) {
+  return unary_impl(a, [](float x) { return -x; });
+}
+Tensor abs(const Tensor& a) {
+  return unary_impl(a, [](float x) { return std::fabs(x); });
+}
+Tensor sign(const Tensor& a) {
+  return unary_impl(a, [](float x) {
+    return x > 0.0f ? 1.0f : (x < 0.0f ? -1.0f : 0.0f);
+  });
+}
+Tensor exp(const Tensor& a) {
+  return unary_impl(a, [](float x) { return std::exp(x); });
+}
+Tensor log(const Tensor& a) {
+  return unary_impl(a, [](float x) { return std::log(x); });
+}
+Tensor sqrt(const Tensor& a) {
+  return unary_impl(a, [](float x) { return std::sqrt(x); });
+}
+Tensor clamp(const Tensor& a, float lo, float hi) {
+  Tensor out = a;
+  out.clamp_(lo, hi);
+  return out;
+}
+Tensor relu(const Tensor& a) {
+  return unary_impl(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+}
+Tensor heaviside(const Tensor& a) {
+  return unary_impl(a, [](float x) { return x > 0.0f ? 1.0f : 0.0f; });
+}
+
+float sum(const Tensor& a) {
+  // Pairwise-ish accumulation in double for stable reductions.
+  double acc = 0.0;
+  const float* p = a.data();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) acc += p[i];
+  return static_cast<float>(acc);
+}
+
+float mean(const Tensor& a) {
+  SNNSEC_CHECK(a.numel() > 0, "mean of empty tensor");
+  return sum(a) / static_cast<float>(a.numel());
+}
+
+float max_value(const Tensor& a) {
+  SNNSEC_CHECK(a.numel() > 0, "max of empty tensor");
+  return *std::max_element(a.data(), a.data() + a.numel());
+}
+
+float min_value(const Tensor& a) {
+  SNNSEC_CHECK(a.numel() > 0, "min of empty tensor");
+  return *std::min_element(a.data(), a.data() + a.numel());
+}
+
+std::int64_t argmax_flat(const Tensor& a) {
+  SNNSEC_CHECK(a.numel() > 0, "argmax of empty tensor");
+  return std::max_element(a.data(), a.data() + a.numel()) - a.data();
+}
+
+float linf_distance(const Tensor& a, const Tensor& b) {
+  SNNSEC_CHECK(a.shape() == b.shape(), "linf_distance shape mismatch");
+  float m = 0.0f;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i)
+    m = std::max(m, std::fabs(pa[i] - pb[i]));
+  return m;
+}
+
+float l2_norm(const Tensor& a) {
+  double acc = 0.0;
+  const float* p = a.data();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) acc += static_cast<double>(p[i]) * p[i];
+  return static_cast<float>(std::sqrt(acc));
+}
+
+namespace {
+/// Decompose a shape around `dim` into (outer, extent, inner) so that
+/// flat = (o * extent + k) * inner + j.
+struct DimSplit {
+  std::int64_t outer = 1;
+  std::int64_t extent = 1;
+  std::int64_t inner = 1;
+};
+DimSplit split_at(const Shape& s, std::int64_t dim) {
+  if (dim < 0) dim += s.ndim();
+  SNNSEC_CHECK(dim >= 0 && dim < s.ndim(),
+               "reduction dim " << dim << " out of range for " << s.to_string());
+  DimSplit out;
+  for (std::int64_t i = 0; i < dim; ++i) out.outer *= s[i];
+  out.extent = s[dim];
+  for (std::int64_t i = dim + 1; i < s.ndim(); ++i) out.inner *= s[i];
+  return out;
+}
+}  // namespace
+
+Tensor sum_dim(const Tensor& a, std::int64_t dim) {
+  const DimSplit sp = split_at(a.shape(), dim);
+  Tensor out(a.shape().without_dim(dim));
+  const float* pa = a.data();
+  float* po = out.data();
+  for (std::int64_t o = 0; o < sp.outer; ++o) {
+    for (std::int64_t k = 0; k < sp.extent; ++k) {
+      const float* src = pa + (o * sp.extent + k) * sp.inner;
+      float* dst = po + o * sp.inner;
+      for (std::int64_t j = 0; j < sp.inner; ++j) dst[j] += src[j];
+    }
+  }
+  return out;
+}
+
+Tensor mean_dim(const Tensor& a, std::int64_t dim) {
+  const DimSplit sp = split_at(a.shape(), dim);
+  SNNSEC_CHECK(sp.extent > 0, "mean_dim over empty dimension");
+  Tensor out = sum_dim(a, dim);
+  out.mul_scalar_(1.0f / static_cast<float>(sp.extent));
+  return out;
+}
+
+Tensor max_dim(const Tensor& a, std::int64_t dim,
+               std::vector<std::int64_t>* indices) {
+  const DimSplit sp = split_at(a.shape(), dim);
+  SNNSEC_CHECK(sp.extent > 0, "max_dim over empty dimension");
+  Tensor out(a.shape().without_dim(dim),
+             -std::numeric_limits<float>::infinity());
+  if (indices != nullptr)
+    indices->assign(static_cast<std::size_t>(out.numel()), 0);
+  const float* pa = a.data();
+  float* po = out.data();
+  for (std::int64_t o = 0; o < sp.outer; ++o) {
+    for (std::int64_t k = 0; k < sp.extent; ++k) {
+      const float* src = pa + (o * sp.extent + k) * sp.inner;
+      float* dst = po + o * sp.inner;
+      for (std::int64_t j = 0; j < sp.inner; ++j) {
+        if (src[j] > dst[j]) {
+          dst[j] = src[j];
+          if (indices != nullptr)
+            (*indices)[static_cast<std::size_t>(o * sp.inner + j)] = k;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::int64_t> argmax_rows(const Tensor& a) {
+  SNNSEC_CHECK(a.ndim() == 2, "argmax_rows expects [N, C], got "
+                                  << a.shape().to_string());
+  const std::int64_t n = a.dim(0);
+  const std::int64_t c = a.dim(1);
+  std::vector<std::int64_t> out(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* row = a.data() + i * c;
+    out[static_cast<std::size_t>(i)] =
+        std::max_element(row, row + c) - row;
+  }
+  return out;
+}
+
+Tensor transpose(const Tensor& a) {
+  SNNSEC_CHECK(a.ndim() == 2, "transpose expects rank-2, got "
+                                  << a.shape().to_string());
+  const std::int64_t r = a.dim(0);
+  const std::int64_t c = a.dim(1);
+  Tensor out(Shape{c, r});
+  const float* pa = a.data();
+  float* po = out.data();
+  for (std::int64_t i = 0; i < r; ++i)
+    for (std::int64_t j = 0; j < c; ++j) po[j * r + i] = pa[i * c + j];
+  return out;
+}
+
+Tensor softmax_rows(const Tensor& logits) {
+  SNNSEC_CHECK(logits.ndim() == 2, "softmax_rows expects [N, C], got "
+                                       << logits.shape().to_string());
+  const std::int64_t n = logits.dim(0);
+  const std::int64_t c = logits.dim(1);
+  Tensor out(logits.shape());
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * c;
+    float* orow = out.data() + i * c;
+    const float m = *std::max_element(row, row + c);
+    double denom = 0.0;
+    for (std::int64_t j = 0; j < c; ++j) {
+      orow[j] = std::exp(row[j] - m);
+      denom += orow[j];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (std::int64_t j = 0; j < c; ++j) orow[j] *= inv;
+  }
+  return out;
+}
+
+Tensor log_softmax_rows(const Tensor& logits) {
+  SNNSEC_CHECK(logits.ndim() == 2, "log_softmax_rows expects [N, C], got "
+                                       << logits.shape().to_string());
+  const std::int64_t n = logits.dim(0);
+  const std::int64_t c = logits.dim(1);
+  Tensor out(logits.shape());
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * c;
+    float* orow = out.data() + i * c;
+    const float m = *std::max_element(row, row + c);
+    double denom = 0.0;
+    for (std::int64_t j = 0; j < c; ++j) denom += std::exp(row[j] - m);
+    const float lse = m + static_cast<float>(std::log(denom));
+    for (std::int64_t j = 0; j < c; ++j) orow[j] = row[j] - lse;
+  }
+  return out;
+}
+
+Tensor one_hot(const std::vector<std::int64_t>& labels, std::int64_t classes) {
+  SNNSEC_CHECK(classes > 0, "one_hot: classes must be positive");
+  Tensor out(Shape{static_cast<std::int64_t>(labels.size()), classes});
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const std::int64_t l = labels[i];
+    SNNSEC_CHECK(l >= 0 && l < classes,
+                 "one_hot: label " << l << " outside [0, " << classes << ")");
+    out[static_cast<std::int64_t>(i) * classes + l] = 1.0f;
+  }
+  return out;
+}
+
+}  // namespace snnsec::tensor

@@ -1,0 +1,78 @@
+// Element-wise, broadcast, and reduction kernels over Tensor.
+//
+// All functions return new tensors (value semantics); in-place variants live
+// on Tensor itself. Binary ops support full NumPy-style trailing-dimension
+// broadcasting via Shape::broadcast.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "tensor/tensor.hpp"
+
+namespace snnsec::tensor {
+
+// ---- broadcast binary ops -------------------------------------------------
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+Tensor div(const Tensor& a, const Tensor& b);
+Tensor maximum(const Tensor& a, const Tensor& b);
+Tensor minimum(const Tensor& a, const Tensor& b);
+
+/// Generic broadcast binary op (used by the named ops above and by tests).
+Tensor broadcast_binary(const Tensor& a, const Tensor& b,
+                        const std::function<float(float, float)>& op);
+
+// ---- scalar ops -------------------------------------------------------------
+Tensor add_scalar(const Tensor& a, float s);
+Tensor mul_scalar(const Tensor& a, float s);
+
+// ---- unary ops --------------------------------------------------------------
+Tensor neg(const Tensor& a);
+Tensor abs(const Tensor& a);
+Tensor sign(const Tensor& a);  ///< -1 / 0 / +1 per element
+Tensor exp(const Tensor& a);
+Tensor log(const Tensor& a);  ///< natural log; caller ensures positivity
+Tensor sqrt(const Tensor& a);
+Tensor clamp(const Tensor& a, float lo, float hi);
+Tensor relu(const Tensor& a);
+/// Heaviside step: 1 where a > 0, else 0.
+Tensor heaviside(const Tensor& a);
+
+// ---- reductions -------------------------------------------------------------
+float sum(const Tensor& a);
+float mean(const Tensor& a);
+float max_value(const Tensor& a);
+float min_value(const Tensor& a);
+/// Index of the max element in a flat view.
+std::int64_t argmax_flat(const Tensor& a);
+/// Max L∞ distance between two same-shaped tensors.
+float linf_distance(const Tensor& a, const Tensor& b);
+/// Frobenius / L2 norm.
+float l2_norm(const Tensor& a);
+
+/// Sum over one dimension: [d0,...,di,...,dn] -> [d0,...,dn] (dim removed).
+Tensor sum_dim(const Tensor& a, std::int64_t dim);
+/// Mean over one dimension.
+Tensor mean_dim(const Tensor& a, std::int64_t dim);
+/// Max over one dimension; when `indices` is non-null it receives the argmax
+/// positions (same shape as the result) for gradient routing.
+Tensor max_dim(const Tensor& a, std::int64_t dim,
+               std::vector<std::int64_t>* indices = nullptr);
+/// Row-wise argmax of a [N, C] matrix -> vector of N class indices.
+std::vector<std::int64_t> argmax_rows(const Tensor& a);
+
+// ---- matrix ops --------------------------------------------------------------
+/// 2-D transpose.
+Tensor transpose(const Tensor& a);
+
+/// Row-wise softmax of [N, C].
+Tensor softmax_rows(const Tensor& logits);
+/// Row-wise log-softmax of [N, C] (numerically stable).
+Tensor log_softmax_rows(const Tensor& logits);
+
+/// One-hot encode `labels` (size N, values in [0, classes)) as [N, classes].
+Tensor one_hot(const std::vector<std::int64_t>& labels, std::int64_t classes);
+
+}  // namespace snnsec::tensor

@@ -1,0 +1,126 @@
+#include "tensor/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "util/csv.hpp"  // ensure_parent_dir
+
+namespace snnsec::tensor {
+
+namespace {
+constexpr char kTensorMagic[4] = {'S', 'N', 'N', 'T'};
+constexpr char kArchiveMagic[4] = {'S', 'N', 'N', 'A'};
+constexpr std::uint32_t kVersion = 1;
+
+void write_u32(std::ostream& os, std::uint32_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void write_i64(std::ostream& os, std::int64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+std::uint32_t read_u32(std::istream& is) {
+  std::uint32_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  SNNSEC_CHECK(is.good(), "truncated tensor stream (u32)");
+  return v;
+}
+std::int64_t read_i64(std::istream& is) {
+  std::int64_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  SNNSEC_CHECK(is.good(), "truncated tensor stream (i64)");
+  return v;
+}
+}  // namespace
+
+void save_tensor(std::ostream& os, const Tensor& t) {
+  os.write(kTensorMagic, 4);
+  write_u32(os, kVersion);
+  write_u32(os, static_cast<std::uint32_t>(t.ndim()));
+  for (std::int64_t i = 0; i < t.ndim(); ++i) write_i64(os, t.dim(i));
+  os.write(reinterpret_cast<const char*>(t.data()),
+           static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  SNNSEC_CHECK(os.good(), "tensor write failed");
+}
+
+Tensor load_tensor(std::istream& is) {
+  char magic[4];
+  is.read(magic, 4);
+  SNNSEC_CHECK(is.good() && std::memcmp(magic, kTensorMagic, 4) == 0,
+               "bad tensor magic");
+  const std::uint32_t version = read_u32(is);
+  SNNSEC_CHECK(version == kVersion, "unsupported tensor version " << version);
+  const std::uint32_t ndim = read_u32(is);
+  SNNSEC_CHECK(ndim <= 16, "implausible tensor rank " << ndim);
+  std::vector<std::int64_t> dims(ndim);
+  for (auto& d : dims) {
+    d = read_i64(is);
+    SNNSEC_CHECK(d >= 0 && d <= (1LL << 40), "implausible tensor dim " << d);
+  }
+  Tensor t((Shape(dims)));
+  is.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  SNNSEC_CHECK(is.good(), "truncated tensor payload");
+  return t;
+}
+
+void save_tensor_file(const std::string& path, const Tensor& t) {
+  util::ensure_parent_dir(path);
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  SNNSEC_CHECK(os.is_open(), "cannot open " << path << " for writing");
+  save_tensor(os, t);
+}
+
+Tensor load_tensor_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  SNNSEC_CHECK(is.is_open(), "cannot open " << path << " for reading");
+  return load_tensor(is);
+}
+
+void save_archive(std::ostream& os,
+                  const std::map<std::string, Tensor>& items) {
+  os.write(kArchiveMagic, 4);
+  write_u32(os, kVersion);
+  write_u32(os, static_cast<std::uint32_t>(items.size()));
+  for (const auto& [name, t] : items) {
+    write_u32(os, static_cast<std::uint32_t>(name.size()));
+    os.write(name.data(), static_cast<std::streamsize>(name.size()));
+    save_tensor(os, t);
+  }
+  SNNSEC_CHECK(os.good(), "archive write failed");
+}
+
+std::map<std::string, Tensor> load_archive(std::istream& is) {
+  char magic[4];
+  is.read(magic, 4);
+  SNNSEC_CHECK(is.good() && std::memcmp(magic, kArchiveMagic, 4) == 0,
+               "bad archive magic");
+  const std::uint32_t version = read_u32(is);
+  SNNSEC_CHECK(version == kVersion, "unsupported archive version " << version);
+  const std::uint32_t count = read_u32(is);
+  std::map<std::string, Tensor> out;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t len = read_u32(is);
+    SNNSEC_CHECK(len <= 4096, "implausible archive entry name length " << len);
+    std::string name(len, '\0');
+    is.read(name.data(), len);
+    SNNSEC_CHECK(is.good(), "truncated archive entry name");
+    out.emplace(std::move(name), load_tensor(is));
+  }
+  return out;
+}
+
+void save_archive_file(const std::string& path,
+                       const std::map<std::string, Tensor>& items) {
+  util::ensure_parent_dir(path);
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  SNNSEC_CHECK(os.is_open(), "cannot open " << path << " for writing");
+  save_archive(os, items);
+}
+
+std::map<std::string, Tensor> load_archive_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  SNNSEC_CHECK(is.is_open(), "cannot open " << path << " for reading");
+  return load_archive(is);
+}
+
+}  // namespace snnsec::tensor

@@ -1,0 +1,32 @@
+// Binary tensor (de)serialization — used to checkpoint trained models so
+// expensive grid cells can be cached across bench runs.
+//
+// Format (little-endian):
+//   magic "SNNT" | u32 version | u32 ndim | i64 dims[ndim] | f32 data[numel]
+// A named archive simply concatenates (u32 name_len | name | tensor) records
+// after a "SNNA" header.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace snnsec::tensor {
+
+void save_tensor(std::ostream& os, const Tensor& t);
+Tensor load_tensor(std::istream& is);
+
+void save_tensor_file(const std::string& path, const Tensor& t);
+Tensor load_tensor_file(const std::string& path);
+
+/// Ordered name->tensor archive.
+void save_archive(std::ostream& os, const std::map<std::string, Tensor>& items);
+std::map<std::string, Tensor> load_archive(std::istream& is);
+
+void save_archive_file(const std::string& path,
+                       const std::map<std::string, Tensor>& items);
+std::map<std::string, Tensor> load_archive_file(const std::string& path);
+
+}  // namespace snnsec::tensor

@@ -1,0 +1,92 @@
+#include "tensor/shape.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace snnsec::tensor {
+
+Shape::Shape(std::initializer_list<std::int64_t> dims) : dims_(dims) {
+  for (const auto d : dims_)
+    SNNSEC_CHECK(d >= 0, "negative extent in shape " << to_string());
+}
+
+Shape::Shape(std::vector<std::int64_t> dims) : dims_(std::move(dims)) {
+  for (const auto d : dims_)
+    SNNSEC_CHECK(d >= 0, "negative extent in shape " << to_string());
+}
+
+std::int64_t Shape::operator[](std::int64_t i) const { return dim(i); }
+
+std::int64_t Shape::dim(std::int64_t i) const {
+  const std::int64_t n = ndim();
+  if (i < 0) i += n;
+  SNNSEC_CHECK(i >= 0 && i < n,
+               "dim index " << i << " out of range for " << to_string());
+  return dims_[static_cast<std::size_t>(i)];
+}
+
+std::int64_t Shape::numel() const {
+  std::int64_t n = 1;
+  for (const auto d : dims_) n *= d;
+  return n;
+}
+
+std::vector<std::int64_t> Shape::strides() const {
+  std::vector<std::int64_t> s(dims_.size(), 1);
+  for (std::int64_t i = ndim() - 2; i >= 0; --i)
+    s[static_cast<std::size_t>(i)] =
+        s[static_cast<std::size_t>(i + 1)] * dims_[static_cast<std::size_t>(i + 1)];
+  return s;
+}
+
+std::string Shape::to_string() const {
+  std::ostringstream oss;
+  oss << '[';
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i) oss << ", ";
+    oss << dims_[i];
+  }
+  oss << ']';
+  return oss.str();
+}
+
+Shape Shape::without_dim(std::int64_t i) const {
+  const std::int64_t n = ndim();
+  if (i < 0) i += n;
+  SNNSEC_CHECK(i >= 0 && i < n,
+               "without_dim index " << i << " out of range for " << to_string());
+  std::vector<std::int64_t> out = dims_;
+  out.erase(out.begin() + static_cast<std::ptrdiff_t>(i));
+  return Shape(std::move(out));
+}
+
+Shape Shape::with_dim_inserted(std::int64_t i, std::int64_t extent) const {
+  const std::int64_t n = ndim();
+  if (i < 0) i += n + 1;
+  SNNSEC_CHECK(i >= 0 && i <= n, "with_dim_inserted index " << i
+                                     << " out of range for " << to_string());
+  SNNSEC_CHECK(extent >= 0, "negative extent " << extent);
+  std::vector<std::int64_t> out = dims_;
+  out.insert(out.begin() + static_cast<std::ptrdiff_t>(i), extent);
+  return Shape(std::move(out));
+}
+
+Shape Shape::broadcast(const Shape& a, const Shape& b) {
+  const std::int64_t na = a.ndim();
+  const std::int64_t nb = b.ndim();
+  const std::int64_t n = std::max(na, nb);
+  std::vector<std::int64_t> out(static_cast<std::size_t>(n), 1);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t da = (i < na) ? a.dims_[static_cast<std::size_t>(na - 1 - i)] : 1;
+    const std::int64_t db = (i < nb) ? b.dims_[static_cast<std::size_t>(nb - 1 - i)] : 1;
+    SNNSEC_CHECK(da == db || da == 1 || db == 1,
+                 "cannot broadcast " << a.to_string() << " with "
+                                     << b.to_string());
+    out[static_cast<std::size_t>(n - 1 - i)] = std::max(da, db);
+  }
+  return Shape(std::move(out));
+}
+
+}  // namespace snnsec::tensor

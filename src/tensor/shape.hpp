@@ -1,0 +1,53 @@
+// Shape: the dimension vector of a dense row-major tensor.
+//
+// A Shape owns a small vector of non-negative extents. Rank-0 (scalar)
+// shapes are allowed and have numel() == 1. Strides are derived, not stored:
+// all snnsec tensors are contiguous row-major.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace snnsec::tensor {
+
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<std::int64_t> dims);
+  explicit Shape(std::vector<std::int64_t> dims);
+
+  std::int64_t ndim() const { return static_cast<std::int64_t>(dims_.size()); }
+  std::int64_t operator[](std::int64_t i) const;
+  /// Python-style: dim(-1) is the last dimension.
+  std::int64_t dim(std::int64_t i) const;
+  const std::vector<std::int64_t>& dims() const { return dims_; }
+
+  /// Product of all extents (1 for rank-0).
+  std::int64_t numel() const;
+
+  /// Row-major strides, in elements.
+  std::vector<std::int64_t> strides() const;
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  /// "[2, 3, 4]"
+  std::string to_string() const;
+
+  /// Shape with dimension `i` removed (for reductions).
+  Shape without_dim(std::int64_t i) const;
+
+  /// Shape with an extra size-1 dimension inserted at `i`.
+  Shape with_dim_inserted(std::int64_t i, std::int64_t extent) const;
+
+  /// Result shape of broadcasting `a` against `b` (NumPy trailing-alignment
+  /// rules). Throws util::Error when incompatible.
+  static Shape broadcast(const Shape& a, const Shape& b);
+
+ private:
+  std::vector<std::int64_t> dims_;
+};
+
+}  // namespace snnsec::tensor

@@ -1,0 +1,158 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace snnsec::tensor {
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  SNNSEC_CHECK(static_cast<std::int64_t>(data_.size()) == shape_.numel(),
+               "buffer size " << data_.size() << " does not match shape "
+                              << shape_.to_string());
+}
+
+Tensor Tensor::randn(Shape shape, util::Rng& rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  rng.fill_normal(t.data(), static_cast<std::size_t>(t.numel()), mean, stddev);
+  return t;
+}
+
+Tensor Tensor::rand_uniform(Shape shape, util::Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  rng.fill_uniform(t.data(), static_cast<std::size_t>(t.numel()), lo, hi);
+  return t;
+}
+
+Tensor Tensor::bernoulli(Shape shape, util::Rng& rng, double p) {
+  Tensor t(std::move(shape));
+  rng.fill_bernoulli(t.data(), static_cast<std::size_t>(t.numel()), p);
+  return t;
+}
+
+Tensor Tensor::arange(std::int64_t n, float start, float step) {
+  SNNSEC_CHECK(n >= 0, "arange with negative n");
+  Tensor t(Shape{n});
+  for (std::int64_t i = 0; i < n; ++i)
+    t[i] = start + step * static_cast<float>(i);
+  return t;
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const& {
+  SNNSEC_CHECK(new_shape.numel() == numel(),
+               "reshape " << shape_.to_string() << " -> "
+                          << new_shape.to_string() << " changes numel");
+  Tensor out = *this;
+  out.shape_ = std::move(new_shape);
+  return out;
+}
+
+Tensor Tensor::reshaped(Shape new_shape) && {
+  SNNSEC_CHECK(new_shape.numel() == numel(),
+               "reshape " << shape_.to_string() << " -> "
+                          << new_shape.to_string() << " changes numel");
+  shape_ = std::move(new_shape);
+  return std::move(*this);
+}
+
+std::int64_t Tensor::offset(std::initializer_list<std::int64_t> idx) const {
+  SNNSEC_CHECK(static_cast<std::int64_t>(idx.size()) == ndim(),
+               "index rank " << idx.size() << " != tensor rank " << ndim());
+  std::int64_t flat = 0;
+  std::int64_t i = 0;
+  const auto strides = shape_.strides();
+  for (const std::int64_t v : idx) {
+    const std::int64_t extent = shape_[i];
+    SNNSEC_CHECK(v >= 0 && v < extent, "index " << v << " out of bounds for dim "
+                                                << i << " of "
+                                                << shape_.to_string());
+    flat += v * strides[static_cast<std::size_t>(i)];
+    ++i;
+  }
+  return flat;
+}
+
+float& Tensor::at(std::initializer_list<std::int64_t> idx) {
+  return data_[static_cast<std::size_t>(offset(idx))];
+}
+
+float Tensor::at(std::initializer_list<std::int64_t> idx) const {
+  return data_[static_cast<std::size_t>(offset(idx))];
+}
+
+Tensor& Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+  return *this;
+}
+
+Tensor& Tensor::add_(const Tensor& other) {
+  SNNSEC_CHECK(shape_ == other.shape_, "add_: shape mismatch "
+                                           << shape_.to_string() << " vs "
+                                           << other.shape_.to_string());
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::sub_(const Tensor& other) {
+  SNNSEC_CHECK(shape_ == other.shape_, "sub_: shape mismatch "
+                                           << shape_.to_string() << " vs "
+                                           << other.shape_.to_string());
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::mul_(const Tensor& other) {
+  SNNSEC_CHECK(shape_ == other.shape_, "mul_: shape mismatch "
+                                           << shape_.to_string() << " vs "
+                                           << other.shape_.to_string());
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::add_scalar_(float s) {
+  for (float& v : data_) v += s;
+  return *this;
+}
+
+Tensor& Tensor::mul_scalar_(float s) {
+  for (float& v : data_) v *= s;
+  return *this;
+}
+
+Tensor& Tensor::axpy_(float alpha, const Tensor& x) {
+  SNNSEC_CHECK(shape_ == x.shape_, "axpy_: shape mismatch "
+                                       << shape_.to_string() << " vs "
+                                       << x.shape_.to_string());
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    data_[i] += alpha * x.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::clamp_(float lo, float hi) {
+  SNNSEC_CHECK(lo <= hi, "clamp_: lo > hi");
+  for (float& v : data_) v = std::min(hi, std::max(lo, v));
+  return *this;
+}
+
+bool Tensor::allclose(const Tensor& other, float atol) const {
+  if (shape_ != other.shape_) return false;
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    if (std::fabs(data_[i] - other.data_[i]) > atol) return false;
+  return true;
+}
+
+std::string Tensor::to_string(std::int64_t max_elems) const {
+  std::ostringstream oss;
+  oss << "Tensor" << shape_.to_string() << " {";
+  const std::int64_t n = std::min<std::int64_t>(numel(), max_elems);
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (i) oss << ", ";
+    oss << data_[static_cast<std::size_t>(i)];
+  }
+  if (numel() > n) oss << ", ...";
+  oss << '}';
+  return oss.str();
+}
+
+}  // namespace snnsec::tensor

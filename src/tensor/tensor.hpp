@@ -1,0 +1,120 @@
+// Tensor: dense, contiguous, row-major float32 array with value semantics.
+//
+// Design notes:
+//  * float32 only — the precision the paper's stack (PyTorch/Norse) trains
+//    in; keeping one dtype keeps every kernel simple and testable.
+//  * Deep-copy value semantics; moves are O(1). No views/aliasing — layers
+//    that need zero-copy reshapes use reshaped(), which reuses the buffer
+//    when called on an rvalue.
+//  * All indexing is bounds-checked through at(); hot kernels use data()
+//    pointers after validating shapes once.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "tensor/shape.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace snnsec::tensor {
+
+class Tensor {
+ public:
+  /// Empty (rank-0, one element, value 0).
+  Tensor() : shape_(), data_(1, 0.0f) {}
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape)
+      : shape_(std::move(shape)),
+        data_(static_cast<std::size_t>(shape_.numel()), 0.0f) {}
+
+  Tensor(Shape shape, float fill)
+      : shape_(std::move(shape)),
+        data_(static_cast<std::size_t>(shape_.numel()), fill) {}
+
+  /// Adopt an existing buffer; sizes must match.
+  Tensor(Shape shape, std::vector<float> data);
+
+  // ---- factories -------------------------------------------------------
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor ones(Shape shape) { return Tensor(std::move(shape), 1.0f); }
+  static Tensor full(Shape shape, float value) {
+    return Tensor(std::move(shape), value);
+  }
+  static Tensor from_vector(Shape shape, std::vector<float> data) {
+    return Tensor(std::move(shape), std::move(data));
+  }
+  static Tensor scalar(float value) {
+    Tensor t;
+    t.data_[0] = value;
+    return t;
+  }
+  static Tensor randn(Shape shape, util::Rng& rng, float mean = 0.0f,
+                      float stddev = 1.0f);
+  static Tensor rand_uniform(Shape shape, util::Rng& rng, float lo = 0.0f,
+                             float hi = 1.0f);
+  static Tensor bernoulli(Shape shape, util::Rng& rng, double p);
+  /// [n] tensor with evenly spaced values from `start` (inclusive) stepping
+  /// by `step`.
+  static Tensor arange(std::int64_t n, float start = 0.0f, float step = 1.0f);
+
+  // ---- geometry --------------------------------------------------------
+  const Shape& shape() const { return shape_; }
+  std::int64_t ndim() const { return shape_.ndim(); }
+  std::int64_t numel() const { return static_cast<std::int64_t>(data_.size()); }
+  std::int64_t dim(std::int64_t i) const { return shape_.dim(i); }
+
+  /// Same data, new shape (numel must match). On an lvalue this copies; on
+  /// an rvalue the buffer is moved.
+  Tensor reshaped(Shape new_shape) const&;
+  Tensor reshaped(Shape new_shape) &&;
+
+  Tensor clone() const { return *this; }
+
+  // ---- element access --------------------------------------------------
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& storage() { return data_; }
+  const std::vector<float>& storage() const { return data_; }
+
+  float& operator[](std::int64_t flat) {
+    return data_[static_cast<std::size_t>(flat)];
+  }
+  float operator[](std::int64_t flat) const {
+    return data_[static_cast<std::size_t>(flat)];
+  }
+
+  /// Bounds-checked multi-index access (rank must match argument count).
+  float& at(std::initializer_list<std::int64_t> idx);
+  float at(std::initializer_list<std::int64_t> idx) const;
+
+  /// Flat offset of a multi-index (bounds-checked).
+  std::int64_t offset(std::initializer_list<std::int64_t> idx) const;
+
+  // ---- in-place element-wise helpers ------------------------------------
+  Tensor& fill(float value);
+  Tensor& add_(const Tensor& other);          ///< this += other (same shape)
+  Tensor& sub_(const Tensor& other);          ///< this -= other (same shape)
+  Tensor& mul_(const Tensor& other);          ///< this *= other (same shape)
+  Tensor& add_scalar_(float s);
+  Tensor& mul_scalar_(float s);
+  Tensor& axpy_(float alpha, const Tensor& x);  ///< this += alpha * x
+  Tensor& clamp_(float lo, float hi);
+  Tensor& zero_() { return fill(0.0f); }
+
+  // ---- misc --------------------------------------------------------------
+  /// True when shapes are equal and all elements are within `atol`.
+  bool allclose(const Tensor& other, float atol = 1e-5f) const;
+
+  /// Short debug string: "Tensor[2, 3] {0.1, 0.2, ...}".
+  std::string to_string(std::int64_t max_elems = 8) const;
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace snnsec::tensor

@@ -1,0 +1,96 @@
+#include "util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace snnsec::util {
+
+namespace {
+constexpr char kMarkers[] = {'*', 'o', '+', 'x', '#', '@'};
+}
+
+std::string ascii_plot(const std::vector<double>& x,
+                       const std::vector<PlotSeries>& series,
+                       const PlotOptions& options) {
+  SNNSEC_CHECK(x.size() >= 2, "ascii_plot: need at least 2 x points");
+  SNNSEC_CHECK(!series.empty(), "ascii_plot: no series");
+  for (const auto& s : series)
+    SNNSEC_CHECK(s.y.size() == x.size(),
+                 "ascii_plot: series '" << s.name << "' has " << s.y.size()
+                                        << " points for " << x.size()
+                                        << " x values");
+  SNNSEC_CHECK(options.width >= 8 && options.height >= 4,
+               "ascii_plot: canvas too small");
+  const double x_min = *std::min_element(x.begin(), x.end());
+  const double x_max = *std::max_element(x.begin(), x.end());
+  SNNSEC_CHECK(x_max > x_min, "ascii_plot: degenerate x axis");
+  SNNSEC_CHECK(options.y_max > options.y_min, "ascii_plot: bad y range");
+
+  const int w = options.width;
+  const int h = options.height;
+  std::vector<std::string> canvas(static_cast<std::size_t>(h),
+                                  std::string(static_cast<std::size_t>(w), ' '));
+
+  auto col_of = [&](double xv) {
+    const double t = (xv - x_min) / (x_max - x_min);
+    return std::clamp(static_cast<int>(std::lround(t * (w - 1))), 0, w - 1);
+  };
+  auto row_of = [&](double yv) {
+    const double t =
+        (yv - options.y_min) / (options.y_max - options.y_min);
+    const int r = static_cast<int>(std::lround((1.0 - t) * (h - 1)));
+    return std::clamp(r, 0, h - 1);
+  };
+
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char mark = kMarkers[si % sizeof(kMarkers)];
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double yv =
+          std::clamp(series[si].y[i], options.y_min, options.y_max);
+      canvas[static_cast<std::size_t>(row_of(yv))]
+            [static_cast<std::size_t>(col_of(x[i]))] = mark;
+    }
+  }
+
+  std::ostringstream oss;
+  char buf[32];
+  for (int r = 0; r < h; ++r) {
+    if (r == 0) {
+      std::snprintf(buf, sizeof(buf), "%6.2f |", options.y_max);
+      oss << buf;
+    } else if (r == h - 1) {
+      std::snprintf(buf, sizeof(buf), "%6.2f |", options.y_min);
+      oss << buf;
+    } else if (r == h / 2) {
+      std::snprintf(buf, sizeof(buf), "%6.2f |",
+                    (options.y_min + options.y_max) / 2.0);
+      oss << buf;
+    } else {
+      oss << "       |";
+    }
+    oss << canvas[static_cast<std::size_t>(r)] << '\n';
+  }
+  oss << "       +" << std::string(static_cast<std::size_t>(w), '-') << '\n';
+  std::snprintf(buf, sizeof(buf), "%-8.3g", x_min);
+  oss << "        " << buf;
+  const std::string xlab = options.x_label;
+  const int pad_mid =
+      std::max(1, w - 16 - static_cast<int>(xlab.size()) / 2);
+  oss << std::string(static_cast<std::size_t>(pad_mid / 2), ' ') << xlab;
+  std::snprintf(buf, sizeof(buf), "%8.3g", x_max);
+  oss << std::string(
+             static_cast<std::size_t>(std::max(1, pad_mid - pad_mid / 2)),
+             ' ')
+      << buf << '\n';
+  oss << "        legend:";
+  for (std::size_t si = 0; si < series.size(); ++si)
+    oss << "  " << kMarkers[si % sizeof(kMarkers)] << " " << series[si].name;
+  oss << '\n';
+  return oss.str();
+}
+
+}  // namespace snnsec::util

@@ -1,0 +1,40 @@
+// ASCII line charts for terminal-first experiment output.
+//
+// Renders one or more (x, y) series on a shared axis grid, e.g. the
+// robustness-vs-ε curves of Figs. 1 and 9:
+//
+//   1.00 |*
+//        |   *o
+//   0.50 |      o
+//        |        * o
+//   0.00 +-----------*--o----
+//        0.0       eps      0.3     * CNN   o SNN
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace snnsec::util {
+
+struct PlotSeries {
+  std::string name;
+  std::vector<double> y;  ///< same length as the shared x axis
+};
+
+struct PlotOptions {
+  int width = 56;    ///< interior columns
+  int height = 14;   ///< interior rows
+  double y_min = 0.0;
+  double y_max = 1.0;
+  std::string x_label = "x";
+  std::string y_label = "y";
+};
+
+/// Render the chart. Throws util::Error when series lengths do not match
+/// the x axis or the axis is empty/degenerate. Series are drawn with the
+/// marker cycle * o + x # @ (later series overdraw earlier ones).
+std::string ascii_plot(const std::vector<double>& x,
+                       const std::vector<PlotSeries>& series,
+                       const PlotOptions& options = {});
+
+}  // namespace snnsec::util

@@ -1,0 +1,179 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace snnsec::util {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+std::int64_t& ArgParser::add_int(const std::string& name,
+                                 std::int64_t default_value,
+                                 const std::string& help) {
+  Option opt;
+  opt.kind = Kind::kInt;
+  opt.help = help;
+  opt.default_repr = std::to_string(default_value);
+  opt.int_value = std::make_unique<std::int64_t>(default_value);
+  auto& ref = *opt.int_value;
+  options_.emplace(name, std::move(opt));
+  order_.push_back(name);
+  return ref;
+}
+
+double& ArgParser::add_double(const std::string& name, double default_value,
+                              const std::string& help) {
+  Option opt;
+  opt.kind = Kind::kDouble;
+  opt.help = help;
+  opt.default_repr = format_float(default_value, 4);
+  opt.double_value = std::make_unique<double>(default_value);
+  auto& ref = *opt.double_value;
+  options_.emplace(name, std::move(opt));
+  order_.push_back(name);
+  return ref;
+}
+
+std::string& ArgParser::add_string(const std::string& name,
+                                   const std::string& default_value,
+                                   const std::string& help) {
+  Option opt;
+  opt.kind = Kind::kString;
+  opt.help = help;
+  opt.default_repr = default_value;
+  opt.string_value = std::make_unique<std::string>(default_value);
+  auto& ref = *opt.string_value;
+  options_.emplace(name, std::move(opt));
+  order_.push_back(name);
+  return ref;
+}
+
+bool& ArgParser::add_flag(const std::string& name, const std::string& help) {
+  Option opt;
+  opt.kind = Kind::kFlag;
+  opt.help = help;
+  opt.default_repr = "false";
+  opt.flag_value = std::make_unique<bool>(false);
+  auto& ref = *opt.flag_value;
+  options_.emplace(name, std::move(opt));
+  order_.push_back(name);
+  return ref;
+}
+
+std::vector<double>& ArgParser::add_double_list(const std::string& name,
+                                                const std::string& default_csv,
+                                                const std::string& help) {
+  Option opt;
+  opt.kind = Kind::kDoubleList;
+  opt.help = help;
+  opt.default_repr = default_csv;
+  opt.double_list = std::make_unique<std::vector<double>>();
+  for (const auto& part : split(default_csv, ','))
+    if (!trim(part).empty()) opt.double_list->push_back(parse_double(part));
+  auto& ref = *opt.double_list;
+  options_.emplace(name, std::move(opt));
+  order_.push_back(name);
+  return ref;
+}
+
+std::vector<std::int64_t>& ArgParser::add_int_list(
+    const std::string& name, const std::string& default_csv,
+    const std::string& help) {
+  Option opt;
+  opt.kind = Kind::kIntList;
+  opt.help = help;
+  opt.default_repr = default_csv;
+  opt.int_list = std::make_unique<std::vector<std::int64_t>>();
+  for (const auto& part : split(default_csv, ','))
+    if (!trim(part).empty()) opt.int_list->push_back(parse_int(part));
+  auto& ref = *opt.int_list;
+  options_.emplace(name, std::move(opt));
+  order_.push_back(name);
+  return ref;
+}
+
+void ArgParser::set_value(Option& opt, const std::string& name,
+                          const std::string& value) {
+  switch (opt.kind) {
+    case Kind::kInt:
+      *opt.int_value = parse_int(value);
+      break;
+    case Kind::kDouble:
+      *opt.double_value = parse_double(value);
+      break;
+    case Kind::kString:
+      *opt.string_value = value;
+      break;
+    case Kind::kFlag:
+      SNNSEC_FAIL("flag --" << name << " does not take a value");
+      break;
+    case Kind::kDoubleList: {
+      opt.double_list->clear();
+      for (const auto& part : split(value, ','))
+        if (!trim(part).empty())
+          opt.double_list->push_back(parse_double(part));
+      break;
+    }
+    case Kind::kIntList: {
+      opt.int_list->clear();
+      for (const auto& part : split(value, ','))
+        if (!trim(part).empty()) opt.int_list->push_back(parse_int(part));
+      break;
+    }
+  }
+}
+
+void ArgParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      std::exit(0);
+    }
+    SNNSEC_CHECK(starts_with(arg, "--"),
+                 "unexpected positional argument '" << arg << "'");
+    arg = arg.substr(2);
+    std::string name = arg;
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      has_value = true;
+    }
+    const auto it = options_.find(name);
+    SNNSEC_CHECK(it != options_.end(), "unknown flag --" << name);
+    Option& opt = it->second;
+    if (opt.kind == Kind::kFlag) {
+      SNNSEC_CHECK(!has_value, "flag --" << name << " does not take a value");
+      *opt.flag_value = true;
+      continue;
+    }
+    if (!has_value) {
+      SNNSEC_CHECK(i + 1 < argc, "flag --" << name << " expects a value");
+      value = argv[++i];
+    }
+    set_value(opt, name, value);
+  }
+}
+
+std::string ArgParser::usage() const {
+  std::ostringstream oss;
+  oss << program_ << " — " << description_ << "\n\nOptions:\n";
+  for (const auto& name : order_) {
+    const Option& opt = options_.at(name);
+    oss << "  --" << name;
+    if (opt.kind != Kind::kFlag) oss << " <value>";
+    oss << "\n      " << opt.help << " (default: " << opt.default_repr
+        << ")\n";
+  }
+  oss << "  --help\n      show this message\n";
+  return oss.str();
+}
+
+}  // namespace snnsec::util

@@ -1,0 +1,68 @@
+// Tiny declarative CLI flag parser used by benches and examples.
+//
+//   util::ArgParser args("fig9", "Reproduce Fig. 9 robustness curves");
+//   auto& steps = args.add_int("pgd-steps", 40, "PGD iterations");
+//   auto& full  = args.add_flag("full", "run the paper-scale profile");
+//   args.parse(argc, argv);   // exits(0) on --help, throws on bad input
+//
+// Flags accept "--name value" and "--name=value" spellings.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace snnsec::util {
+
+class ArgParser {
+ public:
+  ArgParser(std::string program, std::string description);
+
+  std::int64_t& add_int(const std::string& name, std::int64_t default_value,
+                        const std::string& help);
+  double& add_double(const std::string& name, double default_value,
+                     const std::string& help);
+  std::string& add_string(const std::string& name,
+                          const std::string& default_value,
+                          const std::string& help);
+  bool& add_flag(const std::string& name, const std::string& help);
+  /// Comma-separated list of doubles, e.g. --eps 0.1,0.5,1.0
+  std::vector<double>& add_double_list(const std::string& name,
+                                       const std::string& default_csv,
+                                       const std::string& help);
+  std::vector<std::int64_t>& add_int_list(const std::string& name,
+                                          const std::string& default_csv,
+                                          const std::string& help);
+
+  /// Parse argv. Prints usage and calls std::exit(0) for --help/-h.
+  /// Throws util::Error on unknown flags or malformed values.
+  void parse(int argc, const char* const* argv);
+
+  std::string usage() const;
+
+ private:
+  enum class Kind { kInt, kDouble, kString, kFlag, kDoubleList, kIntList };
+  struct Option {
+    Kind kind;
+    std::string help;
+    std::string default_repr;
+    std::unique_ptr<std::int64_t> int_value;
+    std::unique_ptr<double> double_value;
+    std::unique_ptr<std::string> string_value;
+    std::unique_ptr<bool> flag_value;
+    std::unique_ptr<std::vector<double>> double_list;
+    std::unique_ptr<std::vector<std::int64_t>> int_list;
+  };
+
+  void set_value(Option& opt, const std::string& name,
+                 const std::string& value);
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Option> options_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace snnsec::util

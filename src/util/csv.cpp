@@ -1,0 +1,84 @@
+#include "util/csv.hpp"
+
+#include <filesystem>
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace snnsec::util {
+
+void ensure_parent_dir(const std::string& file_path) {
+  const std::filesystem::path p(file_path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+    // An already-existing directory is fine; only surface hard failures.
+    SNNSEC_CHECK(!ec || std::filesystem::exists(p.parent_path()),
+                 "cannot create directory " << p.parent_path().string()
+                                            << ": " << ec.message());
+  }
+}
+
+CsvWriter::CsvWriter(const std::string& path) : path_(path), to_file_(true) {
+  ensure_parent_dir(path);
+  file_.open(path, std::ios::trunc);
+  SNNSEC_CHECK(file_.is_open(), "cannot open CSV file for writing: " << path);
+}
+
+CsvWriter::CsvWriter() = default;
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quotes = field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::emit(const std::string& line) {
+  if (to_file_) {
+    file_ << line << '\n';
+    file_.flush();
+  } else {
+    buffer_ += line;
+    buffer_ += '\n';
+  }
+}
+
+void CsvWriter::write_header(const std::vector<std::string>& columns) {
+  write_row(columns);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  std::vector<std::string> escaped;
+  escaped.reserve(fields.size());
+  for (const auto& f : fields) escaped.push_back(escape(f));
+  emit(join(escaped, ","));
+}
+
+CsvWriter::Row& CsvWriter::Row::operator<<(const std::string& v) {
+  fields_.push_back(v);
+  return *this;
+}
+CsvWriter::Row& CsvWriter::Row::operator<<(const char* v) {
+  fields_.emplace_back(v);
+  return *this;
+}
+CsvWriter::Row& CsvWriter::Row::operator<<(double v) {
+  fields_.push_back(format_float(v, 6));
+  return *this;
+}
+CsvWriter::Row& CsvWriter::Row::operator<<(std::int64_t v) {
+  fields_.push_back(std::to_string(v));
+  return *this;
+}
+CsvWriter::Row& CsvWriter::Row::operator<<(int v) {
+  fields_.push_back(std::to_string(v));
+  return *this;
+}
+
+}  // namespace snnsec::util

@@ -1,0 +1,61 @@
+// CSV emission for experiment results.
+//
+// Every figure/bench harness writes its series through CsvWriter so results
+// can be re-plotted outside C++. Quoting follows RFC 4180 (fields containing
+// comma, quote or newline are quoted; quotes doubled).
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace snnsec::util {
+
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path`; throws util::Error when the file cannot be
+  /// created. Parent directories are created when missing.
+  explicit CsvWriter(const std::string& path);
+
+  /// In-memory mode (for tests); read back with str().
+  CsvWriter();
+
+  void write_header(const std::vector<std::string>& columns);
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Convenience row builder: CsvWriter::row() << 1 << "x" << 2.5; w.write(r).
+  class Row {
+   public:
+    Row& operator<<(const std::string& v);
+    Row& operator<<(const char* v);
+    Row& operator<<(double v);
+    Row& operator<<(std::int64_t v);
+    Row& operator<<(int v);
+    const std::vector<std::string>& fields() const { return fields_; }
+
+   private:
+    std::vector<std::string> fields_;
+  };
+
+  void write(const Row& row) { write_row(row.fields()); }
+
+  /// Contents so far (in-memory mode only; for file mode returns "").
+  std::string str() const { return buffer_; }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  void emit(const std::string& line);
+  static std::string escape(const std::string& field);
+
+  std::string path_;
+  std::ofstream file_;
+  std::string buffer_;
+  bool to_file_ = false;
+};
+
+/// Ensure the directory for `file_path` exists (mkdir -p of the parent).
+void ensure_parent_dir(const std::string& file_path);
+
+}  // namespace snnsec::util

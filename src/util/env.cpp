@@ -1,0 +1,41 @@
+#include "util/env.hpp"
+
+#include <cstdlib>
+
+namespace snnsec::util {
+
+namespace {
+bool truthy(const char* value) {
+  if (value == nullptr) return false;
+  const std::string v = value;
+  return v == "1" || v == "true" || v == "TRUE" || v == "yes" || v == "YES" ||
+         v == "on" || v == "ON";
+}
+}  // namespace
+
+bool full_profile_enabled() { return truthy(std::getenv("SNNSEC_FULL")); }
+
+std::uint64_t master_seed(std::uint64_t fallback) {
+  if (const char* env = std::getenv("SNNSEC_SEED")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0') return static_cast<std::uint64_t>(v);
+  }
+  return fallback;
+}
+
+std::string env_or(const std::string& name, const std::string& fallback) {
+  if (const char* env = std::getenv(name.c_str())) return env;
+  return fallback;
+}
+
+std::int64_t env_int_or(const std::string& name, std::int64_t fallback) {
+  if (const char* env = std::getenv(name.c_str())) {
+    char* end = nullptr;
+    const long long v = std::strtoll(env, &end, 10);
+    if (end != env && *end == '\0') return static_cast<std::int64_t>(v);
+  }
+  return fallback;
+}
+
+}  // namespace snnsec::util

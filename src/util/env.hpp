@@ -1,0 +1,26 @@
+// Environment-driven experiment profiles.
+//
+// Every figure harness runs a reduced "quick" profile by default so the
+// whole bench suite finishes on a laptop CPU; exporting SNNSEC_FULL=1
+// switches to the paper-scale grids/datasets. SNNSEC_SEED overrides the
+// default master seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace snnsec::util {
+
+/// True when SNNSEC_FULL is set to a truthy value (1/true/yes/on).
+bool full_profile_enabled();
+
+/// Master seed: SNNSEC_SEED when set, otherwise `fallback`.
+std::uint64_t master_seed(std::uint64_t fallback = 42);
+
+/// Environment string lookup with default.
+std::string env_or(const std::string& name, const std::string& fallback);
+
+/// Environment integer lookup with default (malformed values -> fallback).
+std::int64_t env_int_or(const std::string& name, std::int64_t fallback);
+
+}  // namespace snnsec::util

@@ -1,0 +1,13 @@
+#include "util/error.hpp"
+
+namespace snnsec::util::detail {
+
+void throw_error(const char* file, int line, const char* cond,
+                 const std::string& message) {
+  std::ostringstream oss;
+  oss << "[snnsec] check failed: (" << cond << ") at " << file << ":" << line;
+  if (!message.empty()) oss << " — " << message;
+  throw Error(oss.str());
+}
+
+}  // namespace snnsec::util::detail

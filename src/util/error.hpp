@@ -1,0 +1,48 @@
+// Checked-error primitives for the snnsec library.
+//
+// Library code reports contract violations and runtime failures through
+// snnsec::util::Error (derived from std::runtime_error) so that callers can
+// catch one exception type at API boundaries. The SNNSEC_CHECK* macros give
+// file/line context for free and keep the hot path branch-predictable.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace snnsec::util {
+
+/// Exception type thrown on any contract violation or runtime failure
+/// inside the snnsec library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_error(const char* file, int line, const char* cond,
+                              const std::string& message);
+}  // namespace detail
+
+}  // namespace snnsec::util
+
+/// Check `cond`; on failure throw snnsec::util::Error with streamable context:
+///   SNNSEC_CHECK(a.size() == b.size(), "size mismatch " << a.size());
+#define SNNSEC_CHECK(cond, msg)                                            \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::ostringstream snnsec_oss_;                                      \
+      snnsec_oss_ << msg; /* NOLINT */                                     \
+      ::snnsec::util::detail::throw_error(__FILE__, __LINE__, #cond,       \
+                                          snnsec_oss_.str());              \
+    }                                                                      \
+  } while (false)
+
+/// Unconditional failure with streamable message.
+#define SNNSEC_FAIL(msg)                                                   \
+  do {                                                                     \
+    std::ostringstream snnsec_oss_;                                        \
+    snnsec_oss_ << msg; /* NOLINT */                                       \
+    ::snnsec::util::detail::throw_error(__FILE__, __LINE__, "failure",     \
+                                        snnsec_oss_.str());                \
+  } while (false)

@@ -1,0 +1,73 @@
+#include "util/logging.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+
+namespace snnsec::util {
+
+namespace {
+std::string lowercase(std::string s) {
+  for (char& c : s)
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  return s;
+}
+}  // namespace
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Logger() {
+  if (const char* env = std::getenv("SNNSEC_LOG")) set_level(env);
+}
+
+bool Logger::set_level(const std::string& name) {
+  const std::string n = lowercase(name);
+  if (n == "trace") level_ = LogLevel::kTrace;
+  else if (n == "debug") level_ = LogLevel::kDebug;
+  else if (n == "info") level_ = LogLevel::kInfo;
+  else if (n == "warn" || n == "warning") level_ = LogLevel::kWarn;
+  else if (n == "error") level_ = LogLevel::kError;
+  else if (n == "off" || n == "none") level_ = LogLevel::kOff;
+  else return false;
+  return true;
+}
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+void Logger::write(LogLevel level, const std::string& message) {
+  using clock = std::chrono::system_clock;
+  const auto now = clock::now();
+  const std::time_t t = clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm_buf{};
+#if defined(_WIN32)
+  localtime_s(&tm_buf, &t);
+#else
+  localtime_r(&t, &tm_buf);
+#endif
+  char stamp[32];
+  std::snprintf(stamp, sizeof(stamp), "%02d:%02d:%02d.%03d", tm_buf.tm_hour,
+                tm_buf.tm_min, tm_buf.tm_sec, static_cast<int>(ms));
+  std::lock_guard lock(mutex_);
+  std::fprintf(stderr, "[%s %s] %s\n", stamp, to_string(level),
+               message.c_str());
+}
+
+}  // namespace snnsec::util

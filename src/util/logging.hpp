@@ -1,0 +1,56 @@
+// Leveled, timestamped logging to stderr.
+//
+// Level is controlled programmatically or via SNNSEC_LOG
+// (trace|debug|info|warn|error|off). Logging is thread-safe at line
+// granularity. Use the SNNSEC_LOG_* macros so disabled levels cost one
+// branch and no formatting.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace snnsec::util {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  LogLevel level() const { return level_; }
+  void set_level(LogLevel level) { level_ = level; }
+
+  /// Parse "trace".."off" (case-insensitive); unknown strings leave the
+  /// level unchanged and return false.
+  bool set_level(const std::string& name);
+
+  bool enabled(LogLevel level) const { return level >= level_; }
+
+  void write(LogLevel level, const std::string& message);
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::kInfo;
+  std::mutex mutex_;
+};
+
+const char* to_string(LogLevel level);
+
+}  // namespace snnsec::util
+
+#define SNNSEC_LOG_AT(lvl, msg)                                       \
+  do {                                                                \
+    auto& snnsec_logger_ = ::snnsec::util::Logger::instance();        \
+    if (snnsec_logger_.enabled(lvl)) {                                \
+      std::ostringstream snnsec_log_oss_;                             \
+      snnsec_log_oss_ << msg; /* NOLINT */                            \
+      snnsec_logger_.write(lvl, snnsec_log_oss_.str());               \
+    }                                                                 \
+  } while (false)
+
+#define SNNSEC_LOG_TRACE(msg) SNNSEC_LOG_AT(::snnsec::util::LogLevel::kTrace, msg)
+#define SNNSEC_LOG_DEBUG(msg) SNNSEC_LOG_AT(::snnsec::util::LogLevel::kDebug, msg)
+#define SNNSEC_LOG_INFO(msg) SNNSEC_LOG_AT(::snnsec::util::LogLevel::kInfo, msg)
+#define SNNSEC_LOG_WARN(msg) SNNSEC_LOG_AT(::snnsec::util::LogLevel::kWarn, msg)
+#define SNNSEC_LOG_ERROR(msg) SNNSEC_LOG_AT(::snnsec::util::LogLevel::kError, msg)

@@ -1,0 +1,89 @@
+#include "util/pgm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "util/csv.hpp"  // ensure_parent_dir
+#include "util/error.hpp"
+
+namespace snnsec::util {
+
+void RgbImage::set(std::int64_t x, std::int64_t y, std::uint8_t r,
+                   std::uint8_t g, std::uint8_t b) {
+  if (x < 0 || x >= width || y < 0 || y >= height) return;
+  const std::size_t i = static_cast<std::size_t>(3 * (y * width + x));
+  pixels[i] = r;
+  pixels[i + 1] = g;
+  pixels[i + 2] = b;
+}
+
+void RgbImage::fill_rect(std::int64_t x0, std::int64_t y0, std::int64_t w,
+                         std::int64_t h, std::uint8_t r, std::uint8_t g,
+                         std::uint8_t b) {
+  for (std::int64_t y = std::max<std::int64_t>(0, y0);
+       y < std::min(height, y0 + h); ++y)
+    for (std::int64_t x = std::max<std::int64_t>(0, x0);
+         x < std::min(width, x0 + w); ++x)
+      set(x, y, r, g, b);
+}
+
+void write_pgm(const std::string& path, const float* gray,
+               std::int64_t width, std::int64_t height) {
+  SNNSEC_CHECK(width > 0 && height > 0, "write_pgm: empty image");
+  ensure_parent_dir(path);
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  SNNSEC_CHECK(os.is_open(), "write_pgm: cannot open " << path);
+  os << "P5\n" << width << " " << height << "\n255\n";
+  std::vector<std::uint8_t> row(static_cast<std::size_t>(width));
+  for (std::int64_t y = 0; y < height; ++y) {
+    for (std::int64_t x = 0; x < width; ++x) {
+      const float v = std::clamp(gray[y * width + x], 0.0f, 1.0f);
+      row[static_cast<std::size_t>(x)] =
+          static_cast<std::uint8_t>(std::lround(v * 255.0f));
+    }
+    os.write(reinterpret_cast<const char*>(row.data()),
+             static_cast<std::streamsize>(row.size()));
+  }
+  SNNSEC_CHECK(os.good(), "write_pgm: write failed for " << path);
+}
+
+void write_ppm(const std::string& path, const RgbImage& image) {
+  SNNSEC_CHECK(image.width > 0 && image.height > 0, "write_ppm: empty image");
+  ensure_parent_dir(path);
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  SNNSEC_CHECK(os.is_open(), "write_ppm: cannot open " << path);
+  os << "P6\n" << image.width << " " << image.height << "\n255\n";
+  os.write(reinterpret_cast<const char*>(image.pixels.data()),
+           static_cast<std::streamsize>(image.pixels.size()));
+  SNNSEC_CHECK(os.good(), "write_ppm: write failed for " << path);
+}
+
+void colormap_viridis(double t, std::uint8_t& r, std::uint8_t& g,
+                      std::uint8_t& b) {
+  t = std::clamp(t, 0.0, 1.0);
+  // Piecewise-linear approximation of viridis over 5 anchors.
+  struct Anchor {
+    double t;
+    double r, g, b;
+  };
+  static constexpr Anchor kAnchors[] = {
+      {0.00, 68, 1, 84},    {0.25, 59, 82, 139},  {0.50, 33, 145, 140},
+      {0.75, 94, 201, 98},  {1.00, 253, 231, 37},
+  };
+  const Anchor* lo = &kAnchors[0];
+  const Anchor* hi = &kAnchors[4];
+  for (std::size_t i = 0; i + 1 < 5; ++i) {
+    if (t >= kAnchors[i].t && t <= kAnchors[i + 1].t) {
+      lo = &kAnchors[i];
+      hi = &kAnchors[i + 1];
+      break;
+    }
+  }
+  const double u = (hi->t > lo->t) ? (t - lo->t) / (hi->t - lo->t) : 0.0;
+  r = static_cast<std::uint8_t>(std::lround(lo->r + u * (hi->r - lo->r)));
+  g = static_cast<std::uint8_t>(std::lround(lo->g + u * (hi->g - lo->g)));
+  b = static_cast<std::uint8_t>(std::lround(lo->b + u * (hi->b - lo->b)));
+}
+
+}  // namespace snnsec::util

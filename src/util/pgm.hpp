@@ -1,0 +1,43 @@
+// Minimal PGM/PPM (netpbm) image writers — lets the figure harnesses emit
+// actual image files (heat maps, adversarial examples) with no external
+// imaging dependency. Any image viewer and most toolchains read netpbm.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace snnsec::util {
+
+/// 8-bit RGB image buffer, row-major, origin top-left.
+struct RgbImage {
+  std::int64_t width = 0;
+  std::int64_t height = 0;
+  std::vector<std::uint8_t> pixels;  ///< 3 * width * height bytes
+
+  RgbImage(std::int64_t w, std::int64_t h)
+      : width(w), height(h),
+        pixels(static_cast<std::size_t>(3 * w * h), 0) {}
+
+  void set(std::int64_t x, std::int64_t y, std::uint8_t r, std::uint8_t g,
+           std::uint8_t b);
+
+  /// Fill an axis-aligned rectangle (clipped to the image).
+  void fill_rect(std::int64_t x0, std::int64_t y0, std::int64_t w,
+                 std::int64_t h, std::uint8_t r, std::uint8_t g,
+                 std::uint8_t b);
+};
+
+/// Write binary PGM (P5) from floats in [0, 1]; values are clamped.
+void write_pgm(const std::string& path, const float* gray,
+               std::int64_t width, std::int64_t height);
+
+/// Write binary PPM (P6).
+void write_ppm(const std::string& path, const RgbImage& image);
+
+/// Map a value in [0, 1] to the viridis-like palette used by the heat-map
+/// renderer (dark violet -> teal -> yellow).
+void colormap_viridis(double t, std::uint8_t& r, std::uint8_t& g,
+                      std::uint8_t& b);
+
+}  // namespace snnsec::util

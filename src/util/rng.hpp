@@ -1,0 +1,101 @@
+// Deterministic pseudo-random number generation for snnsec.
+//
+// Design goals:
+//  * Bit-for-bit reproducibility across platforms (no std::mt19937 /
+//    std::normal_distribution, whose outputs are implementation-defined for
+//    floating point).
+//  * Cheap stream splitting: one master seed fans out to per-component
+//    sub-streams (weights, data synthesis, attack random starts, ...) via
+//    splitmix64 so experiments stay reproducible when components are added,
+//    removed or reordered.
+//
+// The core generator is xoshiro256** (public domain, Blackman & Vigna).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace snnsec::util {
+
+/// splitmix64 step: used for seeding and for hashing stream labels.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Hash a label string into a 64-bit value (FNV-1a), used to derive named
+/// sub-streams deterministically from a master seed.
+std::uint64_t hash_label(std::string_view label);
+
+/// xoshiro256** engine with explicit, portable seeding.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()();
+
+  /// Jump ahead 2^128 steps — useful for long-lived parallel streams.
+  void jump();
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+/// High-level RNG with the distributions the library needs.
+///
+/// All floating-point draws are derived from the 64-bit integer stream via
+/// fixed bit manipulation, so results are identical on every platform.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 42) : engine_(seed), seed_(seed) {}
+
+  /// Derive an independent named sub-stream (e.g. rng.fork("weights")).
+  Rng fork(std::string_view label) const;
+  /// Derive an independent indexed sub-stream (e.g. per-thread, per-sample).
+  Rng fork(std::uint64_t index) const;
+
+  std::uint64_t seed() const { return seed_; }
+
+  std::uint64_t next_u64() { return engine_(); }
+  /// Uniform in [0, 1).
+  double uniform();
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Standard normal via Box–Muller (deterministic, cached second value).
+  double normal();
+  /// Normal with given mean / stddev.
+  double normal(double mean, double stddev);
+  /// Bernoulli draw with probability p of true.
+  bool bernoulli(double p);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform_index(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Fill with iid samples.
+  void fill_uniform(float* dst, std::size_t n, float lo, float hi);
+  void fill_normal(float* dst, std::size_t n, float mean, float stddev);
+  void fill_bernoulli(float* dst, std::size_t n, double p);
+
+ private:
+  Xoshiro256 engine_;
+  std::uint64_t seed_ = 0;
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace snnsec::util

@@ -1,0 +1,21 @@
+#include "util/stopwatch.hpp"
+
+#include <cstdio>
+
+namespace snnsec::util {
+
+std::string Stopwatch::pretty() const {
+  const double s = seconds();
+  char buf[64];
+  if (s < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.0fms", s * 1e3);
+  } else if (s < 60.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fs", s);
+  } else {
+    const int minutes = static_cast<int>(s / 60.0);
+    std::snprintf(buf, sizeof(buf), "%dm %.1fs", minutes, s - 60.0 * minutes);
+  }
+  return buf;
+}
+
+}  // namespace snnsec::util

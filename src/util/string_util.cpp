@@ -1,0 +1,79 @@
+#include "util/string_util.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace snnsec::util {
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string format_float(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+double parse_double(std::string_view s) {
+  const std::string_view t = trim(s);
+  SNNSEC_CHECK(!t.empty(), "parse_double on empty string");
+  // std::from_chars for double is not universally available; strtod is fine
+  // here since inputs are short and NUL-terminated copies are cheap.
+  const std::string copy(t);
+  char* end = nullptr;
+  const double v = std::strtod(copy.c_str(), &end);
+  SNNSEC_CHECK(end == copy.c_str() + copy.size(),
+               "parse_double: trailing garbage in '" << copy << "'");
+  return v;
+}
+
+std::int64_t parse_int(std::string_view s) {
+  const std::string_view t = trim(s);
+  SNNSEC_CHECK(!t.empty(), "parse_int on empty string");
+  std::int64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(t.data(), t.data() + t.size(), v);
+  SNNSEC_CHECK(ec == std::errc{} && ptr == t.data() + t.size(),
+               "parse_int: malformed integer '" << std::string(t) << "'");
+  return v;
+}
+
+}  // namespace snnsec::util

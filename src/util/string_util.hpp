@@ -1,0 +1,29 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace snnsec::util {
+
+/// Split on a delimiter; empty fields are preserved.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Trim ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Join elements with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Fixed-precision float formatting ("%.3f" by default).
+std::string format_float(double value, int precision = 3);
+
+/// Parse helpers that throw util::Error with context on malformed input.
+double parse_double(std::string_view s);
+std::int64_t parse_int(std::string_view s);
+
+}  // namespace snnsec::util

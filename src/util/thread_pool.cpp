@@ -1,0 +1,143 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+
+#include "util/error.hpp"
+
+namespace snnsec::util {
+
+namespace {
+// Set inside pool workers so nested parallel_for calls degrade to serial
+// execution instead of deadlocking (a worker must never block on the pool).
+thread_local bool g_inside_pool_worker = false;
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    SNNSEC_CHECK(!stop_, "submit() on stopped ThreadPool");
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_task_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    g_inside_pool_worker = true;
+    task();
+    g_inside_pool_worker = false;
+    {
+      std::lock_guard lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("SNNSEC_THREADS")) {
+      const long n = std::strtol(env, nullptr, 10);
+      if (n >= 1) return static_cast<std::size_t>(n);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return static_cast<std::size_t>(hw == 0 ? 4 : hw);
+  }());
+  return pool;
+}
+
+void parallel_for_chunked(
+    std::int64_t begin, std::int64_t end,
+    const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  const std::int64_t n = end - begin;
+  if (n <= 0) return;
+  if (g_inside_pool_worker) {  // nested parallelism runs serially
+    fn(begin, end);
+    return;
+  }
+  ThreadPool& pool = ThreadPool::global();
+  const std::int64_t workers =
+      std::min<std::int64_t>(static_cast<std::int64_t>(pool.size()), n);
+  if (workers <= 1) {
+    fn(begin, end);
+    return;
+  }
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  const std::int64_t chunk = (n + workers - 1) / workers;
+  std::atomic<std::int64_t> done{0};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::int64_t launched = 0;
+  for (std::int64_t lo = begin; lo < end; lo += chunk) {
+    const std::int64_t hi = std::min(end, lo + chunk);
+    ++launched;
+    pool.submit([&, lo, hi] {
+      try {
+        if (!failed.load(std::memory_order_relaxed)) fn(lo, hi);
+      } catch (...) {
+        std::lock_guard lock(error_mutex);
+        if (!failed.exchange(true)) first_error = std::current_exception();
+      }
+      {
+        std::lock_guard lock(done_mutex);
+        ++done;
+      }
+      done_cv.notify_one();
+    });
+  }
+  {
+    std::unique_lock lock(done_mutex);
+    done_cv.wait(lock, [&] { return done.load() == launched; });
+  }
+  if (failed.load()) std::rethrow_exception(first_error);
+}
+
+void parallel_for(std::int64_t begin, std::int64_t end,
+                  const std::function<void(std::int64_t)>& fn,
+                  std::int64_t grain) {
+  const std::int64_t n = end - begin;
+  if (n <= 0) return;
+  if (n <= grain || ThreadPool::global().size() <= 1) {
+    for (std::int64_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  parallel_for_chunked(begin, end, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) fn(i);
+  });
+}
+
+}  // namespace snnsec::util

@@ -1,0 +1,67 @@
+// Minimal work-stealing-free thread pool with a blocking parallel_for.
+//
+// The library's hot loops (GEMM tiles, per-sample attack generation, grid
+// cells in the explorer) are embarrassingly parallel, so a simple
+// static-partition parallel_for over a shared pool is enough. The pool is a
+// process-wide singleton sized from the hardware, overridable via the
+// SNNSEC_THREADS environment variable (SNNSEC_THREADS=1 gives fully
+// deterministic serial execution regardless of reduction order).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace snnsec::util {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task; the pool runs it as soon as a worker is free.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has completed.
+  void wait_idle();
+
+  /// Process-wide pool (lazily constructed; size from SNNSEC_THREADS or
+  /// hardware_concurrency).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Run fn(i) for i in [begin, end) across the global pool. Blocks until all
+/// iterations finish. Exceptions thrown by fn are rethrown on the caller
+/// (first one wins). Serial when the range is small or the pool has 1 thread.
+void parallel_for(std::int64_t begin, std::int64_t end,
+                  const std::function<void(std::int64_t)>& fn,
+                  std::int64_t grain = 1);
+
+/// Like parallel_for but hands each worker a contiguous [lo, hi) chunk —
+/// lower overhead for tight numeric loops.
+void parallel_for_chunked(
+    std::int64_t begin, std::int64_t end,
+    const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+}  // namespace snnsec::util

@@ -1,0 +1,271 @@
+// Attack library: projection, FGSM/PGD semantics, budget guarantees,
+// effectiveness on a trained model.
+#include <gtest/gtest.h>
+
+#include "attacks/evaluation.hpp"
+#include "nn/feedforward.hpp"
+#include "nn/sequential.hpp"
+#include "attacks/fgsm.hpp"
+#include "attacks/noise.hpp"
+#include "attacks/pgd.hpp"
+#include "nn/activations.hpp"
+#include "nn/flatten.hpp"
+#include "nn/linear.hpp"
+#include "nn/metrics.hpp"
+#include "nn/trainer.hpp"
+#include "tensor/ops.hpp"
+
+namespace snnsec::attack {
+namespace {
+
+using nn::FeedforwardClassifier;
+using tensor::Shape;
+using tensor::Tensor;
+
+class ProjectLinfTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ProjectLinfTest, StaysInBallAndBox) {
+  const double eps = GetParam();
+  util::Rng rng(1);
+  const Tensor ref = Tensor::rand_uniform(Shape{100}, rng);
+  Tensor x = Tensor::rand_uniform(Shape{100}, rng, -2.0f, 3.0f);
+  AttackBudget budget;
+  budget.epsilon = eps;
+  project_linf(x, ref, budget);
+  EXPECT_LE(tensor::linf_distance(x, ref), static_cast<float>(eps) + 1e-6f);
+  EXPECT_GE(tensor::min_value(x), 0.0f);
+  EXPECT_LE(tensor::max_value(x), 1.0f);
+}
+
+TEST_P(ProjectLinfTest, IdempotentAndIdentityInside) {
+  const double eps = GetParam();
+  util::Rng rng(2);
+  const Tensor ref = Tensor::rand_uniform(Shape{50}, rng);
+  Tensor x = ref;
+  AttackBudget budget;
+  budget.epsilon = eps;
+  project_linf(x, ref, budget);
+  EXPECT_TRUE(x.allclose(ref, 1e-7f));  // already feasible -> unchanged
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, ProjectLinfTest,
+                         ::testing::Values(0.0, 0.05, 0.1, 0.5, 1.0, 1.5));
+
+TEST(ProjectLinf, ShapeMismatchThrows) {
+  Tensor x(Shape{3});
+  const Tensor ref(Shape{4});
+  EXPECT_THROW(project_linf(x, ref, {}), util::Error);
+}
+
+/// A 2-class linear model on 2 pixels with known weights: logit0 = x0,
+/// logit1 = x1. Gradient of CE w.r.t. x is analytic and simple.
+std::unique_ptr<FeedforwardClassifier> make_linear_model() {
+  util::Rng rng(3);
+  auto seq = std::make_unique<nn::Sequential>();
+  seq->emplace<nn::Flatten>();
+  auto lin = std::make_unique<nn::Linear>(2, 2, rng, /*bias=*/false);
+  lin->weight().value = Tensor::from_vector(Shape{2, 2}, {1, 0, 0, 1});
+  seq->add(std::move(lin));
+  return std::make_unique<FeedforwardClassifier>(std::move(seq), 2, "linear");
+}
+
+TEST(Fgsm, MovesAgainstTrueClassGradient) {
+  auto model = make_linear_model();
+  // Sample at (0.5, 0.5), label 0: loss decreases with x0, increases with
+  // x1 => FGSM must lower x0 and raise x1... sign(dL/dx0) = sign(p0-1) < 0.
+  const Tensor x = Tensor::full(Shape{1, 1, 1, 2}, 0.5f);
+  Fgsm fgsm;
+  AttackBudget budget;
+  budget.epsilon = 0.1;
+  const Tensor adv = fgsm.perturb(*model, x, {0}, budget);
+  EXPECT_NEAR(adv[0], 0.4f, 1e-5f);
+  EXPECT_NEAR(adv[1], 0.6f, 1e-5f);
+}
+
+TEST(Fgsm, RespectsBudgetAndBox) {
+  auto model = make_linear_model();
+  util::Rng rng(4);
+  const Tensor x = Tensor::rand_uniform(Shape{8, 1, 1, 2}, rng);
+  Fgsm fgsm;
+  AttackBudget budget;
+  budget.epsilon = 0.25;
+  std::vector<std::int64_t> labels(8, 0);
+  const Tensor adv = fgsm.perturb(*model, x, labels, budget);
+  EXPECT_LE(tensor::linf_distance(adv, x), 0.25f + 1e-6f);
+  EXPECT_GE(tensor::min_value(adv), 0.0f);
+  EXPECT_LE(tensor::max_value(adv), 1.0f);
+}
+
+TEST(Pgd, SingleStepNoRandomStartEqualsFgsm) {
+  auto model = make_linear_model();
+  util::Rng rng(5);
+  const Tensor x = Tensor::rand_uniform(Shape{4, 1, 1, 2}, rng, 0.2f, 0.8f);
+  const std::vector<std::int64_t> labels{0, 1, 0, 1};
+  AttackBudget budget;
+  budget.epsilon = 0.1;
+
+  PgdConfig cfg;
+  cfg.steps = 1;
+  cfg.random_start = false;
+  cfg.abs_stepsize = budget.epsilon;  // one full-budget step
+  Pgd pgd(cfg);
+  Fgsm fgsm;
+  const Tensor a = pgd.perturb(*model, x, labels, budget);
+  const Tensor b = fgsm.perturb(*model, x, labels, budget);
+  EXPECT_TRUE(a.allclose(b, 1e-6f));
+}
+
+TEST(Pgd, ZeroEpsilonReturnsInputUnchanged) {
+  auto model = make_linear_model();
+  const Tensor x = Tensor::full(Shape{2, 1, 1, 2}, 0.3f);
+  Pgd pgd;
+  AttackBudget budget;
+  budget.epsilon = 0.0;
+  EXPECT_TRUE(pgd.perturb(*model, x, {0, 1}, budget).allclose(x, 0.0f));
+}
+
+TEST(Pgd, StaysWithinBudgetAcrossSteps) {
+  auto model = make_linear_model();
+  util::Rng rng(6);
+  const Tensor x = Tensor::rand_uniform(Shape{6, 1, 1, 2}, rng);
+  PgdConfig cfg;
+  cfg.steps = 20;
+  Pgd pgd(cfg);
+  AttackBudget budget;
+  budget.epsilon = 0.15;
+  std::vector<std::int64_t> labels(6, 1);
+  const Tensor adv = pgd.perturb(*model, x, labels, budget);
+  EXPECT_LE(tensor::linf_distance(adv, x), 0.15f + 1e-6f);
+  EXPECT_GE(tensor::min_value(adv), 0.0f);
+  EXPECT_LE(tensor::max_value(adv), 1.0f);
+}
+
+TEST(Pgd, IncreasesLossMoreThanFgsm) {
+  // On the linear model both saturate, so use a small trained MLP on blobs.
+  util::Rng rng(7);
+  auto seq = std::make_unique<nn::Sequential>();
+  seq->emplace<nn::Flatten>();
+  seq->emplace<nn::Linear>(2, 16, rng);
+  seq->emplace<nn::Tanh>();
+  seq->emplace<nn::Linear>(16, 2, rng);
+  FeedforwardClassifier model(std::move(seq), 2, "mlp");
+
+  Tensor x(Shape{64, 1, 1, 2});
+  std::vector<std::int64_t> y(64);
+  util::Rng drng(8);
+  for (std::int64_t i = 0; i < 64; ++i) {
+    const std::int64_t label = i % 2;
+    x[i * 2 + 0] = static_cast<float>(
+        drng.normal(label == 0 ? 0.25 : 0.75, 0.05));
+    x[i * 2 + 1] = static_cast<float>(
+        drng.normal(label == 0 ? 0.75 : 0.25, 0.05));
+    y[static_cast<std::size_t>(i)] = label;
+  }
+  nn::TrainConfig tcfg;
+  tcfg.epochs = 30;
+  nn::Trainer(tcfg).fit(model, x.reshaped(Shape{64, 1, 1, 2}), y);
+
+  AttackBudget budget;
+  budget.epsilon = 0.2;
+  Fgsm fgsm;
+  PgdConfig pcfg;
+  pcfg.steps = 20;
+  pcfg.rel_stepsize = 0.2;  // 20 steps x 0.2eps spans the ball several times
+  pcfg.random_start = false;
+  Pgd pgd(pcfg);
+  const Tensor adv_f = fgsm.perturb(model, x, y, budget);
+  const Tensor adv_p = pgd.perturb(model, x, y, budget);
+  double loss_f = 0.0, loss_p = 0.0;
+  model.input_gradient(adv_f, y, &loss_f);
+  model.input_gradient(adv_p, y, &loss_p);
+  EXPECT_GE(loss_p, loss_f - 1e-3);  // iterated ascent at least as strong
+}
+
+TEST(NoiseAttacks, RespectBudget) {
+  auto model = make_linear_model();
+  util::Rng rng(9);
+  const Tensor x = Tensor::rand_uniform(Shape{16, 1, 1, 2}, rng);
+  std::vector<std::int64_t> labels(16, 0);
+  AttackBudget budget;
+  budget.epsilon = 0.1;
+  UniformNoise uni;
+  GaussianNoise gauss;
+  for (Attack* atk : std::initializer_list<Attack*>{&uni, &gauss}) {
+    const Tensor adv = atk->perturb(*model, x, labels, budget);
+    EXPECT_LE(tensor::linf_distance(adv, x), 0.1f + 1e-6f) << atk->name();
+  }
+}
+
+TEST(Evaluation, PerfectModelHasFullRobustnessAtZeroEps) {
+  auto model = make_linear_model();
+  // Points classified by comparing x0 vs x1; labels consistent with that.
+  Tensor x(Shape{10, 1, 1, 2});
+  std::vector<std::int64_t> y(10);
+  for (std::int64_t i = 0; i < 10; ++i) {
+    const bool cls1 = (i % 2) == 1;
+    x[i * 2 + 0] = cls1 ? 0.2f : 0.8f;
+    x[i * 2 + 1] = cls1 ? 0.8f : 0.2f;
+    y[static_cast<std::size_t>(i)] = cls1 ? 1 : 0;
+  }
+  Pgd pgd;
+  const auto pt = evaluate_attack(*model, pgd, x, y, 0.0);
+  EXPECT_DOUBLE_EQ(pt.robustness, 1.0);
+  EXPECT_DOUBLE_EQ(pt.attack_success_rate, 0.0);
+}
+
+TEST(Evaluation, LargeBudgetBreaksLinearModel) {
+  auto model = make_linear_model();
+  Tensor x(Shape{10, 1, 1, 2});
+  std::vector<std::int64_t> y(10);
+  for (std::int64_t i = 0; i < 10; ++i) {
+    const bool cls1 = (i % 2) == 1;
+    x[i * 2 + 0] = cls1 ? 0.3f : 0.7f;
+    x[i * 2 + 1] = cls1 ? 0.7f : 0.3f;
+    y[static_cast<std::size_t>(i)] = cls1 ? 1 : 0;
+  }
+  PgdConfig cfg;
+  cfg.steps = 20;
+  Pgd pgd(cfg);
+  const auto pt = evaluate_attack(*model, pgd, x, y, 1.0);
+  EXPECT_LT(pt.robustness, 0.2);
+  EXPECT_GT(pt.mean_linf, 0.0);
+}
+
+TEST(Evaluation, RobustnessCurveIsPerEpsilon) {
+  auto model = make_linear_model();
+  Tensor x(Shape{6, 1, 1, 2});
+  std::vector<std::int64_t> y(6, 0);
+  for (std::int64_t i = 0; i < 6; ++i) {
+    x[i * 2 + 0] = 0.9f;
+    x[i * 2 + 1] = 0.1f;
+  }
+  Pgd pgd;
+  const auto curve = robustness_curve(*model, pgd, x, y, {0.0, 0.1, 1.0});
+  ASSERT_EQ(curve.size(), 3u);
+  EXPECT_DOUBLE_EQ(curve[0].epsilon, 0.0);
+  EXPECT_DOUBLE_EQ(curve[2].epsilon, 1.0);
+  // Monotone non-increasing robustness for this trivially-attackable model.
+  EXPECT_GE(curve[0].robustness, curve[2].robustness);
+}
+
+TEST(Evaluation, RejectsBadInputs) {
+  auto model = make_linear_model();
+  Pgd pgd;
+  EXPECT_THROW(
+      evaluate_attack(*model, pgd, Tensor(Shape{2, 1, 1, 2}), {0}, 0.1),
+      util::Error);
+  EXPECT_THROW(evaluate_attack(*model, pgd, Tensor(Shape{0, 1, 1, 2}), {}, 0.1),
+               util::Error);
+}
+
+TEST(PgdConfig, StepSizeRules) {
+  PgdConfig cfg;
+  cfg.rel_stepsize = 0.1;
+  EXPECT_DOUBLE_EQ(cfg.step_size(2.0), 0.2);
+  cfg.abs_stepsize = 0.05;
+  EXPECT_DOUBLE_EQ(cfg.step_size(2.0), 0.05);
+  EXPECT_THROW(Pgd(PgdConfig{.steps = 0}), util::Error);
+}
+
+}  // namespace
+}  // namespace snnsec::attack

@@ -1,0 +1,260 @@
+// Advanced attacks: output_gradient primitive, MI-FGSM, DeepFool.
+#include <gtest/gtest.h>
+
+#include "attacks/deepfool.hpp"
+#include "attacks/mifgsm.hpp"
+#include "attacks/pgd.hpp"
+#include "nn/activations.hpp"
+#include "nn/feedforward.hpp"
+#include "nn/flatten.hpp"
+#include "nn/linear.hpp"
+#include "nn/metrics.hpp"
+#include "nn/sequential.hpp"
+#include "nn/trainer.hpp"
+#include "snn/spiking_lenet.hpp"
+#include "tensor/ops.hpp"
+
+namespace snnsec::attack {
+namespace {
+
+using nn::FeedforwardClassifier;
+using tensor::Shape;
+using tensor::Tensor;
+
+/// logit0 = x0, logit1 = x1 — exact per-class gradients are one-hot.
+std::unique_ptr<FeedforwardClassifier> make_identity_model() {
+  util::Rng rng(1);
+  auto seq = std::make_unique<nn::Sequential>();
+  seq->emplace<nn::Flatten>();
+  auto lin = std::make_unique<nn::Linear>(2, 2, rng, /*bias=*/false);
+  lin->weight().value = Tensor::from_vector(Shape{2, 2}, {1, 0, 0, 1});
+  seq->add(std::move(lin));
+  return std::make_unique<FeedforwardClassifier>(std::move(seq), 2, "id");
+}
+
+TEST(OutputGradient, MatchesKnownJacobianRows) {
+  auto model = make_identity_model();
+  const Tensor x = Tensor::full(Shape{2, 1, 1, 2}, 0.5f);
+  // Cotangent selecting class 0 for sample 0 and class 1 for sample 1.
+  Tensor cot(Shape{2, 2});
+  cot[0] = 1.0f;  // sample 0, class 0
+  cot[3] = 1.0f;  // sample 1, class 1
+  const Tensor g = model->output_gradient(x, cot);
+  EXPECT_FLOAT_EQ(g[0], 1.0f);  // d logit0 / d x0
+  EXPECT_FLOAT_EQ(g[1], 0.0f);
+  EXPECT_FLOAT_EQ(g[2], 0.0f);
+  EXPECT_FLOAT_EQ(g[3], 1.0f);  // d logit1 / d x1
+}
+
+TEST(OutputGradient, CotangentShapeChecked) {
+  auto model = make_identity_model();
+  const Tensor x(Shape{1, 1, 1, 2});
+  EXPECT_THROW(model->output_gradient(x, Tensor(Shape{1, 3})), util::Error);
+}
+
+TEST(OutputGradient, LinearInCotangent) {
+  auto model = make_identity_model();
+  util::Rng rng(2);
+  const Tensor x = Tensor::rand_uniform(Shape{3, 1, 1, 2}, rng);
+  const Tensor c1 = Tensor::randn(Shape{3, 2}, rng);
+  const Tensor c2 = Tensor::randn(Shape{3, 2}, rng);
+  Tensor csum = c1;
+  csum.add_(c2);
+  Tensor gsum = model->output_gradient(x, c1);
+  gsum.add_(model->output_gradient(x, c2));
+  EXPECT_TRUE(model->output_gradient(x, csum).allclose(gsum, 1e-5f));
+}
+
+TEST(OutputGradient, WorksOnSpikingNetwork) {
+  nn::LenetSpec arch = nn::LenetSpec{}.scaled(0.25);
+  arch.image_size = 8;
+  snn::SnnConfig cfg;
+  cfg.time_steps = 6;
+  util::Rng rng(3);
+  auto model = snn::build_spiking_lenet(arch, cfg, rng);
+  util::Rng drng(4);
+  const Tensor x = Tensor::rand_uniform(Shape{2, 1, 8, 8}, drng);
+  const Tensor cot = Tensor::ones(Shape{2, 10});
+  const Tensor g = model->output_gradient(x, cot);
+  EXPECT_EQ(g.shape(), x.shape());
+}
+
+TEST(MiFgsm, RespectsBudgetAndBox) {
+  auto model = make_identity_model();
+  util::Rng rng(5);
+  const Tensor x = Tensor::rand_uniform(Shape{6, 1, 1, 2}, rng);
+  std::vector<std::int64_t> labels(6, 0);
+  MiFgsm atk;
+  AttackBudget budget;
+  budget.epsilon = 0.12;
+  const Tensor adv = atk.perturb(*model, x, labels, budget);
+  EXPECT_LE(tensor::linf_distance(adv, x), 0.12f + 1e-6f);
+  EXPECT_GE(tensor::min_value(adv), 0.0f);
+  EXPECT_LE(tensor::max_value(adv), 1.0f);
+}
+
+TEST(MiFgsm, ZeroEpsilonIsIdentity) {
+  auto model = make_identity_model();
+  const Tensor x = Tensor::full(Shape{1, 1, 1, 2}, 0.4f);
+  MiFgsm atk;
+  AttackBudget budget;
+  budget.epsilon = 0.0;
+  EXPECT_TRUE(atk.perturb(*model, x, {0}, budget).allclose(x, 0.0f));
+}
+
+TEST(MiFgsm, MovesAgainstTrueClass) {
+  auto model = make_identity_model();
+  const Tensor x = Tensor::full(Shape{1, 1, 1, 2}, 0.5f);
+  MiFgsmConfig cfg;
+  cfg.steps = 5;
+  MiFgsm atk(cfg);
+  AttackBudget budget;
+  budget.epsilon = 0.1;
+  const Tensor adv = atk.perturb(*model, x, {0}, budget);
+  EXPECT_LT(adv[0], 0.5f);  // true-class logit pushed down
+  EXPECT_GT(adv[1], 0.5f);
+}
+
+TEST(MiFgsm, InvalidConfigThrows) {
+  EXPECT_THROW(MiFgsm(MiFgsmConfig{.steps = 0}), util::Error);
+  EXPECT_THROW(MiFgsm(MiFgsmConfig{.steps = 5, .decay = -1.0}), util::Error);
+}
+
+TEST(DeepFool, CrossesNearestBoundaryOnLinearModel) {
+  // For logit0 = x0, logit1 = x1 and label 0 at (0.6, 0.4), the nearest
+  // boundary is x0 = x1; DeepFool should land just past it and flip the
+  // prediction with a small perturbation.
+  auto model = make_identity_model();
+  Tensor x(Shape{1, 1, 1, 2});
+  x[0] = 0.6f;
+  x[1] = 0.4f;
+  DeepFool atk;
+  AttackBudget budget;
+  budget.epsilon = 1.0;  // generous clip: measure the native perturbation
+  const Tensor adv = atk.perturb(*model, x, {0}, budget);
+  const auto pred = model->predict(adv);
+  EXPECT_EQ(pred[0], 1) << "DeepFool must flip the label";
+  // Minimal L2 to the boundary is |0.6-0.4|/sqrt(2) ≈ 0.141; with the
+  // small overshoot the perturbation stays close to that.
+  EXPECT_LT(atk.last_mean_l2(), 0.3);
+  EXPECT_GT(atk.last_mean_l2(), 0.1);
+}
+
+TEST(DeepFool, AlreadyMisclassifiedIsLeftAlone) {
+  auto model = make_identity_model();
+  Tensor x(Shape{1, 1, 1, 2});
+  x[0] = 0.2f;
+  x[1] = 0.8f;  // predicted class 1
+  DeepFool atk;
+  AttackBudget budget;
+  budget.epsilon = 1.0;
+  const Tensor adv = atk.perturb(*model, x, {0}, budget);  // label 0 wrong
+  EXPECT_TRUE(adv.allclose(x, 1e-6f));
+  EXPECT_NEAR(atk.last_mean_l2(), 0.0, 1e-9);
+}
+
+TEST(DeepFool, RespectsFinalClip) {
+  auto model = make_identity_model();
+  Tensor x(Shape{1, 1, 1, 2});
+  x[0] = 0.9f;
+  x[1] = 0.1f;
+  DeepFool atk;
+  AttackBudget budget;
+  budget.epsilon = 0.05;  // much smaller than the boundary distance
+  const Tensor adv = atk.perturb(*model, x, {0}, budget);
+  EXPECT_LE(tensor::linf_distance(adv, x), 0.05f + 1e-6f);
+}
+
+TEST(DeepFool, FoolsATrainedMlpWithSmallPerturbations) {
+  util::Rng rng(6);
+  auto seq = std::make_unique<nn::Sequential>();
+  seq->emplace<nn::Flatten>();
+  seq->emplace<nn::Linear>(2, 16, rng);
+  seq->emplace<nn::Tanh>();
+  seq->emplace<nn::Linear>(16, 3, rng);
+  FeedforwardClassifier model(std::move(seq), 3, "mlp3");
+
+  // Three Gaussian blobs.
+  Tensor x(Shape{90, 1, 1, 2});
+  std::vector<std::int64_t> y(90);
+  util::Rng drng(7);
+  const double cx[3] = {0.2, 0.8, 0.5};
+  const double cy[3] = {0.2, 0.2, 0.8};
+  for (std::int64_t i = 0; i < 90; ++i) {
+    const std::int64_t c = i % 3;
+    x[i * 2 + 0] = static_cast<float>(drng.normal(cx[c], 0.05));
+    x[i * 2 + 1] = static_cast<float>(drng.normal(cy[c], 0.05));
+    y[static_cast<std::size_t>(i)] = c;
+  }
+  nn::TrainConfig tcfg;
+  tcfg.epochs = 40;
+  nn::Trainer(tcfg).fit(model, x, y);
+  ASSERT_GT(nn::accuracy(model, x, y), 0.9);
+
+  DeepFool atk;
+  AttackBudget budget;
+  budget.epsilon = 1.0;
+  const Tensor adv = atk.perturb(model, x, y, budget);
+  const auto pred = model.predict(adv);
+  std::int64_t fooled = 0;
+  for (std::size_t i = 0; i < pred.size(); ++i)
+    if (pred[i] != y[i]) ++fooled;
+  EXPECT_GT(fooled, 70) << "DeepFool should fool most samples";
+  EXPECT_LT(atk.last_mean_l2(), 0.5) << "with small perturbations";
+}
+
+TEST(DeepFool, InvalidConfigThrows) {
+  EXPECT_THROW(DeepFool(DeepFoolConfig{.max_iterations = 0}), util::Error);
+  EXPECT_THROW(
+      DeepFool(DeepFoolConfig{.max_iterations = 5, .overshoot = -0.1}),
+      util::Error);
+}
+
+TEST(TargetedPgd, DrivesPredictionTowardTarget) {
+  auto model = make_identity_model();
+  // Start clearly in class 0; target class 1.
+  Tensor x(Shape{1, 1, 1, 2});
+  x[0] = 0.7f;
+  x[1] = 0.3f;
+  PgdConfig cfg;
+  cfg.steps = 10;
+  cfg.targeted = true;
+  cfg.rel_stepsize = 0.2;
+  cfg.random_start = false;
+  Pgd pgd(cfg);
+  AttackBudget budget;
+  budget.epsilon = 0.25;
+  const Tensor adv = pgd.perturb(*model, x, {1}, budget);  // labels = targets
+  EXPECT_EQ(model->predict(adv)[0], 1);
+  EXPECT_LE(tensor::linf_distance(adv, x), 0.25f + 1e-6f);
+}
+
+TEST(TargetedPgd, OppositeDirectionOfUntargeted) {
+  auto model = make_identity_model();
+  const Tensor x = Tensor::full(Shape{1, 1, 1, 2}, 0.5f);
+  PgdConfig cfg;
+  cfg.steps = 1;
+  cfg.random_start = false;
+  cfg.abs_stepsize = 0.1;
+  AttackBudget budget;
+  budget.epsilon = 0.1;
+  Pgd untargeted(cfg);
+  cfg.targeted = true;
+  Pgd targeted(cfg);
+  // Same label argument: untargeted moves AWAY from class 0, targeted
+  // moves TOWARD it — exactly opposite single steps.
+  const Tensor away = untargeted.perturb(*model, x, {0}, budget);
+  const Tensor toward = targeted.perturb(*model, x, {0}, budget);
+  EXPECT_LT(away[0], x[0]);
+  EXPECT_GT(toward[0], x[0]);
+  EXPECT_NEAR(away[0] + toward[0], 2.0f * x[0], 1e-6f);
+}
+
+TEST(TargetedPgd, NameMentionsTargeted) {
+  PgdConfig cfg;
+  cfg.targeted = true;
+  EXPECT_NE(Pgd(cfg).name().find("targeted"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace snnsec::attack

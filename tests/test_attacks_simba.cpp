@@ -1,0 +1,134 @@
+// SimBA black-box attack: query accounting, budget guarantees,
+// effectiveness without gradients.
+#include <gtest/gtest.h>
+
+#include "attacks/simba.hpp"
+#include "nn/activations.hpp"
+#include "nn/feedforward.hpp"
+#include "nn/flatten.hpp"
+#include "nn/linear.hpp"
+#include "nn/metrics.hpp"
+#include "nn/sequential.hpp"
+#include "nn/trainer.hpp"
+#include "tensor/ops.hpp"
+
+namespace snnsec::attack {
+namespace {
+
+using nn::FeedforwardClassifier;
+using tensor::Shape;
+using tensor::Tensor;
+
+std::unique_ptr<FeedforwardClassifier> make_identity_model() {
+  util::Rng rng(1);
+  auto seq = std::make_unique<nn::Sequential>();
+  seq->emplace<nn::Flatten>();
+  auto lin = std::make_unique<nn::Linear>(2, 2, rng, /*bias=*/false);
+  lin->weight().value = Tensor::from_vector(Shape{2, 2}, {1, 0, 0, 1});
+  seq->add(std::move(lin));
+  return std::make_unique<FeedforwardClassifier>(std::move(seq), 2, "id");
+}
+
+TEST(Simba, RespectsBudgetAndBox) {
+  auto model = make_identity_model();
+  util::Rng rng(2);
+  const Tensor x = Tensor::rand_uniform(Shape{4, 1, 1, 2}, rng);
+  std::vector<std::int64_t> labels(4, 0);
+  Simba atk;
+  AttackBudget budget;
+  budget.epsilon = 0.12;
+  const Tensor adv = atk.perturb(*model, x, labels, budget);
+  EXPECT_LE(tensor::linf_distance(adv, x), 0.12f + 1e-6f);
+  EXPECT_GE(tensor::min_value(adv), 0.0f);
+  EXPECT_LE(tensor::max_value(adv), 1.0f);
+  EXPECT_GT(atk.last_query_count(), 0);
+}
+
+TEST(Simba, StaysWithinQueryBudget) {
+  auto model = make_identity_model();
+  util::Rng rng(3);
+  const Tensor x = Tensor::rand_uniform(Shape{2, 1, 1, 2}, rng);
+  SimbaConfig cfg;
+  cfg.max_queries = 10;
+  Simba atk(cfg);
+  AttackBudget budget;
+  budget.epsilon = 0.2;
+  atk.perturb(*model, x, {0, 1}, budget);
+  // A couple of candidate evaluations can be in flight when the cap hits.
+  EXPECT_LE(atk.last_query_count(), cfg.max_queries + 2);
+}
+
+TEST(Simba, ZeroEpsilonIsIdentity) {
+  auto model = make_identity_model();
+  const Tensor x = Tensor::full(Shape{1, 1, 1, 2}, 0.4f);
+  Simba atk;
+  AttackBudget budget;
+  budget.epsilon = 0.0;
+  EXPECT_TRUE(atk.perturb(*model, x, {0}, budget).allclose(x, 0.0f));
+  EXPECT_EQ(atk.last_query_count(), 0);
+}
+
+TEST(Simba, LowersTrueClassProbabilityOnLinearModel) {
+  auto model = make_identity_model();
+  Tensor x(Shape{1, 1, 1, 2});
+  x[0] = 0.6f;
+  x[1] = 0.4f;  // predicted 0, attacked as label 0
+  Simba atk;
+  AttackBudget budget;
+  budget.epsilon = 0.15;
+  const Tensor adv = atk.perturb(*model, x, {0}, budget);
+  // Probability of class 0 must not increase; with eps 0.15 the optimal
+  // perturbation (x0 -= eps, x1 += eps) actually flips the prediction.
+  EXPECT_LE(adv[0], x[0] + 1e-6f);
+  EXPECT_GE(adv[1], x[1] - 1e-6f);
+  EXPECT_EQ(model->predict(adv)[0], 1);
+}
+
+TEST(Simba, FoolsATrainedModelWithoutGradients) {
+  // Train a small MLP on tight blobs, then let the black-box attack fool it
+  // using only logits queries.
+  util::Rng rng(4);
+  auto seq = std::make_unique<nn::Sequential>();
+  seq->emplace<nn::Flatten>();
+  seq->emplace<nn::Linear>(2, 12, rng);
+  seq->emplace<nn::Tanh>();
+  seq->emplace<nn::Linear>(12, 2, rng);
+  FeedforwardClassifier model(std::move(seq), 2, "mlp");
+
+  Tensor x(Shape{32, 1, 1, 2});
+  std::vector<std::int64_t> y(32);
+  util::Rng drng(5);
+  for (std::int64_t i = 0; i < 32; ++i) {
+    const std::int64_t c = i % 2;
+    x[i * 2 + 0] = static_cast<float>(drng.normal(c == 0 ? 0.4 : 0.6, 0.02));
+    x[i * 2 + 1] = static_cast<float>(drng.normal(c == 0 ? 0.6 : 0.4, 0.02));
+    y[static_cast<std::size_t>(i)] = c;
+  }
+  nn::TrainConfig tcfg;
+  tcfg.epochs = 60;
+  tcfg.lr = 0.01;
+  nn::Trainer(tcfg).fit(model, x, y);
+  ASSERT_GT(nn::accuracy(model, x, y), 0.9);
+
+  SimbaConfig cfg;
+  cfg.max_queries = 500;
+  Simba atk(cfg);
+  AttackBudget budget;
+  budget.epsilon = 0.25;  // enough to cross the tight margin
+  const Tensor adv = atk.perturb(model, x, y, budget);
+  const double adv_acc = [&] {
+    const auto pred = model.predict(adv);
+    int correct = 0;
+    for (std::size_t i = 0; i < pred.size(); ++i)
+      if (pred[i] == y[i]) ++correct;
+    return static_cast<double>(correct) / 32.0;
+  }();
+  EXPECT_LT(adv_acc, 0.5) << "black-box attack should fool most samples";
+}
+
+TEST(Simba, InvalidConfigThrows) {
+  EXPECT_THROW(Simba(SimbaConfig{.max_queries = 0}), util::Error);
+}
+
+}  // namespace
+}  // namespace snnsec::attack

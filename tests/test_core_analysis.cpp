@@ -1,0 +1,100 @@
+// Spike-activity / energy analysis.
+#include <gtest/gtest.h>
+
+#include "core/analysis.hpp"
+#include "data/synth_digits.hpp"
+#include "snn/spiking_lenet.hpp"
+
+namespace snnsec::core {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+std::unique_ptr<snn::SpikingClassifier> make_model(double v_th,
+                                                   std::int64_t t,
+                                                   std::uint64_t seed = 1) {
+  nn::LenetSpec arch = nn::LenetSpec{}.scaled(0.25);
+  arch.image_size = 8;
+  snn::SnnConfig cfg;
+  cfg.v_th = v_th;
+  cfg.time_steps = t;
+  util::Rng rng(seed);
+  return snn::build_spiking_lenet(arch, cfg, rng);
+}
+
+Tensor sample_batch(std::uint64_t seed = 2) {
+  data::SynthConfig cfg;
+  cfg.image_size = 8;
+  util::Rng rng(seed);
+  return data::generate_digits(16, cfg, rng).images;
+}
+
+TEST(Analysis, ReportsOneEntryPerLifLayer) {
+  auto model = make_model(1.0, 6);
+  const ActivityReport report = measure_activity(*model, sample_batch());
+  EXPECT_EQ(report.layers.size(), 5u);  // encoder + 3 conv + 1 fc
+  EXPECT_EQ(report.time_steps, 6);
+  for (const auto& layer : report.layers) {
+    EXPECT_GE(layer.spike_rate, 0.0);
+    EXPECT_LE(layer.spike_rate, 1.0);
+    EXPECT_GT(layer.neurons, 0);
+    EXPECT_GE(layer.spikes_per_inference, 0.0);
+  }
+  EXPECT_FALSE(report.summary().empty());
+}
+
+TEST(Analysis, SpikesScaleWithTimeWindow) {
+  // Same threshold, doubled window -> roughly doubled spike count.
+  auto short_model = make_model(1.0, 8);
+  auto long_model = make_model(1.0, 16);
+  const Tensor batch = sample_batch();
+  const auto short_report = measure_activity(*short_model, batch);
+  const auto long_report = measure_activity(*long_model, batch);
+  EXPECT_GT(long_report.total_spikes_per_inference,
+            short_report.total_spikes_per_inference * 1.3);
+}
+
+TEST(Analysis, HigherThresholdFiresLess) {
+  auto low = make_model(0.5, 8);
+  auto high = make_model(2.0, 8);
+  const Tensor batch = sample_batch();
+  const auto low_report = measure_activity(*low, batch);
+  const auto high_report = measure_activity(*high, batch);
+  EXPECT_GT(low_report.total_spikes_per_inference,
+            high_report.total_spikes_per_inference);
+}
+
+TEST(Analysis, SynopsExceedSpikesViaFanout) {
+  auto model = make_model(1.0, 6);
+  const auto report = measure_activity(*model, sample_batch());
+  if (report.total_spikes_per_inference > 0.0)
+    EXPECT_GT(report.synops_per_inference,
+              report.total_spikes_per_inference);
+}
+
+TEST(Analysis, EnergyEstimateScalesLinearly) {
+  auto model = make_model(1.0, 6);
+  const auto report = measure_activity(*model, sample_batch());
+  const double e1 = estimate_energy_nj(report, 0.077);
+  const double e2 = estimate_energy_nj(report, 0.154);
+  EXPECT_NEAR(e2, 2.0 * e1, 1e-9);
+  EXPECT_THROW(estimate_energy_nj(report, 0.0), util::Error);
+}
+
+TEST(Analysis, NeuronCountsMatchArchitecture) {
+  auto model = make_model(1.0, 6);
+  const auto report = measure_activity(*model, sample_batch());
+  // Encoder population = input pixels (1x8x8); conv1 = c1 x 8 x 8.
+  EXPECT_EQ(report.layers[0].neurons, 64);
+  const nn::LenetSpec arch = nn::LenetSpec{}.scaled(0.25);
+  EXPECT_EQ(report.layers[1].neurons, arch.conv1_channels * 64);
+}
+
+TEST(Analysis, RejectsBadBatch) {
+  auto model = make_model(1.0, 6);
+  EXPECT_THROW(measure_activity(*model, Tensor(Shape{2, 8, 8})), util::Error);
+}
+
+}  // namespace
+}  // namespace snnsec::core

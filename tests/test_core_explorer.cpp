@@ -1,0 +1,196 @@
+// Algorithm 1 explorer: grid traversal, learnability filter, caching,
+// report emission. Uses a deliberately tiny configuration.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/explorer.hpp"
+#include "data/synth_digits.hpp"
+
+namespace snnsec::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A configuration small enough for unit tests: 8x8 images, tiny nets,
+/// one epoch. The high-threshold cell (v_th = 6) cannot learn, exercising
+/// the learnability filter.
+ExplorationConfig tiny_config() {
+  ExplorationConfig cfg;
+  cfg.v_th_grid = {1.0, 6.0};
+  cfg.t_grid = {16};
+  cfg.eps_grid = {0.1};
+  cfg.accuracy_threshold = 0.25;  // above chance, below a trained tiny net
+  cfg.arch = nn::LenetSpec{}.scaled(0.5);
+  cfg.arch.image_size = 16;
+  cfg.train.epochs = 3;
+  cfg.train.batch_size = 32;
+  cfg.train.lr = 4e-3;
+  cfg.data.train_n = 400;
+  cfg.data.test_n = 40;
+  cfg.data.image_size = 16;
+  cfg.pgd.steps = 3;
+  cfg.pgd.rel_stepsize = 0.34;
+  cfg.attack_test_cap = 16;
+  cfg.eval_batch = 16;
+  return cfg;
+}
+
+data::DataBundle tiny_data(const ExplorationConfig& cfg) {
+  data::DataSpec spec = cfg.data;
+  spec.force_synthetic = true;
+  return data::load_digits(spec);
+}
+
+class ExplorerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cache_dir_ =
+        (fs::temp_directory_path() / "snnsec_explorer_cache").string();
+    fs::remove_all(cache_dir_);
+  }
+  void TearDown() override { fs::remove_all(cache_dir_); }
+  std::string cache_dir_;
+};
+
+TEST_F(ExplorerTest, ExploresFullGridWithLearnabilityFilter) {
+  const ExplorationConfig cfg = tiny_config();
+  const auto data = tiny_data(cfg);
+  RobustnessExplorer explorer(cfg);
+  int cells_seen = 0;
+  const ExplorationReport report =
+      explorer.explore(data, [&](const CellResult&) { ++cells_seen; });
+
+  ASSERT_EQ(report.cells.size(), 2u);
+  EXPECT_EQ(cells_seen, 2);
+
+  const CellResult* good = report.find(1.0, 16);
+  const CellResult* dead = report.find(6.0, 16);
+  ASSERT_NE(good, nullptr);
+  ASSERT_NE(dead, nullptr);
+
+  // v_th = 6 keeps every neuron silent -> chance accuracy -> filtered out.
+  EXPECT_FALSE(dead->learnable);
+  EXPECT_TRUE(dead->robustness.empty());
+  EXPECT_FALSE(dead->robustness_at(0.1).has_value());
+
+  EXPECT_TRUE(good->learnable);
+  ASSERT_EQ(good->robustness.size(), 1u);
+  const auto r = good->robustness_at(0.1);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_GE(*r, 0.0);
+  EXPECT_LE(*r, 1.0);
+  // eps = 0 must report the clean accuracy.
+  EXPECT_EQ(good->robustness_at(0.0), good->clean_accuracy);
+  EXPECT_EQ(good->spike_rates.size(), 5u);
+  EXPECT_DOUBLE_EQ(report.learnable_fraction(), 0.5);
+}
+
+TEST_F(ExplorerTest, CheckpointCacheReproducesResults) {
+  const ExplorationConfig cfg = tiny_config();
+  const auto data = tiny_data(cfg);
+
+  RobustnessExplorer first(cfg, cache_dir_);
+  const auto cell1 = first.train_cell(1.0, 16, data);
+  EXPECT_FALSE(cell1.from_cache);
+
+  RobustnessExplorer second(cfg, cache_dir_);
+  const auto cell2 = second.train_cell(1.0, 16, data);
+  EXPECT_TRUE(cell2.from_cache);
+  EXPECT_NEAR(cell2.clean_accuracy, cell1.clean_accuracy, 1e-6);
+
+  // Identical weights -> identical logits.
+  const auto x = data.test.images;
+  EXPECT_TRUE(cell1.model->logits(x).allclose(cell2.model->logits(x), 0.0f));
+}
+
+TEST_F(ExplorerTest, CacheKeyChangesWithConfig) {
+  ExplorationConfig cfg = tiny_config();
+  const auto data = tiny_data(cfg);
+  RobustnessExplorer a(cfg, cache_dir_);
+  a.train_cell(1.0, 16, data);
+
+  cfg.train.lr *= 2.0;  // different training config -> different fingerprint
+  RobustnessExplorer b(cfg, cache_dir_);
+  const auto cell = b.train_cell(1.0, 16, data);
+  EXPECT_FALSE(cell.from_cache) << "stale checkpoint must not be reused";
+}
+
+TEST_F(ExplorerTest, ReportCsvAndHeatmap) {
+  const ExplorationConfig cfg = tiny_config();
+  const auto data = tiny_data(cfg);
+  RobustnessExplorer explorer(cfg);
+  const ExplorationReport report = explorer.explore(data);
+
+  const std::string heat_clean = report.heatmap(0.0);
+  EXPECT_NE(heat_clean.find("clean accuracy"), std::string::npos);
+  EXPECT_NE(heat_clean.find("1.00"), std::string::npos);  // v_th column
+  const std::string heat_eps = report.heatmap(0.1);
+  EXPECT_NE(heat_eps.find("eps=0.1"), std::string::npos);
+  EXPECT_NE(heat_eps.find("----"), std::string::npos);  // skipped dead cell
+
+  const auto csv_path =
+      (fs::temp_directory_path() / "snnsec_report.csv").string();
+  report.write_csv(csv_path);
+  std::ifstream is(csv_path);
+  ASSERT_TRUE(is.is_open());
+  std::string header;
+  std::getline(is, header);
+  EXPECT_EQ(header, "v_th,T,clean_accuracy,learnable,robustness_eps_0.10");
+  std::string row;
+  int rows = 0;
+  while (std::getline(is, row)) ++rows;
+  EXPECT_EQ(rows, 2);
+  fs::remove(csv_path);
+}
+
+TEST(ExplorationConfig, ValidationCatchesBadGrids) {
+  ExplorationConfig cfg = tiny_config();
+  cfg.v_th_grid.clear();
+  EXPECT_THROW(cfg.validate(), util::Error);
+  cfg = tiny_config();
+  cfg.v_th_grid.push_back(-1.0);
+  EXPECT_THROW(cfg.validate(), util::Error);
+  cfg = tiny_config();
+  cfg.t_grid.push_back(0);
+  EXPECT_THROW(cfg.validate(), util::Error);
+  cfg = tiny_config();
+  cfg.accuracy_threshold = 1.5;
+  EXPECT_THROW(cfg.validate(), util::Error);
+  cfg = tiny_config();
+  cfg.eps_grid.push_back(-0.1);
+  EXPECT_THROW(cfg.validate(), util::Error);
+}
+
+TEST(ExplorationConfig, ProfilesAreValid) {
+  EXPECT_NO_THROW(paper_profile().validate());
+  EXPECT_NO_THROW(quick_profile().validate());
+  EXPECT_FALSE(quick_profile().summary().empty());
+  // Paper grid: 10 thresholds x 12 windows, eps up to 1.5.
+  const auto paper = paper_profile();
+  EXPECT_EQ(paper.v_th_grid.size(), 10u);
+  EXPECT_EQ(paper.t_grid.size(), 12u);
+  EXPECT_DOUBLE_EQ(paper.v_th_grid.front(), 0.25);
+  EXPECT_DOUBLE_EQ(paper.v_th_grid.back(), 2.5);
+  EXPECT_EQ(paper.t_grid.front(), 8);
+  EXPECT_EQ(paper.t_grid.back(), 96);
+  EXPECT_DOUBLE_EQ(paper.eps_grid.back(), 1.5);
+  EXPECT_DOUBLE_EQ(paper.accuracy_threshold, 0.70);
+}
+
+TEST(Report, FindToleratesFloatKeys) {
+  ExplorationReport report;
+  report.v_th_grid = {0.25};
+  report.t_grid = {8};
+  CellResult cell;
+  cell.v_th = 0.25;
+  cell.time_steps = 8;
+  report.cells.push_back(cell);
+  EXPECT_NE(report.find(0.25, 8), nullptr);
+  EXPECT_EQ(report.find(0.3, 8), nullptr);
+  EXPECT_EQ(report.find(0.25, 16), nullptr);
+}
+
+}  // namespace
+}  // namespace snnsec::core

@@ -1,0 +1,103 @@
+// Sweet-spot ranking over synthetic exploration reports.
+#include <gtest/gtest.h>
+
+#include "core/sweet_spot.hpp"
+
+namespace snnsec::core {
+namespace {
+
+CellResult make_cell(double v_th, std::int64_t t, double clean, bool learnable,
+                     double rob_at_1) {
+  CellResult c;
+  c.v_th = v_th;
+  c.time_steps = t;
+  c.clean_accuracy = clean;
+  c.learnable = learnable;
+  if (learnable) {
+    attack::RobustnessPoint pt;
+    pt.epsilon = 1.0;
+    pt.robustness = rob_at_1;
+    pt.attack_success_rate = 1.0 - rob_at_1;
+    c.robustness.emplace(1.0, pt);
+  }
+  return c;
+}
+
+/// Report mirroring the paper's Fig. 7 story: (0.75, 72) robust,
+/// (0.25, 56) fragile despite high clean accuracy, (2.25, 56) weak,
+/// plus one unlearnable cell.
+ExplorationReport make_report() {
+  ExplorationReport r;
+  r.v_th_grid = {0.25, 0.75, 2.25};
+  r.t_grid = {56, 72};
+  r.eps_grid = {1.0};
+  r.accuracy_threshold = 0.7;
+  r.cells.push_back(make_cell(0.75, 72, 0.97, true, 0.91));
+  r.cells.push_back(make_cell(0.25, 56, 0.95, true, 0.08));
+  r.cells.push_back(make_cell(2.25, 56, 0.93, true, 0.35));
+  r.cells.push_back(make_cell(2.25, 72, 0.12, false, 0.0));
+  return r;
+}
+
+TEST(SweetSpotFinder, RanksByRobustnessBestFirst) {
+  const auto report = make_report();
+  SweetSpotFinder finder(1.0, 0.7);
+  const auto ranked = finder.rank(report);
+  ASSERT_EQ(ranked.size(), 3u);  // unlearnable cell excluded
+  EXPECT_DOUBLE_EQ(ranked[0].cell->v_th, 0.75);
+  EXPECT_DOUBLE_EQ(ranked[0].score, 0.91);
+  EXPECT_DOUBLE_EQ(ranked[1].cell->v_th, 2.25);
+  EXPECT_DOUBLE_EQ(ranked[2].cell->v_th, 0.25);
+}
+
+TEST(SweetSpotFinder, BestReturnsTopCell) {
+  const auto report = make_report();
+  SweetSpotFinder finder(1.0, 0.7);
+  const CellResult* best = finder.best(report);
+  ASSERT_NE(best, nullptr);
+  EXPECT_DOUBLE_EQ(best->v_th, 0.75);
+  EXPECT_EQ(best->time_steps, 72);
+}
+
+TEST(SweetSpotFinder, AccuracyConstraintFilters) {
+  const auto report = make_report();
+  SweetSpotFinder strict(1.0, 0.96);  // only the 0.97-accuracy cell passes
+  const auto ranked = strict.rank(report);
+  ASSERT_EQ(ranked.size(), 1u);
+  EXPECT_DOUBLE_EQ(ranked[0].cell->clean_accuracy, 0.97);
+}
+
+TEST(SweetSpotFinder, EmptyWhenNothingQualifies) {
+  const auto report = make_report();
+  SweetSpotFinder impossible(1.0, 0.999);
+  EXPECT_TRUE(impossible.rank(report).empty());
+  EXPECT_EQ(impossible.best(report), nullptr);
+}
+
+TEST(SweetSpotFinder, FragileHighAccuracyCellsAreTheA3CounterExample) {
+  // Paper answer (A3): high clean accuracy does not imply robustness.
+  const auto report = make_report();
+  SweetSpotFinder finder(1.0, 0.7);
+  const auto fragile = finder.fragile_high_accuracy_cells(report, 0.5);
+  ASSERT_EQ(fragile.size(), 2u);
+  // Worst first: (0.25, 56) with robustness 0.08.
+  EXPECT_DOUBLE_EQ(fragile[0].cell->v_th, 0.25);
+  EXPECT_GT(fragile[0].cell->clean_accuracy, 0.9);
+  EXPECT_LT(fragile[0].score, 0.1);
+}
+
+TEST(SweetSpotFinder, MissingEpsilonYieldsNoRanking) {
+  const auto report = make_report();
+  SweetSpotFinder wrong_eps(0.5, 0.7);  // nothing was evaluated at 0.5
+  EXPECT_TRUE(wrong_eps.rank(report).empty());
+}
+
+TEST(CellResult, RobustnessAtZeroIsCleanAccuracy) {
+  const CellResult c = make_cell(1.0, 8, 0.88, true, 0.4);
+  EXPECT_EQ(c.robustness_at(0.0), 0.88);
+  EXPECT_EQ(c.robustness_at(1.0), 0.4);
+  EXPECT_FALSE(c.robustness_at(0.7).has_value());
+}
+
+}  // namespace
+}  // namespace snnsec::core

@@ -1,0 +1,144 @@
+// Synthetic Fashion-MNIST-like generator and polygon rasterization.
+#include <gtest/gtest.h>
+
+#include "data/provider.hpp"
+#include "data/synth_fashion.hpp"
+
+namespace snnsec::data {
+namespace {
+
+using tensor::Shape;
+
+TEST(FashionGlyph, DefinedForAllClassesWithNames) {
+  for (std::int64_t c = 0; c <= 9; ++c) {
+    const FashionGlyph& g = fashion_glyph(c);
+    EXPECT_FALSE(g.fills.empty()) << fashion_class_name(c);
+    for (const auto& poly : g.fills) EXPECT_GE(poly.size(), 3u);
+    EXPECT_NE(std::string(fashion_class_name(c)), "");
+  }
+  EXPECT_THROW(fashion_glyph(10), util::Error);
+  EXPECT_THROW(fashion_class_name(-1), util::Error);
+}
+
+TEST(FillPolygon, CoversInteriorNotExterior) {
+  Canvas canvas(16, 16);
+  canvas.fill_polygon({{4, 4}, {12, 4}, {12, 12}, {4, 12}}, 1.0f);
+  EXPECT_GT(canvas.pixels()[8 * 16 + 8], 0.9f);   // center filled
+  EXPECT_FLOAT_EQ(canvas.pixels()[1 * 16 + 1], 0.0f);  // corner empty
+  EXPECT_FLOAT_EQ(canvas.pixels()[14 * 16 + 14], 0.0f);
+}
+
+TEST(FillPolygon, TriangleRespectsEdges) {
+  Canvas canvas(16, 16);
+  canvas.fill_polygon({{8, 2}, {14, 14}, {2, 14}}, 1.0f);
+  EXPECT_GT(canvas.pixels()[10 * 16 + 8], 0.9f);  // interior
+  EXPECT_FLOAT_EQ(canvas.pixels()[4 * 16 + 2], 0.0f);  // above-left of apex
+}
+
+TEST(FillPolygon, SupersamplingSoftensEdges) {
+  Canvas canvas(16, 16);
+  // Diagonal edge: some pixels should have partial coverage.
+  canvas.fill_polygon({{2, 2}, {14, 2}, {2, 14}}, 1.0f);
+  bool partial = false;
+  for (const float p : canvas.pixels())
+    if (p > 0.1f && p < 0.9f) partial = true;
+  EXPECT_TRUE(partial);
+}
+
+TEST(FillPolygon, RejectsDegenerate) {
+  Canvas canvas(8, 8);
+  EXPECT_THROW(canvas.fill_polygon({{1, 1}, {2, 2}}), util::Error);
+}
+
+TEST(RenderFashion, EveryClassLeavesDistinctInk) {
+  SynthConfig cfg;
+  cfg.image_size = 16;
+  util::Rng rng(1);
+  double prev_ink = -1.0;
+  for (std::int64_t c = 0; c <= 9; ++c) {
+    Canvas canvas(16, 16);
+    render_fashion(c, cfg, rng, canvas);
+    double ink = 0.0;
+    for (const float p : canvas.pixels()) {
+      ASSERT_GE(p, 0.0f);
+      ASSERT_LE(p, 1.0f);
+      ink += p;
+    }
+    EXPECT_GT(ink / 256.0, 0.03) << fashion_class_name(c);
+    (void)prev_ink;
+    prev_ink = ink;
+  }
+}
+
+TEST(GenerateFashion, BalancedValidatedDataset) {
+  SynthConfig cfg;
+  cfg.image_size = 16;
+  util::Rng rng(2);
+  const Dataset d = generate_fashion(100, cfg, rng);
+  EXPECT_EQ(d.size(), 100);
+  EXPECT_NO_THROW(d.validate());
+  for (const auto count : d.class_histogram()) EXPECT_EQ(count, 10);
+}
+
+TEST(GenerateFashion, ClassesDistinguishableByTemplateMatching) {
+  SynthConfig cfg;
+  cfg.image_size = 16;
+  util::Rng rng(3);
+  const Dataset train = generate_fashion(400, cfg, rng);
+  const Dataset test = generate_fashion(100, cfg, rng);
+  const std::int64_t px = 16 * 16;
+  std::vector<std::vector<double>> mean(10, std::vector<double>(px, 0.0));
+  std::vector<int> counts(10, 0);
+  for (std::int64_t i = 0; i < train.size(); ++i) {
+    const auto l = train.labels[static_cast<std::size_t>(i)];
+    ++counts[static_cast<std::size_t>(l)];
+    for (std::int64_t j = 0; j < px; ++j)
+      mean[static_cast<std::size_t>(l)][static_cast<std::size_t>(j)] +=
+          train.images[i * px + j];
+  }
+  for (int c = 0; c < 10; ++c)
+    for (auto& v : mean[static_cast<std::size_t>(c)])
+      v /= counts[static_cast<std::size_t>(c)];
+  int correct = 0;
+  for (std::int64_t i = 0; i < test.size(); ++i) {
+    double best = 1e18;
+    int best_c = -1;
+    for (int c = 0; c < 10; ++c) {
+      double dist = 0.0;
+      for (std::int64_t j = 0; j < px; ++j) {
+        const double e =
+            test.images[i * px + j] -
+            mean[static_cast<std::size_t>(c)][static_cast<std::size_t>(j)];
+        dist += e * e;
+      }
+      if (dist < best) {
+        best = dist;
+        best_c = c;
+      }
+    }
+    if (best_c == test.labels[static_cast<std::size_t>(i)]) ++correct;
+  }
+  EXPECT_GT(correct, 55) << "nearest-template must beat chance widely";
+}
+
+TEST(Provider, FashionTaskSelectsGarmentGenerator) {
+  DataSpec spec;
+  spec.train_n = 20;
+  spec.test_n = 10;
+  spec.image_size = 12;
+  spec.task = TaskKind::kFashion;
+  spec.force_synthetic = true;
+  const DataBundle bundle = load_digits(spec);
+  EXPECT_FALSE(bundle.from_mnist);
+  EXPECT_EQ(bundle.train.size(), 20);
+  EXPECT_NO_THROW(bundle.train.validate());
+
+  // The two tasks must generate different images for the same spec/seed.
+  DataSpec digit_spec = spec;
+  digit_spec.task = TaskKind::kDigits;
+  const DataBundle digits = load_digits(digit_spec);
+  EXPECT_FALSE(bundle.train.images.allclose(digits.train.images, 1e-3f));
+}
+
+}  // namespace
+}  // namespace snnsec::data

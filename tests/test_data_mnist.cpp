@@ -1,0 +1,230 @@
+// MNIST IDX loader (against generated fixture files), provider fallback,
+// and bilinear resize.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+
+#include "data/mnist.hpp"
+#include "data/provider.hpp"
+#include "data/resize.hpp"
+
+namespace snnsec::data {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+namespace fs = std::filesystem;
+
+void write_be32(std::ofstream& os, std::uint32_t v) {
+  const unsigned char b[4] = {static_cast<unsigned char>(v >> 24),
+                              static_cast<unsigned char>(v >> 16),
+                              static_cast<unsigned char>(v >> 8),
+                              static_cast<unsigned char>(v)};
+  os.write(reinterpret_cast<const char*>(b), 4);
+}
+
+/// Write a tiny 4-image 5x5 IDX pair + t10k pair into `dir`.
+void write_fixture(const fs::path& dir) {
+  fs::create_directories(dir);
+  for (const bool train : {true, false}) {
+    const char* img_name =
+        train ? "train-images-idx3-ubyte" : "t10k-images-idx3-ubyte";
+    const char* lbl_name =
+        train ? "train-labels-idx1-ubyte" : "t10k-labels-idx1-ubyte";
+    {
+      std::ofstream os(dir / img_name, std::ios::binary);
+      write_be32(os, 0x00000803);
+      write_be32(os, 4);  // items
+      write_be32(os, 5);  // rows
+      write_be32(os, 5);  // cols
+      for (int i = 0; i < 4 * 25; ++i) {
+        const unsigned char px = static_cast<unsigned char>(i % 256);
+        os.write(reinterpret_cast<const char*>(&px), 1);
+      }
+    }
+    {
+      std::ofstream os(dir / lbl_name, std::ios::binary);
+      write_be32(os, 0x00000801);
+      write_be32(os, 4);
+      for (unsigned char l : {1, 7, 3, 9}) {
+        os.write(reinterpret_cast<const char*>(&l), 1);
+      }
+    }
+  }
+}
+
+class MnistFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "snnsec_mnist_fixture";
+    write_fixture(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+  fs::path dir_;
+};
+
+TEST_F(MnistFixture, AvailabilityDetection) {
+  EXPECT_TRUE(mnist_available(dir_.string()));
+  EXPECT_FALSE(mnist_available("/nonexistent/dir"));
+  EXPECT_FALSE(mnist_available(""));
+}
+
+TEST_F(MnistFixture, LoadsImagesNormalizedToUnitRange) {
+  const Tensor imgs =
+      load_idx_images((dir_ / "train-images-idx3-ubyte").string());
+  EXPECT_EQ(imgs.shape(), Shape({4, 1, 5, 5}));
+  EXPECT_FLOAT_EQ(imgs[0], 0.0f);
+  EXPECT_NEAR(imgs[1], 1.0f / 255.0f, 1e-6f);
+  for (std::int64_t i = 0; i < imgs.numel(); ++i) {
+    EXPECT_GE(imgs[i], 0.0f);
+    EXPECT_LE(imgs[i], 1.0f);
+  }
+}
+
+TEST_F(MnistFixture, LoadsLabels) {
+  const auto labels =
+      load_idx_labels((dir_ / "train-labels-idx1-ubyte").string());
+  ASSERT_EQ(labels.size(), 4u);
+  EXPECT_EQ(labels[0], 1);
+  EXPECT_EQ(labels[3], 9);
+}
+
+TEST_F(MnistFixture, MaxItemsTruncates) {
+  const Tensor imgs =
+      load_idx_images((dir_ / "train-images-idx3-ubyte").string(), 2);
+  EXPECT_EQ(imgs.dim(0), 2);
+  const auto labels =
+      load_idx_labels((dir_ / "train-labels-idx1-ubyte").string(), 3);
+  EXPECT_EQ(labels.size(), 3u);
+}
+
+TEST_F(MnistFixture, LoadMnistSplits) {
+  const Dataset train = load_mnist(dir_.string(), true);
+  const Dataset test = load_mnist(dir_.string(), false);
+  EXPECT_EQ(train.size(), 4);
+  EXPECT_EQ(test.size(), 4);
+  EXPECT_EQ(train.num_classes, 10);
+}
+
+TEST_F(MnistFixture, BadMagicRejected) {
+  const auto path = dir_ / "bad-images";
+  {
+    std::ofstream os(path, std::ios::binary);
+    write_be32(os, 0xDEADBEEF);
+    write_be32(os, 1);
+    write_be32(os, 5);
+    write_be32(os, 5);
+  }
+  EXPECT_THROW(load_idx_images(path.string()), util::Error);
+  // Labels magic on an image file is also rejected.
+  EXPECT_THROW(load_idx_labels((dir_ / "train-images-idx3-ubyte").string()),
+               util::Error);
+}
+
+TEST_F(MnistFixture, TruncatedPayloadRejected) {
+  const auto path = dir_ / "truncated-images";
+  {
+    std::ofstream os(path, std::ios::binary);
+    write_be32(os, 0x00000803);
+    write_be32(os, 10);  // claims 10 images
+    write_be32(os, 5);
+    write_be32(os, 5);
+    const unsigned char px = 0;
+    os.write(reinterpret_cast<const char*>(&px), 1);  // only 1 byte
+  }
+  EXPECT_THROW(load_idx_images(path.string()), util::Error);
+}
+
+TEST_F(MnistFixture, ProviderUsesMnistWhenDirGiven) {
+  DataSpec spec;
+  spec.train_n = 3;
+  spec.test_n = 2;
+  spec.image_size = 5;
+  spec.mnist_dir = dir_.string();
+  const DataBundle bundle = load_digits(spec);
+  EXPECT_TRUE(bundle.from_mnist);
+  EXPECT_EQ(std::string(bundle.source()), "mnist");
+  EXPECT_EQ(bundle.train.size(), 3);
+  EXPECT_EQ(bundle.test.size(), 2);
+}
+
+TEST_F(MnistFixture, ProviderResizesMnist) {
+  DataSpec spec;
+  spec.train_n = 2;
+  spec.test_n = 2;
+  spec.image_size = 8;  // fixture is 5x5
+  spec.mnist_dir = dir_.string();
+  const DataBundle bundle = load_digits(spec);
+  EXPECT_EQ(bundle.train.height(), 8);
+  EXPECT_EQ(bundle.train.width(), 8);
+}
+
+TEST_F(MnistFixture, ForceSyntheticIgnoresMnist) {
+  DataSpec spec;
+  spec.train_n = 10;
+  spec.test_n = 5;
+  spec.image_size = 12;
+  spec.mnist_dir = dir_.string();
+  spec.force_synthetic = true;
+  const DataBundle bundle = load_digits(spec);
+  EXPECT_FALSE(bundle.from_mnist);
+  EXPECT_EQ(bundle.train.size(), 10);
+}
+
+TEST(Provider, FallsBackToSyntheticWithoutMnist) {
+  DataSpec spec;
+  spec.train_n = 20;
+  spec.test_n = 10;
+  spec.image_size = 12;
+  spec.mnist_dir = "/definitely/not/here";
+  const DataBundle bundle = load_digits(spec);
+  EXPECT_FALSE(bundle.from_mnist);
+  EXPECT_EQ(bundle.train.size(), 20);
+  EXPECT_EQ(bundle.test.size(), 10);
+  EXPECT_NO_THROW(bundle.train.validate());
+}
+
+TEST(Provider, TrainAndTestSetsDiffer) {
+  DataSpec spec;
+  spec.train_n = 10;
+  spec.test_n = 10;
+  spec.image_size = 12;
+  spec.force_synthetic = true;
+  const DataBundle bundle = load_digits(spec);
+  EXPECT_FALSE(bundle.train.images.allclose(bundle.test.images, 1e-3f));
+}
+
+TEST(Resize, IdentityWhenSameSize) {
+  util::Rng rng(1);
+  const Tensor x = Tensor::rand_uniform(Shape{2, 1, 6, 6}, rng);
+  EXPECT_TRUE(resize_bilinear(x, 6, 6).allclose(x, 0.0f));
+}
+
+TEST(Resize, ConstantImageStaysConstant) {
+  const Tensor x = Tensor::full(Shape{1, 1, 7, 7}, 0.42f);
+  const Tensor y = resize_bilinear(x, 13, 4);
+  EXPECT_EQ(y.shape(), Shape({1, 1, 13, 4}));
+  for (std::int64_t i = 0; i < y.numel(); ++i)
+    EXPECT_NEAR(y[i], 0.42f, 1e-5f);
+}
+
+TEST(Resize, PreservesMeanApproximately) {
+  util::Rng rng(2);
+  const Tensor x = Tensor::rand_uniform(Shape{1, 1, 16, 16}, rng);
+  const Tensor y = resize_bilinear(x, 8, 8);
+  double mx = 0.0, my = 0.0;
+  for (std::int64_t i = 0; i < x.numel(); ++i) mx += x[i];
+  for (std::int64_t i = 0; i < y.numel(); ++i) my += y[i];
+  EXPECT_NEAR(mx / x.numel(), my / y.numel(), 0.05);
+}
+
+TEST(Resize, RejectsBadArgs) {
+  EXPECT_THROW(resize_bilinear(Tensor(Shape{2, 2}), 4, 4), util::Error);
+  EXPECT_THROW(resize_bilinear(Tensor(Shape{1, 1, 4, 4}), 0, 4), util::Error);
+}
+
+}  // namespace
+}  // namespace snnsec::data

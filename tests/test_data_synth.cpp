@@ -1,0 +1,227 @@
+// Synthetic digit generator and dataset container.
+#include <gtest/gtest.h>
+
+#include "data/synth_digits.hpp"
+#include "tensor/ops.hpp"
+
+namespace snnsec::data {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(DigitStrokes, DefinedForAllTenDigits) {
+  for (std::int64_t d = 0; d <= 9; ++d) {
+    const auto strokes = digit_strokes(d);
+    EXPECT_FALSE(strokes.empty()) << "digit " << d;
+    for (const auto& s : strokes) EXPECT_FALSE(s.empty());
+  }
+}
+
+TEST(DigitStrokes, RejectsOutOfRange) {
+  EXPECT_THROW(digit_strokes(10), util::Error);
+  EXPECT_THROW(digit_strokes(-1), util::Error);
+}
+
+TEST(RenderDigit, ProducesInkInsideCanvas) {
+  SynthConfig cfg;
+  util::Rng rng(1);
+  for (std::int64_t d = 0; d <= 9; ++d) {
+    Canvas canvas(cfg.image_size, cfg.image_size);
+    render_digit(d, cfg, rng, canvas);
+    double ink = 0.0;
+    for (const float p : canvas.pixels()) {
+      EXPECT_GE(p, 0.0f);
+      EXPECT_LE(p, 1.0f);
+      ink += p;
+    }
+    // Each glyph must leave a visible amount of ink (a few % of area).
+    EXPECT_GT(ink / (28.0 * 28.0), 0.02) << "digit " << d;
+    EXPECT_LT(ink / (28.0 * 28.0), 0.6) << "digit " << d;
+  }
+}
+
+TEST(RenderDigit, DifferentSamplesDiffer) {
+  SynthConfig cfg;
+  util::Rng rng(2);
+  Canvas a(28, 28), b(28, 28);
+  render_digit(3, cfg, rng, a);
+  render_digit(3, cfg, rng, b);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < a.pixels().size(); ++i)
+    diff += std::abs(a.pixels()[i] - b.pixels()[i]);
+  EXPECT_GT(diff, 1.0);  // jitter must produce visibly distinct samples
+}
+
+TEST(GenerateDigits, ShapesLabelsAndBalance) {
+  SynthConfig cfg;
+  cfg.image_size = 16;
+  util::Rng rng(3);
+  const Dataset d = generate_digits(200, cfg, rng);
+  EXPECT_EQ(d.size(), 200);
+  EXPECT_EQ(d.images.shape(), Shape({200, 1, 16, 16}));
+  EXPECT_NO_THROW(d.validate());
+  const auto hist = d.class_histogram();
+  for (const auto count : hist) EXPECT_EQ(count, 20);  // exactly balanced
+}
+
+TEST(GenerateDigits, DeterministicPerSeed) {
+  SynthConfig cfg;
+  cfg.image_size = 12;
+  util::Rng r1(7), r2(7), r3(8);
+  const Dataset a = generate_digits(30, cfg, r1);
+  const Dataset b = generate_digits(30, cfg, r2);
+  const Dataset c = generate_digits(30, cfg, r3);
+  EXPECT_TRUE(a.images.allclose(b.images, 0.0f));
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_FALSE(a.images.allclose(c.images, 1e-3f));
+}
+
+TEST(GenerateDigits, ClassesAreDistinguishableByTemplateMatching) {
+  // Nearest-mean-template classification must beat chance by a wide
+  // margin, otherwise the task would be unlearnable for any model.
+  SynthConfig cfg;
+  cfg.image_size = 16;
+  util::Rng rng(9);
+  const Dataset train = generate_digits(400, cfg, rng);
+  const Dataset test = generate_digits(100, cfg, rng);
+  const std::int64_t px = 16 * 16;
+  std::vector<std::vector<double>> mean(10, std::vector<double>(px, 0.0));
+  std::vector<int> counts(10, 0);
+  for (std::int64_t i = 0; i < train.size(); ++i) {
+    const auto l = train.labels[static_cast<std::size_t>(i)];
+    ++counts[static_cast<std::size_t>(l)];
+    for (std::int64_t j = 0; j < px; ++j)
+      mean[static_cast<std::size_t>(l)][static_cast<std::size_t>(j)] +=
+          train.images[i * px + j];
+  }
+  for (int c = 0; c < 10; ++c)
+    for (auto& v : mean[static_cast<std::size_t>(c)])
+      v /= counts[static_cast<std::size_t>(c)];
+
+  int correct = 0;
+  for (std::int64_t i = 0; i < test.size(); ++i) {
+    double best = 1e18;
+    int best_c = -1;
+    for (int c = 0; c < 10; ++c) {
+      double dist = 0.0;
+      for (std::int64_t j = 0; j < px; ++j) {
+        const double e = test.images[i * px + j] -
+                         mean[static_cast<std::size_t>(c)][static_cast<std::size_t>(j)];
+        dist += e * e;
+      }
+      if (dist < best) {
+        best = dist;
+        best_c = c;
+      }
+    }
+    if (best_c == test.labels[static_cast<std::size_t>(i)]) ++correct;
+  }
+  EXPECT_GT(correct, 60) << "template matching should exceed 60/100";
+}
+
+TEST(Dataset, SubsetTakeAndSplit) {
+  SynthConfig cfg;
+  cfg.image_size = 12;
+  util::Rng rng(10);
+  const Dataset d = generate_digits(50, cfg, rng);
+  const Dataset sub = d.subset(10, 30);
+  EXPECT_EQ(sub.size(), 20);
+  EXPECT_EQ(sub.labels[0], d.labels[10]);
+  EXPECT_EQ(d.take(15).size(), 15);
+  EXPECT_EQ(d.take(500).size(), 50);  // clamped
+  const auto [train, test] = split(d, 40);
+  EXPECT_EQ(train.size(), 40);
+  EXPECT_EQ(test.size(), 10);
+  EXPECT_THROW(d.subset(30, 10), util::Error);
+}
+
+TEST(Dataset, ShufflePreservesPairs) {
+  SynthConfig cfg;
+  cfg.image_size = 12;
+  util::Rng rng(11);
+  Dataset d = generate_digits(40, cfg, rng);
+  // Tag each image's first pixel with its label so pairing is checkable.
+  const std::int64_t px = 12 * 12;
+  for (std::int64_t i = 0; i < d.size(); ++i)
+    d.images[i * px] = static_cast<float>(d.labels[static_cast<std::size_t>(i)]);
+  util::Rng srng(12);
+  d.shuffle(srng);
+  for (std::int64_t i = 0; i < d.size(); ++i)
+    EXPECT_FLOAT_EQ(d.images[i * px],
+                    static_cast<float>(d.labels[static_cast<std::size_t>(i)]));
+}
+
+TEST(Dataset, ValidateCatchesCorruption) {
+  SynthConfig cfg;
+  cfg.image_size = 12;
+  util::Rng rng(13);
+  Dataset d = generate_digits(10, cfg, rng);
+  Dataset bad = d;
+  bad.labels[0] = 17;
+  EXPECT_THROW(bad.validate(), util::Error);
+  bad = d;
+  bad.images[0] = 2.0f;
+  EXPECT_THROW(bad.validate(), util::Error);
+  bad = d;
+  bad.labels.pop_back();
+  EXPECT_THROW(bad.validate(), util::Error);
+}
+
+TEST(Dataset, SummaryAndAsciiArt) {
+  SynthConfig cfg;
+  cfg.image_size = 12;
+  util::Rng rng(14);
+  const Dataset d = generate_digits(10, cfg, rng);
+  EXPECT_NE(d.summary().find("N=10"), std::string::npos);
+  const std::string art = ascii_art(d.images, 0);
+  // 12 rows of 24 chars + newlines.
+  EXPECT_EQ(art.size(), 12u * 25u);
+  EXPECT_THROW(ascii_art(d.images, 99), util::Error);
+}
+
+TEST(Affine, ComposesAndTransforms) {
+  const Affine rot = Affine::rotation(3.14159265f, {0.5f, 0.5f});
+  const Vec2 p = rot.apply({1.0f, 0.5f});
+  EXPECT_NEAR(p.x, 0.0f, 1e-4f);
+  EXPECT_NEAR(p.y, 0.5f, 1e-4f);
+  const Affine t = Affine::translation(1.0f, 2.0f);
+  const Vec2 q = t.apply({0.0f, 0.0f});
+  EXPECT_FLOAT_EQ(q.x, 1.0f);
+  EXPECT_FLOAT_EQ(q.y, 2.0f);
+  // scaling about center keeps the center fixed
+  const Affine s = Affine::scaling(2.0f, 2.0f, {0.5f, 0.5f});
+  const Vec2 c = s.apply({0.5f, 0.5f});
+  EXPECT_NEAR(c.x, 0.5f, 1e-6f);
+  EXPECT_NEAR(c.y, 0.5f, 1e-6f);
+}
+
+TEST(Canvas, StampAndBlurStayInRange) {
+  Canvas canvas(16, 16);
+  canvas.stamp({8.0f, 8.0f}, 2.0f);
+  EXPECT_GT(canvas.pixels()[8 * 16 + 8], 0.9f);
+  canvas.blur(2);
+  util::Rng rng(15);
+  canvas.add_noise(0.1f, rng);
+  for (const float p : canvas.pixels()) {
+    EXPECT_GE(p, 0.0f);
+    EXPECT_LE(p, 1.0f);
+  }
+}
+
+TEST(Raster, BezierEndpointsExact) {
+  const auto pts = sample_quad_bezier({0, 0}, {1, 0}, {1, 1}, 10);
+  ASSERT_EQ(pts.size(), 10u);
+  EXPECT_FLOAT_EQ(pts.front().x, 0.0f);
+  EXPECT_FLOAT_EQ(pts.back().y, 1.0f);
+}
+
+TEST(Raster, EllipseClosesFullCircle) {
+  const auto pts =
+      sample_ellipse({0.5f, 0.5f}, 0.2f, 0.3f, 0.0f, 6.2831853f, 33);
+  EXPECT_NEAR(pts.front().x, pts.back().x, 1e-4f);
+  EXPECT_NEAR(pts.front().y, pts.back().y, 1e-4f);
+}
+
+}  // namespace
+}  // namespace snnsec::data

@@ -1,0 +1,148 @@
+// End-to-end integration: the full pipeline at miniature scale —
+// data -> train CNN & SNN -> white-box attack -> compare.
+#include <gtest/gtest.h>
+
+#include "attacks/evaluation.hpp"
+#include "attacks/fgsm.hpp"
+#include "attacks/pgd.hpp"
+#include "attacks/noise.hpp"
+#include "core/baseline.hpp"
+#include "core/explorer.hpp"
+#include "core/experiment_config.hpp"
+#include "data/provider.hpp"
+#include "nn/metrics.hpp"
+#include "nn/trainer.hpp"
+#include "snn/spiking_lenet.hpp"
+#include "tensor/ops.hpp"
+
+namespace snnsec {
+namespace {
+
+using tensor::Tensor;
+
+struct Pipeline {
+  core::ExplorationConfig cfg;
+  data::DataBundle data;
+};
+
+Pipeline make_pipeline() {
+  core::ExplorationConfig cfg;
+  cfg.v_th_grid = {1.0};
+  cfg.t_grid = {16};
+  cfg.eps_grid = {0.1};
+  cfg.arch = nn::LenetSpec{}.scaled(0.5);
+  cfg.arch.image_size = 16;
+  cfg.train.epochs = 5;
+  cfg.train.lr = 4e-3;
+  cfg.data.train_n = 400;
+  cfg.data.test_n = 80;
+  cfg.data.image_size = 16;
+  cfg.data.force_synthetic = true;
+  cfg.pgd.steps = 5;
+  cfg.pgd.rel_stepsize = 0.2;
+  return {cfg, data::load_digits(cfg.data)};
+}
+
+TEST(Integration, CnnBaselineLearnsTheDigits) {
+  Pipeline p = make_pipeline();
+  const auto baseline = core::train_cnn_baseline(p.cfg, p.data);
+  EXPECT_GT(baseline.clean_accuracy, 0.65)
+      << "CNN must learn the synthetic digits well above chance";
+}
+
+TEST(Integration, SnnLearnsAboveChanceAndAttackDegradesIt) {
+  Pipeline p = make_pipeline();
+  core::RobustnessExplorer explorer(p.cfg);
+  auto cell = explorer.train_cell(1.0, 16, p.data);
+  EXPECT_GT(cell.clean_accuracy, 0.4) << "SNN must learn well above chance";
+
+  // White-box PGD at a moderate budget must strictly reduce accuracy.
+  attack::Pgd pgd(p.cfg.pgd);
+  const auto test = p.data.test.take(40);
+  const auto pt = attack::evaluate_attack(*cell.model, pgd, test.images,
+                                          test.labels, 0.15);
+  const double clean_sub =
+      nn::accuracy(*cell.model, test.images, test.labels);
+  EXPECT_LT(pt.robustness, clean_sub);
+  EXPECT_GT(pt.mean_linf, 0.0);
+}
+
+TEST(Integration, RobustnessIsMonotoneDecreasingInEpsilonRoughly) {
+  Pipeline p = make_pipeline();
+  const auto baseline = core::train_cnn_baseline(p.cfg, p.data);
+  attack::Pgd pgd(p.cfg.pgd);
+  const auto test = p.data.test.take(40);
+  const auto curve = attack::robustness_curve(
+      *baseline.model, pgd, test.images, test.labels, {0.0, 0.1, 0.4});
+  ASSERT_EQ(curve.size(), 3u);
+  // Allow small non-monotonicity from random starts, but the ends must
+  // order correctly.
+  EXPECT_GT(curve[0].robustness, curve[2].robustness);
+  EXPECT_GE(curve[0].robustness, curve[1].robustness - 0.05);
+}
+
+TEST(Integration, FgsmWeakerOrEqualToPgd) {
+  Pipeline p = make_pipeline();
+  const auto baseline = core::train_cnn_baseline(p.cfg, p.data);
+  const auto test = p.data.test.take(40);
+  attack::Fgsm fgsm;
+  attack::PgdConfig pcfg = p.cfg.pgd;
+  pcfg.steps = 10;
+  attack::Pgd pgd(pcfg);
+  const auto pt_f = attack::evaluate_attack(*baseline.model, fgsm,
+                                            test.images, test.labels, 0.15);
+  const auto pt_p = attack::evaluate_attack(*baseline.model, pgd,
+                                            test.images, test.labels, 0.15);
+  EXPECT_LE(pt_p.robustness, pt_f.robustness + 0.1)
+      << "iterated PGD should fool at least as often as single-step FGSM";
+}
+
+TEST(Integration, WhiteBoxGradientBeatsRandomNoise) {
+  // The defining property of a *white-box* attack: at equal budget it must
+  // outperform budget-matched random noise.
+  Pipeline p = make_pipeline();
+  const auto baseline = core::train_cnn_baseline(p.cfg, p.data);
+  const auto test = p.data.test.take(40);
+  attack::Pgd pgd(p.cfg.pgd);
+  attack::UniformNoise noise;
+  const double eps = 0.15;
+  const auto pt_pgd = attack::evaluate_attack(*baseline.model, pgd,
+                                              test.images, test.labels, eps);
+  const auto pt_noise = attack::evaluate_attack(
+      *baseline.model, noise, test.images, test.labels, eps);
+  EXPECT_LT(pt_pgd.robustness, pt_noise.robustness);
+}
+
+TEST(Integration, SnnWhiteBoxGradientIsUseful) {
+  // Same property for the SNN: surrogate-gradient PGD must beat noise,
+  // demonstrating the attack path through the unrolled time window works.
+  Pipeline p = make_pipeline();
+  core::RobustnessExplorer explorer(p.cfg);
+  auto cell = explorer.train_cell(1.0, 16, p.data);
+  const auto test = p.data.test.take(32);
+  attack::Pgd pgd(p.cfg.pgd);
+  attack::UniformNoise noise;
+  const double eps = 0.2;
+  const auto pt_pgd = attack::evaluate_attack(*cell.model, pgd, test.images,
+                                              test.labels, eps);
+  const auto pt_noise = attack::evaluate_attack(*cell.model, noise,
+                                                test.images, test.labels, eps);
+  EXPECT_LE(pt_pgd.robustness, pt_noise.robustness);
+}
+
+TEST(Integration, AdversarialExamplesStayValidImages) {
+  Pipeline p = make_pipeline();
+  const auto baseline = core::train_cnn_baseline(p.cfg, p.data);
+  const auto test = p.data.test.take(16);
+  attack::Pgd pgd(p.cfg.pgd);
+  attack::AttackBudget budget;
+  budget.epsilon = 0.3;
+  const Tensor adv =
+      pgd.perturb(*baseline.model, test.images, test.labels, budget);
+  EXPECT_GE(tensor::min_value(adv), 0.0f);
+  EXPECT_LE(tensor::max_value(adv), 1.0f);
+  EXPECT_LE(tensor::linf_distance(adv, test.images), 0.3f + 1e-5f);
+}
+
+}  // namespace
+}  // namespace snnsec

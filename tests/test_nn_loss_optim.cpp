@@ -1,0 +1,182 @@
+// Loss values and optimizer dynamics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "tensor/ops.hpp"
+
+namespace snnsec::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(SoftmaxCrossEntropy, UniformLogitsGiveLogC) {
+  SoftmaxCrossEntropy loss;
+  const Tensor logits = Tensor::zeros(Shape{3, 10});
+  const double l = loss.forward(logits, {0, 5, 9});
+  EXPECT_NEAR(l, std::log(10.0), 1e-5);
+}
+
+TEST(SoftmaxCrossEntropy, ConfidentCorrectPredictionLowLoss) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits = Tensor::zeros(Shape{1, 3});
+  logits[1] = 20.0f;
+  EXPECT_LT(loss.forward(logits, {1}), 1e-4);
+  EXPECT_GT(loss.forward(logits, {0}), 10.0);
+}
+
+TEST(SoftmaxCrossEntropy, GradientRowsSumToZero) {
+  SoftmaxCrossEntropy loss;
+  util::Rng rng(1);
+  const Tensor logits = Tensor::randn(Shape{4, 6}, rng);
+  loss.forward(logits, {0, 1, 2, 3});
+  const Tensor g = loss.backward();
+  for (std::int64_t i = 0; i < 4; ++i) {
+    double rowsum = 0.0;
+    for (std::int64_t j = 0; j < 6; ++j) rowsum += g.at({i, j});
+    EXPECT_NEAR(rowsum, 0.0, 1e-6);
+  }
+}
+
+TEST(SoftmaxCrossEntropy, GradientIsSoftmaxMinusOneHotOverN) {
+  SoftmaxCrossEntropy loss;
+  const Tensor logits = Tensor::from_vector(Shape{1, 2}, {0.0f, 0.0f});
+  loss.forward(logits, {0});
+  const Tensor g = loss.backward();
+  EXPECT_NEAR(g[0], 0.5f - 1.0f, 1e-6f);
+  EXPECT_NEAR(g[1], 0.5f, 1e-6f);
+}
+
+TEST(SoftmaxCrossEntropy, RejectsBadLabels) {
+  SoftmaxCrossEntropy loss;
+  const Tensor logits = Tensor::zeros(Shape{1, 3});
+  EXPECT_THROW(loss.forward(logits, {3}), util::Error);
+  EXPECT_THROW(loss.forward(logits, {-1}), util::Error);
+  EXPECT_THROW(loss.forward(logits, {0, 1}), util::Error);
+  SoftmaxCrossEntropy fresh;
+  EXPECT_THROW(fresh.backward(), util::Error);
+}
+
+TEST(MseLoss, ZeroForPerfectOneHot) {
+  MseLoss loss;
+  const Tensor out = tensor::one_hot({1, 0}, 3);
+  EXPECT_NEAR(loss.forward(out, {1, 0}), 0.0, 1e-7);
+}
+
+TEST(MseLoss, GradientPointsTowardTarget) {
+  MseLoss loss;
+  const Tensor out = Tensor::zeros(Shape{1, 2});
+  loss.forward(out, {0});
+  const Tensor g = loss.backward();
+  EXPECT_LT(g[0], 0.0f);  // increase class-0 output to reduce loss
+  EXPECT_FLOAT_EQ(g[1], 0.0f);
+}
+
+// Minimize f(w) = 0.5 * ||w - target||^2 whose gradient is (w - target).
+class QuadraticProblem {
+ public:
+  explicit QuadraticProblem(std::vector<float> target)
+      : param_("w", Tensor::zeros(Shape{static_cast<std::int64_t>(target.size())})),
+        target_(std::move(target)) {}
+
+  void fill_grad() {
+    for (std::int64_t i = 0; i < param_.value.numel(); ++i)
+      param_.grad[i] =
+          param_.value[i] - target_[static_cast<std::size_t>(i)];
+  }
+
+  double distance() const {
+    double d = 0.0;
+    for (std::int64_t i = 0; i < param_.value.numel(); ++i) {
+      const double e =
+          param_.value[i] - target_[static_cast<std::size_t>(i)];
+      d += e * e;
+    }
+    return std::sqrt(d);
+  }
+
+  Parameter param_;
+  std::vector<float> target_;
+};
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  QuadraticProblem prob({1.0f, -2.0f, 3.0f});
+  Sgd opt({&prob.param_}, {.lr = 0.1, .momentum = 0.0, .weight_decay = 0.0});
+  for (int i = 0; i < 200; ++i) {
+    opt.zero_grad();
+    prob.fill_grad();
+    opt.step();
+  }
+  EXPECT_LT(prob.distance(), 1e-3);
+}
+
+TEST(Sgd, MomentumAcceleratesDescent) {
+  QuadraticProblem plain({5.0f});
+  QuadraticProblem mom({5.0f});
+  Sgd opt1({&plain.param_}, {.lr = 0.01, .momentum = 0.0, .weight_decay = 0.0});
+  Sgd opt2({&mom.param_}, {.lr = 0.01, .momentum = 0.9, .weight_decay = 0.0});
+  for (int i = 0; i < 30; ++i) {
+    opt1.zero_grad();
+    plain.fill_grad();
+    opt1.step();
+    opt2.zero_grad();
+    mom.fill_grad();
+    opt2.step();
+  }
+  EXPECT_LT(mom.distance(), plain.distance());
+}
+
+TEST(Sgd, WeightDecayShrinksWeights) {
+  Parameter p("w", Tensor::full(Shape{1}, 10.0f));
+  Sgd opt({&p}, {.lr = 0.1, .momentum = 0.0, .weight_decay = 0.5});
+  opt.zero_grad();  // gradient zero: only decay acts
+  opt.step();
+  EXPECT_NEAR(p.value[0], 10.0f - 0.1f * 0.5f * 10.0f, 1e-5f);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  QuadraticProblem prob({1.0f, -1.0f, 0.5f, 2.0f});
+  Adam::Config cfg;
+  cfg.lr = 0.01;
+  Adam opt({&prob.param_}, cfg);
+  for (int i = 0; i < 3000; ++i) {
+    opt.zero_grad();
+    prob.fill_grad();
+    opt.step();
+  }
+  EXPECT_LT(prob.distance(), 1e-2);
+}
+
+TEST(Adam, FirstStepIsLrSized) {
+  // With bias correction, the very first Adam step has magnitude ~lr.
+  Parameter p("w", Tensor::zeros(Shape{1}));
+  Adam::Config cfg;
+  cfg.lr = 0.1;
+  Adam opt({&p}, cfg);
+  p.grad[0] = 123.0f;  // any gradient magnitude
+  opt.step();
+  EXPECT_NEAR(std::fabs(p.value[0]), 0.1f, 1e-3f);
+}
+
+TEST(Optimizer, ZeroGradClearsAccumulators) {
+  Parameter p("w", Tensor::zeros(Shape{3}));
+  p.grad.fill(5.0f);
+  Sgd opt({&p}, {.lr = 0.1, .momentum = 0.0, .weight_decay = 0.0});
+  opt.zero_grad();
+  for (std::int64_t i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(p.grad[i], 0.0f);
+}
+
+TEST(Optimizer, InvalidConfigsThrow) {
+  Parameter p("w", Tensor::zeros(Shape{1}));
+  EXPECT_THROW(Sgd({&p}, {.lr = 0.0, .momentum = 0.0, .weight_decay = 0.0}),
+               util::Error);
+  Adam::Config bad;
+  bad.beta1 = 1.0;
+  EXPECT_THROW(Adam({&p}, bad), util::Error);
+}
+
+}  // namespace
+}  // namespace snnsec::nn

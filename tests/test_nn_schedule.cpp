@@ -1,0 +1,135 @@
+// Learning-rate schedules and gradient clipping.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/feedforward.hpp"
+#include "nn/linear.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/schedule.hpp"
+#include "nn/trainer.hpp"
+
+namespace snnsec::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(LrSchedule, ConstantIsConstant) {
+  LrSchedule s;
+  for (int e = 0; e < 10; ++e)
+    EXPECT_DOUBLE_EQ(s.lr_at(e, 10, 0.01), 0.01);
+}
+
+TEST(LrSchedule, StepDecayHalvesEveryPeriod) {
+  LrSchedule s;
+  s.kind = ScheduleKind::kStepDecay;
+  s.gamma = 0.5;
+  s.step_epochs = 2;
+  EXPECT_DOUBLE_EQ(s.lr_at(0, 10, 0.1), 0.1);
+  EXPECT_DOUBLE_EQ(s.lr_at(1, 10, 0.1), 0.1);
+  EXPECT_DOUBLE_EQ(s.lr_at(2, 10, 0.1), 0.05);
+  EXPECT_DOUBLE_EQ(s.lr_at(5, 10, 0.1), 0.025);
+}
+
+TEST(LrSchedule, CosineStartsAtBaseEndsAtFloor) {
+  LrSchedule s;
+  s.kind = ScheduleKind::kCosine;
+  s.min_lr = 0.001;
+  EXPECT_NEAR(s.lr_at(0, 10, 0.1), 0.1, 1e-9);
+  EXPECT_NEAR(s.lr_at(9, 10, 0.1), 0.001, 1e-9);
+  // Monotone decreasing.
+  double prev = 1.0;
+  for (int e = 0; e < 10; ++e) {
+    const double lr = s.lr_at(e, 10, 0.1);
+    EXPECT_LE(lr, prev + 1e-12);
+    prev = lr;
+  }
+}
+
+TEST(LrSchedule, WarmupRampsUp) {
+  LrSchedule s;
+  s.kind = ScheduleKind::kLinearWarmup;
+  s.warmup_epochs = 4;
+  EXPECT_LT(s.lr_at(0, 10, 0.1), 0.1);
+  EXPECT_LT(s.lr_at(0, 10, 0.1), s.lr_at(2, 10, 0.1));
+  EXPECT_DOUBLE_EQ(s.lr_at(4, 10, 0.1), 0.1);
+  EXPECT_DOUBLE_EQ(s.lr_at(9, 10, 0.1), 0.1);
+}
+
+TEST(LrSchedule, InvalidInputsThrow) {
+  LrSchedule s;
+  EXPECT_THROW(s.lr_at(-1, 10, 0.1), util::Error);
+  EXPECT_THROW(s.lr_at(0, 0, 0.1), util::Error);
+  EXPECT_THROW(s.lr_at(0, 10, 0.0), util::Error);
+  s.kind = ScheduleKind::kStepDecay;
+  s.step_epochs = 0;
+  EXPECT_THROW(s.lr_at(0, 10, 0.1), util::Error);
+}
+
+TEST(LrSchedule, ToStringNamesEveryKind) {
+  for (const auto kind :
+       {ScheduleKind::kConstant, ScheduleKind::kStepDecay,
+        ScheduleKind::kCosine, ScheduleKind::kLinearWarmup}) {
+    LrSchedule s;
+    s.kind = kind;
+    EXPECT_FALSE(s.to_string().empty());
+  }
+}
+
+TEST(Optimizer, SetLrTakesEffect) {
+  Parameter p("w", Tensor::zeros(Shape{1}));
+  Sgd opt({&p}, {.lr = 0.1, .momentum = 0.0, .weight_decay = 0.0});
+  EXPECT_DOUBLE_EQ(opt.lr(), 0.1);
+  opt.set_lr(0.01);
+  p.grad[0] = 1.0f;
+  opt.step();
+  EXPECT_NEAR(p.value[0], -0.01f, 1e-7f);
+}
+
+TEST(Optimizer, GradClipScalesLargeGradients) {
+  Parameter p("w", Tensor::zeros(Shape{2}));
+  Sgd opt({&p}, {.lr = 1.0, .momentum = 0.0, .weight_decay = 0.0});
+  opt.set_grad_clip_norm(1.0);
+  p.grad[0] = 3.0f;
+  p.grad[1] = 4.0f;  // norm 5 -> scaled by 1/5
+  opt.step();
+  EXPECT_NEAR(p.value[0], -0.6f, 1e-6f);
+  EXPECT_NEAR(p.value[1], -0.8f, 1e-6f);
+}
+
+TEST(Optimizer, GradClipLeavesSmallGradientsAlone) {
+  Parameter p("w", Tensor::zeros(Shape{1}));
+  Sgd opt({&p}, {.lr = 1.0, .momentum = 0.0, .weight_decay = 0.0});
+  opt.set_grad_clip_norm(10.0);
+  p.grad[0] = 0.5f;
+  opt.step();
+  EXPECT_NEAR(p.value[0], -0.5f, 1e-7f);
+}
+
+TEST(Trainer, SchedulePropagatesToEpochStats) {
+  // Tiny linear problem; verify the recorded learning rates follow the
+  // configured step decay.
+  util::Rng rng(1);
+  auto seq = std::make_unique<Sequential>();
+  seq->emplace<Linear>(2, 2, rng);
+  FeedforwardClassifier model(std::move(seq), 2, "lin");
+  Tensor x(Shape{8, 2});
+  std::vector<std::int64_t> y(8, 0);
+
+  TrainConfig cfg;
+  cfg.epochs = 4;
+  cfg.lr = 0.1;
+  cfg.schedule.kind = ScheduleKind::kStepDecay;
+  cfg.schedule.gamma = 0.1;
+  cfg.schedule.step_epochs = 2;
+  const TrainHistory h = Trainer(cfg).fit(model, x, y);
+  ASSERT_EQ(h.epochs.size(), 4u);
+  EXPECT_DOUBLE_EQ(h.epochs[0].learning_rate, 0.1);
+  EXPECT_DOUBLE_EQ(h.epochs[1].learning_rate, 0.1);
+  EXPECT_NEAR(h.epochs[2].learning_rate, 0.01, 1e-12);
+  EXPECT_NEAR(h.epochs[3].learning_rate, 0.01, 1e-12);
+}
+
+}  // namespace
+}  // namespace snnsec::nn

@@ -1,0 +1,140 @@
+// Adaptive-threshold LIF layer: dynamics and BPTT.
+#include <gtest/gtest.h>
+
+#include "snn/alif_layer.hpp"
+#include "snn/lif_layer.hpp"
+#include "snn/spiking_lenet.hpp"
+#include "tensor/ops.hpp"
+
+namespace snnsec::snn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+AlifParameters make_params(float v_th = 1.0f, float beta = 1.0f,
+                           float rho = 0.9f) {
+  AlifParameters p;
+  p.lif.v_th = v_th;
+  p.beta = beta;
+  p.rho = rho;
+  return p;
+}
+
+TEST(AlifParameters, Validation) {
+  EXPECT_NO_THROW(make_params().validate());
+  EXPECT_THROW(make_params(1.0f, -0.1f).validate(), util::Error);
+  EXPECT_THROW(make_params(1.0f, 1.0f, 1.0f).validate(), util::Error);
+  EXPECT_THROW(make_params(-1.0f).validate(), util::Error);
+}
+
+TEST(AlifLayer, BetaZeroMatchesPlainLif) {
+  // With beta = 0 the adaptation never changes the threshold, so ALIF must
+  // reproduce the LIF trajectory exactly.
+  const std::int64_t t = 20;
+  AlifLayer alif(t, make_params(0.8f, /*beta=*/0.0f), Surrogate{});
+  LifParameters lp;
+  lp.v_th = 0.8f;
+  LifLayer lif(t, lp, Surrogate{});
+  util::Rng rng(1);
+  const Tensor x = Tensor::rand_uniform(Shape{t * 3, 7}, rng, 0.0f, 2.0f);
+  EXPECT_TRUE(alif.forward(x, nn::Mode::kEval)
+                  .allclose(lif.forward(x, nn::Mode::kEval), 0.0f));
+}
+
+TEST(AlifLayer, AdaptationSuppressesSustainedFiring) {
+  // Under constant suprathreshold drive, the adaptive neuron must fire
+  // less than the plain LIF (threshold climbs after each spike).
+  const std::int64_t t = 64;
+  AlifLayer alif(t, make_params(1.0f, /*beta=*/2.0f, /*rho=*/0.95f),
+                 Surrogate{});
+  LifParameters lp;
+  LifLayer lif(t, lp, Surrogate{});
+  Tensor x(Shape{t, 4}, 0.4f);  // moderate drive: v_ss ~ 2 x threshold
+  const Tensor za = alif.forward(x, nn::Mode::kEval);
+  const Tensor zl = lif.forward(x, nn::Mode::kEval);
+  EXPECT_LT(tensor::sum(za), tensor::sum(zl));
+  EXPECT_GT(tensor::sum(za), 0.0f);  // but not silenced
+}
+
+TEST(AlifLayer, SpikesAreBinary) {
+  AlifLayer alif(10, make_params(), Surrogate{});
+  util::Rng rng(2);
+  const Tensor x = Tensor::rand_uniform(Shape{10 * 2, 6}, rng, 0.0f, 3.0f);
+  const Tensor z = alif.forward(x, nn::Mode::kEval);
+  for (std::int64_t i = 0; i < z.numel(); ++i)
+    EXPECT_TRUE(z[i] == 0.0f || z[i] == 1.0f);
+  EXPECT_GE(alif.last_spike_rate(), 0.0);
+  EXPECT_LE(alif.last_spike_rate(), 1.0);
+}
+
+TEST(AlifLayer, BackwardMatchesLifWhenBetaZero) {
+  const std::int64_t t = 12;
+  AlifLayer alif(t, make_params(0.7f, 0.0f), Surrogate{});
+  LifParameters lp;
+  lp.v_th = 0.7f;
+  LifLayer lif(t, lp, Surrogate{});
+  util::Rng rng(3);
+  const Tensor x = Tensor::rand_uniform(Shape{t * 2, 5}, rng, 0.0f, 2.0f);
+  alif.forward(x, nn::Mode::kTrain);
+  lif.forward(x, nn::Mode::kTrain);
+  const Tensor g = Tensor::randn(Shape{t * 2, 5}, rng);
+  EXPECT_TRUE(alif.backward(g).allclose(lif.backward(g), 1e-5f));
+}
+
+TEST(AlifLayer, BackwardIsLinearAndCausal) {
+  const std::int64_t t = 8;
+  AlifLayer alif(t, make_params(0.6f, 1.5f), Surrogate{});
+  util::Rng rng(4);
+  const Tensor x = Tensor::rand_uniform(Shape{t * 2, 4}, rng, 0.0f, 2.0f);
+  alif.forward(x, nn::Mode::kTrain);
+  const Tensor g1 = Tensor::randn(Shape{t * 2, 4}, rng);
+  const Tensor g2 = Tensor::randn(Shape{t * 2, 4}, rng);
+  Tensor gsum = g1;
+  gsum.add_(g2);
+  Tensor expect = alif.backward(g1);
+  expect.add_(alif.backward(g2));
+  EXPECT_TRUE(alif.backward(gsum).allclose(expect, 1e-4f));
+
+  // Causality: gradient injected at t=3 produces no dx at t >= 3.
+  Tensor g(Shape{t * 2, 4});
+  for (std::int64_t k = 0; k < 2 * 4; ++k) g[3 * 2 * 4 + k] = 1.0f;
+  const Tensor dx = alif.backward(g);
+  for (std::int64_t step = 3; step < t; ++step)
+    for (std::int64_t k = 0; k < 2 * 4; ++k)
+      EXPECT_FLOAT_EQ(dx[step * 2 * 4 + k], 0.0f);
+}
+
+TEST(AlifLayer, BackwardRequiresCache) {
+  AlifLayer alif(4, make_params(), Surrogate{});
+  alif.forward(Tensor(Shape{4, 2}), nn::Mode::kEval);
+  EXPECT_THROW(alif.backward(Tensor(Shape{4, 2})), util::Error);
+}
+
+TEST(AlifLayer, NameDescribesConfig) {
+  AlifLayer alif(16, make_params(1.5f, 0.3f, 0.8f), Surrogate{});
+  const std::string n = alif.name();
+  EXPECT_NE(n.find("T=16"), std::string::npos);
+  EXPECT_NE(n.find("beta=0.3"), std::string::npos);
+}
+
+TEST(SpikingLenet, AlifVariantBuildsAndRuns) {
+  nn::LenetSpec arch = nn::LenetSpec{}.scaled(0.25);
+  arch.image_size = 8;
+  SnnConfig cfg;
+  cfg.time_steps = 6;
+  cfg.neuron_model = NeuronModel::kAlif;
+  util::Rng rng(5);
+  auto model = build_spiking_lenet(arch, cfg, rng);
+  const Tensor x(Shape{2, 1, 8, 8});
+  EXPECT_EQ(model->logits(x).shape(), Shape({2, 10}));
+  // Gradients flow through the adaptive layers too.
+  util::Rng drng(6);
+  const Tensor xr = Tensor::rand_uniform(Shape{2, 1, 8, 8}, drng);
+  const Tensor g =
+      model->input_gradient(xr, std::vector<std::int64_t>{1, 2}, nullptr);
+  EXPECT_EQ(g.shape(), xr.shape());
+}
+
+}  // namespace
+}  // namespace snnsec::snn

@@ -1,0 +1,232 @@
+// LifLayer BPTT, LiReadout decoding, and encoders.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gradcheck.hpp"
+#include "snn/encoder.hpp"
+#include "snn/li_readout.hpp"
+#include "snn/lif_layer.hpp"
+#include "tensor/ops.hpp"
+
+namespace snnsec::snn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+LifParameters params_with_vth(float v_th) {
+  LifParameters p;
+  p.v_th = v_th;
+  return p;
+}
+
+TEST(LifLayer, OutputsAreBinarySpikes) {
+  LifLayer lif(8, params_with_vth(0.5f), Surrogate{});
+  util::Rng rng(1);
+  const Tensor x = Tensor::rand_uniform(Shape{8 * 4, 10}, rng, 0.0f, 2.0f);
+  const Tensor z = lif.forward(x, nn::Mode::kEval);
+  EXPECT_EQ(z.shape(), x.shape());
+  for (std::int64_t i = 0; i < z.numel(); ++i)
+    EXPECT_TRUE(z[i] == 0.0f || z[i] == 1.0f);
+  EXPECT_GT(lif.last_spike_rate(), 0.0);
+  EXPECT_LT(lif.last_spike_rate(), 1.0);
+}
+
+TEST(LifLayer, RequiresDivisibleTimeDimension) {
+  LifLayer lif(8, params_with_vth(1.0f), Surrogate{});
+  EXPECT_THROW(lif.forward(Tensor(Shape{9, 3}), nn::Mode::kEval),
+               util::Error);
+}
+
+TEST(LifLayer, BackwardNeedsCachedForward) {
+  LifLayer lif(4, params_with_vth(1.0f), Surrogate{});
+  lif.forward(Tensor(Shape{4, 2}), nn::Mode::kEval);
+  EXPECT_THROW(lif.backward(Tensor(Shape{4, 2})), util::Error);
+  lif.forward(Tensor(Shape{4, 2}), nn::Mode::kTrain);
+  EXPECT_NO_THROW(lif.backward(Tensor(Shape{4, 2})));
+  lif.clear_cache();
+  EXPECT_THROW(lif.backward(Tensor(Shape{4, 2})), util::Error);
+}
+
+// Hand-computed BPTT on 1 neuron, T=3 (see comments for the step math).
+// Parameters: a=0.1, b=0.8, v_th=0.15, reset=0, StraightThrough(alpha=1)
+// so the surrogate is exactly 1 for |v - v_th| < 0.5.
+// Input x = (2, 0, 0):
+//   t0: vd=0      z=0  i->2
+//   t1: vd=0.2    z=1  (reset) i->1.6
+//   t2: vd=0.16   z=1  (reset) i->1.28
+class LifHandCase : public ::testing::Test {
+ protected:
+  LifHandCase()
+      : lif_(3, params_with_vth(0.15f),
+             Surrogate{SurrogateKind::kStraightThrough, 1.0f}) {}
+
+  Tensor run_forward() {
+    const Tensor x = Tensor::from_vector(Shape{3, 1}, {2.0f, 0.0f, 0.0f});
+    return lif_.forward(x, nn::Mode::kTrain);
+  }
+
+  LifLayer lif_;
+};
+
+TEST_F(LifHandCase, ForwardSpikesAtExpectedSteps) {
+  const Tensor z = run_forward();
+  EXPECT_FLOAT_EQ(z[0], 0.0f);
+  EXPECT_FLOAT_EQ(z[1], 1.0f);
+  EXPECT_FLOAT_EQ(z[2], 1.0f);
+}
+
+TEST_F(LifHandCase, BackwardGradOfMiddleSpike) {
+  run_forward();
+  const Tensor g = Tensor::from_vector(Shape{3, 1}, {0.0f, 1.0f, 0.0f});
+  const Tensor dx = lif_.backward(g);
+  // Derived by hand: dz1/dx = (0.1, 0, 0).
+  EXPECT_NEAR(dx[0], 0.1f, 1e-6f);
+  EXPECT_NEAR(dx[1], 0.0f, 1e-6f);
+  EXPECT_NEAR(dx[2], 0.0f, 1e-6f);
+}
+
+TEST_F(LifHandCase, BackwardGradOfLastSpikeIncludesResetPath) {
+  run_forward();
+  const Tensor g = Tensor::from_vector(Shape{3, 1}, {0.0f, 0.0f, 1.0f});
+  const Tensor dx = lif_.backward(g);
+  // Derived by hand: dz2/dx = (0.062, 0.1, 0) — the t0 component combines
+  // the direct synaptic path (+0.1*0.8) with the reset-gate path (-0.018).
+  EXPECT_NEAR(dx[0], 0.062f, 1e-5f);
+  EXPECT_NEAR(dx[1], 0.1f, 1e-6f);
+  EXPECT_NEAR(dx[2], 0.0f, 1e-6f);
+}
+
+TEST(LifLayer, BackwardIsLinearInUpstreamGradient) {
+  LifLayer lif(6, params_with_vth(0.8f), Surrogate{});
+  util::Rng rng(2);
+  const Tensor x = Tensor::rand_uniform(Shape{6 * 2, 5}, rng, 0.0f, 2.0f);
+  lif.forward(x, nn::Mode::kTrain);
+  const Tensor g1 = Tensor::randn(Shape{6 * 2, 5}, rng);
+  const Tensor g2 = Tensor::randn(Shape{6 * 2, 5}, rng);
+  const Tensor d1 = lif.backward(g1);
+  const Tensor d2 = lif.backward(g2);
+  Tensor gsum = g1;
+  gsum.add_(g2);
+  const Tensor dsum = lif.backward(gsum);
+  Tensor expect = d1;
+  expect.add_(d2);
+  EXPECT_TRUE(dsum.allclose(expect, 1e-4f));
+}
+
+TEST(LifLayer, GradientIsCausal) {
+  // dx at time t must not depend on upstream gradients at times < t, and
+  // dx at the last step is always zero (input enters the *next* membrane).
+  LifLayer lif(5, params_with_vth(0.6f), Surrogate{});
+  util::Rng rng(3);
+  const Tensor x = Tensor::rand_uniform(Shape{5 * 2, 3}, rng, 0.0f, 2.0f);
+  lif.forward(x, nn::Mode::kTrain);
+  Tensor g(Shape{5 * 2, 3});
+  // Upstream gradient only at t = 2.
+  for (std::int64_t k = 0; k < 2 * 3; ++k) g[2 * 2 * 3 + k] = 1.0f;
+  const Tensor dx = lif.backward(g);
+  for (std::int64_t t = 2; t < 5; ++t)
+    for (std::int64_t k = 0; k < 2 * 3; ++k)
+      EXPECT_FLOAT_EQ(dx[t * 2 * 3 + k], 0.0f)
+          << "acausal gradient at t=" << t;
+}
+
+TEST(LiReadout, DecodesMaxOverTime) {
+  LiReadout li(16, params_with_vth(1.0f));
+  // Class 1 gets strong constant current, class 0 weak.
+  Tensor x(Shape{16 * 2, 2});
+  for (std::int64_t t = 0; t < 16; ++t)
+    for (std::int64_t n = 0; n < 2; ++n) {
+      x[(t * 2 + n) * 2 + 0] = 0.1f;
+      x[(t * 2 + n) * 2 + 1] = 1.0f;
+    }
+  const Tensor logits = li.forward(x, nn::Mode::kEval);
+  EXPECT_EQ(logits.shape(), Shape({2, 2}));
+  EXPECT_GT(logits.at({0, 1}), logits.at({0, 0}));
+  EXPECT_GT(logits.at({1, 1}), logits.at({1, 0}));
+}
+
+TEST(LiReadout, FiniteDifferenceGradient) {
+  LiReadout li(6, params_with_vth(1.0f));
+  util::Rng drng(4);
+  const Tensor x = Tensor::randn(Shape{6 * 2, 3}, drng);
+  util::Rng wrng(5);
+  snnsec::testutil::check_input_gradient(li, x, wrng, /*step=*/1e-2,
+                                         /*tol=*/2e-2);
+}
+
+TEST(LiReadout, MonotoneInInputCurrent) {
+  LiReadout li(8, params_with_vth(1.0f));
+  Tensor weak(Shape{8, 1}, 0.5f);
+  Tensor strong(Shape{8, 1}, 1.0f);
+  const float weak_logit = li.forward(weak, nn::Mode::kEval)[0];
+  const float strong_logit = li.forward(strong, nn::Mode::kEval)[0];
+  EXPECT_GT(strong_logit, weak_logit);
+}
+
+TEST(LiReadout, RejectsBadShapes) {
+  LiReadout li(4, params_with_vth(1.0f));
+  EXPECT_THROW(li.forward(Tensor(Shape{5, 2}), nn::Mode::kEval), util::Error);
+  EXPECT_THROW(li.forward(Tensor(Shape{4, 2, 2}), nn::Mode::kEval),
+               util::Error);
+}
+
+TEST(ConstantCurrentEncoder, RateGrowsWithIntensity) {
+  auto enc = make_constant_current_encoder(32, params_with_vth(1.0f),
+                                           Surrogate{});
+  // Three pixels at increasing intensity, replicated over T=32.
+  Tensor x(Shape{32, 3});
+  for (std::int64_t t = 0; t < 32; ++t) {
+    x[t * 3 + 0] = 0.3f;
+    x[t * 3 + 1] = 0.8f;
+    x[t * 3 + 2] = 2.0f;
+  }
+  const Tensor z = enc->forward(x, nn::Mode::kEval);
+  double rate[3] = {0, 0, 0};
+  for (std::int64_t t = 0; t < 32; ++t)
+    for (int k = 0; k < 3; ++k) rate[k] += z[t * 3 + k];
+  EXPECT_LE(rate[0], rate[1]);
+  EXPECT_LT(rate[1], rate[2]);
+  EXPECT_GT(rate[2], 0.0);
+}
+
+TEST(PoissonEncoder, SpikeRateMatchesIntensity) {
+  PoissonEncoder enc(1000, util::Rng(6));
+  Tensor x(Shape{1000, 3});
+  for (std::int64_t t = 0; t < 1000; ++t) {
+    x[t * 3 + 0] = 0.0f;
+    x[t * 3 + 1] = 0.4f;
+    x[t * 3 + 2] = 1.5f;  // clamped to 1
+  }
+  const Tensor z = enc.forward(x, nn::Mode::kEval);
+  double rate[3] = {0, 0, 0};
+  for (std::int64_t t = 0; t < 1000; ++t)
+    for (int k = 0; k < 3; ++k) rate[k] += z[t * 3 + k];
+  EXPECT_DOUBLE_EQ(rate[0], 0.0);
+  EXPECT_NEAR(rate[1] / 1000.0, 0.4, 0.05);
+  EXPECT_DOUBLE_EQ(rate[2], 1000.0);
+}
+
+TEST(PoissonEncoder, StraightThroughGradientGating) {
+  PoissonEncoder enc(4, util::Rng(7));
+  const Tensor x =
+      Tensor::from_vector(Shape{4, 1}, {-0.5f, 0.5f, 0.5f, 2.0f});
+  enc.forward(x, nn::Mode::kTrain);
+  const Tensor dx = enc.backward(Tensor::ones(Shape{4, 1}));
+  EXPECT_FLOAT_EQ(dx[0], 0.0f);  // below range: clamp kills gradient
+  EXPECT_FLOAT_EQ(dx[1], 1.0f);
+  EXPECT_FLOAT_EQ(dx[2], 1.0f);
+  EXPECT_FLOAT_EQ(dx[3], 0.0f);  // above range
+}
+
+TEST(LifLayer, NamesDescribeConfiguration) {
+  LifLayer lif(12, params_with_vth(1.5f), Surrogate{});
+  EXPECT_NE(lif.name().find("T=12"), std::string::npos);
+  EXPECT_NE(lif.name().find("1.5"), std::string::npos);
+  LiReadout li(12, params_with_vth(1.0f));
+  EXPECT_NE(li.name().find("max-over-time"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace snnsec::snn

@@ -1,0 +1,117 @@
+// Model checkpoint save/load round-trips.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include <map>
+
+#include "snn/model_io.hpp"
+#include "tensor/serialize.hpp"
+#include "tensor/ops.hpp"
+
+namespace snnsec::snn {
+namespace {
+
+namespace fs = std::filesystem;
+using tensor::Shape;
+using tensor::Tensor;
+
+struct Fixture {
+  nn::LenetSpec arch = nn::LenetSpec{}.scaled(0.25);
+  SnnConfig cfg;
+  std::unique_ptr<SpikingClassifier> model;
+
+  explicit Fixture(double v_th = 1.25, std::int64_t t = 7) {
+    arch.image_size = 8;
+    cfg.v_th = v_th;
+    cfg.time_steps = t;
+    cfg.surrogate.alpha = 12.5f;
+    util::Rng rng(99);
+    model = build_spiking_lenet(arch, cfg, rng);
+  }
+};
+
+std::string temp_path(const char* name) {
+  return (fs::temp_directory_path() / name).string();
+}
+
+TEST(ModelIo, RoundTripPreservesLogits) {
+  Fixture fx;
+  const std::string path = temp_path("snnsec_model_io.snnm");
+  save_spiking_lenet(path, *fx.model, fx.arch, fx.cfg);
+
+  LoadedModel loaded = load_spiking_lenet(path);
+  EXPECT_EQ(loaded.arch.image_size, 8);
+  EXPECT_DOUBLE_EQ(loaded.config.v_th, 1.25);
+  EXPECT_EQ(loaded.config.time_steps, 7);
+  EXPECT_FLOAT_EQ(loaded.config.surrogate.alpha, 12.5f);
+
+  util::Rng drng(1);
+  const Tensor x = Tensor::rand_uniform(Shape{3, 1, 8, 8}, drng);
+  EXPECT_TRUE(fx.model->logits(x).allclose(loaded.model->logits(x), 0.0f));
+  fs::remove(path);
+}
+
+TEST(ModelIo, PreservesStructuralParameters) {
+  Fixture fx(2.0, 12);
+  fx.cfg.encoder_uses_vth = false;
+  fx.cfg.weight_gain = 8.0;
+  fx.cfg.input_gain = 2.0;
+  util::Rng rng(100);
+  fx.model = build_spiking_lenet(fx.arch, fx.cfg, rng);
+  const std::string path = temp_path("snnsec_model_io2.snnm");
+  save_spiking_lenet(path, *fx.model, fx.arch, fx.cfg);
+  const LoadedModel loaded = load_spiking_lenet(path);
+  EXPECT_FALSE(loaded.config.encoder_uses_vth);
+  EXPECT_DOUBLE_EQ(loaded.config.weight_gain, 8.0);
+  EXPECT_DOUBLE_EQ(loaded.config.input_gain, 2.0);
+  EXPECT_EQ(loaded.model->time_steps(), 12);
+  fs::remove(path);
+}
+
+TEST(ModelIo, RoundTripsAlifVariant) {
+  Fixture fx;
+  fx.cfg.neuron_model = NeuronModel::kAlif;
+  fx.cfg.alif_beta = 0.7f;
+  fx.cfg.alif_rho = 0.85f;
+  util::Rng rng(101);
+  fx.model = build_spiking_lenet(fx.arch, fx.cfg, rng);
+  const std::string path = temp_path("snnsec_model_io3.snnm");
+  save_spiking_lenet(path, *fx.model, fx.arch, fx.cfg);
+  const LoadedModel loaded = load_spiking_lenet(path);
+  EXPECT_EQ(loaded.config.neuron_model, NeuronModel::kAlif);
+  EXPECT_FLOAT_EQ(loaded.config.alif_beta, 0.7f);
+  util::Rng drng(2);
+  const Tensor x = Tensor::rand_uniform(Shape{2, 1, 8, 8}, drng);
+  EXPECT_TRUE(fx.model->logits(x).allclose(loaded.model->logits(x), 0.0f));
+  fs::remove(path);
+}
+
+TEST(ModelIo, MissingFileThrows) {
+  EXPECT_THROW(load_spiking_lenet("/nonexistent/model.snnm"), util::Error);
+}
+
+TEST(ModelIo, CorruptMetadataThrows) {
+  // An archive without the metadata records is rejected.
+  const std::string path = temp_path("snnsec_model_io_bad.snnm");
+  std::map<std::string, Tensor> junk;
+  junk.emplace("p000", Tensor::zeros(Shape{3}));
+  tensor::save_archive_file(path, junk);
+  EXPECT_THROW(load_spiking_lenet(path), util::Error);
+  fs::remove(path);
+}
+
+TEST(ModelIo, TrainedWeightsSurviveRoundTrip) {
+  Fixture fx;
+  // Nudge a weight so the file provably carries non-initial values.
+  auto params = fx.model->parameters();
+  params[0]->value[0] = 123.456f;
+  const std::string path = temp_path("snnsec_model_io4.snnm");
+  save_spiking_lenet(path, *fx.model, fx.arch, fx.cfg);
+  const LoadedModel loaded = load_spiking_lenet(path);
+  EXPECT_FLOAT_EQ(loaded.model->parameters()[0]->value[0], 123.456f);
+  fs::remove(path);
+}
+
+}  // namespace
+}  // namespace snnsec::snn

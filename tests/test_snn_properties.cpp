@@ -1,0 +1,173 @@
+// Property-style sweeps over the SNN substrate: invariants that must hold
+// across the (V_th, T) parameter space the paper explores.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "snn/li_readout.hpp"
+#include "snn/lif_layer.hpp"
+#include "snn/spiking_lenet.hpp"
+#include "tensor/ops.hpp"
+
+namespace snnsec::snn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+// ---- parameterized over (v_th, T) ------------------------------------------
+
+class LifGridTest
+    : public ::testing::TestWithParam<std::tuple<double, std::int64_t>> {
+ protected:
+  LifParameters params() const {
+    LifParameters p;
+    p.v_th = static_cast<float>(std::get<0>(GetParam()));
+    return p;
+  }
+  std::int64_t t() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(LifGridTest, SpikesAreBinaryAndRateBounded) {
+  LifLayer lif(t(), params(), Surrogate{});
+  util::Rng rng(1);
+  const Tensor x =
+      Tensor::rand_uniform(Shape{t() * 3, 20}, rng, 0.0f, 3.0f);
+  const Tensor z = lif.forward(x, nn::Mode::kEval);
+  for (std::int64_t i = 0; i < z.numel(); ++i)
+    ASSERT_TRUE(z[i] == 0.0f || z[i] == 1.0f);
+  EXPECT_GE(lif.last_spike_rate(), 0.0);
+  EXPECT_LE(lif.last_spike_rate(), 1.0);
+}
+
+TEST_P(LifGridTest, ForwardIsDeterministic) {
+  LifLayer a(t(), params(), Surrogate{});
+  LifLayer b(t(), params(), Surrogate{});
+  util::Rng rng(2);
+  const Tensor x =
+      Tensor::rand_uniform(Shape{t() * 2, 8}, rng, 0.0f, 2.0f);
+  EXPECT_TRUE(a.forward(x, nn::Mode::kEval)
+                  .allclose(b.forward(x, nn::Mode::kEval), 0.0f));
+}
+
+TEST_P(LifGridTest, ZeroInputProducesNoSpikesAndZeroGradient) {
+  LifLayer lif(t(), params(), Surrogate{});
+  const Tensor x(Shape{t() * 2, 5});
+  const Tensor z = lif.forward(x, nn::Mode::kTrain);
+  EXPECT_FLOAT_EQ(tensor::sum(z), 0.0f);
+  // With v pinned far below threshold the surrogate is small but nonzero;
+  // gradients must still be finite.
+  const Tensor g = lif.backward(Tensor::ones(z.shape()));
+  for (std::int64_t i = 0; i < g.numel(); ++i)
+    ASSERT_TRUE(std::isfinite(g[i]));
+}
+
+TEST_P(LifGridTest, BackwardShapeMatchesInput) {
+  LifLayer lif(t(), params(), Surrogate{});
+  util::Rng rng(3);
+  const Tensor x =
+      Tensor::rand_uniform(Shape{t() * 2, 4, 3, 3}, rng, 0.0f, 2.0f);
+  const Tensor z = lif.forward(x, nn::Mode::kTrain);
+  EXPECT_EQ(z.shape(), x.shape());
+  EXPECT_EQ(lif.backward(Tensor::ones(z.shape())).shape(), x.shape());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, LifGridTest,
+    ::testing::Combine(::testing::Values(0.25, 0.5, 1.0, 2.0, 2.5),
+                       ::testing::Values<std::int64_t>(1, 4, 16, 48)));
+
+// ---- cross-parameter monotonicity ------------------------------------------
+
+TEST(LifMonotonicity, SpikeCountNonIncreasingInThreshold) {
+  util::Rng rng(4);
+  const Tensor x = Tensor::rand_uniform(Shape{24 * 4, 32}, rng, 0.0f, 2.0f);
+  double prev_rate = 1.1;
+  for (const float v_th : {0.25f, 0.5f, 1.0f, 1.5f, 2.0f, 3.0f}) {
+    LifParameters p;
+    p.v_th = v_th;
+    LifLayer lif(24, p, Surrogate{});
+    lif.forward(x, nn::Mode::kEval);
+    EXPECT_LE(lif.last_spike_rate(), prev_rate + 1e-9)
+        << "rate must not increase with v_th=" << v_th;
+    prev_rate = lif.last_spike_rate();
+  }
+}
+
+TEST(LifMonotonicity, LongerWindowGivesMoreTotalSpikes) {
+  util::Rng rng(5);
+  const Tensor base = Tensor::rand_uniform(Shape{8, 16}, rng, 0.5f, 1.5f);
+  double prev_total = -1.0;
+  for (const std::int64_t t : {8, 16, 32, 64}) {
+    LifLayer lif(t, LifParameters{}, Surrogate{});
+    // Same per-step current, longer observation.
+    Tensor x(Shape{t * 8, 16});
+    for (std::int64_t step = 0; step < t; ++step)
+      for (std::int64_t i = 0; i < base.numel(); ++i)
+        x[step * base.numel() + i] = base[i];
+    const Tensor z = lif.forward(x, nn::Mode::kEval);
+    const double total = tensor::sum(z);
+    EXPECT_GT(total, prev_total);
+    prev_total = total;
+  }
+}
+
+TEST(LifEdgeCases, SingleTimeStepNeverSpikesFromZeroState) {
+  // With zero initial state, the first membrane update sees i=0, so a
+  // T=1 window cannot emit spikes (matches Norse's injection timing).
+  LifLayer lif(1, LifParameters{}, Surrogate{});
+  util::Rng rng(6);
+  const Tensor x = Tensor::rand_uniform(Shape{1 * 4, 10}, rng, 0.0f, 5.0f);
+  EXPECT_FLOAT_EQ(tensor::sum(lif.forward(x, nn::Mode::kEval)), 0.0f);
+}
+
+TEST(LiReadoutEdgeCases, SingleStepLogitsAreZero) {
+  LiReadout li(1, LifParameters{});
+  const Tensor x = Tensor::ones(Shape{1 * 2, 3});
+  const Tensor logits = li.forward(x, nn::Mode::kEval);
+  for (std::int64_t i = 0; i < logits.numel(); ++i)
+    EXPECT_FLOAT_EQ(logits[i], 0.0f);
+}
+
+// ---- end-to-end gradient usefulness across the grid -------------------------
+
+class SnnGradientQualityTest
+    : public ::testing::TestWithParam<std::tuple<double, std::int64_t>> {};
+
+TEST_P(SnnGradientQualityTest, FgsmStepIncreasesLossWhenGradientsExist) {
+  const double v_th = std::get<0>(GetParam());
+  const std::int64_t t = std::get<1>(GetParam());
+  nn::LenetSpec arch = nn::LenetSpec{}.scaled(0.25);
+  arch.image_size = 8;
+  SnnConfig cfg;
+  cfg.v_th = v_th;
+  cfg.time_steps = t;
+  util::Rng rng(7);
+  auto model = build_spiking_lenet(arch, cfg, rng);
+
+  util::Rng drng(8);
+  const Tensor x = Tensor::rand_uniform(Shape{8, 1, 8, 8}, drng);
+  const std::vector<std::int64_t> y{0, 1, 2, 3, 4, 5, 6, 7};
+  double loss0 = 0.0;
+  const Tensor g = model->input_gradient(x, y, &loss0);
+  const float gnorm = tensor::l2_norm(g);
+  if (gnorm < 1e-8f) GTEST_SKIP() << "dead cell: no gradient to validate";
+
+  Tensor adv = x;
+  adv.axpy_(0.05f, tensor::sign(g));
+  adv.clamp_(0.0f, 1.0f);
+  double loss1 = 0.0;
+  model->input_gradient(adv, y, &loss1);
+  // The surrogate gradient is approximate; require no large decrease.
+  EXPECT_GT(loss1, loss0 - 0.05)
+      << "ascending the surrogate gradient must not reduce the loss";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SnnGradientQualityTest,
+    ::testing::Combine(::testing::Values(0.5, 1.0, 2.0),
+                       ::testing::Values<std::int64_t>(6, 12)));
+
+}  // namespace
+}  // namespace snnsec::snn

@@ -1,0 +1,97 @@
+// Surrogate gradient properties across all kinds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "snn/surrogate.hpp"
+
+namespace snnsec::snn {
+namespace {
+
+class SurrogateKindTest : public ::testing::TestWithParam<SurrogateKind> {};
+
+TEST_P(SurrogateKindTest, PeaksAtThreshold) {
+  Surrogate sg{GetParam(), 10.0f};
+  const float peak = sg.grad(0.0f);
+  EXPECT_GT(peak, 0.0f);
+  for (const float u : {-2.0f, -0.5f, 0.5f, 2.0f})
+    EXPECT_LE(sg.grad(u), peak);
+}
+
+TEST_P(SurrogateKindTest, SymmetricAroundThreshold) {
+  Surrogate sg{GetParam(), 10.0f};
+  if (GetParam() == SurrogateKind::kSigmoidDeriv) {
+    // Sigmoid derivative is symmetric too: s(u)(1-s(u)) = s(-u)(1-s(-u)).
+    EXPECT_NEAR(sg.grad(0.3f), sg.grad(-0.3f), 1e-6f);
+  } else {
+    for (const float u : {0.01f, 0.1f, 1.0f})
+      EXPECT_FLOAT_EQ(sg.grad(u), sg.grad(-u));
+  }
+}
+
+TEST_P(SurrogateKindTest, NonNegativeEverywhere) {
+  Surrogate sg{GetParam(), 10.0f};
+  for (float u = -5.0f; u <= 5.0f; u += 0.1f)
+    EXPECT_GE(sg.grad(u), 0.0f) << "at u=" << u;
+}
+
+TEST_P(SurrogateKindTest, MonotoneDecayFromPeak) {
+  Surrogate sg{GetParam(), 10.0f};
+  float prev = sg.grad(0.0f);
+  for (float u = 0.05f; u <= 3.0f; u += 0.05f) {
+    const float g = sg.grad(u);
+    EXPECT_LE(g, prev + 1e-7f) << "at u=" << u;
+    prev = g;
+  }
+}
+
+TEST_P(SurrogateKindTest, ToStringMentionsAlpha) {
+  Surrogate sg{GetParam(), 7.5f};
+  EXPECT_NE(sg.to_string().find("7.5"), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, SurrogateKindTest,
+                         ::testing::Values(SurrogateKind::kSuperSpike,
+                                           SurrogateKind::kTriangle,
+                                           SurrogateKind::kSigmoidDeriv,
+                                           SurrogateKind::kStraightThrough));
+
+TEST(SuperSpike, MatchesClosedForm) {
+  Surrogate sg{SurrogateKind::kSuperSpike, 100.0f};
+  EXPECT_FLOAT_EQ(sg.grad(0.0f), 1.0f);
+  EXPECT_NEAR(sg.grad(0.01f), 1.0f / 4.0f, 1e-6f);   // (1+1)^2
+  EXPECT_NEAR(sg.grad(-0.01f), 1.0f / 4.0f, 1e-6f);
+  EXPECT_NEAR(sg.grad(0.1f), 1.0f / 121.0f, 1e-7f);  // (1+10)^2
+}
+
+TEST(Triangle, CompactSupport) {
+  Surrogate sg{SurrogateKind::kTriangle, 2.0f};
+  EXPECT_FLOAT_EQ(sg.grad(0.0f), 1.0f);
+  EXPECT_FLOAT_EQ(sg.grad(0.25f), 0.5f);
+  EXPECT_FLOAT_EQ(sg.grad(0.5f), 0.0f);
+  EXPECT_FLOAT_EQ(sg.grad(1.0f), 0.0f);
+}
+
+TEST(StraightThrough, WindowWidth) {
+  Surrogate sg{SurrogateKind::kStraightThrough, 1.0f};
+  EXPECT_FLOAT_EQ(sg.grad(0.0f), 1.0f);
+  EXPECT_FLOAT_EQ(sg.grad(0.49f), 1.0f);
+  EXPECT_FLOAT_EQ(sg.grad(0.51f), 0.0f);
+}
+
+TEST(SigmoidDeriv, MatchesAnalyticDerivative) {
+  Surrogate sg{SurrogateKind::kSigmoidDeriv, 4.0f};
+  const float u = 0.2f;
+  const double s = 1.0 / (1.0 + std::exp(-4.0 * u));
+  EXPECT_NEAR(sg.grad(u), 4.0 * s * (1.0 - s), 1e-5);
+}
+
+TEST(Surrogate, AlphaControlsWidth) {
+  // Larger alpha -> narrower support -> smaller gradient away from 0.
+  Surrogate narrow{SurrogateKind::kSuperSpike, 100.0f};
+  Surrogate wide{SurrogateKind::kSuperSpike, 5.0f};
+  EXPECT_LT(narrow.grad(0.5f), wide.grad(0.5f));
+}
+
+}  // namespace
+}  // namespace snnsec::snn

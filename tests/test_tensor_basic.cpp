@@ -1,0 +1,146 @@
+// Tensor construction, access, reshapes, in-place helpers.
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.hpp"
+
+namespace snnsec::tensor {
+namespace {
+
+TEST(Tensor, DefaultIsScalarZero) {
+  Tensor t;
+  EXPECT_EQ(t.ndim(), 0);
+  EXPECT_EQ(t.numel(), 1);
+  EXPECT_FLOAT_EQ(t[0], 0.0f);
+}
+
+TEST(Tensor, ZerosOnesFull) {
+  EXPECT_FLOAT_EQ(Tensor::zeros(Shape{3})[1], 0.0f);
+  EXPECT_FLOAT_EQ(Tensor::ones(Shape{3})[2], 1.0f);
+  EXPECT_FLOAT_EQ(Tensor::full(Shape{2, 2}, -2.5f)[3], -2.5f);
+  EXPECT_FLOAT_EQ(Tensor::scalar(7.0f)[0], 7.0f);
+}
+
+TEST(Tensor, FromVectorChecksSize) {
+  EXPECT_NO_THROW(Tensor::from_vector(Shape{2, 2}, {1, 2, 3, 4}));
+  EXPECT_THROW(Tensor::from_vector(Shape{2, 2}, {1, 2, 3}), util::Error);
+}
+
+TEST(Tensor, Arange) {
+  const Tensor t = Tensor::arange(4, 1.0f, 0.5f);
+  EXPECT_FLOAT_EQ(t[0], 1.0f);
+  EXPECT_FLOAT_EQ(t[3], 2.5f);
+  EXPECT_EQ(Tensor::arange(0).numel(), 0);
+}
+
+TEST(Tensor, MultiIndexAccessRowMajor) {
+  Tensor t = Tensor::from_vector(Shape{2, 3}, {0, 1, 2, 3, 4, 5});
+  EXPECT_FLOAT_EQ(t.at({0, 0}), 0.0f);
+  EXPECT_FLOAT_EQ(t.at({0, 2}), 2.0f);
+  EXPECT_FLOAT_EQ(t.at({1, 0}), 3.0f);
+  t.at({1, 2}) = 42.0f;
+  EXPECT_FLOAT_EQ(t[5], 42.0f);
+}
+
+TEST(Tensor, AtBoundsChecked) {
+  Tensor t(Shape{2, 3});
+  EXPECT_THROW(t.at({2, 0}), util::Error);
+  EXPECT_THROW(t.at({0, 3}), util::Error);
+  EXPECT_THROW(t.at({0}), util::Error);  // rank mismatch
+}
+
+TEST(Tensor, ReshapePreservesDataAndChecksNumel) {
+  const Tensor t = Tensor::arange(6);
+  const Tensor r = t.reshaped(Shape{2, 3});
+  EXPECT_EQ(r.shape(), Shape({2, 3}));
+  EXPECT_FLOAT_EQ(r.at({1, 2}), 5.0f);
+  EXPECT_THROW(t.reshaped(Shape{4}), util::Error);
+}
+
+TEST(Tensor, RvalueReshapeMovesBuffer) {
+  Tensor t = Tensor::arange(6);
+  const float* before = t.data();
+  Tensor r = std::move(t).reshaped(Shape{3, 2});
+  EXPECT_EQ(r.data(), before);
+}
+
+TEST(Tensor, InPlaceArithmetic) {
+  Tensor a = Tensor::from_vector(Shape{3}, {1, 2, 3});
+  const Tensor b = Tensor::from_vector(Shape{3}, {10, 20, 30});
+  a.add_(b);
+  EXPECT_FLOAT_EQ(a[2], 33.0f);
+  a.sub_(b);
+  EXPECT_FLOAT_EQ(a[2], 3.0f);
+  a.mul_(b);
+  EXPECT_FLOAT_EQ(a[0], 10.0f);
+  a.add_scalar_(1.0f);
+  EXPECT_FLOAT_EQ(a[0], 11.0f);
+  a.mul_scalar_(2.0f);
+  EXPECT_FLOAT_EQ(a[0], 22.0f);
+  a.axpy_(0.5f, b);
+  EXPECT_FLOAT_EQ(a[0], 27.0f);
+  a.zero_();
+  EXPECT_FLOAT_EQ(a[1], 0.0f);
+}
+
+TEST(Tensor, InPlaceShapeMismatchThrows) {
+  Tensor a(Shape{3});
+  const Tensor b(Shape{4});
+  EXPECT_THROW(a.add_(b), util::Error);
+  EXPECT_THROW(a.sub_(b), util::Error);
+  EXPECT_THROW(a.mul_(b), util::Error);
+  EXPECT_THROW(a.axpy_(1.0f, b), util::Error);
+}
+
+TEST(Tensor, Clamp) {
+  Tensor a = Tensor::from_vector(Shape{4}, {-2, 0.5, 2, 1});
+  a.clamp_(0.0f, 1.0f);
+  EXPECT_FLOAT_EQ(a[0], 0.0f);
+  EXPECT_FLOAT_EQ(a[1], 0.5f);
+  EXPECT_FLOAT_EQ(a[2], 1.0f);
+  EXPECT_THROW(a.clamp_(1.0f, 0.0f), util::Error);
+}
+
+TEST(Tensor, AllClose) {
+  const Tensor a = Tensor::from_vector(Shape{2}, {1.0f, 2.0f});
+  Tensor b = a;
+  EXPECT_TRUE(a.allclose(b));
+  b[1] += 1e-7f;
+  EXPECT_TRUE(a.allclose(b, 1e-5f));
+  b[1] += 1.0f;
+  EXPECT_FALSE(a.allclose(b, 1e-5f));
+  EXPECT_FALSE(a.allclose(Tensor(Shape{3})));
+}
+
+TEST(Tensor, CloneIsDeep) {
+  Tensor a = Tensor::ones(Shape{2});
+  Tensor b = a.clone();
+  b[0] = 5.0f;
+  EXPECT_FLOAT_EQ(a[0], 1.0f);
+}
+
+TEST(Tensor, RandomFactoriesDeterministic) {
+  util::Rng r1(5), r2(5);
+  const Tensor a = Tensor::randn(Shape{100}, r1);
+  const Tensor b = Tensor::randn(Shape{100}, r2);
+  EXPECT_TRUE(a.allclose(b, 0.0f));
+  util::Rng r3(5);
+  const Tensor u = Tensor::rand_uniform(Shape{1000}, r3, 2.0f, 3.0f);
+  for (std::int64_t i = 0; i < u.numel(); ++i) {
+    EXPECT_GE(u[i], 2.0f);
+    EXPECT_LT(u[i], 3.0f);
+  }
+  util::Rng r4(5);
+  const Tensor z = Tensor::bernoulli(Shape{100}, r4, 0.5);
+  for (std::int64_t i = 0; i < z.numel(); ++i)
+    EXPECT_TRUE(z[i] == 0.0f || z[i] == 1.0f);
+}
+
+TEST(Tensor, ToStringTruncates) {
+  const Tensor t = Tensor::arange(20);
+  const std::string s = t.to_string(4);
+  EXPECT_NE(s.find("..."), std::string::npos);
+  EXPECT_NE(s.find("[20]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace snnsec::tensor

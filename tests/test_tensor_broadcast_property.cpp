@@ -1,0 +1,121 @@
+// Property sweep: broadcast binary ops against an independent reference
+// built on bounds-checked multi-index access.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace snnsec::tensor {
+namespace {
+
+/// Reference broadcast add via explicit index arithmetic — O(n * rank) and
+/// entirely independent of the production odometer kernel.
+Tensor reference_add(const Tensor& a, const Tensor& b) {
+  const Shape out_shape = Shape::broadcast(a.shape(), b.shape());
+  Tensor out(out_shape);
+  const std::int64_t rank = out_shape.ndim();
+  std::vector<std::int64_t> idx(static_cast<std::size_t>(rank), 0);
+  for (std::int64_t flat = 0; flat < out_shape.numel(); ++flat) {
+    // Decompose flat -> idx.
+    std::int64_t rem = flat;
+    for (std::int64_t d = rank - 1; d >= 0; --d) {
+      idx[static_cast<std::size_t>(d)] = rem % out_shape[d];
+      rem /= out_shape[d];
+    }
+    auto value_at = [&](const Tensor& t) {
+      const std::int64_t off = rank - t.ndim();
+      std::int64_t tflat = 0;
+      const auto strides = t.shape().strides();
+      for (std::int64_t d = 0; d < t.ndim(); ++d) {
+        const std::int64_t i =
+            t.dim(d) == 1 ? 0 : idx[static_cast<std::size_t>(off + d)];
+        tflat += i * strides[static_cast<std::size_t>(d)];
+      }
+      return t[tflat];
+    };
+    out[flat] = value_at(a) + value_at(b);
+  }
+  return out;
+}
+
+struct ShapePair {
+  Shape a;
+  Shape b;
+};
+
+class BroadcastPropertyTest : public ::testing::TestWithParam<ShapePair> {};
+
+TEST_P(BroadcastPropertyTest, AddMatchesReference) {
+  const auto& [sa, sb] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(sa.numel() * 131 + sb.numel()));
+  const Tensor a = Tensor::randn(sa, rng);
+  const Tensor b = Tensor::randn(sb, rng);
+  EXPECT_TRUE(add(a, b).allclose(reference_add(a, b), 1e-6f));
+  // Commutativity of the broadcast itself.
+  EXPECT_TRUE(add(b, a).allclose(reference_add(a, b), 1e-6f));
+}
+
+TEST_P(BroadcastPropertyTest, SubIsAddOfNegation) {
+  const auto& [sa, sb] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(sa.numel() * 31 + sb.numel()));
+  const Tensor a = Tensor::randn(sa, rng);
+  const Tensor b = Tensor::randn(sb, rng);
+  EXPECT_TRUE(sub(a, b).allclose(add(a, neg(b)), 1e-6f));
+}
+
+TEST_P(BroadcastPropertyTest, MaxMinSandwichMul) {
+  const auto& [sa, sb] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(sa.numel() * 7 + sb.numel()));
+  const Tensor a = Tensor::randn(sa, rng);
+  const Tensor b = Tensor::randn(sb, rng);
+  const Tensor lo = minimum(a, b);
+  const Tensor hi = maximum(a, b);
+  // min + max == a + b (elementwise identity)
+  EXPECT_TRUE(add(lo, hi).allclose(add(a, b), 1e-5f));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BroadcastPropertyTest,
+    ::testing::Values(ShapePair{Shape({4}), Shape({4})},
+                      ShapePair{Shape({3, 4}), Shape({4})},
+                      ShapePair{Shape({3, 1}), Shape({1, 5})},
+                      ShapePair{Shape({2, 3, 4}), Shape({3, 1})},
+                      ShapePair{Shape({2, 1, 4}), Shape({5, 1})},
+                      ShapePair{Shape({}), Shape({2, 2})},
+                      ShapePair{Shape({1, 1, 1}), Shape({2, 3, 4})},
+                      ShapePair{Shape({6, 1, 2, 1}), Shape({1, 3, 1, 5})}));
+
+TEST(BroadcastProperty, ReductionConsistency) {
+  // sum(sum_dim(x, d)) == sum(x) for every dimension of a rank-3 tensor.
+  util::Rng rng(9);
+  const Tensor x = Tensor::randn(Shape{3, 4, 5}, rng);
+  const float total = sum(x);
+  for (std::int64_t d = 0; d < 3; ++d)
+    EXPECT_NEAR(sum(sum_dim(x, d)), total, 1e-3f) << "dim " << d;
+}
+
+TEST(BroadcastProperty, MeanDimMatchesSumDim) {
+  util::Rng rng(10);
+  const Tensor x = Tensor::randn(Shape{4, 6}, rng);
+  const Tensor m = mean_dim(x, 1);
+  const Tensor s = sum_dim(x, 1);
+  for (std::int64_t i = 0; i < m.numel(); ++i)
+    EXPECT_NEAR(m[i], s[i] / 6.0f, 1e-6f);
+}
+
+TEST(BroadcastProperty, MaxDimIndicesSelectMaxima) {
+  util::Rng rng(11);
+  const Tensor x = Tensor::randn(Shape{5, 7}, rng);
+  std::vector<std::int64_t> idx;
+  const Tensor m = max_dim(x, 1, &idx);
+  for (std::int64_t i = 0; i < 5; ++i) {
+    EXPECT_FLOAT_EQ(m[i], x.at({i, idx[static_cast<std::size_t>(i)]}));
+    for (std::int64_t j = 0; j < 7; ++j)
+      EXPECT_LE(x.at({i, j}), m[i] + 1e-7f);
+  }
+}
+
+}  // namespace
+}  // namespace snnsec::tensor

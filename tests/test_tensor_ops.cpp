@@ -1,0 +1,187 @@
+// Element-wise ops, broadcasting, reductions, softmax.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+
+namespace snnsec::tensor {
+namespace {
+
+TEST(Ops, SameShapeArithmetic) {
+  const Tensor a = Tensor::from_vector(Shape{3}, {1, 2, 3});
+  const Tensor b = Tensor::from_vector(Shape{3}, {4, 10, -3});
+  EXPECT_TRUE(add(a, b).allclose(Tensor::from_vector(Shape{3}, {5, 12, 0})));
+  EXPECT_TRUE(sub(a, b).allclose(Tensor::from_vector(Shape{3}, {-3, -8, 6})));
+  EXPECT_TRUE(mul(a, b).allclose(Tensor::from_vector(Shape{3}, {4, 20, -9})));
+  EXPECT_TRUE(div(b, a).allclose(Tensor::from_vector(Shape{3}, {4, 5, -1})));
+  EXPECT_TRUE(maximum(a, b).allclose(Tensor::from_vector(Shape{3}, {4, 10, 3})));
+  EXPECT_TRUE(minimum(a, b).allclose(Tensor::from_vector(Shape{3}, {1, 2, -3})));
+}
+
+TEST(Ops, BroadcastRowVector) {
+  // [2,3] + [3]
+  const Tensor a = Tensor::from_vector(Shape{2, 3}, {0, 1, 2, 3, 4, 5});
+  const Tensor v = Tensor::from_vector(Shape{3}, {10, 20, 30});
+  const Tensor r = add(a, v);
+  EXPECT_TRUE(r.allclose(
+      Tensor::from_vector(Shape{2, 3}, {10, 21, 32, 13, 24, 35})));
+}
+
+TEST(Ops, BroadcastColumnAgainstRow) {
+  // [2,1] * [1,3] -> [2,3]
+  const Tensor c = Tensor::from_vector(Shape{2, 1}, {2, 3});
+  const Tensor r = Tensor::from_vector(Shape{1, 3}, {1, 10, 100});
+  const Tensor out = mul(c, r);
+  EXPECT_EQ(out.shape(), Shape({2, 3}));
+  EXPECT_TRUE(out.allclose(
+      Tensor::from_vector(Shape{2, 3}, {2, 20, 200, 3, 30, 300})));
+}
+
+TEST(Ops, BroadcastScalarTensor) {
+  const Tensor a = Tensor::from_vector(Shape{2, 2}, {1, 2, 3, 4});
+  const Tensor s = Tensor::scalar(10.0f);
+  EXPECT_TRUE(
+      add(a, s).allclose(Tensor::from_vector(Shape{2, 2}, {11, 12, 13, 14})));
+}
+
+TEST(Ops, BroadcastRank3) {
+  // [2,1,2] + [3,1] -> [2,3,2]
+  const Tensor a = Tensor::from_vector(Shape{2, 1, 2}, {0, 1, 10, 11});
+  const Tensor b = Tensor::from_vector(Shape{3, 1}, {100, 200, 300});
+  const Tensor r = add(a, b);
+  EXPECT_EQ(r.shape(), Shape({2, 3, 2}));
+  EXPECT_FLOAT_EQ(r.at({0, 0, 0}), 100.0f);
+  EXPECT_FLOAT_EQ(r.at({0, 2, 1}), 301.0f);
+  EXPECT_FLOAT_EQ(r.at({1, 1, 0}), 210.0f);
+}
+
+TEST(Ops, BroadcastIncompatibleThrows) {
+  const Tensor a(Shape{2, 3});
+  const Tensor b(Shape{2, 4});
+  EXPECT_THROW(add(a, b), util::Error);
+}
+
+TEST(Ops, ScalarOps) {
+  const Tensor a = Tensor::from_vector(Shape{2}, {1, -2});
+  EXPECT_TRUE(add_scalar(a, 1.0f).allclose(
+      Tensor::from_vector(Shape{2}, {2, -1})));
+  EXPECT_TRUE(mul_scalar(a, -3.0f).allclose(
+      Tensor::from_vector(Shape{2}, {-3, 6})));
+}
+
+TEST(Ops, UnaryFunctions) {
+  const Tensor a = Tensor::from_vector(Shape{4}, {-2, -0.5, 0, 1.5});
+  EXPECT_TRUE(neg(a).allclose(Tensor::from_vector(Shape{4}, {2, 0.5, 0, -1.5})));
+  EXPECT_TRUE(abs(a).allclose(Tensor::from_vector(Shape{4}, {2, 0.5, 0, 1.5})));
+  EXPECT_TRUE(sign(a).allclose(Tensor::from_vector(Shape{4}, {-1, -1, 0, 1})));
+  EXPECT_TRUE(relu(a).allclose(Tensor::from_vector(Shape{4}, {0, 0, 0, 1.5})));
+  EXPECT_TRUE(
+      heaviside(a).allclose(Tensor::from_vector(Shape{4}, {0, 0, 0, 1})));
+  EXPECT_TRUE(clamp(a, -1.0f, 1.0f)
+                  .allclose(Tensor::from_vector(Shape{4}, {-1, -0.5, 0, 1})));
+  EXPECT_NEAR(exp(a)[3], std::exp(1.5f), 1e-5f);
+  EXPECT_NEAR(sqrt(abs(a))[0], std::sqrt(2.0f), 1e-6f);
+  EXPECT_NEAR(log(exp(a))[1], -0.5f, 1e-5f);
+}
+
+TEST(Ops, ScalarReductions) {
+  const Tensor a = Tensor::from_vector(Shape{2, 2}, {1, -2, 3, 4});
+  EXPECT_FLOAT_EQ(sum(a), 6.0f);
+  EXPECT_FLOAT_EQ(mean(a), 1.5f);
+  EXPECT_FLOAT_EQ(max_value(a), 4.0f);
+  EXPECT_FLOAT_EQ(min_value(a), -2.0f);
+  EXPECT_EQ(argmax_flat(a), 3);
+  EXPECT_NEAR(l2_norm(a), std::sqrt(30.0f), 1e-5f);
+}
+
+TEST(Ops, LinfDistance) {
+  const Tensor a = Tensor::from_vector(Shape{3}, {0, 0, 0});
+  const Tensor b = Tensor::from_vector(Shape{3}, {0.5f, -1.25f, 0.1f});
+  EXPECT_FLOAT_EQ(linf_distance(a, b), 1.25f);
+  EXPECT_THROW(linf_distance(a, Tensor(Shape{2})), util::Error);
+}
+
+TEST(Ops, SumMeanMaxAlongDim) {
+  const Tensor a = Tensor::from_vector(Shape{2, 3}, {1, 5, 2, 7, 0, 4});
+  EXPECT_TRUE(sum_dim(a, 0).allclose(Tensor::from_vector(Shape{3}, {8, 5, 6})));
+  EXPECT_TRUE(sum_dim(a, 1).allclose(Tensor::from_vector(Shape{2}, {8, 11})));
+  EXPECT_TRUE(
+      mean_dim(a, 1).allclose(Tensor::from_vector(Shape{2}, {8.0f / 3, 11.0f / 3})));
+  std::vector<std::int64_t> idx;
+  const Tensor m = max_dim(a, 1, &idx);
+  EXPECT_TRUE(m.allclose(Tensor::from_vector(Shape{2}, {5, 7})));
+  EXPECT_EQ(idx[0], 1);
+  EXPECT_EQ(idx[1], 0);
+  // negative dim
+  EXPECT_TRUE(sum_dim(a, -1).allclose(sum_dim(a, 1)));
+}
+
+TEST(Ops, ArgmaxRows) {
+  const Tensor a = Tensor::from_vector(Shape{2, 3}, {1, 5, 2, 7, 0, 4});
+  const auto idx = argmax_rows(a);
+  ASSERT_EQ(idx.size(), 2u);
+  EXPECT_EQ(idx[0], 1);
+  EXPECT_EQ(idx[1], 0);
+  EXPECT_THROW(argmax_rows(Tensor(Shape{3})), util::Error);
+}
+
+TEST(Ops, Transpose) {
+  const Tensor a = Tensor::from_vector(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor t = transpose(a);
+  EXPECT_EQ(t.shape(), Shape({3, 2}));
+  EXPECT_FLOAT_EQ(t.at({0, 1}), 4.0f);
+  EXPECT_FLOAT_EQ(t.at({2, 0}), 3.0f);
+  EXPECT_TRUE(transpose(t).allclose(a));
+}
+
+TEST(Ops, SoftmaxRowsSumToOneAndOrderPreserved) {
+  const Tensor a =
+      Tensor::from_vector(Shape{2, 3}, {1, 2, 3, -1, -1, 5});
+  const Tensor s = softmax_rows(a);
+  for (std::int64_t i = 0; i < 2; ++i) {
+    float rowsum = 0.0f;
+    for (std::int64_t j = 0; j < 3; ++j) rowsum += s.at({i, j});
+    EXPECT_NEAR(rowsum, 1.0f, 1e-5f);
+  }
+  EXPECT_GT(s.at({0, 2}), s.at({0, 1}));
+  EXPECT_GT(s.at({0, 1}), s.at({0, 0}));
+}
+
+TEST(Ops, SoftmaxNumericallyStableForLargeLogits) {
+  const Tensor a = Tensor::from_vector(Shape{1, 2}, {1000.0f, 1001.0f});
+  const Tensor s = softmax_rows(a);
+  EXPECT_FALSE(std::isnan(s[0]));
+  EXPECT_NEAR(s[0] + s[1], 1.0f, 1e-5f);
+  EXPECT_GT(s[1], s[0]);
+}
+
+TEST(Ops, LogSoftmaxMatchesLogOfSoftmax) {
+  const Tensor a = Tensor::from_vector(Shape{2, 3}, {0.5f, -1, 2, 3, 3, 3});
+  const Tensor ls = log_softmax_rows(a);
+  const Tensor s = softmax_rows(a);
+  for (std::int64_t i = 0; i < a.numel(); ++i)
+    EXPECT_NEAR(ls[i], std::log(s[i]), 1e-5f);
+}
+
+TEST(Ops, OneHot) {
+  const Tensor oh = one_hot({1, 0, 2}, 3);
+  EXPECT_EQ(oh.shape(), Shape({3, 3}));
+  EXPECT_FLOAT_EQ(oh.at({0, 1}), 1.0f);
+  EXPECT_FLOAT_EQ(oh.at({0, 0}), 0.0f);
+  EXPECT_FLOAT_EQ(oh.at({2, 2}), 1.0f);
+  EXPECT_THROW(one_hot({3}, 3), util::Error);
+  EXPECT_THROW(one_hot({-1}, 3), util::Error);
+}
+
+TEST(Ops, GenericBroadcastBinary) {
+  const Tensor a = Tensor::from_vector(Shape{2}, {3, 5});
+  const Tensor b = Tensor::from_vector(Shape{2}, {2, 2});
+  const Tensor r = broadcast_binary(
+      a, b, [](float x, float y) { return std::fmod(x, y); });
+  EXPECT_FLOAT_EQ(r[0], 1.0f);
+  EXPECT_FLOAT_EQ(r[1], 1.0f);
+}
+
+}  // namespace
+}  // namespace snnsec::tensor

@@ -1,0 +1,105 @@
+// Tensor / archive binary serialization round-trips and corruption checks.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "tensor/serialize.hpp"
+#include "util/rng.hpp"
+
+namespace snnsec::tensor {
+namespace {
+
+TEST(Serialize, TensorRoundTripInMemory) {
+  util::Rng rng(1);
+  const Tensor t = Tensor::randn(Shape{3, 4, 5}, rng);
+  std::stringstream ss;
+  save_tensor(ss, t);
+  const Tensor back = load_tensor(ss);
+  EXPECT_EQ(back.shape(), t.shape());
+  EXPECT_TRUE(back.allclose(t, 0.0f));
+}
+
+TEST(Serialize, ScalarTensorRoundTrip) {
+  const Tensor t = Tensor::scalar(-3.25f);
+  std::stringstream ss;
+  save_tensor(ss, t);
+  const Tensor back = load_tensor(ss);
+  EXPECT_EQ(back.ndim(), 0);
+  EXPECT_FLOAT_EQ(back[0], -3.25f);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "snnsec_t.snnt").string();
+  util::Rng rng(2);
+  const Tensor t = Tensor::randn(Shape{7}, rng);
+  save_tensor_file(path, t);
+  const Tensor back = load_tensor_file(path);
+  EXPECT_TRUE(back.allclose(t, 0.0f));
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, BadMagicThrows) {
+  std::stringstream ss;
+  ss << "XXXXgarbage data here";
+  EXPECT_THROW(load_tensor(ss), util::Error);
+}
+
+TEST(Serialize, TruncatedPayloadThrows) {
+  util::Rng rng(3);
+  const Tensor t = Tensor::randn(Shape{100}, rng);
+  std::stringstream ss;
+  save_tensor(ss, t);
+  std::string s = ss.str();
+  s.resize(s.size() / 2);
+  std::stringstream half(s);
+  EXPECT_THROW(load_tensor(half), util::Error);
+}
+
+TEST(Serialize, ArchiveRoundTrip) {
+  util::Rng rng(4);
+  std::map<std::string, Tensor> items;
+  items.emplace("weight", Tensor::randn(Shape{4, 4}, rng));
+  items.emplace("bias", Tensor::randn(Shape{4}, rng));
+  items.emplace("meta", Tensor::scalar(0.93f));
+  std::stringstream ss;
+  save_archive(ss, items);
+  const auto back = load_archive(ss);
+  ASSERT_EQ(back.size(), 3u);
+  EXPECT_TRUE(back.at("weight").allclose(items.at("weight"), 0.0f));
+  EXPECT_TRUE(back.at("bias").allclose(items.at("bias"), 0.0f));
+  EXPECT_FLOAT_EQ(back.at("meta")[0], 0.93f);
+}
+
+TEST(Serialize, EmptyArchiveRoundTrip) {
+  std::stringstream ss;
+  save_archive(ss, {});
+  EXPECT_TRUE(load_archive(ss).empty());
+}
+
+TEST(Serialize, ArchiveFileRoundTrip) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "snnsec_a.snna").string();
+  util::Rng rng(5);
+  std::map<std::string, Tensor> items;
+  items.emplace("x", Tensor::randn(Shape{2, 3}, rng));
+  save_archive_file(path, items);
+  const auto back = load_archive_file(path);
+  EXPECT_TRUE(back.at("x").allclose(items.at("x"), 0.0f));
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, ArchiveBadMagicThrows) {
+  std::stringstream ss;
+  ss << "SNNTnot an archive";
+  EXPECT_THROW(load_archive(ss), util::Error);
+}
+
+TEST(Serialize, MissingFileThrows) {
+  EXPECT_THROW(load_tensor_file("/nonexistent/nowhere.snnt"), util::Error);
+  EXPECT_THROW(load_archive_file("/nonexistent/nowhere.snna"), util::Error);
+}
+
+}  // namespace
+}  // namespace snnsec::tensor

@@ -1,0 +1,87 @@
+// Shape arithmetic and broadcasting rules.
+#include <gtest/gtest.h>
+
+#include "tensor/shape.hpp"
+#include "util/error.hpp"
+
+namespace snnsec::tensor {
+namespace {
+
+TEST(Shape, NumelAndRank) {
+  EXPECT_EQ(Shape({2, 3, 4}).numel(), 24);
+  EXPECT_EQ(Shape({2, 3, 4}).ndim(), 3);
+  EXPECT_EQ(Shape{}.numel(), 1);  // rank-0 scalar
+  EXPECT_EQ(Shape{}.ndim(), 0);
+  EXPECT_EQ(Shape({5, 0, 2}).numel(), 0);
+}
+
+TEST(Shape, RowMajorStrides) {
+  const auto s = Shape({2, 3, 4}).strides();
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0], 12);
+  EXPECT_EQ(s[1], 4);
+  EXPECT_EQ(s[2], 1);
+}
+
+TEST(Shape, NegativeIndexing) {
+  const Shape s({2, 3, 4});
+  EXPECT_EQ(s.dim(-1), 4);
+  EXPECT_EQ(s.dim(-3), 2);
+  EXPECT_THROW(s.dim(3), util::Error);
+  EXPECT_THROW(s.dim(-4), util::Error);
+}
+
+TEST(Shape, NegativeExtentRejected) {
+  EXPECT_THROW(Shape({2, -1}), util::Error);
+}
+
+TEST(Shape, EqualityAndToString) {
+  EXPECT_EQ(Shape({1, 2}), Shape({1, 2}));
+  EXPECT_NE(Shape({1, 2}), Shape({2, 1}));
+  EXPECT_EQ(Shape({2, 3}).to_string(), "[2, 3]");
+  EXPECT_EQ(Shape{}.to_string(), "[]");
+}
+
+TEST(Shape, WithoutDim) {
+  EXPECT_EQ(Shape({2, 3, 4}).without_dim(1), Shape({2, 4}));
+  EXPECT_EQ(Shape({2, 3, 4}).without_dim(-1), Shape({2, 3}));
+  EXPECT_THROW(Shape({2}).without_dim(1), util::Error);
+}
+
+TEST(Shape, WithDimInserted) {
+  EXPECT_EQ(Shape({2, 3}).with_dim_inserted(0, 5), Shape({5, 2, 3}));
+  EXPECT_EQ(Shape({2, 3}).with_dim_inserted(2, 1), Shape({2, 3, 1}));
+  EXPECT_THROW(Shape({2}).with_dim_inserted(5, 1), util::Error);
+}
+
+struct BroadcastCase {
+  Shape a;
+  Shape b;
+  Shape expect;
+};
+
+class BroadcastTest : public ::testing::TestWithParam<BroadcastCase> {};
+
+TEST_P(BroadcastTest, ProducesExpectedShape) {
+  const auto& c = GetParam();
+  EXPECT_EQ(Shape::broadcast(c.a, c.b), c.expect);
+  EXPECT_EQ(Shape::broadcast(c.b, c.a), c.expect);  // symmetric
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rules, BroadcastTest,
+    ::testing::Values(
+        BroadcastCase{Shape({2, 3}), Shape({2, 3}), Shape({2, 3})},
+        BroadcastCase{Shape({2, 3}), Shape({3}), Shape({2, 3})},
+        BroadcastCase{Shape({2, 1}), Shape({1, 5}), Shape({2, 5})},
+        BroadcastCase{Shape({4, 1, 3}), Shape({2, 1}), Shape({4, 2, 3})},
+        BroadcastCase{Shape{}, Shape({2, 2}), Shape({2, 2})},
+        BroadcastCase{Shape({1}), Shape({7}), Shape({7})}));
+
+TEST(Broadcast, IncompatibleShapesThrow) {
+  EXPECT_THROW(Shape::broadcast(Shape({2, 3}), Shape({2, 4})), util::Error);
+  EXPECT_THROW(Shape::broadcast(Shape({5}), Shape({4})), util::Error);
+}
+
+}  // namespace
+}  // namespace snnsec::tensor

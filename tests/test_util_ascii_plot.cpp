@@ -1,0 +1,74 @@
+// ASCII line-chart renderer.
+#include <gtest/gtest.h>
+
+#include "util/ascii_plot.hpp"
+#include "util/error.hpp"
+
+namespace snnsec::util {
+namespace {
+
+TEST(AsciiPlot, RendersMarkersAndLegend) {
+  const std::vector<double> x{0.0, 0.5, 1.0};
+  const std::vector<PlotSeries> series{{"cnn", {1.0, 0.5, 0.0}},
+                                       {"snn", {0.8, 0.7, 0.6}}};
+  const std::string chart = ascii_plot(x, series);
+  EXPECT_NE(chart.find('*'), std::string::npos);
+  EXPECT_NE(chart.find('o'), std::string::npos);
+  EXPECT_NE(chart.find("cnn"), std::string::npos);
+  EXPECT_NE(chart.find("snn"), std::string::npos);
+  EXPECT_NE(chart.find("1.00"), std::string::npos);  // y-axis label
+  EXPECT_NE(chart.find("0.00"), std::string::npos);
+}
+
+TEST(AsciiPlot, HighValuesLandOnTopRow) {
+  const std::vector<double> x{0.0, 1.0};
+  const std::vector<PlotSeries> series{{"s", {1.0, 0.0}}};
+  const std::string chart = ascii_plot(x, series);
+  // First line holds y_max; the marker for y=1.0 must be on it.
+  const std::string first_line = chart.substr(0, chart.find('\n'));
+  EXPECT_NE(first_line.find('*'), std::string::npos);
+}
+
+TEST(AsciiPlot, ClampsOutOfRangeValues) {
+  const std::vector<double> x{0.0, 1.0};
+  const std::vector<PlotSeries> series{{"s", {5.0, -3.0}}};
+  EXPECT_NO_THROW(ascii_plot(x, series));  // clamped, not thrown
+}
+
+TEST(AsciiPlot, ValidatesInputs) {
+  EXPECT_THROW(ascii_plot({0.0}, {{"s", {1.0}}}), Error);  // 1 x point
+  EXPECT_THROW(ascii_plot({0.0, 1.0}, {}), Error);         // no series
+  EXPECT_THROW(ascii_plot({0.0, 1.0}, {{"s", {1.0}}}), Error);  // len mismatch
+  EXPECT_THROW(ascii_plot({1.0, 1.0}, {{"s", {1.0, 2.0}}}), Error);  // x flat
+  PlotOptions bad;
+  bad.width = 2;
+  EXPECT_THROW(ascii_plot({0.0, 1.0}, {{"s", {0.0, 1.0}}}, bad), Error);
+  bad = PlotOptions{};
+  bad.y_min = 1.0;
+  bad.y_max = 0.0;
+  EXPECT_THROW(ascii_plot({0.0, 1.0}, {{"s", {0.0, 1.0}}}, bad), Error);
+}
+
+TEST(AsciiPlot, CustomRangeAndLabels) {
+  PlotOptions opts;
+  opts.y_min = -1.0;
+  opts.y_max = 1.0;
+  opts.x_label = "epsilon";
+  const std::string chart =
+      ascii_plot({0.0, 2.0}, {{"curve", {-1.0, 1.0}}}, opts);
+  EXPECT_NE(chart.find("epsilon"), std::string::npos);
+  EXPECT_NE(chart.find("-1.00"), std::string::npos);
+}
+
+TEST(AsciiPlot, ManySeriesCycleMarkers) {
+  const std::vector<double> x{0.0, 1.0};
+  std::vector<PlotSeries> series;
+  for (int i = 0; i < 7; ++i)
+    series.push_back({"s" + std::to_string(i),
+                      {0.1 * i, 0.1 * i + 0.05}});
+  const std::string chart = ascii_plot(x, series);
+  EXPECT_NE(chart.find('#'), std::string::npos);  // 5th marker reached
+}
+
+}  // namespace
+}  // namespace snnsec::util

@@ -1,0 +1,119 @@
+// ArgParser behavior.
+#include <gtest/gtest.h>
+
+#include "util/cli.hpp"
+#include "util/error.hpp"
+
+namespace snnsec::util {
+namespace {
+
+std::vector<const char*> argv_of(std::initializer_list<const char*> args) {
+  std::vector<const char*> v{"prog"};
+  v.insert(v.end(), args);
+  return v;
+}
+
+TEST(ArgParser, DefaultsSurviveEmptyArgv) {
+  ArgParser p("t", "test");
+  auto& i = p.add_int("n", 5, "count");
+  auto& d = p.add_double("x", 1.5, "value");
+  auto& s = p.add_string("name", "abc", "label");
+  auto& f = p.add_flag("fast", "go fast");
+  const auto argv = argv_of({});
+  p.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(i, 5);
+  EXPECT_DOUBLE_EQ(d, 1.5);
+  EXPECT_EQ(s, "abc");
+  EXPECT_FALSE(f);
+}
+
+TEST(ArgParser, SpaceSeparatedValues) {
+  ArgParser p("t", "test");
+  auto& i = p.add_int("n", 0, "count");
+  auto& s = p.add_string("name", "", "label");
+  const auto argv = argv_of({"--n", "42", "--name", "digit"});
+  p.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(i, 42);
+  EXPECT_EQ(s, "digit");
+}
+
+TEST(ArgParser, EqualsSyntax) {
+  ArgParser p("t", "test");
+  auto& d = p.add_double("eps", 0.0, "budget");
+  const auto argv = argv_of({"--eps=1.5"});
+  p.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_DOUBLE_EQ(d, 1.5);
+}
+
+TEST(ArgParser, FlagSetsTrue) {
+  ArgParser p("t", "test");
+  auto& f = p.add_flag("full", "full profile");
+  const auto argv = argv_of({"--full"});
+  p.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(f);
+}
+
+TEST(ArgParser, FlagRejectsValue) {
+  ArgParser p("t", "test");
+  p.add_flag("full", "full profile");
+  const auto argv = argv_of({"--full=yes"});
+  EXPECT_THROW(p.parse(static_cast<int>(argv.size()), argv.data()), Error);
+}
+
+TEST(ArgParser, DoubleListParsing) {
+  ArgParser p("t", "test");
+  auto& list = p.add_double_list("eps", "0.1,0.5", "budgets");
+  EXPECT_EQ(list.size(), 2u);
+  const auto argv = argv_of({"--eps", "1,2,3.5"});
+  p.parse(static_cast<int>(argv.size()), argv.data());
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_DOUBLE_EQ(list[2], 3.5);
+}
+
+TEST(ArgParser, IntListParsing) {
+  ArgParser p("t", "test");
+  auto& list = p.add_int_list("t", "8,16", "time windows");
+  const auto argv = argv_of({"--t=32,64"});
+  p.parse(static_cast<int>(argv.size()), argv.data());
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list[0], 32);
+  EXPECT_EQ(list[1], 64);
+}
+
+TEST(ArgParser, UnknownFlagThrows) {
+  ArgParser p("t", "test");
+  const auto argv = argv_of({"--nope", "1"});
+  EXPECT_THROW(p.parse(static_cast<int>(argv.size()), argv.data()), Error);
+}
+
+TEST(ArgParser, MissingValueThrows) {
+  ArgParser p("t", "test");
+  p.add_int("n", 0, "count");
+  const auto argv = argv_of({"--n"});
+  EXPECT_THROW(p.parse(static_cast<int>(argv.size()), argv.data()), Error);
+}
+
+TEST(ArgParser, PositionalArgumentThrows) {
+  ArgParser p("t", "test");
+  const auto argv = argv_of({"stray"});
+  EXPECT_THROW(p.parse(static_cast<int>(argv.size()), argv.data()), Error);
+}
+
+TEST(ArgParser, MalformedNumberThrows) {
+  ArgParser p("t", "test");
+  p.add_int("n", 0, "count");
+  const auto argv = argv_of({"--n", "12x"});
+  EXPECT_THROW(p.parse(static_cast<int>(argv.size()), argv.data()), Error);
+}
+
+TEST(ArgParser, UsageMentionsOptionsAndDefaults) {
+  ArgParser p("prog", "does things");
+  p.add_int("steps", 40, "PGD steps");
+  const std::string usage = p.usage();
+  EXPECT_NE(usage.find("--steps"), std::string::npos);
+  EXPECT_NE(usage.find("40"), std::string::npos);
+  EXPECT_NE(usage.find("--help"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace snnsec::util

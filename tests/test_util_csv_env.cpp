@@ -1,0 +1,129 @@
+// CSV writer, env helpers, logging level parsing, stopwatch.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "util/csv.hpp"
+#include "util/env.hpp"
+#include "util/logging.hpp"
+#include "util/stopwatch.hpp"
+
+namespace snnsec::util {
+namespace {
+
+TEST(CsvWriter, InMemoryRows) {
+  CsvWriter csv;
+  csv.write_header({"a", "b"});
+  csv.write_row({"1", "2"});
+  EXPECT_EQ(csv.str(), "a,b\n1,2\n");
+}
+
+TEST(CsvWriter, EscapesSpecialCharacters) {
+  CsvWriter csv;
+  csv.write_row({"plain", "has,comma", "has\"quote", "multi\nline"});
+  EXPECT_EQ(csv.str(),
+            "plain,\"has,comma\",\"has\"\"quote\",\"multi\nline\"\n");
+}
+
+TEST(CsvWriter, RowBuilderFormatsTypes) {
+  CsvWriter csv;
+  CsvWriter::Row row;
+  row << "x" << 3 << std::int64_t{7} << 2.5;
+  csv.write(row);
+  EXPECT_EQ(csv.str(), "x,3,7,2.500000\n");
+}
+
+TEST(CsvWriter, WritesFileAndCreatesParentDirs) {
+  const auto dir = std::filesystem::temp_directory_path() / "snnsec_csv_test";
+  std::filesystem::remove_all(dir);
+  const auto path = (dir / "sub" / "out.csv").string();
+  {
+    CsvWriter csv(path);
+    csv.write_header({"col"});
+    csv.write_row({"v"});
+  }
+  std::ifstream is(path);
+  ASSERT_TRUE(is.is_open());
+  std::string line;
+  std::getline(is, line);
+  EXPECT_EQ(line, "col");
+  std::getline(is, line);
+  EXPECT_EQ(line, "v");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Env, EnvOrFallsBack) {
+  unsetenv("SNNSEC_TEST_VAR");
+  EXPECT_EQ(env_or("SNNSEC_TEST_VAR", "dflt"), "dflt");
+  setenv("SNNSEC_TEST_VAR", "set", 1);
+  EXPECT_EQ(env_or("SNNSEC_TEST_VAR", "dflt"), "set");
+  unsetenv("SNNSEC_TEST_VAR");
+}
+
+TEST(Env, EnvIntOrParsesAndFallsBack) {
+  unsetenv("SNNSEC_TEST_INT");
+  EXPECT_EQ(env_int_or("SNNSEC_TEST_INT", 9), 9);
+  setenv("SNNSEC_TEST_INT", "123", 1);
+  EXPECT_EQ(env_int_or("SNNSEC_TEST_INT", 9), 123);
+  setenv("SNNSEC_TEST_INT", "junk", 1);
+  EXPECT_EQ(env_int_or("SNNSEC_TEST_INT", 9), 9);
+  unsetenv("SNNSEC_TEST_INT");
+}
+
+TEST(Env, FullProfileTruthyValues) {
+  unsetenv("SNNSEC_FULL");
+  EXPECT_FALSE(full_profile_enabled());
+  setenv("SNNSEC_FULL", "1", 1);
+  EXPECT_TRUE(full_profile_enabled());
+  setenv("SNNSEC_FULL", "0", 1);
+  EXPECT_FALSE(full_profile_enabled());
+  setenv("SNNSEC_FULL", "true", 1);
+  EXPECT_TRUE(full_profile_enabled());
+  unsetenv("SNNSEC_FULL");
+}
+
+TEST(Env, MasterSeedOverride) {
+  unsetenv("SNNSEC_SEED");
+  EXPECT_EQ(master_seed(42), 42u);
+  setenv("SNNSEC_SEED", "777", 1);
+  EXPECT_EQ(master_seed(42), 777u);
+  unsetenv("SNNSEC_SEED");
+}
+
+TEST(Logger, LevelParsing) {
+  Logger& log = Logger::instance();
+  const LogLevel original = log.level();
+  EXPECT_TRUE(log.set_level("debug"));
+  EXPECT_EQ(log.level(), LogLevel::kDebug);
+  EXPECT_TRUE(log.set_level("WARN"));
+  EXPECT_EQ(log.level(), LogLevel::kWarn);
+  EXPECT_FALSE(log.set_level("bogus"));
+  EXPECT_EQ(log.level(), LogLevel::kWarn);  // unchanged
+  log.set_level(original);
+}
+
+TEST(Logger, EnabledRespectsThreshold) {
+  Logger& log = Logger::instance();
+  const LogLevel original = log.level();
+  log.set_level(LogLevel::kWarn);
+  EXPECT_FALSE(log.enabled(LogLevel::kInfo));
+  EXPECT_TRUE(log.enabled(LogLevel::kError));
+  log.set_level(original);
+}
+
+TEST(Stopwatch, TimeAdvancesAndResets) {
+  Stopwatch w;
+  const double t0 = w.seconds();
+  EXPECT_GE(t0, 0.0);
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GE(w.seconds(), t0);
+  w.reset();
+  EXPECT_LT(w.seconds(), 1.0);
+  EXPECT_FALSE(w.pretty().empty());
+}
+
+}  // namespace
+}  // namespace snnsec::util

@@ -1,0 +1,106 @@
+// PGM/PPM writers, colormap, and heat-map image rendering.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/report_image.hpp"
+#include "util/pgm.hpp"
+
+namespace snnsec::util {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_all(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(is),
+          std::istreambuf_iterator<char>()};
+}
+
+TEST(RgbImage, SetAndFillClipToBounds) {
+  RgbImage img(4, 3);
+  img.set(0, 0, 255, 0, 0);
+  img.set(-1, 0, 9, 9, 9);   // silently clipped
+  img.set(4, 2, 9, 9, 9);
+  EXPECT_EQ(img.pixels[0], 255);
+  img.fill_rect(2, 1, 10, 10, 0, 255, 0);  // clipped to image
+  EXPECT_EQ(img.pixels[static_cast<std::size_t>(3 * (1 * 4 + 2)) + 1], 255);
+}
+
+TEST(WritePgm, HeaderAndPayload) {
+  const auto path = (fs::temp_directory_path() / "snnsec_t.pgm").string();
+  const float gray[6] = {0.0f, 0.5f, 1.0f, 2.0f, -1.0f, 0.25f};
+  write_pgm(path, gray, 3, 2);
+  const std::string data = read_all(path);
+  EXPECT_EQ(data.substr(0, 2), "P5");
+  EXPECT_NE(data.find("3 2"), std::string::npos);
+  // 6 payload bytes after the header.
+  EXPECT_EQ(data.size(), data.find("255\n") + 4 + 6);
+  const auto* payload =
+      reinterpret_cast<const unsigned char*>(data.data() + data.size() - 6);
+  EXPECT_EQ(payload[0], 0);     // 0.0
+  EXPECT_EQ(payload[2], 255);   // 1.0
+  EXPECT_EQ(payload[3], 255);   // clamped 2.0
+  EXPECT_EQ(payload[4], 0);     // clamped -1.0
+  fs::remove(path);
+}
+
+TEST(WritePpm, RoundTripHeader) {
+  const auto path = (fs::temp_directory_path() / "snnsec_t.ppm").string();
+  RgbImage img(2, 2);
+  img.set(1, 1, 10, 20, 30);
+  write_ppm(path, img);
+  const std::string data = read_all(path);
+  EXPECT_EQ(data.substr(0, 2), "P6");
+  EXPECT_EQ(data.size(), data.find("255\n") + 4 + 12);
+  fs::remove(path);
+}
+
+TEST(Colormap, EndpointsAndMonotonicity) {
+  std::uint8_t r0, g0, b0, r1, g1, b1;
+  colormap_viridis(0.0, r0, g0, b0);
+  colormap_viridis(1.0, r1, g1, b1);
+  // Viridis: dark violet at 0, bright yellow at 1.
+  EXPECT_LT(r0 + g0 + b0, r1 + g1 + b1);
+  EXPECT_GT(b0, g0);  // violet end is blue-heavy
+  EXPECT_GT(g1, b1);  // yellow end is green/red-heavy
+  // Out-of-range inputs are clamped, not UB.
+  std::uint8_t r, g, b;
+  EXPECT_NO_THROW(colormap_viridis(-5.0, r, g, b));
+  EXPECT_NO_THROW(colormap_viridis(7.0, r, g, b));
+}
+
+TEST(HeatmapImage, WritesExpectedGeometry) {
+  core::ExplorationReport report;
+  report.v_th_grid = {0.5, 1.0};
+  report.t_grid = {8, 16};
+  report.eps_grid = {0.1};
+  for (const double v : report.v_th_grid)
+    for (const auto t : report.t_grid) {
+      core::CellResult cell;
+      cell.v_th = v;
+      cell.time_steps = t;
+      cell.clean_accuracy = 0.9;
+      cell.learnable = (t == 16);  // one skipped row
+      report.cells.push_back(cell);
+    }
+  const auto path = (fs::temp_directory_path() / "snnsec_heat.ppm").string();
+  core::HeatmapImageOptions opts;
+  opts.cell_size = 10;
+  opts.border = 1;
+  core::write_heatmap_ppm(report, 0.0, path, opts);
+  const std::string data = read_all(path);
+  // 2x2 grid: 2*10 + 3*1 = 23 pixels on each side.
+  EXPECT_NE(data.find("23 23"), std::string::npos);
+  fs::remove(path);
+}
+
+TEST(HeatmapImage, RejectsEmptyReport) {
+  core::ExplorationReport empty;
+  EXPECT_THROW(core::write_heatmap_ppm(empty, 0.0, "/tmp/x.ppm"),
+               util::Error);
+}
+
+}  // namespace
+}  // namespace snnsec::util

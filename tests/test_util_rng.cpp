@@ -1,0 +1,231 @@
+// RNG determinism, distribution sanity, and stream-splitting tests.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace snnsec::util {
+namespace {
+
+TEST(Xoshiro, DeterministicForSameSeed) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Xoshiro, ZeroSeedIsValid) {
+  Xoshiro256 g(0);
+  // Must not get stuck at zero.
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 16; ++i) seen.insert(g());
+  EXPECT_GT(seen.size(), 10u);
+}
+
+TEST(Xoshiro, JumpChangesStream) {
+  Xoshiro256 a(5), b(5);
+  b.jump();
+  EXPECT_NE(a(), b());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.5, 7.5);
+    EXPECT_GE(u, -2.5);
+    EXPECT_LT(u, 7.5);
+  }
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(17);
+  double sum = 0.0, sq = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sq / kN, 1.0, 0.03);
+}
+
+TEST(Rng, NormalWithParams) {
+  Rng rng(19);
+  double sum = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += rng.normal(3.0, 0.5);
+  EXPECT_NEAR(sum / kN, 3.0, 0.03);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(23);
+  int ones = 0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) ones += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(ones) / kN, 0.3, 0.02);
+}
+
+TEST(Rng, BernoulliDegenerate) {
+  Rng rng(29);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+class UniformIndexTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(UniformIndexTest, StaysBelowBound) {
+  const std::uint64_t n = GetParam();
+  Rng rng(31 + n);
+  for (int i = 0; i < 2000; ++i) EXPECT_LT(rng.uniform_index(n), n);
+}
+
+TEST_P(UniformIndexTest, HitsEveryValueForSmallN) {
+  const std::uint64_t n = GetParam();
+  if (n > 64) GTEST_SKIP() << "coverage check only for small n";
+  Rng rng(37 + n);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 5000; ++i) seen.insert(rng.uniform_index(n));
+  EXPECT_EQ(seen.size(), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, UniformIndexTest,
+                         ::testing::Values(1, 2, 3, 7, 10, 64, 1000,
+                                           std::uint64_t{1} << 40));
+
+TEST(Rng, UniformIndexZeroThrows) {
+  Rng rng(41);
+  EXPECT_THROW(rng.uniform_index(0), Error);
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng rng(43);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformIntBadRangeThrows) {
+  Rng rng(47);
+  EXPECT_THROW(rng.uniform_int(5, 4), Error);
+}
+
+TEST(Rng, ForkByLabelIsDeterministic) {
+  Rng a(100), b(100);
+  Rng fa = a.fork("weights");
+  Rng fb = b.fork("weights");
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(fa.next_u64(), fb.next_u64());
+}
+
+TEST(Rng, ForksAreIndependentStreams) {
+  Rng root(100);
+  Rng a = root.fork("alpha");
+  Rng b = root.fork("beta");
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ForkByIndexDiffers) {
+  Rng root(100);
+  Rng a = root.fork(std::uint64_t{0});
+  Rng b = root.fork(std::uint64_t{1});
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, ForkDoesNotAdvanceParent) {
+  Rng a(55), b(55);
+  (void)a.fork("x");
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(59);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto original = v;
+  rng.shuffle(v);
+  EXPECT_FALSE(std::equal(v.begin(), v.end(), original.begin()));
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(Rng, ShuffleEmptyAndSingleton) {
+  Rng rng(61);
+  std::vector<int> empty;
+  rng.shuffle(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{42};
+  rng.shuffle(one);
+  EXPECT_EQ(one[0], 42);
+}
+
+TEST(Rng, FillHelpersRespectBoundsAndMoments) {
+  Rng rng(67);
+  std::vector<float> buf(20000);
+  rng.fill_uniform(buf.data(), buf.size(), -1.0f, 1.0f);
+  for (const float v : buf) {
+    EXPECT_GE(v, -1.0f);
+    EXPECT_LT(v, 1.0f);
+  }
+  rng.fill_bernoulli(buf.data(), buf.size(), 0.5);
+  double mean = 0.0;
+  for (const float v : buf) {
+    EXPECT_TRUE(v == 0.0f || v == 1.0f);
+    mean += v;
+  }
+  EXPECT_NEAR(mean / static_cast<double>(buf.size()), 0.5, 0.02);
+}
+
+TEST(HashLabel, DistinctLabelsDistinctHashes) {
+  EXPECT_NE(hash_label("a"), hash_label("b"));
+  EXPECT_NE(hash_label("weights"), hash_label("weights2"));
+  EXPECT_EQ(hash_label("same"), hash_label("same"));
+}
+
+TEST(Splitmix, KnownSequenceAdvancesState) {
+  std::uint64_t s = 0;
+  const auto a = splitmix64(s);
+  const auto b = splitmix64(s);
+  EXPECT_NE(a, b);
+  EXPECT_NE(s, 0u);
+}
+
+}  // namespace
+}  // namespace snnsec::util

@@ -1,0 +1,92 @@
+// Thread pool and parallel_for semantics.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace snnsec::util {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i)
+    pool.submit([&count] { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  constexpr std::int64_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  parallel_for(0, kN, [&](std::int64_t i) { hits[static_cast<std::size_t>(i)]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyAndReversedRangesAreNoops) {
+  std::atomic<int> count{0};
+  parallel_for(5, 5, [&](std::int64_t) { count++; });
+  parallel_for(7, 3, [&](std::int64_t) { count++; });
+  EXPECT_EQ(count.load(), 0);
+}
+
+TEST(ParallelFor, NonZeroBegin) {
+  std::atomic<std::int64_t> sum{0};
+  parallel_for(10, 20, [&](std::int64_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 145);  // 10+...+19
+}
+
+TEST(ParallelFor, PropagatesExceptions) {
+  EXPECT_THROW(
+      parallel_for(0, 1000,
+                   [](std::int64_t i) {
+                     if (i == 513) throw Error("boom");
+                   }),
+      Error);
+}
+
+TEST(ParallelForChunked, ChunksPartitionTheRange) {
+  constexpr std::int64_t kN = 5000;
+  std::vector<std::atomic<int>> hits(kN);
+  parallel_for_chunked(0, kN, [&](std::int64_t lo, std::int64_t hi) {
+    ASSERT_LE(lo, hi);
+    for (std::int64_t i = lo; i < hi; ++i)
+      hits[static_cast<std::size_t>(i)]++;
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, NestedCallsDegradeToSerial) {
+  // A worker thread calling parallel_for must not deadlock.
+  std::atomic<std::int64_t> total{0};
+  parallel_for(0, 32, [&](std::int64_t) {
+    parallel_for(0, 32, [&](std::int64_t) { total++; });
+  });
+  EXPECT_EQ(total.load(), 32 * 32);
+}
+
+TEST(ParallelFor, LargeGrainRunsSerially) {
+  std::vector<int> hits(100, 0);  // not atomic: serial execution expected
+  parallel_for(
+      0, 100, [&](std::int64_t i) { hits[static_cast<std::size_t>(i)]++; },
+      /*grain=*/1000);
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolGlobal, IsSingleton) {
+  EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
+  EXPECT_GE(ThreadPool::global().size(), 1u);
+}
+
+}  // namespace
+}  // namespace snnsec::util
