@@ -1,0 +1,145 @@
+// Observability overhead micro-benchmarks (google-benchmark).
+//
+// The obs design contract is "near-zero overhead when off": a disabled
+// metric macro costs one relaxed atomic load + predictable branch, and a
+// disabled trace scope one relaxed load. These benchmarks measure that
+// directly — the same instrumented loop with the registry/tracer enabled
+// vs disabled, plus a realistic instrumented GEMM to bound the enabled
+// overhead on an actual kernel (target: <= 2% on the workloads we ship).
+#include <benchmark/benchmark.h>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "tensor/gemm.hpp"
+
+namespace {
+
+using namespace snnsec;
+using tensor::Shape;
+using tensor::Tensor;
+
+// Plain arithmetic loop, no instrumentation: the baseline unit of work.
+double plain_work(std::int64_t n) {
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < n; ++i)
+    acc += static_cast<double>(i % 7) * 1e-3;
+  return acc;
+}
+
+void BM_UninstrumentedLoop(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  for (auto _ : state) {
+    double acc = plain_work(n);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_UninstrumentedLoop)->Arg(1024);
+
+// One counter increment per iteration of the same loop.
+void instrumented_loop(std::int64_t n, double* acc_out) {
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    acc += static_cast<double>(i % 7) * 1e-3;
+    SNNSEC_COUNTER_ADD("bench.obs.iterations", 1);
+  }
+  *acc_out = acc;
+}
+
+void BM_CounterPerIteration_Enabled(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  obs::Registry::instance().set_enabled(true);
+  for (auto _ : state) {
+    double acc = 0.0;
+    instrumented_loop(n, &acc);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CounterPerIteration_Enabled)->Arg(1024);
+
+void BM_CounterPerIteration_Disabled(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  obs::Registry::instance().set_enabled(false);
+  for (auto _ : state) {
+    double acc = 0.0;
+    instrumented_loop(n, &acc);
+    benchmark::DoNotOptimize(acc);
+  }
+  obs::Registry::instance().set_enabled(true);
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CounterPerIteration_Disabled)->Arg(1024);
+
+void BM_HistogramObserve(benchmark::State& state) {
+  obs::Registry::instance().set_enabled(true);
+  double v = 0.0;
+  for (auto _ : state) {
+    SNNSEC_HISTOGRAM_OBSERVE("bench.obs.hist", v, 0.25, 0.5, 0.75);
+    v = v < 1.0 ? v + 1e-3 : 0.0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramObserve);
+
+// Trace scope cost per call: disabled (tracer stopped) vs enabled
+// (buffered span). clear() between runs keeps memory bounded.
+void BM_TraceScope_Disabled(benchmark::State& state) {
+  obs::Tracer::instance().stop();
+  obs::Tracer::instance().clear();
+  for (auto _ : state) {
+    SNNSEC_TRACE_SCOPE("bench.obs.span");
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceScope_Disabled);
+
+void BM_TraceScope_Enabled(benchmark::State& state) {
+  obs::Tracer::instance().start();
+  for (auto _ : state) {
+    SNNSEC_TRACE_SCOPE("bench.obs.span");
+    benchmark::ClobberMemory();
+  }
+  obs::Tracer::instance().stop();
+  obs::Tracer::instance().clear();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceScope_Enabled);
+
+// Realistic end-to-end check: the instrumented GEMM (trace scope + two
+// counters inside tensor::matmul) with obs on vs off. The delta between
+// these two is the enabled overhead on a real kernel; both should be
+// within noise of each other at this size (target <= 2%).
+void BM_InstrumentedGemm_Enabled(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  util::Rng rng(11);
+  const Tensor a = Tensor::randn(Shape{n, n}, rng);
+  const Tensor b = Tensor::randn(Shape{n, n}, rng);
+  obs::Registry::instance().set_enabled(true);
+  for (auto _ : state) {
+    Tensor c = tensor::matmul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_InstrumentedGemm_Enabled)->Arg(128);
+
+void BM_InstrumentedGemm_Disabled(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  util::Rng rng(11);
+  const Tensor a = Tensor::randn(Shape{n, n}, rng);
+  const Tensor b = Tensor::randn(Shape{n, n}, rng);
+  obs::Registry::instance().set_enabled(false);
+  for (auto _ : state) {
+    Tensor c = tensor::matmul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  obs::Registry::instance().set_enabled(true);
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_InstrumentedGemm_Disabled)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

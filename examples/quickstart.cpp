@@ -6,6 +6,7 @@
 //
 // Uses real MNIST when MNIST_DIR points at the IDX files, the synthetic
 // digit generator otherwise.
+#include <algorithm>
 #include <cstdio>
 
 #include "attacks/evaluation.hpp"
@@ -14,6 +15,7 @@
 #include "data/provider.hpp"
 #include "nn/metrics.hpp"
 #include "nn/trainer.hpp"
+#include "obs/probe.hpp"
 #include "snn/spiking_lenet.hpp"
 #include "util/cli.hpp"
 #include "util/env.hpp"
@@ -65,6 +67,15 @@ int main(int argc, char** argv) {
       nn::accuracy(*model, bundle.test.images, bundle.test.labels);
   std::printf("trained in %s | clean accuracy %.1f%%\n",
               watch.pretty().c_str(), clean * 100);
+
+  // 3b. Probe per-layer spike activity on a small test batch (also lands
+  //     in SNNSEC_METRICS_FILE as snn.layer.* events when set).
+  const std::int64_t probe_n = std::min<std::int64_t>(test_n, 32);
+  const auto activity = model->collect_activity(
+      nn::slice_batch(bundle.test.images, 0, probe_n));
+  obs::record_activity(activity);
+  for (const auto& stats : activity)
+    std::printf("  %s\n", stats.summary().c_str());
 
   // 4. White-box PGD attack at the requested noise budget.
   attack::PgdConfig pcfg;

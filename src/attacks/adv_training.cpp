@@ -7,6 +7,8 @@
 #include <numeric>
 
 #include "nn/metrics.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 #include "util/stopwatch.hpp"
 
@@ -67,12 +69,15 @@ nn::TrainHistory adversarial_fit(nn::Classifier& model, const Tensor& x,
   budget.epsilon = config.epsilon;
 
   nn::TrainHistory history;
+  SNNSEC_TRACE_SCOPE("advtrain.fit");
   for (std::int64_t epoch = 0; epoch < config.base.epochs; ++epoch) {
+    SNNSEC_TRACE_SCOPE("advtrain.epoch");
     util::Stopwatch watch;
     shuffle_rng.shuffle(order);
     double loss_sum = 0.0;
     std::int64_t batches = 0;
     for (std::int64_t b = 0; b < n; b += config.base.batch_size) {
+      SNNSEC_TRACE_SCOPE("advtrain.batch");
       const std::int64_t e = std::min(n, b + config.base.batch_size);
       Tensor xb = gather_rows(x, order, b, e);
       std::vector<std::int64_t> yb(static_cast<std::size_t>(e - b));
@@ -112,6 +117,13 @@ nn::TrainHistory adversarial_fit(nn::Classifier& model, const Tensor& x,
                      {labels.begin(), labels.begin() + eval_n},
                      config.base.batch_size);
     stats.seconds = watch.seconds();
+    if (obs::Registry::enabled()) {
+      const obs::Labels epoch_label{{"epoch", std::to_string(epoch)}};
+      obs::Registry& reg = obs::Registry::instance();
+      reg.record("advtrain.epoch.loss", stats.train_loss, epoch_label);
+      reg.record("advtrain.epoch.accuracy", stats.train_accuracy, epoch_label);
+      reg.record("advtrain.epoch.seconds", stats.seconds, epoch_label);
+    }
     if (config.base.verbose)
       SNNSEC_LOG_INFO("adv epoch " << epoch << ": loss=" << stats.train_loss
                                    << " acc=" << stats.train_accuracy);

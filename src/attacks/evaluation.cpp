@@ -3,8 +3,11 @@
 #include <algorithm>
 
 #include "nn/metrics.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 #include "util/error.hpp"
+#include "util/string_util.hpp"
 
 namespace snnsec::attack {
 
@@ -14,6 +17,7 @@ RobustnessPoint evaluate_attack(nn::Classifier& model, Attack& atk,
                                 const Tensor& x,
                                 const std::vector<std::int64_t>& labels,
                                 double epsilon, const EvalConfig& cfg) {
+  SNNSEC_TRACE_SCOPE("attack.evaluate");
   const std::int64_t n = x.dim(0);
   SNNSEC_CHECK(n > 0, "evaluate_attack: empty test set");
   SNNSEC_CHECK(static_cast<std::int64_t>(labels.size()) == n,
@@ -30,6 +34,7 @@ RobustnessPoint evaluate_attack(nn::Classifier& model, Attack& atk,
   double loss_sum = 0.0;
   std::int64_t batches = 0;
   for (std::int64_t b = 0; b < n; b += cfg.batch_size) {
+    SNNSEC_TRACE_SCOPE("attack.eval_batch");
     const std::int64_t e = std::min(n, b + cfg.batch_size);
     const Tensor xb = nn::slice_batch(x, b, e);
     const std::vector<std::int64_t> yb(labels.begin() + b, labels.begin() + e);
@@ -62,6 +67,13 @@ RobustnessPoint evaluate_attack(nn::Classifier& model, Attack& atk,
   pt.robustness = 1.0 - pt.attack_success_rate;
   pt.mean_linf = linf_sum / static_cast<double>(std::max<std::int64_t>(batches, 1));
   pt.mean_loss = loss_sum / static_cast<double>(std::max<std::int64_t>(batches, 1));
+  SNNSEC_COUNTER_ADD("attack.eval.examples", n);
+  SNNSEC_COUNTER_ADD("attack.eval.fooled", fooled);
+  if (obs::Registry::enabled()) {
+    obs::Registry::instance().record(
+        "attack.robustness", pt.robustness,
+        {{"attack", atk.name()}, {"eps", util::format_float(epsilon, 4)}});
+  }
   return pt;
 }
 

@@ -1,5 +1,7 @@
 #include "attacks/fgsm.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 
 namespace snnsec::attack {
@@ -9,6 +11,9 @@ using tensor::Tensor;
 Tensor Fgsm::perturb(nn::Classifier& model, const Tensor& x,
                      const std::vector<std::int64_t>& labels,
                      const AttackBudget& budget) {
+  SNNSEC_TRACE_SCOPE("attack.fgsm");
+  SNNSEC_COUNTER_ADD("attack.fgsm.calls", 1);
+  SNNSEC_COUNTER_ADD("attack.grad_evals", 1);
   const Tensor grad = model.input_gradient(x, labels);
   Tensor adv = x;
   adv.axpy_(static_cast<float>(budget.epsilon), tensor::sign(grad));

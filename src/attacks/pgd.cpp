@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 #include "util/error.hpp"
 
@@ -19,6 +21,9 @@ Tensor Pgd::perturb(nn::Classifier& model, const Tensor& x,
                     const std::vector<std::int64_t>& labels,
                     const AttackBudget& budget) {
   if (budget.epsilon <= 0.0) return x;
+  SNNSEC_TRACE_SCOPE("attack.pgd");
+  SNNSEC_COUNTER_ADD("attack.pgd.calls", 1);
+  SNNSEC_COUNTER_ADD("attack.pgd.samples", x.dim(0));
   const float alpha = static_cast<float>(config_.step_size(budget.epsilon));
 
   Tensor adv = x;
@@ -34,9 +39,11 @@ Tensor Pgd::perturb(nn::Classifier& model, const Tensor& x,
   // loss on the target labels (labels are then the attacker's targets).
   const float direction = config_.targeted ? -alpha : alpha;
   for (std::int64_t step = 0; step < config_.steps; ++step) {
+    SNNSEC_TRACE_SCOPE("attack.pgd.step");
     const Tensor grad = model.input_gradient(adv, labels);
     adv.axpy_(direction, tensor::sign(grad));
     project_linf(adv, x, budget);
+    SNNSEC_COUNTER_ADD("attack.grad_evals", 1);
   }
   return adv;
 }

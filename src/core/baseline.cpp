@@ -2,12 +2,15 @@
 
 #include "nn/metrics.hpp"
 #include "nn/trainer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/stopwatch.hpp"
 
 namespace snnsec::core {
 
 TrainedBaseline train_cnn_baseline(const ExplorationConfig& config,
                                    const data::DataBundle& data) {
+  SNNSEC_TRACE_SCOPE("baseline.train_cnn");
   TrainedBaseline out;
   util::Rng rng(config.seed);
   util::Rng init_rng = rng.fork("cnn-init");
@@ -19,6 +22,11 @@ TrainedBaseline train_cnn_baseline(const ExplorationConfig& config,
   out.train_seconds = watch.seconds();
   out.clean_accuracy = nn::accuracy(*out.model, data.test.images,
                                     data.test.labels, config.eval_batch);
+  if (obs::Registry::enabled()) {
+    obs::Registry& reg = obs::Registry::instance();
+    reg.record("baseline.clean_accuracy", out.clean_accuracy);
+    reg.record("baseline.train_seconds", out.train_seconds);
+  }
   return out;
 }
 

@@ -1,14 +1,19 @@
 #include "core/explorer.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 
 #include "nn/metrics.hpp"
+#include "obs/metrics.hpp"
+#include "obs/probe.hpp"
+#include "obs/trace.hpp"
 #include "tensor/serialize.hpp"
 #include "util/logging.hpp"
 #include "util/stopwatch.hpp"
+#include "util/string_util.hpp"
 
 namespace snnsec::core {
 
@@ -45,6 +50,7 @@ std::string RobustnessExplorer::cell_cache_path(
 
 RobustnessExplorer::TrainedCell RobustnessExplorer::train_cell(
     double v_th, std::int64_t time_steps, const data::DataBundle& data) {
+  SNNSEC_TRACE_SCOPE("explorer.train_cell");
   TrainedCell out;
   snn::SnnConfig snn_cfg = config_.snn_template;
   snn_cfg.v_th = v_th;
@@ -122,9 +128,13 @@ ExplorationReport RobustnessExplorer::explore(
 
   const std::size_t total = config_.v_th_grid.size() * config_.t_grid.size();
   std::size_t done = 0;
+  // One watch for the whole grid; lap() yields the per-cell time without
+  // re-constructing a stopwatch in every iteration.
+  util::Stopwatch watch;
+  SNNSEC_TRACE_SCOPE("explorer.grid");
   for (const double v_th : config_.v_th_grid) {
     for (const std::int64_t t : config_.t_grid) {
-      util::Stopwatch watch;
+      SNNSEC_TRACE_SCOPE("explorer.cell");
       TrainedCell trained = train_cell(v_th, t, data);
 
       CellResult cell;
@@ -146,17 +156,44 @@ ExplorationReport RobustnessExplorer::explore(
       }
       cell.spike_rates = trained.model->spike_rates();
 
+      // Probe spike activity on a held-out batch so every grid cell ships
+      // the statistics (firing rate, silent neurons, membrane histogram)
+      // that explain its learnability/robustness numbers.
+      if (obs::Registry::enabled()) {
+        const std::int64_t probe_n =
+            std::min<std::int64_t>(attack_set.size(), config_.eval_batch);
+        cell.activity = trained.model->collect_activity(
+            nn::slice_batch(attack_set.images, 0, probe_n));
+        const obs::Labels cell_labels{
+            {"v_th", util::format_float(v_th, 4)},
+            {"T", std::to_string(t)}};
+        obs::record_activity(cell.activity, cell_labels);
+        obs::Registry& reg = obs::Registry::instance();
+        reg.record("explorer.cell.clean_accuracy", cell.clean_accuracy,
+                   cell_labels);
+        reg.record("explorer.cell.train_seconds", cell.train_seconds,
+                   cell_labels);
+        for (const auto& [eps, pt] : cell.robustness)
+          reg.record("explorer.cell.robustness", pt.robustness,
+                     {{"v_th", util::format_float(v_th, 4)},
+                      {"T", std::to_string(t)},
+                      {"eps", util::format_float(eps, 4)}});
+        SNNSEC_COUNTER_ADD("explorer.cells", 1);
+      }
+
       ++done;
+      const double cell_seconds = watch.lap();
       SNNSEC_LOG_INFO("cell " << done << "/" << total << " (v_th=" << v_th
                               << ", T=" << t << "): acc="
                               << cell.clean_accuracy
                               << (cell.learnable ? "" : " [skipped]") << " in "
-                              << watch.pretty()
+                              << util::format_duration(cell_seconds)
                               << (trained.from_cache ? " (cached)" : ""));
       if (on_cell) on_cell(cell);
       report.cells.push_back(std::move(cell));
     }
   }
+  SNNSEC_LOG_INFO("explored " << total << " cells in " << watch.pretty());
   return report;
 }
 

@@ -89,6 +89,22 @@ void ExplorationReport::write_csv(const std::string& path) const {
   }
 }
 
+void ExplorationReport::write_activity_csv(const std::string& path) const {
+  util::CsvWriter csv(path);
+  csv.write_header({"v_th", "T", "layer", "firing_rate", "spike_count",
+                    "neuron_steps", "silent_fraction", "saturated_fraction",
+                    "v_mean", "v_min", "v_max"});
+  for (const auto& cell : cells) {
+    for (const auto& a : cell.activity) {
+      util::CsvWriter::Row row;
+      row << cell.v_th << cell.time_steps << a.layer << a.firing_rate
+          << a.spike_count << a.neuron_steps << a.silent_fraction
+          << a.saturated_fraction << a.v_mean << a.v_min << a.v_max;
+      csv.write(row);
+    }
+  }
+}
+
 double ExplorationReport::learnable_fraction() const {
   if (cells.empty()) return 0.0;
   std::int64_t n = 0;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "attacks/evaluation.hpp"
+#include "obs/probe.hpp"
 
 namespace snnsec::core {
 
@@ -20,6 +21,10 @@ struct CellResult {
   std::map<double, attack::RobustnessPoint> robustness;
   /// Mean spike rate per LIF layer after the final evaluation forward.
   std::vector<double> spike_rates;
+  /// Per-LIF-layer activity probes (firing rate, silent/saturated neuron
+  /// fractions, membrane histograms) from a probed forward on a held-out
+  /// batch — the statistics that explain the cell's robustness number.
+  std::vector<obs::ActivityStats> activity;
   double train_seconds = 0.0;
 
   /// Robustness at ε (clean accuracy when ε == 0); nullopt when the cell
@@ -44,6 +49,11 @@ struct ExplorationReport {
   /// Flat CSV: v_th, T, clean_acc, learnable, then one robustness column
   /// per ε in eps_grid.
   void write_csv(const std::string& path) const;
+
+  /// Long-format activity CSV: one row per (cell, LIF layer) with firing
+  /// rate, spike counts and silent/saturated fractions. Empty cells (no
+  /// probe ran) are skipped.
+  void write_activity_csv(const std::string& path) const;
 
   /// Fraction of grid cells that passed the learnability filter.
   double learnable_fraction() const;

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "nn/init.hpp"
+#include "obs/trace.hpp"
 #include "tensor/gemm.hpp"
 #include "util/thread_pool.hpp"
 
@@ -57,6 +58,7 @@ Tensor Conv2d::forward(const Tensor& x, Mode mode) {
 
   Tensor columns(Shape{patch, n * ohw});
   {
+    SNNSEC_TRACE_SCOPE("conv.im2col");
     float* pcol = columns.data();
     const float* px = x.data();
     util::parallel_for(0, n, [&](std::int64_t i) {
@@ -138,6 +140,7 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
   Tensor dcol = tensor::matmul(weight_.value, g_mat, Trans::kYes, Trans::kNo);
   Tensor dx(Shape{n, g.channels, g.height, g.width});
   {
+    SNNSEC_TRACE_SCOPE("conv.col2im");
     const float* pd = dcol.data();
     float* px = dx.data();
     util::parallel_for(0, n, [&](std::int64_t i) {

@@ -6,6 +6,8 @@
 #include <numeric>
 
 #include "nn/metrics.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 #include "util/stopwatch.hpp"
 
@@ -72,15 +74,19 @@ TrainHistory Trainer::fit(
   std::iota(order.begin(), order.end(), 0);
 
   TrainHistory history;
+  SNNSEC_TRACE_SCOPE("train.fit");
   for (std::int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    SNNSEC_TRACE_SCOPE("train.epoch");
     util::Stopwatch watch;
     const double epoch_lr =
         config_.schedule.lr_at(epoch, config_.epochs, config_.lr);
     optimizer->set_lr(epoch_lr);
+    SNNSEC_GAUGE_SET("train.lr", epoch_lr);
     shuffle_rng.shuffle(order);
     double loss_sum = 0.0;
     std::int64_t batches = 0;
     for (std::int64_t b = 0; b < n; b += config_.batch_size) {
+      SNNSEC_TRACE_SCOPE("train.batch");
       const std::int64_t e = std::min(n, b + config_.batch_size);
       const Tensor xb = gather_batch(x, order, b, e);
       std::vector<std::int64_t> yb(static_cast<std::size_t>(e - b));
@@ -89,6 +95,8 @@ TrainHistory Trainer::fit(
             labels[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])];
       loss_sum += model.train_batch(xb, yb, *optimizer);
       ++batches;
+      SNNSEC_COUNTER_ADD("train.batches", 1);
+      SNNSEC_COUNTER_ADD("train.samples", e - b);
     }
 
     EpochStats stats;
@@ -96,12 +104,24 @@ TrainHistory Trainer::fit(
     stats.train_loss = loss_sum / static_cast<double>(std::max<std::int64_t>(batches, 1));
     // Evaluate on a capped subset to keep epochs cheap for SNNs.
     const std::int64_t eval_n = std::min<std::int64_t>(n, 512);
-    stats.train_accuracy =
-        accuracy(model, slice_batch(x, 0, eval_n),
-                 {labels.begin(), labels.begin() + eval_n},
-                 config_.batch_size);
+    {
+      SNNSEC_TRACE_SCOPE("train.eval");
+      stats.train_accuracy =
+          accuracy(model, slice_batch(x, 0, eval_n),
+                   {labels.begin(), labels.begin() + eval_n},
+                   config_.batch_size);
+    }
     stats.learning_rate = epoch_lr;
     stats.seconds = watch.seconds();
+    if (obs::Registry::enabled()) {
+      const obs::Labels epoch_label{{"epoch", std::to_string(epoch)}};
+      obs::Registry& reg = obs::Registry::instance();
+      reg.record("train.epoch.loss", stats.train_loss, epoch_label);
+      reg.record("train.epoch.accuracy", stats.train_accuracy, epoch_label);
+      reg.record("train.epoch.seconds", stats.seconds, epoch_label);
+      SNNSEC_HISTOGRAM_OBSERVE("train.epoch_seconds", stats.seconds, 0.1, 1.0,
+                               10.0, 60.0, 600.0);
+    }
     if (config_.verbose) {
       SNNSEC_LOG_INFO("epoch " << epoch << ": loss=" << stats.train_loss
                                << " acc=" << stats.train_accuracy << " ("

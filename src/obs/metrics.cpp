@@ -1,0 +1,354 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/string_util.hpp"
+
+namespace snnsec::obs {
+
+namespace {
+
+bool falsy(const char* value) {
+  if (value == nullptr) return false;
+  const std::string v = value;
+  return v == "0" || v == "off" || v == "OFF" || v == "false" || v == "FALSE" ||
+         v == "no" || v == "NO";
+}
+
+void atomic_min(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+const char* type_name(MetricType t) {
+  switch (t) {
+    case MetricType::kCounter: return "counter";
+    case MetricType::kGauge: return "gauge";
+    case MetricType::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+void write_labels_json(std::ostream& os, const Labels& labels) {
+  os << '{';
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) os << ',';
+    os << '"' << json_escape(labels[i].first) << "\":\""
+       << json_escape(labels[i].second) << '"';
+  }
+  os << '}';
+}
+
+}  // namespace
+
+std::string labels_to_string(const Labels& labels) {
+  if (labels.empty()) return {};
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ',';
+    out += labels[i].first;
+    out += '=';
+    out += labels[i].second;
+  }
+  out += '}';
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      counts_(bounds_.size() + 1),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  std::sort(bounds_.begin(), bounds_.end());
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  counts_[static_cast<std::size_t>(it - bounds_.begin())].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  atomic_min(min_, v);
+  atomic_max(max_, v);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.bounds = bounds_;
+  s.bucket_counts.reserve(counts_.size());
+  for (const auto& c : counts_)
+    s.bucket_counts.push_back(c.load(std::memory_order_relaxed));
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.min = s.count > 0 ? min_.load(std::memory_order_relaxed) : 0.0;
+  s.max = s.count > 0 ? max_.load(std::memory_order_relaxed) : 0.0;
+  return s;
+}
+
+void Histogram::reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+std::string MetricSnapshot::key() const {
+  return name + labels_to_string(labels);
+}
+
+Registry& Registry::instance() {
+  // Intentionally leaked: the constructor registers an atexit flush, and
+  // atexit handlers registered during construction run AFTER a static
+  // local's destructor (LIFO) — flushing a destroyed registry is UB. A
+  // leaked instance stays valid for every late handler and destructor.
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+Registry::Registry() : epoch_(std::chrono::steady_clock::now()) {
+  if (falsy(std::getenv("SNNSEC_METRICS"))) enabled_.store(false);
+  if (const char* path = std::getenv("SNNSEC_METRICS_FILE")) {
+    if (path[0] != '\0') set_sink_path(path);
+  }
+  // Flush the final snapshot when the process exits normally.
+  std::atexit([] { Registry::instance().flush(); });
+}
+
+double Registry::elapsed_ms() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+Counter& Registry::counter(const std::string& name, const Labels& labels) {
+  const std::string key = name + labels_to_string(labels);
+  std::lock_guard lock(mutex_);
+  Entry& e = entries_[key];
+  if (!e.counter) {
+    e.name = name;
+    e.labels = labels;
+    e.counter = std::make_unique<Counter>();
+  }
+  return *e.counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, const Labels& labels) {
+  const std::string key = name + labels_to_string(labels);
+  std::lock_guard lock(mutex_);
+  Entry& e = entries_[key];
+  if (!e.gauge) {
+    e.name = name;
+    e.labels = labels;
+    e.gauge = std::make_unique<Gauge>();
+  }
+  return *e.gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               const std::vector<double>& upper_bounds,
+                               const Labels& labels) {
+  const std::string key = name + labels_to_string(labels);
+  std::lock_guard lock(mutex_);
+  Entry& e = entries_[key];
+  if (!e.histogram) {
+    e.name = name;
+    e.labels = labels;
+    e.histogram = std::make_unique<Histogram>(upper_bounds);
+  }
+  return *e.histogram;
+}
+
+void Registry::set_sink_path(const std::string& path) {
+  try {
+    util::ensure_parent_dir(path);
+  } catch (const std::exception& e) {
+    // A broken sink must not kill the experiment (this may run from the
+    // constructor on a bad SNNSEC_METRICS_FILE); metrics stay in-memory.
+    std::fprintf(stderr, "[snnsec] metrics sink unavailable: %s\n", e.what());
+    std::lock_guard lock(sink_mutex_);
+    sink_.reset();
+    has_sink_.store(false, std::memory_order_relaxed);
+    return;
+  }
+  auto file = std::make_unique<std::ofstream>(path, std::ios::trunc);
+  std::lock_guard lock(sink_mutex_);
+  if (!file->is_open()) {
+    // A broken sink must not kill the experiment; metrics just stay
+    // in-memory.
+    sink_.reset();
+    has_sink_.store(false, std::memory_order_relaxed);
+    return;
+  }
+  sink_ = std::move(file);
+  snapshot_flushed_ = false;
+  has_sink_.store(true, std::memory_order_relaxed);
+}
+
+void Registry::record(const std::string& name, double value,
+                      const Labels& labels) {
+  if (!has_sink_.load(std::memory_order_relaxed) ||
+      !enabled_.load(std::memory_order_relaxed))
+    return;
+  std::lock_guard lock(sink_mutex_);
+  if (!sink_) return;
+  *sink_ << "{\"kind\":\"event\",\"ts_ms\":" << elapsed_ms() << ",\"name\":\""
+         << json_escape(name) << "\",\"labels\":";
+  write_labels_json(*sink_, labels);
+  *sink_ << ",\"value\":" << value << "}\n";
+  sink_->flush();
+}
+
+std::vector<MetricSnapshot> Registry::snapshot() const {
+  std::vector<MetricSnapshot> out;
+  std::lock_guard lock(mutex_);
+  out.reserve(entries_.size());
+  for (const auto& [key, e] : entries_) {
+    MetricSnapshot s;
+    s.name = e.name;
+    s.labels = e.labels;
+    if (e.counter) {
+      s.type = MetricType::kCounter;
+      s.value = static_cast<double>(e.counter->value());
+    } else if (e.gauge) {
+      s.type = MetricType::kGauge;
+      s.value = e.gauge->value();
+    } else if (e.histogram) {
+      s.type = MetricType::kHistogram;
+      s.histogram = e.histogram->snapshot();
+      s.value = static_cast<double>(s.histogram.count);
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void Registry::write_jsonl(std::ostream& os) const {
+  for (const MetricSnapshot& s : snapshot()) {
+    os << "{\"kind\":\"" << type_name(s.type) << "\",\"name\":\""
+       << json_escape(s.name) << "\",\"labels\":";
+    write_labels_json(os, s.labels);
+    if (s.type == MetricType::kHistogram) {
+      os << ",\"count\":" << s.histogram.count << ",\"sum\":" << s.histogram.sum
+         << ",\"min\":" << s.histogram.min << ",\"max\":" << s.histogram.max
+         << ",\"bounds\":[";
+      for (std::size_t i = 0; i < s.histogram.bounds.size(); ++i)
+        os << (i > 0 ? "," : "") << s.histogram.bounds[i];
+      os << "],\"buckets\":[";
+      for (std::size_t i = 0; i < s.histogram.bucket_counts.size(); ++i)
+        os << (i > 0 ? "," : "") << s.histogram.bucket_counts[i];
+      os << "]";
+    } else {
+      os << ",\"value\":" << s.value;
+    }
+    os << "}\n";
+  }
+}
+
+void Registry::write_csv(const std::string& path) const {
+  util::CsvWriter csv(path);
+  csv.write_header(
+      {"name", "labels", "type", "value", "count", "sum", "min", "max",
+       "mean"});
+  for (const MetricSnapshot& s : snapshot()) {
+    util::CsvWriter::Row row;
+    row << s.name << labels_to_string(s.labels) << type_name(s.type);
+    if (s.type == MetricType::kHistogram) {
+      row << static_cast<std::int64_t>(s.histogram.count) << s.histogram.count
+          << s.histogram.sum << s.histogram.min << s.histogram.max
+          << s.histogram.mean();
+    } else {
+      row << s.value << std::int64_t{0} << 0.0 << 0.0 << 0.0 << 0.0;
+    }
+    csv.write(row);
+  }
+}
+
+std::string Registry::summary() const {
+  std::ostringstream oss;
+  oss << "== metrics ==\n";
+  for (const MetricSnapshot& s : snapshot()) {
+    oss << "  " << s.key() << " [" << type_name(s.type) << "] ";
+    if (s.type == MetricType::kHistogram) {
+      oss << "count=" << s.histogram.count
+          << " mean=" << util::format_float(s.histogram.mean(), 6)
+          << " min=" << util::format_float(s.histogram.min, 6)
+          << " max=" << util::format_float(s.histogram.max, 6);
+    } else {
+      oss << util::format_float(s.value, 6);
+    }
+    oss << '\n';
+  }
+  return oss.str();
+}
+
+void Registry::flush() {
+  if (!has_sink_.load(std::memory_order_relaxed)) return;
+  std::ostringstream lines;
+  write_jsonl(lines);
+  std::lock_guard lock(sink_mutex_);
+  if (!sink_ || snapshot_flushed_) return;
+  *sink_ << lines.str();
+  sink_->flush();
+  snapshot_flushed_ = true;
+}
+
+void Registry::reset_for_tests() {
+  {
+    std::lock_guard lock(mutex_);
+    entries_.clear();
+  }
+  std::lock_guard lock(sink_mutex_);
+  sink_.reset();
+  has_sink_.store(false, std::memory_order_relaxed);
+  snapshot_flushed_ = false;
+}
+
+}  // namespace snnsec::obs

@@ -1,0 +1,242 @@
+// Thread-safe metrics registry: counters, gauges and fixed-bucket
+// histograms, each addressable by (name, labels).
+//
+// Instrumentation sites use the SNNSEC_COUNTER_ADD / SNNSEC_GAUGE_SET /
+// SNNSEC_HISTOGRAM_OBSERVE macros, which follow the logging-macro pattern:
+// a compile-time kill switch (define SNNSEC_OBS_DISABLE) plus a runtime
+// branch on one relaxed atomic load, with the series handle resolved once
+// per call site via a static reference — so a disabled metric costs one
+// predictable branch and an enabled one costs one atomic RMW.
+//
+// Output paths:
+//  * Registry::snapshot()        — in-memory snapshot of every series.
+//  * Registry::write_jsonl()     — one JSON object per series (machines).
+//  * Registry::write_csv()       — flat CSV via util::CsvWriter.
+//  * Registry::summary()         — end-of-run text table (humans).
+//  * Registry::record()          — timestamped event line appended to the
+//                                  JSONL sink named by SNNSEC_METRICS_FILE
+//                                  (per-epoch loss, per-cell firing rates).
+// When SNNSEC_METRICS_FILE is set, the final snapshot is flushed to the
+// same file at process exit.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace snnsec::obs {
+
+/// Label set attached to a series, e.g. {{"layer", "lif0"}, {"v_th", "1"}}.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+class Counter {
+ public:
+  void add(std::int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: bucket i counts observations <= bounds[i]; one
+/// implicit overflow bucket counts the rest. Bounds are set at registration
+/// and immutable afterwards, so observe() is lock-free.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v);
+
+  struct Snapshot {
+    std::vector<double> bounds;
+    std::vector<std::int64_t> bucket_counts;  ///< bounds.size() + 1 entries
+    std::int64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;  ///< 0 when count == 0
+    double max = 0.0;
+    double mean() const {
+      return count > 0 ? sum / static_cast<double>(count) : 0.0;
+    }
+  };
+  Snapshot snapshot() const;
+  void reset();
+
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::int64_t>> counts_;  // bounds_.size() + 1
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  // +/-inf sentinels make concurrent min/max updates race-free; snapshot()
+  // reports 0 while the histogram is empty.
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+/// Point-in-time copy of one series for reporting.
+struct MetricSnapshot {
+  std::string name;
+  Labels labels;
+  MetricType type = MetricType::kCounter;
+  double value = 0.0;  ///< counter / gauge value; histogram count
+  Histogram::Snapshot histogram;  ///< filled for histograms only
+
+  /// "name{k=v,k2=v2}" series identity.
+  std::string key() const;
+};
+
+class Registry {
+ public:
+  static Registry& instance();
+
+  /// Runtime master switch (SNNSEC_METRICS=off|0|false disables at startup).
+  static bool enabled() {
+    return instance().enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Find-or-create; returned references stay valid for process lifetime.
+  /// Re-registering a histogram name with different bounds keeps the
+  /// original bounds (first registration wins).
+  Counter& counter(const std::string& name, const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const Labels& labels = {});
+  Histogram& histogram(const std::string& name,
+                       const std::vector<double>& upper_bounds,
+                       const Labels& labels = {});
+
+  /// Append one timestamped event line to the JSONL sink. No-op when no
+  /// sink is configured (SNNSEC_METRICS_FILE unset and set_sink_path not
+  /// called), so hot paths may call this unconditionally.
+  void record(const std::string& name, double value,
+              const Labels& labels = {});
+
+  /// (Re)open the event/snapshot sink at `path` (truncates).
+  void set_sink_path(const std::string& path);
+  bool has_sink() const {
+    return has_sink_.load(std::memory_order_relaxed);
+  }
+
+  std::vector<MetricSnapshot> snapshot() const;
+
+  /// One JSON object per registered series.
+  void write_jsonl(std::ostream& os) const;
+  /// Flat CSV (name, labels, type, value, count, sum, min, max, mean).
+  void write_csv(const std::string& path) const;
+  /// Human-readable end-of-run table.
+  std::string summary() const;
+
+  /// Write the final snapshot to the configured sink (called automatically
+  /// at process exit when SNNSEC_METRICS_FILE is set; idempotent per sink).
+  void flush();
+
+  /// Drop every registered series and close the sink (tests only — series
+  /// references obtained earlier dangle afterwards).
+  void reset_for_tests();
+
+ private:
+  Registry();
+
+  struct Entry {
+    std::string name;
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  double elapsed_ms() const;
+
+  std::atomic<bool> enabled_{true};
+  std::atomic<bool> has_sink_{false};
+  mutable std::mutex mutex_;        // guards entries_
+  std::map<std::string, Entry> entries_;
+  mutable std::mutex sink_mutex_;   // guards the sink stream
+  std::unique_ptr<std::ofstream> sink_;
+  bool snapshot_flushed_ = false;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// Serialize labels as "{k=v,k2=v2}" ("" when empty).
+std::string labels_to_string(const Labels& labels);
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+std::string json_escape(const std::string& s);
+
+}  // namespace snnsec::obs
+
+#if defined(SNNSEC_OBS_DISABLE)
+
+#define SNNSEC_COUNTER_ADD(name, delta) static_cast<void>(0)
+#define SNNSEC_GAUGE_SET(name, value) static_cast<void>(0)
+#define SNNSEC_GAUGE_ADD(name, delta) static_cast<void>(0)
+#define SNNSEC_HISTOGRAM_OBSERVE(name, value, ...) static_cast<void>(0)
+
+#else
+
+#define SNNSEC_COUNTER_ADD(name, delta)                               \
+  do {                                                                \
+    if (::snnsec::obs::Registry::enabled()) {                         \
+      static ::snnsec::obs::Counter& snnsec_obs_series_ =             \
+          ::snnsec::obs::Registry::instance().counter(name);          \
+      snnsec_obs_series_.add(delta);                                  \
+    }                                                                 \
+  } while (false)
+
+#define SNNSEC_GAUGE_SET(name, value)                                 \
+  do {                                                                \
+    if (::snnsec::obs::Registry::enabled()) {                         \
+      static ::snnsec::obs::Gauge& snnsec_obs_series_ =               \
+          ::snnsec::obs::Registry::instance().gauge(name);            \
+      snnsec_obs_series_.set(value);                                  \
+    }                                                                 \
+  } while (false)
+
+#define SNNSEC_GAUGE_ADD(name, delta)                                 \
+  do {                                                                \
+    if (::snnsec::obs::Registry::enabled()) {                         \
+      static ::snnsec::obs::Gauge& snnsec_obs_series_ =               \
+          ::snnsec::obs::Registry::instance().gauge(name);            \
+      snnsec_obs_series_.add(delta);                                  \
+    }                                                                 \
+  } while (false)
+
+/// Trailing arguments are the bucket upper bounds (first use wins).
+#define SNNSEC_HISTOGRAM_OBSERVE(name, value, ...)                    \
+  do {                                                                \
+    if (::snnsec::obs::Registry::enabled()) {                         \
+      static ::snnsec::obs::Histogram& snnsec_obs_series_ =           \
+          ::snnsec::obs::Registry::instance().histogram(              \
+              name, {__VA_ARGS__});                                   \
+      snnsec_obs_series_.observe(value);                              \
+    }                                                                 \
+  } while (false)
+
+#endif  // SNNSEC_OBS_DISABLE

@@ -1,0 +1,39 @@
+#include "obs/probe.hpp"
+
+#include <sstream>
+
+#include "util/string_util.hpp"
+
+namespace snnsec::obs {
+
+std::string ActivityStats::summary() const {
+  std::ostringstream oss;
+  oss << layer << ": rate=" << util::format_float(firing_rate, 4)
+      << " spikes=" << spike_count << "/" << neuron_steps
+      << " silent=" << util::format_float(silent_fraction, 3)
+      << " saturated=" << util::format_float(saturated_fraction, 3)
+      << " v[mean=" << util::format_float(v_mean, 3)
+      << ", min=" << util::format_float(v_min, 3)
+      << ", max=" << util::format_float(v_max, 3) << "]";
+  return oss.str();
+}
+
+void record_activity(const std::vector<ActivityStats>& stats,
+                     const Labels& extra) {
+  if (!Registry::enabled()) return;
+  Registry& reg = Registry::instance();
+  for (const ActivityStats& s : stats) {
+    Labels labels{{"layer", s.layer}};
+    labels.insert(labels.end(), extra.begin(), extra.end());
+    reg.record("snn.layer.firing_rate", s.firing_rate, labels);
+    reg.record("snn.layer.silent_fraction", s.silent_fraction, labels);
+    reg.record("snn.layer.saturated_fraction", s.saturated_fraction, labels);
+    reg.record("snn.layer.v_mean", s.v_mean, labels);
+    reg.counter("snn.spikes", {{"layer", s.layer}}).add(s.spike_count);
+    reg.gauge("snn.firing_rate", {{"layer", s.layer}}).set(s.firing_rate);
+    reg.gauge("snn.silent_fraction", {{"layer", s.layer}})
+        .set(s.silent_fraction);
+  }
+}
+
+}  // namespace snnsec::obs

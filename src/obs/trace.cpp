@@ -1,0 +1,118 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+
+#include "obs/metrics.hpp"
+#include "util/csv.hpp"
+
+namespace snnsec::obs {
+
+Tracer& Tracer::instance() {
+  // Intentionally leaked (same reasoning as Registry::instance): the
+  // atexit stop() registered in the constructor must outlive static
+  // destruction, so the instance is never destroyed.
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {
+  if (const char* path = std::getenv("SNNSEC_TRACE_FILE")) {
+    if (path[0] != '\0') {
+      start(path);
+      std::atexit([] { Tracer::instance().stop(); });
+    }
+  }
+}
+
+void Tracer::start(std::string path) {
+  {
+    std::lock_guard lock(registry_mutex_);
+    path_ = std::move(path);
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::stop() {
+  enabled_.store(false, std::memory_order_relaxed);
+  std::string path;
+  {
+    std::lock_guard lock(registry_mutex_);
+    path.swap(path_);
+  }
+  if (path.empty()) return;
+  try {
+    util::ensure_parent_dir(path);
+  } catch (const std::exception& e) {
+    // stop() runs from an atexit handler: an escaping exception would be
+    // std::terminate. Tracing must never kill the experiment.
+    std::fprintf(stderr, "[snnsec] trace sink unavailable: %s\n", e.what());
+    return;
+  }
+  std::ofstream os(path, std::ios::trunc);
+  if (!os.is_open()) return;  // tracing must never kill the experiment
+  write(os);
+}
+
+Tracer::ThreadBuf& Tracer::local_buf() {
+  thread_local ThreadBuf* buf = [this] {
+    auto owned = std::make_unique<ThreadBuf>();
+    owned->tid = next_tid_.fetch_add(1, std::memory_order_relaxed);
+    ThreadBuf* raw = owned.get();
+    std::lock_guard lock(registry_mutex_);
+    bufs_.push_back(std::move(owned));
+    return raw;
+  }();
+  return *buf;
+}
+
+void Tracer::record(const char* name, std::int64_t ts_us,
+                    std::int64_t dur_us) {
+  ThreadBuf& buf = local_buf();
+  std::lock_guard lock(buf.mutex);
+  if (buf.events.size() >= kMaxEventsPerThread) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buf.events.push_back(Event{name, ts_us, dur_us, buf.tid});
+}
+
+void Tracer::write(std::ostream& os) const {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  std::lock_guard lock(registry_mutex_);
+  for (const auto& buf : bufs_) {
+    std::lock_guard buf_lock(buf->mutex);
+    for (const Event& e : buf->events) {
+      if (!first) os << ',';
+      first = false;
+      os << "\n{\"name\":\"" << json_escape(e.name)
+         << "\",\"cat\":\"snnsec\",\"ph\":\"X\",\"pid\":0,\"tid\":" << e.tid
+         << ",\"ts\":" << e.ts_us << ",\"dur\":" << e.dur_us << "}";
+    }
+  }
+  os << "\n]}\n";
+}
+
+std::size_t Tracer::event_count() const {
+  std::size_t n = 0;
+  std::lock_guard lock(registry_mutex_);
+  for (const auto& buf : bufs_) {
+    std::lock_guard buf_lock(buf->mutex);
+    n += buf->events.size();
+  }
+  return n;
+}
+
+void Tracer::clear() {
+  std::lock_guard lock(registry_mutex_);
+  for (const auto& buf : bufs_) {
+    std::lock_guard buf_lock(buf->mutex);
+    buf->events.clear();
+  }
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace snnsec::obs

@@ -1,5 +1,6 @@
 #include "snn/lif_layer.hpp"
 
+#include <cstdint>
 #include <sstream>
 #include <vector>
 
@@ -45,6 +46,7 @@ Tensor LifLayer::forward(const Tensor& x, nn::Mode mode) {
   for (std::int64_t i = 0; i < z.numel(); ++i) spike_sum += pz[i];
   last_spike_rate_ = spike_sum / static_cast<double>(z.numel());
   last_output_numel_ = z.numel();
+  if (probe_) collect_activity_stats(z, vd, per_step);
 
   if (nn::cache_enabled(mode)) {
     v_decayed_ = std::move(vd);
@@ -96,6 +98,63 @@ Tensor LifLayer::backward(const Tensor& grad_out) {
     }
   });
   return dx;
+}
+
+void LifLayer::collect_activity_stats(const Tensor& z, const Tensor& vd,
+                                      std::int64_t per_step) {
+  obs::ActivityStats stats;
+  stats.neuron_steps = z.numel();
+  stats.neurons = per_step;
+  stats.spike_count =
+      static_cast<std::int64_t>(last_spike_rate_ *
+                                    static_cast<double>(z.numel()) +
+                                0.5);
+  stats.firing_rate = last_spike_rate_;
+
+  // Per-neuron any/all reductions over the time axis: a neuron here is one
+  // (sample, feature) slot followed through the whole window.
+  std::vector<std::uint8_t> fired(static_cast<std::size_t>(per_step), 0);
+  std::vector<std::uint8_t> always(static_cast<std::size_t>(per_step), 1);
+  const float* pz = z.data();
+  for (std::int64_t t = 0; t < time_steps_; ++t) {
+    const float* row = pz + t * per_step;
+    for (std::int64_t k = 0; k < per_step; ++k) {
+      const bool spiked = row[k] > 0.5f;
+      fired[static_cast<std::size_t>(k)] |= spiked;
+      always[static_cast<std::size_t>(k)] &= spiked;
+    }
+  }
+  std::int64_t silent = 0;
+  std::int64_t saturated = 0;
+  for (std::int64_t k = 0; k < per_step; ++k) {
+    if (!fired[static_cast<std::size_t>(k)]) ++silent;
+    if (always[static_cast<std::size_t>(k)]) ++saturated;
+  }
+  stats.silent_fraction =
+      static_cast<double>(silent) / static_cast<double>(per_step);
+  stats.saturated_fraction =
+      static_cast<double>(saturated) / static_cast<double>(per_step);
+
+  // Pre-reset membrane-potential distribution, centered on the threshold
+  // so under/over-threshold mass is visible per (V_th, T) cell.
+  stats.v_spec.lo = params_.v_reset - 1.0;
+  stats.v_spec.hi = params_.v_th + 1.0;
+  stats.v_hist.assign(static_cast<std::size_t>(stats.v_spec.buckets), 0);
+  const float* pv = vd.data();
+  double v_sum = 0.0;
+  double v_min = pv[0];
+  double v_max = pv[0];
+  for (std::int64_t i = 0; i < vd.numel(); ++i) {
+    const double v = pv[i];
+    v_sum += v;
+    if (v < v_min) v_min = v;
+    if (v > v_max) v_max = v;
+    ++stats.v_hist[static_cast<std::size_t>(stats.v_spec.index(v))];
+  }
+  stats.v_mean = v_sum / static_cast<double>(vd.numel());
+  stats.v_min = v_min;
+  stats.v_max = v_max;
+  last_activity_ = std::move(stats);
 }
 
 std::string LifLayer::name() const {

@@ -19,6 +19,7 @@
 #pragma once
 
 #include "nn/layer.hpp"
+#include "obs/probe.hpp"
 #include "snn/lif.hpp"
 
 namespace snnsec::snn {
@@ -46,7 +47,21 @@ class LifLayer final : public nn::Layer {
   /// used with last_spike_rate() by the activity/energy analysis.
   std::int64_t last_output_numel() const { return last_output_numel_; }
 
+  /// When the probe is armed, the next forward additionally computes full
+  /// obs::ActivityStats (silent/saturated fractions, membrane-potential
+  /// histogram) from the per-step state — an O(numel) pass that is skipped
+  /// entirely while disarmed, keeping the un-probed hot path unchanged.
+  void set_probe(bool on) { probe_ = on; }
+  bool probe_armed() const { return probe_; }
+
+  /// Stats from the most recent probed forward (empty before one runs).
+  const obs::ActivityStats& last_activity() const { return last_activity_; }
+
  private:
+  void collect_activity_stats(const tensor::Tensor& z,
+                              const tensor::Tensor& vd,
+                              std::int64_t per_step);
+
   std::int64_t time_steps_;
   LifParameters params_;
   Surrogate surrogate_;
@@ -58,6 +73,8 @@ class LifLayer final : public nn::Layer {
   bool have_cache_ = false;
   double last_spike_rate_ = 0.0;
   std::int64_t last_output_numel_ = 0;
+  bool probe_ = false;
+  obs::ActivityStats last_activity_;
 };
 
 }  // namespace snnsec::snn

@@ -3,6 +3,8 @@
 #include <cstring>
 #include <sstream>
 
+#include "obs/trace.hpp"
+
 namespace snnsec::snn {
 
 using tensor::Shape;
@@ -52,12 +54,14 @@ Tensor SpikingClassifier::sum_over_time(const Tensor& x,
 }
 
 Tensor SpikingClassifier::logits(const Tensor& x) {
+  SNNSEC_TRACE_SCOPE("snn.forward");
   return net_->forward(replicate_over_time(x, time_steps_), nn::Mode::kEval);
 }
 
 Tensor SpikingClassifier::input_gradient(
     const Tensor& x, const std::vector<std::int64_t>& labels,
     double* loss_out) {
+  SNNSEC_TRACE_SCOPE("snn.input_gradient");
   const Tensor out =
       net_->forward(replicate_over_time(x, time_steps_), nn::Mode::kAttack);
   const double loss = loss_.forward(out, labels);
@@ -82,10 +86,16 @@ double SpikingClassifier::train_batch(const Tensor& x,
                                       const std::vector<std::int64_t>& labels,
                                       nn::Optimizer& optimizer) {
   optimizer.zero_grad();
-  const Tensor out =
-      net_->forward(replicate_over_time(x, time_steps_), nn::Mode::kTrain);
+  Tensor out;
+  {
+    SNNSEC_TRACE_SCOPE("snn.forward");
+    out = net_->forward(replicate_over_time(x, time_steps_), nn::Mode::kTrain);
+  }
   const double loss = loss_.forward(out, labels);
-  net_->backward(loss_.backward());
+  {
+    SNNSEC_TRACE_SCOPE("snn.bptt");
+    net_->backward(loss_.backward());
+  }
   optimizer.step();
   return loss;
 }
@@ -102,6 +112,28 @@ std::vector<double> SpikingClassifier::spike_rates() const {
       rates.push_back(lif->last_spike_rate());
   }
   return rates;
+}
+
+std::vector<obs::ActivityStats> SpikingClassifier::collect_activity(
+    const Tensor& x) {
+  SNNSEC_TRACE_SCOPE("snn.probe");
+  std::vector<LifLayer*> lifs;
+  for (std::size_t i = 0; i < net_->size(); ++i) {
+    if (auto* lif = dynamic_cast<LifLayer*>(&net_->layer(i))) {
+      lif->set_probe(true);
+      lifs.push_back(lif);
+    }
+  }
+  net_->forward(replicate_over_time(x, time_steps_), nn::Mode::kEval);
+  std::vector<obs::ActivityStats> stats;
+  stats.reserve(lifs.size());
+  for (std::size_t i = 0; i < lifs.size(); ++i) {
+    lifs[i]->set_probe(false);
+    obs::ActivityStats s = lifs[i]->last_activity();
+    s.layer = "lif" + std::to_string(i);
+    stats.push_back(std::move(s));
+  }
+  return stats;
 }
 
 std::string SpikingClassifier::describe() const {

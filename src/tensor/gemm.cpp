@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace snnsec::tensor {
@@ -54,7 +56,10 @@ void pack_b(Trans trans_b, const Tensor& b, std::int64_t k, std::int64_t n,
 
 void gemm(Trans trans_a, Trans trans_b, float alpha, const Tensor& a,
           const Tensor& b, float beta, Tensor& c) {
+  SNNSEC_TRACE_SCOPE("gemm");
   const Dims d = check_dims(trans_a, trans_b, a, b);
+  SNNSEC_COUNTER_ADD("tensor.gemm.calls", 1);
+  SNNSEC_COUNTER_ADD("tensor.gemm.flops", 2 * d.m * d.n * d.k);
   SNNSEC_CHECK(c.ndim() == 2 && c.dim(0) == d.m && c.dim(1) == d.n,
                "gemm output shape " << c.shape().to_string() << " != ["
                                     << d.m << ", " << d.n << "]");

@@ -1,5 +1,7 @@
 #include "tensor/im2col.hpp"
 
+#include "obs/trace.hpp"
+
 namespace snnsec::tensor {
 
 void ConvGeometry::validate() const {
@@ -14,10 +16,12 @@ void ConvGeometry::validate() const {
 }
 
 void im2col(const ConvGeometry& g, const float* image, float* columns) {
+  SNNSEC_TRACE_SCOPE("im2col");
   im2col_ld(g, image, columns, g.out_h() * g.out_w(), 0);
 }
 
 void col2im(const ConvGeometry& g, const float* columns, float* image_grad) {
+  SNNSEC_TRACE_SCOPE("col2im");
   col2im_ld(g, columns, image_grad, g.out_h() * g.out_w(), 0);
 }
 

@@ -22,18 +22,36 @@ Logger& Logger::instance() {
 
 Logger::Logger() {
   if (const char* env = std::getenv("SNNSEC_LOG")) set_level(env);
+  if (const char* path = std::getenv("SNNSEC_LOG_FILE")) {
+    if (path[0] != '\0') set_log_file(path);
+  }
+}
+
+Logger::~Logger() {
+  std::lock_guard lock(mutex_);
+  if (file_ != nullptr) std::fclose(file_);
+  file_ = nullptr;
 }
 
 bool Logger::set_level(const std::string& name) {
   const std::string n = lowercase(name);
-  if (n == "trace") level_ = LogLevel::kTrace;
-  else if (n == "debug") level_ = LogLevel::kDebug;
-  else if (n == "info") level_ = LogLevel::kInfo;
-  else if (n == "warn" || n == "warning") level_ = LogLevel::kWarn;
-  else if (n == "error") level_ = LogLevel::kError;
-  else if (n == "off" || n == "none") level_ = LogLevel::kOff;
+  if (n == "trace") set_level(LogLevel::kTrace);
+  else if (n == "debug") set_level(LogLevel::kDebug);
+  else if (n == "info") set_level(LogLevel::kInfo);
+  else if (n == "warn" || n == "warning") set_level(LogLevel::kWarn);
+  else if (n == "error") set_level(LogLevel::kError);
+  else if (n == "off" || n == "none") set_level(LogLevel::kOff);
   else return false;
   return true;
+}
+
+bool Logger::set_log_file(const std::string& path) {
+  std::FILE* next =
+      path.empty() ? nullptr : std::fopen(path.c_str(), "a");
+  std::lock_guard lock(mutex_);
+  if (file_ != nullptr) std::fclose(file_);
+  file_ = next;
+  return path.empty() || next != nullptr;
 }
 
 const char* to_string(LogLevel level) {
@@ -68,6 +86,11 @@ void Logger::write(LogLevel level, const std::string& message) {
   std::lock_guard lock(mutex_);
   std::fprintf(stderr, "[%s %s] %s\n", stamp, to_string(level),
                message.c_str());
+  if (file_ != nullptr) {
+    std::fprintf(file_, "[%s %s] %s\n", stamp, to_string(level),
+                 message.c_str());
+    std::fflush(file_);
+  }
 }
 
 }  // namespace snnsec::util

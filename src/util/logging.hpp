@@ -2,10 +2,18 @@
 //
 // Level is controlled programmatically or via SNNSEC_LOG
 // (trace|debug|info|warn|error|off). Logging is thread-safe at line
-// granularity. Use the SNNSEC_LOG_* macros so disabled levels cost one
-// branch and no formatting.
+// granularity: the level is an atomic (worker threads check enabled()
+// while the main thread may call set_level()), and line emission is
+// serialized by a mutex. Use the SNNSEC_LOG_* macros so disabled levels
+// cost one branch and no formatting.
+//
+// When SNNSEC_LOG_FILE names a file (or set_log_file() is called), every
+// line is additionally appended there — long grid-explorer runs keep a
+// persistent log alongside the metric sinks.
 #pragma once
 
+#include <atomic>
+#include <cstdio>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -18,21 +26,32 @@ class Logger {
  public:
   static Logger& instance();
 
-  LogLevel level() const { return level_; }
-  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
 
   /// Parse "trace".."off" (case-insensitive); unknown strings leave the
   /// level unchanged and return false.
   bool set_level(const std::string& name);
 
-  bool enabled(LogLevel level) const { return level >= level_; }
+  bool enabled(LogLevel level) const {
+    return level >= level_.load(std::memory_order_relaxed);
+  }
+
+  /// Tee every line to `path` (append); an empty path disables the tee.
+  /// Returns false when the file cannot be opened (stderr keeps working).
+  bool set_log_file(const std::string& path);
 
   void write(LogLevel level, const std::string& message);
 
+  ~Logger();
+
  private:
   Logger();
-  LogLevel level_ = LogLevel::kInfo;
+  std::atomic<LogLevel> level_{LogLevel::kInfo};
   std::mutex mutex_;
+  std::FILE* file_ = nullptr;  // guarded by mutex_
 };
 
 const char* to_string(LogLevel level);

@@ -4,18 +4,20 @@
 
 namespace snnsec::util {
 
-std::string Stopwatch::pretty() const {
-  const double s = seconds();
+std::string format_duration(double seconds) {
   char buf[64];
-  if (s < 1.0) {
-    std::snprintf(buf, sizeof(buf), "%.0fms", s * 1e3);
-  } else if (s < 60.0) {
-    std::snprintf(buf, sizeof(buf), "%.1fs", s);
+  if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.0fms", seconds * 1e3);
+  } else if (seconds < 60.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fs", seconds);
   } else {
-    const int minutes = static_cast<int>(s / 60.0);
-    std::snprintf(buf, sizeof(buf), "%dm %.1fs", minutes, s - 60.0 * minutes);
+    const int minutes = static_cast<int>(seconds / 60.0);
+    std::snprintf(buf, sizeof(buf), "%dm %.1fs", minutes,
+                  seconds - 60.0 * minutes);
   }
   return buf;
 }
+
+std::string Stopwatch::pretty() const { return format_duration(seconds()); }
 
 }  // namespace snnsec::util

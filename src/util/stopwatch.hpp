@@ -1,4 +1,8 @@
 // Wall-clock stopwatch for coarse experiment timing.
+//
+// Supports pause()/resume() (seconds() accumulates only running time) and
+// lap() (seconds since the previous lap), so one watch can time a whole
+// grid exploration and each cell within it.
 #pragma once
 
 #include <chrono>
@@ -10,19 +14,60 @@ class Stopwatch {
  public:
   Stopwatch() : start_(clock::now()) {}
 
-  void reset() { start_ = clock::now(); }
+  void reset() {
+    start_ = clock::now();
+    accumulated_ = 0.0;
+    lap_mark_ = 0.0;
+    running_ = true;
+  }
 
+  /// Total running (non-paused) time since construction/reset.
   double seconds() const {
-    return std::chrono::duration<double>(clock::now() - start_).count();
+    double s = accumulated_;
+    if (running_)
+      s += std::chrono::duration<double>(clock::now() - start_).count();
+    return s;
   }
   double millis() const { return seconds() * 1e3; }
+
+  /// Freeze accumulation; idempotent.
+  void pause() {
+    if (!running_) return;
+    accumulated_ +=
+        std::chrono::duration<double>(clock::now() - start_).count();
+    running_ = false;
+  }
+
+  /// Continue accumulating after pause(); idempotent.
+  void resume() {
+    if (running_) return;
+    start_ = clock::now();
+    running_ = true;
+  }
+
+  bool paused() const { return !running_; }
+
+  /// Running time since the previous lap() (or reset/construction), and
+  /// start the next lap.
+  double lap() {
+    const double total = seconds();
+    const double delta = total - lap_mark_;
+    lap_mark_ = total;
+    return delta;
+  }
 
   /// "1m 23.4s"-style human-readable elapsed time.
   std::string pretty() const;
 
  private:
   using clock = std::chrono::steady_clock;
-  clock::time_point start_;
+  clock::time_point start_;     // start of the current running segment
+  double accumulated_ = 0.0;    // completed running segments
+  double lap_mark_ = 0.0;       // seconds() value at the previous lap
+  bool running_ = true;
 };
+
+/// "1m 23.4s"-style rendering of a duration in seconds.
+std::string format_duration(double seconds);
 
 }  // namespace snnsec::util

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <exception>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace snnsec::util {
@@ -31,12 +32,20 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  Task entry;
+  entry.fn = std::move(task);
+  if (obs::Registry::enabled())
+    entry.enqueued = std::chrono::steady_clock::now();
+  std::size_t depth;
   {
     std::lock_guard lock(mutex_);
     SNNSEC_CHECK(!stop_, "submit() on stopped ThreadPool");
-    tasks_.push(std::move(task));
+    tasks_.push(std::move(entry));
     ++in_flight_;
+    depth = tasks_.size();
   }
+  SNNSEC_COUNTER_ADD("pool.tasks", 1);
+  SNNSEC_GAUGE_SET("pool.queue_depth", static_cast<double>(depth));
   cv_task_.notify_one();
 }
 
@@ -47,16 +56,27 @@ void ThreadPool::wait_idle() {
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
+    std::size_t depth;
     {
       std::unique_lock lock(mutex_);
       cv_task_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
+      depth = tasks_.size();
+    }
+    SNNSEC_GAUGE_SET("pool.queue_depth", static_cast<double>(depth));
+    if (task.enqueued != std::chrono::steady_clock::time_point{}) {
+      const double wait_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - task.enqueued)
+              .count();
+      SNNSEC_HISTOGRAM_OBSERVE("pool.task_wait_ms", wait_ms, 0.01, 0.1, 1.0,
+                               10.0, 100.0, 1000.0);
     }
     g_inside_pool_worker = true;
-    task();
+    task.fn();
     g_inside_pool_worker = false;
     {
       std::lock_guard lock(mutex_);

@@ -8,6 +8,7 @@
 // deterministic serial execution regardless of reduction order).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -42,8 +43,15 @@ class ThreadPool {
  private:
   void worker_loop();
 
+  /// Queued task plus its enqueue time (only stamped while the metrics
+  /// registry is enabled; a default time_point means "not measured").
+  struct Task {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued{};
+  };
+
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
+  std::queue<Task> tasks_;
   std::mutex mutex_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
