@@ -1,6 +1,7 @@
 #include "attacks/evaluation.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "nn/metrics.hpp"
 #include "obs/metrics.hpp"
@@ -55,6 +56,17 @@ RobustnessPoint evaluate_attack(nn::Classifier& model, Attack& atk,
       for (std::size_t i = 0; i < yb.size(); ++i)
         loss -= logp[static_cast<std::int64_t>(i) * c + yb[i]];
       loss /= static_cast<double>(yb.size());
+    }
+    // Divergence sentinel: NaN logits on adversarial inputs mean the model
+    // (or the attack's gradients) blew up — surface it to the explorer's
+    // retry/failure path instead of folding NaN into the robustness number.
+    if (!std::isfinite(loss)) {
+      SNNSEC_COUNTER_ADD("attack.divergence", 1);
+      std::ostringstream oss;
+      oss << "evaluate_attack(" << atk.name() << ", eps=" << epsilon
+          << "): non-finite adversarial loss " << loss << " in batch "
+          << batches;
+      throw util::DivergenceError(oss.str());
     }
     loss_sum += loss;
     linf_sum += tensor::linf_distance(adv, xb);

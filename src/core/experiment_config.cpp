@@ -4,8 +4,48 @@
 
 #include "util/env.hpp"
 #include "util/error.hpp"
+#include "util/rng.hpp"
 
 namespace snnsec::core {
+
+namespace {
+
+/// Key string behind train_fingerprint(). Field order and formatting are
+/// frozen: the hash names on-disk cell checkpoints, so any change here
+/// invalidates every existing cache.
+std::string train_key(const ExplorationConfig& c) {
+  std::ostringstream key;
+  key << "a" << c.arch.image_size << "_" << c.arch.conv1_channels << "_"
+      << c.arch.conv2_channels << "_" << c.arch.conv3_channels << "_"
+      << c.arch.fc_hidden << "_t" << c.train.epochs << "_"
+      << c.train.batch_size << "_" << c.train.lr << "_d" << c.data.train_n
+      << "_" << c.data.image_size << "_" << c.data.seed << "_s" << c.seed
+      << "_sg" << static_cast<int>(c.snn_template.surrogate.kind) << "_"
+      << c.snn_template.surrogate.alpha << "_e"
+      << static_cast<int>(c.snn_template.encoder);
+  return key.str();
+}
+
+}  // namespace
+
+std::uint64_t ExplorationConfig::train_fingerprint() const {
+  return util::hash_label(train_key(*this));
+}
+
+std::uint64_t ExplorationConfig::fingerprint() const {
+  std::ostringstream key;
+  key << train_key(*this) << "_vg";
+  for (const double v : v_th_grid) key << v << ",";
+  key << "_tg";
+  for (const auto t : t_grid) key << t << ",";
+  key << "_eg";
+  for (const double e : eps_grid) key << e << ",";
+  key << "_ath" << accuracy_threshold << "_pgd" << pgd.steps << "_"
+      << pgd.rel_stepsize << "_" << pgd.abs_stepsize << "_"
+      << pgd.random_start << "_" << pgd.seed << "_cap" << attack_test_cap
+      << "_eb" << eval_batch << "_dt" << data.test_n;
+  return util::hash_label(key.str());
+}
 
 void ExplorationConfig::validate() const {
   SNNSEC_CHECK(!v_th_grid.empty() && !t_grid.empty(),
@@ -19,6 +59,9 @@ void ExplorationConfig::validate() const {
   SNNSEC_CHECK(accuracy_threshold >= 0.0 && accuracy_threshold <= 1.0,
                "ExplorationConfig: A_th outside [0, 1]");
   SNNSEC_CHECK(eval_batch > 0, "ExplorationConfig: bad eval_batch");
+  SNNSEC_CHECK(cell_timeout_seconds >= 0.0,
+               "ExplorationConfig: negative cell_timeout_seconds");
+  retry.validate();
   arch.validate();
 }
 

@@ -12,6 +12,7 @@
 #include "nn/lenet.hpp"
 #include "nn/trainer.hpp"
 #include "snn/spiking_lenet.hpp"
+#include "util/retry.hpp"
 
 namespace snnsec::core {
 
@@ -37,8 +38,25 @@ struct ExplorationConfig {
   std::int64_t attack_test_cap = -1;
   std::uint64_t seed = 42;
 
+  /// Fault tolerance: how often a diverged cell is retrained with a
+  /// re-seeded init before being marked failed, and with what backoff.
+  util::RetryPolicy retry;
+  /// Wall-clock training budget per grid cell, across all retry attempts;
+  /// 0 = unlimited. A cell that exceeds it is marked failed_timeout (never
+  /// retried — a second attempt would hit the same wall).
+  double cell_timeout_seconds = 0.0;
+
   void validate() const;
   std::string summary() const;
+
+  /// Hash of everything that determines one cell's trained weights except
+  /// (v_th, T) — the cache key shared by all cell checkpoints of a run.
+  std::uint64_t train_fingerprint() const;
+  /// Full-run identity: train_fingerprint() plus the grids, ε budgets,
+  /// learnability threshold and attack settings. Two configs with equal
+  /// fingerprints produce identical reports, so a resume journal written
+  /// under one may be replayed under the other.
+  std::uint64_t fingerprint() const;
 };
 
 /// The paper's full grid: V_th ∈ {0.25, 0.5, …, 2.5}, T ∈ {8, 16, …, 96},

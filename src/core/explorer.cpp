@@ -1,17 +1,19 @@
 #include "core/explorer.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
-#include <fstream>
 #include <sstream>
 
 #include "nn/metrics.hpp"
 #include "obs/metrics.hpp"
 #include "obs/probe.hpp"
 #include "obs/trace.hpp"
-#include "tensor/serialize.hpp"
+#include "snn/model_io.hpp"
+#include "util/error.hpp"
 #include "util/logging.hpp"
+#include "util/retry.hpp"
 #include "util/stopwatch.hpp"
 #include "util/string_util.hpp"
 
@@ -20,8 +22,11 @@ namespace snnsec::core {
 using tensor::Tensor;
 
 RobustnessExplorer::RobustnessExplorer(ExplorationConfig config,
-                                       std::string cache_dir)
-    : config_(std::move(config)), cache_dir_(std::move(cache_dir)) {
+                                       std::string cache_dir,
+                                       std::string journal_path)
+    : config_(std::move(config)),
+      cache_dir_(std::move(cache_dir)),
+      journal_path_(std::move(journal_path)) {
   config_.validate();
 }
 
@@ -30,21 +35,31 @@ std::string RobustnessExplorer::cell_cache_path(
   if (cache_dir_.empty()) return {};
   // Fingerprint everything that determines the trained weights so stale
   // checkpoints are never reused across config changes.
-  std::ostringstream key;
-  key << "a" << config_.arch.image_size << "_" << config_.arch.conv1_channels
-      << "_" << config_.arch.conv2_channels << "_"
-      << config_.arch.conv3_channels << "_" << config_.arch.fc_hidden << "_t"
-      << config_.train.epochs << "_" << config_.train.batch_size << "_"
-      << config_.train.lr << "_d" << config_.data.train_n << "_"
-      << config_.data.image_size << "_" << config_.data.seed << "_s"
-      << config_.seed << "_sg" << static_cast<int>(config_.snn_template.surrogate.kind)
-      << "_" << config_.snn_template.surrogate.alpha << "_e"
-      << static_cast<int>(config_.snn_template.encoder);
-  std::uint64_t h = util::hash_label(key.str());
+  const std::uint64_t h = config_.train_fingerprint();
   char name[128];
   std::snprintf(name, sizeof(name), "cell_v%.4f_t%lld_%016llx.snnt", v_th,
                 static_cast<long long>(time_steps),
                 static_cast<unsigned long long>(h));
+  return (std::filesystem::path(cache_dir_) / name).string();
+}
+
+std::uint64_t RobustnessExplorer::cell_checkpoint_hash(
+    double v_th, std::int64_t time_steps) const {
+  // The filename already encodes (v_th, T, train fingerprint); hashing them
+  // again into the checkpoint header catches renamed/copied files.
+  char key[128];
+  std::snprintf(key, sizeof(key), "cell_v%.4f_t%lld_%016llx", v_th,
+                static_cast<long long>(time_steps),
+                static_cast<unsigned long long>(config_.train_fingerprint()));
+  return util::hash_label(key);
+}
+
+std::string RobustnessExplorer::journal_path() const {
+  if (!journal_path_.empty()) return journal_path_;
+  if (cache_dir_.empty()) return {};
+  char name[64];
+  std::snprintf(name, sizeof(name), "run_%016llx.journal.jsonl",
+                static_cast<unsigned long long>(config_.fingerprint()));
   return (std::filesystem::path(cache_dir_) / name).string();
 }
 
@@ -56,38 +71,114 @@ RobustnessExplorer::TrainedCell RobustnessExplorer::train_cell(
   snn_cfg.v_th = v_th;
   snn_cfg.time_steps = time_steps;
 
-  util::Rng rng(config_.seed);
-  util::Rng init_rng = rng.fork("snn-init");
-  out.model = snn::build_spiking_lenet(config_.arch, snn_cfg, init_rng);
-
   const std::string cache_path = cell_cache_path(v_th, time_steps);
-  if (!cache_path.empty() && std::filesystem::exists(cache_path)) {
-    std::ifstream is(cache_path, std::ios::binary);
-    auto archive = tensor::load_archive(is);
-    auto params = out.model->parameters();
-    SNNSEC_CHECK(archive.count("meta") == 1 &&
-                     archive.size() == params.size() + 1,
-                 "corrupt cell checkpoint " << cache_path);
-    for (std::size_t i = 0; i < params.size(); ++i) {
-      char pname[16];
-      std::snprintf(pname, sizeof(pname), "p%03zu", i);
-      const auto it = archive.find(pname);
-      SNNSEC_CHECK(it != archive.end() &&
-                       it->second.shape() == params[i]->value.shape(),
-                   "checkpoint parameter mismatch in " << cache_path);
-      params[i]->value = it->second;
+  const std::uint64_t ckpt_hash = cell_checkpoint_hash(v_th, time_steps);
+
+  // Validated cache load: a truncated, bit-flipped or stale checkpoint is
+  // rejected (with a warning) and the cell retrains instead.
+  if (!cache_path.empty()) {
+    if (auto payload = snn::try_load_checkpoint(cache_path, ckpt_hash)) {
+      util::Rng rng(config_.seed);
+      util::Rng init_rng = rng.fork("snn-init");
+      auto model = snn::build_spiking_lenet(config_.arch, snn_cfg, init_rng);
+      auto params = model->parameters();
+      bool ok = payload->count("meta") == 1 &&
+                payload->size() == params.size() + 1;
+      for (std::size_t i = 0; ok && i < params.size(); ++i) {
+        char pname[32];
+        std::snprintf(pname, sizeof(pname), "p%03zu", i);
+        const auto it = payload->find(pname);
+        if (it == payload->end() ||
+            !(it->second.shape() == params[i]->value.shape()))
+          ok = false;
+        else
+          params[i]->value = it->second;
+      }
+      if (ok) {
+        const Tensor& meta = payload->at("meta");
+        out.model = std::move(model);
+        out.clean_accuracy = meta[0];
+        out.train_seconds = meta[1];
+        out.from_cache = true;
+        return out;
+      }
+      SNNSEC_LOG_WARN("cell checkpoint " << cache_path
+                                         << ": parameter set does not match "
+                                            "the architecture; retraining");
+      SNNSEC_COUNTER_ADD("checkpoint.rejected", 1);
     }
-    const Tensor& meta = archive.at("meta");
-    out.clean_accuracy = meta[0];
-    out.train_seconds = meta[1];
-    out.from_cache = true;
-    return out;
+    // A present-but-rejected file would be overwritten on success anyway;
+    // remove it eagerly so a failed cell doesn't leave bad bytes behind.
+    std::error_code ec;
+    std::filesystem::remove(cache_path, ec);
   }
 
-  util::Stopwatch watch;
-  nn::Trainer trainer(config_.train);
-  trainer.fit(*out.model, data.train.images, data.train.labels);
-  out.train_seconds = watch.seconds();
+  const int max_attempts = std::max(1, config_.retry.max_attempts);
+  util::Stopwatch cell_watch;  // spans all attempts: the cell's budget
+  for (int attempt = 0;; ++attempt) {
+    out.attempts = attempt + 1;
+    // Attempt 0 reproduces the historical init stream bit-for-bit; retries
+    // fork a fresh sub-stream so a divergence-prone init is not replayed.
+    util::Rng rng(config_.seed);
+    util::Rng init_rng = rng.fork("snn-init");
+    if (attempt > 0)
+      init_rng = init_rng.fork(static_cast<std::uint64_t>(attempt));
+    out.model = snn::build_spiking_lenet(config_.arch, snn_cfg, init_rng);
+    if (fault_hook_) fault_hook_(v_th, time_steps, attempt, *out.model);
+
+    nn::TrainConfig tc = config_.train;
+    if (config_.cell_timeout_seconds > 0.0) {
+      const double remaining =
+          config_.cell_timeout_seconds - cell_watch.seconds();
+      if (remaining <= 0.0) {
+        out.status = CellStatus::kFailedTimeout;
+        out.error = "cell budget exhausted before attempt " +
+                    std::to_string(attempt);
+        out.model.reset();
+        SNNSEC_COUNTER_ADD("explorer.cell.failed", 1);
+        return out;
+      }
+      tc.max_seconds = tc.max_seconds > 0.0
+                           ? std::min(tc.max_seconds, remaining)
+                           : remaining;
+    }
+
+    util::Stopwatch watch;
+    try {
+      nn::Trainer trainer(tc);
+      trainer.fit(*out.model, data.train.images, data.train.labels);
+      out.train_seconds = watch.seconds();
+      break;
+    } catch (const util::TimeoutError& e) {
+      // Not retried: a re-run would burn the same wall-clock again.
+      out.status = CellStatus::kFailedTimeout;
+      out.error = e.what();
+      out.model.reset();
+      SNNSEC_COUNTER_ADD("explorer.cell.failed", 1);
+      SNNSEC_LOG_WARN("cell (v_th=" << v_th << ", T=" << time_steps
+                                    << ") timed out: " << e.what());
+      return out;
+    } catch (const util::DivergenceError& e) {
+      out.error = e.what();
+      SNNSEC_COUNTER_ADD("explorer.cell.retry", 1);
+      if (attempt + 1 >= max_attempts) {
+        out.status = CellStatus::kFailedDiverged;
+        out.model.reset();
+        SNNSEC_COUNTER_ADD("explorer.cell.failed", 1);
+        SNNSEC_LOG_WARN("cell (v_th=" << v_th << ", T=" << time_steps
+                                      << ") diverged on all " << max_attempts
+                                      << " attempts; marked failed: "
+                                      << e.what());
+        return out;
+      }
+      SNNSEC_LOG_WARN("cell (v_th=" << v_th << ", T=" << time_steps
+                                    << ") attempt " << attempt + 1
+                                    << " diverged (" << e.what()
+                                    << "); retrying with re-seeded init");
+      util::sleep_for_ms(config_.retry.delay_ms(attempt + 1));
+    }
+  }
+  out.error.clear();  // a retried-then-successful cell carries no error
   out.clean_accuracy = nn::accuracy(*out.model, data.test.images,
                                     data.test.labels, config_.eval_batch);
 
@@ -95,7 +186,7 @@ RobustnessExplorer::TrainedCell RobustnessExplorer::train_cell(
     std::map<std::string, Tensor> archive;
     auto params = out.model->parameters();
     for (std::size_t i = 0; i < params.size(); ++i) {
-      char pname[16];
+      char pname[32];
       std::snprintf(pname, sizeof(pname), "p%03zu", i);
       archive.emplace(pname, params[i]->value);
     }
@@ -103,7 +194,7 @@ RobustnessExplorer::TrainedCell RobustnessExplorer::train_cell(
     meta[0] = static_cast<float>(out.clean_accuracy);
     meta[1] = static_cast<float>(out.train_seconds);
     archive.emplace("meta", std::move(meta));
-    tensor::save_archive_file(cache_path, archive);
+    snn::save_checkpoint(cache_path, archive, ckpt_hash);
   }
   return out;
 }
@@ -116,6 +207,15 @@ ExplorationReport RobustnessExplorer::explore(
   report.t_grid = config_.t_grid;
   report.eps_grid = config_.eps_grid;
   report.accuracy_threshold = config_.accuracy_threshold;
+
+  // Crash-safe resume: completed cells of an interrupted run under the
+  // exact same config are replayed from the journal instead of re-run.
+  RunJournal journal(journal_path(), config_.fingerprint());
+  const auto journaled = [&](double v, std::int64_t t) -> const CellResult* {
+    for (const auto& c : journal.recovered())
+      if (c.time_steps == t && std::fabs(c.v_th - v) < 1e-9) return &c;
+    return nullptr;
+  };
 
   // Attack evaluation set (optionally capped: PGD is ~steps x inference).
   data::Dataset attack_set = data.test;
@@ -135,65 +235,132 @@ ExplorationReport RobustnessExplorer::explore(
   for (const double v_th : config_.v_th_grid) {
     for (const std::int64_t t : config_.t_grid) {
       SNNSEC_TRACE_SCOPE("explorer.cell");
+      ++done;
+
+      if (const CellResult* prev = journaled(v_th, t)) {
+        CellResult cell = *prev;
+        ++report.resumed_cells;
+        SNNSEC_COUNTER_ADD("explorer.cells.resumed", 1);
+        watch.lap();
+        SNNSEC_LOG_INFO("cell " << done << "/" << total << " (v_th=" << v_th
+                                << ", T=" << t
+                                << ") resumed from journal: acc="
+                                << cell.clean_accuracy << " ["
+                                << to_string(cell.status) << "]");
+        if (on_cell) on_cell(cell);
+        report.cells.push_back(std::move(cell));
+        continue;
+      }
+
       TrainedCell trained = train_cell(v_th, t, data);
 
       CellResult cell;
       cell.v_th = v_th;
       cell.time_steps = t;
       cell.clean_accuracy = trained.clean_accuracy;
-      cell.learnable = trained.clean_accuracy >= config_.accuracy_threshold;
       cell.train_seconds = trained.train_seconds;
+      cell.status = trained.status;
+      cell.attempts = trained.attempts;
+      cell.from_cache = trained.from_cache;
+      cell.error = trained.error;
+
+      if (cell.status == CellStatus::kOk) {
+        cell.learnable =
+            trained.clean_accuracy >= config_.accuracy_threshold;
+        if (!cell.learnable) cell.status = CellStatus::kSkippedLearnability;
+      }
 
       if (cell.learnable) {
         // Security study (Algorithm 1 lines 5-15): fresh PGD per budget.
-        for (const double eps : config_.eps_grid) {
-          attack::Pgd pgd(config_.pgd);
-          cell.robustness.emplace(
-              eps, attack::evaluate_attack(*trained.model, pgd,
-                                           attack_set.images,
-                                           attack_set.labels, eps, eval_cfg));
+        try {
+          for (const double eps : config_.eps_grid) {
+            attack::Pgd pgd(config_.pgd);
+            cell.robustness.emplace(
+                eps,
+                attack::evaluate_attack(*trained.model, pgd,
+                                        attack_set.images, attack_set.labels,
+                                        eps, eval_cfg));
+          }
+        } catch (const util::DivergenceError& e) {
+          // Attack-side divergence is not retried (PGD is deterministic
+          // given its seed): the cell is marked failed and the grid moves
+          // on with whatever budgets completed dropped.
+          cell.status = CellStatus::kFailedDiverged;
+          cell.error = e.what();
+          cell.learnable = false;
+          cell.robustness.clear();
+          SNNSEC_COUNTER_ADD("explorer.cell.failed", 1);
+          SNNSEC_LOG_WARN("cell (v_th=" << v_th << ", T=" << t
+                                        << ") attack evaluation diverged: "
+                                        << e.what());
         }
       }
-      cell.spike_rates = trained.model->spike_rates();
 
-      // Probe spike activity on a held-out batch so every grid cell ships
-      // the statistics (firing rate, silent neurons, membrane histogram)
-      // that explain its learnability/robustness numbers.
-      if (obs::Registry::enabled()) {
-        const std::int64_t probe_n =
-            std::min<std::int64_t>(attack_set.size(), config_.eval_batch);
-        cell.activity = trained.model->collect_activity(
-            nn::slice_batch(attack_set.images, 0, probe_n));
-        const obs::Labels cell_labels{
-            {"v_th", util::format_float(v_th, 4)},
-            {"T", std::to_string(t)}};
-        obs::record_activity(cell.activity, cell_labels);
-        obs::Registry& reg = obs::Registry::instance();
-        reg.record("explorer.cell.clean_accuracy", cell.clean_accuracy,
-                   cell_labels);
-        reg.record("explorer.cell.train_seconds", cell.train_seconds,
-                   cell_labels);
-        for (const auto& [eps, pt] : cell.robustness)
-          reg.record("explorer.cell.robustness", pt.robustness,
-                     {{"v_th", util::format_float(v_th, 4)},
-                      {"T", std::to_string(t)},
-                      {"eps", util::format_float(eps, 4)}});
-        SNNSEC_COUNTER_ADD("explorer.cells", 1);
+      if (!cell.failed() && trained.model) {
+        cell.spike_rates = trained.model->spike_rates();
+
+        // Probe spike activity on a held-out batch so every grid cell ships
+        // the statistics (firing rate, silent neurons, membrane histogram)
+        // that explain its learnability/robustness numbers.
+        if (obs::Registry::enabled()) {
+          const std::int64_t probe_n =
+              std::min<std::int64_t>(attack_set.size(), config_.eval_batch);
+          cell.activity = trained.model->collect_activity(
+              nn::slice_batch(attack_set.images, 0, probe_n));
+          const obs::Labels cell_labels{
+              {"v_th", util::format_float(v_th, 4)},
+              {"T", std::to_string(t)}};
+          obs::record_activity(cell.activity, cell_labels);
+          obs::Registry& reg = obs::Registry::instance();
+          reg.record("explorer.cell.clean_accuracy", cell.clean_accuracy,
+                     cell_labels);
+          reg.record("explorer.cell.train_seconds", cell.train_seconds,
+                     cell_labels);
+          for (const auto& [eps, pt] : cell.robustness)
+            reg.record("explorer.cell.robustness", pt.robustness,
+                       {{"v_th", util::format_float(v_th, 4)},
+                        {"T", std::to_string(t)},
+                        {"eps", util::format_float(eps, 4)}});
+          SNNSEC_COUNTER_ADD("explorer.cells", 1);
+        }
       }
 
-      ++done;
       const double cell_seconds = watch.lap();
       SNNSEC_LOG_INFO("cell " << done << "/" << total << " (v_th=" << v_th
                               << ", T=" << t << "): acc="
                               << cell.clean_accuracy
-                              << (cell.learnable ? "" : " [skipped]") << " in "
+                              << (cell.failed()
+                                      ? std::string(" [") +
+                                            to_string(cell.status) + "]"
+                                      : std::string(
+                                            cell.learnable ? "" : " [skipped]"))
+                              << " in "
                               << util::format_duration(cell_seconds)
-                              << (trained.from_cache ? " (cached)" : ""));
+                              << (trained.from_cache ? " (cached)" : "")
+                              << (cell.attempts > 1
+                                      ? " (attempts=" +
+                                            std::to_string(cell.attempts) + ")"
+                                      : ""));
+      // Journal before notifying: a crash inside on_cell (or right after)
+      // must find this cell durable on resume.
+      journal.append(cell);
       if (on_cell) on_cell(cell);
       report.cells.push_back(std::move(cell));
     }
   }
-  SNNSEC_LOG_INFO("explored " << total << " cells in " << watch.pretty());
+  SNNSEC_LOG_INFO("explored " << total << " cells in " << watch.pretty()
+                              << (report.resumed_cells
+                                      ? " (" +
+                                            std::to_string(
+                                                report.resumed_cells) +
+                                            " resumed from journal)"
+                                      : "")
+                              << (report.failed_count()
+                                      ? " (" +
+                                            std::to_string(
+                                                report.failed_count()) +
+                                            " failed)"
+                                      : ""));
   return report;
 }
 

@@ -9,12 +9,21 @@
 //
 // Models are trained once per cell and optionally checkpointed to a cache
 // directory so the three heatmap figures (6, 7, 8) share one training pass.
+//
+// Fault tolerance: every cell is trained under the config's RetryPolicy —
+// a diverged attempt (NaN/Inf or exploding loss, see nn::Trainer) is
+// retrained with a re-seeded init after an exponential backoff; exhausted
+// cells are marked failed_diverged and the grid continues. When a cache
+// directory is set, explore() also keeps a crash-safe JSONL journal
+// (core/journal.hpp): a killed sweep re-run with the same config replays
+// the journaled cells instead of retraining them.
 #pragma once
 
 #include <functional>
 #include <memory>
 
 #include "core/experiment_config.hpp"
+#include "core/journal.hpp"
 #include "core/report.hpp"
 #include "data/provider.hpp"
 #include "snn/spiking_network.hpp"
@@ -23,34 +32,62 @@ namespace snnsec::core {
 
 class RobustnessExplorer {
  public:
-  /// `cache_dir` (optional): directory for per-cell weight checkpoints.
-  RobustnessExplorer(ExplorationConfig config, std::string cache_dir = "");
+  /// `cache_dir` (optional): directory for per-cell weight checkpoints and
+  /// the resume journal. `journal_path` (optional) overrides the journal
+  /// location (default: `<cache_dir>/run_<fingerprint>.journal.jsonl`; no
+  /// journaling when both are empty).
+  RobustnessExplorer(ExplorationConfig config, std::string cache_dir = "",
+                     std::string journal_path = "");
 
   /// Run the full grid on the given data. `on_cell` (optional) observes
-  /// each finished cell (progress reporting).
+  /// each finished cell (progress reporting) — including cells replayed
+  /// from the resume journal, and only after the cell has been journaled,
+  /// so a crash inside on_cell never loses the cell.
   ExplorationReport explore(
       const data::DataBundle& data,
       const std::function<void(const CellResult&)>& on_cell = nullptr);
 
   /// Train (or load from cache) the SNN for one grid cell and return it
   /// together with its clean accuracy. Exposed for the curve benches
-  /// (Fig. 9) that track individual (V_th, T) combinations.
+  /// (Fig. 9) that track individual (V_th, T) combinations. `model` is
+  /// null when the cell failed (status != kOk).
   struct TrainedCell {
     std::unique_ptr<snn::SpikingClassifier> model;
     double clean_accuracy = 0.0;
     double train_seconds = 0.0;
     bool from_cache = false;
+    int attempts = 1;
+    CellStatus status = CellStatus::kOk;
+    std::string error;
   };
   TrainedCell train_cell(double v_th, std::int64_t time_steps,
                          const data::DataBundle& data);
 
+  /// Fault-injection hook for tests and resilience demos: invoked after
+  /// model construction, before each training attempt, with
+  /// (v_th, T, attempt, model). A hook that poisons a weight with NaN on
+  /// attempt 0 exercises the full sentinel → retry path.
+  using TrainFaultHook = std::function<void(
+      double, std::int64_t, int, snn::SpikingClassifier&)>;
+  void set_train_fault_hook(TrainFaultHook hook) {
+    fault_hook_ = std::move(hook);
+  }
+
   const ExplorationConfig& config() const { return config_; }
+
+  /// Resume-journal path explore() will use ("" = journaling disabled).
+  std::string journal_path() const;
 
  private:
   std::string cell_cache_path(double v_th, std::int64_t time_steps) const;
+  /// Config hash stored in (and demanded of) one cell's checkpoint file.
+  std::uint64_t cell_checkpoint_hash(double v_th,
+                                     std::int64_t time_steps) const;
 
   ExplorationConfig config_;
   std::string cache_dir_;
+  std::string journal_path_;
+  TrainFaultHook fault_hook_;
 };
 
 }  // namespace snnsec::core

@@ -1,0 +1,433 @@
+#include "core/journal.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+#include "util/fs_atomic.hpp"
+#include "util/logging.hpp"
+#include "util/string_util.hpp"
+
+namespace snnsec::core {
+
+namespace {
+
+constexpr int kJournalVersion = 1;
+
+// ---------------------------------------------------------------------------
+// JSON emission. %.17g round-trips every double exactly, which is what lets
+// a resumed run's CSV diff clean against the uninterrupted run's.
+
+std::string json_number(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string hex16(std::uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string run_header(std::uint64_t config_hash) {
+  std::string line = "{\"type\":\"run\",\"version\":";
+  line += std::to_string(kJournalVersion);
+  line += ",\"config_hash\":\"" + hex16(config_hash) + "\"}";
+  return line;
+}
+
+// ---------------------------------------------------------------------------
+// Minimal recursive-descent JSON parser — just enough for journal lines.
+// Malformed input yields nullopt, never a throw: a truncated tail after a
+// crash is an expected condition, not an error.
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> items;
+  std::vector<std::pair<std::string, JsonValue>> members;
+
+  const JsonValue* find(std::string_view key) const {
+    for (const auto& [k, v] : members)
+      if (k == key) return &v;
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> parse() {
+    JsonValue v;
+    if (!parse_value(v)) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  bool eat(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool eat_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!eat('"')) return false;
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return false;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return false;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              return false;
+          }
+          // The writer only emits \u00XX; anything wider degrades to '?'.
+          out += code < 0x80 ? static_cast<char>(code) : '?';
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;  // unterminated string
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' ||
+          c == 'e' || c == 'E')
+        ++pos_;
+      else
+        break;
+    }
+    if (pos_ == start) return false;
+    const std::string num(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    out.number = std::strtod(num.c_str(), &end);
+    if (end != num.c_str() + num.size()) return false;
+    out.kind = JsonValue::Kind::kNumber;
+    return true;
+  }
+
+  bool parse_value(JsonValue& out) {  // NOLINT(misc-no-recursion)
+    if (++depth_ > 32) return false;
+    skip_ws();
+    if (pos_ >= text_.size()) return false;
+    bool ok = false;
+    switch (text_[pos_]) {
+      case '{': {
+        ++pos_;
+        out.kind = JsonValue::Kind::kObject;
+        skip_ws();
+        if (eat('}')) { ok = true; break; }
+        while (true) {
+          std::string key;
+          JsonValue val;
+          if (!parse_string(key) || !eat(':') || !parse_value(val)) break;
+          out.members.emplace_back(std::move(key), std::move(val));
+          if (eat(',')) continue;
+          ok = eat('}');
+          break;
+        }
+        break;
+      }
+      case '[': {
+        ++pos_;
+        out.kind = JsonValue::Kind::kArray;
+        skip_ws();
+        if (eat(']')) { ok = true; break; }
+        while (true) {
+          JsonValue val;
+          if (!parse_value(val)) break;
+          out.items.push_back(std::move(val));
+          if (eat(',')) continue;
+          ok = eat(']');
+          break;
+        }
+        break;
+      }
+      case '"':
+        out.kind = JsonValue::Kind::kString;
+        ok = parse_string(out.str);
+        break;
+      case 't':
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = true;
+        ok = eat_literal("true");
+        break;
+      case 'f':
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = false;
+        ok = eat_literal("false");
+        break;
+      case 'n':
+        out.kind = JsonValue::Kind::kNull;
+        ok = eat_literal("null");
+        break;
+      default:
+        ok = parse_number(out);
+    }
+    --depth_;
+    return ok;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+bool get_number(const JsonValue& obj, std::string_view key, double& out) {
+  const JsonValue* v = obj.find(key);
+  if (!v || v->kind != JsonValue::Kind::kNumber) return false;
+  out = v->number;
+  return true;
+}
+
+bool get_string(const JsonValue& obj, std::string_view key,
+                std::string& out) {
+  const JsonValue* v = obj.find(key);
+  if (!v || v->kind != JsonValue::Kind::kString) return false;
+  out = v->str;
+  return true;
+}
+
+bool get_bool(const JsonValue& obj, std::string_view key, bool& out) {
+  const JsonValue* v = obj.find(key);
+  if (!v || v->kind != JsonValue::Kind::kBool) return false;
+  out = v->boolean;
+  return true;
+}
+
+/// Header check: matching run line for this (version, config_hash)?
+bool header_matches(const std::string& line, std::uint64_t config_hash) {
+  auto parsed = JsonParser(line).parse();
+  if (!parsed || parsed->kind != JsonValue::Kind::kObject) return false;
+  std::string type, hash;
+  double version = 0.0;
+  return get_string(*parsed, "type", type) && type == "run" &&
+         get_number(*parsed, "version", version) &&
+         static_cast<int>(version) == kJournalVersion &&
+         get_string(*parsed, "config_hash", hash) &&
+         hash == hex16(config_hash);
+}
+
+}  // namespace
+
+std::string RunJournal::encode_cell(const CellResult& cell) {
+  std::string line = "{\"type\":\"cell\"";
+  line += ",\"v_th\":" + json_number(cell.v_th);
+  line += ",\"T\":" + std::to_string(cell.time_steps);
+  line += ",\"clean_accuracy\":" + json_number(cell.clean_accuracy);
+  line += std::string(",\"learnable\":") + (cell.learnable ? "true" : "false");
+  line += std::string(",\"status\":\"") + to_string(cell.status) + "\"";
+  line += ",\"attempts\":" + std::to_string(cell.attempts);
+  line += ",\"error\":\"" + json_escape(cell.error) + "\"";
+  line += ",\"train_seconds\":" + json_number(cell.train_seconds);
+  line += ",\"spike_rates\":[";
+  for (std::size_t i = 0; i < cell.spike_rates.size(); ++i) {
+    if (i) line += ',';
+    line += json_number(cell.spike_rates[i]);
+  }
+  line += "],\"robustness\":[";
+  bool first = true;
+  for (const auto& [eps, pt] : cell.robustness) {
+    if (!first) line += ',';
+    first = false;
+    line += "{\"eps\":" + json_number(eps);
+    line += ",\"robustness\":" + json_number(pt.robustness);
+    line += ",\"attack_success_rate\":" + json_number(pt.attack_success_rate);
+    line += ",\"mean_linf\":" + json_number(pt.mean_linf);
+    line += ",\"mean_loss\":" + json_number(pt.mean_loss) + "}";
+  }
+  line += "]}";
+  return line;
+}
+
+std::optional<CellResult> RunJournal::decode_cell(const std::string& line) {
+  auto parsed = JsonParser(line).parse();
+  if (!parsed || parsed->kind != JsonValue::Kind::kObject) return std::nullopt;
+  std::string type;
+  if (!get_string(*parsed, "type", type) || type != "cell")
+    return std::nullopt;
+
+  CellResult cell;
+  double t = 0.0, attempts = 0.0;
+  std::string status;
+  if (!get_number(*parsed, "v_th", cell.v_th) ||
+      !get_number(*parsed, "T", t) ||
+      !get_number(*parsed, "clean_accuracy", cell.clean_accuracy) ||
+      !get_bool(*parsed, "learnable", cell.learnable) ||
+      !get_string(*parsed, "status", status) ||
+      !get_number(*parsed, "attempts", attempts) ||
+      !get_string(*parsed, "error", cell.error) ||
+      !get_number(*parsed, "train_seconds", cell.train_seconds))
+    return std::nullopt;
+  cell.time_steps = static_cast<std::int64_t>(t);
+  cell.attempts = static_cast<int>(attempts);
+  const auto parsed_status = cell_status_from_string(status);
+  if (!parsed_status) return std::nullopt;
+  cell.status = *parsed_status;
+
+  const JsonValue* rates = parsed->find("spike_rates");
+  if (!rates || rates->kind != JsonValue::Kind::kArray) return std::nullopt;
+  for (const auto& r : rates->items) {
+    if (r.kind != JsonValue::Kind::kNumber) return std::nullopt;
+    cell.spike_rates.push_back(r.number);
+  }
+
+  const JsonValue* rob = parsed->find("robustness");
+  if (!rob || rob->kind != JsonValue::Kind::kArray) return std::nullopt;
+  for (const auto& p : rob->items) {
+    if (p.kind != JsonValue::Kind::kObject) return std::nullopt;
+    double eps = 0.0;
+    attack::RobustnessPoint pt;
+    if (!get_number(p, "eps", eps) ||
+        !get_number(p, "robustness", pt.robustness) ||
+        !get_number(p, "attack_success_rate", pt.attack_success_rate) ||
+        !get_number(p, "mean_linf", pt.mean_linf) ||
+        !get_number(p, "mean_loss", pt.mean_loss))
+      return std::nullopt;
+    pt.epsilon = eps;
+    cell.robustness.emplace(eps, pt);
+  }
+  return cell;
+}
+
+RunJournal::RunJournal(std::string path, std::uint64_t config_hash)
+    : path_(std::move(path)) {
+  if (path_.empty()) return;
+
+  std::size_t dropped = 0;
+  {
+    std::ifstream is(path_);
+    std::string line;
+    if (is.is_open() && std::getline(is, line)) {
+      if (header_matches(line, config_hash)) {
+        while (std::getline(is, line)) {
+          if (util::trim(line).empty()) continue;
+          if (auto cell = decode_cell(line)) {
+            cell->from_journal = true;
+            recovered_.push_back(std::move(*cell));
+          } else {
+            // Truncated tail from a crash mid-append, or bit rot: drop this
+            // line and everything after it — later lines may depend on a
+            // state we no longer trust.
+            ++dropped;
+            break;
+          }
+        }
+      } else {
+        SNNSEC_LOG_WARN("journal " << path_
+                                   << ": header mismatch or corrupt; "
+                                      "starting fresh (previous run used a "
+                                      "different configuration?)");
+        SNNSEC_COUNTER_ADD("journal.discarded", 1);
+      }
+    }
+  }
+  if (dropped > 0) {
+    SNNSEC_LOG_WARN("journal " << path_ << ": dropped corrupt tail after "
+                               << recovered_.size() << " intact cells");
+    SNNSEC_COUNTER_ADD("journal.lines.dropped",
+                       static_cast<std::int64_t>(dropped));
+  }
+  if (!recovered_.empty())
+    SNNSEC_COUNTER_ADD("journal.cells.recovered",
+                       static_cast<std::int64_t>(recovered_.size()));
+
+  // Rewrite with exactly the trusted lines so appends always start from a
+  // clean, newline-terminated tail (a crash mid-append may have left a
+  // partial line that a naive append would corrupt further).
+  util::atomic_write_file(path_, [&](std::ostream& os) {
+    os << run_header(config_hash) << '\n';
+    for (const auto& cell : recovered_) os << encode_cell(cell) << '\n';
+  });
+
+  out_.open(path_, std::ios::app);
+  SNNSEC_CHECK(out_.is_open(), "RunJournal: cannot open " << path_
+                                                          << " for append");
+}
+
+void RunJournal::append(const CellResult& cell) {
+  if (!out_.is_open()) return;
+  out_ << encode_cell(cell) << '\n';
+  out_.flush();
+  SNNSEC_CHECK(out_.good(), "RunJournal: append to " << path_ << " failed");
+  util::fsync_path(path_);
+}
+
+}  // namespace snnsec::core

@@ -1,0 +1,63 @@
+// Crash-safe run journal for the (V_th, T) exploration.
+//
+// An append-only JSONL file next to the cell cache: a header line
+// identifying the run ({"type":"run","version":1,"config_hash":"<hex16>"})
+// followed by one {"type":"cell",...} line per finished grid cell, each
+// flushed and fsynced before the explorer moves on. A killed sweep is
+// resumed by re-opening the same path under the same config fingerprint:
+// every journaled cell is replayed into the report without retraining and
+// the grid loop continues from the first missing cell.
+//
+// Only the report-level cell payload is journaled (accuracy, status,
+// robustness points, spike rates) — activity probes are recomputed only for
+// freshly-run cells, so replayed cells carry empty `activity`.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/report.hpp"
+
+namespace snnsec::core {
+
+class RunJournal {
+ public:
+  /// Inactive journal: recovered() is empty and append() is a no-op.
+  RunJournal() = default;
+
+  /// Open `path` for a run identified by `config_hash`. An existing journal
+  /// with a matching header has its intact cell lines recovered (truncated
+  /// or corrupt tails are dropped with a warning); a mismatched or
+  /// unparseable header discards the file — a journal from a different
+  /// config must never seed this run. The file is then rewritten atomically
+  /// with exactly the recovered lines, so appends always start from a clean
+  /// tail even after a crash mid-write.
+  RunJournal(std::string path, std::uint64_t config_hash);
+
+  RunJournal(const RunJournal&) = delete;
+  RunJournal& operator=(const RunJournal&) = delete;
+
+  bool active() const { return out_.is_open(); }
+  const std::string& path() const { return path_; }
+
+  /// Cells recovered from a previous interrupted run (grid order).
+  const std::vector<CellResult>& recovered() const { return recovered_; }
+
+  /// Durably append one finished cell (flush + fsync). No-op when inactive.
+  void append(const CellResult& cell);
+
+  /// One-line JSON encoding of a cell (exposed for tests).
+  static std::string encode_cell(const CellResult& cell);
+  /// Parse one journal cell line; nullopt on malformed input.
+  static std::optional<CellResult> decode_cell(const std::string& line);
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::vector<CellResult> recovered_;
+};
+
+}  // namespace snnsec::core

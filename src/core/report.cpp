@@ -10,8 +10,30 @@
 
 namespace snnsec::core {
 
+const char* to_string(CellStatus status) {
+  switch (status) {
+    case CellStatus::kOk:
+      return "ok";
+    case CellStatus::kSkippedLearnability:
+      return "skipped_learnability";
+    case CellStatus::kFailedDiverged:
+      return "failed_diverged";
+    case CellStatus::kFailedTimeout:
+      return "failed_timeout";
+  }
+  return "unknown";
+}
+
+std::optional<CellStatus> cell_status_from_string(const std::string& name) {
+  if (name == "ok") return CellStatus::kOk;
+  if (name == "skipped_learnability") return CellStatus::kSkippedLearnability;
+  if (name == "failed_diverged") return CellStatus::kFailedDiverged;
+  if (name == "failed_timeout") return CellStatus::kFailedTimeout;
+  return std::nullopt;
+}
+
 std::optional<double> CellResult::robustness_at(double epsilon) const {
-  if (!learnable) return std::nullopt;
+  if (failed() || !learnable) return std::nullopt;
   if (epsilon == 0.0) return clean_accuracy;
   // Tolerant key lookup (grid values are exact doubles from config, but be
   // safe against formatting round-trips).
@@ -53,6 +75,8 @@ std::string ExplorationReport::heatmap(double epsilon) const {
       const auto r = cell ? cell->robustness_at(epsilon) : std::nullopt;
       if (!cell) {
         oss << "     ?";
+      } else if (cell->failed()) {
+        oss << "  FAIL";
       } else if (epsilon == 0.0) {
         char buf[16];
         std::snprintf(buf, sizeof(buf), " %5.1f", cell->clean_accuracy * 100);
@@ -73,14 +97,15 @@ std::string ExplorationReport::heatmap(double epsilon) const {
 void ExplorationReport::write_csv(const std::string& path) const {
   util::CsvWriter csv(path);
   std::vector<std::string> header = {"v_th", "T", "clean_accuracy",
-                                     "learnable"};
+                                     "learnable", "status", "attempts"};
   for (const double eps : eps_grid)
     header.push_back("robustness_eps_" + util::format_float(eps, 2));
   csv.write_header(header);
   for (const auto& cell : cells) {
     util::CsvWriter::Row row;
     row << cell.v_th << cell.time_steps << cell.clean_accuracy
-        << (cell.learnable ? "1" : "0");
+        << (cell.learnable ? "1" : "0") << to_string(cell.status)
+        << cell.attempts;
     for (const double eps : eps_grid) {
       const auto r = cell.robustness_at(eps);
       row << (r ? util::format_float(*r, 6) : std::string("NA"));
@@ -91,18 +116,26 @@ void ExplorationReport::write_csv(const std::string& path) const {
 
 void ExplorationReport::write_activity_csv(const std::string& path) const {
   util::CsvWriter csv(path);
-  csv.write_header({"v_th", "T", "layer", "firing_rate", "spike_count",
-                    "neuron_steps", "silent_fraction", "saturated_fraction",
-                    "v_mean", "v_min", "v_max"});
+  csv.write_header({"v_th", "T", "status", "layer", "firing_rate",
+                    "spike_count", "neuron_steps", "silent_fraction",
+                    "saturated_fraction", "v_mean", "v_min", "v_max"});
   for (const auto& cell : cells) {
     for (const auto& a : cell.activity) {
       util::CsvWriter::Row row;
-      row << cell.v_th << cell.time_steps << a.layer << a.firing_rate
+      row << cell.v_th << cell.time_steps << to_string(cell.status) << a.layer
+          << a.firing_rate
           << a.spike_count << a.neuron_steps << a.silent_fraction
           << a.saturated_fraction << a.v_mean << a.v_min << a.v_max;
       csv.write(row);
     }
   }
+}
+
+std::size_t ExplorationReport::failed_count() const {
+  std::size_t n = 0;
+  for (const auto& cell : cells)
+    if (cell.failed()) ++n;
+  return n;
 }
 
 double ExplorationReport::learnable_fraction() const {

@@ -11,12 +11,33 @@
 
 namespace snnsec::core {
 
+/// Terminal state of one (V_th, T) grid cell. A fault-tolerant sweep never
+/// aborts on a bad cell: it either completes it (kOk), filters it
+/// (kSkippedLearnability, Algorithm 1's A_th gate) or marks it failed and
+/// moves on (divergence after exhausting re-seeded retries, or the per-cell
+/// wall-clock budget).
+enum class CellStatus {
+  kOk,
+  kSkippedLearnability,
+  kFailedDiverged,
+  kFailedTimeout,
+};
+
+const char* to_string(CellStatus status);
+/// Inverse of to_string; nullopt for unknown names (journal forward-compat).
+std::optional<CellStatus> cell_status_from_string(const std::string& name);
+
 /// One (V_th, T) grid cell of Algorithm 1.
 struct CellResult {
   double v_th = 0.0;
   std::int64_t time_steps = 0;
   double clean_accuracy = 0.0;
   bool learnable = false;  ///< clean_accuracy >= A_th
+  CellStatus status = CellStatus::kOk;
+  int attempts = 1;          ///< training attempts consumed (retries + 1)
+  bool from_cache = false;   ///< weights restored from a cell checkpoint
+  bool from_journal = false; ///< whole cell restored from a resume journal
+  std::string error;         ///< failure reason (failed cells only)
   /// ε -> robustness point (only filled for learnable cells).
   std::map<double, attack::RobustnessPoint> robustness;
   /// Mean spike rate per LIF layer after the final evaluation forward.
@@ -28,8 +49,13 @@ struct CellResult {
   double train_seconds = 0.0;
 
   /// Robustness at ε (clean accuracy when ε == 0); nullopt when the cell
-  /// was skipped or ε was not evaluated.
+  /// failed, was skipped, or ε was not evaluated.
   std::optional<double> robustness_at(double epsilon) const;
+
+  bool failed() const {
+    return status == CellStatus::kFailedDiverged ||
+           status == CellStatus::kFailedTimeout;
+  }
 };
 
 struct ExplorationReport {
@@ -38,16 +64,23 @@ struct ExplorationReport {
   std::vector<double> eps_grid;
   double accuracy_threshold = 0.0;
   std::vector<CellResult> cells;  ///< row-major: v_th outer, T inner
+  /// Cells restored from a resume journal instead of being re-run.
+  std::size_t resumed_cells = 0;
 
   const CellResult* find(double v_th, std::int64_t t) const;
 
+  /// Cells that ended in a failed_* status.
+  std::size_t failed_count() const;
+
   /// ASCII heatmap of clean accuracy (the paper's Fig. 6), or of
   /// robustness at `epsilon` (Figs. 7–8) when epsilon > 0. Skipped cells
-  /// print as "----".
+  /// print as "----"; failed cells as "FAIL".
   std::string heatmap(double epsilon = 0.0) const;
 
-  /// Flat CSV: v_th, T, clean_acc, learnable, then one robustness column
-  /// per ε in eps_grid.
+  /// Flat CSV: v_th, T, clean_acc, learnable, status, attempts, then one
+  /// robustness column per ε in eps_grid. Deliberately excludes volatile
+  /// provenance (from_cache/from_journal/train_seconds) so a resumed run's
+  /// CSV is byte-comparable against an uninterrupted run's.
   void write_csv(const std::string& path) const;
 
   /// Long-format activity CSV: one row per (cell, LIF layer) with firing

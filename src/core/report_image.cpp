@@ -37,6 +37,14 @@ void write_heatmap_ppm(const ExplorationReport& report, double epsilon,
         image.fill_rect(x0, y0, cell, cell, 60, 60, 60);
         continue;
       }
+      if (result->failed()) {
+        // Failed cell (diverged / timed out): red block with dark stripes,
+        // visually distinct from the learnability-filtered gray hatch.
+        image.fill_rect(x0, y0, cell, cell, 150, 40, 40);
+        for (std::int64_t d = 0; d < cell; d += 4)
+          image.fill_rect(x0, y0 + d, cell, 2, 90, 20, 20);
+        continue;
+      }
       const auto value = result->robustness_at(epsilon);
       if (!value) {
         // Skipped by the learnability filter: hatched gray block.

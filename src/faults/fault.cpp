@@ -1,0 +1,165 @@
+#include "faults/fault.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+
+namespace snnsec::faults {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kWeightBitflip: return "weight_bitflip";
+    case FaultKind::kStuckAtZero: return "stuck_at_zero";
+    case FaultKind::kStuckAtOne: return "stuck_at_one";
+    case FaultKind::kSpikeDrop: return "spike_drop";
+    case FaultKind::kSpikeJitter: return "spike_jitter";
+  }
+  return "unknown";
+}
+
+std::string FaultSpec::label() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", rate);
+  return std::string(to_string(kind)) + "@" + buf;
+}
+
+void FaultSpec::validate() const {
+  SNNSEC_CHECK(rate >= 0.0 && rate <= 1.0,
+               "FaultSpec " << label() << ": rate outside [0, 1]");
+}
+
+std::size_t inject_weight_bitflips(
+    const std::vector<nn::Parameter*>& params, double ber, util::Rng& rng) {
+  SNNSEC_CHECK(ber >= 0.0 && ber <= 1.0,
+               "inject_weight_bitflips: BER outside [0, 1]");
+  if (ber <= 0.0 || params.empty()) return 0;
+
+  std::uint64_t total_bits = 0;
+  for (const nn::Parameter* p : params)
+    total_bits += static_cast<std::uint64_t>(p->value.numel()) * 32;
+
+  const auto flip = [&](std::uint64_t bit) {
+    // Locate the owning tensor, then the word and bit inside it.
+    for (nn::Parameter* p : params) {
+      const std::uint64_t bits =
+          static_cast<std::uint64_t>(p->value.numel()) * 32;
+      if (bit >= bits) {
+        bit -= bits;
+        continue;
+      }
+      float* slot = p->value.data() + bit / 32;
+      std::uint32_t word = 0;
+      std::memcpy(&word, slot, sizeof(word));
+      word ^= 1u << (bit % 32);
+      std::memcpy(slot, &word, sizeof(word));
+      return;
+    }
+  };
+
+  std::size_t flipped = 0;
+  if (ber >= 1.0) {
+    for (std::uint64_t bit = 0; bit < total_bits; ++bit) flip(bit);
+    return static_cast<std::size_t>(total_bits);
+  }
+
+  // Geometric gap sampling: the distance to the next flipped bit under iid
+  // Bernoulli(ber) is Geometric(ber), so we jump straight between flips
+  // instead of drawing per bit — O(flips) draws even at BER 1e-9.
+  const double log1m = std::log1p(-ber);
+  std::uint64_t pos = 0;
+  while (pos < total_bits) {
+    const double u = rng.uniform();  // in [0, 1)
+    const double gap = std::floor(std::log1p(-u) / log1m);
+    if (gap >= static_cast<double>(total_bits)) break;
+    pos += static_cast<std::uint64_t>(gap);
+    if (pos >= total_bits) break;
+    flip(pos);
+    ++flipped;
+    ++pos;
+  }
+  SNNSEC_COUNTER_ADD("faults.bits_flipped",
+                     static_cast<std::int64_t>(flipped));
+  return flipped;
+}
+
+std::vector<tensor::Tensor> snapshot_parameters(
+    const std::vector<nn::Parameter*>& params) {
+  std::vector<tensor::Tensor> snapshot;
+  snapshot.reserve(params.size());
+  for (const nn::Parameter* p : params)
+    snapshot.push_back(p->value.clone());
+  return snapshot;
+}
+
+void restore_parameters(const std::vector<nn::Parameter*>& params,
+                        const std::vector<tensor::Tensor>& snapshot) {
+  SNNSEC_CHECK(params.size() == snapshot.size(),
+               "restore_parameters: snapshot size mismatch ("
+                   << snapshot.size() << " vs " << params.size() << ")");
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    SNNSEC_CHECK(params[i]->value.shape() == snapshot[i].shape(),
+                 "restore_parameters: shape mismatch at parameter " << i);
+    params[i]->value = snapshot[i].clone();
+  }
+}
+
+std::size_t arm_fault(snn::SpikingClassifier& model, const FaultSpec& spec) {
+  spec.validate();
+  if (spec.kind == FaultKind::kWeightBitflip) {
+    util::Rng rng(spec.seed);
+    auto params = model.parameters();
+    return inject_weight_bitflips(params, spec.rate, rng);
+  }
+
+  snn::SpikeFault fault;
+  switch (spec.kind) {
+    case FaultKind::kStuckAtZero: fault.stuck_zero_fraction = spec.rate; break;
+    case FaultKind::kStuckAtOne: fault.stuck_one_fraction = spec.rate; break;
+    case FaultKind::kSpikeDrop: fault.drop_prob = spec.rate; break;
+    case FaultKind::kSpikeJitter: fault.jitter_prob = spec.rate; break;
+    case FaultKind::kWeightBitflip: break;  // handled above
+  }
+
+  const util::Rng root(spec.seed);
+  nn::Sequential& net = model.net();
+  std::size_t armed = 0;
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    auto* lif = dynamic_cast<snn::LifLayer*>(&net.layer(i));
+    if (!lif) continue;
+    // Distinct per-layer streams: layer k's fault pattern must not repeat
+    // layer k+1's even when their populations happen to match in size.
+    fault.seed = root.fork(static_cast<std::uint64_t>(armed)).seed();
+    lif->set_spike_fault(fault);
+    ++armed;
+  }
+  return armed;
+}
+
+void clear_spike_faults(snn::SpikingClassifier& model) {
+  nn::Sequential& net = model.net();
+  for (std::size_t i = 0; i < net.size(); ++i)
+    if (auto* lif = dynamic_cast<snn::LifLayer*>(&net.layer(i)))
+      lif->clear_spike_fault();
+}
+
+ScopedFault::ScopedFault(snn::SpikingClassifier& model, const FaultSpec& spec)
+    : model_(model) {
+  if (spec.kind == FaultKind::kWeightBitflip) {
+    snapshot_ = snapshot_parameters(model.parameters());
+    weights_touched_ = true;
+  }
+  injected_ = arm_fault(model, spec);
+}
+
+ScopedFault::~ScopedFault() {
+  clear_spike_faults(model_);
+  if (weights_touched_) {
+    auto params = model_.parameters();
+    restore_parameters(params, snapshot_);
+  }
+}
+
+}  // namespace snnsec::faults

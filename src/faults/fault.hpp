@@ -1,0 +1,93 @@
+// Deterministic hardware-fault injection for trained spiking networks.
+//
+// The paper argues structural parameters (V_th, T) buy adversarial
+// robustness for free; the same question arises for *hardware* faults on
+// neuromorphic substrates: flipped weight bits in storage, dead or
+// saturated neurons, dropped or delayed spikes on the interconnect. This
+// module injects those fault classes into an already-trained
+// SpikingClassifier — deterministically, from an explicit seed — so
+// accuracy-under-fault can be swept across the (V_th, T) grid exactly like
+// accuracy-under-attack.
+//
+// All injectors are evaluation-time only: weight flips mutate Parameter
+// values (snapshot/restore around them, or use ScopedFault) and spike
+// faults arm the snn::SpikeFault post-pass on every LifLayer, which is not
+// differentiable-through.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/parameter.hpp"
+#include "snn/spiking_network.hpp"
+#include "util/rng.hpp"
+
+namespace snnsec::faults {
+
+enum class FaultKind {
+  kWeightBitflip,  ///< iid flips over all float32 weight bits at a BER
+  kStuckAtZero,    ///< dead neurons: slots that never fire
+  kStuckAtOne,     ///< saturated neurons: slots firing every time step
+  kSpikeDrop,      ///< each spike independently deleted
+  kSpikeJitter,    ///< each spike independently delayed one time step
+};
+
+const char* to_string(FaultKind kind);
+
+/// One fault scenario: a kind plus its intensity. `rate` is the bit-error
+/// rate for kWeightBitflip, the affected slot fraction for stuck-at faults
+/// and the per-spike probability for drop/jitter — always in [0, 1].
+struct FaultSpec {
+  FaultKind kind = FaultKind::kWeightBitflip;
+  double rate = 0.0;
+  std::uint64_t seed = 7;
+
+  /// Stable human/CSV identifier, e.g. "weight_bitflip@0.001".
+  std::string label() const;
+  void validate() const;
+};
+
+/// Flip each of the numel*32 bits across all parameter tensors
+/// independently with probability `ber` (geometric gap sampling: O(flips),
+/// not O(bits)). Returns the number of bits flipped. Exponent-bit flips may
+/// produce non-finite weights — that is the fault model, not a bug.
+std::size_t inject_weight_bitflips(
+    const std::vector<nn::Parameter*>& params, double ber, util::Rng& rng);
+
+/// Deep-copy every parameter value (for restore after weight faults).
+std::vector<tensor::Tensor> snapshot_parameters(
+    const std::vector<nn::Parameter*>& params);
+void restore_parameters(const std::vector<nn::Parameter*>& params,
+                        const std::vector<tensor::Tensor>& snapshot);
+
+/// Apply `spec` to the model: weight faults mutate parameters immediately;
+/// spike faults arm every LifLayer (per-layer sub-seeds forked from
+/// spec.seed) until clear_faults(). Returns bits flipped for
+/// kWeightBitflip, LIF layers armed otherwise.
+std::size_t arm_fault(snn::SpikingClassifier& model, const FaultSpec& spec);
+
+/// Disarm the spike-fault post-pass on every LifLayer (weight faults are
+/// undone via restore_parameters, not here).
+void clear_spike_faults(snn::SpikingClassifier& model);
+
+/// RAII scope: snapshot weights, apply `spec`, and undo everything —
+/// weights restored, spike faults cleared — on destruction.
+class ScopedFault {
+ public:
+  ScopedFault(snn::SpikingClassifier& model, const FaultSpec& spec);
+  ~ScopedFault();
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+  /// Bits flipped (kWeightBitflip) or LIF layers armed (spike faults).
+  std::size_t injected() const { return injected_; }
+
+ private:
+  snn::SpikingClassifier& model_;
+  std::vector<tensor::Tensor> snapshot_;
+  std::size_t injected_ = 0;
+  bool weights_touched_ = false;
+};
+
+}  // namespace snnsec::faults

@@ -1,0 +1,142 @@
+#include "faults/harness.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "nn/metrics.hpp"
+#include "obs/metrics.hpp"
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+#include "util/string_util.hpp"
+
+namespace snnsec::faults {
+
+void FaultGridConfig::validate() const {
+  SNNSEC_CHECK(!faults.empty(), "FaultGridConfig: no faults to evaluate");
+  for (const auto& f : faults) f.validate();
+  SNNSEC_CHECK(eval_batch > 0, "FaultGridConfig: bad eval_batch");
+}
+
+const FaultCellResult* FaultReport::find(double v_th, std::int64_t t) const {
+  for (const auto& cell : cells)
+    if (cell.time_steps == t && std::fabs(cell.v_th - v_th) < 1e-9)
+      return &cell;
+  return nullptr;
+}
+
+std::string FaultReport::table() const {
+  std::ostringstream oss;
+  oss << "accuracy under fault [%] over (V_th, T)\n";
+  oss << "  v_th      T  baseline";
+  for (const auto& label : fault_labels) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "  %20s", label.c_str());
+    oss << buf;
+  }
+  oss << '\n';
+  for (const auto& cell : cells) {
+    char head[40];
+    std::snprintf(head, sizeof(head), "  %.2f  %5lld", cell.v_th,
+                  static_cast<long long>(cell.time_steps));
+    oss << head;
+    if (cell.status != core::CellStatus::kOk &&
+        cell.status != core::CellStatus::kSkippedLearnability) {
+      oss << "  [" << core::to_string(cell.status) << "]\n";
+      continue;
+    }
+    char base[16];
+    std::snprintf(base, sizeof(base), "  %7.1f", cell.baseline_accuracy * 100);
+    oss << base;
+    for (const auto& label : fault_labels) {
+      const auto it = cell.accuracy.find(label);
+      if (it == cell.accuracy.end()) {
+        oss << "                    --";
+      } else {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "  %20.1f", it->second * 100);
+        oss << buf;
+      }
+    }
+    oss << '\n';
+  }
+  return oss.str();
+}
+
+void FaultReport::write_csv(const std::string& path) const {
+  util::CsvWriter csv(path);
+  std::vector<std::string> header = {"v_th", "T", "status",
+                                     "baseline_accuracy"};
+  for (const auto& label : fault_labels) header.push_back(label);
+  csv.write_header(header);
+  for (const auto& cell : cells) {
+    util::CsvWriter::Row row;
+    row << cell.v_th << cell.time_steps << core::to_string(cell.status)
+        << cell.baseline_accuracy;
+    for (const auto& label : fault_labels) {
+      const auto it = cell.accuracy.find(label);
+      row << (it == cell.accuracy.end() ? std::string("NA")
+                                        : util::format_float(it->second, 6));
+    }
+    csv.write(row);
+  }
+}
+
+FaultReport evaluate_fault_grid(core::RobustnessExplorer& explorer,
+                                const data::DataBundle& data,
+                                const FaultGridConfig& cfg) {
+  cfg.validate();
+  const core::ExplorationConfig& xcfg = explorer.config();
+
+  FaultReport report;
+  report.v_th_grid = xcfg.v_th_grid;
+  report.t_grid = xcfg.t_grid;
+  for (const auto& f : cfg.faults) report.fault_labels.push_back(f.label());
+
+  data::Dataset eval_set = data.test;
+  if (cfg.eval_cap > 0 && eval_set.size() > cfg.eval_cap)
+    eval_set = eval_set.take(cfg.eval_cap);
+
+  for (const double v_th : xcfg.v_th_grid) {
+    for (const std::int64_t t : xcfg.t_grid) {
+      auto trained = explorer.train_cell(v_th, t, data);
+
+      FaultCellResult cell;
+      cell.v_th = v_th;
+      cell.time_steps = t;
+      cell.status = trained.status;
+      if (trained.status != core::CellStatus::kOk || !trained.model) {
+        SNNSEC_LOG_WARN("fault grid: cell (v_th=" << v_th << ", T=" << t
+                                                  << ") training failed ("
+                                                  << trained.error
+                                                  << "); skipping");
+        report.cells.push_back(std::move(cell));
+        continue;
+      }
+
+      cell.baseline_accuracy = nn::accuracy(
+          *trained.model, eval_set.images, eval_set.labels, cfg.eval_batch);
+      for (const auto& spec : cfg.faults) {
+        ScopedFault scope(*trained.model, spec);
+        const double acc = nn::accuracy(*trained.model, eval_set.images,
+                                        eval_set.labels, cfg.eval_batch);
+        cell.accuracy.emplace(spec.label(), acc);
+        if (obs::Registry::enabled())
+          obs::Registry::instance().record(
+              "faults.accuracy", acc,
+              {{"v_th", util::format_float(v_th, 4)},
+               {"T", std::to_string(t)},
+               {"fault", spec.label()}});
+      }
+      SNNSEC_LOG_INFO("fault grid cell (v_th="
+                      << v_th << ", T=" << t
+                      << "): baseline=" << cell.baseline_accuracy
+                      << ", " << cfg.faults.size() << " faults evaluated");
+      report.cells.push_back(std::move(cell));
+    }
+  }
+  return report;
+}
+
+}  // namespace snnsec::faults

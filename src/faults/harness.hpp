@@ -1,0 +1,61 @@
+// Accuracy-under-fault across the (V_th, T) grid.
+//
+// The structural-parameter study of Algorithm 1, with the adversary
+// replaced by a hardware-fault model: every grid cell's trained network
+// (shared with the robustness sweep through the explorer's cell cache) is
+// evaluated clean and under each FaultSpec, yielding a fault-tolerance
+// heatmap over the same axes as the paper's robustness figures.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/explorer.hpp"
+#include "faults/fault.hpp"
+
+namespace snnsec::faults {
+
+struct FaultGridConfig {
+  std::vector<FaultSpec> faults;
+  /// Cap on test samples per evaluation; -1 = the full test set.
+  std::int64_t eval_cap = -1;
+  std::int64_t eval_batch = 32;
+
+  void validate() const;
+};
+
+struct FaultCellResult {
+  double v_th = 0.0;
+  std::int64_t time_steps = 0;
+  core::CellStatus status = core::CellStatus::kOk;  ///< training outcome
+  double baseline_accuracy = 0.0;  ///< fault-free accuracy on the eval set
+  /// FaultSpec::label() -> accuracy under that fault (empty for cells whose
+  /// training failed — the sweep skips them and moves on).
+  std::map<std::string, double> accuracy;
+};
+
+struct FaultReport {
+  std::vector<double> v_th_grid;
+  std::vector<std::int64_t> t_grid;
+  std::vector<std::string> fault_labels;
+  std::vector<FaultCellResult> cells;
+
+  const FaultCellResult* find(double v_th, std::int64_t t) const;
+
+  /// Human-readable table: one row per cell, one column per fault.
+  std::string table() const;
+
+  /// CSV: v_th, T, status, baseline_accuracy, then one column per fault.
+  void write_csv(const std::string& path) const;
+};
+
+/// Train (or cache-load) every (V_th, T) cell through `explorer` and
+/// measure its accuracy under every fault in `cfg`. Cells whose training
+/// fails (diverged/timeout after the explorer's retries) are recorded with
+/// their status and skipped.
+FaultReport evaluate_fault_grid(core::RobustnessExplorer& explorer,
+                                const data::DataBundle& data,
+                                const FaultGridConfig& cfg);
+
+}  // namespace snnsec::faults

@@ -1,6 +1,7 @@
 #include "nn/trainer.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <memory>
 #include <numeric>
@@ -8,6 +9,7 @@
 #include "nn/metrics.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/error.hpp"
 #include "util/logging.hpp"
 #include "util/stopwatch.hpp"
 
@@ -74,6 +76,8 @@ TrainHistory Trainer::fit(
   std::iota(order.begin(), order.end(), 0);
 
   TrainHistory history;
+  util::Stopwatch fit_watch;  // wall-clock budget (max_seconds sentinel)
+  double first_epoch_loss = 0.0;
   SNNSEC_TRACE_SCOPE("train.fit");
   for (std::int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
     SNNSEC_TRACE_SCOPE("train.epoch");
@@ -93,7 +97,24 @@ TrainHistory Trainer::fit(
       for (std::int64_t i = b; i < e; ++i)
         yb[static_cast<std::size_t>(i - b)] =
             labels[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])];
-      loss_sum += model.train_batch(xb, yb, *optimizer);
+      const double batch_loss = model.train_batch(xb, yb, *optimizer);
+      if (config_.check_finite_loss && !std::isfinite(batch_loss)) {
+        SNNSEC_COUNTER_ADD("train.divergence", 1);
+        std::ostringstream oss;
+        oss << "Trainer::fit diverged: non-finite loss " << batch_loss
+            << " at epoch " << epoch << ", batch " << batches;
+        throw util::DivergenceError(oss.str());
+      }
+      if (config_.max_seconds > 0.0 &&
+          fit_watch.seconds() > config_.max_seconds) {
+        SNNSEC_COUNTER_ADD("train.timeout", 1);
+        std::ostringstream oss;
+        oss << "Trainer::fit exceeded its wall-clock budget of "
+            << config_.max_seconds << " s at epoch " << epoch << ", batch "
+            << batches;
+        throw util::TimeoutError(oss.str());
+      }
+      loss_sum += batch_loss;
       ++batches;
       SNNSEC_COUNTER_ADD("train.batches", 1);
       SNNSEC_COUNTER_ADD("train.samples", e - b);
@@ -102,6 +123,20 @@ TrainHistory Trainer::fit(
     EpochStats stats;
     stats.epoch = epoch;
     stats.train_loss = loss_sum / static_cast<double>(std::max<std::int64_t>(batches, 1));
+    // Loss-explosion sentinel: compare every later epoch to the first one.
+    // A diverging SNN cell typically shoots orders of magnitude past its
+    // starting loss long before producing NaN.
+    if (epoch == 0) first_epoch_loss = stats.train_loss;
+    if (config_.divergence_loss_factor > 0.0 && epoch > 0 &&
+        stats.train_loss >
+            config_.divergence_loss_factor * std::max(first_epoch_loss, 1e-3)) {
+      SNNSEC_COUNTER_ADD("train.divergence", 1);
+      std::ostringstream oss;
+      oss << "Trainer::fit diverged: epoch " << epoch << " loss "
+          << stats.train_loss << " exceeds " << config_.divergence_loss_factor
+          << "x the first-epoch loss " << first_epoch_loss;
+      throw util::DivergenceError(oss.str());
+    }
     // Evaluate on a capped subset to keep epochs cheap for SNNs.
     const std::int64_t eval_n = std::min<std::int64_t>(n, 512);
     {

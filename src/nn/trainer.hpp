@@ -30,6 +30,18 @@ struct TrainConfig {
   bool verbose = false;         ///< log per-epoch metrics
   LrSchedule schedule{};        ///< per-epoch learning-rate schedule
   double grad_clip_norm = 0.0;  ///< global-norm gradient clip (0 = off)
+
+  // Divergence sentinels. A (V_th, T) cell trained under a bad seed can
+  // blow up to NaN/Inf or an exploding loss; fit() detects both and throws
+  // util::DivergenceError so the caller (the explorer's retry layer) can
+  // re-seed instead of silently caching garbage weights.
+  bool check_finite_loss = true;  ///< throw on NaN/Inf batch loss
+  /// Throw when an epoch's mean loss exceeds this multiple of the first
+  /// epoch's loss (0 disables the explosion sentinel).
+  double divergence_loss_factor = 100.0;
+  /// Wall-clock budget for one fit() call in seconds; exceeding it throws
+  /// util::TimeoutError (0 = unlimited).
+  double max_seconds = 0.0;
 };
 
 struct EpochStats {
@@ -54,6 +66,9 @@ class Trainer {
   /// Train `model` on (x, labels). Returns per-epoch statistics.
   /// `on_epoch` (optional) is invoked after each epoch (early-stop hooks,
   /// logging, ...); returning false stops training.
+  /// Throws util::DivergenceError when a sentinel fires (NaN/Inf batch
+  /// loss, epoch-loss explosion) and util::TimeoutError when the
+  /// `max_seconds` wall-clock budget is exceeded.
   TrainHistory fit(
       Classifier& model, const tensor::Tensor& x,
       const std::vector<std::int64_t>& labels,

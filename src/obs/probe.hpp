@@ -26,7 +26,7 @@ struct MembraneHistSpec {
   int buckets = 16;
 
   int index(double v) const {
-    if (v <= lo) return 0;
+    if (!(v > lo)) return 0;  // negated so NaN lands in bucket 0, not UB
     if (v >= hi) return buckets - 1;
     const int i =
         static_cast<int>((v - lo) / (hi - lo) * static_cast<double>(buckets));

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <vector>
 
+#include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
 namespace snnsec::snn {
@@ -43,6 +44,7 @@ Tensor LifLayer::forward(const Tensor& x, nn::Mode mode) {
                state_v.data() + lo, pz + off + lo, pvd + off + lo);
     }
   });
+  if (fault_.any()) apply_spike_fault(z, per_step);
   for (std::int64_t i = 0; i < z.numel(); ++i) spike_sum += pz[i];
   last_spike_rate_ = spike_sum / static_cast<double>(z.numel());
   last_output_numel_ = z.numel();
@@ -155,6 +157,68 @@ void LifLayer::collect_activity_stats(const Tensor& z, const Tensor& vd,
   stats.v_min = v_min;
   stats.v_max = v_max;
   last_activity_ = std::move(stats);
+}
+
+void SpikeFault::validate() const {
+  SNNSEC_CHECK(drop_prob >= 0.0 && drop_prob <= 1.0,
+               "SpikeFault: drop_prob outside [0, 1]");
+  SNNSEC_CHECK(jitter_prob >= 0.0 && jitter_prob <= 1.0,
+               "SpikeFault: jitter_prob outside [0, 1]");
+  SNNSEC_CHECK(stuck_zero_fraction >= 0.0 && stuck_zero_fraction <= 1.0,
+               "SpikeFault: stuck_zero_fraction outside [0, 1]");
+  SNNSEC_CHECK(stuck_one_fraction >= 0.0 && stuck_one_fraction <= 1.0,
+               "SpikeFault: stuck_one_fraction outside [0, 1]");
+  SNNSEC_CHECK(stuck_zero_fraction + stuck_one_fraction <= 1.0,
+               "SpikeFault: stuck fractions sum past 1");
+}
+
+void LifLayer::set_spike_fault(const SpikeFault& fault) {
+  fault.validate();
+  fault_ = fault;
+}
+
+void LifLayer::apply_spike_fault(Tensor& z, std::int64_t per_step) const {
+  // Re-seed per forward so repeated evaluations of the same input under the
+  // same fault spec are bit-identical. Slot-major iteration keeps the draw
+  // order independent of the thread pool (this pass is single-threaded; it
+  // only runs on the fault-evaluation path).
+  util::Rng rng(fault_.seed);
+  util::Rng slot_rng = rng.fork("slots");
+  // 0 = healthy, 1 = stuck-at-0 (dead neuron), 2 = stuck-at-1.
+  std::vector<std::uint8_t> stuck(static_cast<std::size_t>(per_step), 0);
+  for (std::int64_t k = 0; k < per_step; ++k) {
+    if (fault_.stuck_zero_fraction > 0.0 &&
+        slot_rng.bernoulli(fault_.stuck_zero_fraction))
+      stuck[static_cast<std::size_t>(k)] = 1;
+    else if (fault_.stuck_one_fraction > 0.0 &&
+             slot_rng.bernoulli(fault_.stuck_one_fraction))
+      stuck[static_cast<std::size_t>(k)] = 2;
+  }
+
+  const Tensor zin = z;  // pre-fault spikes
+  z.zero_();
+  const float* pin = zin.data();
+  float* pz = z.data();
+  util::Rng spike_rng = rng.fork("spikes");
+  for (std::int64_t k = 0; k < per_step; ++k) {
+    const std::uint8_t s = stuck[static_cast<std::size_t>(k)];
+    if (s == 1) continue;  // dead: stays all-zero
+    if (s == 2) {
+      for (std::int64_t t = 0; t < time_steps_; ++t)
+        pz[t * per_step + k] = 1.0f;
+      continue;
+    }
+    for (std::int64_t t = 0; t < time_steps_; ++t) {
+      if (pin[t * per_step + k] <= 0.5f) continue;
+      if (fault_.drop_prob > 0.0 && spike_rng.bernoulli(fault_.drop_prob))
+        continue;
+      std::int64_t tt = t;
+      if (fault_.jitter_prob > 0.0 &&
+          spike_rng.bernoulli(fault_.jitter_prob) && t + 1 < time_steps_)
+        tt = t + 1;  // delayed spike; merges if the next step also fires
+      pz[tt * per_step + k] = 1.0f;
+    }
+  }
 }
 
 std::string LifLayer::name() const {

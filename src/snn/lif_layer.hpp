@@ -24,6 +24,30 @@
 
 namespace snnsec::snn {
 
+/// Inference-time spike-train fault model: transmission faults on a LIF
+/// population's output axons, applied as a deterministic post-pass on the
+/// spike tensor of every forward while armed (src/faults drives it for the
+/// accuracy-under-fault grid study).
+///
+/// A "slot" below is one (sample, feature) neuron instance followed through
+/// the whole time window. Faults compose: stuck-at masks override the spike
+/// train, then each surviving spike is independently dropped or jittered.
+/// Backward through an armed layer is NOT supported — the BPTT caches hold
+/// the faulted spikes — so arm faults for evaluation forwards only.
+struct SpikeFault {
+  double drop_prob = 0.0;           ///< P(spike deleted)
+  double jitter_prob = 0.0;         ///< P(spike delayed by one time step)
+  double stuck_zero_fraction = 0.0; ///< fraction of slots forced silent
+  double stuck_one_fraction = 0.0;  ///< fraction of slots firing every step
+  std::uint64_t seed = 0;           ///< re-seeded identically per forward
+
+  bool any() const {
+    return drop_prob > 0.0 || jitter_prob > 0.0 ||
+           stuck_zero_fraction > 0.0 || stuck_one_fraction > 0.0;
+  }
+  void validate() const;
+};
+
 class LifLayer final : public nn::Layer {
  public:
   /// `time_steps` is the paper's time-window T; each forward input must
@@ -57,10 +81,17 @@ class LifLayer final : public nn::Layer {
   /// Stats from the most recent probed forward (empty before one runs).
   const obs::ActivityStats& last_activity() const { return last_activity_; }
 
+  /// Arm (or, with a default-constructed fault, disarm) the spike-train
+  /// fault model applied to every subsequent forward.
+  void set_spike_fault(const SpikeFault& fault);
+  void clear_spike_fault() { fault_ = SpikeFault{}; }
+  const SpikeFault& spike_fault() const { return fault_; }
+
  private:
   void collect_activity_stats(const tensor::Tensor& z,
                               const tensor::Tensor& vd,
                               std::int64_t per_step);
+  void apply_spike_fault(tensor::Tensor& z, std::int64_t per_step) const;
 
   std::int64_t time_steps_;
   LifParameters params_;
@@ -75,6 +106,7 @@ class LifLayer final : public nn::Layer {
   std::int64_t last_output_numel_ = 0;
   bool probe_ = false;
   obs::ActivityStats last_activity_;
+  SpikeFault fault_{};
 };
 
 }  // namespace snnsec::snn

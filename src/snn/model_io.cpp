@@ -1,11 +1,13 @@
 #include "snn/model_io.hpp"
 
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
-#include <map>
 
+#include "obs/metrics.hpp"
 #include "tensor/serialize.hpp"
-#include "util/csv.hpp"  // ensure_parent_dir
+#include "util/logging.hpp"
 
 namespace snnsec::snn {
 
@@ -15,6 +17,42 @@ using tensor::Tensor;
 namespace {
 
 constexpr float kFormatVersion = 2.0f;
+
+// --- validated checkpoint container ---------------------------------------
+
+constexpr float kCheckpointVersion = 1.0f;
+constexpr const char* kFormatRecord = "meta/format";
+
+// A 64-bit value split into four exact 16-bit chunks (floats represent
+// integers up to 2^24 exactly, so 16-bit chunks round-trip losslessly).
+void encode_u64(std::uint64_t v, float* dst) {
+  for (int i = 0; i < 4; ++i)
+    dst[i] = static_cast<float>((v >> (16 * i)) & 0xFFFFu);
+}
+
+std::uint64_t decode_u64(const float* src) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint64_t>(src[i]) << (16 * i);
+  return v;
+}
+
+void fnv1a_bytes(const void* data, std::size_t n, std::uint64_t& h) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ULL;
+  }
+}
+
+// Format record: [version, hash(4 chunks), digest(4 chunks)].
+Tensor encode_format(std::uint64_t config_hash, std::uint64_t digest) {
+  Tensor t(Shape{9});
+  t[0] = kCheckpointVersion;
+  encode_u64(config_hash, t.data() + 1);
+  encode_u64(digest, t.data() + 5);
+  return t;
+}
 
 Tensor encode_arch(const nn::LenetSpec& arch) {
   Tensor t(Shape{10});
@@ -92,7 +130,89 @@ SnnConfig decode_config(const Tensor& t) {
   return cfg;
 }
 
+// Fingerprint of the metadata that determines a model file's layout.
+std::uint64_t model_config_hash(const nn::LenetSpec& arch,
+                                const SnnConfig& config) {
+  std::map<std::string, Tensor> meta;
+  meta.emplace("meta/arch", encode_arch(arch));
+  meta.emplace("meta/snn", encode_config(config));
+  return checkpoint_digest(meta);
+}
+
 }  // namespace
+
+std::uint64_t checkpoint_digest(
+    const std::map<std::string, Tensor>& items) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;  // FNV offset basis
+  for (const auto& [name, t] : items) {
+    if (name == kFormatRecord) continue;
+    fnv1a_bytes(name.data(), name.size(), h);
+    for (std::int64_t d = 0; d < t.ndim(); ++d) {
+      const std::int64_t dim = t.dim(d);
+      fnv1a_bytes(&dim, sizeof(dim), h);
+    }
+    fnv1a_bytes(t.data(), static_cast<std::size_t>(t.numel()) * sizeof(float),
+                h);
+  }
+  return h;
+}
+
+void save_checkpoint(const std::string& path,
+                     const std::map<std::string, Tensor>& items,
+                     std::uint64_t config_hash) {
+  std::map<std::string, Tensor> archive = items;
+  archive.insert_or_assign(kFormatRecord,
+                           encode_format(config_hash,
+                                         checkpoint_digest(items)));
+  tensor::save_archive_file(path, archive);  // atomic write-then-rename
+}
+
+std::optional<std::map<std::string, Tensor>> try_load_checkpoint(
+    const std::string& path, std::uint64_t config_hash) {
+  if (!std::filesystem::exists(path)) return std::nullopt;
+  std::map<std::string, Tensor> archive;
+  try {
+    archive = tensor::load_archive_file(path);
+  } catch (const util::Error& e) {
+    SNNSEC_LOG_WARN("checkpoint " << path
+                                  << " rejected (unreadable): " << e.what());
+    SNNSEC_COUNTER_ADD("checkpoint.rejected", 1);
+    return std::nullopt;
+  }
+  const auto it = archive.find(kFormatRecord);
+  if (it == archive.end() || it->second.numel() != 9) {
+    SNNSEC_LOG_WARN("checkpoint " << path
+                                  << " rejected: missing format record "
+                                     "(pre-validation file?)");
+    SNNSEC_COUNTER_ADD("checkpoint.rejected", 1);
+    return std::nullopt;
+  }
+  const Tensor& fmt = it->second;
+  if (fmt[0] != kCheckpointVersion) {
+    SNNSEC_LOG_WARN("checkpoint " << path
+                                  << " rejected: format version " << fmt[0]
+                                  << " != " << kCheckpointVersion);
+    SNNSEC_COUNTER_ADD("checkpoint.rejected", 1);
+    return std::nullopt;
+  }
+  if (decode_u64(fmt.data() + 1) != config_hash) {
+    SNNSEC_LOG_WARN("checkpoint " << path
+                                  << " rejected: config hash mismatch "
+                                     "(stale file from another config)");
+    SNNSEC_COUNTER_ADD("checkpoint.rejected", 1);
+    return std::nullopt;
+  }
+  const std::uint64_t stored_digest = decode_u64(fmt.data() + 5);
+  archive.erase(it);
+  if (checkpoint_digest(archive) != stored_digest) {
+    SNNSEC_LOG_WARN("checkpoint " << path
+                                  << " rejected: payload digest mismatch "
+                                     "(corrupt/bit-flipped file)");
+    SNNSEC_COUNTER_ADD("checkpoint.rejected", 1);
+    return std::nullopt;
+  }
+  return archive;
+}
 
 void save_spiking_lenet(const std::string& path, SpikingClassifier& model,
                         const nn::LenetSpec& arch, const SnnConfig& config) {
@@ -105,17 +225,32 @@ void save_spiking_lenet(const std::string& path, SpikingClassifier& model,
     std::snprintf(name, sizeof(name), "p%03zu", i);
     archive.emplace(name, params[i]->value);
   }
-  tensor::save_archive_file(path, archive);
+  save_checkpoint(path, archive, model_config_hash(arch, config));
 }
 
 LoadedModel load_spiking_lenet(const std::string& path) {
-  const auto archive = tensor::load_archive_file(path);
+  auto archive = tensor::load_archive_file(path);
+  // Validate the format record before touching any payload: version,
+  // payload digest (truncation/bit-flips) and self-consistent config hash.
+  const auto fmt_it = archive.find(kFormatRecord);
+  SNNSEC_CHECK(fmt_it != archive.end() && fmt_it->second.numel() == 9,
+               "model file " << path << ": missing format record");
+  const std::uint64_t stored_hash = decode_u64(fmt_it->second.data() + 1);
+  const std::uint64_t stored_digest = decode_u64(fmt_it->second.data() + 5);
+  SNNSEC_CHECK(fmt_it->second[0] == kCheckpointVersion,
+               "model file " << path << ": unsupported checkpoint version "
+                             << fmt_it->second[0]);
+  archive.erase(fmt_it);
+  SNNSEC_CHECK(checkpoint_digest(archive) == stored_digest,
+               "model file " << path << ": payload digest mismatch (corrupt)");
   SNNSEC_CHECK(archive.count("meta/arch") == 1 &&
                    archive.count("meta/snn") == 1,
                "model file " << path << ": missing metadata records");
   LoadedModel out;
   out.arch = decode_arch(archive.at("meta/arch"));
   out.config = decode_config(archive.at("meta/snn"));
+  SNNSEC_CHECK(stored_hash == model_config_hash(out.arch, out.config),
+               "model file " << path << ": config hash mismatch");
 
   // Rebuild and overwrite the (arbitrary) fresh initialization.
   util::Rng rng(0);
@@ -137,6 +272,17 @@ LoadedModel load_spiking_lenet(const std::string& path) {
     params[i]->value = it->second;
   }
   return out;
+}
+
+std::optional<LoadedModel> try_load_spiking_lenet(const std::string& path) {
+  if (!std::filesystem::exists(path)) return std::nullopt;
+  try {
+    return load_spiking_lenet(path);
+  } catch (const util::Error& e) {
+    SNNSEC_LOG_WARN("model file " << path << " rejected: " << e.what());
+    SNNSEC_COUNTER_ADD("checkpoint.rejected", 1);
+    return std::nullopt;
+  }
 }
 
 }  // namespace snnsec::snn

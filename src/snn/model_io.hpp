@@ -4,17 +4,48 @@
 // retraining.
 //
 // File layout: a tensor archive (tensor/serialize.hpp) with
+//   "meta/format" — checkpoint format version, the writer's config hash and
+//                   an FNV-1a digest over every payload tensor (corruption/
+//                   staleness detection; see save_checkpoint)
 //   "meta/arch"   — LenetSpec fields
 //   "meta/snn"    — SnnConfig fields (v_th, T, taus, surrogate, gains, ...)
 //   "p000".."pNN" — parameter tensors in Sequential order
+//
+// All writers are atomic (write-to-temp + fsync + rename) and all loaders
+// validate magic/version/hash/digest, so a crashed or corrupted checkpoint
+// is rejected — with a warning, via the try_* entry points — instead of
+// being deserialized into garbage weights.
 #pragma once
 
+#include <map>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "snn/spiking_lenet.hpp"
 
 namespace snnsec::snn {
+
+/// Atomically write a validated checkpoint: `items` plus a "meta/format"
+/// record holding the format version, `config_hash` (the caller's
+/// fingerprint of everything that determined the payload) and an FNV-1a
+/// digest of every payload tensor's bytes.
+void save_checkpoint(const std::string& path,
+                     const std::map<std::string, tensor::Tensor>& items,
+                     std::uint64_t config_hash);
+
+/// Load a checkpoint written by save_checkpoint and return the payload
+/// (without "meta/format"), or std::nullopt — with a logged warning — when
+/// the file is truncated, corrupt (digest mismatch), from a different
+/// format version, or written under a different `config_hash`. A missing
+/// file returns nullopt silently.
+std::optional<std::map<std::string, tensor::Tensor>> try_load_checkpoint(
+    const std::string& path, std::uint64_t config_hash);
+
+/// FNV-1a digest over names, shapes and raw bytes of every tensor in
+/// `items` (the payload digest stored by save_checkpoint).
+std::uint64_t checkpoint_digest(
+    const std::map<std::string, tensor::Tensor>& items);
 
 /// Serialize `model`, which must have been produced by build_spiking_lenet
 /// with (`arch`, `config`).
@@ -30,5 +61,10 @@ struct LoadedModel {
 /// Rebuild the network from the stored architecture/config and restore its
 /// weights. Throws util::Error on format or shape mismatches.
 LoadedModel load_spiking_lenet(const std::string& path);
+
+/// load_spiking_lenet that logs a warning and returns std::nullopt instead
+/// of throwing when the file is missing, truncated or corrupt — the entry
+/// point for cache-style loads where the fallback is retraining.
+std::optional<LoadedModel> try_load_spiking_lenet(const std::string& path);
 
 }  // namespace snnsec::snn

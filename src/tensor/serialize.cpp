@@ -3,7 +3,7 @@
 #include <cstring>
 #include <fstream>
 
-#include "util/csv.hpp"  // ensure_parent_dir
+#include "util/fs_atomic.hpp"
 
 namespace snnsec::tensor {
 
@@ -64,10 +64,10 @@ Tensor load_tensor(std::istream& is) {
 }
 
 void save_tensor_file(const std::string& path, const Tensor& t) {
-  util::ensure_parent_dir(path);
-  std::ofstream os(path, std::ios::binary | std::ios::trunc);
-  SNNSEC_CHECK(os.is_open(), "cannot open " << path << " for writing");
-  save_tensor(os, t);
+  // Write-then-rename: a crash mid-checkpoint must not leave a truncated
+  // file where the next run's cache load will find it.
+  util::atomic_write_file(path,
+                          [&](std::ostream& os) { save_tensor(os, t); });
 }
 
 Tensor load_tensor_file(const std::string& path) {
@@ -111,10 +111,8 @@ std::map<std::string, Tensor> load_archive(std::istream& is) {
 
 void save_archive_file(const std::string& path,
                        const std::map<std::string, Tensor>& items) {
-  util::ensure_parent_dir(path);
-  std::ofstream os(path, std::ios::binary | std::ios::trunc);
-  SNNSEC_CHECK(os.is_open(), "cannot open " << path << " for writing");
-  save_archive(os, items);
+  util::atomic_write_file(path,
+                          [&](std::ostream& os) { save_archive(os, items); });
 }
 
 std::map<std::string, Tensor> load_archive_file(const std::string& path) {

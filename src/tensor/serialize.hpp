@@ -4,7 +4,9 @@
 // Format (little-endian):
 //   magic "SNNT" | u32 version | u32 ndim | i64 dims[ndim] | f32 data[numel]
 // A named archive simply concatenates (u32 name_len | name | tensor) records
-// after a "SNNA" header.
+// after a "SNNA" header. The *_file writers replace the destination
+// atomically (write-to-temp + fsync + rename) so a killed process never
+// leaves a truncated checkpoint behind.
 #pragma once
 
 #include <iosfwd>

@@ -19,6 +19,21 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Numerical divergence detected by a sentinel (NaN/Inf loss, loss
+/// explosion). Distinct from Error so the explorer's retry layer can
+/// re-seed and try again instead of aborting the grid.
+class DivergenceError : public Error {
+ public:
+  explicit DivergenceError(const std::string& what) : Error(what) {}
+};
+
+/// A wall-clock budget was exceeded. Not retried: retrying a timed-out
+/// cell would blow the budget again.
+class TimeoutError : public Error {
+ public:
+  explicit TimeoutError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] void throw_error(const char* file, int line, const char* cond,
                               const std::string& message);

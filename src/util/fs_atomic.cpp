@@ -1,0 +1,69 @@
+#include "util/fs_atomic.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "util/csv.hpp"  // ensure_parent_dir
+#include "util/error.hpp"
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace snnsec::util {
+
+namespace fs = std::filesystem;
+
+bool fsync_path(const std::string& path) {
+#ifndef _WIN32
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+#else
+  (void)path;
+  return false;
+#endif
+}
+
+void atomic_write_file(const std::string& path,
+                       const std::function<void(std::ostream&)>& write) {
+  ensure_parent_dir(path);
+  // PID suffix keeps concurrent writers (two explorer processes sharing a
+  // cache directory) from clobbering each other's staging file.
+#ifndef _WIN32
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+#else
+  const std::string tmp = path + ".tmp";
+#endif
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    SNNSEC_CHECK(os.is_open(), "atomic_write_file: cannot open staging file "
+                                   << tmp);
+    write(os);
+    os.flush();
+    if (!os.good()) {
+      os.close();
+      std::error_code ignored;
+      fs::remove(tmp, ignored);
+      SNNSEC_FAIL("atomic_write_file: write to " << tmp << " failed");
+    }
+  }
+  fsync_path(tmp);
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    std::error_code ignored;
+    fs::remove(tmp, ignored);
+    SNNSEC_FAIL("atomic_write_file: rename " << tmp << " -> " << path
+                                             << " failed: " << ec.message());
+  }
+  // Make the rename itself durable: sync the containing directory.
+  const fs::path parent = fs::path(path).parent_path();
+  fsync_path(parent.empty() ? std::string(".") : parent.string());
+}
+
+}  // namespace snnsec::util

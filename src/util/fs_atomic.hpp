@@ -1,0 +1,31 @@
+// Crash-safe file replacement: write-to-temp + fsync + rename.
+//
+// A process killed mid-write must never leave a truncated checkpoint or
+// report where the next run will try to load it. atomic_write_file() stages
+// the payload in a sibling temp file, flushes it to stable storage, and
+// renames it over the destination — rename(2) is atomic on POSIX, so readers
+// observe either the old complete file or the new complete file, never a
+// prefix.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+namespace snnsec::util {
+
+/// Atomically replace `path` with the bytes produced by `write`. The writer
+/// receives a binary output stream positioned at offset 0 of a temp file in
+/// the same directory; on success the temp file is fsync'd and renamed over
+/// `path` (the parent directory is created when missing and fsync'd after
+/// the rename). Throws util::Error — and removes the temp file — when the
+/// write or rename fails.
+void atomic_write_file(const std::string& path,
+                       const std::function<void(std::ostream&)>& write);
+
+/// Flush a file (or directory) to stable storage by path. Returns false
+/// when the path cannot be opened or the platform lacks fsync; callers that
+/// only need best-effort durability may ignore the result.
+bool fsync_path(const std::string& path);
+
+}  // namespace snnsec::util

@@ -1,0 +1,64 @@
+#include "util/retry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "util/logging.hpp"
+
+namespace snnsec::util {
+
+double RetryPolicy::delay_ms(int retry) const {
+  if (retry <= 0) return 0.0;
+  const double d =
+      base_delay_ms * std::pow(backoff_factor, static_cast<double>(retry - 1));
+  return std::min(d, max_delay_ms);
+}
+
+void RetryPolicy::validate() const {
+  SNNSEC_CHECK(max_attempts >= 1, "RetryPolicy: max_attempts must be >= 1");
+  SNNSEC_CHECK(base_delay_ms >= 0.0, "RetryPolicy: negative base delay");
+  SNNSEC_CHECK(backoff_factor >= 1.0,
+               "RetryPolicy: backoff_factor must be >= 1");
+  SNNSEC_CHECK(max_delay_ms >= 0.0, "RetryPolicy: negative max delay");
+}
+
+void sleep_for_ms(double ms) {
+  if (ms <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+RetryOutcome retry_with_backoff(
+    const RetryPolicy& policy, const std::string& label,
+    const std::function<void(int)>& fn,
+    const std::function<bool(const Error&)>& retryable) {
+  policy.validate();
+  RetryOutcome outcome;
+  for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
+    ++outcome.attempts;
+    try {
+      fn(attempt);
+      outcome.succeeded = true;
+      return outcome;
+    } catch (const Error& e) {
+      if (retryable && !retryable(e)) throw;
+      outcome.errors.emplace_back(e.what());
+      SNNSEC_COUNTER_ADD("retry.failures", 1);
+      if (attempt + 1 >= policy.max_attempts) break;
+      const double delay = policy.delay_ms(attempt + 1);
+      SNNSEC_LOG_WARN("retry " << label << ": attempt " << attempt + 1 << "/"
+                               << policy.max_attempts << " failed ("
+                               << e.what() << "); retrying in " << delay
+                               << " ms");
+      sleep_for_ms(delay);
+    }
+  }
+  SNNSEC_LOG_WARN("retry " << label << ": exhausted " << policy.max_attempts
+                           << " attempts");
+  SNNSEC_COUNTER_ADD("retry.exhausted", 1);
+  return outcome;
+}
+
+}  // namespace snnsec::util

@@ -1,0 +1,50 @@
+// Bounded retry with exponential backoff.
+//
+// Long (V_th, T) grid sweeps hit transient failures — a diverged training
+// run under a bad seed, a flaky filesystem — that should cost one retry,
+// not the whole experiment. RetryPolicy describes the bound and the delay
+// curve; retry_with_backoff() runs a callable under it, collecting the
+// error of every failed attempt so callers can report *why* a cell was
+// eventually marked failed.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace snnsec::util {
+
+struct RetryPolicy {
+  int max_attempts = 3;          ///< total tries, including the first
+  double base_delay_ms = 100.0;  ///< sleep before the first retry
+  double backoff_factor = 2.0;   ///< delay multiplier per further retry
+  double max_delay_ms = 5000.0;  ///< cap on any single sleep
+
+  /// Sleep before retry number `retry` (1-based): base * factor^(retry-1),
+  /// capped at max_delay_ms.
+  double delay_ms(int retry) const;
+
+  void validate() const;
+};
+
+struct RetryOutcome {
+  bool succeeded = false;
+  int attempts = 0;                 ///< attempts actually consumed
+  std::vector<std::string> errors;  ///< what() of every failed attempt
+};
+
+/// Block the calling thread for `ms` milliseconds (no-op for ms <= 0).
+void sleep_for_ms(double ms);
+
+/// Run `fn(attempt)` (attempt = 0-based) until it returns without throwing
+/// or the policy is exhausted, sleeping delay_ms() between attempts. Only
+/// exceptions for which `retryable` returns true are retried; others
+/// propagate immediately. Never throws on exhaustion — inspect the outcome.
+RetryOutcome retry_with_backoff(
+    const RetryPolicy& policy, const std::string& label,
+    const std::function<void(int)>& fn,
+    const std::function<bool(const Error&)>& retryable = nullptr);
+
+}  // namespace snnsec::util

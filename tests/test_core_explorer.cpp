@@ -137,7 +137,9 @@ TEST_F(ExplorerTest, ReportCsvAndHeatmap) {
   ASSERT_TRUE(is.is_open());
   std::string header;
   std::getline(is, header);
-  EXPECT_EQ(header, "v_th,T,clean_accuracy,learnable,robustness_eps_0.10");
+  EXPECT_EQ(header,
+            "v_th,T,clean_accuracy,learnable,status,attempts,"
+            "robustness_eps_0.10");
   std::string row;
   int rows = 0;
   while (std::getline(is, row)) ++rows;

@@ -1,0 +1,321 @@
+// Fault tolerance of the explorer: crash-safe journal resume, validated
+// checkpoint loads, divergence sentinels with re-seeded retry, and
+// per-cell timeouts.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "core/explorer.hpp"
+#include "core/journal.hpp"
+#include "data/synth_digits.hpp"
+
+namespace snnsec::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Tiny two-cell grid: one learnable cell (v_th = 1) and one dead cell
+/// (v_th = 6) — small enough to explore repeatedly in a unit test.
+ExplorationConfig tiny_config() {
+  ExplorationConfig cfg;
+  cfg.v_th_grid = {1.0, 6.0};
+  cfg.t_grid = {8};
+  cfg.eps_grid = {0.1};
+  cfg.accuracy_threshold = 0.25;
+  cfg.arch = nn::LenetSpec{}.scaled(0.5);
+  cfg.arch.image_size = 16;
+  cfg.train.epochs = 1;
+  cfg.train.batch_size = 32;
+  cfg.train.lr = 4e-3;
+  cfg.data.train_n = 200;
+  cfg.data.test_n = 40;
+  cfg.data.image_size = 16;
+  cfg.pgd.steps = 3;
+  cfg.pgd.rel_stepsize = 0.34;
+  cfg.attack_test_cap = 16;
+  cfg.eval_batch = 16;
+  cfg.retry.base_delay_ms = 0.0;  // unit tests must not sleep
+  return cfg;
+}
+
+data::DataBundle tiny_data(const ExplorationConfig& cfg) {
+  data::DataSpec spec = cfg.data;
+  spec.force_synthetic = true;
+  return data::load_digits(spec);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::ostringstream oss;
+  oss << is.rdbuf();
+  return oss.str();
+}
+
+class ResumeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() / "snnsec_resume_test").string();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+  std::string path(const std::string& name) const {
+    return (fs::path(dir_) / name).string();
+  }
+  std::string dir_;
+};
+
+TEST_F(ResumeTest, CellLineRoundTripsExactly) {
+  CellResult cell;
+  cell.v_th = 1.25;
+  cell.time_steps = 16;
+  cell.clean_accuracy = 0.8374625;
+  cell.learnable = true;
+  cell.status = CellStatus::kOk;
+  cell.attempts = 2;
+  cell.error = "quote \" backslash \\ newline \n tab \t done";
+  cell.train_seconds = 12.5;
+  cell.spike_rates = {0.1, 0.0325};
+  attack::RobustnessPoint pt;
+  pt.epsilon = 0.1;
+  pt.robustness = 1.0 / 3.0;  // not representable in decimal: %.17g must hold
+  pt.attack_success_rate = 2.0 / 3.0;
+  pt.mean_linf = 0.09999999;
+  pt.mean_loss = 1.5;
+  cell.robustness.emplace(0.1, pt);
+
+  const auto decoded = RunJournal::decode_cell(RunJournal::encode_cell(cell));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->v_th, cell.v_th);
+  EXPECT_EQ(decoded->time_steps, cell.time_steps);
+  EXPECT_EQ(decoded->clean_accuracy, cell.clean_accuracy);
+  EXPECT_EQ(decoded->learnable, cell.learnable);
+  EXPECT_EQ(decoded->status, cell.status);
+  EXPECT_EQ(decoded->attempts, cell.attempts);
+  EXPECT_EQ(decoded->error, cell.error);
+  EXPECT_EQ(decoded->spike_rates, cell.spike_rates);
+  ASSERT_EQ(decoded->robustness.size(), 1u);
+  EXPECT_EQ(decoded->robustness.at(0.1).robustness, pt.robustness);
+  EXPECT_EQ(decoded->robustness.at(0.1).mean_linf, pt.mean_linf);
+}
+
+TEST_F(ResumeTest, DecodeRejectsMalformedLines) {
+  EXPECT_FALSE(RunJournal::decode_cell("").has_value());
+  EXPECT_FALSE(RunJournal::decode_cell("{\"type\":\"run\"}").has_value());
+  EXPECT_FALSE(RunJournal::decode_cell("not json at all").has_value());
+  CellResult cell;
+  const std::string line = RunJournal::encode_cell(cell);
+  // A truncated tail (crash mid-append) must be rejected, not misparsed.
+  EXPECT_FALSE(
+      RunJournal::decode_cell(line.substr(0, line.size() / 2)).has_value());
+}
+
+TEST_F(ResumeTest, JournalWithDifferentConfigHashIsDiscarded) {
+  const std::string jpath = path("run.journal.jsonl");
+  {
+    RunJournal journal(jpath, 0x1111);
+    CellResult cell;
+    cell.v_th = 1.0;
+    cell.time_steps = 8;
+    journal.append(cell);
+  }
+  RunJournal same(jpath, 0x1111);
+  EXPECT_EQ(same.recovered().size(), 1u);
+
+  RunJournal other(jpath, 0x2222);
+  EXPECT_TRUE(other.recovered().empty())
+      << "a journal from a different config must never seed a run";
+}
+
+TEST_F(ResumeTest, JournalDropsCorruptTailButKeepsIntactPrefix) {
+  const std::string jpath = path("run.journal.jsonl");
+  {
+    RunJournal journal(jpath, 7);
+    CellResult a;
+    a.v_th = 1.0;
+    a.time_steps = 8;
+    CellResult b;
+    b.v_th = 2.0;
+    b.time_steps = 8;
+    journal.append(a);
+    journal.append(b);
+  }
+  // Simulate a crash mid-append: chop bytes off the last line.
+  std::string bytes = read_file(jpath);
+  bytes.resize(bytes.size() - 10);
+  std::ofstream(jpath, std::ios::binary | std::ios::trunc) << bytes;
+
+  RunJournal journal(jpath, 7);
+  ASSERT_EQ(journal.recovered().size(), 1u);
+  EXPECT_EQ(journal.recovered()[0].v_th, 1.0);
+  EXPECT_TRUE(journal.recovered()[0].from_journal);
+}
+
+TEST_F(ResumeTest, KilledSweepResumesWithoutRetrainingCompletedCells) {
+  const ExplorationConfig cfg = tiny_config();
+  const auto data = tiny_data(cfg);
+
+  // Reference: uninterrupted run in its own cache.
+  fs::create_directories(path("ref_cache"));
+  RobustnessExplorer reference(cfg, path("ref_cache"));
+  const ExplorationReport ref_report = reference.explore(data);
+  ASSERT_EQ(ref_report.cells.size(), 2u);
+  EXPECT_EQ(ref_report.resumed_cells, 0u);
+
+  // Crash after the first finished cell: the journal line is written
+  // before on_cell fires, so throwing here models a kill right after.
+  fs::create_directories(path("crash_cache"));
+  struct Crash {};
+  {
+    RobustnessExplorer victim(cfg, path("crash_cache"));
+    EXPECT_THROW(victim.explore(data,
+                                [&](const CellResult&) { throw Crash{}; }),
+                 Crash);
+  }
+
+  // Resume: first cell replays from the journal, second cell trains.
+  RobustnessExplorer resumed(cfg, path("crash_cache"));
+  int trained_cells = 0;
+  const ExplorationReport res_report =
+      resumed.explore(data, [&](const CellResult& cell) {
+        if (!cell.from_journal) ++trained_cells;
+      });
+  ASSERT_EQ(res_report.cells.size(), 2u);
+  EXPECT_EQ(res_report.resumed_cells, 1u);
+  EXPECT_TRUE(res_report.cells[0].from_journal);
+  EXPECT_EQ(trained_cells, 1);
+
+  // The resumed report must be indistinguishable from the uninterrupted
+  // one where it matters: identical accuracies, robustness and CSV bytes.
+  EXPECT_EQ(res_report.cells[0].clean_accuracy,
+            ref_report.cells[0].clean_accuracy);
+  EXPECT_EQ(res_report.cells[0].robustness.size(),
+            ref_report.cells[0].robustness.size());
+  for (const auto& [eps, pt] : ref_report.cells[0].robustness)
+    EXPECT_EQ(res_report.cells[0].robustness.at(eps).robustness,
+              pt.robustness);
+  ref_report.write_csv(path("ref.csv"));
+  res_report.write_csv(path("res.csv"));
+  EXPECT_EQ(read_file(path("ref.csv")), read_file(path("res.csv")));
+}
+
+TEST_F(ResumeTest, TruncatedCheckpointIsRejectedAndRetrained) {
+  ExplorationConfig cfg = tiny_config();
+  cfg.v_th_grid = {1.0};
+  const auto data = tiny_data(cfg);
+
+  RobustnessExplorer explorer(cfg, dir_);
+  const auto first = explorer.train_cell(1.0, 8, data);
+  EXPECT_FALSE(first.from_cache);
+
+  // Find the checkpoint and truncate it.
+  std::string ckpt;
+  for (const auto& entry : fs::directory_iterator(dir_))
+    if (entry.path().extension() == ".snnt") ckpt = entry.path().string();
+  ASSERT_FALSE(ckpt.empty());
+  std::string bytes = read_file(ckpt);
+  bytes.resize(bytes.size() / 2);
+  std::ofstream(ckpt, std::ios::binary | std::ios::trunc) << bytes;
+
+  RobustnessExplorer again(cfg, dir_);
+  const auto second = again.train_cell(1.0, 8, data);
+  EXPECT_FALSE(second.from_cache) << "truncated checkpoint must retrain";
+  EXPECT_EQ(second.status, CellStatus::kOk);
+}
+
+TEST_F(ResumeTest, BitflippedCheckpointIsRejectedAndRetrained) {
+  ExplorationConfig cfg = tiny_config();
+  cfg.v_th_grid = {1.0};
+  const auto data = tiny_data(cfg);
+
+  RobustnessExplorer explorer(cfg, dir_);
+  explorer.train_cell(1.0, 8, data);
+
+  std::string ckpt;
+  for (const auto& entry : fs::directory_iterator(dir_))
+    if (entry.path().extension() == ".snnt") ckpt = entry.path().string();
+  ASSERT_FALSE(ckpt.empty());
+  std::string bytes = read_file(ckpt);
+  bytes[bytes.size() / 2] = static_cast<char>(
+      static_cast<unsigned char>(bytes[bytes.size() / 2]) ^ 0x10);
+  std::ofstream(ckpt, std::ios::binary | std::ios::trunc) << bytes;
+
+  RobustnessExplorer again(cfg, dir_);
+  const auto second = again.train_cell(1.0, 8, data);
+  EXPECT_FALSE(second.from_cache)
+      << "a single flipped bit must fail the payload digest";
+}
+
+TEST_F(ResumeTest, NanLossTriggersReseededRetryThatSucceeds) {
+  ExplorationConfig cfg = tiny_config();
+  cfg.v_th_grid = {1.0};
+  const auto data = tiny_data(cfg);
+
+  RobustnessExplorer explorer(cfg);
+  int hook_calls = 0;
+  explorer.set_train_fault_hook([&](double, std::int64_t, int attempt,
+                                    snn::SpikingClassifier& model) {
+    ++hook_calls;
+    // Poison the readout-side bias with +inf: NaN would be swallowed by the
+    // spike threshold and LiReadout's max-over-time decode (NaN loses every
+    // comparison), but +inf wins the max, reaches the logits and turns the
+    // log-softmax loss non-finite.
+    if (attempt == 0)
+      model.parameters().back()->value.data()[0] =
+          std::numeric_limits<float>::infinity();
+  });
+  const auto cell = explorer.train_cell(1.0, 8, data);
+  EXPECT_EQ(cell.status, CellStatus::kOk);
+  EXPECT_EQ(cell.attempts, 2);
+  EXPECT_EQ(hook_calls, 2);
+  EXPECT_TRUE(cell.error.empty());
+  ASSERT_NE(cell.model, nullptr);
+  EXPECT_GT(cell.clean_accuracy, 0.0);
+}
+
+TEST_F(ResumeTest, ExhaustedRetriesMarkCellFailedAndGridContinues) {
+  ExplorationConfig cfg = tiny_config();
+  cfg.retry.max_attempts = 2;
+  const auto data = tiny_data(cfg);
+
+  RobustnessExplorer explorer(cfg);
+  explorer.set_train_fault_hook([&](double v_th, std::int64_t, int,
+                                    snn::SpikingClassifier& model) {
+    if (v_th == 1.0)  // poison every attempt of the first cell only
+      model.parameters().back()->value.data()[0] =
+          std::numeric_limits<float>::infinity();
+  });
+  const ExplorationReport report = explorer.explore(data);
+  ASSERT_EQ(report.cells.size(), 2u) << "grid must continue past a failure";
+  EXPECT_EQ(report.cells[0].status, CellStatus::kFailedDiverged);
+  EXPECT_EQ(report.cells[0].attempts, 2);
+  EXPECT_FALSE(report.cells[0].error.empty());
+  EXPECT_FALSE(report.cells[0].robustness_at(0.0).has_value());
+  EXPECT_NE(report.cells[1].status, CellStatus::kFailedDiverged);
+  EXPECT_EQ(report.failed_count(), 1u);
+
+  EXPECT_NE(report.heatmap(0.0).find("FAIL"), std::string::npos);
+  report.write_csv(path("failed.csv"));
+  EXPECT_NE(read_file(path("failed.csv")).find("failed_diverged"),
+            std::string::npos);
+}
+
+TEST_F(ResumeTest, CellTimeoutMarksFailedTimeoutWithoutRetry) {
+  ExplorationConfig cfg = tiny_config();
+  cfg.v_th_grid = {1.0};
+  cfg.cell_timeout_seconds = 1e-4;  // expires during the first batch
+  const auto data = tiny_data(cfg);
+
+  RobustnessExplorer explorer(cfg);
+  const auto cell = explorer.train_cell(1.0, 8, data);
+  EXPECT_EQ(cell.status, CellStatus::kFailedTimeout);
+  EXPECT_EQ(cell.attempts, 1) << "timeouts must not be retried";
+  EXPECT_EQ(cell.model, nullptr);
+  EXPECT_FALSE(cell.error.empty());
+}
+
+}  // namespace
+}  // namespace snnsec::core

@@ -1,0 +1,251 @@
+// Deterministic fault injectors (weight bit-flips, stuck-at neurons, spike
+// drop/jitter) and the accuracy-under-fault grid harness.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "data/synth_digits.hpp"
+#include "faults/harness.hpp"
+
+namespace snnsec::faults {
+namespace {
+
+namespace fs = std::filesystem;
+
+nn::LenetSpec tiny_arch() {
+  nn::LenetSpec arch = nn::LenetSpec{}.scaled(0.5);
+  arch.image_size = 16;
+  return arch;
+}
+
+std::unique_ptr<snn::SpikingClassifier> tiny_model(double v_th = 1.0) {
+  snn::SnnConfig cfg;
+  cfg.v_th = v_th;
+  cfg.time_steps = 8;
+  util::Rng rng(42);
+  util::Rng init = rng.fork("snn-init");
+  return snn::build_spiking_lenet(tiny_arch(), cfg, init);
+}
+
+tensor::Tensor tiny_batch() {
+  data::DataSpec spec;
+  spec.train_n = 16;
+  spec.test_n = 16;
+  spec.image_size = 16;
+  spec.force_synthetic = true;
+  return data::load_digits(spec).test.images;
+}
+
+std::vector<float> flatten_weights(snn::SpikingClassifier& model) {
+  std::vector<float> out;
+  for (nn::Parameter* p : model.parameters())
+    out.insert(out.end(), p->value.data(),
+               p->value.data() + p->value.numel());
+  return out;
+}
+
+double total_spike_rate(snn::SpikingClassifier& model) {
+  double sum = 0.0;
+  for (const double r : model.spike_rates()) sum += r;
+  return sum;
+}
+
+TEST(WeightBitflips, DeterministicForAGivenSeed) {
+  auto model = tiny_model();
+  const auto baseline = flatten_weights(*model);
+  auto params = model->parameters();
+
+  util::Rng rng_a(7);
+  const std::size_t flipped_a =
+      inject_weight_bitflips(params, 1e-3, rng_a);
+  EXPECT_GT(flipped_a, 0u);
+  const auto faulted_a = flatten_weights(*model);
+
+  // Same seed on an identically-initialized model: same bits must flip.
+  auto fresh = tiny_model();
+  auto fresh_params = fresh->parameters();
+  util::Rng rng_b(7);
+  const std::size_t flipped_b =
+      inject_weight_bitflips(fresh_params, 1e-3, rng_b);
+  EXPECT_EQ(flipped_a, flipped_b);
+  const auto faulted_b = flatten_weights(*fresh);
+
+  ASSERT_EQ(faulted_a.size(), faulted_b.size());
+  EXPECT_EQ(std::memcmp(faulted_a.data(), faulted_b.data(),
+                        faulted_a.size() * sizeof(float)),
+            0)
+      << "same seed must flip the same bits";
+  // And the fault actually changed something relative to the baseline.
+  EXPECT_NE(std::memcmp(baseline.data(), faulted_a.data(),
+                        baseline.size() * sizeof(float)),
+            0);
+}
+
+TEST(WeightBitflips, SnapshotRestoreUndoesTheFault) {
+  auto model = tiny_model();
+  auto params = model->parameters();
+  const auto baseline = flatten_weights(*model);
+  const auto snapshot = snapshot_parameters(params);
+
+  util::Rng rng(7);
+  inject_weight_bitflips(params, 0.01, rng);
+  EXPECT_NE(flatten_weights(*model), baseline);
+
+  restore_parameters(params, snapshot);
+  EXPECT_EQ(flatten_weights(*model), baseline);
+}
+
+TEST(WeightBitflips, ZeroAndOneBerEdgeCases) {
+  auto model = tiny_model();
+  auto params = model->parameters();
+  const auto baseline = flatten_weights(*model);
+  util::Rng rng(7);
+  EXPECT_EQ(inject_weight_bitflips(params, 0.0, rng), 0u);
+  EXPECT_EQ(flatten_weights(*model), baseline);
+
+  std::uint64_t total_bits = 0;
+  for (const nn::Parameter* p : params)
+    total_bits += static_cast<std::uint64_t>(p->value.numel()) * 32;
+  EXPECT_EQ(inject_weight_bitflips(params, 1.0, rng),
+            static_cast<std::size_t>(total_bits));
+}
+
+TEST(SpikeFaults, StuckAtZeroSilencesTheNetwork) {
+  auto model = tiny_model();
+  const auto x = tiny_batch();
+
+  const std::size_t armed =
+      arm_fault(*model, {FaultKind::kStuckAtZero, 1.0, 7});
+  EXPECT_GT(armed, 0u);
+  model->logits(x);
+  for (const double r : model->spike_rates()) EXPECT_EQ(r, 0.0);
+
+  clear_spike_faults(*model);
+  model->logits(x);
+  EXPECT_GT(total_spike_rate(*model), 0.0) << "disarm must restore activity";
+}
+
+TEST(SpikeFaults, DropReducesSpikeRateDeterministically) {
+  auto model = tiny_model();
+  const auto x = tiny_batch();
+  model->logits(x);
+  const double baseline = total_spike_rate(*model);
+  ASSERT_GT(baseline, 0.0);
+
+  arm_fault(*model, {FaultKind::kSpikeDrop, 0.5, 7});
+  const auto logits_a = model->logits(x);
+  const double dropped = total_spike_rate(*model);
+  // Dropping half the encoder spikes starves downstream layers too, so the
+  // total must fall well below baseline (but some activity survives).
+  EXPECT_LT(dropped, 0.8 * baseline);
+
+  // Deterministic: the fault pattern is re-seeded per forward.
+  const auto logits_b = model->logits(x);
+  EXPECT_TRUE(logits_a.allclose(logits_b, 0.0f));
+  EXPECT_EQ(total_spike_rate(*model), dropped);
+}
+
+TEST(SpikeFaults, JitterPreservesMostSpikes) {
+  auto model = tiny_model();
+  const auto x = tiny_batch();
+  model->logits(x);
+  const double baseline = total_spike_rate(*model);
+
+  arm_fault(*model, {FaultKind::kSpikeJitter, 0.5, 7});
+  const auto logits_a = model->logits(x);
+  const double jittered = total_spike_rate(*model);
+  // Jitter only delays spikes (merging on collision and at the window
+  // edge), so the rate may dip but must stay the same order of magnitude.
+  EXPECT_LE(jittered, baseline + 1e-12);
+  EXPECT_GT(jittered, 0.25 * baseline);
+  EXPECT_TRUE(logits_a.allclose(model->logits(x), 0.0f));
+}
+
+TEST(ScopedFaultTest, RestoresWeightsAndDisarmsOnExit) {
+  auto model = tiny_model();
+  const auto x = tiny_batch();
+  const auto baseline_logits = model->logits(x);
+  const auto baseline_weights = flatten_weights(*model);
+
+  {
+    ScopedFault scope(*model, {FaultKind::kWeightBitflip, 0.01, 7});
+    EXPECT_GT(scope.injected(), 0u);
+    EXPECT_NE(flatten_weights(*model), baseline_weights);
+  }
+  EXPECT_EQ(flatten_weights(*model), baseline_weights);
+
+  {
+    ScopedFault scope(*model, {FaultKind::kStuckAtZero, 1.0, 7});
+    model->logits(x);
+    EXPECT_EQ(total_spike_rate(*model), 0.0);
+  }
+  EXPECT_TRUE(model->logits(x).allclose(baseline_logits, 0.0f));
+}
+
+TEST(FaultSpecTest, LabelsAndValidation) {
+  FaultSpec spec{FaultKind::kWeightBitflip, 1e-3, 7};
+  EXPECT_EQ(spec.label(), "weight_bitflip@0.001");
+  EXPECT_EQ((FaultSpec{FaultKind::kSpikeDrop, 0.25, 7}.label()),
+            "spike_drop@0.25");
+  spec.rate = 1.5;
+  EXPECT_THROW(spec.validate(), util::Error);
+}
+
+TEST(FaultGrid, EvaluatesEveryCellUnderEveryFault) {
+  core::ExplorationConfig cfg;
+  cfg.v_th_grid = {1.0};
+  cfg.t_grid = {8};
+  cfg.eps_grid = {0.1};
+  cfg.accuracy_threshold = 0.25;
+  cfg.arch = tiny_arch();
+  cfg.train.epochs = 1;
+  cfg.train.batch_size = 32;
+  cfg.train.lr = 4e-3;
+  cfg.data.train_n = 200;
+  cfg.data.test_n = 40;
+  cfg.data.image_size = 16;
+  cfg.retry.base_delay_ms = 0.0;
+  data::DataSpec spec = cfg.data;
+  spec.force_synthetic = true;
+  const auto data = data::load_digits(spec);
+
+  core::RobustnessExplorer explorer(cfg);
+  FaultGridConfig fault_cfg;
+  fault_cfg.faults = {
+      {FaultKind::kWeightBitflip, 0.0, 7},  // no-op control
+      {FaultKind::kStuckAtZero, 1.0, 7},    // total failure
+  };
+  fault_cfg.eval_cap = 32;
+  fault_cfg.eval_batch = 16;
+
+  const FaultReport report = evaluate_fault_grid(explorer, data, fault_cfg);
+  ASSERT_EQ(report.cells.size(), 1u);
+  const FaultCellResult* cell = report.find(1.0, 8);
+  ASSERT_NE(cell, nullptr);
+  EXPECT_EQ(cell->status, core::CellStatus::kOk);
+  ASSERT_EQ(cell->accuracy.size(), 2u);
+  // The no-op fault must reproduce the baseline exactly; the silencing
+  // fault collapses the network to a constant output.
+  EXPECT_EQ(cell->accuracy.at("weight_bitflip@0"), cell->baseline_accuracy);
+  EXPECT_LE(cell->accuracy.at("stuck_at_zero@1"), cell->baseline_accuracy);
+
+  EXPECT_NE(report.table().find("stuck_at_zero@1"), std::string::npos);
+
+  const auto csv_path =
+      (fs::temp_directory_path() / "snnsec_faults.csv").string();
+  report.write_csv(csv_path);
+  std::ifstream is(csv_path);
+  ASSERT_TRUE(is.is_open());
+  std::string header;
+  std::getline(is, header);
+  EXPECT_EQ(header,
+            "v_th,T,status,baseline_accuracy,weight_bitflip@0,"
+            "stuck_at_zero@1");
+  fs::remove(csv_path);
+}
+
+}  // namespace
+}  // namespace snnsec::faults

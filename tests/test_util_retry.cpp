@@ -1,0 +1,95 @@
+// Bounded retry with exponential backoff: delay curve, success-after-
+// failures, exhaustion, and non-retryable propagation.
+#include <gtest/gtest.h>
+
+#include "util/retry.hpp"
+
+namespace snnsec::util {
+namespace {
+
+RetryPolicy fast_policy() {
+  RetryPolicy p;
+  p.max_attempts = 3;
+  p.base_delay_ms = 0.0;  // tests must not sleep
+  return p;
+}
+
+TEST(RetryPolicy, DelayCurveIsExponentialAndCapped) {
+  RetryPolicy p;
+  p.base_delay_ms = 100.0;
+  p.backoff_factor = 2.0;
+  p.max_delay_ms = 500.0;
+  EXPECT_DOUBLE_EQ(p.delay_ms(0), 0.0);  // no sleep before the first attempt
+  EXPECT_DOUBLE_EQ(p.delay_ms(1), 100.0);
+  EXPECT_DOUBLE_EQ(p.delay_ms(2), 200.0);
+  EXPECT_DOUBLE_EQ(p.delay_ms(3), 400.0);
+  EXPECT_DOUBLE_EQ(p.delay_ms(4), 500.0);  // capped
+  EXPECT_DOUBLE_EQ(p.delay_ms(10), 500.0);
+}
+
+TEST(RetryPolicy, ValidateRejectsBadFields) {
+  RetryPolicy p;
+  p.max_attempts = 0;
+  EXPECT_THROW(p.validate(), Error);
+  p = RetryPolicy{};
+  p.backoff_factor = 0.5;
+  EXPECT_THROW(p.validate(), Error);
+  p = RetryPolicy{};
+  p.base_delay_ms = -1.0;
+  EXPECT_THROW(p.validate(), Error);
+  EXPECT_NO_THROW(RetryPolicy{}.validate());
+}
+
+TEST(RetryWithBackoff, SucceedsAfterTransientFailures) {
+  int calls = 0;
+  const auto outcome = retry_with_backoff(fast_policy(), "flaky", [&](int a) {
+    EXPECT_EQ(a, calls);  // attempt index is 0-based and sequential
+    ++calls;
+    if (calls < 3) SNNSEC_FAIL("transient failure " << calls);
+  });
+  EXPECT_TRUE(outcome.succeeded);
+  EXPECT_EQ(outcome.attempts, 3);
+  EXPECT_EQ(calls, 3);
+  ASSERT_EQ(outcome.errors.size(), 2u);
+  EXPECT_NE(outcome.errors[0].find("transient failure 1"), std::string::npos);
+}
+
+TEST(RetryWithBackoff, ExhaustionReportsEveryError) {
+  const auto outcome = retry_with_backoff(
+      fast_policy(), "doomed", [&](int) { SNNSEC_FAIL("always fails"); });
+  EXPECT_FALSE(outcome.succeeded);
+  EXPECT_EQ(outcome.attempts, 3);
+  EXPECT_EQ(outcome.errors.size(), 3u);
+}
+
+TEST(RetryWithBackoff, NonRetryableErrorPropagatesImmediately) {
+  int calls = 0;
+  EXPECT_THROW(
+      retry_with_backoff(
+          fast_policy(), "fatal",
+          [&](int) {
+            ++calls;
+            throw TimeoutError("deadline blown");
+          },
+          [](const Error& e) {
+            return dynamic_cast<const TimeoutError*>(&e) == nullptr;
+          }),
+      TimeoutError);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryWithBackoff, DivergenceAndTimeoutAreDistinctErrorTypes) {
+  // The explorer's policy: divergence retries, timeout does not. Both must
+  // still be catchable as util::Error.
+  EXPECT_THROW(throw DivergenceError("nan"), Error);
+  EXPECT_THROW(throw TimeoutError("slow"), Error);
+  try {
+    throw DivergenceError("nan loss");
+  } catch (const TimeoutError&) {
+    FAIL() << "DivergenceError must not be a TimeoutError";
+  } catch (const DivergenceError&) {
+  }
+}
+
+}  // namespace
+}  // namespace snnsec::util
