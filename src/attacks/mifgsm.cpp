@@ -3,6 +3,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "obs/metrics.hpp"
 #include "tensor/ops.hpp"
 #include "util/error.hpp"
 
@@ -19,7 +20,12 @@ MiFgsm::MiFgsm(MiFgsmConfig config) : config_(config) {
 Tensor MiFgsm::perturb(nn::Classifier& model, const Tensor& x,
                        const std::vector<std::int64_t>& labels,
                        const AttackBudget& budget) {
-  if (budget.epsilon <= 0.0) return x;
+  SNNSEC_COUNTER_ADD("attack.mifgsm.calls", 1);
+  SNNSEC_COUNTER_ADD("attack.mifgsm.samples", x.dim(0));
+  if (budget.epsilon <= 0.0) {
+    SNNSEC_COUNTER_ADD("attack.mifgsm.skipped", 1);
+    return x;
+  }
   const float alpha =
       static_cast<float>(config_.rel_stepsize * budget.epsilon);
   const std::int64_t n = x.dim(0);

@@ -20,10 +20,16 @@ Pgd::Pgd(PgdConfig config) : config_(config), rng_(config.seed) {
 Tensor Pgd::perturb(nn::Classifier& model, const Tensor& x,
                     const std::vector<std::int64_t>& labels,
                     const AttackBudget& budget) {
-  if (budget.epsilon <= 0.0) return x;
   SNNSEC_TRACE_SCOPE("attack.pgd");
+  // Count every call — including ε <= 0 no-ops, which the explorer issues
+  // for the clean baseline column — so per-ε accounting in the sweep CSVs
+  // matches the number of perturb() invocations.
   SNNSEC_COUNTER_ADD("attack.pgd.calls", 1);
   SNNSEC_COUNTER_ADD("attack.pgd.samples", x.dim(0));
+  if (budget.epsilon <= 0.0) {
+    SNNSEC_COUNTER_ADD("attack.pgd.skipped", 1);
+    return x;
+  }
   const float alpha = static_cast<float>(config_.step_size(budget.epsilon));
 
   Tensor adv = x;

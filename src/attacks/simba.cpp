@@ -4,6 +4,7 @@
 #include <numeric>
 #include <sstream>
 
+#include "obs/metrics.hpp"
 #include "tensor/ops.hpp"
 #include "util/error.hpp"
 
@@ -20,7 +21,12 @@ Tensor Simba::perturb(nn::Classifier& model, const Tensor& x,
                       const std::vector<std::int64_t>& labels,
                       const AttackBudget& budget) {
   last_query_count_ = 0;
-  if (budget.epsilon <= 0.0) return x;
+  SNNSEC_COUNTER_ADD("attack.simba.calls", 1);
+  SNNSEC_COUNTER_ADD("attack.simba.samples", x.dim(0));
+  if (budget.epsilon <= 0.0) {
+    SNNSEC_COUNTER_ADD("attack.simba.skipped", 1);
+    return x;
+  }
   const std::int64_t n = x.dim(0);
   const std::int64_t per_sample = x.numel() / n;
   SNNSEC_CHECK(static_cast<std::int64_t>(labels.size()) == n,

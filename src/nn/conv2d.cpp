@@ -6,6 +6,7 @@
 #include "obs/trace.hpp"
 #include "tensor/gemm.hpp"
 #include "util/thread_pool.hpp"
+#include "util/workspace.hpp"
 
 namespace snnsec::nn {
 
@@ -46,6 +47,12 @@ ConvGeometry Conv2d::geometry(std::int64_t h, std::int64_t w) const {
 }
 
 Tensor Conv2d::forward(const Tensor& x, Mode mode) {
+  Tensor y;
+  forward_into(x, y, mode);
+  return y;
+}
+
+void Conv2d::forward_into(const Tensor& x, Tensor& y, Mode mode) {
   SNNSEC_CHECK(x.ndim() == 4 && x.dim(1) == spec_.in_channels,
                name() << ": bad input shape " << x.shape().to_string());
   const std::int64_t n = x.dim(0);
@@ -55,43 +62,71 @@ Tensor Conv2d::forward(const Tensor& x, Mode mode) {
   const std::int64_t ohw = oh * ow;
   const std::int64_t patch = g.patch_size();
   const std::int64_t image_size = g.channels * g.height * g.width;
+  const bool caching = cache_enabled(mode);
 
-  Tensor columns(Shape{patch, n * ohw});
+  util::Workspace& ws = util::Workspace::local();
+  util::Workspace::Scope scope(ws);
+
+  // Column matrix [patch, N*OHW]: workspace scratch in eval mode; in train
+  // mode it must survive until backward(), so it lives in the member buffer,
+  // reallocated only when the lowering shape changes.
+  float* pcol;
+  if (caching) {
+    // Dim-wise compare (not Shape construction) so the steady state stays
+    // allocation-free.
+    if (cached_columns_.ndim() != 2 || cached_columns_.dim(0) != patch ||
+        cached_columns_.dim(1) != n * ohw)
+      cached_columns_ = Tensor(Shape{patch, n * ohw});
+    pcol = cached_columns_.data();
+  } else {
+    pcol = ws.alloc<float>(static_cast<std::size_t>(patch * n * ohw));
+  }
   {
     SNNSEC_TRACE_SCOPE("conv.im2col");
-    float* pcol = columns.data();
     const float* px = x.data();
     util::parallel_for(0, n, [&](std::int64_t i) {
       tensor::im2col_ld(g, px + i * image_size, pcol, n * ohw, i * ohw);
     });
   }
 
-  // raw = W [Cout, patch] x columns [patch, N*OHW] -> [Cout, N*OHW]
-  Tensor raw = tensor::matmul(weight_.value, columns);
+  // raw = W [Cout, patch] x columns [patch, N*OHW] -> [Cout, N*OHW], GEMM'd
+  // straight into workspace memory. The weight operand is dense, so the
+  // zero-skip probe is pointless — pin the blocked kernel.
+  float* praw =
+      ws.alloc<float>(static_cast<std::size_t>(spec_.out_channels * n * ohw));
+  tensor::gemm_raw(Trans::kNo, Trans::kNo, spec_.out_channels, n * ohw, patch,
+                   1.0f, weight_.value.data(), patch, pcol, n * ohw, 0.0f,
+                   praw, n * ohw, tensor::SparsityHint::kDense);
 
-  // Reorder [Cout][n][ohw] -> [n][Cout][ohw] and add bias.
-  Tensor y(Shape{n, spec_.out_channels, oh, ow});
+  // Fused bias-add + reorder [Cout][n][ohw] -> [n][Cout][ohw], parallel over
+  // output channels (each channel writes disjoint rows of y).
+  if (y.ndim() != 4 || y.dim(0) != n || y.dim(1) != spec_.out_channels ||
+      y.dim(2) != oh || y.dim(3) != ow)
+    y = Tensor(Shape{n, spec_.out_channels, oh, ow});
   {
-    const float* praw = raw.data();
+    SNNSEC_TRACE_SCOPE("conv.bias_reorder");
     float* py = y.data();
     const float* pb = bias_.value.data();
-    for (std::int64_t co = 0; co < spec_.out_channels; ++co) {
-      const float b = has_bias_ ? pb[co] : 0.0f;
-      for (std::int64_t i = 0; i < n; ++i) {
-        const float* src = praw + co * (n * ohw) + i * ohw;
-        float* dst = py + (i * spec_.out_channels + co) * ohw;
-        for (std::int64_t j = 0; j < ohw; ++j) dst[j] = src[j] + b;
-      }
-    }
+    const bool has_bias = has_bias_;
+    const std::int64_t cout = spec_.out_channels;
+    util::parallel_for_chunked(
+        0, cout, [&, py, pb, has_bias, cout](std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t co = lo; co < hi; ++co) {
+            const float b = has_bias ? pb[co] : 0.0f;
+            for (std::int64_t i = 0; i < n; ++i) {
+              const float* src = praw + co * (n * ohw) + i * ohw;
+              float* dst = py + (i * cout + co) * ohw;
+              for (std::int64_t j = 0; j < ohw; ++j) dst[j] = src[j] + b;
+            }
+          }
+        });
   }
 
-  if (cache_enabled(mode)) {
-    cached_columns_ = std::move(columns);
+  if (caching) {
     cached_geom_ = g;
     cached_batch_ = n;
     have_cache_ = true;
   }
-  return y;
 }
 
 Tensor Conv2d::backward(const Tensor& grad_out) {
@@ -108,43 +143,52 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
                name() << "::backward: bad grad shape "
                       << grad_out.shape().to_string());
 
-  // Reorder grad to GEMM layout: G [Cout, N*OHW].
-  Tensor g_mat(Shape{spec_.out_channels, n * ohw});
+  const std::int64_t patch = g.patch_size();
+  const std::int64_t cout = spec_.out_channels;
+  util::Workspace& ws = util::Workspace::local();
+  util::Workspace::Scope scope(ws);
+
+  // Fused pass, parallel over output channels: reorder grad to GEMM layout
+  // G [Cout, N*OHW] and accumulate the per-channel bias gradient while the
+  // rows are hot, instead of a serial reorder followed by a serial re-read.
+  float* pm = ws.alloc<float>(static_cast<std::size_t>(cout * n * ohw));
   {
+    SNNSEC_TRACE_SCOPE("conv.grad_reorder");
     const float* pg = grad_out.data();
-    float* pm = g_mat.data();
-    for (std::int64_t i = 0; i < n; ++i)
-      for (std::int64_t co = 0; co < spec_.out_channels; ++co) {
-        const float* src = pg + (i * spec_.out_channels + co) * ohw;
-        float* dst = pm + co * (n * ohw) + i * ohw;
-        for (std::int64_t j = 0; j < ohw; ++j) dst[j] = src[j];
+    float* pb = has_bias_ ? bias_.grad.data() : nullptr;
+    util::parallel_for_chunked(0, cout, [&](std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t co = lo; co < hi; ++co) {
+        double bias_acc = 0.0;
+        float* dst = pm + co * (n * ohw);
+        for (std::int64_t i = 0; i < n; ++i) {
+          const float* src = pg + (i * cout + co) * ohw;
+          float* row = dst + i * ohw;
+          for (std::int64_t j = 0; j < ohw; ++j) {
+            row[j] = src[j];
+            bias_acc += src[j];
+          }
+        }
+        if (pb) pb[co] += static_cast<float>(bias_acc);
       }
+    });
   }
 
   // dW += G x columns^T : [Cout, patch]
-  tensor::gemm(Trans::kNo, Trans::kYes, 1.0f, g_mat, cached_columns_, 1.0f,
-               weight_.grad);
-
-  if (has_bias_) {
-    float* pb = bias_.grad.data();
-    const float* pm = g_mat.data();
-    for (std::int64_t co = 0; co < spec_.out_channels; ++co) {
-      double acc = 0.0;
-      const float* row = pm + co * (n * ohw);
-      for (std::int64_t j = 0; j < n * ohw; ++j) acc += row[j];
-      pb[co] += static_cast<float>(acc);
-    }
-  }
+  tensor::gemm_raw(Trans::kNo, Trans::kYes, cout, patch, n * ohw, 1.0f, pm,
+                   n * ohw, cached_columns_.data(), n * ohw, 1.0f,
+                   weight_.grad.data(), patch, tensor::SparsityHint::kDense);
 
   // dColumns = W^T x G : [patch, N*OHW]; then col2im per sample.
-  Tensor dcol = tensor::matmul(weight_.value, g_mat, Trans::kYes, Trans::kNo);
+  float* pdcol = ws.alloc<float>(static_cast<std::size_t>(patch * n * ohw));
+  tensor::gemm_raw(Trans::kYes, Trans::kNo, patch, n * ohw, cout, 1.0f,
+                   weight_.value.data(), patch, pm, n * ohw, 0.0f, pdcol,
+                   n * ohw, tensor::SparsityHint::kDense);
   Tensor dx(Shape{n, g.channels, g.height, g.width});
   {
     SNNSEC_TRACE_SCOPE("conv.col2im");
-    const float* pd = dcol.data();
     float* px = dx.data();
     util::parallel_for(0, n, [&](std::int64_t i) {
-      tensor::col2im_ld(g, pd, px + i * image_size, n * ohw, i * ohw);
+      tensor::col2im_ld(g, pdcol, px + i * image_size, n * ohw, i * ohw);
     });
   }
   return dx;

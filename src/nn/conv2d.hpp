@@ -31,6 +31,15 @@ class Conv2d final : public Layer {
   Conv2d(Conv2dSpec spec, util::Rng& rng, bool bias = true);
 
   tensor::Tensor forward(const tensor::Tensor& x, Mode mode) override;
+
+  /// Allocation-free forward: writes into `y`, reshaping it only when the
+  /// output geometry changes. In eval mode every scratch buffer (im2col
+  /// columns, GEMM output) comes from the per-thread util::Workspace, so the
+  /// steady state performs zero heap allocations; in train mode the column
+  /// matrix lives in a member buffer (backward needs it after this call
+  /// returns) that is likewise reused across calls of the same shape.
+  void forward_into(const tensor::Tensor& x, tensor::Tensor& y, Mode mode);
+
   tensor::Tensor backward(const tensor::Tensor& grad_out) override;
   std::vector<Parameter*> parameters() override;
   std::string name() const override;

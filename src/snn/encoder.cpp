@@ -1,5 +1,6 @@
 #include "snn/encoder.hpp"
 
+#include <cmath>
 #include <sstream>
 
 namespace snnsec::snn {
@@ -26,9 +27,14 @@ Tensor PoissonEncoder::forward(const Tensor& x, nn::Mode mode) {
   Tensor gate(x.shape());
   float* pgate = gate.data();
   for (std::int64_t i = 0; i < n; ++i) {
-    const float p = px[i] < 0.0f ? 0.0f : (px[i] > 1.0f ? 1.0f : px[i]);
+    // NaN fails both clamp comparisons and would flow into bernoulli(NaN);
+    // treat any non-finite pixel as rate 0, the same "poisoned input is
+    // inert" contract MembraneHistSpec::index uses.
+    const float v = px[i];
+    const float p =
+        std::isfinite(v) ? (v < 0.0f ? 0.0f : (v > 1.0f ? 1.0f : v)) : 0.0f;
     pz[i] = rng_.bernoulli(p) ? 1.0f : 0.0f;
-    pgate[i] = (px[i] > 0.0f && px[i] < 1.0f) ? 1.0f : 0.0f;
+    pgate[i] = (v > 0.0f && v < 1.0f) ? 1.0f : 0.0f;
   }
   if (nn::cache_enabled(mode)) {
     gate_ = std::move(gate);

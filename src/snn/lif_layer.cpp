@@ -1,11 +1,14 @@
 #include "snn/lif_layer.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <sstream>
 #include <vector>
 
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
+#include "util/workspace.hpp"
 
 namespace snnsec::snn {
 
@@ -28,25 +31,41 @@ Tensor LifLayer::forward(const Tensor& x, nn::Mode mode) {
 
   Tensor z(x.shape());
   Tensor vd(x.shape());
-  std::vector<float> state_i(static_cast<std::size_t>(per_step), 0.0f);
-  std::vector<float> state_v(static_cast<std::size_t>(per_step), 0.0f);
+  util::Workspace& ws = util::Workspace::local();
+  util::Workspace::Scope scope(ws);
+  float* state_i = ws.alloc<float>(static_cast<std::size_t>(per_step));
+  float* state_v = ws.alloc<float>(static_cast<std::size_t>(per_step));
+  std::fill(state_i, state_i + per_step, 0.0f);
+  std::fill(state_v, state_v + per_step, 0.0f);
 
   const float* px = x.data();
   float* pz = z.data();
   float* pvd = vd.data();
-  double spike_sum = 0.0;
   // Parallelize across neurons: each chunk of the population evolves
-  // independently through all T steps.
+  // independently through all T steps, accumulating its share of the spike
+  // count while the rows are still hot instead of re-reading z serially.
+  std::atomic<double> spike_sum{0.0};
   util::parallel_for_chunked(0, per_step, [&](std::int64_t lo, std::int64_t hi) {
+    double local_sum = 0.0;
     for (std::int64_t t = 0; t < time_steps_; ++t) {
       const std::int64_t off = t * per_step;
-      lif_step(params_, hi - lo, px + off + lo, state_i.data() + lo,
-               state_v.data() + lo, pz + off + lo, pvd + off + lo);
+      lif_step(params_, hi - lo, px + off + lo, state_i + lo, state_v + lo,
+               pz + off + lo, pvd + off + lo);
+      const float* zrow = pz + off + lo;
+      for (std::int64_t k = 0; k < hi - lo; ++k) local_sum += zrow[k];
     }
+    spike_sum.fetch_add(local_sum, std::memory_order_relaxed);
   });
-  if (fault_.any()) apply_spike_fault(z, per_step);
-  for (std::int64_t i = 0; i < z.numel(); ++i) spike_sum += pz[i];
-  last_spike_rate_ = spike_sum / static_cast<double>(z.numel());
+  if (fault_.any()) {
+    // Faults rewrite z, so the fused count is stale: redo it on the (rare,
+    // evaluation-only) fault path.
+    apply_spike_fault(z, per_step);
+    double faulted_sum = 0.0;
+    for (std::int64_t i = 0; i < z.numel(); ++i) faulted_sum += pz[i];
+    spike_sum.store(faulted_sum, std::memory_order_relaxed);
+  }
+  last_spike_rate_ =
+      spike_sum.load(std::memory_order_relaxed) / static_cast<double>(z.numel());
   last_output_numel_ = z.numel();
   if (probe_) collect_activity_stats(z, vd, per_step);
 
@@ -80,22 +99,29 @@ Tensor LifLayer::backward(const Tensor& grad_out) {
 
   util::parallel_for_chunked(0, per_step, [&](std::int64_t lo, std::int64_t hi) {
     const std::int64_t len = hi - lo;
-    std::vector<float> gv(static_cast<std::size_t>(len), 0.0f);
-    std::vector<float> gi(static_cast<std::size_t>(len), 0.0f);
+    // Carry buffers come from the worker thread's arena — BPTT is invoked
+    // once per training batch and per attack step, so per-call vectors here
+    // were a steady malloc/free drumbeat.
+    util::Workspace& tws = util::Workspace::local();
+    util::Workspace::Scope chunk_scope(tws);
+    float* gv = tws.alloc<float>(static_cast<std::size_t>(len));
+    float* gi = tws.alloc<float>(static_cast<std::size_t>(len));
+    std::fill(gv, gv + len, 0.0f);
+    std::fill(gi, gi + len, 0.0f);
     for (std::int64_t t = time_steps_ - 1; t >= 0; --t) {
       const std::int64_t off = t * per_step + lo;
       for (std::int64_t k = 0; k < len; ++k) {
         const float vd = pvd[off + k];
         const float z = pz[off + k];
-        const float carry_v = gv[static_cast<std::size_t>(k)];
-        const float carry_i = gi[static_cast<std::size_t>(k)];
+        const float carry_v = gv[k];
+        const float carry_i = gi[k];
         // dL/dx_t: x enters i_t directly.
         pdx[off + k] = carry_i;
         // Spike gradient: external + reset gate contribution.
         const float tdz = gz[off + k] + carry_v * (v_reset - vd);
         const float gvd = carry_v * (1.0f - z) + tdz * sg.grad(vd - v_th);
-        gv[static_cast<std::size_t>(k)] = gvd * (1.0f - a);
-        gi[static_cast<std::size_t>(k)] = gvd * a + carry_i * b;
+        gv[k] = gvd * (1.0f - a);
+        gi[k] = gvd * a + carry_i * b;
       }
     }
   });

@@ -6,6 +6,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
+#include "util/workspace.hpp"
 
 namespace snnsec::tensor {
 
@@ -34,81 +35,338 @@ Dims check_dims(Trans trans_a, Trans trans_b, const Tensor& a,
   return d;
 }
 
-// Pack op(B) row-panel [K, N] contiguously once so the inner loop streams.
-// For our sizes (K,N up to a few thousand) a full pack of B is affordable
-// and keeps the kernel simple.
-void pack_b(Trans trans_b, const Tensor& b, std::int64_t k, std::int64_t n,
-            std::vector<float>& packed) {
-  packed.resize(static_cast<std::size_t>(k * n));
-  const float* pb = b.data();
-  if (trans_b == Trans::kNo) {
-    std::copy(pb, pb + k * n, packed.begin());
-  } else {
-    // b is [N, K]; packed[kk*n + j] = b[j, kk]
-    const std::int64_t ldb = b.dim(1);
-    for (std::int64_t j = 0; j < n; ++j)
-      for (std::int64_t kk = 0; kk < k; ++kk)
-        packed[static_cast<std::size_t>(kk * n + j)] = pb[j * ldb + kk];
+inline float load_a(Trans ta, const float* a, std::int64_t lda, std::int64_t i,
+                    std::int64_t p) {
+  return (ta == Trans::kNo) ? a[i * lda + p] : a[p * lda + i];
+}
+
+inline float load_b(Trans tb, const float* b, std::int64_t ldb, std::int64_t p,
+                    std::int64_t j) {
+  return (tb == Trans::kNo) ? b[p * ldb + j] : b[j * ldb + p];
+}
+
+// ---- blocked dense kernel --------------------------------------------------
+//
+// BLIS-style three-level blocking: C is computed in MC x NC tiles, each as a
+// sum over KC slabs. Within a tile the work is an array of MR x NR register
+// microkernels reading zero-padded pack buffers, so the innermost loops have
+// no branches and fixed trip counts the compiler unrolls and vectorizes.
+//
+// MR*NR accumulators (4x8 = 8 SSE vectors) plus one B row and one A
+// broadcast fit the x86-64 baseline register file without spilling.
+constexpr std::int64_t kMR = 4;
+constexpr std::int64_t kNR = 8;
+constexpr std::int64_t kMC = 128;  // A block rows   (multiple of MR)
+constexpr std::int64_t kKC = 256;  // shared K slab
+constexpr std::int64_t kNC = 512;  // B block cols   (multiple of NR)
+
+inline std::int64_t round_up(std::int64_t v, std::int64_t to) {
+  return (v + to - 1) / to * to;
+}
+
+/// Pack op(A)[i0:i0+mb, p0:p0+kb] into MR-row panels, ap[panel][kk][r],
+/// zero-padding the ragged last panel so microkernels never branch on m.
+void pack_a_block(Trans ta, const float* a, std::int64_t lda, std::int64_t i0,
+                  std::int64_t mb, std::int64_t p0, std::int64_t kb,
+                  float* ap) {
+  const std::int64_t panels = (mb + kMR - 1) / kMR;
+  for (std::int64_t ip = 0; ip < panels; ++ip) {
+    float* dst = ap + ip * kb * kMR;
+    const std::int64_t rows = std::min(kMR, mb - ip * kMR);
+    for (std::int64_t kk = 0; kk < kb; ++kk) {
+      for (std::int64_t r = 0; r < rows; ++r)
+        dst[kk * kMR + r] = load_a(ta, a, lda, i0 + ip * kMR + r, p0 + kk);
+      for (std::int64_t r = rows; r < kMR; ++r) dst[kk * kMR + r] = 0.0f;
+    }
   }
+}
+
+/// Pack op(B)[p0:p0+kb, j0:j0+nb] into NR-column panels, bp[panel][kk][c],
+/// zero-padded to a multiple of NR columns.
+void pack_b_block(Trans tb, const float* b, std::int64_t ldb, std::int64_t p0,
+                  std::int64_t kb, std::int64_t j0, std::int64_t nb,
+                  float* bp) {
+  const std::int64_t panels = (nb + kNR - 1) / kNR;
+  for (std::int64_t jp = 0; jp < panels; ++jp) {
+    float* dst = bp + jp * kb * kNR;
+    const std::int64_t cols = std::min(kNR, nb - jp * kNR);
+    for (std::int64_t kk = 0; kk < kb; ++kk) {
+      for (std::int64_t c = 0; c < cols; ++c)
+        dst[kk * kNR + c] = load_b(tb, b, ldb, p0 + kk, j0 + jp * kNR + c);
+      for (std::int64_t c = cols; c < kNR; ++c) dst[kk * kNR + c] = 0.0f;
+    }
+  }
+}
+
+/// MR x NR register tile over a kb-long packed panel pair. The fixed trip
+/// counts let the compiler keep all MR*NR accumulators in registers and emit
+/// wide FMAs for the c loop.
+inline void micro_kernel(std::int64_t kb, const float* ap, const float* bp,
+                         float* acc) {
+  float t[kMR * kNR] = {};
+  for (std::int64_t kk = 0; kk < kb; ++kk) {
+    const float* arow = ap + kk * kMR;
+    const float* brow = bp + kk * kNR;
+    for (std::int64_t r = 0; r < kMR; ++r) {
+      const float av = arow[r];
+      for (std::int64_t c = 0; c < kNR; ++c) t[r * kNR + c] += av * brow[c];
+    }
+  }
+  for (std::int64_t i = 0; i < kMR * kNR; ++i) acc[i] = t[i];
+}
+
+/// Write the valid rows x cols corner of an accumulator tile into C with the
+/// alpha/beta contract. beta_eff is 0 on the first K slab (overwrite,
+/// ignoring whatever garbage C held), 1 on subsequent slabs (accumulate).
+inline void store_tile(float* c, std::int64_t ldc, const float* acc,
+                       std::int64_t rows, std::int64_t cols, float alpha,
+                       float beta_eff) {
+  for (std::int64_t r = 0; r < rows; ++r) {
+    float* crow = c + r * ldc;
+    const float* arow = acc + r * kNR;
+    if (beta_eff == 0.0f) {
+      for (std::int64_t j = 0; j < cols; ++j) crow[j] = alpha * arow[j];
+    } else if (beta_eff == 1.0f) {
+      for (std::int64_t j = 0; j < cols; ++j) crow[j] += alpha * arow[j];
+    } else {
+      for (std::int64_t j = 0; j < cols; ++j)
+        crow[j] = beta_eff * crow[j] + alpha * arow[j];
+    }
+  }
+}
+
+// The baseline x86-64 ABI only guarantees SSE2, which caps the microkernel
+// well below what the machines this actually runs on (CI and dev boxes are
+// all AVX2+FMA capable) can do. target_clones compiles the tile loop twice —
+// generic and x86-64-v3 — and picks at load time, so one binary serves both
+// without a -march flag that would break older hosts. GCC-only: clang's
+// target_clones doesn't accept arch= strings.
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
+#define SNNSEC_KERNEL_CLONES \
+  __attribute__((target_clones("arch=x86-64-v3", "default")))
+#else
+#define SNNSEC_KERNEL_CLONES
+#endif
+
+/// All register-tile work for one packed (A block, B block) pair: the
+/// jp x ip sweep of MR x NR microkernels plus the C stores.
+SNNSEC_KERNEL_CLONES
+void dense_tiles(std::int64_t kb, std::int64_t mb, std::int64_t nb,
+                 std::int64_t nb_pad, const float* ap, const float* bp,
+                 float* c, std::int64_t ldc, float alpha, float beta_eff) {
+  const std::int64_t jps = nb_pad / kNR;
+  const std::int64_t ips = (mb + kMR - 1) / kMR;
+  for (std::int64_t jp = 0; jp < jps; ++jp) {
+    for (std::int64_t ip = 0; ip < ips; ++ip) {
+      float acc[kMR * kNR];
+      micro_kernel(kb, ap + ip * kb * kMR, bp + jp * kb * kNR, acc);
+      store_tile(c + ip * kMR * ldc + jp * kNR, ldc, acc,
+                 std::min(kMR, mb - ip * kMR), std::min(kNR, nb - jp * kNR),
+                 alpha, beta_eff);
+    }
+  }
+}
+
+/// One C row of the zero-skip kernel: saxpy rows of packed B for every
+/// non-zero of op(A)'s row, then the alpha/beta store.
+SNNSEC_KERNEL_CLONES
+void sparse_row(std::int64_t k, std::int64_t n, Trans ta, const float* a,
+                std::int64_t lda, std::int64_t i, const float* bp, float alpha,
+                float beta, float* crow, float* acc) {
+  std::fill(acc, acc + n, 0.0f);
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    const float av = load_a(ta, a, lda, i, kk);
+    if (av == 0.0f) continue;  // spike tensors are sparse; skip zeros
+    const float* brow = bp + kk * n;
+    for (std::int64_t j = 0; j < n; ++j) acc[j] += av * brow[j];
+  }
+  if (beta == 0.0f) {
+    for (std::int64_t j = 0; j < n; ++j) crow[j] = alpha * acc[j];
+  } else {
+    for (std::int64_t j = 0; j < n; ++j)
+      crow[j] = beta * crow[j] + alpha * acc[j];
+  }
+}
+
+void gemm_dense(Trans ta, Trans tb, std::int64_t m, std::int64_t n,
+                std::int64_t k, float alpha, const float* a, std::int64_t lda,
+                const float* b, std::int64_t ldb, float beta, float* c,
+                std::int64_t ldc) {
+  util::Workspace& ws = util::Workspace::local();
+  const bool parallel = (m * n * k) >= (std::int64_t{1} << 16);
+  for (std::int64_t jc = 0; jc < n; jc += kNC) {
+    const std::int64_t nb = std::min(kNC, n - jc);
+    const std::int64_t nb_pad = round_up(nb, kNR);
+    for (std::int64_t pc = 0; pc < k; pc += kKC) {
+      const std::int64_t kb = std::min(kKC, k - pc);
+      const float beta_eff = (pc == 0) ? beta : 1.0f;
+      util::Workspace::Scope pack_scope(ws);
+      float* bp = ws.alloc<float>(static_cast<std::size_t>(kb * nb_pad));
+      pack_b_block(tb, b, ldb, pc, kb, jc, nb, bp);
+
+      const std::int64_t ic_blocks = (m + kMC - 1) / kMC;
+      auto run_blocks = [&](std::int64_t blo, std::int64_t bhi) {
+        // Workers pack A into their own thread's arena; bp is read-only
+        // shared state owned by the caller's scope.
+        util::Workspace& tws = util::Workspace::local();
+        util::Workspace::Scope tile_scope(tws);
+        float* ap = tws.alloc<float>(static_cast<std::size_t>(kb * kMC));
+        for (std::int64_t bi = blo; bi < bhi; ++bi) {
+          const std::int64_t ic = bi * kMC;
+          const std::int64_t mb = std::min(kMC, m - ic);
+          pack_a_block(ta, a, lda, ic, mb, pc, kb, ap);
+          dense_tiles(kb, mb, nb, nb_pad, ap, bp, c + ic * ldc + jc, ldc,
+                      alpha, beta_eff);
+        }
+      };
+      if (!parallel || ic_blocks == 1)
+        run_blocks(0, ic_blocks);
+      else
+        util::parallel_for_chunked(0, ic_blocks, run_blocks);
+    }
+  }
+}
+
+// ---- sparse (zero-skip) kernel ---------------------------------------------
+//
+// The seed row-panel kernel: for each row of C stream rows of packed op(B),
+// skipping kk where op(A)[i,kk] == 0. With spike-train operands (typical
+// firing rates 5–30%) the skip removes most of the memory traffic, which the
+// blocked kernel cannot do. Scratch comes from the workspace, so unlike the
+// seed this path no longer allocates per call.
+void gemm_sparse(Trans ta, Trans tb, std::int64_t m, std::int64_t n,
+                 std::int64_t k, float alpha, const float* a, std::int64_t lda,
+                 const float* b, std::int64_t ldb, float beta, float* c,
+                 std::int64_t ldc) {
+  util::Workspace& ws = util::Workspace::local();
+  util::Workspace::Scope scope(ws);
+  float* bp = ws.alloc<float>(static_cast<std::size_t>(k * n));
+  if (tb == Trans::kNo && ldb == n) {
+    std::copy(b, b + k * n, bp);
+  } else {
+    for (std::int64_t kk = 0; kk < k; ++kk)
+      for (std::int64_t j = 0; j < n; ++j)
+        bp[kk * n + j] = load_b(tb, b, ldb, kk, j);
+  }
+
+  auto row_panel = [&](std::int64_t lo, std::int64_t hi) {
+    util::Workspace& tws = util::Workspace::local();
+    util::Workspace::Scope row_scope(tws);
+    float* acc = tws.alloc<float>(static_cast<std::size_t>(n));
+    for (std::int64_t i = lo; i < hi; ++i)
+      sparse_row(k, n, ta, a, lda, i, bp, alpha, beta, c + i * ldc, acc);
+  };
+
+  if ((m * n * k) < (std::int64_t{1} << 16))
+    row_panel(0, m);
+  else
+    util::parallel_for_chunked(0, m, row_panel);
+}
+
+/// kAuto probe: sample up to 256 evenly-strided elements of op(A); the skip
+/// kernel only pays off when well over half the operand is zeros.
+bool probe_sparse(Trans ta, const float* a, std::int64_t lda, std::int64_t m,
+                  std::int64_t k) {
+  const std::int64_t total = m * k;
+  const std::int64_t samples = std::min<std::int64_t>(256, total);
+  if (samples <= 0) return false;
+  const std::int64_t stride = std::max<std::int64_t>(1, total / samples);
+  std::int64_t zeros = 0, count = 0;
+  for (std::int64_t t = 0; t < total && count < samples; t += stride) {
+    if (load_a(ta, a, lda, t / k, t % k) == 0.0f) ++zeros;
+    ++count;
+  }
+  return zeros * 10 >= count * 6;  // >= 60% zeros
 }
 
 }  // namespace
 
+void gemm_raw(Trans trans_a, Trans trans_b, std::int64_t m, std::int64_t n,
+              std::int64_t k, float alpha, const float* a, std::int64_t lda,
+              const float* b, std::int64_t ldb, float beta, float* c,
+              std::int64_t ldc, SparsityHint hint) {
+  if (m <= 0 || n <= 0) return;
+  SNNSEC_COUNTER_ADD("tensor.gemm.calls", 1);
+  SNNSEC_COUNTER_ADD("tensor.gemm.flops", 2 * m * n * k);
+  const bool sparse =
+      hint == SparsityHint::kSparse ||
+      (hint == SparsityHint::kAuto && probe_sparse(trans_a, a, lda, m, k));
+  if (sparse) {
+    SNNSEC_COUNTER_ADD("tensor.gemm.sparse_path", 1);
+    gemm_sparse(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c,
+                ldc);
+  } else {
+    gemm_dense(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c,
+               ldc);
+  }
+}
+
 void gemm(Trans trans_a, Trans trans_b, float alpha, const Tensor& a,
-          const Tensor& b, float beta, Tensor& c) {
+          const Tensor& b, float beta, Tensor& c, SparsityHint hint) {
   SNNSEC_TRACE_SCOPE("gemm");
   const Dims d = check_dims(trans_a, trans_b, a, b);
-  SNNSEC_COUNTER_ADD("tensor.gemm.calls", 1);
-  SNNSEC_COUNTER_ADD("tensor.gemm.flops", 2 * d.m * d.n * d.k);
   SNNSEC_CHECK(c.ndim() == 2 && c.dim(0) == d.m && c.dim(1) == d.n,
                "gemm output shape " << c.shape().to_string() << " != ["
                                     << d.m << ", " << d.n << "]");
+  gemm_raw(trans_a, trans_b, d.m, d.n, d.k, alpha, a.data(), a.dim(1),
+           b.data(), b.dim(1), beta, c.data(), d.n, hint);
+}
 
-  std::vector<float> bp;
-  pack_b(trans_b, b, d.k, d.n, bp);
+Tensor matmul(const Tensor& a, const Tensor& b, Trans trans_a, Trans trans_b,
+              SparsityHint hint) {
+  const Dims d = check_dims(trans_a, trans_b, a, b);
+  Tensor c(Shape{d.m, d.n});
+  gemm(trans_a, trans_b, 1.0f, a, b, 0.0f, c, hint);
+  return c;
+}
+
+// ---- frozen seed kernel ----------------------------------------------------
+
+void gemm_reference(Trans trans_a, Trans trans_b, float alpha, const Tensor& a,
+                    const Tensor& b, float beta, Tensor& c) {
+  const Dims d = check_dims(trans_a, trans_b, a, b);
+  SNNSEC_CHECK(c.ndim() == 2 && c.dim(0) == d.m && c.dim(1) == d.n,
+               "gemm_reference output shape " << c.shape().to_string()
+                                              << " != [" << d.m << ", " << d.n
+                                              << "]");
+  // Seed implementation, serial, per-call scratch — kept bit-exact on
+  // purpose; see the header note.
+  std::vector<float> bp(static_cast<std::size_t>(d.k * d.n));
+  {
+    const float* pb = b.data();
+    if (trans_b == Trans::kNo) {
+      std::copy(pb, pb + d.k * d.n, bp.begin());
+    } else {
+      const std::int64_t ldb = b.dim(1);
+      for (std::int64_t j = 0; j < d.n; ++j)
+        for (std::int64_t kk = 0; kk < d.k; ++kk)
+          bp[static_cast<std::size_t>(kk * d.n + j)] = pb[j * ldb + kk];
+    }
+  }
   const float* pb = bp.data();
   const float* pa = a.data();
   float* pc = c.data();
   const std::int64_t lda = a.dim(1);
-
-  // Row panel task: compute C[i, :] for i in [lo, hi).
-  auto row_panel = [&](std::int64_t lo, std::int64_t hi) {
-    std::vector<float> acc(static_cast<std::size_t>(d.n));
-    for (std::int64_t i = lo; i < hi; ++i) {
-      std::fill(acc.begin(), acc.end(), 0.0f);
-      for (std::int64_t kk = 0; kk < d.k; ++kk) {
-        const float av = (trans_a == Trans::kNo) ? pa[i * lda + kk]
-                                                 : pa[kk * lda + i];
-        if (av == 0.0f) continue;  // spike tensors are sparse; skip zeros
-        const float* brow = pb + kk * d.n;
-        for (std::int64_t j = 0; j < d.n; ++j) acc[static_cast<std::size_t>(j)] += av * brow[j];
-      }
-      float* crow = pc + i * d.n;
-      if (beta == 0.0f) {
-        for (std::int64_t j = 0; j < d.n; ++j)
-          crow[j] = alpha * acc[static_cast<std::size_t>(j)];
-      } else {
-        for (std::int64_t j = 0; j < d.n; ++j)
-          crow[j] = beta * crow[j] + alpha * acc[static_cast<std::size_t>(j)];
-      }
+  std::vector<float> acc(static_cast<std::size_t>(d.n));
+  for (std::int64_t i = 0; i < d.m; ++i) {
+    std::fill(acc.begin(), acc.end(), 0.0f);
+    for (std::int64_t kk = 0; kk < d.k; ++kk) {
+      const float av =
+          (trans_a == Trans::kNo) ? pa[i * lda + kk] : pa[kk * lda + i];
+      if (av == 0.0f) continue;
+      const float* brow = pb + kk * d.n;
+      for (std::int64_t j = 0; j < d.n; ++j)
+        acc[static_cast<std::size_t>(j)] += av * brow[j];
     }
-  };
-
-  // Parallelize across row panels when the work is big enough to amortize
-  // task dispatch.
-  const std::int64_t flops = d.m * d.n * d.k;
-  if (flops < (1 << 16)) {
-    row_panel(0, d.m);
-  } else {
-    util::parallel_for_chunked(0, d.m, row_panel);
+    float* crow = pc + i * d.n;
+    if (beta == 0.0f) {
+      for (std::int64_t j = 0; j < d.n; ++j)
+        crow[j] = alpha * acc[static_cast<std::size_t>(j)];
+    } else {
+      for (std::int64_t j = 0; j < d.n; ++j)
+        crow[j] = beta * crow[j] + alpha * acc[static_cast<std::size_t>(j)];
+    }
   }
-}
-
-Tensor matmul(const Tensor& a, const Tensor& b, Trans trans_a, Trans trans_b) {
-  const Dims d = check_dims(trans_a, trans_b, a, b);
-  Tensor c(Shape{d.m, d.n});
-  gemm(trans_a, trans_b, 1.0f, a, b, 0.0f, c);
-  return c;
 }
 
 }  // namespace snnsec::tensor

@@ -2,8 +2,23 @@
 // Conv2d, forward and backward.
 //
 // C = alpha * op(A) * op(B) + beta * C, with op in {identity, transpose}.
-// The kernel is cache-blocked and parallelized over row panels of C through
-// util::parallel_for; with SNNSEC_THREADS=1 it is fully deterministic.
+//
+// Two kernels sit behind the public entry points:
+//  * a cache-blocked (MC/KC/NC), register-tiled (MR x NR) dense kernel whose
+//    inner loop is branch-free and written to auto-vectorize — the default;
+//  * the seed row-panel kernel with the per-element zero-skip, kept for
+//    spike-train operands where most of A is zero and skipping whole rows of
+//    B beats streaming them.
+// SparsityHint picks between them; kAuto probes a small sample of A so spike
+// tensors get the skip and dense operands never pay its branch.
+//
+// All scratch (pack buffers, accumulators) comes from the per-thread
+// util::Workspace arena: steady-state calls perform zero heap allocations.
+// The seed scalar kernel survives verbatim as gemm_reference(), the numerics
+// baseline the property tests and bench_runner compare against.
+//
+// Parallelized over row blocks of C through util::parallel_for_chunked; with
+// SNNSEC_THREADS=1 every path is fully deterministic.
 #pragma once
 
 #include <cstdint>
@@ -14,13 +29,39 @@ namespace snnsec::tensor {
 
 enum class Trans { kNo, kYes };
 
+/// How the caller expects op(A) to be populated.
+///  kAuto   — probe a strided sample of A and pick a kernel.
+///  kDense  — always run the blocked branch-free kernel.
+///  kSparse — always run the zero-skip row kernel (spike trains).
+enum class SparsityHint { kAuto, kDense, kSparse };
+
 /// General matrix multiply into an existing, correctly-sized C.
 /// Shapes (logical, after op): A is [M,K], B is [K,N], C is [M,N].
 void gemm(Trans trans_a, Trans trans_b, float alpha, const Tensor& a,
-          const Tensor& b, float beta, Tensor& c);
+          const Tensor& b, float beta, Tensor& c,
+          SparsityHint hint = SparsityHint::kAuto);
 
 /// Convenience: returns op(A)*op(B) as a fresh [M,N] tensor.
 Tensor matmul(const Tensor& a, const Tensor& b, Trans trans_a = Trans::kNo,
-              Trans trans_b = Trans::kNo);
+              Trans trans_b = Trans::kNo,
+              SparsityHint hint = SparsityHint::kAuto);
+
+/// Raw-pointer core for callers that manage their own buffers (the conv
+/// hot path runs GEMM straight on workspace memory). Strides are row-major
+/// leading dimensions of the *stored* matrices: op(A)[i,p] lives at
+/// a[i*lda + p] (kNo) or a[p*lda + i] (kYes), likewise for B; C is always
+/// untransposed with stride ldc.
+void gemm_raw(Trans trans_a, Trans trans_b, std::int64_t m, std::int64_t n,
+              std::int64_t k, float alpha, const float* a, std::int64_t lda,
+              const float* b, std::int64_t ldb, float beta, float* c,
+              std::int64_t ldc, SparsityHint hint = SparsityHint::kAuto);
+
+/// The seed scalar kernel, frozen: serial row-panel loop with the
+/// per-element zero-skip and per-call heap scratch. Not for production use —
+/// it exists so tests can pin the blocked kernel's numerics to the exact
+/// code the repo grew up on, and so bench_runner can report speedup against
+/// a stable baseline.
+void gemm_reference(Trans trans_a, Trans trans_b, float alpha, const Tensor& a,
+                    const Tensor& b, float beta, Tensor& c);
 
 }  // namespace snnsec::tensor

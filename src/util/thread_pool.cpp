@@ -55,6 +55,11 @@ void ThreadPool::wait_idle() {
 }
 
 void ThreadPool::worker_loop() {
+  // Mark the thread once for its whole lifetime: it is always a pool worker,
+  // so nested parallel_for calls degrade to serial, and a throwing task can
+  // never leave the flag stale the way a set/clear pair around each task
+  // could.
+  g_inside_pool_worker = true;
   for (;;) {
     Task task;
     std::size_t depth;
@@ -75,13 +80,24 @@ void ThreadPool::worker_loop() {
       SNNSEC_HISTOGRAM_OBSERVE("pool.task_wait_ms", wait_ms, 0.01, 0.1, 1.0,
                                10.0, 100.0, 1000.0);
     }
-    g_inside_pool_worker = true;
-    task.fn();
-    g_inside_pool_worker = false;
-    {
-      std::lock_guard lock(mutex_);
-      --in_flight_;
-      if (in_flight_ == 0) cv_idle_.notify_all();
+    // in_flight_ must reach zero even when the task throws — otherwise
+    // wait_idle() deadlocks — so the decrement is RAII, not a statement
+    // after the call.
+    struct InFlightGuard {
+      ThreadPool& pool;
+      ~InFlightGuard() {
+        std::lock_guard lock(pool.mutex_);
+        if (--pool.in_flight_ == 0) pool.cv_idle_.notify_all();
+      }
+    } guard{*this};
+    try {
+      task.fn();
+    } catch (...) {
+      // A raw submit() has no caller to deliver the exception to
+      // (parallel_for catches and rethrows its own); letting it escape a
+      // worker thread would std::terminate the process mid-sweep. Swallow
+      // it, count the drop, keep the worker alive.
+      SNNSEC_COUNTER_ADD("pool.task_exceptions", 1);
     }
   }
 }
@@ -98,22 +114,13 @@ ThreadPool& ThreadPool::global() {
   return pool;
 }
 
-void parallel_for_chunked(
-    std::int64_t begin, std::int64_t end,
+bool inside_pool_worker() { return g_inside_pool_worker; }
+
+void detail::parallel_for_chunked_impl(
+    std::int64_t begin, std::int64_t end, std::int64_t workers,
     const std::function<void(std::int64_t, std::int64_t)>& fn) {
   const std::int64_t n = end - begin;
-  if (n <= 0) return;
-  if (g_inside_pool_worker) {  // nested parallelism runs serially
-    fn(begin, end);
-    return;
-  }
   ThreadPool& pool = ThreadPool::global();
-  const std::int64_t workers =
-      std::min<std::int64_t>(static_cast<std::int64_t>(pool.size()), n);
-  if (workers <= 1) {
-    fn(begin, end);
-    return;
-  }
   std::atomic<bool> failed{false};
   std::exception_ptr first_error;
   std::mutex error_mutex;
@@ -144,20 +151,6 @@ void parallel_for_chunked(
     done_cv.wait(lock, [&] { return done.load() == launched; });
   }
   if (failed.load()) std::rethrow_exception(first_error);
-}
-
-void parallel_for(std::int64_t begin, std::int64_t end,
-                  const std::function<void(std::int64_t)>& fn,
-                  std::int64_t grain) {
-  const std::int64_t n = end - begin;
-  if (n <= 0) return;
-  if (n <= grain || ThreadPool::global().size() <= 1) {
-    for (std::int64_t i = begin; i < end; ++i) fn(i);
-    return;
-  }
-  parallel_for_chunked(begin, end, [&](std::int64_t lo, std::int64_t hi) {
-    for (std::int64_t i = lo; i < hi; ++i) fn(i);
-  });
 }
 
 }  // namespace snnsec::util

@@ -8,6 +8,7 @@
 // deterministic serial execution regardless of reduction order).
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
@@ -59,17 +60,55 @@ class ThreadPool {
   bool stop_ = false;
 };
 
-/// Run fn(i) for i in [begin, end) across the global pool. Blocks until all
-/// iterations finish. Exceptions thrown by fn are rethrown on the caller
-/// (first one wins). Serial when the range is small or the pool has 1 thread.
-void parallel_for(std::int64_t begin, std::int64_t end,
-                  const std::function<void(std::int64_t)>& fn,
-                  std::int64_t grain = 1);
+/// True on a thread owned by the global pool. Nested parallel_for calls on
+/// such threads run serially — a worker must never block on its own pool.
+bool inside_pool_worker();
 
-/// Like parallel_for but hands each worker a contiguous [lo, hi) chunk —
-/// lower overhead for tight numeric loops.
-void parallel_for_chunked(
-    std::int64_t begin, std::int64_t end,
+namespace detail {
+/// Out-of-line fan-out/join core; only reached when the work will actually
+/// be dispatched to the pool.
+void parallel_for_chunked_impl(
+    std::int64_t begin, std::int64_t end, std::int64_t workers,
     const std::function<void(std::int64_t, std::int64_t)>& fn);
+}  // namespace detail
+
+/// Hand contiguous [lo, hi) chunks of [begin, end) to the global pool and
+/// block until all finish. Exceptions thrown by fn are rethrown on the
+/// caller (first one wins). Serial — calling fn directly, without erasing it
+/// into a heap-allocated std::function — when the range is empty, the pool
+/// has one thread, or the caller is itself a pool worker; hot loops that hit
+/// the serial path therefore allocate nothing.
+template <typename Fn>
+void parallel_for_chunked(std::int64_t begin, std::int64_t end, Fn&& fn) {
+  const std::int64_t n = end - begin;
+  if (n <= 0) return;
+  if (inside_pool_worker()) {  // nested parallelism runs serially
+    fn(begin, end);
+    return;
+  }
+  const std::int64_t workers = std::min<std::int64_t>(
+      static_cast<std::int64_t>(ThreadPool::global().size()), n);
+  if (workers <= 1) {
+    fn(begin, end);
+    return;
+  }
+  detail::parallel_for_chunked_impl(begin, end, workers, fn);
+}
+
+/// Run fn(i) for i in [begin, end) across the global pool. Same serial
+/// fast-path and exception contract as parallel_for_chunked.
+template <typename Fn>
+void parallel_for(std::int64_t begin, std::int64_t end, Fn&& fn,
+                  std::int64_t grain = 1) {
+  const std::int64_t n = end - begin;
+  if (n <= 0) return;
+  if (n <= grain || inside_pool_worker() || ThreadPool::global().size() <= 1) {
+    for (std::int64_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  parallel_for_chunked(begin, end, [&fn](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) fn(i);
+  });
+}
 
 }  // namespace snnsec::util

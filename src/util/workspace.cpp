@@ -1,0 +1,70 @@
+#include "util/workspace.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace snnsec::util {
+
+Workspace& Workspace::local() {
+  thread_local Workspace ws;
+  return ws;
+}
+
+void Workspace::add_block(std::size_t at_least) {
+  std::size_t size = blocks_.empty() ? kMinBlock
+                                     : std::min(kMaxBlock, blocks_.back().size * 2);
+  size = std::max(size, at_least);
+  Block b;
+  // for_overwrite: arena memory is scratch by contract; value-init would
+  // memset every new block (up to 64 MiB) for nothing.
+  b.data = std::make_unique_for_overwrite<std::byte[]>(size);
+  b.size = size;
+  blocks_.push_back(std::move(b));
+}
+
+void* Workspace::allocate(std::size_t bytes, std::size_t align) {
+  SNNSEC_CHECK(align != 0 && (align & (align - 1)) == 0,
+               "Workspace::allocate: alignment " << align
+                                                 << " is not a power of two");
+  // Worst-case room for alignment padding so a block "fits" check is exact.
+  const std::size_t need = bytes + align;
+  if (blocks_.empty()) add_block(need);
+  for (;;) {
+    Block& blk = blocks_[active_];
+    const auto base = reinterpret_cast<std::uintptr_t>(blk.data.get());
+    const std::uintptr_t raw = base + offset_;
+    const std::uintptr_t aligned = (raw + align - 1) & ~(align - 1);
+    const std::size_t end = static_cast<std::size_t>(aligned - base) + bytes;
+    if (end <= blk.size) {
+      offset_ = end;
+      return reinterpret_cast<void*>(aligned);
+    }
+    // Current block exhausted: advance to the first later block that fits,
+    // growing the arena only when none does. Scanning (rather than checking
+    // just active_+1) matters: a recurring large request must land in the
+    // block a previous round grew for it, not append a fresh block every
+    // call — that turns a steady-state loop into an unbounded leak. Skipped
+    // blocks' capacity comes back on rewind.
+    std::size_t next = active_ + 1;
+    while (next < blocks_.size() && blocks_[next].size < need) ++next;
+    if (next == blocks_.size()) add_block(need);
+    active_ = next;
+    offset_ = 0;
+  }
+}
+
+void Workspace::rewind(Mark m) {
+  SNNSEC_CHECK(m.block < blocks_.size() || (m.block == 0 && m.offset == 0),
+               "Workspace::rewind: mark past end of arena");
+  active_ = blocks_.empty() ? 0 : m.block;
+  offset_ = m.offset;
+}
+
+std::size_t Workspace::capacity() const {
+  std::size_t total = 0;
+  for (const Block& b : blocks_) total += b.size;
+  return total;
+}
+
+}  // namespace snnsec::util

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "gradcheck.hpp"
 #include "snn/encoder.hpp"
@@ -206,6 +207,38 @@ TEST(PoissonEncoder, SpikeRateMatchesIntensity) {
   EXPECT_DOUBLE_EQ(rate[0], 0.0);
   EXPECT_NEAR(rate[1] / 1000.0, 0.4, 0.05);
   EXPECT_DOUBLE_EQ(rate[2], 1000.0);
+}
+
+TEST(PoissonEncoder, NonFinitePixelsEncodeAsSilent) {
+  // NaN fails both clamp comparisons, so the seed kernel fed bernoulli(NaN);
+  // the hardened encoder treats any non-finite pixel as rate 0.
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  PoissonEncoder enc(100, util::Rng(11));
+  Tensor x(Shape{100, 4});
+  for (std::int64_t t = 0; t < 100; ++t) {
+    x[t * 4 + 0] = nan;
+    x[t * 4 + 1] = inf;   // non-finite, silent (not clamped to 1)
+    x[t * 4 + 2] = -inf;
+    x[t * 4 + 3] = 1.0f;  // sanity: saturated channel still fires
+  }
+  const Tensor z = enc.forward(x, nn::Mode::kTrain);
+  double rate[4] = {0, 0, 0, 0};
+  for (std::int64_t t = 0; t < 100; ++t)
+    for (int k = 0; k < 4; ++k) {
+      EXPECT_TRUE(z[t * 4 + k] == 0.0f || z[t * 4 + k] == 1.0f);
+      rate[k] += z[t * 4 + k];
+    }
+  EXPECT_DOUBLE_EQ(rate[0], 0.0);
+  EXPECT_DOUBLE_EQ(rate[1], 0.0);
+  EXPECT_DOUBLE_EQ(rate[2], 0.0);
+  EXPECT_DOUBLE_EQ(rate[3], 100.0);
+  // The straight-through gate must also stay closed on poisoned pixels.
+  const Tensor dx = enc.backward(Tensor::ones(Shape{100, 4}));
+  for (std::int64_t t = 0; t < 100; ++t) {
+    EXPECT_FLOAT_EQ(dx[t * 4 + 0], 0.0f);
+    EXPECT_FLOAT_EQ(dx[t * 4 + 1], 0.0f);
+  }
 }
 
 TEST(PoissonEncoder, StraightThroughGradientGating) {

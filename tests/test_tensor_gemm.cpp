@@ -1,7 +1,9 @@
 // GEMM correctness against a naive reference across sizes and transposes.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <tuple>
+#include <vector>
 
 #include "tensor/gemm.hpp"
 #include "util/rng.hpp"
@@ -85,6 +87,108 @@ TEST(Gemm, SkipsZeroRowsCorrectly) {
   const Tensor b = Tensor::randn(Shape{8, 4}, rng);
   EXPECT_TRUE(matmul(a, b).allclose(ref_matmul(a, b, Trans::kNo, Trans::kNo),
                                     1e-4f));
+}
+
+// ---- blocked kernel vs the frozen seed kernel ------------------------------
+
+/// |got - ref| <= kRelTol * (1 + |ref|): 1e-5 relative with an absolute
+/// floor so near-cancelled outputs don't demand impossible precision.
+void expect_close_to_reference(const Tensor& got, const Tensor& ref) {
+  ASSERT_EQ(got.shape(), ref.shape());
+  for (std::int64_t i = 0; i < got.numel(); ++i) {
+    const float tol = 1e-5f * (1.0f + std::fabs(ref[i]));
+    EXPECT_NEAR(got[i], ref[i], tol) << "at flat index " << i;
+  }
+}
+
+TEST(GemmProperty, BlockedMatchesReferenceOnRandomizedShapes) {
+  // Randomized shapes biased toward tile-remainder edges: m=1, k=1, exact
+  // multiples of the register tile, one-past and one-short of MC/KC/NC
+  // boundaries, plus every transpose combination and alpha/beta mix.
+  util::Rng rng(20240807);
+  const std::int64_t m_sizes[] = {1, 2, 3, 4, 5, 7, 8, 31, 64, 127, 129};
+  const std::int64_t k_sizes[] = {1, 2, 15, 64, 255, 257};
+  const std::int64_t n_sizes[] = {1, 7, 8, 9, 63, 120};
+  const float alphas[] = {1.0f, -0.5f, 2.0f};
+  const float betas[] = {0.0f, 1.0f, 0.25f};
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::int64_t m = m_sizes[rng.uniform_int(0, 10)];
+    const std::int64_t k = k_sizes[rng.uniform_int(0, 5)];
+    const std::int64_t n = n_sizes[rng.uniform_int(0, 5)];
+    const Trans ta = rng.bernoulli(0.5) ? Trans::kYes : Trans::kNo;
+    const Trans tb = rng.bernoulli(0.5) ? Trans::kYes : Trans::kNo;
+    const float alpha = alphas[rng.uniform_int(0, 2)];
+    const float beta = betas[rng.uniform_int(0, 2)];
+    const Tensor a = Tensor::randn(
+        (ta == Trans::kNo) ? Shape{m, k} : Shape{k, m}, rng);
+    const Tensor b = Tensor::randn(
+        (tb == Trans::kNo) ? Shape{k, n} : Shape{n, k}, rng);
+    Tensor c_init = Tensor::randn(Shape{m, n}, rng);
+    Tensor got = c_init;
+    Tensor want = c_init;
+    gemm(ta, tb, alpha, a, b, beta, got, SparsityHint::kDense);
+    gemm_reference(ta, tb, alpha, a, b, beta, want);
+    SCOPED_TRACE(::testing::Message()
+                 << "m=" << m << " k=" << k << " n=" << n << " ta="
+                 << (ta == Trans::kYes) << " tb=" << (tb == Trans::kYes)
+                 << " alpha=" << alpha << " beta=" << beta);
+    expect_close_to_reference(got, want);
+  }
+}
+
+TEST(GemmProperty, SparseHintMatchesReference) {
+  // The zero-skip path on a spike-like operand (85% zeros) must agree with
+  // the reference bit-for-bit: both skip exactly the zero entries and
+  // accumulate in the same order.
+  util::Rng rng(99);
+  Tensor a = Tensor::bernoulli(Shape{37, 130}, rng, 0.15);
+  const Tensor b = Tensor::randn(Shape{130, 29}, rng);
+  Tensor got(Shape{37, 29});
+  Tensor want(Shape{37, 29});
+  gemm(Trans::kNo, Trans::kNo, 1.0f, a, b, 0.0f, got, SparsityHint::kSparse);
+  gemm_reference(Trans::kNo, Trans::kNo, 1.0f, a, b, 0.0f, want);
+  for (std::int64_t i = 0; i < got.numel(); ++i)
+    EXPECT_EQ(got[i], want[i]) << "at flat index " << i;
+}
+
+TEST(GemmProperty, AutoHintPicksSparsePathForSpikeTrains) {
+  util::Rng rng(100);
+  const Tensor spikes = Tensor::bernoulli(Shape{64, 256}, rng, 0.1);
+  const Tensor dense = Tensor::randn(Shape{64, 256}, rng);
+  const Tensor w = Tensor::randn(Shape{256, 32}, rng);
+  // Both hints must agree with the reference regardless of which kernel the
+  // probe picks.
+  Tensor ref_s(Shape{64, 32});
+  gemm_reference(Trans::kNo, Trans::kNo, 1.0f, spikes, w, 0.0f, ref_s);
+  expect_close_to_reference(matmul(spikes, w), ref_s);
+  Tensor ref_d(Shape{64, 32});
+  gemm_reference(Trans::kNo, Trans::kNo, 1.0f, dense, w, 0.0f, ref_d);
+  expect_close_to_reference(matmul(dense, w), ref_d);
+}
+
+TEST(GemmRaw, StridedSubmatrixMultiplies) {
+  // gemm_raw on a sub-block of a larger row-major buffer (lda/ldb/ldc wider
+  // than the logical shapes) — the layout the conv hot path feeds it.
+  util::Rng rng(101);
+  const std::int64_t lda = 13, ldb = 11, ldc = 17;
+  const std::int64_t m = 5, k = 7, n = 6;
+  const Tensor abuf = Tensor::randn(Shape{m, lda}, rng);
+  const Tensor bbuf = Tensor::randn(Shape{k, ldb}, rng);
+  std::vector<float> cbuf(static_cast<std::size_t>(m * ldc), -7.0f);
+  gemm_raw(Trans::kNo, Trans::kNo, m, n, k, 1.0f, abuf.data(), lda,
+           bbuf.data(), ldb, 0.0f, cbuf.data(), ldc, SparsityHint::kDense);
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t kk = 0; kk < k; ++kk)
+        acc += static_cast<double>(abuf[i * lda + kk]) * bbuf[kk * ldb + j];
+      EXPECT_NEAR(cbuf[static_cast<std::size_t>(i * ldc + j)],
+                  static_cast<float>(acc), 1e-4f);
+    }
+  // Columns past n are untouched.
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t j = n; j < ldc; ++j)
+      EXPECT_FLOAT_EQ(cbuf[static_cast<std::size_t>(i * ldc + j)], -7.0f);
 }
 
 TEST(Gemm, DimensionMismatchThrows) {

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <string>
 #include <vector>
 
 #include "util/error.hpp"
@@ -81,6 +82,57 @@ TEST(ParallelFor, LargeGrainRunsSerially) {
       0, 100, [&](std::int64_t i) { hits[static_cast<std::size_t>(i)]++; },
       /*grain=*/1000);
   for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, ThrowingSubmittedTaskDoesNotTerminateOrDeadlock) {
+  // Regression: worker_loop ran task.fn() unprotected, so a throwing task
+  // submitted via submit() escaped the worker thread (std::terminate) and
+  // left in_flight_ forever non-zero (wait_idle() deadlock).
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i)
+    pool.submit([&ran, i] {
+      ran.fetch_add(1);
+      if (i % 2 == 0) throw Error("boom");
+    });
+  pool.wait_idle();  // must return even though half the tasks threw
+  EXPECT_EQ(ran.load(), 8);
+  // The pool must still be fully operational afterwards.
+  std::atomic<int> after{0};
+  for (int i = 0; i < 16; ++i) pool.submit([&after] { after.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(after.load(), 16);
+}
+
+TEST(ThreadPool, ThrowingTaskOnGlobalPoolLeavesParallelForWorking) {
+  ThreadPool& pool = ThreadPool::global();
+  pool.submit([] { throw Error("swallowed"); });
+  pool.wait_idle();
+  // Subsequent parallel_for_chunked calls on the same pool must be intact.
+  std::atomic<std::int64_t> sum{0};
+  parallel_for_chunked(0, 1000, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) sum += i;
+  });
+  EXPECT_EQ(sum.load(), 499500);
+}
+
+TEST(ParallelForChunked, PropagatesFirstExceptionWithoutHanging) {
+  // Threaded stress: many chunks throw concurrently; exactly one exception
+  // (the first) must surface on the caller, and the call must not hang or
+  // leave the pool wedged for later work.
+  for (int round = 0; round < 20; ++round) {
+    try {
+      parallel_for_chunked(0, 10000, [&](std::int64_t lo, std::int64_t) {
+        throw Error("chunk " + std::to_string(lo));
+      });
+      FAIL() << "expected an exception";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("chunk"), std::string::npos);
+    }
+  }
+  std::atomic<int> count{0};
+  parallel_for(0, 100, [&](std::int64_t) { count++; });
+  EXPECT_EQ(count.load(), 100);
 }
 
 TEST(ThreadPoolGlobal, IsSingleton) {
