@@ -98,7 +98,9 @@ Result bench_gemm(const std::string& name, int reps, int warmup,
   r.ns_op = median_ns(reps, warmup, [&] {
     tensor::gemm(Trans::kNo, tb, 1.0f, a, b, 0.0f, c, hint);
   });
-  r.gflops = (2.0 * static_cast<double>(m) * n * k) / r.ns_op;
+  r.gflops = (2.0 * static_cast<double>(m) * static_cast<double>(n) *
+              static_cast<double>(k)) /
+             r.ns_op;
   return r;
 }
 
@@ -113,7 +115,9 @@ Result bench_gemm_reference(const std::string& name, int reps, int warmup,
   r.ns_op = median_ns(reps, warmup, [&] {
     tensor::gemm_reference(Trans::kNo, tb, 1.0f, a, b, 0.0f, c);
   });
-  r.gflops = (2.0 * static_cast<double>(m) * n * k) / r.ns_op;
+  r.gflops = (2.0 * static_cast<double>(m) * static_cast<double>(n) *
+              static_cast<double>(k)) /
+             r.ns_op;
   return r;
 }
 

@@ -34,6 +34,7 @@ std::optional<CellStatus> cell_status_from_string(const std::string& name) {
 
 std::optional<double> CellResult::robustness_at(double epsilon) const {
   if (failed() || !learnable) return std::nullopt;
+  // NOLINTNEXTLINE(snnsec-float-eq): epsilon 0 is the exact clean-accuracy sentinel of the sweep grid
   if (epsilon == 0.0) return clean_accuracy;
   // Tolerant key lookup (grid values are exact doubles from config, but be
   // safe against formatting round-trips).
@@ -51,6 +52,7 @@ const CellResult* ExplorationReport::find(double v_th, std::int64_t t) const {
 
 std::string ExplorationReport::heatmap(double epsilon) const {
   std::ostringstream oss;
+  // NOLINTNEXTLINE(snnsec-float-eq): epsilon 0 is the exact clean-accuracy sentinel of the sweep grid
   if (epsilon == 0.0)
     oss << "clean accuracy [%] over (V_th, T)\n";
   else
@@ -77,6 +79,7 @@ std::string ExplorationReport::heatmap(double epsilon) const {
         oss << "     ?";
       } else if (cell->failed()) {
         oss << "  FAIL";
+      // NOLINTNEXTLINE(snnsec-float-eq): epsilon 0 is the exact clean-accuracy sentinel of the sweep grid
       } else if (epsilon == 0.0) {
         char buf[16];
         std::snprintf(buf, sizeof(buf), " %5.1f", cell->clean_accuracy * 100);

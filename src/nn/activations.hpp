@@ -10,6 +10,7 @@ class ReLU final : public Layer {
   tensor::Tensor forward(const tensor::Tensor& x, Mode mode) override;
   tensor::Tensor backward(const tensor::Tensor& grad_out) override;
   std::string name() const override { return "ReLU"; }
+  std::string_view kind() const override { return "ReLU"; }
   void clear_cache() override { mask_ = tensor::Tensor(); }
 
  private:
@@ -26,6 +27,7 @@ class Scale final : public Layer {
   tensor::Tensor forward(const tensor::Tensor& x, Mode mode) override;
   tensor::Tensor backward(const tensor::Tensor& grad_out) override;
   std::string name() const override;
+  std::string_view kind() const override { return "Scale"; }
 
   float factor() const { return factor_; }
 
@@ -38,6 +40,7 @@ class Sigmoid final : public Layer {
   tensor::Tensor forward(const tensor::Tensor& x, Mode mode) override;
   tensor::Tensor backward(const tensor::Tensor& grad_out) override;
   std::string name() const override { return "Sigmoid"; }
+  std::string_view kind() const override { return "Sigmoid"; }
   void clear_cache() override { output_ = tensor::Tensor(); }
 
  private:
@@ -50,6 +53,7 @@ class Tanh final : public Layer {
   tensor::Tensor forward(const tensor::Tensor& x, Mode mode) override;
   tensor::Tensor backward(const tensor::Tensor& grad_out) override;
   std::string name() const override { return "Tanh"; }
+  std::string_view kind() const override { return "Tanh"; }
   void clear_cache() override { output_ = tensor::Tensor(); }
 
  private:

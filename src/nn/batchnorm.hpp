@@ -62,6 +62,7 @@ class BatchNorm2d final : public detail::BatchNormBase {
   tensor::Tensor forward(const tensor::Tensor& x, Mode mode) override;
   tensor::Tensor backward(const tensor::Tensor& grad_out) override;
   std::string name() const override;
+  std::string_view kind() const override { return "BatchNorm2d"; }
 };
 
 class BatchNorm1d final : public detail::BatchNormBase {
@@ -73,6 +74,7 @@ class BatchNorm1d final : public detail::BatchNormBase {
   tensor::Tensor forward(const tensor::Tensor& x, Mode mode) override;
   tensor::Tensor backward(const tensor::Tensor& grad_out) override;
   std::string name() const override;
+  std::string_view kind() const override { return "BatchNorm1d"; }
 };
 
 }  // namespace snnsec::nn

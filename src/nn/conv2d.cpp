@@ -1,3 +1,7 @@
+// SNNSEC_HOT — steady-state kernel file: naked heap allocation and
+// container growth are forbidden here (snnsec_lint snnsec-hot-alloc);
+// scratch memory comes from util::Workspace so warmed-up runs are
+// zero-alloc (asserted by bench_runner's operator-new hook).
 #include "nn/conv2d.hpp"
 
 #include <sstream>
@@ -5,6 +9,7 @@
 #include "nn/init.hpp"
 #include "obs/trace.hpp"
 #include "tensor/gemm.hpp"
+#include "util/checked.hpp"
 #include "util/thread_pool.hpp"
 #include "util/workspace.hpp"
 
@@ -145,6 +150,10 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
 
   const std::int64_t patch = g.patch_size();
   const std::int64_t cout = spec_.out_channels;
+  // The lowered columns cached by forward must still match this geometry;
+  // a stale cache (e.g. forward ran again with another batch size between
+  // the pair) would silently compute garbage gradients.
+  SNNSEC_ASSERT_SHAPE(cached_columns_, Shape{patch, n * ohw});
   util::Workspace& ws = util::Workspace::local();
   util::Workspace::Scope scope(ws);
 

@@ -43,6 +43,7 @@ class Conv2d final : public Layer {
   tensor::Tensor backward(const tensor::Tensor& grad_out) override;
   std::vector<Parameter*> parameters() override;
   std::string name() const override;
+  std::string_view kind() const override { return "Conv2d"; }
   void clear_cache() override;
 
   const Conv2dSpec& spec() const { return spec_; }

@@ -11,6 +11,7 @@ Dropout::Dropout(double p, util::Rng rng) : p_(p), rng_(rng) {
 }
 
 Tensor Dropout::forward(const Tensor& x, Mode mode) {
+  // NOLINTNEXTLINE(snnsec-float-eq): p is an exact user-set config value; 0 disables the layer entirely
   if (!stochastic_enabled(mode) || p_ == 0.0) {
     identity_pass_ = true;
     have_cache_ = true;

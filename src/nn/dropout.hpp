@@ -14,6 +14,7 @@ class Dropout final : public Layer {
   tensor::Tensor forward(const tensor::Tensor& x, Mode mode) override;
   tensor::Tensor backward(const tensor::Tensor& grad_out) override;
   std::string name() const override;
+  std::string_view kind() const override { return "Dropout"; }
   void clear_cache() override { mask_ = tensor::Tensor(); }
 
   double p() const { return p_; }

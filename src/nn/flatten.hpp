@@ -10,6 +10,7 @@ class Flatten final : public Layer {
   tensor::Tensor forward(const tensor::Tensor& x, Mode mode) override;
   tensor::Tensor backward(const tensor::Tensor& grad_out) override;
   std::string name() const override { return "Flatten"; }
+  std::string_view kind() const override { return "Flatten"; }
 
  private:
   tensor::Shape input_shape_;

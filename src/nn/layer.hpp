@@ -16,6 +16,7 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "nn/parameter.hpp"
@@ -53,6 +54,13 @@ class Layer {
 
   /// Human-readable layer description, e.g. "Conv2d(1->6, 5x5)".
   virtual std::string name() const = 0;
+
+  /// Stable serialization identity, e.g. "Conv2d" — no instance parameters.
+  /// Every kind must appear in the serialization registry
+  /// (src/nn/layer_registry.cpp); checkpoints fingerprint the kind sequence
+  /// so a file can never be deserialized into a different architecture.
+  /// Enforced statically by snnsec_lint rule snnsec-layer-contract.
+  virtual std::string_view kind() const = 0;
 
   /// Drop forward caches (frees memory between experiments).
   virtual void clear_cache() {}

@@ -1,0 +1,45 @@
+// Serialization registry: the closed set of layer kinds a checkpoint may
+// contain, plus the architecture fingerprint model_io stores with every
+// spiking-LeNet file.
+//
+// Why a registry: checkpoints restore parameter tensors positionally, so a
+// file written by one architecture must never be poured into another. The
+// config hash catches most of that, but only describes LenetSpec/SnnConfig —
+// a code change that reorders or swaps layers while keeping the spec
+// constant would silently misassign weights. The fingerprint hashes the
+// actual layer-kind sequence of the built network, closing that hole.
+//
+// Every concrete nn::Layer subclass must register its kind() string here —
+// snnsec_lint rule snnsec-layer-contract fails the build otherwise, and
+// save-time SNNSEC_CHECKs refuse to serialize unregistered layers.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace snnsec::nn {
+
+struct LayerKindInfo {
+  std::string_view kind;  ///< Layer::kind() string, e.g. "Conv2d"
+  std::uint16_t id;       ///< stable numeric id (never reuse or renumber)
+};
+
+/// The full registry, in id order.
+const std::vector<LayerKindInfo>& layer_registry();
+
+/// True when `kind` is a registered serialization identity.
+bool is_registered_layer_kind(std::string_view kind);
+
+/// Registry id for `kind`; throws util::Error for unregistered kinds.
+std::uint16_t layer_kind_id(std::string_view kind);
+
+/// FNV-1a fingerprint of the layer-kind id sequence under `root`,
+/// recursing into Sequential containers. Two models share a fingerprint
+/// iff their (flattened) layer stacks have identical kinds in identical
+/// order — the property positional weight restore depends on.
+std::uint64_t architecture_fingerprint(const Layer& root);
+
+}  // namespace snnsec::nn

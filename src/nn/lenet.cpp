@@ -17,7 +17,8 @@ namespace snnsec::nn {
 namespace {
 std::int64_t scale_count(std::int64_t n, double factor) {
   return std::max<std::int64_t>(
-      2, static_cast<std::int64_t>(std::ceil(n * factor)));
+      2, static_cast<std::int64_t>(
+             std::ceil(static_cast<double>(n) * factor)));
 }
 }  // namespace
 

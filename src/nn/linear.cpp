@@ -5,6 +5,7 @@
 #include "nn/init.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/ops.hpp"
+#include "util/checked.hpp"
 
 namespace snnsec::nn {
 
@@ -35,6 +36,7 @@ Tensor Linear::forward(const Tensor& x, Mode mode) {
     have_cache_ = true;
   }
   Tensor y = tensor::matmul(x, weight_.value, Trans::kNo, Trans::kYes);
+  SNNSEC_ASSERT_SHAPE(y, Shape{x.dim(0), out_features_});
   if (has_bias_) {
     const std::int64_t n = y.dim(0);
     float* py = y.data();

@@ -16,6 +16,7 @@ class Linear final : public Layer {
   tensor::Tensor backward(const tensor::Tensor& grad_out) override;
   std::vector<Parameter*> parameters() override;
   std::string name() const override;
+  std::string_view kind() const override { return "Linear"; }
   void clear_cache() override { cached_input_ = tensor::Tensor(); }
 
   std::int64_t in_features() const { return in_features_; }

@@ -15,6 +15,7 @@ void Optimizer::apply_grad_clip() {
       norm2 += static_cast<double>(g[i]) * g[i];
   }
   const double norm = std::sqrt(norm2);
+  // NOLINTNEXTLINE(snnsec-float-eq): norm 0 guards the division below; only an exactly-zero gradient qualifies
   if (norm <= grad_clip_norm_ || norm == 0.0) return;
   const float scale = static_cast<float>(grad_clip_norm_ / norm);
   for (Parameter* p : params_) p->grad.mul_scalar_(scale);
@@ -41,6 +42,7 @@ void Sgd::step() {
     const std::int64_t n = p.value.numel();
     for (std::int64_t i = 0; i < n; ++i) {
       const float grad = g[i] + wd * w[i];
+      // NOLINTNEXTLINE(snnsec-float-eq): momentum 0 (the exact default) selects plain SGD; no tolerance intended
       if (mu != 0.0f) {
         vel[i] = mu * vel[i] + grad;
         w[i] -= lr * vel[i];

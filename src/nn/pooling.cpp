@@ -3,6 +3,8 @@
 #include <limits>
 #include <sstream>
 
+#include "util/checked.hpp"
+
 namespace snnsec::nn {
 
 using tensor::Shape;
@@ -147,8 +149,14 @@ Tensor MaxPool2d::backward(const Tensor& grad_out) {
   Tensor dx(Shape{n_, c_, h_, w_});
   const float* pg = grad_out.data();
   float* pd = dx.data();
-  for (std::size_t i = 0; i < argmax_.size(); ++i)
+  for (std::size_t i = 0; i < argmax_.size(); ++i) {
+    // The argmax scatter is the one indirect write in the backward pass: a
+    // corrupted index would smear gradient into a neighboring image plane.
+    SNNSEC_DCHECK(argmax_[i] >= 0 && argmax_[i] < dx.numel(),
+                  name() << "::backward: argmax index " << argmax_[i]
+                         << " outside input of " << dx.numel());
     pd[argmax_[i]] += pg[static_cast<std::int64_t>(i)];
+  }
   return dx;
 }
 

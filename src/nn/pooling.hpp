@@ -17,6 +17,7 @@ class AvgPool2d final : public Layer {
   tensor::Tensor forward(const tensor::Tensor& x, Mode mode) override;
   tensor::Tensor backward(const tensor::Tensor& grad_out) override;
   std::string name() const override;
+  std::string_view kind() const override { return "AvgPool2d"; }
   void clear_cache() override {}
 
  private:
@@ -34,6 +35,7 @@ class MaxPool2d final : public Layer {
   tensor::Tensor forward(const tensor::Tensor& x, Mode mode) override;
   tensor::Tensor backward(const tensor::Tensor& grad_out) override;
   std::string name() const override;
+  std::string_view kind() const override { return "MaxPool2d"; }
   void clear_cache() override { argmax_.clear(); }
 
  private:

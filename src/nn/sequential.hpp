@@ -23,10 +23,12 @@ class Sequential final : public Layer {
   tensor::Tensor backward(const tensor::Tensor& grad_out) override;
   std::vector<Parameter*> parameters() override;
   std::string name() const override;
+  std::string_view kind() const override { return "Sequential"; }
   void clear_cache() override;
 
   std::size_t size() const { return layers_.size(); }
   Layer& layer(std::size_t i) { return *layers_.at(i); }
+  const Layer& layer(std::size_t i) const { return *layers_.at(i); }
 
   /// Multi-line human-readable structure dump.
   std::string summary() const;

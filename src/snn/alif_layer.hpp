@@ -36,6 +36,7 @@ class AlifLayer final : public nn::Layer {
   tensor::Tensor forward(const tensor::Tensor& x, nn::Mode mode) override;
   tensor::Tensor backward(const tensor::Tensor& grad_out) override;
   std::string name() const override;
+  std::string_view kind() const override { return "AlifLayer"; }
   void clear_cache() override;
 
   std::int64_t time_steps() const { return time_steps_; }

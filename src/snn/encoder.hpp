@@ -32,6 +32,7 @@ class PoissonEncoder final : public nn::Layer {
   tensor::Tensor forward(const tensor::Tensor& x, nn::Mode mode) override;
   tensor::Tensor backward(const tensor::Tensor& grad_out) override;
   std::string name() const override;
+  std::string_view kind() const override { return "PoissonEncoder"; }
   void clear_cache() override { gate_ = tensor::Tensor(); }
 
   std::int64_t time_steps() const { return time_steps_; }

@@ -1,3 +1,7 @@
+// SNNSEC_HOT — steady-state kernel file: naked heap allocation and
+// container growth are forbidden here (snnsec_lint snnsec-hot-alloc);
+// scratch memory comes from util::Workspace so warmed-up runs are
+// zero-alloc (asserted by bench_runner's operator-new hook).
 #include "snn/lif.hpp"
 
 #include <sstream>

@@ -1,3 +1,7 @@
+// SNNSEC_HOT — steady-state kernel file: naked heap allocation and
+// container growth are forbidden here (snnsec_lint snnsec-hot-alloc);
+// scratch memory comes from util::Workspace so warmed-up runs are
+// zero-alloc (asserted by bench_runner's operator-new hook).
 #include "snn/lif_layer.hpp"
 
 #include <algorithm>
@@ -6,6 +10,7 @@
 #include <sstream>
 #include <vector>
 
+#include "util/checked.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 #include "util/workspace.hpp"
@@ -85,6 +90,11 @@ Tensor LifLayer::backward(const Tensor& grad_out) {
                       << grad_out.shape().to_string() << " != forward shape "
                       << spikes_.shape().to_string());
   const std::int64_t per_step = cached_rows_;
+  SNNSEC_ASSERT_SHAPE(v_decayed_, spikes_.shape());
+  SNNSEC_DCHECK(per_step * time_steps_ == spikes_.numel(),
+                name() << ": cached rows " << per_step
+                       << " inconsistent with cache of "
+                       << spikes_.numel() << " elements");
   const float a = params_.a();
   const float b = params_.b();
   const float v_th = params_.v_th;
@@ -167,6 +177,7 @@ void LifLayer::collect_activity_stats(const Tensor& z, const Tensor& vd,
   // so under/over-threshold mass is visible per (V_th, T) cell.
   stats.v_spec.lo = params_.v_reset - 1.0;
   stats.v_spec.hi = params_.v_th + 1.0;
+  // NOLINTNEXTLINE(snnsec-hot-alloc): probe path — runs only when activity collection is armed, never in steady-state forwards
   stats.v_hist.assign(static_cast<std::size_t>(stats.v_spec.buckets), 0);
   const float* pv = vd.data();
   double v_sum = 0.0;

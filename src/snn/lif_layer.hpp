@@ -57,6 +57,7 @@ class LifLayer final : public nn::Layer {
   tensor::Tensor forward(const tensor::Tensor& x, nn::Mode mode) override;
   tensor::Tensor backward(const tensor::Tensor& grad_out) override;
   std::string name() const override;
+  std::string_view kind() const override { return "LifLayer"; }
   void clear_cache() override;
 
   std::int64_t time_steps() const { return time_steps_; }

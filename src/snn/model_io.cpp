@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "nn/layer_registry.hpp"
 #include "obs/metrics.hpp"
 #include "tensor/serialize.hpp"
 #include "util/logging.hpp"
@@ -121,6 +122,7 @@ SnnConfig decode_config(const Tensor& t) {
   cfg.neuron.v_reset = t[8];
   cfg.neuron.dt = t[9];
   cfg.encoder = static_cast<EncoderKind>(static_cast<int>(t[10]));
+  // NOLINTNEXTLINE(snnsec-float-eq): decodes an exactly-encoded 0/1 flag from the checkpoint
   cfg.encoder_uses_vth = t[11] != 0.0f;
   cfg.weight_gain = t[12];
   cfg.input_gain = t[13];
@@ -128,6 +130,27 @@ SnnConfig decode_config(const Tensor& t) {
   cfg.alif_beta = t[15];
   cfg.alif_rho = t[16];
   return cfg;
+}
+
+// Architecture record: [version, layer-kind-sequence fingerprint (4
+// chunks)]. The fingerprint hashes the registry ids of the built network's
+// layer stack (nn::architecture_fingerprint), so positional weight restore
+// can never pour tensors into a reordered or swapped stack even when the
+// LenetSpec/SnnConfig hash matches.
+constexpr const char* kLayersRecord = "meta/layers";
+
+Tensor encode_layers(const nn::Layer& net) {
+  Tensor t(Shape{5});
+  t[0] = kFormatVersion;
+  encode_u64(nn::architecture_fingerprint(net), t.data() + 1);
+  return t;
+}
+
+std::uint64_t decode_layers(const Tensor& t) {
+  SNNSEC_CHECK(t.numel() == 5 && t[0] == kFormatVersion,
+               "model file: unsupported layers record (version " << t[0]
+                                                                 << ")");
+  return decode_u64(t.data() + 1);
 }
 
 // Fingerprint of the metadata that determines a model file's layout.
@@ -219,10 +242,11 @@ void save_spiking_lenet(const std::string& path, SpikingClassifier& model,
   std::map<std::string, Tensor> archive;
   archive.emplace("meta/arch", encode_arch(arch));
   archive.emplace("meta/snn", encode_config(config));
+  archive.emplace(kLayersRecord, encode_layers(model.net()));
   const auto params = model.parameters();
   for (std::size_t i = 0; i < params.size(); ++i) {
     char name[16];
-    std::snprintf(name, sizeof(name), "p%03zu", i);
+    std::snprintf(name, sizeof(name), "p%03u", static_cast<unsigned>(i));
     archive.emplace(name, params[i]->value);
   }
   save_checkpoint(path, archive, model_config_hash(arch, config));
@@ -244,7 +268,8 @@ LoadedModel load_spiking_lenet(const std::string& path) {
   SNNSEC_CHECK(checkpoint_digest(archive) == stored_digest,
                "model file " << path << ": payload digest mismatch (corrupt)");
   SNNSEC_CHECK(archive.count("meta/arch") == 1 &&
-                   archive.count("meta/snn") == 1,
+                   archive.count("meta/snn") == 1 &&
+                   archive.count(kLayersRecord) == 1,
                "model file " << path << ": missing metadata records");
   LoadedModel out;
   out.arch = decode_arch(archive.at("meta/arch"));
@@ -255,14 +280,21 @@ LoadedModel load_spiking_lenet(const std::string& path) {
   // Rebuild and overwrite the (arbitrary) fresh initialization.
   util::Rng rng(0);
   out.model = build_spiking_lenet(out.arch, out.config, rng);
+  SNNSEC_CHECK(decode_layers(archive.at(kLayersRecord)) ==
+                   nn::architecture_fingerprint(out.model->net()),
+               "model file "
+                   << path
+                   << ": architecture fingerprint mismatch — the stored "
+                      "layer-kind sequence differs from the rebuilt network, "
+                      "positional weight restore would misassign tensors");
   const auto params = out.model->parameters();
-  SNNSEC_CHECK(archive.size() == params.size() + 2,
+  SNNSEC_CHECK(archive.size() == params.size() + 3,
                "model file " << path << ": expected " << params.size()
                              << " parameter tensors, found "
-                             << archive.size() - 2);
+                             << archive.size() - 3);
   for (std::size_t i = 0; i < params.size(); ++i) {
     char name[16];
-    std::snprintf(name, sizeof(name), "p%03zu", i);
+    std::snprintf(name, sizeof(name), "p%03u", static_cast<unsigned>(i));
     const auto it = archive.find(name);
     SNNSEC_CHECK(it != archive.end(), "model file: missing tensor " << name);
     SNNSEC_CHECK(it->second.shape() == params[i]->value.shape(),

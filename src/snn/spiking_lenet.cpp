@@ -47,6 +47,7 @@ std::unique_ptr<SpikingClassifier> build_spiking_lenet(
 
   auto net = std::make_unique<nn::Sequential>();
   // Input-current gain (Norse-style input normalization stand-in).
+  // NOLINTNEXTLINE(snnsec-float-eq): gain of exactly 1 (the default literal) elides the Scale layer
   if (config.input_gain != 1.0)
     net->emplace<nn::Scale>(static_cast<float>(config.input_gain));
   // Encoder.
@@ -80,6 +81,7 @@ std::unique_ptr<SpikingClassifier> build_spiking_lenet(
 
   // Rescale weight inits so synaptic currents reach the threshold's working
   // range (see SnnConfig::weight_gain).
+  // NOLINTNEXTLINE(snnsec-float-eq): gain of exactly 1 (the default literal) elides the weight rescale
   if (config.weight_gain != 1.0) {
     for (nn::Parameter* p : net->parameters())
       if (p->name == "weight")

@@ -1,3 +1,7 @@
+// SNNSEC_HOT — steady-state kernel file: naked heap allocation and
+// container growth are forbidden here (snnsec_lint snnsec-hot-alloc);
+// scratch memory comes from util::Workspace so warmed-up runs are
+// zero-alloc (asserted by bench_runner's operator-new hook).
 #include "tensor/gemm.hpp"
 
 #include <algorithm>
@@ -124,8 +128,10 @@ inline void store_tile(float* c, std::int64_t ldc, const float* acc,
   for (std::int64_t r = 0; r < rows; ++r) {
     float* crow = c + r * ldc;
     const float* arow = acc + r * kNR;
+    // NOLINTNEXTLINE(snnsec-float-eq): beta 0/1 select the exact overwrite/accumulate fast paths; near-zero must still scale
     if (beta_eff == 0.0f) {
       for (std::int64_t j = 0; j < cols; ++j) crow[j] = alpha * arow[j];
+    // NOLINTNEXTLINE(snnsec-float-eq): beta exactly 1 selects the pure-accumulate fast path
     } else if (beta_eff == 1.0f) {
       for (std::int64_t j = 0; j < cols; ++j) crow[j] += alpha * arow[j];
     } else {
@@ -176,10 +182,12 @@ void sparse_row(std::int64_t k, std::int64_t n, Trans ta, const float* a,
   std::fill(acc, acc + n, 0.0f);
   for (std::int64_t kk = 0; kk < k; ++kk) {
     const float av = load_a(ta, a, lda, i, kk);
+    // NOLINTNEXTLINE(snnsec-float-eq): spike operands are exactly 0 or 1; the sparsity skip must only drop true zeros
     if (av == 0.0f) continue;  // spike tensors are sparse; skip zeros
     const float* brow = bp + kk * n;
     for (std::int64_t j = 0; j < n; ++j) acc[j] += av * brow[j];
   }
+  // NOLINTNEXTLINE(snnsec-float-eq): beta exactly 0 selects the overwrite path; near-zero must still scale C
   if (beta == 0.0f) {
     for (std::int64_t j = 0; j < n; ++j) crow[j] = alpha * acc[j];
   } else {
@@ -273,6 +281,7 @@ bool probe_sparse(Trans ta, const float* a, std::int64_t lda, std::int64_t m,
   const std::int64_t stride = std::max<std::int64_t>(1, total / samples);
   std::int64_t zeros = 0, count = 0;
   for (std::int64_t t = 0; t < total && count < samples; t += stride) {
+    // NOLINTNEXTLINE(snnsec-float-eq): sparsity probe counts exact zeros, mirroring the kernel's skip test
     if (load_a(ta, a, lda, t / k, t % k) == 0.0f) ++zeros;
     ++count;
   }
@@ -353,12 +362,14 @@ void gemm_reference(Trans trans_a, Trans trans_b, float alpha, const Tensor& a,
     for (std::int64_t kk = 0; kk < d.k; ++kk) {
       const float av =
           (trans_a == Trans::kNo) ? pa[i * lda + kk] : pa[kk * lda + i];
+      // NOLINTNEXTLINE(snnsec-float-eq): spike operands are exactly 0 or 1; the sparsity skip must only drop true zeros
       if (av == 0.0f) continue;
       const float* brow = pb + kk * d.n;
       for (std::int64_t j = 0; j < d.n; ++j)
         acc[static_cast<std::size_t>(j)] += av * brow[j];
     }
     float* crow = pc + i * d.n;
+    // NOLINTNEXTLINE(snnsec-float-eq): beta exactly 0 selects the overwrite path; near-zero must still scale C
     if (beta == 0.0f) {
       for (std::int64_t j = 0; j < d.n; ++j)
         crow[j] = alpha * acc[static_cast<std::size_t>(j)];

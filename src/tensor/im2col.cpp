@@ -1,6 +1,11 @@
+// SNNSEC_HOT — steady-state kernel file: naked heap allocation and
+// container growth are forbidden here (snnsec_lint snnsec-hot-alloc);
+// scratch memory comes from util::Workspace so warmed-up runs are
+// zero-alloc (asserted by bench_runner's operator-new hook).
 #include "tensor/im2col.hpp"
 
 #include "obs/trace.hpp"
+#include "util/checked.hpp"
 
 namespace snnsec::tensor {
 
@@ -29,6 +34,9 @@ void im2col_ld(const ConvGeometry& g, const float* image, float* columns,
                std::int64_t ld, std::int64_t col0) {
   const std::int64_t oh = g.out_h();
   const std::int64_t ow = g.out_w();
+  SNNSEC_DCHECK(ld >= oh * ow && col0 >= 0 && col0 + oh * ow <= ld,
+                "im2col_ld: window [" << col0 << ", " << col0 + oh * ow
+                                      << ") exceeds leading dim " << ld);
   std::int64_t row = 0;
   for (std::int64_t c = 0; c < g.channels; ++c) {
     const float* plane = image + c * g.height * g.width;
@@ -57,6 +65,9 @@ void col2im_ld(const ConvGeometry& g, const float* columns, float* image_grad,
                std::int64_t ld, std::int64_t col0) {
   const std::int64_t oh = g.out_h();
   const std::int64_t ow = g.out_w();
+  SNNSEC_DCHECK(ld >= oh * ow && col0 >= 0 && col0 + oh * ow <= ld,
+                "col2im_ld: window [" << col0 << ", " << col0 + oh * ow
+                                      << ") exceeds leading dim " << ld);
   std::int64_t row = 0;
   for (std::int64_t c = 0; c < g.channels; ++c) {
     float* plane = image_grad + c * g.height * g.width;

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "tensor/shape.hpp"
+#include "util/checked.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -80,10 +81,18 @@ class Tensor {
   std::vector<float>& storage() { return data_; }
   const std::vector<float>& storage() const { return data_; }
 
+  // Flat access is the hot-loop path, so the bounds check lives in the
+  // checked tier only (-DSNNSEC_CHECKED=ON); at() is always checked.
   float& operator[](std::int64_t flat) {
+    SNNSEC_DCHECK(flat >= 0 && flat < numel(),
+                  "flat index " << flat << " out of range [0, " << numel()
+                                << ") for " << shape_.to_string());
     return data_[static_cast<std::size_t>(flat)];
   }
   float operator[](std::int64_t flat) const {
+    SNNSEC_DCHECK(flat >= 0 && flat < numel(),
+                  "flat index " << flat << " out of range [0, " << numel()
+                                << ") for " << shape_.to_string());
     return data_[static_cast<std::size_t>(flat)];
   }
 

@@ -1,0 +1,69 @@
+// Bounds-checking contract of the Tensor access paths and the checked tier.
+//
+// at() is always bounds-checked, in every build. operator[] and
+// SNNSEC_ASSERT_SHAPE are free in release builds and only armed under
+// -DSNNSEC_CHECKED=ON; the #if blocks below assert both sides of that
+// contract, so this one test file is meaningful in both configurations.
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.hpp"
+#include "util/checked.hpp"
+#include "util/error.hpp"
+
+using snnsec::tensor::Shape;
+using snnsec::tensor::Tensor;
+
+TEST(CheckedAccess, AtThrowsOnEveryOutOfRangeAxis) {
+  Tensor t(Shape{2, 3});
+  t.at({1, 2}) = 7.0f;
+  EXPECT_FLOAT_EQ(t.at({1, 2}), 7.0f);
+
+  EXPECT_THROW(t.at({2, 0}), snnsec::util::Error);   // axis 0 one past end
+  EXPECT_THROW(t.at({0, 3}), snnsec::util::Error);   // axis 1 one past end
+  EXPECT_THROW(t.at({-1, 0}), snnsec::util::Error);  // negative index
+  EXPECT_THROW(t.at({0}), snnsec::util::Error);      // rank mismatch
+
+  const Tensor& ct = t;
+  EXPECT_THROW(ct.at({1, 3}), snnsec::util::Error);
+}
+
+TEST(CheckedAccess, OffsetRejectsOffByOne) {
+  Tensor t(Shape{4, 5});
+  EXPECT_EQ(t.offset({3, 4}), 19);  // last valid element
+  EXPECT_THROW(t.offset({3, 5}), snnsec::util::Error);
+  EXPECT_THROW(t.offset({4, 0}), snnsec::util::Error);
+}
+
+#if defined(SNNSEC_CHECKED) && SNNSEC_CHECKED
+
+TEST(CheckedAccess, FlatIndexingIsCheckedInCheckedBuilds) {
+  Tensor t(Shape{6});
+  t[5] = 1.0f;  // last valid slot
+  EXPECT_THROW(t[6], snnsec::util::Error);
+  EXPECT_THROW(t[-1], snnsec::util::Error);
+  const Tensor& ct = t;
+  EXPECT_THROW(ct[6], snnsec::util::Error);
+}
+
+TEST(CheckedAccess, AssertShapeFiresOnMismatch) {
+  Tensor t(Shape{2, 3});
+  EXPECT_NO_THROW(SNNSEC_ASSERT_SHAPE(t, Shape{2, 3}));
+  EXPECT_THROW(SNNSEC_ASSERT_SHAPE(t, Shape{3, 2}), snnsec::util::Error);
+  EXPECT_THROW(SNNSEC_ASSERT_SHAPE(t, Shape{6}), snnsec::util::Error);
+}
+
+#else  // release tier: the same expressions must cost (and catch) nothing
+
+TEST(CheckedAccess, FlatIndexingIsUncheckedInReleaseBuilds) {
+  Tensor t(Shape{6});
+  t[5] = 1.0f;
+  EXPECT_FLOAT_EQ(t[5], 1.0f);  // valid access works; OOB is UB, not tested
+}
+
+TEST(CheckedAccess, AssertShapeCompilesOutInReleaseBuilds) {
+  Tensor t(Shape{2, 3});
+  // Deliberately wrong shape: the macro must expand to a no-op.
+  EXPECT_NO_THROW(SNNSEC_ASSERT_SHAPE(t, Shape{3, 2}));
+}
+
+#endif

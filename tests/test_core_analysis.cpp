@@ -68,9 +68,10 @@ TEST(Analysis, HigherThresholdFiresLess) {
 TEST(Analysis, SynopsExceedSpikesViaFanout) {
   auto model = make_model(1.0, 6);
   const auto report = measure_activity(*model, sample_batch());
-  if (report.total_spikes_per_inference > 0.0)
+  if (report.total_spikes_per_inference > 0.0) {
     EXPECT_GT(report.synops_per_inference,
               report.total_spikes_per_inference);
+  }
 }
 
 TEST(Analysis, EnergyEstimateScalesLinearly) {

@@ -284,6 +284,7 @@ TEST_F(ResumeTest, ExhaustedRetriesMarkCellFailedAndGridContinues) {
   RobustnessExplorer explorer(cfg);
   explorer.set_train_fault_hook([&](double v_th, std::int64_t, int,
                                     snn::SpikingClassifier& model) {
+    // NOLINTNEXTLINE(snnsec-float-eq): grid v_th values are exact literals from the test config
     if (v_th == 1.0)  // poison every attempt of the first cell only
       model.parameters().back()->value.data()[0] =
           std::numeric_limits<float>::infinity();

@@ -49,7 +49,10 @@ void write_fixture(const fs::path& dir) {
       std::ofstream os(dir / lbl_name, std::ios::binary);
       write_be32(os, 0x00000801);
       write_be32(os, 4);
-      for (unsigned char l : {1, 7, 3, 9}) {
+      for (unsigned char l : {static_cast<unsigned char>(1),
+                              static_cast<unsigned char>(7),
+                              static_cast<unsigned char>(3),
+                              static_cast<unsigned char>(9)}) {
         os.write(reinterpret_cast<const char*>(&l), 1);
       }
     }
@@ -218,7 +221,8 @@ TEST(Resize, PreservesMeanApproximately) {
   double mx = 0.0, my = 0.0;
   for (std::int64_t i = 0; i < x.numel(); ++i) mx += x[i];
   for (std::int64_t i = 0; i < y.numel(); ++i) my += y[i];
-  EXPECT_NEAR(mx / x.numel(), my / y.numel(), 0.05);
+  EXPECT_NEAR(mx / static_cast<double>(x.numel()),
+              my / static_cast<double>(y.numel()), 0.05);
 }
 
 TEST(Resize, RejectsBadArgs) {

@@ -1,0 +1,300 @@
+// Fixture-based tests for the snnsec_lint engine (tools/lint).
+//
+// Every rule R1–R6 gets at least one known-bad snippet proving it fires
+// (with exact rule ID and line number) and one known-good / suppressed
+// snippet proving justified NOLINTs silence it. The fixtures live in
+// string literals — the engine blanks literal contents when scanning, so
+// this file itself stays clean under the lint_tree ctest.
+#include "lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using snnsec::lint::Finding;
+using snnsec::lint::lint_source;
+using snnsec::lint::LintResult;
+using snnsec::lint::Options;
+
+namespace {
+
+bool has(const LintResult& r, const std::string& rule, int line) {
+  return std::any_of(r.findings.begin(), r.findings.end(),
+                     [&](const Finding& f) {
+                       return f.rule == rule && f.line == line;
+                     });
+}
+
+bool suppressed(const LintResult& r, const std::string& rule, int line) {
+  return std::any_of(r.suppressed.begin(), r.suppressed.end(),
+                     [&](const Finding& f) {
+                       return f.rule == rule && f.line == line;
+                     });
+}
+
+}  // namespace
+
+// ---- R1: snnsec-hot-alloc -------------------------------------------------
+
+TEST(LintHotAlloc, FiresOnNewAndGrowthInHotFile) {
+  const std::string src =
+      "// SNNSEC_HOT\n"                       // line 1
+      "void f() {\n"                          // line 2
+      "  float* p = new float[64];\n"         // line 3
+      "  buf.push_back(1.0f);\n"              // line 4
+      "  q = malloc(8);\n"                    // line 5
+      "}\n";
+  const auto r = lint_source("src/tensor/fake.cpp", src);
+  EXPECT_TRUE(has(r, "snnsec-hot-alloc", 3));
+  EXPECT_TRUE(has(r, "snnsec-hot-alloc", 4));
+  EXPECT_TRUE(has(r, "snnsec-hot-alloc", 5));
+}
+
+TEST(LintHotAlloc, SilentWithoutMarkerOrInStrings) {
+  const auto r = lint_source("src/tensor/fake.cpp",
+                             "void f() { float* p = new float[64]; }\n");
+  EXPECT_TRUE(r.findings.empty());
+  // The marker only counts inside a comment, not in a string literal.
+  const auto r2 = lint_source(
+      "src/tensor/fake.cpp",
+      "const char* s = \"// SNNSEC_HOT\";\nvoid f() { g(new int); }\n");
+  EXPECT_TRUE(r2.findings.empty());
+}
+
+TEST(LintHotAlloc, JustifiedNolintSuppresses) {
+  const std::string src =
+      "// SNNSEC_HOT\n"
+      "void f() {\n"
+      "  // NOLINTNEXTLINE(snnsec-hot-alloc): cold setup path, runs once\n"
+      "  buf.resize(64);\n"  // line 4
+      "}\n";
+  const auto r = lint_source("src/tensor/fake.cpp", src);
+  EXPECT_TRUE(r.findings.empty());
+  EXPECT_TRUE(suppressed(r, "snnsec-hot-alloc", 4));
+}
+
+// ---- R2: snnsec-rng -------------------------------------------------------
+
+TEST(LintRng, FiresOnNondeterministicSources) {
+  const std::string src =
+      "#include <random>\n"                                      // 1
+      "std::mt19937 gen{std::random_device{}()};\n"              // 2
+      "int r = rand() % 6;\n"                                    // 3
+      "auto seed = std::chrono::steady_clock::now().time_since_epoch();\n"
+      "srand(time(nullptr));\n";                                 // 5
+  const auto r = lint_source("src/attacks/fake.cpp", src);
+  EXPECT_TRUE(has(r, "snnsec-rng", 2));
+  EXPECT_TRUE(has(r, "snnsec-rng", 3));
+  EXPECT_TRUE(has(r, "snnsec-rng", 4));
+  EXPECT_TRUE(has(r, "snnsec-rng", 5));
+}
+
+TEST(LintRng, AllowedInsideRngImplementation) {
+  const auto r = lint_source("src/util/rng.cpp",
+                             "std::mt19937 reference_for_tests;\n");
+  EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(LintRng, JustifiedNolintSuppresses) {
+  const std::string src =
+      "std::mt19937 g;  // NOLINT(snnsec-rng): reference distribution check "
+      "against the C++ standard engine\n";
+  const auto r = lint_source("tests/fake.cpp", src);
+  EXPECT_TRUE(r.findings.empty());
+  EXPECT_TRUE(suppressed(r, "snnsec-rng", 1));
+}
+
+// ---- R3: snnsec-parallel-capture ------------------------------------------
+
+TEST(LintParallelCapture, FiresOnByRefWorkspaceUse) {
+  const std::string src =
+      "void f(util::Workspace& ws) {\n"                          // 1
+      "  util::parallel_for_chunked(0, n, [&](i64 lo, i64 hi) {\n"  // 2
+      "    float* p = ws.alloc<float>(64);\n"                    // 3
+      "    use(p, lo, hi);\n"
+      "  });\n"
+      "}\n";
+  const auto r = lint_source("src/nn/fake.cpp", src);
+  EXPECT_TRUE(has(r, "snnsec-parallel-capture", 2));
+}
+
+TEST(LintParallelCapture, ThreadLocalGuardIsClean) {
+  const std::string src =
+      "void f() {\n"
+      "  util::parallel_for_chunked(0, n, [&](i64 lo, i64 hi) {\n"
+      "    util::Workspace& ws = util::Workspace::local();\n"
+      "    float* p = ws.alloc<float>(64);\n"
+      "    use(p, lo, hi);\n"
+      "  });\n"
+      "}\n";
+  const auto r = lint_source("src/nn/fake.cpp", src);
+  EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(LintParallelCapture, ValueCaptureIsClean) {
+  const std::string src =
+      "void f(Plan plan) {\n"
+      "  util::parallel_for(0, n, [plan](i64 i) { run(plan, i); });\n"
+      "}\n";
+  const auto r = lint_source("src/nn/fake.cpp", src);
+  EXPECT_TRUE(r.findings.empty());
+}
+
+// ---- R4: snnsec-float-eq --------------------------------------------------
+
+TEST(LintFloatEq, FiresOnLiteralComparisons) {
+  const std::string src =
+      "bool a(float x) { return x == 0.5f; }\n"   // 1
+      "bool b(double x) { return x != 1e-3; }\n"  // 2
+      "bool c(int x) { return x == 3; }\n";       // 3 — integers are fine
+  const auto r = lint_source("src/core/fake.cpp", src);
+  EXPECT_TRUE(has(r, "snnsec-float-eq", 1));
+  EXPECT_TRUE(has(r, "snnsec-float-eq", 2));
+  EXPECT_FALSE(has(r, "snnsec-float-eq", 3));
+  EXPECT_EQ(r.findings.size(), 2u);
+}
+
+TEST(LintFloatEq, IgnoresOrderingAndOperatorDecls) {
+  const std::string src =
+      "bool a(float x) { return x <= 0.5f || x >= 1.5f; }\n"
+      "bool operator==(const S& s, float) { return false; }\n";
+  const auto r = lint_source("src/core/fake.cpp", src);
+  EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(LintFloatEq, JustifiedNolintSuppresses) {
+  const std::string src =
+      "// NOLINTNEXTLINE(snnsec-float-eq): spikes are exactly 0 or 1\n"
+      "bool spiked(float z) { return z == 1.0f; }\n";
+  const auto r = lint_source("src/snn/fake.cpp", src);
+  EXPECT_TRUE(r.findings.empty());
+  EXPECT_TRUE(suppressed(r, "snnsec-float-eq", 2));
+}
+
+// ---- R5: snnsec-header-hygiene --------------------------------------------
+
+TEST(LintHeaderHygiene, FiresOnMissingPragmaAndUsingNamespace) {
+  const std::string src =
+      "#include <vector>\n"
+      "using namespace std;\n"  // line 2
+      "struct S {};\n";
+  const auto r = lint_source("src/util/fake.hpp", src);
+  EXPECT_TRUE(has(r, "snnsec-header-hygiene", 1));  // missing #pragma once
+  EXPECT_TRUE(has(r, "snnsec-header-hygiene", 2));  // using namespace
+}
+
+TEST(LintHeaderHygiene, CleanHeaderAndSourceFileExempt) {
+  const std::string header = "#pragma once\nstruct S {};\n";
+  EXPECT_TRUE(lint_source("src/util/fake.hpp", header).findings.empty());
+  // .cpp files may use `using namespace` locally and need no pragma.
+  const std::string source = "using namespace std::chrono_literals;\n";
+  EXPECT_TRUE(lint_source("src/util/fake.cpp", source).findings.empty());
+}
+
+// ---- R6: snnsec-layer-contract --------------------------------------------
+
+namespace {
+
+const char* kGoodLayer =
+    "#pragma once\n"
+    "namespace snnsec::nn {\n"
+    "class Frob final : public Layer {\n"  // line 3
+    " public:\n"
+    "  tensor::Tensor forward(const tensor::Tensor& x, Mode m) override;\n"
+    "  tensor::Tensor backward(const tensor::Tensor& g) override;\n"
+    "  std::string name() const override;\n"
+    "  std::string_view kind() const override;\n"
+    "};\n"
+    "}\n";
+
+}  // namespace
+
+TEST(LintLayerContract, FiresOnMissingOverrides) {
+  const std::string src =
+      "#pragma once\n"
+      "namespace snnsec::nn {\n"
+      "class Frob final : public Layer {\n"  // line 3
+      " public:\n"
+      "  tensor::Tensor forward(const tensor::Tensor& x, Mode m) override;\n"
+      "  std::string name() const override;\n"
+      "};\n"
+      "}\n";
+  const auto r = lint_source("src/nn/frob.hpp", src);
+  // Missing backward() and kind(); forward() is present.
+  EXPECT_TRUE(has(r, "snnsec-layer-contract", 3));
+  EXPECT_EQ(r.findings.size(), 2u);
+}
+
+TEST(LintLayerContract, FiresWhenNotInRegistry) {
+  Options opts;
+  opts.registry_source = "{\"Conv2d\", 7},\n{\"Linear\", 10},\n";
+  const auto r = lint_source("src/nn/frob.hpp", kGoodLayer, opts);
+  EXPECT_TRUE(has(r, "snnsec-layer-contract", 3));
+  EXPECT_EQ(r.findings.size(), 1u);
+}
+
+TEST(LintLayerContract, CleanWhenRegisteredAndComplete) {
+  Options opts;
+  opts.registry_source = "{\"Frob\", 42},\n";
+  const auto r = lint_source("src/nn/frob.hpp", kGoodLayer, opts);
+  EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(LintLayerContract, AbstractBasesAndOtherDirsExempt) {
+  const std::string abstract_base =
+      "#pragma once\n"
+      "namespace snnsec::nn {\n"
+      "class FrobBase : public Layer {\n"  // not final — abstract base
+      " public:\n"
+      "  std::vector<Parameter*> parameters() override;\n"
+      "};\n"
+      "}\n";
+  EXPECT_TRUE(lint_source("src/nn/frob.hpp", abstract_base).findings.empty());
+  // The contract only applies to src/nn and src/snn headers.
+  const std::string elsewhere =
+      "#pragma once\nclass Frob final : public Layer {};\n";
+  EXPECT_TRUE(lint_source("src/core/frob.hpp", elsewhere).findings.empty());
+}
+
+// ---- NOLINT justification contract ----------------------------------------
+
+TEST(LintNolint, UnjustifiedSnnsecNolintIsAFindingAndDoesNotSuppress) {
+  const std::string src =
+      "bool spiked(float z) { return z == 1.0f; }  // NOLINT(snnsec-float-eq)\n";
+  const auto r = lint_source("src/snn/fake.cpp", src);
+  EXPECT_TRUE(has(r, "snnsec-float-eq", 1));            // not suppressed
+  EXPECT_TRUE(has(r, "snnsec-nolint-justification", 1));  // and called out
+}
+
+TEST(LintNolint, ForeignNolintIsIgnored) {
+  // Plain clang-tidy NOLINTs (no snnsec- rule) are none of our business.
+  const std::string src = "int x = 0;  // NOLINT\n";
+  const auto r = lint_source("src/util/fake.cpp", src);
+  EXPECT_TRUE(r.findings.empty());
+  EXPECT_TRUE(r.suppressed.empty());
+}
+
+TEST(LintNolint, JustificationMustBeNonEmpty) {
+  const std::string with_colon_only =
+      "bool b(float z) { return z == 1.0f; }  // NOLINT(snnsec-float-eq):  \n";
+  const auto r = lint_source("src/snn/fake.cpp", with_colon_only);
+  EXPECT_TRUE(has(r, "snnsec-float-eq", 1));
+  EXPECT_TRUE(has(r, "snnsec-nolint-justification", 1));
+}
+
+// ---- engine plumbing ------------------------------------------------------
+
+TEST(LintEngine, RuleListIsStable) {
+  const auto& ids = snnsec::lint::rule_ids();
+  EXPECT_EQ(ids.size(), 7u);
+  EXPECT_NE(std::find(ids.begin(), ids.end(), "hot-alloc"), ids.end());
+  EXPECT_NE(std::find(ids.begin(), ids.end(), "layer-contract"), ids.end());
+}
+
+TEST(LintEngine, FindingsCarrySuggestions) {
+  const auto r = lint_source("src/core/fake.cpp",
+                             "bool a(float x) { return x == 0.5f; }\n");
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_FALSE(r.findings[0].suggestion.empty());
+  EXPECT_EQ(r.findings[0].file, "src/core/fake.cpp");
+}

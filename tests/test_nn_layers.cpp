@@ -180,12 +180,16 @@ TEST(Dropout, TrainModeZerosAndRescales) {
   std::int64_t zeros = 0;
   double sum = 0.0;
   for (std::int64_t i = 0; i < y.numel(); ++i) {
+    // NOLINTNEXTLINE(snnsec-float-eq): kAttack-mode dropout passes values through exactly: 0 or 2x input
     EXPECT_TRUE(y[i] == 0.0f || y[i] == 2.0f);  // inverted dropout scale
+    // NOLINTNEXTLINE(snnsec-float-eq): train-mode dropout zeroes dropped units exactly
     zeros += (y[i] == 0.0f);
     sum += y[i];
   }
-  EXPECT_NEAR(static_cast<double>(zeros) / y.numel(), 0.5, 0.03);
-  EXPECT_NEAR(sum / y.numel(), 1.0, 0.05);  // expectation preserved
+  EXPECT_NEAR(static_cast<double>(zeros) / static_cast<double>(y.numel()),
+              0.5, 0.03);
+  EXPECT_NEAR(sum / static_cast<double>(y.numel()), 1.0,
+              0.05);  // expectation preserved
 }
 
 TEST(Dropout, InvalidProbabilityThrows) {

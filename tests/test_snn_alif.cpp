@@ -63,6 +63,7 @@ TEST(AlifLayer, SpikesAreBinary) {
   const Tensor x = Tensor::rand_uniform(Shape{10 * 2, 6}, rng, 0.0f, 3.0f);
   const Tensor z = alif.forward(x, nn::Mode::kEval);
   for (std::int64_t i = 0; i < z.numel(); ++i)
+    // NOLINTNEXTLINE(snnsec-float-eq): ALIF spikes are exactly 0 or 1 by construction
     EXPECT_TRUE(z[i] == 0.0f || z[i] == 1.0f);
   EXPECT_GE(alif.last_spike_rate(), 0.0);
   EXPECT_LE(alif.last_spike_rate(), 1.0);

@@ -29,6 +29,7 @@ TEST(LifLayer, OutputsAreBinarySpikes) {
   const Tensor z = lif.forward(x, nn::Mode::kEval);
   EXPECT_EQ(z.shape(), x.shape());
   for (std::int64_t i = 0; i < z.numel(); ++i)
+    // NOLINTNEXTLINE(snnsec-float-eq): LIF spikes are exactly 0 or 1 by construction
     EXPECT_TRUE(z[i] == 0.0f || z[i] == 1.0f);
   EXPECT_GT(lif.last_spike_rate(), 0.0);
   EXPECT_LT(lif.last_spike_rate(), 1.0);
@@ -226,6 +227,7 @@ TEST(PoissonEncoder, NonFinitePixelsEncodeAsSilent) {
   double rate[4] = {0, 0, 0, 0};
   for (std::int64_t t = 0; t < 100; ++t)
     for (int k = 0; k < 4; ++k) {
+      // NOLINTNEXTLINE(snnsec-float-eq): LIF spikes are exactly 0 or 1 by construction
       EXPECT_TRUE(z[t * 4 + k] == 0.0f || z[t * 4 + k] == 1.0f);
       rate[k] += z[t * 4 + k];
     }

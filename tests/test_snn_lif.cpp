@@ -72,6 +72,7 @@ TEST(LifStep, FiresAndResetsAtThreshold) {
   bool fired = false;
   for (int t = 0; t < 30 && !fired; ++t) {
     lif_step(p, 1, &x, &i, &v, &z, &vd);
+    // NOLINTNEXTLINE(snnsec-float-eq): LIF spikes are exactly 0 or 1 by construction
     if (z == 1.0f) {
       fired = true;
       EXPECT_GT(vd, p.v_th);                // crossed pre-reset
@@ -91,6 +92,7 @@ TEST(LifStep, HigherThresholdFiresLater) {
     const float x = 1.5f;
     for (int t = 0; t < 200; ++t) {
       lif_step(p, 1, &x, &i, &v, &z, &vd);
+      // NOLINTNEXTLINE(snnsec-float-eq): LIF spikes are exactly 0 or 1 by construction
       if (z == 1.0f) return t;
     }
     return 1000;
@@ -132,7 +134,7 @@ TEST(LifStep, VectorizedMatchesScalar) {
   const LifParameters p = default_params();
   constexpr int kN = 17;
   std::vector<float> x(kN), iv(kN, 0.0f), vv(kN, 0.0f), z(kN), vd(kN);
-  for (int k = 0; k < kN; ++k) x[static_cast<std::size_t>(k)] = 0.1f * k;
+  for (int k = 0; k < kN; ++k) x[static_cast<std::size_t>(k)] = 0.1f * static_cast<float>(k);
   // Reference: per-neuron scalar simulation.
   std::vector<float> ri(kN, 0.0f), rv(kN, 0.0f);
   for (int t = 0; t < 20; ++t) {

@@ -36,6 +36,7 @@ TEST_P(LifGridTest, SpikesAreBinaryAndRateBounded) {
       Tensor::rand_uniform(Shape{t() * 3, 20}, rng, 0.0f, 3.0f);
   const Tensor z = lif.forward(x, nn::Mode::kEval);
   for (std::int64_t i = 0; i < z.numel(); ++i)
+    // NOLINTNEXTLINE(snnsec-float-eq): spike trains are exactly 0 or 1 by construction
     ASSERT_TRUE(z[i] == 0.0f || z[i] == 1.0f);
   EXPECT_GE(lif.last_spike_rate(), 0.0);
   EXPECT_LE(lif.last_spike_rate(), 1.0);

@@ -132,6 +132,7 @@ TEST(Tensor, RandomFactoriesDeterministic) {
   util::Rng r4(5);
   const Tensor z = Tensor::bernoulli(Shape{100}, r4, 0.5);
   for (std::int64_t i = 0; i < z.numel(); ++i)
+    // NOLINTNEXTLINE(snnsec-float-eq): bernoulli emits exactly 0 or 1 by contract
     EXPECT_TRUE(z[i] == 0.0f || z[i] == 1.0f);
 }
 

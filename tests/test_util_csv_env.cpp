@@ -118,7 +118,7 @@ TEST(Stopwatch, TimeAdvancesAndResets) {
   const double t0 = w.seconds();
   EXPECT_GE(t0, 0.0);
   volatile double sink = 0.0;
-  for (int i = 0; i < 100000; ++i) sink += i;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
   EXPECT_GE(w.seconds(), t0);
   w.reset();
   EXPECT_LT(w.seconds(), 1.0);

@@ -207,6 +207,7 @@ TEST(Rng, FillHelpersRespectBoundsAndMoments) {
   rng.fill_bernoulli(buf.data(), buf.size(), 0.5);
   double mean = 0.0;
   for (const float v : buf) {
+    // NOLINTNEXTLINE(snnsec-float-eq): fill_bernoulli emits exactly 0 or 1 by contract
     EXPECT_TRUE(v == 0.0f || v == 1.0f);
     mean += v;
   }

@@ -1,0 +1,77 @@
+// snnsec_lint: project-invariant static analysis for the snnsec tree.
+//
+// A deliberately small token/line-level scanner (no libclang): the invariants
+// it enforces were all introduced by past PRs and are syntactically local, so
+// a lexer that understands comments, string literals and balanced brackets is
+// enough — and it builds in milliseconds on every commit.
+//
+// Rules (IDs are stable; suppress with `// NOLINT(snnsec-<rule>): <why>`):
+//   R1 snnsec-hot-alloc        no naked new/malloc/container growth in files
+//                              carrying a `// SNNSEC_HOT` comment marker;
+//                              steady-state scratch must come from
+//                              util::Workspace (zero-alloc hot paths).
+//   R2 snnsec-rng              no std::random_device / std::mt19937 / rand()
+//                              / time()- or chrono-derived seeds outside
+//                              src/util/rng* — every stream must descend from
+//                              the master seed (bit-deterministic sweeps).
+//   R3 snnsec-parallel-capture parallel_for bodies must not use a Workspace /
+//                              Logger / metrics sink captured by reference
+//                              unless the body re-derives a thread-local
+//                              handle (Workspace::local() guard pattern).
+//   R4 snnsec-float-eq         no bare ==/!= against floating-point literals;
+//                              exact comparisons (spike 0/1 values, encoded
+//                              format tags) need a justified NOLINT.
+//   R5 snnsec-header-hygiene   headers use #pragma once and never `using
+//                              namespace` at header scope.
+//   R6 snnsec-layer-contract   every final nn::Layer subclass in src/nn and
+//                              src/snn overrides forward(), backward() and
+//                              kind(), and its kind string appears in the
+//                              serialization registry
+//                              (src/nn/layer_registry.cpp).
+//
+// Suppression contract: `NOLINT(snnsec-<rule>)` must appear in a *comment* on
+// the offending line (or `NOLINTNEXTLINE(...)` on the line before) and must
+// be followed by `: <justification>`. A snnsec NOLINT without a justification
+// is itself a finding (snnsec-nolint-justification) and does not suppress.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace snnsec::lint {
+
+struct Finding {
+  std::string file;        ///< path label as given to lint_source
+  int line = 0;            ///< 1-based line number
+  std::string rule;        ///< e.g. "snnsec-float-eq"
+  std::string message;     ///< human-readable description
+  std::string suggestion;  ///< mechanical fix hint for --suggest mode
+};
+
+struct LintResult {
+  std::vector<Finding> findings;    ///< violations to report
+  std::vector<Finding> suppressed;  ///< findings silenced by justified NOLINT
+};
+
+struct Options {
+  /// Contents of src/nn/layer_registry.cpp; when non-empty, R6 additionally
+  /// requires every final Layer subclass's kind string to appear in it.
+  std::string registry_source;
+};
+
+/// All stable rule IDs (without the "snnsec-" prefix), for --list-rules.
+const std::vector<std::string_view>& rule_ids();
+
+/// Lint one translation unit given as a string. `path` is only a label, but
+/// rule applicability keys off it (headers vs sources, allowlisted dirs).
+LintResult lint_source(const std::string& path, const std::string& content,
+                       const Options& opts = {});
+
+/// Lint a file on disk. Throws std::runtime_error when unreadable.
+LintResult lint_file(const std::string& path, const Options& opts = {});
+
+/// True for the extensions the tree scan considers (.hpp/.h/.cpp/.cc).
+bool lintable_file(std::string_view path);
+
+}  // namespace snnsec::lint
