@@ -1,0 +1,432 @@
+// bench_serve: load generator + SLO recorder for the src/serve runtime.
+//
+// Trains a small spiking LeNet, stands the Server up in inline mode
+// (single-threaded by default, like bench_runner, so numbers are comparable
+// across runs), and drives it four ways:
+//
+//   closed-loop  N clients submit back-to-back -> sustained throughput and
+//                p50/p95/p99 latency
+//   open-loop    paced arrivals at 1.5x the measured closed-loop rate with
+//                a per-request deadline -> truncation + shed under pressure
+//   deadline     accuracy-vs-max_steps curve over the test split: the
+//                anytime guarantee means row t equals a model built with
+//                window T' = t
+//   zero-alloc   operator-new hook asserts the warm request path performs
+//                exactly zero heap allocations (process exits non-zero
+//                otherwise)
+//
+// Emits BENCH_serve.json so the serving SLOs are CI-diffable.
+//
+// Usage: bench_serve [--smoke] [--out PATH]
+//   --smoke   fewer requests / smaller model (CI smoke)
+//   --out     output path (default BENCH_serve.json in the CWD)
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <new>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/provider.hpp"
+#include "nn/metrics.hpp"
+#include "nn/trainer.hpp"
+#include "serve/server.hpp"
+#include "snn/model_io.hpp"
+#include "snn/spiking_lenet.hpp"
+#include "util/thread_pool.hpp"
+
+// ---- allocation-counting hook ----------------------------------------------
+// Same device as bench_runner: global new/delete replaced for this binary
+// only, so "zero allocations in steady state" is a measured fact.
+namespace {
+std::atomic<std::int64_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace snnsec;
+using tensor::Tensor;
+
+using Clock = std::chrono::steady_clock;
+
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t idx = static_cast<std::size_t>(pos + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+struct LoadResult {
+  std::int64_t offered = 0;
+  std::int64_t completed = 0;
+  std::int64_t shed = 0;
+  std::int64_t truncated = 0;
+  double wall_s = 0.0;
+  double throughput_rps = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double mean_batch = 0.0;
+};
+
+struct CurvePoint {
+  std::int64_t max_steps = 0;
+  double accuracy = 0.0;
+  double mean_latency_us = 0.0;
+};
+
+void finish_percentiles(LoadResult& r, std::vector<double>& latencies) {
+  std::sort(latencies.begin(), latencies.end());
+  r.p50_us = percentile(latencies, 0.50);
+  r.p95_us = percentile(latencies, 0.95);
+  r.p99_us = percentile(latencies, 0.99);
+}
+
+/// Closed loop: `clients` threads each fire `per_client` back-to-back
+/// requests cycling through the test images.
+LoadResult closed_loop(serve::Server& server, const Tensor& images,
+                       std::int64_t clients, std::int64_t per_client) {
+  LoadResult out;
+  out.offered = clients * per_client;
+  const std::int64_t n_images = images.dim(0);
+  std::vector<std::vector<double>> lat(static_cast<std::size_t>(clients));
+  std::vector<std::int64_t> batch_sum(static_cast<std::size_t>(clients), 0);
+  std::atomic<std::int64_t> completed{0};
+  std::atomic<std::int64_t> truncated{0};
+
+  const auto t0 = Clock::now();
+  std::vector<std::thread> pool;
+  for (std::int64_t c = 0; c < clients; ++c) {
+    pool.emplace_back([&, c] {
+      auto& samples = lat[static_cast<std::size_t>(c)];
+      samples.reserve(static_cast<std::size_t>(per_client));
+      serve::InferResult r;
+      for (std::int64_t i = 0; i < per_client; ++i) {
+        const std::int64_t idx = (c * per_client + i) % n_images;
+        const Tensor x = nn::slice_batch(images, idx, idx + 1);
+        if (!server.infer(x, serve::RequestOptions{}, r)) continue;
+        completed.fetch_add(1, std::memory_order_relaxed);
+        if (r.truncated) truncated.fetch_add(1, std::memory_order_relaxed);
+        samples.push_back(static_cast<double>(r.latency_us));
+        batch_sum[static_cast<std::size_t>(c)] += r.batch_size;
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  out.wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
+
+  out.completed = completed.load();
+  out.truncated = truncated.load();
+  std::vector<double> all;
+  std::int64_t batches = 0;
+  for (std::int64_t c = 0; c < clients; ++c) {
+    const auto& samples = lat[static_cast<std::size_t>(c)];
+    all.insert(all.end(), samples.begin(), samples.end());
+    batches += batch_sum[static_cast<std::size_t>(c)];
+  }
+  out.shed = out.offered - out.completed;
+  out.throughput_rps =
+      out.wall_s > 0 ? static_cast<double>(out.completed) / out.wall_s : 0.0;
+  out.mean_batch = out.completed > 0 ? static_cast<double>(batches) /
+                                           static_cast<double>(out.completed)
+                                     : 0.0;
+  finish_percentiles(out, all);
+  return out;
+}
+
+/// Open loop: arrivals paced at `rate_rps` across a submitter pool, each
+/// request carrying `deadline_us`. When the offered rate exceeds capacity
+/// the submitters saturate and deadlines start truncating the time window.
+LoadResult open_loop(serve::Server& server, const Tensor& images,
+                     std::int64_t total, double rate_rps,
+                     std::int64_t deadline_us, std::int64_t submitters) {
+  LoadResult out;
+  out.offered = total;
+  const std::int64_t n_images = images.dim(0);
+  const double interval_us = 1e6 / std::max(rate_rps, 1.0);
+  std::vector<std::vector<double>> lat(static_cast<std::size_t>(submitters));
+  std::atomic<std::int64_t> next_tick{0};
+  std::atomic<std::int64_t> completed{0};
+  std::atomic<std::int64_t> shed{0};
+  std::atomic<std::int64_t> truncated{0};
+
+  const auto t0 = Clock::now();
+  std::vector<std::thread> pool;
+  for (std::int64_t c = 0; c < submitters; ++c) {
+    pool.emplace_back([&, c] {
+      auto& samples = lat[static_cast<std::size_t>(c)];
+      samples.reserve(static_cast<std::size_t>(total));
+      serve::InferResult r;
+      serve::RequestOptions opt;
+      opt.deadline_us = deadline_us;
+      for (;;) {
+        const std::int64_t tick =
+            next_tick.fetch_add(1, std::memory_order_relaxed);
+        if (tick >= total) break;
+        const auto due =
+            t0 + std::chrono::microseconds(static_cast<std::int64_t>(
+                     interval_us * static_cast<double>(tick)));
+        std::this_thread::sleep_until(due);
+        const Tensor x =
+            nn::slice_batch(images, tick % n_images, tick % n_images + 1);
+        if (!server.infer(x, opt, r)) {
+          shed.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        completed.fetch_add(1, std::memory_order_relaxed);
+        if (r.truncated) truncated.fetch_add(1, std::memory_order_relaxed);
+        samples.push_back(static_cast<double>(r.latency_us));
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  out.wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
+
+  out.completed = completed.load();
+  out.shed = shed.load();
+  out.truncated = truncated.load();
+  out.throughput_rps =
+      out.wall_s > 0 ? static_cast<double>(out.completed) / out.wall_s : 0.0;
+  std::vector<double> all;
+  for (auto& samples : lat) all.insert(all.end(), samples.begin(),
+                                       samples.end());
+  finish_percentiles(out, all);
+  return out;
+}
+
+/// Serve the whole test split sequentially at a fixed step budget.
+CurvePoint curve_point(serve::Server& server, const data::DataBundle& bundle,
+                       std::int64_t max_steps) {
+  CurvePoint p;
+  p.max_steps = max_steps;
+  serve::RequestOptions opt;
+  opt.max_steps = max_steps;
+  serve::InferResult r;
+  const std::int64_t n = bundle.test.images.dim(0);
+  std::int64_t correct = 0;
+  std::int64_t latency_sum = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const Tensor x = nn::slice_batch(bundle.test.images, i, i + 1);
+    if (!server.infer(x, opt, r)) continue;
+    if (r.pred == bundle.test.labels[static_cast<std::size_t>(i)]) ++correct;
+    latency_sum += r.latency_us;
+  }
+  p.accuracy = static_cast<double>(correct) / static_cast<double>(n);
+  p.mean_latency_us =
+      static_cast<double>(latency_sum) / static_cast<double>(n);
+  return p;
+}
+
+void write_load(std::FILE* f, const char* key, const LoadResult& r,
+                const char* extra) {
+  std::fprintf(f,
+               "  \"%s\": {\"offered\": %lld, \"completed\": %lld, "
+               "\"shed\": %lld, \"truncated\": %lld, \"wall_s\": %.3f, "
+               "\"throughput_rps\": %.1f, \"p50_us\": %.0f, \"p95_us\": "
+               "%.0f, \"p99_us\": %.0f, \"mean_batch\": %.2f%s},\n",
+               key, static_cast<long long>(r.offered),
+               static_cast<long long>(r.completed),
+               static_cast<long long>(r.shed),
+               static_cast<long long>(r.truncated), r.wall_s,
+               r.throughput_rps, r.p50_us, r.p95_us, r.p99_us, r.mean_batch,
+               extra);
+}
+
+int run(int argc, char** argv) {
+  bool smoke = false;
+  std::string out = "BENCH_serve.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke" || arg == "--quick") {
+      smoke = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: bench_serve [--smoke] [--out PATH]\n");
+      return 2;
+    }
+  }
+
+  // ---- model: train small, save, serve through the validated-load path.
+  data::DataSpec dspec;
+  dspec.train_n = smoke ? 200 : 800;
+  dspec.test_n = smoke ? 60 : 150;
+  dspec.image_size = 16;
+  const data::DataBundle bundle = data::load_digits(dspec);
+
+  nn::LenetSpec arch = nn::LenetSpec{}.scaled(0.5);
+  arch.image_size = 16;
+  snn::SnnConfig cfg;
+  cfg.v_th = 1.0;
+  // T=16 sits above the paper's learnability cliff (T=10 trains to chance
+  // at this budget), so the truncation curve has real accuracy to trade.
+  cfg.time_steps = smoke ? 10 : 16;
+  util::Rng rng(42);
+  auto model = snn::build_spiking_lenet(arch, cfg, rng);
+  nn::TrainConfig tcfg;
+  tcfg.epochs = smoke ? 1 : 3;
+  tcfg.lr = 4e-3;
+  nn::Trainer(tcfg).fit(*model, bundle.train.images, bundle.train.labels);
+  const double train_acc =
+      nn::accuracy(*model, bundle.test.images, bundle.test.labels);
+  const std::string ckpt =
+      (std::filesystem::temp_directory_path() / "snnsec_bench_serve.snnm")
+          .string();
+  snn::save_spiking_lenet(ckpt, *model, arch, cfg);
+  model.reset();
+  std::printf("model: T=%lld vth=%.1f | data %s | clean accuracy %.1f%%\n",
+              static_cast<long long>(cfg.time_steps), cfg.v_th,
+              bundle.source(), train_acc * 100);
+
+  serve::ServerConfig scfg;
+  scfg.model_path = ckpt;
+  scfg.workers = 0;  // inline: comparable single-threaded numbers
+  scfg.batcher.max_batch = 8;
+  scfg.batcher.max_delay_us = 200;
+  scfg.batcher.capacity = 64;
+  serve::Server server(scfg);
+
+  // ---- closed loop.
+  const std::int64_t clients = smoke ? 2 : 4;
+  const std::int64_t per_client = smoke ? 25 : 100;
+  const LoadResult closed =
+      closed_loop(server, bundle.test.images, clients, per_client);
+  std::printf("closed loop: %lld clients x %lld -> %.1f req/s | p50 %.0fus "
+              "p99 %.0fus | mean batch %.2f\n",
+              static_cast<long long>(clients),
+              static_cast<long long>(per_client), closed.throughput_rps,
+              closed.p50_us, closed.p99_us, closed.mean_batch);
+
+  // ---- open loop at 1.5x the measured closed-loop rate, with a deadline
+  // at roughly the closed-loop p50 so pressure shows up as truncation.
+  const double rate = std::max(50.0, closed.throughput_rps * 1.5);
+  const std::int64_t deadline_us =
+      std::max<std::int64_t>(500, static_cast<std::int64_t>(closed.p50_us));
+  const std::int64_t open_total = smoke ? 60 : 300;
+  const LoadResult open = open_loop(server, bundle.test.images, open_total,
+                                    rate, deadline_us, clients * 2);
+  std::printf("open loop: %.0f req/s offered, deadline %lldus -> %.1f req/s "
+              "| p99 %.0fus | truncated %lld/%lld | shed %lld\n",
+              rate, static_cast<long long>(deadline_us),
+              open.throughput_rps, open.p99_us,
+              static_cast<long long>(open.truncated),
+              static_cast<long long>(open.completed),
+              static_cast<long long>(open.shed));
+
+  // ---- accuracy vs truncation depth (the anytime dial).
+  // 1,2,3,4 then every other step: dense enough to locate the accuracy
+  // cliff (spikes take several steps to propagate through the layer stack,
+  // so early truncation is chance and the transition is steep).
+  std::vector<CurvePoint> curve;
+  for (std::int64_t steps = 1; steps <= cfg.time_steps;
+       steps = steps < 4 ? steps + 1 : steps + 2) {
+    curve.push_back(curve_point(server, bundle, steps));
+    if (steps < cfg.time_steps && steps + 2 > cfg.time_steps)
+      curve.push_back(curve_point(server, bundle, cfg.time_steps));
+  }
+  for (const CurvePoint& p : curve)
+    std::printf("  max_steps %2lld/%lld: accuracy %5.1f%% | mean latency "
+                "%6.0fus\n",
+                static_cast<long long>(p.max_steps),
+                static_cast<long long>(cfg.time_steps), p.accuracy * 100,
+                p.mean_latency_us);
+
+  // ---- zero-alloc steady state: warm the path, then a fixed-geometry
+  // request stream must never touch the heap.
+  std::int64_t steady_allocs = 0;
+  {
+    const Tensor x = nn::slice_batch(bundle.test.images, 0, 1);
+    serve::InferResult r;
+    for (int i = 0; i < 5; ++i) server.infer(x, serve::RequestOptions{}, r);
+    const std::int64_t before = g_allocs.load();
+    for (int i = 0; i < 20; ++i) server.infer(x, serve::RequestOptions{}, r);
+    steady_allocs = g_allocs.load() - before;
+    std::printf("steady-state allocs over 20 requests: %lld\n",
+                static_cast<long long>(steady_allocs));
+  }
+  server.stop();
+  const serve::ServerStats stats = server.stats();
+
+  // ---- JSON.
+  std::FILE* f = std::fopen(out.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "bench_serve: cannot open %s for writing\n",
+                 out.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"serve\",\n");
+  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(f, "  \"threads\": %zu,\n", util::ThreadPool::global().size());
+  std::fprintf(f,
+               "  \"model\": {\"time_steps\": %lld, \"v_th\": %.2f, "
+               "\"data\": \"%s\", \"clean_accuracy\": %.4f},\n",
+               static_cast<long long>(cfg.time_steps), cfg.v_th,
+               bundle.source(), train_acc);
+  char extra[96];
+  std::snprintf(extra, sizeof extra, ", \"clients\": %lld",
+                static_cast<long long>(clients));
+  write_load(f, "closed_loop", closed, extra);
+  std::snprintf(extra, sizeof extra,
+                ", \"offered_rps\": %.1f, \"deadline_us\": %lld", rate,
+                static_cast<long long>(deadline_us));
+  write_load(f, "open_loop", open, extra);
+  std::fprintf(f, "  \"deadline_curve\": [\n");
+  for (std::size_t i = 0; i < curve.size(); ++i)
+    std::fprintf(f,
+                 "    {\"max_steps\": %lld, \"accuracy\": %.4f, "
+                 "\"mean_latency_us\": %.0f}%s\n",
+                 static_cast<long long>(curve[i].max_steps),
+                 curve[i].accuracy, curve[i].mean_latency_us,
+                 i + 1 < curve.size() ? "," : "");
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"server\": {\"completed\": %lld, \"shed\": %lld, "
+               "\"errors\": %lld, \"batches\": %lld},\n",
+               static_cast<long long>(stats.completed),
+               static_cast<long long>(stats.shed),
+               static_cast<long long>(stats.errors),
+               static_cast<long long>(stats.batches));
+  std::fprintf(f, "  \"steady_state_allocs\": %lld\n",
+               static_cast<long long>(steady_allocs));
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out.c_str());
+
+  if (steady_allocs != 0) {
+    std::fprintf(stderr,
+                 "FAIL: serve request path allocated %lld times in steady "
+                 "state (expected 0)\n",
+                 static_cast<long long>(steady_allocs));
+    return 1;
+  }
+  if (stats.errors != 0) {
+    std::fprintf(stderr, "FAIL: %lld requests errored\n",
+                 static_cast<long long>(stats.errors));
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Single-threaded by default so throughput/latency are comparable across
+  // machines; export SNNSEC_THREADS before invoking to measure scaling.
+  setenv("SNNSEC_THREADS", "1", /*overwrite=*/0);
+  return run(argc, argv);
+}

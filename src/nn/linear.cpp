@@ -28,24 +28,36 @@ Linear::Linear(std::int64_t in_features, std::int64_t out_features,
 }
 
 Tensor Linear::forward(const Tensor& x, Mode mode) {
-  SNNSEC_CHECK(x.ndim() == 2 && x.dim(1) == in_features_,
-               "Linear(" << in_features_ << "->" << out_features_
-                         << "): bad input shape " << x.shape().to_string());
   if (cache_enabled(mode)) {
+    SNNSEC_CHECK(x.ndim() == 2 && x.dim(1) == in_features_,
+                 "Linear(" << in_features_ << "->" << out_features_
+                           << "): bad input shape " << x.shape().to_string());
     cached_input_ = x;
     have_cache_ = true;
   }
-  Tensor y = tensor::matmul(x, weight_.value, Trans::kNo, Trans::kYes);
-  SNNSEC_ASSERT_SHAPE(y, Shape{x.dim(0), out_features_});
+  Tensor y;
+  forward_into(x, y);
+  return y;
+}
+
+void Linear::forward_into(const Tensor& x, Tensor& y) {
+  SNNSEC_CHECK(x.ndim() == 2 && x.dim(1) == in_features_,
+               "Linear(" << in_features_ << "->" << out_features_
+                         << "): bad input shape " << x.shape().to_string());
+  const std::int64_t n = x.dim(0);
+  // Dim-wise compare so a warm steady state never reallocates.
+  if (y.ndim() != 2 || y.dim(0) != n || y.dim(1) != out_features_)
+    y = Tensor(Shape{n, out_features_});
+  // beta = 0 is the kernels' overwrite path, so stale y contents are
+  // ignored and the result is bit-identical to matmul into a fresh tensor.
+  tensor::gemm(Trans::kNo, Trans::kYes, 1.0f, x, weight_.value, 0.0f, y);
   if (has_bias_) {
-    const std::int64_t n = y.dim(0);
     float* py = y.data();
     const float* pb = bias_.value.data();
     for (std::int64_t i = 0; i < n; ++i)
       for (std::int64_t j = 0; j < out_features_; ++j)
         py[i * out_features_ + j] += pb[j];
   }
-  return y;
 }
 
 Tensor Linear::backward(const Tensor& grad_out) {

@@ -13,6 +13,13 @@ class Linear final : public Layer {
          bool bias = true);
 
   tensor::Tensor forward(const tensor::Tensor& x, Mode mode) override;
+
+  /// Allocation-free eval forward: writes x W^T + b into `y`, reallocating
+  /// only when the output geometry changes. Does not touch the backward
+  /// cache, so it is safe on the serving hot path; numerics are bit-identical
+  /// to forward() (same GEMM entry point, beta = 0 overwrite path).
+  void forward_into(const tensor::Tensor& x, tensor::Tensor& y);
+
   tensor::Tensor backward(const tensor::Tensor& grad_out) override;
   std::vector<Parameter*> parameters() override;
   std::string name() const override;

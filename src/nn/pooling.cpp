@@ -18,6 +18,27 @@ std::int64_t pooled_size(std::int64_t in, std::int64_t kernel,
   if (in < kernel) return 0;
   return (in - kernel) / stride + 1;
 }
+
+// Shared accumulation core for AvgPool2d::forward and forward_into — one
+// loop, one summation order, bit-identical results on both entry points.
+void avg_pool_planes(const float* px, float* py, std::int64_t planes,
+                     std::int64_t h, std::int64_t w, std::int64_t oh,
+                     std::int64_t ow, std::int64_t kernel,
+                     std::int64_t stride) {
+  const float inv = 1.0f / static_cast<float>(kernel * kernel);
+  for (std::int64_t nc = 0; nc < planes; ++nc) {
+    const float* plane = px + nc * h * w;
+    float* out = py + nc * oh * ow;
+    for (std::int64_t oy = 0; oy < oh; ++oy)
+      for (std::int64_t ox = 0; ox < ow; ++ox) {
+        float acc = 0.0f;
+        for (std::int64_t ky = 0; ky < kernel; ++ky)
+          for (std::int64_t kx = 0; kx < kernel; ++kx)
+            acc += plane[(oy * stride + ky) * w + ox * stride + kx];
+        out[oy * ow + ox] = acc * inv;
+      }
+  }
+}
 }  // namespace
 
 AvgPool2d::AvgPool2d(std::int64_t kernel, std::int64_t stride)
@@ -38,22 +59,25 @@ Tensor AvgPool2d::forward(const Tensor& x, Mode /*mode*/) {
   have_cache_ = true;
 
   Tensor y(Shape{n_, c_, oh, ow});
-  const float inv = 1.0f / static_cast<float>(kernel_ * kernel_);
-  const float* px = x.data();
-  float* py = y.data();
-  for (std::int64_t nc = 0; nc < n_ * c_; ++nc) {
-    const float* plane = px + nc * h_ * w_;
-    float* out = py + nc * oh * ow;
-    for (std::int64_t oy = 0; oy < oh; ++oy)
-      for (std::int64_t ox = 0; ox < ow; ++ox) {
-        float acc = 0.0f;
-        for (std::int64_t ky = 0; ky < kernel_; ++ky)
-          for (std::int64_t kx = 0; kx < kernel_; ++kx)
-            acc += plane[(oy * stride_ + ky) * w_ + ox * stride_ + kx];
-        out[oy * ow + ox] = acc * inv;
-      }
-  }
+  avg_pool_planes(x.data(), y.data(), n_ * c_, h_, w_, oh, ow, kernel_,
+                  stride_);
   return y;
+}
+
+void AvgPool2d::forward_into(const Tensor& x, Tensor& y) const {
+  SNNSEC_CHECK(x.ndim() == 4, name() << ": expects [N,C,H,W], got "
+                                     << x.shape().to_string());
+  const std::int64_t n = x.dim(0);
+  const std::int64_t c = x.dim(1);
+  const std::int64_t h = x.dim(2);
+  const std::int64_t w = x.dim(3);
+  const std::int64_t oh = pooled_size(h, kernel_, stride_);
+  const std::int64_t ow = pooled_size(w, kernel_, stride_);
+  SNNSEC_CHECK(oh > 0 && ow > 0, name() << ": input smaller than kernel");
+  if (y.ndim() != 4 || y.dim(0) != n || y.dim(1) != c || y.dim(2) != oh ||
+      y.dim(3) != ow)
+    y = Tensor(Shape{n, c, oh, ow});
+  avg_pool_planes(x.data(), y.data(), n * c, h, w, oh, ow, kernel_, stride_);
 }
 
 Tensor AvgPool2d::backward(const Tensor& grad_out) {

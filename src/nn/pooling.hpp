@@ -15,6 +15,13 @@ class AvgPool2d final : public Layer {
   explicit AvgPool2d(std::int64_t kernel, std::int64_t stride = -1);
 
   tensor::Tensor forward(const tensor::Tensor& x, Mode mode) override;
+
+  /// Allocation-free eval forward: pools into `y`, reallocating only when
+  /// the output geometry changes. Shares the accumulation loop with
+  /// forward(), so results are bit-identical; does not touch the backward
+  /// geometry cache (serving hot path).
+  void forward_into(const tensor::Tensor& x, tensor::Tensor& y) const;
+
   tensor::Tensor backward(const tensor::Tensor& grad_out) override;
   std::string name() const override;
   std::string_view kind() const override { return "AvgPool2d"; }

@@ -1,0 +1,75 @@
+#include "serve/model_cache.hpp"
+
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "util/logging.hpp"
+
+namespace snnsec::serve {
+
+std::unique_ptr<snn::SpikingClassifier> ModelCache::Artifact::make_replica()
+    const {
+  return snn::rebuild_spiking_lenet(payload, path);
+}
+
+std::shared_ptr<const ModelCache::Artifact> ModelCache::acquire(
+    const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    const auto it = by_path_.find(path);
+    if (it != by_path_.end()) {
+      ++hits_;
+      SNNSEC_COUNTER_ADD("serve.model_cache.hits", 1);
+      return it->second;
+    }
+  }
+  // Load + validate outside the lock: a slow disk must not stall servers
+  // hitting already-warm entries.
+  auto artifact = std::make_shared<Artifact>();
+  artifact->payload = snn::load_validated_payload(path);
+  artifact->path = path;
+
+  std::lock_guard<std::mutex> lk(m_);
+  const auto identity =
+      std::make_pair(artifact->payload.config_hash, artifact->payload.digest);
+  if (auto cached = by_identity_[identity].lock()) {
+    // Another thread (or another path with identical bytes) won the race.
+    ++hits_;
+    SNNSEC_COUNTER_ADD("serve.model_cache.hits", 1);
+    by_path_.emplace(path, cached);
+    return cached;
+  }
+  ++misses_;
+  SNNSEC_COUNTER_ADD("serve.model_cache.misses", 1);
+  SNNSEC_LOG_INFO("model cache: loaded "
+                  << path << " (config_hash=" << artifact->payload.config_hash
+                  << ", T=" << artifact->payload.config.time_steps
+                  << ", v_th=" << artifact->payload.config.v_th << ")");
+  std::shared_ptr<const Artifact> shared = std::move(artifact);
+  by_identity_[identity] = shared;
+  by_path_.emplace(path, shared);
+  return shared;
+}
+
+void ModelCache::clear() {
+  std::lock_guard<std::mutex> lk(m_);
+  by_path_.clear();
+  by_identity_.clear();
+}
+
+std::int64_t ModelCache::hits() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return hits_;
+}
+
+std::int64_t ModelCache::misses() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return misses_;
+}
+
+ModelCache& ModelCache::global() {
+  static ModelCache cache;
+  return cache;
+}
+
+}  // namespace snnsec::serve

@@ -1,0 +1,48 @@
+// Request/result types for the serving runtime.
+//
+// A request is one image plus scheduling options; the result reports the
+// prediction together with how it was produced — how many of the model's T
+// time steps actually ran (the anytime-truncation depth), how long the
+// request queued, and the batch it rode in. Result objects are written
+// in place and their score buffers are reused across calls, so a caller
+// polling in a loop allocates nothing after the first response.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace snnsec::serve {
+
+enum class ResultStatus : std::uint8_t {
+  kOk,        ///< prediction produced (possibly truncated)
+  kRejected,  ///< shed by admission control — queue at capacity or stopped
+  kError,     ///< execution failed; InferResult::error holds the reason
+};
+
+const char* to_string(ResultStatus status);
+
+struct RequestOptions {
+  /// Wall-clock budget measured from submission. Once it expires the
+  /// request finalizes at the next completed time step (never before the
+  /// server's min_steps). 0 = no deadline.
+  std::int64_t deadline_us = 0;
+  /// Hard cap on time steps (anytime truncation by depth rather than wall
+  /// clock). 0 = the model's full window T.
+  std::int64_t max_steps = 0;
+};
+
+struct InferResult {
+  ResultStatus status = ResultStatus::kError;
+  std::int64_t pred = -1;        ///< argmax class (ties -> lowest index)
+  std::vector<float> scores;     ///< per-class logits, reused across calls
+  std::int64_t steps_used = 0;   ///< time steps that actually ran
+  std::int64_t time_steps = 0;   ///< the model's full window T
+  bool truncated = false;        ///< steps_used < time_steps
+  std::int64_t queue_us = 0;     ///< submission -> batch execution start
+  std::int64_t latency_us = 0;   ///< submission -> result delivery
+  std::int64_t batch_size = 0;   ///< size of the micro-batch it rode in
+  std::string error;             ///< populated when status == kError
+};
+
+}  // namespace snnsec::serve

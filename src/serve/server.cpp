@@ -1,0 +1,353 @@
+// SNNSEC_HOT: per-request serving path — steady state must not allocate.
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+
+#include "obs/metrics.hpp"
+#include "util/checked.hpp"
+#include "util/logging.hpp"
+#include "util/thread_pool.hpp"
+
+namespace snnsec::serve {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+namespace {
+
+std::int64_t elapsed_us(std::chrono::steady_clock::time_point from,
+                        std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(to - from)
+      .count();
+}
+
+}  // namespace
+
+Server::Server(ServerConfig cfg)
+    : Server(std::move(cfg), nullptr) {}
+
+Server::Server(ServerConfig cfg,
+               std::shared_ptr<const ModelCache::Artifact> model)
+    : cfg_(std::move(cfg)),
+      artifact_(model ? std::move(model)
+                      : ModelCache::global().acquire(cfg_.model_path)),
+      batcher_(cfg_.batcher) {
+  const std::int64_t t = artifact_->config().time_steps;
+  cfg_.min_steps = std::clamp<std::int64_t>(cfg_.min_steps, 1, t);
+  SNNSEC_CHECK(cfg_.default_deadline_us >= 0,
+               "ServerConfig: default_deadline_us must be >= 0");
+
+  const nn::LenetSpec& arch = artifact_->arch();
+  // NOLINTNEXTLINE(snnsec-hot-alloc): startup-time slot/worker construction.
+  slots_.reserve(static_cast<std::size_t>(batcher_.capacity()));
+  for (std::int64_t i = 0; i < batcher_.capacity(); ++i) {
+    auto slot = std::make_unique<Slot>();
+    slot->input = Tensor(
+        Shape{1, arch.in_channels, arch.image_size, arch.image_size});
+    // NOLINTNEXTLINE(snnsec-hot-alloc): startup-time slot construction.
+    slots_.push_back(std::move(slot));
+  }
+  start_workers(cfg_.workers);
+}
+
+Server::~Server() { stop(); }
+
+void Server::start_workers(std::int64_t requested) {
+  util::ThreadPool& pool = util::ThreadPool::global();
+  // Keep at least one pool thread free: a resident worker parks in
+  // next_batch, and a pool whose every thread is parked would starve other
+  // parallel_for users.
+  const std::int64_t available =
+      pool.size() > 1 ? static_cast<std::int64_t>(pool.size()) - 1 : 0;
+  num_workers_ = std::min(requested, available);
+  if (requested > 0 && num_workers_ == 0) {
+    SNNSEC_LOG_WARN("serve: thread pool too small for "
+                    << requested
+                    << " resident workers; falling back to inline execution");
+  }
+  const std::int64_t contexts = std::max<std::int64_t>(num_workers_, 1);
+  // NOLINTNEXTLINE(snnsec-hot-alloc): startup-time worker construction.
+  workers_.reserve(static_cast<std::size_t>(contexts));
+  for (std::int64_t i = 0; i < contexts; ++i) {
+    auto w = std::make_unique<Worker>();
+    w->model = artifact_->make_replica();
+    w->runner = std::make_unique<snn::AnytimeRunner>(*w->model);
+    const std::size_t cap = static_cast<std::size_t>(cfg_.batcher.max_batch);
+    // NOLINTNEXTLINE(snnsec-hot-alloc): startup-time batch buffer sizing.
+    w->slots.resize(cap);
+    // NOLINTNEXTLINE(snnsec-hot-alloc): startup-time batch buffer sizing.
+    w->budget.resize(cap);
+    // NOLINTNEXTLINE(snnsec-hot-alloc): startup-time batch buffer sizing.
+    w->finalized.resize(cap);
+    // NOLINTNEXTLINE(snnsec-hot-alloc): startup-time worker construction.
+    workers_.push_back(std::move(w));
+  }
+  live_workers_ = num_workers_;
+  for (std::int64_t i = 0; i < num_workers_; ++i) {
+    Worker* w = workers_[static_cast<std::size_t>(i)].get();
+    pool.submit([this, w] { worker_loop(*w); });
+  }
+  if (num_workers_ > 0)
+    SNNSEC_LOG_INFO("serve: " << num_workers_
+                              << " resident workers on the global pool");
+}
+
+bool Server::infer(const Tensor& x, const RequestOptions& opt,
+                   InferResult& out) {
+  const nn::LenetSpec& arch = artifact_->arch();
+  const bool shape_ok =
+      (x.ndim() == 3 && x.dim(0) == arch.in_channels &&
+       x.dim(1) == arch.image_size && x.dim(2) == arch.image_size) ||
+      (x.ndim() == 4 && x.dim(0) == 1 && x.dim(1) == arch.in_channels &&
+       x.dim(2) == arch.image_size && x.dim(3) == arch.image_size);
+  SNNSEC_CHECK(shape_ok, "Server::infer: expected ["
+                             << arch.in_channels << ", " << arch.image_size
+                             << ", " << arch.image_size
+                             << "] image (optionally with a leading batch-1 "
+                                "dim), got "
+                             << x.shape().to_string());
+  SNNSEC_CHECK(opt.deadline_us >= 0 && opt.max_steps >= 0,
+               "Server::infer: negative deadline_us/max_steps");
+
+  const std::int64_t slot_idx = batcher_.try_acquire();
+  if (slot_idx < 0) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    SNNSEC_COUNTER_ADD("serve.shed", 1);
+    out.status = ResultStatus::kRejected;
+    out.pred = -1;
+    out.steps_used = 0;
+    out.time_steps = time_steps();
+    out.truncated = false;
+    out.queue_us = 0;
+    out.latency_us = 0;
+    out.batch_size = 0;
+    out.error = batcher_.stopped() ? "server stopped" : "queue at capacity";
+    return false;
+  }
+
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  SNNSEC_COUNTER_ADD("serve.requests", 1);
+  Slot& s = *slots_[static_cast<std::size_t>(slot_idx)];
+  // The slot is exclusively ours until enqueue() publishes it.
+  std::copy(x.data(), x.data() + x.numel(), s.input.data());
+  s.opt = opt;
+  if (s.opt.deadline_us == 0) s.opt.deadline_us = cfg_.default_deadline_us;
+  s.submitted = std::chrono::steady_clock::now();
+  s.has_deadline = s.opt.deadline_us > 0;
+  if (s.has_deadline)
+    s.deadline = s.submitted + std::chrono::microseconds(s.opt.deadline_us);
+  s.out = &out;
+  s.done = false;
+  batcher_.enqueue(slot_idx);
+  SNNSEC_GAUGE_SET("serve.queue_depth",
+                   static_cast<double>(batcher_.depth()));
+
+  if (num_workers_ == 0) {
+    drive_inline(s);
+  } else {
+    std::unique_lock<std::mutex> lk(s.m);
+    s.cv.wait(lk, [&s] { return s.done; });
+  }
+  batcher_.release(slot_idx);
+  return out.status == ResultStatus::kOk;
+}
+
+void Server::drive_inline(Slot& own) {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lk(own.m);
+      if (own.done) return;
+    }
+    std::lock_guard<std::mutex> ex(inline_m_);
+    {
+      std::lock_guard<std::mutex> lk(own.m);
+      if (own.done) return;
+    }
+    // Our slot is still pending and no other thread is executing (we hold
+    // the execution lock), so next_batch is guaranteed to make progress.
+    Worker& w = *workers_.front();
+    const std::int64_t n = batcher_.next_batch(w.slots.data());
+    if (n > 0) execute_batch(w, n);
+  }
+}
+
+void Server::worker_loop(Worker& w) {
+  for (;;) {
+    const std::int64_t n = batcher_.next_batch(w.slots.data());
+    if (n == 0) break;  // stopped and drained
+    execute_batch(w, n);
+  }
+  {
+    std::lock_guard<std::mutex> lk(join_m_);
+    --live_workers_;
+  }
+  join_cv_.notify_all();
+}
+
+void Server::execute_batch(Worker& w, std::int64_t n) {
+  const auto exec_start = std::chrono::steady_clock::now();
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  SNNSEC_COUNTER_ADD("serve.batches", 1);
+  SNNSEC_HISTOGRAM_OBSERVE("serve.batch_size", static_cast<double>(n), 1, 2,
+                           4, 8, 16, 32, 64);
+  SNNSEC_GAUGE_SET("serve.queue_depth",
+                   static_cast<double>(batcher_.depth()));
+
+  const nn::LenetSpec& arch = artifact_->arch();
+  const std::int64_t image = arch.in_channels * arch.image_size *
+                             arch.image_size;
+  const std::int64_t t_max = time_steps();
+  if (w.batch_input.ndim() != 4 || w.batch_input.dim(0) != n ||
+      w.batch_input.dim(1) != arch.in_channels ||
+      w.batch_input.dim(2) != arch.image_size ||
+      w.batch_input.dim(3) != arch.image_size)
+    w.batch_input = Tensor(
+        Shape{n, arch.in_channels, arch.image_size, arch.image_size});
+  for (std::int64_t i = 0; i < n; ++i) {
+    const Slot& s = *slots_[static_cast<std::size_t>(w.slots[
+        static_cast<std::size_t>(i)])];
+    std::copy(s.input.data(), s.input.data() + image,
+              w.batch_input.data() + i * image);
+    w.budget[static_cast<std::size_t>(i)] =
+        s.opt.max_steps > 0 ? std::min(s.opt.max_steps, t_max) : t_max;
+    w.finalized[static_cast<std::size_t>(i)] = 0;
+  }
+
+  try {
+    w.runner->begin(w.batch_input);
+    std::int64_t remaining = n;
+    for (std::int64_t t = 1; t <= t_max && remaining > 0; ++t) {
+      w.runner->step();
+      const auto now = std::chrono::steady_clock::now();
+      for (std::int64_t i = 0; i < n; ++i) {
+        if (w.finalized[static_cast<std::size_t>(i)]) continue;
+        Slot& s = *slots_[static_cast<std::size_t>(w.slots[
+            static_cast<std::size_t>(i)])];
+        const bool out_of_budget = t >= w.budget[static_cast<std::size_t>(i)];
+        const bool past_deadline =
+            s.has_deadline && t >= cfg_.min_steps && now >= s.deadline;
+        if (out_of_budget || past_deadline) {
+          finalize(s, *w.runner, i, t, n, exec_start);
+          w.finalized[static_cast<std::size_t>(i)] = 1;
+          --remaining;
+        }
+      }
+    }
+  } catch (const std::exception& e) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      if (w.finalized[static_cast<std::size_t>(i)]) continue;
+      Slot& s = *slots_[static_cast<std::size_t>(w.slots[
+          static_cast<std::size_t>(i)])];
+      deliver_error(s, e.what(), n);
+      w.finalized[static_cast<std::size_t>(i)] = 1;
+    }
+  }
+}
+
+void Server::finalize(Slot& s, const snn::AnytimeRunner& runner,
+                      std::int64_t row, std::int64_t steps,
+                      std::int64_t batch_size,
+                      std::chrono::steady_clock::time_point exec_start) {
+  InferResult& r = *s.out;
+  const std::int64_t classes = num_classes();
+  // Caller-owned result buffer: grows only on the first response written
+  // into this InferResult object, then stays put across reuse.
+  if (static_cast<std::int64_t>(r.scores.size()) != classes)
+    // NOLINTNEXTLINE(snnsec-hot-alloc): first-response-only buffer growth
+    r.scores.resize(static_cast<std::size_t>(classes));
+  const float* logits = runner.logits().data() + row * classes;
+  std::int64_t best = 0;
+  for (std::int64_t c = 0; c < classes; ++c) {
+    r.scores[static_cast<std::size_t>(c)] = logits[c];
+    if (logits[c] > logits[best]) best = c;
+  }
+  r.status = ResultStatus::kOk;
+  r.pred = best;
+  r.steps_used = steps;
+  r.time_steps = runner.time_steps();
+  r.truncated = steps < runner.time_steps();
+  r.batch_size = batch_size;
+  const auto now = std::chrono::steady_clock::now();
+  r.queue_us = elapsed_us(s.submitted, exec_start);
+  r.latency_us = elapsed_us(s.submitted, now);
+  r.error.clear();
+
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  SNNSEC_COUNTER_ADD("serve.completed", 1);
+  if (r.truncated) {
+    truncated_.fetch_add(1, std::memory_order_relaxed);
+    SNNSEC_COUNTER_ADD("serve.truncated", 1);
+  }
+  SNNSEC_HISTOGRAM_OBSERVE("serve.latency_us",
+                           static_cast<double>(r.latency_us), 100, 300, 1000,
+                           3000, 10000, 30000, 100000, 300000, 1000000);
+  {
+    std::lock_guard<std::mutex> lk(s.m);
+    s.done = true;
+  }
+  s.cv.notify_one();
+}
+
+void Server::deliver_error(Slot& s, const char* what,
+                           std::int64_t batch_size) {
+  InferResult& r = *s.out;
+  r.status = ResultStatus::kError;
+  r.pred = -1;
+  r.steps_used = 0;
+  r.time_steps = time_steps();
+  r.truncated = false;
+  r.batch_size = batch_size;
+  const auto now = std::chrono::steady_clock::now();
+  r.queue_us = 0;
+  r.latency_us = elapsed_us(s.submitted, now);
+  r.error = what;
+  errors_.fetch_add(1, std::memory_order_relaxed);
+  SNNSEC_COUNTER_ADD("serve.errors", 1);
+  {
+    std::lock_guard<std::mutex> lk(s.m);
+    s.done = true;
+  }
+  s.cv.notify_one();
+}
+
+void Server::stop() {
+  stopping_.store(true);
+  batcher_.stop();
+  std::unique_lock<std::mutex> lk(join_m_);
+  join_cv_.wait(lk, [this] { return live_workers_ == 0; });
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
+  s.truncated = truncated_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::int64_t Server::time_steps() const {
+  return artifact_->config().time_steps;
+}
+
+std::int64_t Server::num_classes() const {
+  return artifact_->arch().num_classes;
+}
+
+const char* to_string(ResultStatus status) {
+  switch (status) {
+    case ResultStatus::kOk:
+      return "ok";
+    case ResultStatus::kRejected:
+      return "rejected";
+    case ResultStatus::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+}  // namespace snnsec::serve

@@ -1,0 +1,156 @@
+// Server: in-process, batched, deadline-aware SNN inference runtime.
+//
+// Request path:
+//   infer() -> MicroBatcher admission (shed at capacity) -> micro-batch
+//   formed on size/delay -> a worker's AnytimeRunner steps the batch
+//   through the time window, finalizing each request as its own step
+//   budget or wall-clock deadline is reached -> result delivered to the
+//   blocked caller.
+//
+// Execution modes:
+//   workers >= 1 — that many long-lived tasks on util::ThreadPool::global()
+//     pull batches concurrently. Each worker owns a private model replica
+//     (stamped from the shared ModelCache artifact) and an AnytimeRunner,
+//     and runs on its own pool thread, so per-thread util::Workspace arenas
+//     never contend. The worker count is clamped to pool_size - 1 so at
+//     least one pool thread stays free for nested parallel_for users; when
+//     the pool is too small (SNNSEC_THREADS=1) the server falls back to
+//     inline mode.
+//   workers == 0 (inline) — no resident threads: submitting threads drive
+//     batch execution themselves under an execution lock. Deterministic and
+//     thread-free, the mode tests and single-threaded benches use.
+//
+// Anytime semantics: a request's logits after t steps are bit-identical to
+// evaluating the same weights with window T' = t (running-max decode), so
+// deadline truncation degrades accuracy gracefully instead of shedding —
+// the paper's structural time window T acting as a load-shedding knob.
+//
+// The steady-state request path (warm server, fixed batch geometry)
+// performs zero heap allocations end to end; bench_serve asserts this with
+// its operator-new hook.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/batcher.hpp"
+#include "serve/model_cache.hpp"
+#include "serve/request.hpp"
+#include "snn/anytime.hpp"
+#include "tensor/tensor.hpp"
+
+namespace snnsec::serve {
+
+struct ServerConfig {
+  std::string model_path;  ///< checkpoint, loaded via ModelCache::global()
+  /// Resident worker tasks on the global thread pool; 0 = inline mode.
+  std::int64_t workers = 1;
+  BatcherConfig batcher;
+  /// A deadline never truncates below this many time steps: the first
+  /// steps of the window carry most of the readout signal, and a 0-step
+  /// "prediction" would be the -inf init.
+  std::int64_t min_steps = 1;
+  /// Applied when a request carries deadline_us == 0. 0 = no deadline.
+  std::int64_t default_deadline_us = 0;
+};
+
+/// Monotonic counters for tests and ops dashboards (mirrored into
+/// src/obs metrics under serve.*).
+struct ServerStats {
+  std::int64_t submitted = 0;
+  std::int64_t completed = 0;
+  std::int64_t shed = 0;
+  std::int64_t errors = 0;
+  std::int64_t truncated = 0;
+  std::int64_t batches = 0;
+};
+
+class Server {
+ public:
+  /// Load cfg.model_path through the global ModelCache and start workers.
+  explicit Server(ServerConfig cfg);
+  /// Serve an already-loaded artifact (cfg.model_path is ignored).
+  Server(ServerConfig cfg, std::shared_ptr<const ModelCache::Artifact> model);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Blocking single-image inference: `x` is [C, H, W] or [1, C, H, W].
+  /// Returns true when `out.status == kOk`. Safe to call from any number
+  /// of threads; each call occupies one admission slot until it returns.
+  bool infer(const tensor::Tensor& x, const RequestOptions& opt,
+             InferResult& out);
+
+  /// Stop admitting, drain in-flight requests, join workers. Idempotent;
+  /// the destructor calls it.
+  void stop();
+
+  ServerStats stats() const;
+  const snn::SnnConfig& model_config() const { return artifact_->config(); }
+  std::int64_t time_steps() const;
+  std::int64_t num_classes() const;
+  /// Actual resident worker count (0 in inline mode).
+  std::int64_t worker_count() const { return num_workers_; }
+
+ private:
+  /// Per-admission-slot request state, parallel to the batcher's slot ring.
+  struct Slot {
+    tensor::Tensor input;  ///< latched image [1, C, H, W]
+    RequestOptions opt;
+    std::chrono::steady_clock::time_point submitted;
+    std::chrono::steady_clock::time_point deadline;  ///< epoch = no deadline
+    bool has_deadline = false;
+    InferResult* out = nullptr;
+    bool done = false;
+    std::mutex m;
+    std::condition_variable cv;
+  };
+
+  /// Per-worker execution context: a private model replica + runner and
+  /// the reusable batch buffers. Also used (index 0) by inline mode.
+  struct Worker {
+    std::unique_ptr<snn::SpikingClassifier> model;
+    std::unique_ptr<snn::AnytimeRunner> runner;
+    tensor::Tensor batch_input;            ///< [B, C, H, W], reused
+    std::vector<std::int64_t> slots;       ///< popped slot indices
+    std::vector<std::int64_t> budget;      ///< per-request step caps
+    std::vector<unsigned char> finalized;  ///< per-request done flags
+  };
+
+  void start_workers(std::int64_t requested);
+  void worker_loop(Worker& w);
+  void execute_batch(Worker& w, std::int64_t n);
+  void finalize(Slot& s, const snn::AnytimeRunner& runner, std::int64_t row,
+                std::int64_t steps, std::int64_t batch_size,
+                std::chrono::steady_clock::time_point exec_start);
+  void deliver_error(Slot& s, const char* what, std::int64_t batch_size);
+  void drive_inline(Slot& own);
+
+  ServerConfig cfg_;
+  std::shared_ptr<const ModelCache::Artifact> artifact_;
+  MicroBatcher batcher_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::int64_t num_workers_ = 0;  ///< 0 = inline mode
+  std::mutex inline_m_;           ///< serializes inline batch execution
+
+  std::mutex join_m_;
+  std::condition_variable join_cv_;
+  std::int64_t live_workers_ = 0;
+  std::atomic<bool> stopping_{false};
+
+  std::atomic<std::int64_t> submitted_{0};
+  std::atomic<std::int64_t> completed_{0};
+  std::atomic<std::int64_t> shed_{0};
+  std::atomic<std::int64_t> errors_{0};
+  std::atomic<std::int64_t> truncated_{0};
+  std::atomic<std::int64_t> batches_{0};
+};
+
+}  // namespace snnsec::serve

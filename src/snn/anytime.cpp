@@ -1,0 +1,264 @@
+// SNNSEC_HOT: per-timestep serving path — steady state must not allocate.
+#include "snn/anytime.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "nn/activations.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/flatten.hpp"
+#include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+#include "snn/alif_layer.hpp"
+#include "snn/encoder.hpp"
+#include "snn/li_readout.hpp"
+#include "snn/lif_layer.hpp"
+#include "util/checked.hpp"
+
+namespace snnsec::snn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+namespace {
+
+// Dim-wise geometry compare so a warm steady state never reallocates.
+void ensure_like(Tensor& t, const Tensor& ref) {
+  if (t.ndim() == ref.ndim()) {
+    bool same = true;
+    for (std::int64_t d = 0; d < ref.ndim(); ++d)
+      if (t.dim(d) != ref.dim(d)) same = false;
+    if (same) return;
+  }
+  t = Tensor(ref.shape());
+}
+
+void ensure_flat(Tensor& t, std::int64_t n) {
+  if (t.ndim() == 1 && t.dim(0) == n) return;
+  t = Tensor(Shape{n});
+}
+
+void ensure_2d(Tensor& t, std::int64_t rows, std::int64_t cols) {
+  if (t.ndim() == 2 && t.dim(0) == rows && t.dim(1) == cols) return;
+  t = Tensor(Shape{rows, cols});
+}
+
+}  // namespace
+
+AnytimeRunner::AnytimeRunner(SpikingClassifier& model)
+    : model_(model),
+      time_steps_(model.time_steps()),
+      num_classes_(model.num_classes()) {
+  nn::Sequential& net = model_.net();
+  SNNSEC_CHECK(net.size() > 0, "AnytimeRunner: empty network");
+  // One-time stage-table build at construction, never on the per-step path.
+  // NOLINTNEXTLINE(snnsec-hot-alloc): construction-time container growth
+  stages_.reserve(net.size());
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    nn::Layer& layer = net.layer(i);
+    const std::string_view kind = layer.kind();
+    Stage stage;
+    stage.layer = &layer;
+    if (kind == "Scale") {
+      stage.kind = StageKind::kScale;
+    } else if (kind == "LifLayer") {
+      auto& lif = static_cast<LifLayer&>(layer);
+      SNNSEC_CHECK(lif.time_steps() == time_steps_,
+                   "AnytimeRunner: LifLayer T=" << lif.time_steps()
+                                                << " != model T="
+                                                << time_steps_);
+      stage.kind = StageKind::kLif;
+    } else if (kind == "AlifLayer") {
+      auto& alif = static_cast<AlifLayer&>(layer);
+      SNNSEC_CHECK(alif.time_steps() == time_steps_,
+                   "AnytimeRunner: AlifLayer T=" << alif.time_steps()
+                                                 << " != model T="
+                                                 << time_steps_);
+      stage.kind = StageKind::kAlif;
+    } else if (kind == "Conv2d") {
+      stage.kind = StageKind::kConv;
+    } else if (kind == "AvgPool2d") {
+      stage.kind = StageKind::kAvgPool;
+    } else if (kind == "Flatten") {
+      stage.kind = StageKind::kFlatten;
+    } else if (kind == "Linear") {
+      stage.kind = StageKind::kLinear;
+    } else if (kind == "LiReadout") {
+      auto& readout = static_cast<LiReadout&>(layer);
+      SNNSEC_CHECK(readout.time_steps() == time_steps_,
+                   "AnytimeRunner: LiReadout T=" << readout.time_steps()
+                                                 << " != model T="
+                                                 << time_steps_);
+      SNNSEC_CHECK(i + 1 == net.size(),
+                   "AnytimeRunner: LiReadout must be the final layer");
+      stage.kind = StageKind::kReadout;
+    } else if (kind == "PoissonEncoder") {
+      SNNSEC_CHECK(false,
+                   "AnytimeRunner: Poisson encoding draws fresh spikes per "
+                   "forward; anytime serving requires the deterministic "
+                   "constant-current encoder");
+    } else {
+      SNNSEC_CHECK(false, "AnytimeRunner: unsupported layer kind '"
+                              << kind << "' at position " << i);
+    }
+    // NOLINTNEXTLINE(snnsec-hot-alloc): construction-time container growth
+    stages_.push_back(std::move(stage));
+  }
+  SNNSEC_CHECK(stages_.back().kind == StageKind::kReadout,
+               "AnytimeRunner: network must end in LiReadout");
+}
+
+void AnytimeRunner::begin(const Tensor& x) {
+  SNNSEC_CHECK(x.ndim() == 4,
+               "AnytimeRunner::begin: expects [N, C, H, W], got "
+                   << x.shape().to_string());
+  for (const Stage& s : stages_) {
+    if (s.kind != StageKind::kLif) continue;
+    const auto& lif = static_cast<const LifLayer&>(*s.layer);
+    SNNSEC_CHECK(!lif.spike_fault().any(),
+                 "AnytimeRunner: " << lif.name()
+                                   << " has an armed spike fault; the fault "
+                                      "post-pass runs in LifLayer::forward, "
+                                      "which anytime stepping bypasses");
+  }
+  ensure_like(input_, x);
+  std::copy(x.data(), x.data() + x.numel(), input_.data());
+  batch_ = x.dim(0);
+  ensure_2d(logits_, batch_, num_classes_);
+  logits_.fill(-std::numeric_limits<float>::infinity());
+  t_ = 0;
+  began_ = true;
+}
+
+void AnytimeRunner::step() {
+  SNNSEC_CHECK(began_, "AnytimeRunner::step before begin");
+  SNNSEC_CHECK(!done(), "AnytimeRunner::step past the time window T="
+                            << time_steps_);
+  // Constant-current encoding replays the same latched image every step, so
+  // the chain below is exactly one time-slab of the unrolled forward.
+  const Tensor* cur = &input_;
+  for (Stage& s : stages_) {
+    switch (s.kind) {
+      case StageKind::kScale: {
+        const float factor = static_cast<const nn::Scale&>(*s.layer).factor();
+        ensure_like(s.out, *cur);
+        const float* px = cur->data();
+        float* py = s.out.data();
+        const std::int64_t n = cur->numel();
+        for (std::int64_t k = 0; k < n; ++k) py[k] = px[k] * factor;
+        break;
+      }
+      case StageKind::kLif: {
+        const auto& lif = static_cast<const LifLayer&>(*s.layer);
+        const std::int64_t n = cur->numel();
+        ensure_flat(s.state_i, n);
+        ensure_flat(s.state_v, n);
+        ensure_flat(s.scratch, n);
+        if (t_ == 0) {
+          s.state_i.zero_();
+          s.state_v.zero_();
+        }
+        ensure_like(s.out, *cur);
+        lif_step(lif.params(), n, cur->data(), s.state_i.data(),
+                 s.state_v.data(), s.out.data(), s.scratch.data());
+        break;
+      }
+      case StageKind::kAlif: {
+        // Same per-element update as AlifLayer::forward's inner loop; the
+        // recurrence is elementwise, so stepping it one t at a time outside
+        // the layer reorders no floating-point operation.
+        const auto& alif = static_cast<const AlifLayer&>(*s.layer);
+        const AlifParameters& ap = alif.params();
+        const LifParameters& p = ap.lif;
+        const float a = p.a();
+        const float bsyn = p.b();
+        const float beta = ap.beta;
+        const float rho = ap.rho;
+        const std::int64_t n = cur->numel();
+        ensure_flat(s.state_i, n);
+        ensure_flat(s.state_v, n);
+        ensure_flat(s.state_b, n);
+        if (t_ == 0) {
+          s.state_i.zero_();
+          s.state_v.zero_();
+          s.state_b.zero_();
+        }
+        ensure_like(s.out, *cur);
+        const float* px = cur->data();
+        float* pz = s.out.data();
+        float* si = s.state_i.data();
+        float* sv = s.state_v.data();
+        float* sb = s.state_b.data();
+        for (std::int64_t k = 0; k < n; ++k) {
+          const float v0 = sv[k];
+          const float i0 = si[k];
+          const float b0 = sb[k];
+          const float v_decayed = v0 + a * ((p.v_leak - v0) + i0);
+          const float i_decayed = bsyn * i0;
+          const float theta = p.v_th + beta * b0;
+          const float spike = v_decayed > theta ? 1.0f : 0.0f;
+          pz[k] = spike;
+          sv[k] = (1.0f - spike) * v_decayed + spike * p.v_reset;
+          si[k] = i_decayed + px[k];
+          sb[k] = rho * b0 + (1.0f - rho) * spike;
+        }
+        break;
+      }
+      case StageKind::kConv: {
+        static_cast<nn::Conv2d&>(*s.layer).forward_into(*cur, s.out,
+                                                        nn::Mode::kEval);
+        break;
+      }
+      case StageKind::kAvgPool: {
+        static_cast<const nn::AvgPool2d&>(*s.layer).forward_into(*cur, s.out);
+        break;
+      }
+      case StageKind::kFlatten: {
+        const std::int64_t rows = cur->dim(0);
+        ensure_2d(s.out, rows, cur->numel() / rows);
+        std::copy(cur->data(), cur->data() + cur->numel(), s.out.data());
+        break;
+      }
+      case StageKind::kLinear: {
+        static_cast<nn::Linear&>(*s.layer).forward_into(*cur, s.out);
+        break;
+      }
+      case StageKind::kReadout: {
+        const auto& readout = static_cast<const LiReadout&>(*s.layer);
+        const std::int64_t n = cur->numel();
+        SNNSEC_CHECK(cur->ndim() == 2 && cur->dim(1) == num_classes_,
+                     "AnytimeRunner: readout input "
+                         << cur->shape().to_string() << ", expected [N, "
+                         << num_classes_ << "]");
+        ensure_flat(s.state_i, n);
+        ensure_flat(s.state_v, n);
+        if (t_ == 0) {
+          s.state_i.zero_();
+          s.state_v.zero_();
+        }
+        ensure_like(s.out, *cur);
+        li_step(readout.params(), n, cur->data(), s.state_i.data(),
+                s.state_v.data(), s.out.data());
+        // Strictly-greater running max — the same comparison LiReadout's
+        // one-shot decode uses, folded in as the trace grows.
+        const float* row = s.out.data();
+        float* pl = logits_.data();
+        for (std::int64_t k = 0; k < n; ++k)
+          if (row[k] > pl[k]) pl[k] = row[k];
+        break;
+      }
+    }
+    cur = &s.out;
+  }
+  ++t_;
+}
+
+const Tensor& AnytimeRunner::run(const Tensor& x, std::int64_t max_steps) {
+  begin(x);
+  const std::int64_t budget =
+      (max_steps <= 0 || max_steps > time_steps_) ? time_steps_ : max_steps;
+  for (std::int64_t t = 0; t < budget; ++t) step();
+  return logits_;
+}
+
+}  // namespace snnsec::snn

@@ -1,0 +1,107 @@
+// AnytimeRunner: incremental (per-timestep) forward pass for a
+// SpikingClassifier, the engine behind deadline-aware "anytime" serving.
+//
+// The one-shot SpikingClassifier::logits() unrolls the whole observation
+// window T before decoding. For serving, the time window is a structural
+// knob we can cut short: the LiReadout decode is a running max over the
+// membrane trace, so logits accumulated after t steps are exactly the
+// logits the full forward would produce if the window were t — a request
+// with a deadline can stop at t < T and still return a well-defined
+// (truncated) prediction.
+//
+// The runner walks the model's Sequential stack once at construction and
+// compiles it into a flat stage table (scale / conv / pool / flatten /
+// linear are stateless per step; LIF / ALIF / LI-readout carry explicit
+// per-neuron state across step() calls). All activations and state live in
+// persistent per-stage tensors that are reallocated only when the batch
+// geometry changes, so a warm runner performs zero heap allocations per
+// step — the property bench_serve asserts with its operator-new hook.
+//
+// Bit-identity with the one-shot path: every stage reuses the exact
+// per-step math of the corresponding layer (lif_step / li_step / the
+// layers' own forward_into entry points, conv pinned to the same dense
+// GEMM), and the LIF recurrences are elementwise, so stepping time outside
+// the layers instead of inside them reorders no floating-point operation.
+// tests/test_serve_anytime.cpp checks logits()@t==T against
+// SpikingClassifier::logits() bit-for-bit.
+//
+// Not supported (throws at construction / begin): Poisson encoders (fresh
+// RNG per forward — a step-by-step replay would not reproduce the one-shot
+// spike trains) and armed SpikeFaults (the fault post-pass lives in
+// LifLayer::forward, which this runner bypasses).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "snn/spiking_network.hpp"
+#include "tensor/tensor.hpp"
+
+namespace snnsec::snn {
+
+class AnytimeRunner {
+ public:
+  /// Compiles `model`'s layer stack into a stage table. The model must be
+  /// a constant-current-encoded spiking stack ending in LiReadout; throws
+  /// util::Error otherwise. The runner borrows the model (weights are read
+  /// through the live layers each step) — it must outlive the runner.
+  explicit AnytimeRunner(SpikingClassifier& model);
+
+  /// Start a new request: latch the input batch [N, C, H, W] and reset all
+  /// neuron state. Rejects armed spike faults on any LIF layer.
+  void begin(const tensor::Tensor& x);
+
+  /// Advance the whole stack by one time step and fold the readout trace
+  /// into the running-max logits. Requires begin() and !done().
+  void step();
+
+  /// Accumulated logits [N, classes] after steps_done() steps. At
+  /// steps_done() == time_steps() this is bit-identical to the one-shot
+  /// SpikingClassifier::logits(). Rows are -inf before the first step.
+  const tensor::Tensor& logits() const { return logits_; }
+
+  std::int64_t steps_done() const { return t_; }
+  bool done() const { return t_ >= time_steps_; }
+  std::int64_t time_steps() const { return time_steps_; }
+  /// Batch size of the current request (0 before the first begin()).
+  std::int64_t batch() const { return batch_; }
+
+  /// Convenience: begin(x) then step() until done() or `max_steps` steps
+  /// (0 = full window). Returns the accumulated logits.
+  const tensor::Tensor& run(const tensor::Tensor& x,
+                            std::int64_t max_steps = 0);
+
+ private:
+  enum class StageKind : std::uint8_t {
+    kScale,
+    kLif,
+    kAlif,
+    kConv,
+    kAvgPool,
+    kFlatten,
+    kLinear,
+    kReadout,
+  };
+
+  struct Stage {
+    StageKind kind;
+    nn::Layer* layer = nullptr;
+    tensor::Tensor out;      ///< this stage's activation for the current step
+    tensor::Tensor state_i;  ///< synaptic current (LIF/ALIF/readout)
+    tensor::Tensor state_v;  ///< membrane potential (LIF/ALIF/readout)
+    tensor::Tensor state_b;  ///< adaptation trace (ALIF only)
+    tensor::Tensor scratch;  ///< v_decayed sink for lif_step
+  };
+
+  SpikingClassifier& model_;
+  std::int64_t time_steps_;
+  std::int64_t num_classes_;
+  std::vector<Stage> stages_;
+  tensor::Tensor input_;   ///< latched request batch [N, C, H, W]
+  tensor::Tensor logits_;  ///< running-max decode [N, classes]
+  std::int64_t batch_ = 0;
+  std::int64_t t_ = 0;
+  bool began_ = false;
+};
+
+}  // namespace snnsec::snn

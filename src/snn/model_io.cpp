@@ -153,16 +153,15 @@ std::uint64_t decode_layers(const Tensor& t) {
   return decode_u64(t.data() + 1);
 }
 
-// Fingerprint of the metadata that determines a model file's layout.
-std::uint64_t model_config_hash(const nn::LenetSpec& arch,
-                                const SnnConfig& config) {
+}  // namespace
+
+std::uint64_t spiking_lenet_config_hash(const nn::LenetSpec& arch,
+                                        const SnnConfig& config) {
   std::map<std::string, Tensor> meta;
   meta.emplace("meta/arch", encode_arch(arch));
   meta.emplace("meta/snn", encode_config(config));
   return checkpoint_digest(meta);
 }
-
-}  // namespace
 
 std::uint64_t checkpoint_digest(
     const std::map<std::string, Tensor>& items) {
@@ -249,10 +248,10 @@ void save_spiking_lenet(const std::string& path, SpikingClassifier& model,
     std::snprintf(name, sizeof(name), "p%03u", static_cast<unsigned>(i));
     archive.emplace(name, params[i]->value);
   }
-  save_checkpoint(path, archive, model_config_hash(arch, config));
+  save_checkpoint(path, archive, spiking_lenet_config_hash(arch, config));
 }
 
-LoadedModel load_spiking_lenet(const std::string& path) {
+CheckpointPayload load_validated_payload(const std::string& path) {
   auto archive = tensor::load_archive_file(path);
   // Validate the format record before touching any payload: version,
   // payload digest (truncation/bit-flips) and self-consistent config hash.
@@ -271,38 +270,56 @@ LoadedModel load_spiking_lenet(const std::string& path) {
                    archive.count("meta/snn") == 1 &&
                    archive.count(kLayersRecord) == 1,
                "model file " << path << ": missing metadata records");
-  LoadedModel out;
+  CheckpointPayload out;
   out.arch = decode_arch(archive.at("meta/arch"));
   out.config = decode_config(archive.at("meta/snn"));
-  SNNSEC_CHECK(stored_hash == model_config_hash(out.arch, out.config),
+  SNNSEC_CHECK(stored_hash == spiking_lenet_config_hash(out.arch, out.config),
                "model file " << path << ": config hash mismatch");
+  out.config_hash = stored_hash;
+  out.digest = stored_digest;
+  out.archive = std::move(archive);
+  return out;
+}
 
+std::unique_ptr<SpikingClassifier> rebuild_spiking_lenet(
+    const CheckpointPayload& payload, const std::string& label) {
   // Rebuild and overwrite the (arbitrary) fresh initialization.
   util::Rng rng(0);
-  out.model = build_spiking_lenet(out.arch, out.config, rng);
-  SNNSEC_CHECK(decode_layers(archive.at(kLayersRecord)) ==
-                   nn::architecture_fingerprint(out.model->net()),
+  auto model = build_spiking_lenet(payload.arch, payload.config, rng);
+  SNNSEC_CHECK(decode_layers(payload.archive.at(kLayersRecord)) ==
+                   nn::architecture_fingerprint(model->net()),
                "model file "
-                   << path
+                   << label
                    << ": architecture fingerprint mismatch — the stored "
                       "layer-kind sequence differs from the rebuilt network, "
                       "positional weight restore would misassign tensors");
-  const auto params = out.model->parameters();
-  SNNSEC_CHECK(archive.size() == params.size() + 3,
-               "model file " << path << ": expected " << params.size()
+  const auto params = model->parameters();
+  SNNSEC_CHECK(payload.archive.size() == params.size() + 3,
+               "model file " << label << ": expected " << params.size()
                              << " parameter tensors, found "
-                             << archive.size() - 3);
+                             << payload.archive.size() - 3);
   for (std::size_t i = 0; i < params.size(); ++i) {
     char name[16];
     std::snprintf(name, sizeof(name), "p%03u", static_cast<unsigned>(i));
-    const auto it = archive.find(name);
-    SNNSEC_CHECK(it != archive.end(), "model file: missing tensor " << name);
+    const auto it = payload.archive.find(name);
+    SNNSEC_CHECK(it != payload.archive.end(),
+                 "model file " << label << ": missing tensor " << name);
     SNNSEC_CHECK(it->second.shape() == params[i]->value.shape(),
-                 "model file: shape mismatch for "
-                     << name << ": " << it->second.shape().to_string()
-                     << " vs " << params[i]->value.shape().to_string());
+                 "model file " << label << ": shape mismatch for " << name
+                               << ": " << it->second.shape().to_string()
+                               << " vs "
+                               << params[i]->value.shape().to_string());
     params[i]->value = it->second;
   }
+  return model;
+}
+
+LoadedModel load_spiking_lenet(const std::string& path) {
+  CheckpointPayload payload = load_validated_payload(path);
+  LoadedModel out;
+  out.model = rebuild_spiking_lenet(payload, path);
+  out.arch = payload.arch;
+  out.config = payload.config;
   return out;
 }
 

@@ -52,6 +52,37 @@ std::uint64_t checkpoint_digest(
 void save_spiking_lenet(const std::string& path, SpikingClassifier& model,
                         const nn::LenetSpec& arch, const SnnConfig& config);
 
+/// Fingerprint of the (arch, config) metadata that determines a spiking
+/// LeNet checkpoint's layout — the hash save_spiking_lenet stamps into the
+/// format record, exposed so caches can key warm models by structural
+/// configuration (Vth, T, taus, encoder, ...) without reloading files.
+std::uint64_t spiking_lenet_config_hash(const nn::LenetSpec& arch,
+                                        const SnnConfig& config);
+
+/// A fully validated spiking-LeNet checkpoint: the archive payload (format
+/// record stripped) plus its decoded metadata. Building a network from it
+/// is a pure in-memory operation, so one loaded payload can stamp out any
+/// number of independent model replicas (serve workers hold one each).
+struct CheckpointPayload {
+  std::map<std::string, tensor::Tensor> archive;
+  nn::LenetSpec arch;
+  SnnConfig config;
+  std::uint64_t config_hash = 0;  ///< spiking_lenet_config_hash(arch, config)
+  std::uint64_t digest = 0;       ///< payload digest (content identity)
+};
+
+/// Read `path` and run the full validation chain (format version, payload
+/// digest, config-hash self-consistency, metadata presence) without
+/// constructing a network. Throws util::Error on any mismatch.
+CheckpointPayload load_validated_payload(const std::string& path);
+
+/// Build a fresh SpikingClassifier from a validated payload and restore its
+/// weights (positional, guarded by the stored architecture fingerprint).
+/// `label` names the checkpoint in error messages. Each call returns an
+/// independent replica — no state is shared between replicas.
+std::unique_ptr<SpikingClassifier> rebuild_spiking_lenet(
+    const CheckpointPayload& payload, const std::string& label);
+
 struct LoadedModel {
   std::unique_ptr<SpikingClassifier> model;
   nn::LenetSpec arch;

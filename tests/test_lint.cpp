@@ -298,3 +298,50 @@ TEST(LintEngine, FindingsCarrySuggestions) {
   EXPECT_FALSE(r.findings[0].suggestion.empty());
   EXPECT_EQ(r.findings[0].file, "src/core/fake.cpp");
 }
+
+// ---- src/serve coverage ---------------------------------------------------
+// The serving hot path (anytime stepper, micro-batcher, server) is marked
+// SNNSEC_HOT; these fixtures pin down that R1/R3 fire on src/serve paths
+// exactly as elsewhere — the subsystem gets no special-casing, and the
+// NOLINT idiom the real serve sources use (construction-time growth,
+// first-response buffer sizing) stays accepted.
+
+TEST(LintServe, HotAllocFiresOnServeRequestPath) {
+  const std::string src =
+      "// SNNSEC_HOT: steady-state request path\n"     // 1
+      "void Server::execute_batch(Worker& w) {\n"      // 2
+      "  w.slots.push_back(next);\n"                   // 3
+      "  out.scores.resize(classes);\n"                // 4
+      "  auto* s = new Slot();\n"                      // 5
+      "}\n";
+  const auto r = lint_source("src/serve/fake_server.cpp", src);
+  EXPECT_TRUE(has(r, "snnsec-hot-alloc", 3));
+  EXPECT_TRUE(has(r, "snnsec-hot-alloc", 4));
+  EXPECT_TRUE(has(r, "snnsec-hot-alloc", 5));
+}
+
+TEST(LintServe, JustifiedConstructionGrowthSuppresses) {
+  // The idiom the real server.cpp / anytime.cpp use: container growth is
+  // allowed at construction time when justified on the preceding line.
+  const std::string src =
+      "// SNNSEC_HOT\n"
+      "Server::Server(ServerConfig cfg) {\n"
+      "  // NOLINTNEXTLINE(snnsec-hot-alloc): construction-time growth\n"
+      "  slots_.reserve(capacity);\n"  // 4
+      "}\n";
+  const auto r = lint_source("src/serve/fake_server.cpp", src);
+  EXPECT_TRUE(r.findings.empty());
+  EXPECT_TRUE(suppressed(r, "snnsec-hot-alloc", 4));
+}
+
+TEST(LintServe, ParallelCaptureFiresOnServeWorkerPath) {
+  const std::string src =
+      "void Server::start_workers(util::Workspace& ws) {\n"          // 1
+      "  util::parallel_for_chunked(0, n, [&](i64 lo, i64 hi) {\n"   // 2
+      "    float* p = ws.alloc<float>(64);\n"                        // 3
+      "    warm(p, lo, hi);\n"
+      "  });\n"
+      "}\n";
+  const auto r = lint_source("src/serve/fake_server.cpp", src);
+  EXPECT_TRUE(has(r, "snnsec-parallel-capture", 2));
+}
