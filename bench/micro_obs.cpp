@@ -8,7 +8,10 @@
 // overhead on an actual kernel (target: <= 2% on the workloads we ship).
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "obs/metrics.hpp"
+#include "obs/sketch.hpp"
 #include "obs/trace.hpp"
 #include "tensor/gemm.hpp"
 
@@ -139,6 +142,82 @@ void BM_InstrumentedGemm_Disabled(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
 BENCHMARK(BM_InstrumentedGemm_Disabled)->Arg(128);
+
+// ---- sketch accumulation ---------------------------------------------------
+// The per-request telemetry tax: ns per neuron-step of folding one spiking
+// layer's (spikes, membrane) slab into the SketchAccumulator, vs the same
+// slab walked with the sketch detached (the serve path's "off" cost is one
+// null-pointer check, so the baseline is just touching the data).
+
+// One synthetic time-slab of `batch` x `features` spikes + membranes.
+struct SketchSlab {
+  std::vector<float> z;
+  std::vector<float> v;
+  SketchSlab(std::int64_t batch, std::int64_t features) {
+    const std::int64_t n = batch * features;
+    z.resize(static_cast<std::size_t>(n));
+    v.resize(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
+      v[static_cast<std::size_t>(i)] =
+          static_cast<float>((i % 37) - 12) * 0.1f;
+      z[static_cast<std::size_t>(i)] =
+          v[static_cast<std::size_t>(i)] > 1.0f ? 1.0f : 0.0f;
+    }
+  }
+};
+
+void BM_SketchAccumulate_On(benchmark::State& state) {
+  const std::int64_t batch = state.range(0);
+  const std::int64_t features = 1024;
+  const SketchSlab slab(batch, features);
+  obs::SketchAccumulator acc;
+  acc.configure({{"lif0", 1.0}});
+  for (auto _ : state) {
+    acc.begin(batch);
+    acc.accumulate(0, slab.z.data(), slab.v.data(), batch * features);
+    acc.end_step();
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * batch * features);
+}
+BENCHMARK(BM_SketchAccumulate_On)->Arg(1)->Arg(8);
+
+void BM_SketchAccumulate_Off(benchmark::State& state) {
+  const std::int64_t batch = state.range(0);
+  const std::int64_t features = 1024;
+  const SketchSlab slab(batch, features);
+  for (auto _ : state) {
+    // The detached path reads nothing — model the hot loop's cost floor as
+    // one pass over the slab so the On/Off delta is the accumulation work.
+    float sum = 0.0f;
+    const std::int64_t n = batch * features;
+    for (std::int64_t i = 0; i < n; ++i)
+      sum += slab.z[static_cast<std::size_t>(i)];
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * batch * features);
+}
+BENCHMARK(BM_SketchAccumulate_Off)->Arg(1)->Arg(8);
+
+void BM_SketchFinalize(benchmark::State& state) {
+  const std::int64_t batch = state.range(0);
+  const std::int64_t features = 1024;
+  const SketchSlab slab(batch, features);
+  obs::SketchAccumulator acc;
+  acc.configure({{"lif0", 1.0}});
+  acc.begin(batch);
+  for (int t = 0; t < 16; ++t) {
+    acc.accumulate(0, slab.z.data(), slab.v.data(), batch * features);
+    acc.end_step();
+  }
+  obs::ActivitySketch sketch;
+  for (auto _ : state) {
+    acc.finalize(0, sketch);
+    benchmark::DoNotOptimize(sketch.steps);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SketchFinalize)->Arg(8);
 
 }  // namespace
 

@@ -1,0 +1,326 @@
+#include "obs/envelope.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <type_traits>
+
+#include "util/checked.hpp"
+#include "util/fs_atomic.hpp"
+#include "util/logging.hpp"
+
+namespace snnsec::obs {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'N', 'N', 'E', 'N', 'V', '0', '1'};
+
+std::uint64_t fnv1a(const char* data, std::size_t n) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+template <typename T>
+void put(std::string& out, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const char* p = reinterpret_cast<const char*>(&v);
+  out.append(p, sizeof(T));
+}
+
+/// Bounds-checked reader over the loaded payload.
+class Reader {
+ public:
+  Reader(const char* data, std::size_t size, const std::string& path)
+      : data_(data), size_(size), path_(path) {}
+
+  template <typename T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    SNNSEC_CHECK(pos_ + sizeof(T) <= size_,
+                 "ActivityEnvelope: " << path_ << " truncated at byte "
+                                      << pos_);
+    T v;
+    std::memcpy(&v, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::string get_string() {
+    const auto n = get<std::uint32_t>();
+    SNNSEC_CHECK(pos_ + n <= size_,
+                 "ActivityEnvelope: " << path_ << " truncated at byte "
+                                      << pos_);
+    std::string s(data_ + pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+  std::size_t pos() const { return pos_; }
+
+ private:
+  const char* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  const std::string& path_;
+};
+
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+/// Walk a sketch's features in the canonical envelope order, invoking
+/// `fn(feature_index, value)` for each. Shared by fit/score so the two can
+/// never disagree on the layout.
+template <typename Fn>
+void for_each_feature(const ActivitySketch& s, Fn&& fn) {
+  std::int64_t idx = 0;
+  for (const ActivitySketch::Layer& layer : s.layers) {
+    fn(idx++, layer.firing_rate);
+    fn(idx++, layer.silent_fraction);
+    fn(idx++, layer.saturated_fraction);
+    fn(idx++, layer.v_mean);
+    for (const double h : layer.hist_frac) fn(idx++, h);
+  }
+}
+
+}  // namespace
+
+void ActivityEnvelope::fit(const std::vector<ActivitySketch>& clean,
+                           const std::vector<SketchLayerInfo>& layers,
+                           int buckets, std::uint64_t config_hash) {
+  SNNSEC_CHECK(clean.size() >= 2,
+               "ActivityEnvelope::fit: need >= 2 calibration sketches, got "
+                   << clean.size());
+  SNNSEC_CHECK(!layers.empty(), "ActivityEnvelope::fit: no layers");
+  SNNSEC_CHECK(buckets > 0, "ActivityEnvelope::fit: buckets must be positive");
+  const std::int64_t features =
+      static_cast<std::int64_t>(layers.size()) *
+      ActivitySketch::features_per_layer(buckets);
+  for (const ActivitySketch& s : clean) {
+    SNNSEC_CHECK(s.layers.size() == layers.size(),
+                 "ActivityEnvelope::fit: sketch has "
+                     << s.layers.size() << " layers, envelope expects "
+                     << layers.size());
+    for (const auto& l : s.layers)
+      SNNSEC_CHECK(static_cast<int>(l.hist_frac.size()) == buckets,
+                   "ActivityEnvelope::fit: sketch histogram has "
+                       << l.hist_frac.size() << " buckets, envelope expects "
+                       << buckets);
+  }
+
+  layers_ = layers;
+  buckets_ = buckets;
+  config_hash_ = config_hash;
+  samples_ = static_cast<std::int64_t>(clean.size());
+  created_unix_s_ = std::chrono::duration_cast<std::chrono::seconds>(
+                        std::chrono::system_clock::now().time_since_epoch())
+                        .count();
+
+  // Column-major gather: one value column per feature across the sample.
+  std::vector<std::vector<double>> cols(static_cast<std::size_t>(features));
+  for (auto& c : cols) c.reserve(clean.size());
+  for (const ActivitySketch& s : clean)
+    for_each_feature(s, [&](std::int64_t idx, double v) {
+      cols[static_cast<std::size_t>(idx)].push_back(v);
+    });
+
+  bands_.assign(static_cast<std::size_t>(features), Band{});
+  const double n = static_cast<double>(clean.size());
+  for (std::size_t f = 0; f < cols.size(); ++f) {
+    std::vector<double>& col = cols[f];
+    double sum = 0.0;
+    for (const double v : col) sum += v;
+    const double mean = sum / n;
+    double var = 0.0;
+    for (const double v : col) var += (v - mean) * (v - mean);
+    var /= n;
+    std::sort(col.begin(), col.end());
+    Band& b = bands_[f];
+    b.mean = mean;
+    b.sigma = std::sqrt(var);
+    b.q_lo = quantile_sorted(col, 0.01);
+    b.q_hi = quantile_sorted(col, 0.99);
+  }
+}
+
+double ActivityEnvelope::score(const ActivitySketch& s) const {
+  SNNSEC_DCHECK(ready(), "ActivityEnvelope::score before fit/load");
+  SNNSEC_DCHECK(
+      s.layers.size() == layers_.size(),
+      "ActivityEnvelope::score: sketch geometry mismatch");
+  // RMS z-score over the top-k most deviant features (fixed stack buffer —
+  // this runs on the serving path). Adversarial activity shifts concentrate
+  // in a few features (early-layer firing rates, histogram tails); a plain
+  // RMS over all ~60 features dilutes them into the noise floor.
+  double top[kScoreTopK] = {};
+  std::int64_t count = 0;
+  for_each_feature(s, [&](std::int64_t idx, double v) {
+    SNNSEC_DCHECK(idx < static_cast<std::int64_t>(bands_.size()),
+                  "ActivityEnvelope::score: feature index out of range");
+    const Band& b = bands_[static_cast<std::size_t>(idx)];
+    const double z = (v - b.mean) / std::max(b.sigma, kSigmaFloor);
+    const double z2 = z * z;
+    int mi = 0;
+    for (int i = 1; i < kScoreTopK; ++i)
+      if (top[i] < top[mi]) mi = i;
+    if (z2 > top[mi]) top[mi] = z2;
+    ++count;
+  });
+  if (count == 0) return 0.0;
+  double sum_sq = 0.0;
+  for (const double z2 : top) sum_sq += z2;
+  const auto k = static_cast<double>(
+      std::min<std::int64_t>(count, kScoreTopK));
+  return std::sqrt(sum_sq / k);
+}
+
+double ActivityEnvelope::out_of_band_fraction(const ActivitySketch& s) const {
+  SNNSEC_DCHECK(ready(), "ActivityEnvelope before fit/load");
+  std::int64_t outside = 0;
+  std::int64_t count = 0;
+  for_each_feature(s, [&](std::int64_t idx, double v) {
+    const Band& b = bands_[static_cast<std::size_t>(idx)];
+    if (v < b.q_lo || v > b.q_hi) ++outside;
+    ++count;
+  });
+  return count > 0 ? static_cast<double>(outside) /
+                         static_cast<double>(count)
+                   : 0.0;
+}
+
+void ActivityEnvelope::save(const std::string& path) const {
+  SNNSEC_CHECK(ready(), "ActivityEnvelope::save before fit");
+  std::string buf;
+  buf.append(kMagic, sizeof(kMagic));
+  put(buf, kFormatVersion);
+  put(buf, config_hash_);
+  put(buf, created_unix_s_);
+  put(buf, samples_);
+  put(buf, static_cast<std::int32_t>(buckets_));
+  put(buf, static_cast<std::uint32_t>(layers_.size()));
+  for (const SketchLayerInfo& l : layers_) {
+    put(buf, static_cast<std::uint32_t>(l.name.size()));
+    buf.append(l.name);
+    put(buf, l.v_th);
+  }
+  put(buf, static_cast<std::uint64_t>(bands_.size()));
+  for (const Band& b : bands_) {
+    put(buf, b.mean);
+    put(buf, b.sigma);
+    put(buf, b.q_lo);
+    put(buf, b.q_hi);
+  }
+  const std::uint64_t digest = fnv1a(buf.data(), buf.size());
+  put(buf, digest);
+  util::atomic_write_file(path, [&](std::ostream& os) {
+    os.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+  });
+}
+
+ActivityEnvelope ActivityEnvelope::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  SNNSEC_CHECK(in.good(), "ActivityEnvelope: cannot open " << path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string buf = ss.str();
+  SNNSEC_CHECK(buf.size() > sizeof(kMagic) + sizeof(std::uint64_t),
+               "ActivityEnvelope: " << path << " is truncated ("
+                                    << buf.size() << " bytes)");
+  const std::size_t payload = buf.size() - sizeof(std::uint64_t);
+  std::uint64_t stored_digest = 0;
+  std::memcpy(&stored_digest, buf.data() + payload, sizeof(stored_digest));
+  const std::uint64_t digest = fnv1a(buf.data(), payload);
+  SNNSEC_CHECK(digest == stored_digest,
+               "ActivityEnvelope: " << path
+                                    << " digest mismatch (corrupt or "
+                                       "partially written)");
+
+  Reader r(buf.data(), payload, path);
+  char magic[sizeof(kMagic)];
+  for (char& c : magic) c = r.get<char>();
+  SNNSEC_CHECK(std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+               "ActivityEnvelope: " << path << " is not an envelope file");
+  const auto version = r.get<std::uint32_t>();
+  SNNSEC_CHECK(version == kFormatVersion,
+               "ActivityEnvelope: " << path << " format version " << version
+                                    << ", expected " << kFormatVersion);
+  ActivityEnvelope env;
+  env.config_hash_ = r.get<std::uint64_t>();
+  env.created_unix_s_ = r.get<std::int64_t>();
+  env.samples_ = r.get<std::int64_t>();
+  env.buckets_ = r.get<std::int32_t>();
+  SNNSEC_CHECK(env.buckets_ > 0 && env.buckets_ <= 4096,
+               "ActivityEnvelope: " << path << " has implausible bucket "
+                                    << "count " << env.buckets_);
+  const auto n_layers = r.get<std::uint32_t>();
+  SNNSEC_CHECK(n_layers > 0 && n_layers <= 1024,
+               "ActivityEnvelope: " << path << " has implausible layer "
+                                    << "count " << n_layers);
+  env.layers_.resize(n_layers);
+  for (SketchLayerInfo& l : env.layers_) {
+    l.name = r.get_string();
+    l.v_th = r.get<double>();
+  }
+  const auto n_bands = r.get<std::uint64_t>();
+  const std::uint64_t expected_bands =
+      static_cast<std::uint64_t>(n_layers) *
+      static_cast<std::uint64_t>(
+          ActivitySketch::features_per_layer(env.buckets_));
+  SNNSEC_CHECK(n_bands == expected_bands,
+               "ActivityEnvelope: " << path << " holds " << n_bands
+                                    << " bands, geometry implies "
+                                    << expected_bands);
+  env.bands_.resize(static_cast<std::size_t>(n_bands));
+  for (Band& b : env.bands_) {
+    b.mean = r.get<double>();
+    b.sigma = r.get<double>();
+    b.q_lo = r.get<double>();
+    b.q_hi = r.get<double>();
+  }
+  SNNSEC_CHECK(r.pos() == payload,
+               "ActivityEnvelope: " << path << " has "
+                                    << payload - r.pos()
+                                    << " trailing bytes");
+  return env;
+}
+
+std::optional<ActivityEnvelope> ActivityEnvelope::try_load(
+    const std::string& path, std::uint64_t expected_config_hash) {
+  try {
+    ActivityEnvelope env = load(path);
+    if (env.config_hash_ != expected_config_hash) {
+      SNNSEC_LOG_WARN("ActivityEnvelope: "
+                      << path << " was calibrated for config_hash "
+                      << env.config_hash_ << ", model has "
+                      << expected_config_hash << "; ignoring it");
+      return std::nullopt;
+    }
+    return env;
+  } catch (const util::Error& e) {
+    SNNSEC_LOG_WARN("ActivityEnvelope: rejected " << path << ": "
+                                                  << e.what());
+    return std::nullopt;
+  }
+}
+
+std::string ActivityEnvelope::summary() const {
+  std::ostringstream oss;
+  oss << "envelope: " << layers_.size() << " layers x "
+      << ActivitySketch::features_per_layer(buckets_)
+      << " features | calibrated on " << samples_ << " clean requests";
+  return oss.str();
+}
+
+}  // namespace snnsec::obs

@@ -1,0 +1,105 @@
+// ActivityEnvelope: calibrated clean-traffic activity bands + per-request
+// anomaly score — the observability layer acting as a control surface.
+//
+// The paper's mechanism (and Sharmin et al.'s encoding-effects line in
+// PAPERS.md) predicts that adversarial inputs measurably shift spike
+// activity: PGD mass pushes membrane potentials toward the threshold,
+// changing firing rates, silent/saturated fractions and the membrane
+// histogram. The envelope is fitted on clean traffic only: per sketch
+// feature (per layer: firing rate, silent/saturated fractions, membrane
+// mean, histogram mass per bucket) it stores the clean mean, standard
+// deviation and 1%/99% quantile band. A request's anomaly score is the
+// RMS z-score over the kScoreTopK most deviant features — a trimmed
+// Mahalanobis distance under a diagonal covariance — so scoring is a
+// single multiply-add sweep, allocation-free, cheap enough for every
+// request.
+//
+// Persistence mirrors the checkpoint discipline: envelopes are written via
+// util::atomic_write_file with a magic/version header, the model's
+// config_hash (an envelope calibrated for one (Vth, T) replica must never
+// score another) and a trailing FNV-1a digest; loads validate all of it and
+// throw util::Error on any mismatch.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/sketch.hpp"
+
+namespace snnsec::obs {
+
+class ActivityEnvelope {
+ public:
+  /// Clean-traffic band of one sketch feature.
+  struct Band {
+    double mean = 0.0;
+    double sigma = 0.0;  ///< population standard deviation
+    double q_lo = 0.0;   ///< 1% quantile of the calibration sample
+    double q_hi = 0.0;   ///< 99% quantile
+  };
+
+  static constexpr std::uint32_t kFormatVersion = 1;
+  /// Scale floor for the z-score: a feature whose clean variance collapsed
+  /// (e.g. an always-empty histogram bucket) must not turn measurement
+  /// noise into an unbounded score.
+  static constexpr double kSigmaFloor = 1e-3;
+  /// score() aggregates the k most deviant features; see its doc comment.
+  static constexpr int kScoreTopK = 8;
+
+  ActivityEnvelope() = default;
+
+  /// Calibrate from clean-traffic sketches. Every sketch must have the
+  /// same layer/bucket geometry as `layers`/`buckets`; `config_hash` is the
+  /// served model's structural fingerprint. Throws util::Error on fewer
+  /// than 2 sketches or mismatched geometry.
+  void fit(const std::vector<ActivitySketch>& clean,
+           const std::vector<SketchLayerInfo>& layers, int buckets,
+           std::uint64_t config_hash);
+
+  bool ready() const { return !bands_.empty(); }
+
+  /// RMS z-score of `s`'s kScoreTopK most deviant features against the
+  /// clean bands. Allocation-free; requires ready() and a sketch with the
+  /// calibrated geometry.
+  double score(const ActivitySketch& s) const;
+
+  /// Fraction of features outside the calibrated [q_lo, q_hi] band — a
+  /// scale-free companion diagnostic to the z-score.
+  double out_of_band_fraction(const ActivitySketch& s) const;
+
+  std::uint64_t config_hash() const { return config_hash_; }
+  std::int64_t sample_count() const { return samples_; }
+  /// Unix seconds at fit() time — drives the staleness gauge.
+  std::int64_t created_unix_s() const { return created_unix_s_; }
+  int buckets() const { return buckets_; }
+  const std::vector<SketchLayerInfo>& layers() const { return layers_; }
+  const std::vector<Band>& bands() const { return bands_; }
+
+  /// Atomically persist (write-to-temp + fsync + rename).
+  void save(const std::string& path) const;
+
+  /// Load and validate; throws util::Error when the file is missing,
+  /// truncated, corrupt (digest mismatch) or from another format version.
+  static ActivityEnvelope load(const std::string& path);
+
+  /// load() that additionally requires the stored config_hash to equal
+  /// `expected_config_hash`; logs a warning and returns nullopt on any
+  /// failure instead of throwing (cache-style entry point).
+  static std::optional<ActivityEnvelope> try_load(
+      const std::string& path, std::uint64_t expected_config_hash);
+
+  /// One-line human summary (layer count, samples, age).
+  std::string summary() const;
+
+ private:
+  std::vector<SketchLayerInfo> layers_;
+  std::vector<Band> bands_;  ///< layers * (4 + buckets) entries
+  int buckets_ = SketchAccumulator::kDefaultBuckets;
+  std::uint64_t config_hash_ = 0;
+  std::int64_t samples_ = 0;
+  std::int64_t created_unix_s_ = 0;
+};
+
+}  // namespace snnsec::obs

@@ -340,6 +340,28 @@ void Registry::flush() {
   snapshot_flushed_ = true;
 }
 
+void Registry::append_snapshot() {
+  if (!has_sink_.load(std::memory_order_relaxed)) return;
+  const double ts_ms = elapsed_ms();
+  std::ostringstream lines;
+  for (const MetricSnapshot& s : snapshot()) {
+    lines << "{\"kind\":\"snapshot\",\"ts_ms\":" << ts_ms << ",\"name\":\""
+          << json_escape(s.name) << "\",\"labels\":";
+    write_labels_json(lines, s.labels);
+    if (s.type == MetricType::kHistogram) {
+      lines << ",\"count\":" << s.histogram.count
+            << ",\"sum\":" << s.histogram.sum << ",\"min\":" << s.histogram.min
+            << ",\"max\":" << s.histogram.max << "}\n";
+    } else {
+      lines << ",\"value\":" << s.value << "}\n";
+    }
+  }
+  std::lock_guard lock(sink_mutex_);
+  if (!sink_) return;
+  *sink_ << lines.str();
+  sink_->flush();
+}
+
 void Registry::reset_for_tests() {
   {
     std::lock_guard lock(mutex_);

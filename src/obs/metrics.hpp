@@ -157,6 +157,13 @@ class Registry {
   /// at process exit when SNNSEC_METRICS_FILE is set; idempotent per sink).
   void flush();
 
+  /// Append a timestamped snapshot of every series to the sink without
+  /// consuming the final-flush slot — the periodic exporter behind
+  /// snnsec_serve's --metrics-interval. Unlike flush() this may be called
+  /// repeatedly; lines carry "kind":"snapshot" plus "ts_ms" so consumers can
+  /// plot series over time. No-op without a sink.
+  void append_snapshot();
+
   /// Drop every registered series and close the sink (tests only — series
   /// references obtained earlier dangle afterwards).
   void reset_for_tests();

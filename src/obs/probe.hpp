@@ -25,6 +25,20 @@ struct MembraneHistSpec {
   double hi = 3.0;
   int buckets = 16;
 
+  /// Range derived from the layer's actual firing threshold: [-Vth, 2*Vth).
+  /// The default [-1, 3) is only right for Vth = 1 — a high-Vth replica
+  /// clamps most of its sub-threshold mass into the last bucket, which is
+  /// exactly the regime the (V_th, T) sweeps care about. Degenerate
+  /// thresholds fall back to the unit range so the spec stays well-formed.
+  static MembraneHistSpec for_threshold(double v_th, int buckets = 16) {
+    MembraneHistSpec spec;
+    const double th = v_th > 0.0 ? v_th : 1.0;
+    spec.lo = -th;
+    spec.hi = 2.0 * th;
+    spec.buckets = buckets;
+    return spec;
+  }
+
   int index(double v) const {
     if (!(v > lo)) return 0;  // negated so NaN lands in bucket 0, not UB
     if (v >= hi) return buckets - 1;

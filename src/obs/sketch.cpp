@@ -1,0 +1,169 @@
+// SNNSEC_HOT: per-timestep sketch accumulation rides the serving path —
+// steady state must not allocate (buffers grow only when the batch
+// geometry does, like AnytimeRunner's stage tensors).
+#include "obs/sketch.hpp"
+
+#include <algorithm>
+
+#include "util/checked.hpp"
+
+namespace snnsec::obs {
+
+void SketchAccumulator::configure(std::vector<SketchLayerInfo> layers,
+                                  int buckets) {
+  SNNSEC_CHECK(!layers.empty(), "SketchAccumulator: no spiking layers");
+  SNNSEC_CHECK(buckets > 0, "SketchAccumulator: buckets must be positive");
+  layers_ = std::move(layers);
+  buckets_ = buckets;
+  // NOLINTNEXTLINE(snnsec-hot-alloc): configure-time container sizing
+  specs_.resize(layers_.size());
+  for (std::size_t l = 0; l < layers_.size(); ++l)
+    specs_[l] = MembraneHistSpec::for_threshold(layers_[l].v_th, buckets_);
+  // NOLINTNEXTLINE(snnsec-hot-alloc): configure-time container sizing
+  acc_.assign(layers_.size(), LayerAcc{});
+  batch_ = 0;
+  capacity_ = 0;
+  steps_ = 0;
+}
+
+void SketchAccumulator::begin(std::int64_t batch) {
+  SNNSEC_CHECK(configured(), "SketchAccumulator::begin before configure");
+  SNNSEC_CHECK(batch > 0, "SketchAccumulator::begin: empty batch");
+  const bool grew = batch > capacity_;
+  batch_ = batch;
+  if (grew) capacity_ = batch;
+  steps_ = 0;
+  for (LayerAcc& a : acc_) {
+    if (grew) {
+      // NOLINTNEXTLINE(snnsec-hot-alloc): batch-geometry growth only
+      a.spikes.resize(static_cast<std::size_t>(capacity_));
+      // NOLINTNEXTLINE(snnsec-hot-alloc): batch-geometry growth only
+      a.v_sum.resize(static_cast<std::size_t>(capacity_));
+      // NOLINTNEXTLINE(snnsec-hot-alloc): batch-geometry growth only
+      a.hist.resize(static_cast<std::size_t>(capacity_ * buckets_));
+      if (a.features > 0) {
+        // NOLINTNEXTLINE(snnsec-hot-alloc): batch-geometry growth only
+        a.fired.resize(static_cast<std::size_t>(capacity_ * a.features));
+        // NOLINTNEXTLINE(snnsec-hot-alloc): batch-geometry growth only
+        a.always.resize(static_cast<std::size_t>(capacity_ * a.features));
+      }
+    }
+    std::fill(a.spikes.begin(), a.spikes.begin() + batch_, std::int64_t{0});
+    std::fill(a.v_sum.begin(), a.v_sum.begin() + batch_, 0.0);
+    std::fill(a.hist.begin(), a.hist.begin() + batch_ * buckets_,
+              std::int64_t{0});
+    if (a.features > 0) {
+      std::fill(a.fired.begin(), a.fired.begin() + batch_ * a.features,
+                std::uint8_t{0});
+      std::fill(a.always.begin(), a.always.begin() + batch_ * a.features,
+                std::uint8_t{1});
+    }
+  }
+}
+
+void SketchAccumulator::accumulate(std::int64_t layer, const float* z,
+                                   const float* vd, std::int64_t numel) {
+  SNNSEC_DCHECK(layer >= 0 && layer < num_layers(),
+                "SketchAccumulator: layer " << layer << " out of range");
+  SNNSEC_DCHECK(batch_ > 0, "SketchAccumulator::accumulate before begin");
+  LayerAcc& a = acc_[static_cast<std::size_t>(layer)];
+  const std::int64_t feat = numel / batch_;
+  SNNSEC_CHECK(feat * batch_ == numel,
+               "SketchAccumulator: slab of " << numel
+                                             << " elements not divisible by "
+                                                "batch "
+                                             << batch_);
+  if (a.features != feat) {
+    // Geometry latch: first slab after configure(), or an input-resolution
+    // change. Never hit in a warm fixed-geometry steady state.
+    a.features = feat;
+    // NOLINTNEXTLINE(snnsec-hot-alloc): geometry-change growth only
+    a.fired.assign(static_cast<std::size_t>(capacity_ * feat), 0);
+    // NOLINTNEXTLINE(snnsec-hot-alloc): geometry-change growth only
+    a.always.assign(static_cast<std::size_t>(capacity_ * feat), 1);
+  }
+  const MembraneHistSpec& spec = specs_[static_cast<std::size_t>(layer)];
+  // Hoisted MembraneHistSpec::index: one multiply per element instead of a
+  // divide (this loop runs per neuron-step on the serving path).
+  const double lo = spec.lo;
+  const double hi = spec.hi;
+  const double scale = static_cast<double>(buckets_) / (hi - lo);
+  const int last = buckets_ - 1;
+  // Per-slot accumulation in a fixed k order: slot r reads only its own row
+  // [r*feat, (r+1)*feat), so the result is bit-identical whatever else is
+  // in the batch (the bit-identity contract in the header).
+  for (std::int64_t r = 0; r < batch_; ++r) {
+    const float* zr = z + r * feat;
+    const float* vr = vd + r * feat;
+    std::uint8_t* fired = a.fired.data() + r * feat;
+    std::uint8_t* always = a.always.data() + r * feat;
+    std::int64_t* hist = a.hist.data() + r * buckets_;
+    std::int64_t spikes = 0;
+    double v_sum = 0.0;
+    for (std::int64_t k = 0; k < feat; ++k) {
+      const bool spiked = zr[k] > 0.5f;
+      spikes += spiked ? 1 : 0;
+      fired[k] |= static_cast<std::uint8_t>(spiked);
+      always[k] &= static_cast<std::uint8_t>(spiked);
+      const double v = static_cast<double>(vr[k]);
+      v_sum += v;
+      int b;
+      if (!(v > lo)) {  // negated so NaN lands in bucket 0, not UB
+        b = 0;
+      } else if (v >= hi) {
+        b = last;
+      } else {
+        b = static_cast<int>((v - lo) * scale);
+        if (b > last) b = last;
+      }
+      ++hist[b];
+    }
+    a.spikes[static_cast<std::size_t>(r)] += spikes;
+    a.v_sum[static_cast<std::size_t>(r)] += v_sum;
+  }
+}
+
+void SketchAccumulator::finalize(std::int64_t slot,
+                                 ActivitySketch& out) const {
+  SNNSEC_CHECK(slot >= 0 && slot < batch_,
+               "SketchAccumulator::finalize: slot " << slot
+                                                    << " outside batch "
+                                                    << batch_);
+  if (static_cast<std::int64_t>(out.layers.size()) != num_layers())
+    // NOLINTNEXTLINE(snnsec-hot-alloc): first-use sketch buffer sizing
+    out.layers.resize(static_cast<std::size_t>(num_layers()));
+  out.steps = steps_;
+  for (std::size_t l = 0; l < acc_.size(); ++l) {
+    const LayerAcc& a = acc_[l];
+    ActivitySketch::Layer& dst = out.layers[l];
+    if (static_cast<int>(dst.hist_frac.size()) != buckets_)
+      // NOLINTNEXTLINE(snnsec-hot-alloc): first-use sketch buffer sizing
+      dst.hist_frac.resize(static_cast<std::size_t>(buckets_));
+    const std::int64_t feat = a.features;
+    const std::int64_t neuron_steps = feat * steps_;
+    dst.neurons = feat;
+    dst.spike_count = feat > 0 ? a.spikes[static_cast<std::size_t>(slot)] : 0;
+    const double denom =
+        neuron_steps > 0 ? static_cast<double>(neuron_steps) : 1.0;
+    dst.firing_rate = static_cast<double>(dst.spike_count) / denom;
+    dst.v_mean =
+        feat > 0 ? a.v_sum[static_cast<std::size_t>(slot)] / denom : 0.0;
+    std::int64_t silent = 0;
+    std::int64_t saturated = 0;
+    const std::uint8_t* fired = a.fired.data() + slot * feat;
+    const std::uint8_t* always = a.always.data() + slot * feat;
+    for (std::int64_t k = 0; k < feat; ++k) {
+      silent += fired[k] ? 0 : 1;
+      saturated += always[k] ? 1 : 0;
+    }
+    const double pop = feat > 0 ? static_cast<double>(feat) : 1.0;
+    dst.silent_fraction = static_cast<double>(silent) / pop;
+    dst.saturated_fraction = static_cast<double>(saturated) / pop;
+    const std::int64_t* hist = a.hist.data() + slot * buckets_;
+    for (int b = 0; b < buckets_; ++b)
+      dst.hist_frac[static_cast<std::size_t>(b)] =
+          static_cast<double>(hist[b]) / denom;
+  }
+}
+
+}  // namespace snnsec::obs

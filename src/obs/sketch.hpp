@@ -1,0 +1,139 @@
+// Per-request spike-telemetry sketch: the serve-path sibling of
+// obs::ActivityStats.
+//
+// collect_activity() runs one probed forward and materializes full per-layer
+// statistics — fine for the explorer, useless for serving, where the hot
+// path is AnytimeRunner stepping a *batch* of requests one time-slab at a
+// time and must not allocate. SketchAccumulator is the incremental,
+// preallocated version: the runner feeds it each spiking layer's (z, v)
+// slab every step, it maintains per-request (per-batch-slot) integer and
+// double accumulators, and finalize() snapshots one request's summary into
+// an ActivitySketch the moment that request leaves the batch.
+//
+// Bit-identity contract (tests/test_obs_sketch.cpp): a request's sketch is
+// identical whether it rode a batch or ran alone, and whether its
+// neighbours ran longer or shorter — accumulation for slot r only ever
+// touches row r of each slab, in a fixed k-then-t order, with exact integer
+// counters for spikes/histogram/silent/saturated and one double for the
+// membrane sum. The per-slab math upstream (LIF recurrences, row-local
+// GEMM) is itself row-deterministic, so the whole pipeline is.
+//
+// The membrane histogram range derives from the layer's actual threshold
+// ([-Vth, 2*Vth) via MembraneHistSpec::for_threshold) instead of the
+// Vth-agnostic default — a high-Vth replica's mass no longer clamps into
+// the last bucket.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/probe.hpp"
+
+namespace snnsec::obs {
+
+/// Static description of one spiking layer the sketch tracks; the dynamic
+/// geometry (neurons per request) is latched on first accumulation.
+struct SketchLayerInfo {
+  std::string name;  ///< "lif0".."lifK" in stack order
+  double v_th = 1.0; ///< firing threshold — drives the histogram range
+};
+
+/// Compact per-request activity summary: per spiking layer, the firing
+/// rate, silent/saturated neuron fractions, mean pre-reset membrane
+/// potential and a coarse membrane histogram (as mass fractions). Buffers
+/// are reused across finalize() calls — steady-state writes are
+/// allocation-free once the geometry is latched.
+struct ActivitySketch {
+  struct Layer {
+    double firing_rate = 0.0;         ///< spikes / neuron-steps
+    double silent_fraction = 0.0;     ///< neurons with zero spikes so far
+    double saturated_fraction = 0.0;  ///< neurons firing on every step
+    double v_mean = 0.0;              ///< mean pre-reset membrane potential
+    std::int64_t spike_count = 0;
+    std::int64_t neurons = 0;         ///< per-request population (F)
+    std::vector<double> hist_frac;    ///< membrane mass per bucket
+  };
+
+  std::int64_t steps = 0;  ///< time steps accumulated before finalize
+  std::vector<Layer> layers;
+
+  /// Features per layer fed to the envelope: firing_rate, silent_fraction,
+  /// saturated_fraction, v_mean, then one entry per histogram bucket.
+  static std::int64_t features_per_layer(std::int64_t buckets) {
+    return 4 + buckets;
+  }
+};
+
+/// Incremental, preallocated accumulator for a batch of requests. One
+/// instance lives in each serve worker next to its AnytimeRunner; the
+/// runner drives begin/accumulate/end_step, the server drives finalize.
+class SketchAccumulator {
+ public:
+  static constexpr int kDefaultBuckets = 8;
+
+  SketchAccumulator() = default;
+
+  /// Declare the spiking layers (once, at worker construction). Allocates
+  /// the per-layer bookkeeping; per-slot buffers are sized lazily by
+  /// begin()/accumulate() as the batch geometry is discovered.
+  void configure(std::vector<SketchLayerInfo> layers,
+                 int buckets = kDefaultBuckets);
+  bool configured() const { return !layers_.empty(); }
+
+  std::int64_t num_layers() const {
+    return static_cast<std::int64_t>(layers_.size());
+  }
+  int buckets() const { return buckets_; }
+  const std::vector<SketchLayerInfo>& layers() const { return layers_; }
+  const MembraneHistSpec& spec(std::int64_t layer) const {
+    return specs_[static_cast<std::size_t>(layer)];
+  }
+
+  /// Start a new request batch of `batch` slots: zero all accumulators.
+  /// Grows buffers only when the batch outgrows every previous one, so a
+  /// warm fixed-geometry steady state never allocates.
+  void begin(std::int64_t batch);
+
+  /// Fold one time-slab of layer `layer` into the batch accumulators.
+  /// `z`/`vd` are the step's spike and pre-reset-membrane arrays of
+  /// `numel` = batch * features elements, batch-major. The per-layer
+  /// feature count is latched on first call after configure() and may
+  /// change only together with the batch geometry.
+  void accumulate(std::int64_t layer, const float* z, const float* vd,
+                  std::int64_t numel);
+
+  /// Mark one full time step accumulated across all layers.
+  void end_step() { ++steps_; }
+
+  std::int64_t steps() const { return steps_; }
+  std::int64_t batch() const { return batch_; }
+
+  /// Snapshot slot `slot`'s accumulators into `out` (resizes `out`'s
+  /// buffers on first use only, then reuses them). Valid any time after
+  /// begin(); later accumulation does not disturb an earlier snapshot, so
+  /// deadline-truncated requests freeze their sketch at finalize time.
+  void finalize(std::int64_t slot, ActivitySketch& out) const;
+
+ private:
+  /// Per-layer accumulator block; all vectors are indexed per slot (and per
+  /// slot*feature for the neuron masks).
+  struct LayerAcc {
+    std::int64_t features = 0;            ///< per-request F, latched
+    std::vector<std::int64_t> spikes;     ///< [slots]
+    std::vector<double> v_sum;            ///< [slots]
+    std::vector<std::int64_t> hist;       ///< [slots * buckets]
+    std::vector<std::uint8_t> fired;      ///< [slots * features]
+    std::vector<std::uint8_t> always;     ///< [slots * features]
+  };
+
+  std::vector<SketchLayerInfo> layers_;
+  std::vector<MembraneHistSpec> specs_;
+  std::vector<LayerAcc> acc_;
+  int buckets_ = kDefaultBuckets;
+  std::int64_t batch_ = 0;
+  std::int64_t capacity_ = 0;  ///< high-water batch the buffers are sized for
+  std::int64_t steps_ = 0;
+};
+
+}  // namespace snnsec::obs

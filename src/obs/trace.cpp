@@ -69,14 +69,14 @@ Tracer::ThreadBuf& Tracer::local_buf() {
 }
 
 void Tracer::record(const char* name, std::int64_t ts_us,
-                    std::int64_t dur_us) {
+                    std::int64_t dur_us, std::int64_t id) {
   ThreadBuf& buf = local_buf();
   std::lock_guard lock(buf.mutex);
   if (buf.events.size() >= kMaxEventsPerThread) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  buf.events.push_back(Event{name, ts_us, dur_us, buf.tid});
+  buf.events.push_back(Event{name, ts_us, dur_us, id, buf.tid});
 }
 
 void Tracer::write(std::ostream& os) const {
@@ -90,7 +90,9 @@ void Tracer::write(std::ostream& os) const {
       first = false;
       os << "\n{\"name\":\"" << json_escape(e.name)
          << "\",\"cat\":\"snnsec\",\"ph\":\"X\",\"pid\":0,\"tid\":" << e.tid
-         << ",\"ts\":" << e.ts_us << ",\"dur\":" << e.dur_us << "}";
+         << ",\"ts\":" << e.ts_us << ",\"dur\":" << e.dur_us;
+      if (e.id >= 0) os << ",\"args\":{\"id\":" << e.id << "}";
+      os << "}";
     }
   }
   os << "\n]}\n";

@@ -51,8 +51,12 @@ class Tracer {
   }
 
   /// Append one complete span (name must have static storage duration —
-  /// string literals at the macro call sites).
-  void record(const char* name, std::int64_t ts_us, std::int64_t dur_us);
+  /// string literals at the macro call sites). `id` >= 0 attaches an
+  /// identifying argument to the span ("args":{"id":N} in the JSON) — the
+  /// serve path stamps batch ids so one batch's enqueue/forward/finalize
+  /// spans correlate across tracks.
+  void record(const char* name, std::int64_t ts_us, std::int64_t dur_us,
+              std::int64_t id = -1);
 
   /// chrome://tracing "trace_event" JSON ({"traceEvents": [...]}).
   void write(std::ostream& os) const;
@@ -72,6 +76,7 @@ class Tracer {
     const char* name;
     std::int64_t ts_us;
     std::int64_t dur_us;
+    std::int64_t id;  ///< < 0 = no argument
     std::uint32_t tid;
   };
   struct ThreadBuf {
@@ -92,10 +97,11 @@ class Tracer {
   std::string path_;
 };
 
-/// RAII span: times its enclosing scope when tracing is enabled.
+/// RAII span: times its enclosing scope when tracing is enabled. The
+/// two-argument form stamps an id onto the span (e.g. a batch id).
 class TraceScope {
  public:
-  explicit TraceScope(const char* name) {
+  explicit TraceScope(const char* name, std::int64_t id = -1) : id_(id) {
     if (Tracer::enabled()) {
       name_ = name;
       start_us_ = Tracer::instance().now_us();
@@ -104,7 +110,7 @@ class TraceScope {
   ~TraceScope() {
     if (name_ != nullptr) {
       Tracer& tracer = Tracer::instance();
-      tracer.record(name_, start_us_, tracer.now_us() - start_us_);
+      tracer.record(name_, start_us_, tracer.now_us() - start_us_, id_);
     }
   }
   TraceScope(const TraceScope&) = delete;
@@ -113,6 +119,7 @@ class TraceScope {
  private:
   const char* name_ = nullptr;
   std::int64_t start_us_ = 0;
+  std::int64_t id_ = -1;
 };
 
 }  // namespace snnsec::obs
@@ -122,8 +129,13 @@ class TraceScope {
 
 #if defined(SNNSEC_OBS_DISABLE)
 #define SNNSEC_TRACE_SCOPE(name) static_cast<void>(0)
+#define SNNSEC_TRACE_SCOPE_ID(name, id) static_cast<void>(0)
 #else
 #define SNNSEC_TRACE_SCOPE(name)                  \
   ::snnsec::obs::TraceScope SNNSEC_TRACE_CONCAT(  \
       snnsec_trace_scope_, __LINE__)(name)
+/// Span carrying an identifying argument, e.g. a batch id.
+#define SNNSEC_TRACE_SCOPE_ID(name, id)           \
+  ::snnsec::obs::TraceScope SNNSEC_TRACE_CONCAT(  \
+      snnsec_trace_scope_, __LINE__)(name, id)
 #endif

@@ -18,6 +18,8 @@ enum class ResultStatus : std::uint8_t {
   kOk,        ///< prediction produced (possibly truncated)
   kRejected,  ///< shed by admission control — queue at capacity or stopped
   kError,     ///< execution failed; InferResult::error holds the reason
+  kFlagged,   ///< anomaly detector fired under the reject policy; the
+              ///< prediction fields are still populated for forensics
 };
 
 const char* to_string(ResultStatus status);
@@ -42,6 +44,12 @@ struct InferResult {
   std::int64_t queue_us = 0;     ///< submission -> batch execution start
   std::int64_t latency_us = 0;   ///< submission -> result delivery
   std::int64_t batch_size = 0;   ///< size of the micro-batch it rode in
+  /// RMS z-score of this request's spike activity against the clean
+  /// envelope; -1 when the server runs without a detector.
+  double anomaly_score = -1.0;
+  /// anomaly_score >= the server's flag threshold. Set under both
+  /// policies; under kReject the status is additionally kFlagged.
+  bool flagged = false;
   std::string error;             ///< populated when status == kError
 };
 

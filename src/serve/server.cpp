@@ -6,6 +6,7 @@
 #include <exception>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/checked.hpp"
 #include "util/logging.hpp"
 #include "util/thread_pool.hpp"
@@ -33,11 +34,46 @@ Server::Server(ServerConfig cfg,
     : cfg_(std::move(cfg)),
       artifact_(model ? std::move(model)
                       : ModelCache::global().acquire(cfg_.model_path)),
+      start_(std::chrono::steady_clock::now()),
       batcher_(cfg_.batcher) {
   const std::int64_t t = artifact_->config().time_steps;
   cfg_.min_steps = std::clamp<std::int64_t>(cfg_.min_steps, 1, t);
   SNNSEC_CHECK(cfg_.default_deadline_us >= 0,
                "ServerConfig: default_deadline_us must be >= 0");
+
+  if (cfg_.envelope) {
+    envelope_ = cfg_.envelope;
+  } else if (!cfg_.envelope_path.empty()) {
+    // try_load validates magic/digest/version and requires the envelope's
+    // config_hash to match the served model; on any failure the server
+    // comes up without a detector instead of refusing to start.
+    auto loaded = obs::ActivityEnvelope::try_load(cfg_.envelope_path,
+                                                  artifact_->config_hash());
+    if (loaded)
+      envelope_ = std::make_shared<const obs::ActivityEnvelope>(
+          std::move(*loaded));
+    else
+      SNNSEC_LOG_WARN("serve: envelope '" << cfg_.envelope_path
+                                          << "' unusable; online detection "
+                                             "disabled");
+  }
+  if (envelope_) {
+    SNNSEC_CHECK(envelope_->ready(),
+                 "ServerConfig: injected envelope is not fitted");
+    // Wall clock touched once, here: the staleness gauge then advances on
+    // the steady clock the hot path already reads.
+    const auto now_unix_s =
+        std::chrono::duration_cast<std::chrono::seconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count();
+    detect_age_base_s_ = static_cast<double>(
+        now_unix_s - envelope_->created_unix_s());
+    SNNSEC_GAUGE_SET("serve.detect.calibration_age_s", detect_age_base_s_);
+    SNNSEC_LOG_INFO("serve: online detection armed ("
+                    << envelope_->summary() << ", policy="
+                    << to_string(cfg_.detect_policy) << ", threshold="
+                    << cfg_.flag_threshold << ")");
+  }
 
   const nn::LenetSpec& arch = artifact_->arch();
   // NOLINTNEXTLINE(snnsec-hot-alloc): startup-time slot/worker construction.
@@ -74,6 +110,16 @@ void Server::start_workers(std::int64_t requested) {
     auto w = std::make_unique<Worker>();
     w->model = artifact_->make_replica();
     w->runner = std::make_unique<snn::AnytimeRunner>(*w->model);
+    if (envelope_) {
+      SNNSEC_CHECK(envelope_->layers().size() ==
+                       w->runner->sketch_layers().size(),
+                   "serve: envelope calibrated for "
+                       << envelope_->layers().size()
+                       << " spiking layers, model has "
+                       << w->runner->sketch_layers().size());
+      w->sketch.configure(w->runner->sketch_layers(), envelope_->buckets());
+      w->runner->set_sketch(&w->sketch);
+    }
     const std::size_t cap = static_cast<std::size_t>(cfg_.batcher.max_batch);
     // NOLINTNEXTLINE(snnsec-hot-alloc): startup-time batch buffer sizing.
     w->slots.resize(cap);
@@ -123,6 +169,8 @@ bool Server::infer(const Tensor& x, const RequestOptions& opt,
     out.queue_us = 0;
     out.latency_us = 0;
     out.batch_size = 0;
+    out.anomaly_score = -1.0;
+    out.flagged = false;
     out.error = batcher_.stopped() ? "server stopped" : "queue at capacity";
     return false;
   }
@@ -140,7 +188,10 @@ bool Server::infer(const Tensor& x, const RequestOptions& opt,
     s.deadline = s.submitted + std::chrono::microseconds(s.opt.deadline_us);
   s.out = &out;
   s.done = false;
-  batcher_.enqueue(slot_idx);
+  {
+    SNNSEC_TRACE_SCOPE_ID("serve.enqueue", slot_idx);
+    batcher_.enqueue(slot_idx);
+  }
   SNNSEC_GAUGE_SET("serve.queue_depth",
                    static_cast<double>(batcher_.depth()));
 
@@ -188,7 +239,9 @@ void Server::worker_loop(Worker& w) {
 
 void Server::execute_batch(Worker& w, std::int64_t n) {
   const auto exec_start = std::chrono::steady_clock::now();
-  batches_.fetch_add(1, std::memory_order_relaxed);
+  const std::int64_t batch_id =
+      batches_.fetch_add(1, std::memory_order_relaxed);
+  SNNSEC_TRACE_SCOPE_ID("serve.batch", batch_id);
   SNNSEC_COUNTER_ADD("serve.batches", 1);
   SNNSEC_HISTOGRAM_OBSERVE("serve.batch_size", static_cast<double>(n), 1, 2,
                            4, 8, 16, 32, 64);
@@ -199,23 +252,27 @@ void Server::execute_batch(Worker& w, std::int64_t n) {
   const std::int64_t image = arch.in_channels * arch.image_size *
                              arch.image_size;
   const std::int64_t t_max = time_steps();
-  if (w.batch_input.ndim() != 4 || w.batch_input.dim(0) != n ||
-      w.batch_input.dim(1) != arch.in_channels ||
-      w.batch_input.dim(2) != arch.image_size ||
-      w.batch_input.dim(3) != arch.image_size)
-    w.batch_input = Tensor(
-        Shape{n, arch.in_channels, arch.image_size, arch.image_size});
-  for (std::int64_t i = 0; i < n; ++i) {
-    const Slot& s = *slots_[static_cast<std::size_t>(w.slots[
-        static_cast<std::size_t>(i)])];
-    std::copy(s.input.data(), s.input.data() + image,
-              w.batch_input.data() + i * image);
-    w.budget[static_cast<std::size_t>(i)] =
-        s.opt.max_steps > 0 ? std::min(s.opt.max_steps, t_max) : t_max;
-    w.finalized[static_cast<std::size_t>(i)] = 0;
+  {
+    SNNSEC_TRACE_SCOPE_ID("serve.batch.flush", batch_id);
+    if (w.batch_input.ndim() != 4 || w.batch_input.dim(0) != n ||
+        w.batch_input.dim(1) != arch.in_channels ||
+        w.batch_input.dim(2) != arch.image_size ||
+        w.batch_input.dim(3) != arch.image_size)
+      w.batch_input = Tensor(
+          Shape{n, arch.in_channels, arch.image_size, arch.image_size});
+    for (std::int64_t i = 0; i < n; ++i) {
+      const Slot& s = *slots_[static_cast<std::size_t>(w.slots[
+          static_cast<std::size_t>(i)])];
+      std::copy(s.input.data(), s.input.data() + image,
+                w.batch_input.data() + i * image);
+      w.budget[static_cast<std::size_t>(i)] =
+          s.opt.max_steps > 0 ? std::min(s.opt.max_steps, t_max) : t_max;
+      w.finalized[static_cast<std::size_t>(i)] = 0;
+    }
   }
 
   try {
+    SNNSEC_TRACE_SCOPE_ID("serve.batch.forward", batch_id);
     w.runner->begin(w.batch_input);
     std::int64_t remaining = n;
     for (std::int64_t t = 1; t <= t_max && remaining > 0; ++t) {
@@ -229,7 +286,8 @@ void Server::execute_batch(Worker& w, std::int64_t n) {
         const bool past_deadline =
             s.has_deadline && t >= cfg_.min_steps && now >= s.deadline;
         if (out_of_budget || past_deadline) {
-          finalize(s, *w.runner, i, t, n, exec_start);
+          SNNSEC_TRACE_SCOPE_ID("serve.batch.finalize", batch_id);
+          finalize(s, w, i, t, n, exec_start);
           w.finalized[static_cast<std::size_t>(i)] = 1;
           --remaining;
         }
@@ -246,10 +304,10 @@ void Server::execute_batch(Worker& w, std::int64_t n) {
   }
 }
 
-void Server::finalize(Slot& s, const snn::AnytimeRunner& runner,
-                      std::int64_t row, std::int64_t steps,
-                      std::int64_t batch_size,
+void Server::finalize(Slot& s, Worker& w, std::int64_t row,
+                      std::int64_t steps, std::int64_t batch_size,
                       std::chrono::steady_clock::time_point exec_start) {
+  const snn::AnytimeRunner& runner = *w.runner;
   InferResult& r = *s.out;
   const std::int64_t classes = num_classes();
   // Caller-owned result buffer: grows only on the first response written
@@ -272,7 +330,32 @@ void Server::finalize(Slot& s, const snn::AnytimeRunner& runner,
   const auto now = std::chrono::steady_clock::now();
   r.queue_us = elapsed_us(s.submitted, exec_start);
   r.latency_us = elapsed_us(s.submitted, now);
+  r.anomaly_score = -1.0;
+  r.flagged = false;
   r.error.clear();
+
+  if (envelope_) {
+    // Freeze this request's activity summary at its truncation depth and
+    // score it against the clean bands — both allocation-free after the
+    // first response through this worker.
+    w.sketch.finalize(row, w.sketch_out);
+    r.anomaly_score = envelope_->score(w.sketch_out);
+    r.flagged = r.anomaly_score >= cfg_.flag_threshold;
+    SNNSEC_HISTOGRAM_OBSERVE("serve.detect.score", r.anomaly_score, 0.5, 1,
+                             2, 4, 8, 16, 32, 64);
+    SNNSEC_GAUGE_SET(
+        "serve.detect.calibration_age_s",
+        detect_age_base_s_ +
+            static_cast<double>(elapsed_us(start_, now)) * 1e-6);
+    if (r.flagged) {
+      flagged_.fetch_add(1, std::memory_order_relaxed);
+      SNNSEC_COUNTER_ADD("serve.detect.flagged", 1);
+      if (cfg_.detect_policy == DetectPolicy::kReject) {
+        r.status = ResultStatus::kFlagged;
+        SNNSEC_COUNTER_ADD("serve.detect.rejected", 1);
+      }
+    }
+  }
 
   completed_.fetch_add(1, std::memory_order_relaxed);
   SNNSEC_COUNTER_ADD("serve.completed", 1);
@@ -302,6 +385,8 @@ void Server::deliver_error(Slot& s, const char* what,
   const auto now = std::chrono::steady_clock::now();
   r.queue_us = 0;
   r.latency_us = elapsed_us(s.submitted, now);
+  r.anomaly_score = -1.0;
+  r.flagged = false;
   r.error = what;
   errors_.fetch_add(1, std::memory_order_relaxed);
   SNNSEC_COUNTER_ADD("serve.errors", 1);
@@ -327,6 +412,7 @@ ServerStats Server::stats() const {
   s.errors = errors_.load(std::memory_order_relaxed);
   s.truncated = truncated_.load(std::memory_order_relaxed);
   s.batches = batches_.load(std::memory_order_relaxed);
+  s.flagged = flagged_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -346,6 +432,18 @@ const char* to_string(ResultStatus status) {
       return "rejected";
     case ResultStatus::kError:
       return "error";
+    case ResultStatus::kFlagged:
+      return "flagged";
+  }
+  return "unknown";
+}
+
+const char* to_string(DetectPolicy policy) {
+  switch (policy) {
+    case DetectPolicy::kObserve:
+      return "observe";
+    case DetectPolicy::kReject:
+      return "reject";
   }
   return "unknown";
 }

@@ -38,6 +38,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/envelope.hpp"
+#include "obs/sketch.hpp"
 #include "serve/batcher.hpp"
 #include "serve/model_cache.hpp"
 #include "serve/request.hpp"
@@ -45,6 +47,15 @@
 #include "tensor/tensor.hpp"
 
 namespace snnsec::serve {
+
+/// What to do with a request whose anomaly score crosses the threshold.
+enum class DetectPolicy : std::uint8_t {
+  kObserve,  ///< annotate + count only; the prediction is still served
+  kReject,   ///< result status becomes kFlagged (prediction kept for
+             ///< forensics, infer() returns false)
+};
+
+const char* to_string(DetectPolicy policy);
 
 struct ServerConfig {
   std::string model_path;  ///< checkpoint, loaded via ModelCache::global()
@@ -57,6 +68,17 @@ struct ServerConfig {
   std::int64_t min_steps = 1;
   /// Applied when a request carries deadline_us == 0. 0 = no deadline.
   std::int64_t default_deadline_us = 0;
+
+  /// Online adversarial detection (off unless an envelope is provided).
+  /// Path to an obs::ActivityEnvelope calibrated on clean traffic for this
+  /// model (snnsec_calibrate). A missing/corrupt/foreign-model file logs a
+  /// warning and disables detection rather than failing startup.
+  std::string envelope_path;
+  /// Pre-loaded envelope (tests/benches); takes precedence over the path.
+  std::shared_ptr<const obs::ActivityEnvelope> envelope;
+  DetectPolicy detect_policy = DetectPolicy::kObserve;
+  /// Anomaly z-score at which a request is flagged.
+  double flag_threshold = 4.0;
 };
 
 /// Monotonic counters for tests and ops dashboards (mirrored into
@@ -68,6 +90,7 @@ struct ServerStats {
   std::int64_t errors = 0;
   std::int64_t truncated = 0;
   std::int64_t batches = 0;
+  std::int64_t flagged = 0;  ///< detector fired (either policy)
 };
 
 class Server {
@@ -98,6 +121,11 @@ class Server {
   /// Actual resident worker count (0 in inline mode).
   std::int64_t worker_count() const { return num_workers_; }
 
+  /// True when an envelope is installed and every request is being scored.
+  bool detector_ready() const { return envelope_ != nullptr; }
+  /// The installed envelope (nullptr when detection is off).
+  const obs::ActivityEnvelope* envelope() const { return envelope_.get(); }
+
  private:
   /// Per-admission-slot request state, parallel to the batcher's slot ring.
   struct Slot {
@@ -121,19 +149,26 @@ class Server {
     std::vector<std::int64_t> slots;       ///< popped slot indices
     std::vector<std::int64_t> budget;      ///< per-request step caps
     std::vector<unsigned char> finalized;  ///< per-request done flags
+    obs::SketchAccumulator sketch;         ///< attached when detecting
+    obs::ActivitySketch sketch_out;        ///< reused finalize buffer
   };
 
   void start_workers(std::int64_t requested);
   void worker_loop(Worker& w);
   void execute_batch(Worker& w, std::int64_t n);
-  void finalize(Slot& s, const snn::AnytimeRunner& runner, std::int64_t row,
-                std::int64_t steps, std::int64_t batch_size,
+  void finalize(Slot& s, Worker& w, std::int64_t row, std::int64_t steps,
+                std::int64_t batch_size,
                 std::chrono::steady_clock::time_point exec_start);
   void deliver_error(Slot& s, const char* what, std::int64_t batch_size);
   void drive_inline(Slot& own);
 
   ServerConfig cfg_;
   std::shared_ptr<const ModelCache::Artifact> artifact_;
+  std::shared_ptr<const obs::ActivityEnvelope> envelope_;
+  /// Envelope age at server start + a steady-clock origin, so the
+  /// calibration-staleness gauge needs no wall-clock call on the hot path.
+  double detect_age_base_s_ = 0.0;
+  std::chrono::steady_clock::time_point start_;
   MicroBatcher batcher_;
   std::vector<std::unique_ptr<Slot>> slots_;
   std::vector<std::unique_ptr<Worker>> workers_;
@@ -151,6 +186,7 @@ class Server {
   std::atomic<std::int64_t> errors_{0};
   std::atomic<std::int64_t> truncated_{0};
   std::atomic<std::int64_t> batches_{0};
+  std::atomic<std::int64_t> flagged_{0};
 };
 
 }  // namespace snnsec::serve

@@ -68,6 +68,11 @@ AnytimeRunner::AnytimeRunner(SpikingClassifier& model)
                                                 << " != model T="
                                                 << time_steps_);
       stage.kind = StageKind::kLif;
+      stage.sketch_index = static_cast<int>(sketch_layers_.size());
+      // NOLINTNEXTLINE(snnsec-hot-alloc): construction-time container growth
+      sketch_layers_.push_back(obs::SketchLayerInfo{
+          "lif" + std::to_string(sketch_layers_.size()),
+          static_cast<double>(lif.params().v_th)});
     } else if (kind == "AlifLayer") {
       auto& alif = static_cast<AlifLayer&>(layer);
       SNNSEC_CHECK(alif.time_steps() == time_steps_,
@@ -75,6 +80,11 @@ AnytimeRunner::AnytimeRunner(SpikingClassifier& model)
                                                  << " != model T="
                                                  << time_steps_);
       stage.kind = StageKind::kAlif;
+      stage.sketch_index = static_cast<int>(sketch_layers_.size());
+      // NOLINTNEXTLINE(snnsec-hot-alloc): construction-time container growth
+      sketch_layers_.push_back(obs::SketchLayerInfo{
+          "lif" + std::to_string(sketch_layers_.size()),
+          static_cast<double>(alif.params().lif.v_th)});
     } else if (kind == "Conv2d") {
       stage.kind = StageKind::kConv;
     } else if (kind == "AvgPool2d") {
@@ -128,6 +138,20 @@ void AnytimeRunner::begin(const Tensor& x) {
   logits_.fill(-std::numeric_limits<float>::infinity());
   t_ = 0;
   began_ = true;
+  if (sketch_ != nullptr) sketch_->begin(batch_);
+}
+
+void AnytimeRunner::set_sketch(obs::SketchAccumulator* sketch) {
+  if (sketch != nullptr) {
+    SNNSEC_CHECK(sketch->configured(),
+                 "AnytimeRunner::set_sketch: accumulator not configured");
+    SNNSEC_CHECK(sketch->num_layers() ==
+                     static_cast<std::int64_t>(sketch_layers_.size()),
+                 "AnytimeRunner::set_sketch: accumulator tracks "
+                     << sketch->num_layers() << " layers, model has "
+                     << sketch_layers_.size());
+  }
+  sketch_ = sketch;
 }
 
 void AnytimeRunner::step() {
@@ -161,6 +185,9 @@ void AnytimeRunner::step() {
         ensure_like(s.out, *cur);
         lif_step(lif.params(), n, cur->data(), s.state_i.data(),
                  s.state_v.data(), s.out.data(), s.scratch.data());
+        if (sketch_ != nullptr)
+          sketch_->accumulate(s.sketch_index, s.out.data(), s.scratch.data(),
+                              n);
         break;
       }
       case StageKind::kAlif: {
@@ -178,6 +205,7 @@ void AnytimeRunner::step() {
         ensure_flat(s.state_i, n);
         ensure_flat(s.state_v, n);
         ensure_flat(s.state_b, n);
+        ensure_flat(s.scratch, n);
         if (t_ == 0) {
           s.state_i.zero_();
           s.state_v.zero_();
@@ -189,6 +217,7 @@ void AnytimeRunner::step() {
         float* si = s.state_i.data();
         float* sv = s.state_v.data();
         float* sb = s.state_b.data();
+        float* pvd = s.scratch.data();
         for (std::int64_t k = 0; k < n; ++k) {
           const float v0 = sv[k];
           const float i0 = si[k];
@@ -198,10 +227,14 @@ void AnytimeRunner::step() {
           const float theta = p.v_th + beta * b0;
           const float spike = v_decayed > theta ? 1.0f : 0.0f;
           pz[k] = spike;
+          pvd[k] = v_decayed;  // pre-reset membrane for the telemetry sketch
           sv[k] = (1.0f - spike) * v_decayed + spike * p.v_reset;
           si[k] = i_decayed + px[k];
           sb[k] = rho * b0 + (1.0f - rho) * spike;
         }
+        if (sketch_ != nullptr)
+          sketch_->accumulate(s.sketch_index, s.out.data(), s.scratch.data(),
+                              n);
         break;
       }
       case StageKind::kConv: {
@@ -250,6 +283,7 @@ void AnytimeRunner::step() {
     }
     cur = &s.out;
   }
+  if (sketch_ != nullptr) sketch_->end_step();
   ++t_;
 }
 

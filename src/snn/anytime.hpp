@@ -34,6 +34,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/sketch.hpp"
 #include "snn/spiking_network.hpp"
 #include "tensor/tensor.hpp"
 
@@ -71,6 +72,21 @@ class AnytimeRunner {
   const tensor::Tensor& run(const tensor::Tensor& x,
                             std::int64_t max_steps = 0);
 
+  /// Spiking layers in stack order ("lif0".."lifK" with each layer's Vth) —
+  /// the geometry a SketchAccumulator must be configured with to attach.
+  const std::vector<obs::SketchLayerInfo>& sketch_layers() const {
+    return sketch_layers_;
+  }
+
+  /// Attach (or with nullptr detach) a telemetry sketch. While attached,
+  /// begin() opens a batch on it and every step() folds each spiking
+  /// layer's (spikes, pre-reset membrane) slab into it, in stack-then-time
+  /// order — the bit-identity contract in obs/sketch.hpp. The accumulator
+  /// must already be configured with sketch_layers(); it is borrowed, not
+  /// owned. Attaching changes no arithmetic on the forward path.
+  void set_sketch(obs::SketchAccumulator* sketch);
+  obs::SketchAccumulator* sketch() const { return sketch_; }
+
  private:
   enum class StageKind : std::uint8_t {
     kScale,
@@ -86,17 +102,20 @@ class AnytimeRunner {
   struct Stage {
     StageKind kind;
     nn::Layer* layer = nullptr;
+    int sketch_index = -1;   ///< position in sketch_layers_ (LIF/ALIF only)
     tensor::Tensor out;      ///< this stage's activation for the current step
     tensor::Tensor state_i;  ///< synaptic current (LIF/ALIF/readout)
     tensor::Tensor state_v;  ///< membrane potential (LIF/ALIF/readout)
     tensor::Tensor state_b;  ///< adaptation trace (ALIF only)
-    tensor::Tensor scratch;  ///< v_decayed sink for lif_step
+    tensor::Tensor scratch;  ///< pre-reset membrane (v_decayed) sink
   };
 
   SpikingClassifier& model_;
   std::int64_t time_steps_;
   std::int64_t num_classes_;
   std::vector<Stage> stages_;
+  std::vector<obs::SketchLayerInfo> sketch_layers_;
+  obs::SketchAccumulator* sketch_ = nullptr;  ///< borrowed; may be null
   tensor::Tensor input_;   ///< latched request batch [N, C, H, W]
   tensor::Tensor logits_;  ///< running-max decode [N, classes]
   std::int64_t batch_ = 0;

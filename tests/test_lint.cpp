@@ -334,6 +334,36 @@ TEST(LintServe, JustifiedConstructionGrowthSuppresses) {
   EXPECT_TRUE(suppressed(r, "snnsec-hot-alloc", 4));
 }
 
+// ---- src/obs coverage -----------------------------------------------------
+// The sketch accumulator (src/obs/sketch.cpp) is SNNSEC_HOT: it runs per
+// time-slab on the serving path. These fixtures pin down that R1 patrols
+// obs sources exactly as elsewhere and that its geometry-growth NOLINT
+// idiom stays accepted.
+
+TEST(LintObs, HotAllocFiresOnSketchAccumulationPath) {
+  const std::string src =
+      "// SNNSEC_HOT: per-timestep sketch accumulation\n"  // 1
+      "void SketchAccumulator::accumulate(i64 layer) {\n"  // 2
+      "  hist_.push_back(0);\n"                            // 3
+      "  fired_.resize(batch_ * feat);\n"                  // 4
+      "}\n";
+  const auto r = lint_source("src/obs/fake_sketch.cpp", src);
+  EXPECT_TRUE(has(r, "snnsec-hot-alloc", 3));
+  EXPECT_TRUE(has(r, "snnsec-hot-alloc", 4));
+}
+
+TEST(LintObs, JustifiedGeometryGrowthSuppresses) {
+  const std::string src =
+      "// SNNSEC_HOT\n"
+      "void SketchAccumulator::begin(i64 batch) {\n"
+      "  // NOLINTNEXTLINE(snnsec-hot-alloc): batch-geometry growth only\n"
+      "  spikes_.resize(capacity);\n"  // 4
+      "}\n";
+  const auto r = lint_source("src/obs/fake_sketch.cpp", src);
+  EXPECT_TRUE(r.findings.empty());
+  EXPECT_TRUE(suppressed(r, "snnsec-hot-alloc", 4));
+}
+
 TEST(LintServe, ParallelCaptureFiresOnServeWorkerPath) {
   const std::string src =
       "void Server::start_workers(util::Workspace& ws) {\n"          // 1

@@ -1,0 +1,189 @@
+// ActivityEnvelope: deterministic calibration, checkpoint-style persistence
+// (magic/version/config_hash/digest validation) and the top-k RMS z-score.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/envelope.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace snnsec::obs {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr int kBuckets = 4;
+constexpr std::uint64_t kHash = 0xFEEDFACECAFEBEEFull;
+
+std::vector<SketchLayerInfo> layer_infos() {
+  return {{"lif0", 1.0}, {"lif1", 1.5}};
+}
+
+ActivitySketch make_sketch(util::Rng& rng) {
+  ActivitySketch s;
+  s.steps = 6;
+  s.layers.resize(2);
+  for (auto& l : s.layers) {
+    l.firing_rate = rng.uniform(0.1, 0.3);
+    l.silent_fraction = rng.uniform(0.2, 0.4);
+    l.saturated_fraction = rng.uniform(0.0, 0.05);
+    l.v_mean = rng.uniform(-0.2, 0.2);
+    l.spike_count = 10;
+    l.neurons = 32;
+    l.hist_frac.resize(kBuckets);
+    for (auto& h : l.hist_frac) h = rng.uniform(0.0, 0.25);
+  }
+  return s;
+}
+
+std::vector<ActivitySketch> clean_set(std::uint64_t seed, int n = 32) {
+  util::Rng rng(seed);
+  std::vector<ActivitySketch> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) out.push_back(make_sketch(rng));
+  return out;
+}
+
+ActivityEnvelope fitted(std::uint64_t seed = 9,
+                        std::uint64_t hash = kHash) {
+  ActivityEnvelope e;
+  e.fit(clean_set(seed), layer_infos(), kBuckets, hash);
+  return e;
+}
+
+/// A sketch sitting exactly on every calibrated mean (score must be 0).
+ActivitySketch mean_sketch(const ActivityEnvelope& e) {
+  ActivitySketch s;
+  s.steps = 6;
+  s.layers.resize(e.layers().size());
+  std::size_t idx = 0;
+  for (auto& l : s.layers) {
+    l.firing_rate = e.bands()[idx++].mean;
+    l.silent_fraction = e.bands()[idx++].mean;
+    l.saturated_fraction = e.bands()[idx++].mean;
+    l.v_mean = e.bands()[idx++].mean;
+    l.hist_frac.resize(static_cast<std::size_t>(e.buckets()));
+    for (auto& h : l.hist_frac) h = e.bands()[idx++].mean;
+  }
+  return s;
+}
+
+std::string temp_path(const char* name) {
+  return (fs::temp_directory_path() / name).string();
+}
+
+TEST(ActivityEnvelope, FitIsReproducibleFromFixedSeed) {
+  const ActivityEnvelope a = fitted(9);
+  const ActivityEnvelope b = fitted(9);
+  ASSERT_EQ(a.bands().size(), b.bands().size());
+  for (std::size_t f = 0; f < a.bands().size(); ++f) {
+    EXPECT_EQ(a.bands()[f].mean, b.bands()[f].mean) << "feature " << f;
+    EXPECT_EQ(a.bands()[f].sigma, b.bands()[f].sigma) << "feature " << f;
+    EXPECT_EQ(a.bands()[f].q_lo, b.bands()[f].q_lo) << "feature " << f;
+    EXPECT_EQ(a.bands()[f].q_hi, b.bands()[f].q_hi) << "feature " << f;
+  }
+  util::Rng rng(77);
+  const ActivitySketch probe = make_sketch(rng);
+  EXPECT_EQ(a.score(probe), b.score(probe));
+}
+
+TEST(ActivityEnvelope, ScoreIsZeroAtTheCleanMeanAndGrowsWithDeviation) {
+  const ActivityEnvelope e = fitted();
+  ActivitySketch probe = mean_sketch(e);
+  EXPECT_DOUBLE_EQ(e.score(probe), 0.0);
+  EXPECT_DOUBLE_EQ(e.out_of_band_fraction(probe), 0.0);
+
+  const double base = e.score(probe);
+  probe.layers[0].firing_rate += 0.5;  // a few sigma of drift
+  const double drift = e.score(probe);
+  EXPECT_GT(drift, base);
+  probe.layers[0].firing_rate += 5.0;  // egregious
+  EXPECT_GT(e.score(probe), drift);
+  EXPECT_GT(e.out_of_band_fraction(probe), 0.0);
+}
+
+TEST(ActivityEnvelope, SaveLoadRoundTrip) {
+  const std::string path = temp_path("snnsec_test_envelope.envelope");
+  const ActivityEnvelope e = fitted();
+  e.save(path);
+  const ActivityEnvelope l = ActivityEnvelope::load(path);
+
+  EXPECT_EQ(l.config_hash(), e.config_hash());
+  EXPECT_EQ(l.sample_count(), e.sample_count());
+  EXPECT_EQ(l.created_unix_s(), e.created_unix_s());
+  EXPECT_EQ(l.buckets(), e.buckets());
+  ASSERT_EQ(l.layers().size(), e.layers().size());
+  for (std::size_t i = 0; i < l.layers().size(); ++i) {
+    EXPECT_EQ(l.layers()[i].name, e.layers()[i].name);
+    EXPECT_EQ(l.layers()[i].v_th, e.layers()[i].v_th);
+  }
+  ASSERT_EQ(l.bands().size(), e.bands().size());
+  util::Rng rng(78);
+  const ActivitySketch probe = make_sketch(rng);
+  EXPECT_EQ(l.score(probe), e.score(probe));
+}
+
+TEST(ActivityEnvelope, TryLoadRejectsForeignConfigHash) {
+  const std::string path = temp_path("snnsec_test_envelope_hash.envelope");
+  fitted().save(path);
+  EXPECT_FALSE(ActivityEnvelope::try_load(path, kHash + 1).has_value());
+  const auto ok = ActivityEnvelope::try_load(path, kHash);
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->config_hash(), kHash);
+}
+
+TEST(ActivityEnvelope, LoadRejectsCorruptAndTruncatedFiles) {
+  const std::string path = temp_path("snnsec_test_envelope_bad.envelope");
+  fitted().save(path);
+
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(bytes.size(), 64u);
+
+  // One flipped byte in the band payload must fail the trailing digest.
+  std::string corrupt = bytes;
+  corrupt[corrupt.size() / 2] ^= '\x55';
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(corrupt.data(), static_cast<std::streamsize>(corrupt.size()));
+  }
+  EXPECT_THROW(ActivityEnvelope::load(path), util::Error);
+  EXPECT_FALSE(ActivityEnvelope::try_load(path, kHash).has_value());
+
+  // A truncated file must be rejected, not read past the end.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  EXPECT_THROW(ActivityEnvelope::load(path), util::Error);
+
+  EXPECT_THROW(ActivityEnvelope::load("/nonexistent/x.envelope"),
+               util::Error);
+}
+
+TEST(ActivityEnvelope, FitGuards) {
+  ActivityEnvelope e;
+  EXPECT_FALSE(e.ready());
+  std::vector<ActivitySketch> one = clean_set(1, 1);
+  EXPECT_THROW(e.fit(one, layer_infos(), kBuckets, kHash), util::Error);
+
+  // Sketch geometry must match the declared layers/buckets.
+  std::vector<ActivitySketch> wrong = clean_set(2, 4);
+  wrong[0].layers.pop_back();
+  EXPECT_THROW(e.fit(wrong, layer_infos(), kBuckets, kHash), util::Error);
+  std::vector<ActivitySketch> bad_buckets = clean_set(3, 4);
+  bad_buckets[0].layers[0].hist_frac.push_back(0.0);
+  EXPECT_THROW(e.fit(bad_buckets, layer_infos(), kBuckets, kHash),
+               util::Error);
+}
+
+}  // namespace
+}  // namespace snnsec::obs

@@ -1,0 +1,46 @@
+// Helpers shared by the serve-path command-line tools (snnsec_serve,
+// snnsec_calibrate): the self-contained fallback that trains and saves a
+// small checkpoint when the requested one does not exist yet, so every tool
+// works out of the box on the synthetic digits task.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "data/provider.hpp"
+#include "nn/metrics.hpp"
+#include "nn/trainer.hpp"
+#include "snn/model_io.hpp"
+#include "snn/spiking_lenet.hpp"
+#include "util/env.hpp"
+
+namespace snnsec::tools {
+
+/// Train a half-width spiking LeNet on `bundle` and save it to `path`.
+inline void train_checkpoint(const std::string& path,
+                             const data::DataBundle& bundle,
+                             std::int64_t image, std::int64_t time_steps,
+                             double v_th, std::int64_t epochs) {
+  std::printf("checkpoint %s not found; training a fresh model (T=%lld, "
+              "vth=%.2f, %lld epochs)\n",
+              path.c_str(), static_cast<long long>(time_steps), v_th,
+              static_cast<long long>(epochs));
+  nn::LenetSpec arch = nn::LenetSpec{}.scaled(0.5);
+  arch.image_size = image;
+  snn::SnnConfig cfg;
+  cfg.v_th = v_th;
+  cfg.time_steps = time_steps;
+  util::Rng rng(util::master_seed());
+  auto model = snn::build_spiking_lenet(arch, cfg, rng);
+  nn::TrainConfig tcfg;
+  tcfg.epochs = epochs;
+  tcfg.lr = 4e-3;
+  tcfg.verbose = true;
+  nn::Trainer(tcfg).fit(*model, bundle.train.images, bundle.train.labels);
+  const double clean =
+      nn::accuracy(*model, bundle.test.images, bundle.test.labels);
+  std::printf("trained: clean accuracy %.1f%%\n", clean * 100);
+  snn::save_spiking_lenet(path, *model, arch, cfg);
+}
+
+}  // namespace snnsec::tools

@@ -16,6 +16,8 @@
 // is a self-contained smoke run. --clients N replays the request list from
 // N threads so the micro-batcher actually forms batches.
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -26,12 +28,10 @@
 
 #include "data/provider.hpp"
 #include "nn/metrics.hpp"
-#include "nn/trainer.hpp"
+#include "obs/metrics.hpp"
+#include "serve_common.hpp"
 #include "serve/server.hpp"
-#include "snn/model_io.hpp"
-#include "snn/spiking_lenet.hpp"
 #include "util/cli.hpp"
-#include "util/env.hpp"
 #include "util/error.hpp"
 #include "util/stopwatch.hpp"
 
@@ -75,30 +75,34 @@ std::vector<Request> read_requests(std::istream& in, std::int64_t test_n) {
   return reqs;
 }
 
-void train_checkpoint(const std::string& path, const data::DataBundle& bundle,
-                      std::int64_t image, std::int64_t time_steps, double v_th,
-                      std::int64_t epochs) {
-  std::printf("checkpoint %s not found; training a fresh model (T=%lld, "
-              "vth=%.2f, %lld epochs)\n",
-              path.c_str(), static_cast<long long>(time_steps), v_th,
-              static_cast<long long>(epochs));
-  nn::LenetSpec arch = nn::LenetSpec{}.scaled(0.5);
-  arch.image_size = image;
-  snn::SnnConfig cfg;
-  cfg.v_th = v_th;
-  cfg.time_steps = time_steps;
-  util::Rng rng(util::master_seed());
-  auto model = snn::build_spiking_lenet(arch, cfg, rng);
-  nn::TrainConfig tcfg;
-  tcfg.epochs = epochs;
-  tcfg.lr = 4e-3;
-  tcfg.verbose = true;
-  nn::Trainer(tcfg).fit(*model, bundle.train.images, bundle.train.labels);
-  const double clean =
-      nn::accuracy(*model, bundle.test.images, bundle.test.labels);
-  std::printf("trained: clean accuracy %.1f%%\n", clean * 100);
-  snn::save_spiking_lenet(path, *model, arch, cfg);
-}
+/// Periodic obs::Registry snapshot exporter (--metrics-interval). Sleeps in
+/// short slices so shutdown is prompt even with long intervals.
+class MetricsExporter {
+ public:
+  explicit MetricsExporter(std::int64_t interval_ms) {
+    if (interval_ms <= 0) return;
+    thread_ = std::thread([this, interval_ms] {
+      const auto slice = std::chrono::milliseconds(20);
+      auto next = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(interval_ms);
+      while (!stop_.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(slice);
+        if (std::chrono::steady_clock::now() < next) continue;
+        obs::Registry::instance().append_snapshot();
+        next += std::chrono::milliseconds(interval_ms);
+      }
+    });
+  }
+  ~MetricsExporter() {
+    if (!thread_.joinable()) return;
+    stop_.store(true, std::memory_order_relaxed);
+    thread_.join();
+  }
+
+ private:
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
 
 }  // namespace
 
@@ -126,8 +130,28 @@ int main(int argc, char** argv) {
       args.add_int("time-steps", 16, "time window T for fallback training");
   auto& v_th = args.add_double("vth", 1.0, "threshold for fallback training");
   auto& epochs = args.add_int("epochs", 2, "fallback-training epochs");
+  auto& envelope_path = args.add_string(
+      "envelope", "", "clean-traffic envelope (snnsec_calibrate); arms "
+                      "online adversarial detection");
+  auto& detect_policy = args.add_string(
+      "detect-policy", "observe", "flagged requests: observe | reject");
+  auto& flag_threshold = args.add_double(
+      "flag-threshold", 4.0, "anomaly z-score that flags a request");
+  auto& metrics_interval = args.add_int(
+      "metrics-interval", 0,
+      "ms between obs::Registry snapshots appended to the metrics sink; "
+      "0 = final snapshot only");
+  auto& metrics_file = args.add_string(
+      "metrics-file", "", "JSONL metrics sink (default SNNSEC_METRICS_FILE)");
   auto& verbose = args.add_flag("verbose", "print one line per request");
   args.parse(argc, argv);
+
+  if (!metrics_file.empty())
+    obs::Registry::instance().set_sink_path(metrics_file);
+  SNNSEC_CHECK(metrics_interval == 0 || obs::Registry::instance().has_sink(),
+               "snnsec_serve: --metrics-interval needs a sink; pass "
+               "--metrics-file or set SNNSEC_METRICS_FILE");
+  MetricsExporter exporter(metrics_interval);
 
   data::DataSpec dspec;
   dspec.train_n = train_n;
@@ -138,7 +162,8 @@ int main(int argc, char** argv) {
               bundle.test.summary().c_str());
 
   if (!std::ifstream(model_path).good())
-    train_checkpoint(model_path, bundle, image, time_steps, v_th, epochs);
+    tools::train_checkpoint(model_path, bundle, image, time_steps, v_th,
+                            epochs);
 
   serve::ServerConfig scfg;
   scfg.model_path = model_path;
@@ -148,15 +173,25 @@ int main(int argc, char** argv) {
   scfg.batcher.capacity = capacity;
   scfg.min_steps = min_steps;
   scfg.default_deadline_us = default_deadline;
+  scfg.envelope_path = envelope_path;
+  if (detect_policy == "reject") {
+    scfg.detect_policy = serve::DetectPolicy::kReject;
+  } else {
+    SNNSEC_CHECK(detect_policy == "observe",
+                 "snnsec_serve: --detect-policy must be observe or reject, "
+                 "got '" << detect_policy << "'");
+  }
+  scfg.flag_threshold = flag_threshold;
   serve::Server server(scfg);
   std::printf(
       "serving %s | T=%lld | workers=%lld (%s) | max_batch=%lld "
-      "delay=%lldus capacity=%lld\n",
+      "delay=%lldus capacity=%lld | detection %s\n",
       model_path.c_str(), static_cast<long long>(server.time_steps()),
       static_cast<long long>(server.worker_count()),
       server.worker_count() > 0 ? "resident" : "inline",
       static_cast<long long>(max_batch), static_cast<long long>(max_delay),
-      static_cast<long long>(capacity));
+      static_cast<long long>(capacity),
+      server.detector_ready() ? serve::to_string(scfg.detect_policy) : "off");
 
   std::vector<Request> requests;
   if (requests_path.empty()) {
@@ -201,6 +236,7 @@ int main(int argc, char** argv) {
   std::int64_t correct = 0;
   std::int64_t answered = 0;
   std::int64_t truncated = 0;
+  std::int64_t flagged = 0;
   std::int64_t latency_sum = 0;
   for (std::size_t i = 0; i < outcomes.size(); ++i) {
     const Outcome& o = outcomes[i];
@@ -213,9 +249,14 @@ int main(int argc, char** argv) {
       if (r.truncated) ++truncated;
       latency_sum += r.latency_us;
     }
+    if (r.flagged) ++flagged;
     if (verbose) {
+      char detect[64] = "";
+      if (r.anomaly_score >= 0)
+        std::snprintf(detect, sizeof(detect), " score=%.2f%s",
+                      r.anomaly_score, r.flagged ? " FLAGGED" : "");
       std::printf("req %zu sample=%lld %s pred=%lld label=%lld steps=%lld/"
-                  "%lld batch=%lld queue=%lldus latency=%lldus%s\n",
+                  "%lld batch=%lld queue=%lldus latency=%lldus%s%s\n",
                   i, static_cast<long long>(o.sample),
                   serve::to_string(r.status), static_cast<long long>(r.pred),
                   static_cast<long long>(label),
@@ -223,7 +264,7 @@ int main(int argc, char** argv) {
                   static_cast<long long>(r.time_steps),
                   static_cast<long long>(r.batch_size),
                   static_cast<long long>(r.queue_us),
-                  static_cast<long long>(r.latency_us),
+                  static_cast<long long>(r.latency_us), detect,
                   r.error.empty() ? "" : (" " + r.error).c_str());
     }
   }
@@ -231,14 +272,15 @@ int main(int argc, char** argv) {
   const serve::ServerStats stats = server.stats();
   std::printf(
       "served %lld/%zu requests in %.3fs (%.1f req/s) | accuracy %.1f%% | "
-      "truncated %lld | shed %lld | errors %lld | batches %lld | mean "
-      "latency %.0fus\n",
+      "truncated %lld | flagged %lld | shed %lld | errors %lld | batches "
+      "%lld | mean latency %.0fus\n",
       static_cast<long long>(answered), outcomes.size(), wall_s,
       wall_s > 0 ? static_cast<double>(answered) / wall_s : 0.0,
       answered > 0 ? 100.0 * static_cast<double>(correct) /
                          static_cast<double>(answered)
                    : 0.0,
-      static_cast<long long>(truncated), static_cast<long long>(stats.shed),
+      static_cast<long long>(truncated), static_cast<long long>(flagged),
+      static_cast<long long>(stats.shed),
       static_cast<long long>(stats.errors),
       static_cast<long long>(stats.batches),
       answered > 0 ? static_cast<double>(latency_sum) /
