@@ -35,6 +35,7 @@
 #include "nn/metrics.hpp"
 #include "nn/trainer.hpp"
 #include "serve/server.hpp"
+#include "serve_load.hpp"
 #include "snn/model_io.hpp"
 #include "snn/spiking_lenet.hpp"
 #include "util/thread_pool.hpp"
@@ -60,192 +61,13 @@ void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 namespace {
 
 using namespace snnsec;
+using bench::closed_loop;
+using bench::curve_point;
+using bench::CurvePoint;
+using bench::LoadResult;
+using bench::open_loop;
+using bench::write_load;
 using tensor::Tensor;
-
-using Clock = std::chrono::steady_clock;
-
-double percentile(const std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0.0;
-  const double pos = q * static_cast<double>(sorted.size() - 1);
-  const std::size_t idx = static_cast<std::size_t>(pos + 0.5);
-  return sorted[std::min(idx, sorted.size() - 1)];
-}
-
-struct LoadResult {
-  std::int64_t offered = 0;
-  std::int64_t completed = 0;
-  std::int64_t shed = 0;
-  std::int64_t truncated = 0;
-  double wall_s = 0.0;
-  double throughput_rps = 0.0;
-  double p50_us = 0.0;
-  double p95_us = 0.0;
-  double p99_us = 0.0;
-  double mean_batch = 0.0;
-};
-
-struct CurvePoint {
-  std::int64_t max_steps = 0;
-  double accuracy = 0.0;
-  double mean_latency_us = 0.0;
-};
-
-void finish_percentiles(LoadResult& r, std::vector<double>& latencies) {
-  std::sort(latencies.begin(), latencies.end());
-  r.p50_us = percentile(latencies, 0.50);
-  r.p95_us = percentile(latencies, 0.95);
-  r.p99_us = percentile(latencies, 0.99);
-}
-
-/// Closed loop: `clients` threads each fire `per_client` back-to-back
-/// requests cycling through the test images.
-LoadResult closed_loop(serve::Server& server, const Tensor& images,
-                       std::int64_t clients, std::int64_t per_client) {
-  LoadResult out;
-  out.offered = clients * per_client;
-  const std::int64_t n_images = images.dim(0);
-  std::vector<std::vector<double>> lat(static_cast<std::size_t>(clients));
-  std::vector<std::int64_t> batch_sum(static_cast<std::size_t>(clients), 0);
-  std::atomic<std::int64_t> completed{0};
-  std::atomic<std::int64_t> truncated{0};
-
-  const auto t0 = Clock::now();
-  std::vector<std::thread> pool;
-  for (std::int64_t c = 0; c < clients; ++c) {
-    pool.emplace_back([&, c] {
-      auto& samples = lat[static_cast<std::size_t>(c)];
-      samples.reserve(static_cast<std::size_t>(per_client));
-      serve::InferResult r;
-      for (std::int64_t i = 0; i < per_client; ++i) {
-        const std::int64_t idx = (c * per_client + i) % n_images;
-        const Tensor x = nn::slice_batch(images, idx, idx + 1);
-        if (!server.infer(x, serve::RequestOptions{}, r)) continue;
-        completed.fetch_add(1, std::memory_order_relaxed);
-        if (r.truncated) truncated.fetch_add(1, std::memory_order_relaxed);
-        samples.push_back(static_cast<double>(r.latency_us));
-        batch_sum[static_cast<std::size_t>(c)] += r.batch_size;
-      }
-    });
-  }
-  for (auto& t : pool) t.join();
-  out.wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
-
-  out.completed = completed.load();
-  out.truncated = truncated.load();
-  std::vector<double> all;
-  std::int64_t batches = 0;
-  for (std::int64_t c = 0; c < clients; ++c) {
-    const auto& samples = lat[static_cast<std::size_t>(c)];
-    all.insert(all.end(), samples.begin(), samples.end());
-    batches += batch_sum[static_cast<std::size_t>(c)];
-  }
-  out.shed = out.offered - out.completed;
-  out.throughput_rps =
-      out.wall_s > 0 ? static_cast<double>(out.completed) / out.wall_s : 0.0;
-  out.mean_batch = out.completed > 0 ? static_cast<double>(batches) /
-                                           static_cast<double>(out.completed)
-                                     : 0.0;
-  finish_percentiles(out, all);
-  return out;
-}
-
-/// Open loop: arrivals paced at `rate_rps` across a submitter pool, each
-/// request carrying `deadline_us`. When the offered rate exceeds capacity
-/// the submitters saturate and deadlines start truncating the time window.
-LoadResult open_loop(serve::Server& server, const Tensor& images,
-                     std::int64_t total, double rate_rps,
-                     std::int64_t deadline_us, std::int64_t submitters) {
-  LoadResult out;
-  out.offered = total;
-  const std::int64_t n_images = images.dim(0);
-  const double interval_us = 1e6 / std::max(rate_rps, 1.0);
-  std::vector<std::vector<double>> lat(static_cast<std::size_t>(submitters));
-  std::atomic<std::int64_t> next_tick{0};
-  std::atomic<std::int64_t> completed{0};
-  std::atomic<std::int64_t> shed{0};
-  std::atomic<std::int64_t> truncated{0};
-
-  const auto t0 = Clock::now();
-  std::vector<std::thread> pool;
-  for (std::int64_t c = 0; c < submitters; ++c) {
-    pool.emplace_back([&, c] {
-      auto& samples = lat[static_cast<std::size_t>(c)];
-      samples.reserve(static_cast<std::size_t>(total));
-      serve::InferResult r;
-      serve::RequestOptions opt;
-      opt.deadline_us = deadline_us;
-      for (;;) {
-        const std::int64_t tick =
-            next_tick.fetch_add(1, std::memory_order_relaxed);
-        if (tick >= total) break;
-        const auto due =
-            t0 + std::chrono::microseconds(static_cast<std::int64_t>(
-                     interval_us * static_cast<double>(tick)));
-        std::this_thread::sleep_until(due);
-        const Tensor x =
-            nn::slice_batch(images, tick % n_images, tick % n_images + 1);
-        if (!server.infer(x, opt, r)) {
-          shed.fetch_add(1, std::memory_order_relaxed);
-          continue;
-        }
-        completed.fetch_add(1, std::memory_order_relaxed);
-        if (r.truncated) truncated.fetch_add(1, std::memory_order_relaxed);
-        samples.push_back(static_cast<double>(r.latency_us));
-      }
-    });
-  }
-  for (auto& t : pool) t.join();
-  out.wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
-
-  out.completed = completed.load();
-  out.shed = shed.load();
-  out.truncated = truncated.load();
-  out.throughput_rps =
-      out.wall_s > 0 ? static_cast<double>(out.completed) / out.wall_s : 0.0;
-  std::vector<double> all;
-  for (auto& samples : lat) all.insert(all.end(), samples.begin(),
-                                       samples.end());
-  finish_percentiles(out, all);
-  return out;
-}
-
-/// Serve the whole test split sequentially at a fixed step budget.
-CurvePoint curve_point(serve::Server& server, const data::DataBundle& bundle,
-                       std::int64_t max_steps) {
-  CurvePoint p;
-  p.max_steps = max_steps;
-  serve::RequestOptions opt;
-  opt.max_steps = max_steps;
-  serve::InferResult r;
-  const std::int64_t n = bundle.test.images.dim(0);
-  std::int64_t correct = 0;
-  std::int64_t latency_sum = 0;
-  for (std::int64_t i = 0; i < n; ++i) {
-    const Tensor x = nn::slice_batch(bundle.test.images, i, i + 1);
-    if (!server.infer(x, opt, r)) continue;
-    if (r.pred == bundle.test.labels[static_cast<std::size_t>(i)]) ++correct;
-    latency_sum += r.latency_us;
-  }
-  p.accuracy = static_cast<double>(correct) / static_cast<double>(n);
-  p.mean_latency_us =
-      static_cast<double>(latency_sum) / static_cast<double>(n);
-  return p;
-}
-
-void write_load(std::FILE* f, const char* key, const LoadResult& r,
-                const char* extra) {
-  std::fprintf(f,
-               "  \"%s\": {\"offered\": %lld, \"completed\": %lld, "
-               "\"shed\": %lld, \"truncated\": %lld, \"wall_s\": %.3f, "
-               "\"throughput_rps\": %.1f, \"p50_us\": %.0f, \"p95_us\": "
-               "%.0f, \"p99_us\": %.0f, \"mean_batch\": %.2f%s},\n",
-               key, static_cast<long long>(r.offered),
-               static_cast<long long>(r.completed),
-               static_cast<long long>(r.shed),
-               static_cast<long long>(r.truncated), r.wall_s,
-               r.throughput_rps, r.p50_us, r.p95_us, r.p99_us, r.mean_batch,
-               extra);
-}
 
 int run(int argc, char** argv) {
   bool smoke = false;

@@ -145,17 +145,44 @@ void clear_spike_faults(snn::SpikingClassifier& model) {
       lif->clear_spike_fault();
 }
 
+std::size_t armed_spike_fault_count(const snn::SpikingClassifier& model) {
+  // net() is non-const only; the scan mutates nothing.
+  auto& net = const_cast<snn::SpikingClassifier&>(model).net();
+  std::size_t armed = 0;
+  for (std::size_t i = 0; i < net.size(); ++i)
+    if (auto* lif = dynamic_cast<snn::LifLayer*>(&net.layer(i)))
+      if (lif->spike_fault().any()) ++armed;
+  return armed;
+}
+
 ScopedFault::ScopedFault(snn::SpikingClassifier& model, const FaultSpec& spec)
     : model_(model) {
   if (spec.kind == FaultKind::kWeightBitflip) {
     snapshot_ = snapshot_parameters(model.parameters());
     weights_touched_ = true;
+  } else {
+    // Snapshot each LifLayer's current fault (stack order) so destruction
+    // re-installs whatever an enclosing scope had armed.
+    nn::Sequential& net = model.net();
+    for (std::size_t i = 0; i < net.size(); ++i)
+      if (auto* lif = dynamic_cast<snn::LifLayer*>(&net.layer(i)))
+        prior_faults_.push_back(lif->spike_fault());
+    spikes_touched_ = true;
   }
   injected_ = arm_fault(model, spec);
 }
 
 ScopedFault::~ScopedFault() {
-  clear_spike_faults(model_);
+  if (spikes_touched_) {
+    nn::Sequential& net = model_.net();
+    std::size_t idx = 0;
+    for (std::size_t i = 0; i < net.size(); ++i) {
+      auto* lif = dynamic_cast<snn::LifLayer*>(&net.layer(i));
+      if (!lif) continue;
+      if (idx < prior_faults_.size()) lif->set_spike_fault(prior_faults_[idx]);
+      ++idx;
+    }
+  }
   if (weights_touched_) {
     auto params = model_.parameters();
     restore_parameters(params, snapshot_);

@@ -71,8 +71,15 @@ std::size_t arm_fault(snn::SpikingClassifier& model, const FaultSpec& spec);
 /// undone via restore_parameters, not here).
 void clear_spike_faults(snn::SpikingClassifier& model);
 
-/// RAII scope: snapshot weights, apply `spec`, and undo everything —
-/// weights restored, spike faults cleared — on destruction.
+/// Count of LifLayers whose spike-fault post-pass is currently armed.
+std::size_t armed_spike_fault_count(const snn::SpikingClassifier& model);
+
+/// RAII scope: snapshot the state `spec` will touch, apply it, and undo it
+/// on destruction. Weight faults snapshot/restore parameter values; spike
+/// faults snapshot/restore each LifLayer's *prior* SpikeFault, so scopes
+/// nest — an inner ScopedFault destructing re-arms whatever the outer scope
+/// had installed instead of blanket-clearing it, and LIFO destruction of
+/// stacked weight scopes restores the original weights.
 class ScopedFault {
  public:
   ScopedFault(snn::SpikingClassifier& model, const FaultSpec& spec);
@@ -86,8 +93,10 @@ class ScopedFault {
  private:
   snn::SpikingClassifier& model_;
   std::vector<tensor::Tensor> snapshot_;
+  std::vector<snn::SpikeFault> prior_faults_;  ///< per-LifLayer, stack order
   std::size_t injected_ = 0;
   bool weights_touched_ = false;
+  bool spikes_touched_ = false;
 };
 
 }  // namespace snnsec::faults

@@ -9,6 +9,9 @@ namespace snnsec::serve {
 
 std::unique_ptr<snn::SpikingClassifier> ModelCache::Artifact::make_replica()
     const {
+  // Counted so respawn storms are visible in the metrics registry even when
+  // the supervisor's own counters are not being scraped.
+  SNNSEC_COUNTER_ADD("serve.model_cache.replicas_stamped", 1);
   return snn::rebuild_spiking_lenet(payload, path);
 }
 

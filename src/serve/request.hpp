@@ -50,6 +50,12 @@ struct InferResult {
   /// anomaly_score >= the server's flag threshold. Set under both
   /// policies; under kReject the status is additionally kFlagged.
   bool flagged = false;
+  /// Executions this request consumed. 1 on the healthy path; >1 when the
+  /// supervisor re-ran it after its replica was quarantined mid-flight.
+  std::int64_t attempts = 1;
+  /// The overload governor capped this request's step budget below what it
+  /// asked for (graceful degradation instead of shedding).
+  bool degraded = false;
   std::string error;             ///< populated when status == kError
 };
 

@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <exception>
 
 #include "obs/metrics.hpp"
@@ -17,6 +18,12 @@ using tensor::Shape;
 using tensor::Tensor;
 
 namespace {
+
+/// The deep canary fires only after this much batch-free quiet: under
+/// closed-loop traffic the admission queue transiently empties between
+/// batches, and a probe inference in that gap blocks the next batch —
+/// measured as a ~2x p99 blowup on a single-core host.
+constexpr std::int64_t kDeepCanaryIdleGraceMs = 25;
 
 std::int64_t elapsed_us(std::chrono::steady_clock::time_point from,
                         std::chrono::steady_clock::time_point to) {
@@ -40,6 +47,9 @@ Server::Server(ServerConfig cfg,
   cfg_.min_steps = std::clamp<std::int64_t>(cfg_.min_steps, 1, t);
   SNNSEC_CHECK(cfg_.default_deadline_us >= 0,
                "ServerConfig: default_deadline_us must be >= 0");
+  SNNSEC_CHECK(std::isfinite(cfg_.flag_threshold) && cfg_.flag_threshold >= 0.0,
+               "ServerConfig: flag_threshold must be finite and >= 0, got "
+                   << cfg_.flag_threshold);
 
   if (cfg_.envelope) {
     envelope_ = cfg_.envelope;
@@ -74,6 +84,8 @@ Server::Server(ServerConfig cfg,
                     << to_string(cfg_.detect_policy) << ", threshold="
                     << cfg_.flag_threshold << ")");
   }
+  if (cfg_.supervisor.enabled)
+    sup_ = std::make_unique<Supervisor>(cfg_.supervisor, *artifact_);
 
   const nn::LenetSpec& arch = artifact_->arch();
   // NOLINTNEXTLINE(snnsec-hot-alloc): startup-time slot/worker construction.
@@ -86,9 +98,61 @@ Server::Server(ServerConfig cfg,
     slots_.push_back(std::move(slot));
   }
   start_workers(cfg_.workers);
+  if (sup_) sup_thread_ = std::thread([this] { supervise_loop(); });
 }
 
 Server::~Server() { stop(); }
+
+std::int64_t Server::now_ms() const {
+  return elapsed_us(start_, std::chrono::steady_clock::now()) / 1000;
+}
+
+std::unique_ptr<Server::Worker> Server::make_worker_context(std::int64_t id) {
+  auto w = std::make_unique<Worker>();
+  w->id = id;
+  w->model = artifact_->make_replica();
+  w->runner = std::make_unique<snn::AnytimeRunner>(*w->model,
+                                                   cfg_.allow_faults);
+  if (envelope_) {
+    SNNSEC_CHECK(envelope_->layers().size() ==
+                     w->runner->sketch_layers().size(),
+                 "serve: envelope calibrated for "
+                     << envelope_->layers().size()
+                     << " spiking layers, model has "
+                     << w->runner->sketch_layers().size());
+    w->sketch.configure(w->runner->sketch_layers(), envelope_->buckets());
+    w->runner->set_sketch(&w->sketch);
+  }
+  const std::size_t cap = static_cast<std::size_t>(cfg_.batcher.max_batch);
+  // NOLINTNEXTLINE(snnsec-hot-alloc): startup-time batch buffer sizing.
+  w->slots.resize(cap);
+  // NOLINTNEXTLINE(snnsec-hot-alloc): startup-time batch buffer sizing.
+  w->budget.resize(cap);
+  // NOLINTNEXTLINE(snnsec-hot-alloc): startup-time batch buffer sizing.
+  w->finalized.resize(cap);
+  // NOLINTNEXTLINE(snnsec-hot-alloc): startup-time batch buffer sizing.
+  w->epochs.resize(cap);
+  // NOLINTNEXTLINE(snnsec-hot-alloc): startup-time batch buffer sizing.
+  w->degraded.resize(cap);
+  w->active_slots = std::vector<std::atomic<std::int64_t>>(cap);
+  if (sup_) {
+    w->params = w->model->parameters();
+    nn::Sequential& net = w->model->net();
+    for (std::size_t i = 0; i < net.size(); ++i)
+      if (auto* lif = dynamic_cast<snn::LifLayer*>(&net.layer(i)))
+        // NOLINTNEXTLINE(snnsec-hot-alloc): startup/respawn-time construction.
+        w->lifs.push_back(lif);
+    w->canary_runner = std::make_unique<snn::AnytimeRunner>(*w->model);
+    // Prewarm and boot-verify: the deep canary's stage buffers must be warm
+    // before steady state (zero-alloc gate), and a replica that cannot
+    // reproduce the golden logits should fail loudly at startup.
+    w->canary_runner->run(sup_->probe());
+    SNNSEC_CHECK(sup_->logits_ok(w->canary_runner->logits()),
+                 "serve: replica " << id << " failed its boot canary");
+    w->last_canary_ms.store(now_ms(), std::memory_order_relaxed);
+  }
+  return w;
+}
 
 void Server::start_workers(std::int64_t requested) {
   util::ThreadPool& pool = util::ThreadPool::global();
@@ -107,30 +171,13 @@ void Server::start_workers(std::int64_t requested) {
   // NOLINTNEXTLINE(snnsec-hot-alloc): startup-time worker construction.
   workers_.reserve(static_cast<std::size_t>(contexts));
   for (std::int64_t i = 0; i < contexts; ++i) {
-    auto w = std::make_unique<Worker>();
-    w->model = artifact_->make_replica();
-    w->runner = std::make_unique<snn::AnytimeRunner>(*w->model);
-    if (envelope_) {
-      SNNSEC_CHECK(envelope_->layers().size() ==
-                       w->runner->sketch_layers().size(),
-                   "serve: envelope calibrated for "
-                       << envelope_->layers().size()
-                       << " spiking layers, model has "
-                       << w->runner->sketch_layers().size());
-      w->sketch.configure(w->runner->sketch_layers(), envelope_->buckets());
-      w->runner->set_sketch(&w->sketch);
-    }
-    const std::size_t cap = static_cast<std::size_t>(cfg_.batcher.max_batch);
-    // NOLINTNEXTLINE(snnsec-hot-alloc): startup-time batch buffer sizing.
-    w->slots.resize(cap);
-    // NOLINTNEXTLINE(snnsec-hot-alloc): startup-time batch buffer sizing.
-    w->budget.resize(cap);
-    // NOLINTNEXTLINE(snnsec-hot-alloc): startup-time batch buffer sizing.
-    w->finalized.resize(cap);
     // NOLINTNEXTLINE(snnsec-hot-alloc): startup-time worker construction.
-    workers_.push_back(std::move(w));
+    workers_.push_back(make_worker_context(i));
   }
-  live_workers_ = num_workers_;
+  {
+    std::lock_guard<std::mutex> lk(join_m_);
+    live_workers_ = num_workers_;
+  }
   for (std::int64_t i = 0; i < num_workers_; ++i) {
     Worker* w = workers_[static_cast<std::size_t>(i)].get();
     pool.submit([this, w] { worker_loop(*w); });
@@ -157,6 +204,36 @@ bool Server::infer(const Tensor& x, const RequestOptions& opt,
   SNNSEC_CHECK(opt.deadline_us >= 0 && opt.max_steps >= 0,
                "Server::infer: negative deadline_us/max_steps");
 
+  // A NaN/Inf pixel would flow straight into the constant-current encoding
+  // and poison every downstream membrane; reject it before admission.
+  const float* px = x.data();
+  const std::int64_t pixels = x.numel();
+  bool finite_input = true;
+  for (std::int64_t k = 0; k < pixels; ++k) {
+    if (!std::isfinite(px[k])) {
+      finite_input = false;
+      break;
+    }
+  }
+  if (!finite_input) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    SNNSEC_COUNTER_ADD("serve.errors", 1);
+    out.status = ResultStatus::kError;
+    out.pred = -1;
+    out.steps_used = 0;
+    out.time_steps = time_steps();
+    out.truncated = false;
+    out.queue_us = 0;
+    out.latency_us = 0;
+    out.batch_size = 0;
+    out.anomaly_score = -1.0;
+    out.flagged = false;
+    out.attempts = 0;
+    out.degraded = false;
+    out.error = "non-finite input pixel rejected before encoding";
+    return false;
+  }
+
   const std::int64_t slot_idx = batcher_.try_acquire();
   if (slot_idx < 0) {
     shed_.fetch_add(1, std::memory_order_relaxed);
@@ -171,6 +248,8 @@ bool Server::infer(const Tensor& x, const RequestOptions& opt,
     out.batch_size = 0;
     out.anomaly_score = -1.0;
     out.flagged = false;
+    out.attempts = 0;
+    out.degraded = false;
     out.error = batcher_.stopped() ? "server stopped" : "queue at capacity";
     return false;
   }
@@ -188,6 +267,7 @@ bool Server::infer(const Tensor& x, const RequestOptions& opt,
     s.deadline = s.submitted + std::chrono::microseconds(s.opt.deadline_us);
   s.out = &out;
   s.done = false;
+  s.attempts.store(0, std::memory_order_relaxed);
   {
     SNNSEC_TRACE_SCOPE_ID("serve.enqueue", slot_idx);
     batcher_.enqueue(slot_idx);
@@ -218,17 +298,36 @@ void Server::drive_inline(Slot& own) {
     }
     // Our slot is still pending and no other thread is executing (we hold
     // the execution lock), so next_batch is guaranteed to make progress.
+    // With supervision, heal/canary first: a requeued request must not
+    // land back on the quarantined replica it just escaped.
     Worker& w = *workers_.front();
+    if (sup_) maintain(w);
     const std::int64_t n = batcher_.next_batch(w.slots.data());
     if (n > 0) execute_batch(w, n);
   }
 }
 
 void Server::worker_loop(Worker& w) {
+  const bool supervised = sup_ != nullptr;
+  // Supervised workers poll with a timeout so canaries and healing run
+  // even when no traffic arrives.
+  const std::int64_t tick_us = 20000;
   for (;;) {
-    const std::int64_t n = batcher_.next_batch(w.slots.data());
-    if (n == 0) break;  // stopped and drained
+    if (supervised && w.deposed.load(std::memory_order_acquire)) break;
+    std::int64_t n;
+    if (supervised) {
+      n = batcher_.next_batch_for(w.slots.data(), tick_us);
+      if (n == 0) break;  // stopped and drained
+      if (n < 0) {        // idle tick: maintenance window
+        maintain(w);
+        continue;
+      }
+    } else {
+      n = batcher_.next_batch(w.slots.data());
+      if (n == 0) break;
+    }
     execute_batch(w, n);
+    if (supervised) maintain(w);
   }
   {
     std::lock_guard<std::mutex> lk(join_m_);
@@ -248,10 +347,55 @@ void Server::execute_batch(Worker& w, std::int64_t n) {
   SNNSEC_GAUGE_SET("serve.queue_depth",
                    static_cast<double>(batcher_.depth()));
 
+  if (sup_) {
+    w.hb_ms.store(elapsed_us(start_, exec_start) / 1000,
+                  std::memory_order_relaxed);
+    w.current_batch.store(batch_id, std::memory_order_relaxed);
+    w.busy.store(true, std::memory_order_release);
+  }
+  // Publish the batch's in-flight rows before anything that can stall —
+  // including the chaos hook's simulated wedges: the watchdog can only
+  // rescue slots it can see, and a real stall can land at any point after
+  // the pop.
+  for (std::int64_t i = 0; i < n; ++i) {
+    Slot& s = *slots_[static_cast<std::size_t>(w.slots[
+        static_cast<std::size_t>(i)])];
+    w.finalized[static_cast<std::size_t>(i)] = 0;
+    // Latch the retry epoch: we may deliver this row only while it still
+    // matches (a requeue bumps it).
+    w.epochs[static_cast<std::size_t>(i)] =
+        s.epoch.load(std::memory_order_acquire);
+    if (sup_) {
+      s.attempts.fetch_add(1, std::memory_order_relaxed);
+      w.active_slots[static_cast<std::size_t>(i)].store(
+          w.slots[static_cast<std::size_t>(i)], std::memory_order_relaxed);
+    }
+  }
+  if (sup_) w.active_n.store(n, std::memory_order_release);
+
+  if (cfg_.chaos_on_batch) {
+    ChaosContext ctx;
+    ctx.replica_id = w.id;
+    ctx.batch_id = batch_id;
+    ctx.respawns = w.respawns.load(std::memory_order_relaxed);
+    ctx.model = w.model.get();
+    cfg_.chaos_on_batch(ctx);
+  }
+
   const nn::LenetSpec& arch = artifact_->arch();
   const std::int64_t image = arch.in_channels * arch.image_size *
                              arch.image_size;
   const std::int64_t t_max = time_steps();
+  // Overload governor: one step budget per batch, a pure function of queue
+  // pressure — degrade toward the truncation-curve cliff before shedding.
+  std::int64_t governed = t_max;
+  if (sup_) {
+    governed = std::max(
+        sup_->governed_steps(batcher_.depth(), batcher_.capacity()),
+        cfg_.min_steps);
+    SNNSEC_GAUGE_SET("serve.health.governed_max_steps",
+                     static_cast<double>(governed));
+  }
   {
     SNNSEC_TRACE_SCOPE_ID("serve.batch.flush", batch_id);
     if (w.batch_input.ndim() != 4 || w.batch_input.dim(0) != n ||
@@ -261,13 +405,15 @@ void Server::execute_batch(Worker& w, std::int64_t n) {
       w.batch_input = Tensor(
           Shape{n, arch.in_channels, arch.image_size, arch.image_size});
     for (std::int64_t i = 0; i < n; ++i) {
-      const Slot& s = *slots_[static_cast<std::size_t>(w.slots[
+      Slot& s = *slots_[static_cast<std::size_t>(w.slots[
           static_cast<std::size_t>(i)])];
       std::copy(s.input.data(), s.input.data() + image,
                 w.batch_input.data() + i * image);
-      w.budget[static_cast<std::size_t>(i)] =
+      const std::int64_t user =
           s.opt.max_steps > 0 ? std::min(s.opt.max_steps, t_max) : t_max;
-      w.finalized[static_cast<std::size_t>(i)] = 0;
+      w.budget[static_cast<std::size_t>(i)] = std::min(user, governed);
+      w.degraded[static_cast<std::size_t>(i)] =
+          w.budget[static_cast<std::size_t>(i)] < user ? 1 : 0;
     }
   }
 
@@ -278,6 +424,9 @@ void Server::execute_batch(Worker& w, std::int64_t n) {
     for (std::int64_t t = 1; t <= t_max && remaining > 0; ++t) {
       w.runner->step();
       const auto now = std::chrono::steady_clock::now();
+      if (sup_)
+        w.hb_ms.store(elapsed_us(start_, now) / 1000,
+                      std::memory_order_relaxed);
       for (std::int64_t i = 0; i < n; ++i) {
         if (w.finalized[static_cast<std::size_t>(i)]) continue;
         Slot& s = *slots_[static_cast<std::size_t>(w.slots[
@@ -294,13 +443,31 @@ void Server::execute_batch(Worker& w, std::int64_t n) {
       }
     }
   } catch (const std::exception& e) {
-    for (std::int64_t i = 0; i < n; ++i) {
-      if (w.finalized[static_cast<std::size_t>(i)]) continue;
-      Slot& s = *slots_[static_cast<std::size_t>(w.slots[
-          static_cast<std::size_t>(i)])];
-      deliver_error(s, e.what(), n);
-      w.finalized[static_cast<std::size_t>(i)] = 1;
+    if (sup_) {
+      // The replica is suspect; requeue the batch's unfinalized requests
+      // so a healthy replica (or this one, post-heal) re-runs them.
+      quarantine(w, "batch execution threw");
+      for (std::int64_t i = 0; i < n; ++i) {
+        if (w.finalized[static_cast<std::size_t>(i)]) continue;
+        retry_slot(w.slots[static_cast<std::size_t>(i)],
+                   w.epochs[static_cast<std::size_t>(i)], e.what(), n);
+        w.finalized[static_cast<std::size_t>(i)] = 1;
+      }
+    } else {
+      for (std::int64_t i = 0; i < n; ++i) {
+        if (w.finalized[static_cast<std::size_t>(i)]) continue;
+        Slot& s = *slots_[static_cast<std::size_t>(w.slots[
+            static_cast<std::size_t>(i)])];
+        deliver_error(s, e.what(), n,
+                      w.epochs[static_cast<std::size_t>(i)]);
+        w.finalized[static_cast<std::size_t>(i)] = 1;
+      }
     }
+  }
+  if (sup_) {
+    w.active_n.store(0, std::memory_order_release);
+    w.busy.store(false, std::memory_order_release);
+    last_batch_end_ms_.store(now_ms(), std::memory_order_relaxed);
   }
 }
 
@@ -308,97 +475,432 @@ void Server::finalize(Slot& s, Worker& w, std::int64_t row,
                       std::int64_t steps, std::int64_t batch_size,
                       std::chrono::steady_clock::time_point exec_start) {
   const snn::AnytimeRunner& runner = *w.runner;
-  InferResult& r = *s.out;
   const std::int64_t classes = num_classes();
-  // Caller-owned result buffer: grows only on the first response written
-  // into this InferResult object, then stays put across reuse.
-  if (static_cast<std::int64_t>(r.scores.size()) != classes)
-    // NOLINTNEXTLINE(snnsec-hot-alloc): first-response-only buffer growth
-    r.scores.resize(static_cast<std::size_t>(classes));
   const float* logits = runner.logits().data() + row * classes;
-  std::int64_t best = 0;
-  for (std::int64_t c = 0; c < classes; ++c) {
-    r.scores[static_cast<std::size_t>(c)] = logits[c];
-    if (logits[c] > logits[best]) best = c;
-  }
-  r.status = ResultStatus::kOk;
-  r.pred = best;
-  r.steps_used = steps;
-  r.time_steps = runner.time_steps();
-  r.truncated = steps < runner.time_steps();
-  r.batch_size = batch_size;
-  const auto now = std::chrono::steady_clock::now();
-  r.queue_us = elapsed_us(s.submitted, exec_start);
-  r.latency_us = elapsed_us(s.submitted, now);
-  r.anomaly_score = -1.0;
-  r.flagged = false;
-  r.error.clear();
 
+  if (sup_) {
+    // Non-finite logits (NaN storm, exponent-bit weight flip) never reach a
+    // caller under supervision: quarantine the replica and retry the
+    // request elsewhere. Unsupervised servers deliver them unchanged — the
+    // chaos bench's supervision-off arm measures exactly that damage.
+    bool finite = true;
+    for (std::int64_t c = 0; c < classes; ++c) {
+      if (!std::isfinite(logits[c])) {
+        finite = false;
+        break;
+      }
+    }
+    if (!finite) {
+      sup_->note_nonfinite();
+      quarantine(w, "non-finite logits");
+      retry_slot(w.slots[static_cast<std::size_t>(row)],
+                 w.epochs[static_cast<std::size_t>(row)],
+                 "non-finite logits", batch_size);
+      return;
+    }
+  }
+
+  double anomaly = -1.0;
+  bool flagged = false;
   if (envelope_) {
     // Freeze this request's activity summary at its truncation depth and
     // score it against the clean bands — both allocation-free after the
     // first response through this worker.
     w.sketch.finalize(row, w.sketch_out);
-    r.anomaly_score = envelope_->score(w.sketch_out);
-    r.flagged = r.anomaly_score >= cfg_.flag_threshold;
-    SNNSEC_HISTOGRAM_OBSERVE("serve.detect.score", r.anomaly_score, 0.5, 1,
-                             2, 4, 8, 16, 32, 64);
+    anomaly = envelope_->score(w.sketch_out);
+    flagged = anomaly >= cfg_.flag_threshold;
+  }
+
+  const auto now = std::chrono::steady_clock::now();
+  bool delivered = false;
+  bool was_truncated = false;
+  bool was_degraded = false;
+  {
+    std::lock_guard<std::mutex> lk(s.m);
+    const bool stale =
+        s.done || s.epoch.load(std::memory_order_relaxed) !=
+                      w.epochs[static_cast<std::size_t>(row)];
+    if (!stale) {
+      InferResult& r = *s.out;
+      // Caller-owned result buffer: grows only on the first response
+      // written into this InferResult object, then stays put across reuse.
+      if (static_cast<std::int64_t>(r.scores.size()) != classes)
+        // NOLINTNEXTLINE(snnsec-hot-alloc): first-response-only growth
+        r.scores.resize(static_cast<std::size_t>(classes));
+      std::int64_t best = 0;
+      for (std::int64_t c = 0; c < classes; ++c) {
+        r.scores[static_cast<std::size_t>(c)] = logits[c];
+        if (logits[c] > logits[best]) best = c;
+      }
+      r.status = ResultStatus::kOk;
+      r.pred = best;
+      r.steps_used = steps;
+      r.time_steps = runner.time_steps();
+      r.truncated = steps < runner.time_steps();
+      r.batch_size = batch_size;
+      r.queue_us = elapsed_us(s.submitted, exec_start);
+      r.latency_us = elapsed_us(s.submitted, now);
+      r.anomaly_score = anomaly;
+      r.flagged = flagged;
+      r.attempts = std::max<std::int64_t>(
+          1, s.attempts.load(std::memory_order_relaxed));
+      r.degraded = w.degraded[static_cast<std::size_t>(row)] != 0;
+      r.error.clear();
+      if (flagged && cfg_.detect_policy == DetectPolicy::kReject)
+        r.status = ResultStatus::kFlagged;
+      was_truncated = r.truncated;
+      was_degraded = r.degraded;
+      s.done = true;
+      delivered = true;
+    }
+  }
+  if (!delivered) return;  // a retry/rescue owns this request now
+  s.cv.notify_one();
+
+  if (envelope_) {
+    SNNSEC_HISTOGRAM_OBSERVE("serve.detect.score", anomaly, 0.5, 1, 2, 4, 8,
+                             16, 32, 64);
     SNNSEC_GAUGE_SET(
         "serve.detect.calibration_age_s",
         detect_age_base_s_ +
             static_cast<double>(elapsed_us(start_, now)) * 1e-6);
-    if (r.flagged) {
+    if (flagged) {
       flagged_.fetch_add(1, std::memory_order_relaxed);
       SNNSEC_COUNTER_ADD("serve.detect.flagged", 1);
-      if (cfg_.detect_policy == DetectPolicy::kReject) {
-        r.status = ResultStatus::kFlagged;
+      if (cfg_.detect_policy == DetectPolicy::kReject)
         SNNSEC_COUNTER_ADD("serve.detect.rejected", 1);
-      }
     }
   }
-
   completed_.fetch_add(1, std::memory_order_relaxed);
   SNNSEC_COUNTER_ADD("serve.completed", 1);
-  if (r.truncated) {
+  if (was_truncated) {
     truncated_.fetch_add(1, std::memory_order_relaxed);
     SNNSEC_COUNTER_ADD("serve.truncated", 1);
   }
+  if (was_degraded && sup_) sup_->note_degraded();
   SNNSEC_HISTOGRAM_OBSERVE("serve.latency_us",
-                           static_cast<double>(r.latency_us), 100, 300, 1000,
-                           3000, 10000, 30000, 100000, 300000, 1000000);
-  {
-    std::lock_guard<std::mutex> lk(s.m);
-    s.done = true;
-  }
-  s.cv.notify_one();
+                           static_cast<double>(elapsed_us(s.submitted, now)),
+                           100, 300, 1000, 3000, 10000, 30000, 100000,
+                           300000, 1000000);
 }
 
 void Server::deliver_error(Slot& s, const char* what,
-                           std::int64_t batch_size) {
-  InferResult& r = *s.out;
-  r.status = ResultStatus::kError;
-  r.pred = -1;
-  r.steps_used = 0;
-  r.time_steps = time_steps();
-  r.truncated = false;
-  r.batch_size = batch_size;
+                           std::int64_t batch_size,
+                           std::int64_t latched_epoch) {
   const auto now = std::chrono::steady_clock::now();
-  r.queue_us = 0;
-  r.latency_us = elapsed_us(s.submitted, now);
-  r.anomaly_score = -1.0;
-  r.flagged = false;
-  r.error = what;
-  errors_.fetch_add(1, std::memory_order_relaxed);
-  SNNSEC_COUNTER_ADD("serve.errors", 1);
+  bool delivered = false;
   {
     std::lock_guard<std::mutex> lk(s.m);
-    s.done = true;
+    const bool stale =
+        s.done || (latched_epoch >= 0 &&
+                   s.epoch.load(std::memory_order_relaxed) != latched_epoch);
+    if (!stale) {
+      InferResult& r = *s.out;
+      r.status = ResultStatus::kError;
+      r.pred = -1;
+      r.steps_used = 0;
+      r.time_steps = time_steps();
+      r.truncated = false;
+      r.batch_size = batch_size;
+      r.queue_us = 0;
+      r.latency_us = elapsed_us(s.submitted, now);
+      r.anomaly_score = -1.0;
+      r.flagged = false;
+      r.attempts = std::max<std::int64_t>(
+          1, s.attempts.load(std::memory_order_relaxed));
+      r.degraded = false;
+      r.error = what;
+      s.done = true;
+      delivered = true;
+    }
   }
+  if (!delivered) return;
+  errors_.fetch_add(1, std::memory_order_relaxed);
+  SNNSEC_COUNTER_ADD("serve.errors", 1);
   s.cv.notify_one();
+}
+
+void Server::retry_slot(std::int64_t slot_idx, std::int64_t latched_epoch,
+                        const char* why, std::int64_t batch_size) {
+  Slot& s = *slots_[static_cast<std::size_t>(slot_idx)];
+  bool requeued = false;
+  bool exhausted = false;
+  {
+    std::lock_guard<std::mutex> lk(s.m);
+    if (s.done) return;
+    const std::int64_t cur = s.epoch.load(std::memory_order_relaxed);
+    if (latched_epoch >= 0 && cur != latched_epoch) return;
+    if (s.attempts.load(std::memory_order_relaxed) >= sup_->max_attempts()) {
+      const auto now = std::chrono::steady_clock::now();
+      InferResult& r = *s.out;
+      r.status = ResultStatus::kError;
+      r.pred = -1;
+      r.steps_used = 0;
+      r.time_steps = time_steps();
+      r.truncated = false;
+      r.batch_size = batch_size;
+      r.queue_us = 0;
+      r.latency_us = elapsed_us(s.submitted, now);
+      r.anomaly_score = -1.0;
+      r.flagged = false;
+      r.attempts = s.attempts.load(std::memory_order_relaxed);
+      r.degraded = false;
+      r.error = why;
+      s.done = true;
+      exhausted = true;
+    } else {
+      // Bump the epoch first: any stale executor's delivery becomes a
+      // no-op before the request re-enters the queue.
+      s.epoch.store(cur + 1, std::memory_order_release);
+      requeued = true;
+    }
+  }
+  if (exhausted) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    SNNSEC_COUNTER_ADD("serve.errors", 1);
+    s.cv.notify_one();
+    return;
+  }
+  if (requeued) {
+    sup_->note_retry();
+    // enqueue admits even after stop(): a draining server still owes every
+    // admitted request an answer.
+    batcher_.enqueue(slot_idx);
+  }
+}
+
+void Server::quarantine(Worker& w, const char* reason) {
+  ReplicaState expected = ReplicaState::kHealthy;
+  if (w.state.compare_exchange_strong(expected, ReplicaState::kQuarantined)) {
+    sup_->note_canary_failure(reason);
+    sup_->note_quarantine();
+    SNNSEC_LOG_WARN("serve: replica " << w.id << " quarantined: " << reason);
+  }
+}
+
+void Server::maintain(Worker& w) {
+  if (w.deposed.load(std::memory_order_acquire) ||
+      w.supervision_disabled.load(std::memory_order_relaxed))
+    return;
+  if (w.state.load(std::memory_order_acquire) == ReplicaState::kQuarantined) {
+    heal(w);
+    return;
+  }
+  const SupervisorConfig& sc = cfg_.supervisor;
+  if (sc.fast_canary_every > 0 &&
+      ++w.batches_since_canary >= sc.fast_canary_every) {
+    w.batches_since_canary = 0;
+    fast_canary(w);
+  }
+  // Deep canary only in real idle windows (empty queue AND a batch-free
+  // grace period): a probe inference mid-traffic would show up directly in
+  // tail latency, and the per-batch fast canary already carries detection
+  // under load.
+  const std::int64_t now = now_ms();
+  if (sc.canary_interval_ms > 0 && batcher_.depth() == 0 &&
+      now - last_batch_end_ms_.load(std::memory_order_relaxed) >=
+          kDeepCanaryIdleGraceMs &&
+      now - w.last_canary_ms.load(std::memory_order_relaxed) >=
+          sc.canary_interval_ms)
+    deep_canary(w);
+  if (w.state.load(std::memory_order_acquire) == ReplicaState::kQuarantined)
+    heal(w);
+}
+
+void Server::fast_canary(Worker& w) {
+  sup_->note_fast_canary();
+  for (snn::LifLayer* lif : w.lifs) {
+    if (lif->spike_fault().any()) {
+      quarantine(w, "armed spike fault detected on replica");
+      return;
+    }
+  }
+  if (Supervisor::weights_digest(w.params) != sup_->golden_weights_digest())
+    quarantine(w, "weights digest diverged from golden");
+}
+
+void Server::deep_canary(Worker& w) {
+  sup_->note_deep_canary();
+  SNNSEC_TRACE_SCOPE_ID("serve.canary", w.id);
+  try {
+    w.canary_runner->run(sup_->probe());
+    if (!sup_->logits_ok(w.canary_runner->logits()))
+      quarantine(w, "canary logits diverged from golden");
+  } catch (const std::exception&) {
+    // e.g. an armed spike fault the fast tier has not scanned yet: the
+    // canary runner refuses faulted models by design.
+    quarantine(w, "canary inference threw");
+  }
+  w.last_canary_ms.store(now_ms(), std::memory_order_relaxed);
+}
+
+void Server::heal(Worker& w) {
+  const SupervisorConfig& sc = cfg_.supervisor;
+  if (w.respawns.load(std::memory_order_relaxed) >= sc.max_respawns) {
+    if (num_workers_ == 0) {
+      // The inline context is the only executor; keep serving unsupervised
+      // rather than wedging every client.
+      w.supervision_disabled.store(true, std::memory_order_relaxed);
+      w.state.store(ReplicaState::kHealthy);
+      SNNSEC_LOG_WARN(
+          "serve: inline replica exhausted its respawn budget; supervision "
+          "disabled");
+    } else {
+      w.deposed.store(true, std::memory_order_release);
+      w.state.store(ReplicaState::kDeposed);
+      SNNSEC_LOG_WARN("serve: worker " << w.id
+                                       << " exhausted its respawn budget; "
+                                          "deposed");
+    }
+    return;
+  }
+  SNNSEC_TRACE_SCOPE_ID("serve.respawn", w.id);
+  // Respawn path, not steady state: stamping a fresh replica allocates.
+  w.model = artifact_->make_replica();
+  w.params = w.model->parameters();
+  w.lifs.clear();
+  nn::Sequential& net = w.model->net();
+  for (std::size_t i = 0; i < net.size(); ++i)
+    if (auto* lif = dynamic_cast<snn::LifLayer*>(&net.layer(i)))
+      // NOLINTNEXTLINE(snnsec-hot-alloc): respawn path, not steady state.
+      w.lifs.push_back(lif);
+  w.runner = std::make_unique<snn::AnytimeRunner>(*w.model,
+                                                  cfg_.allow_faults);
+  if (envelope_) w.runner->set_sketch(&w.sketch);
+  w.canary_runner = std::make_unique<snn::AnytimeRunner>(*w.model);
+  w.respawns.fetch_add(1, std::memory_order_relaxed);
+  sup_->note_respawn();
+  // Boot-verify the fresh replica before returning it to duty.
+  w.canary_runner->run(sup_->probe());
+  const bool verified = sup_->logits_ok(w.canary_runner->logits());
+  w.last_canary_ms.store(now_ms(), std::memory_order_relaxed);
+  w.state.store(ReplicaState::kHealthy);
+  if (verified) {
+    SNNSEC_LOG_INFO("serve: replica "
+                    << w.id << " respawned from artifact (respawn "
+                    << w.respawns.load(std::memory_order_relaxed) << "/"
+                    << sc.max_respawns << ")");
+  } else {
+    // A pristine replica failing its boot canary means the golden state
+    // itself is suspect; serve rather than heal-loop (the next canary
+    // re-checks, bounded by the respawn budget).
+    SNNSEC_LOG_WARN("serve: replica " << w.id
+                                      << " respawned but failed its boot "
+                                         "canary; serving anyway");
+  }
+}
+
+void Server::supervise_loop() {
+  const SupervisorConfig& sc = cfg_.supervisor;
+  for (;;) {
+    // Small sleep slices so stop() joins promptly.
+    for (int i = 0; i < 5; ++i) {
+      if (sup_stop_.load(std::memory_order_relaxed)) return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    const std::int64_t now = now_ms();
+    if (num_workers_ == 0) {
+      Worker& w = *workers_.front();
+      if (w.supervision_disabled.load(std::memory_order_relaxed)) continue;
+      if (sc.heartbeat_timeout_ms > 0 &&
+          w.busy.load(std::memory_order_acquire)) {
+        const std::int64_t hb = w.hb_ms.load(std::memory_order_relaxed);
+        const std::int64_t cur =
+            w.current_batch.load(std::memory_order_relaxed);
+        if (now - hb > sc.heartbeat_timeout_ms &&
+            cur != w.last_trip_batch) {
+          // Inline mode cannot depose the driving client thread; record
+          // the trip and quarantine so the post-batch maintain() heals.
+          w.last_trip_batch = cur;
+          sup_->note_watchdog_trip();
+          quarantine(w, "heartbeat missed (stalled inline batch)");
+        }
+      }
+      // Deep canary / heal only when the server looks idle (see maintain);
+      // a client blocked behind the probe would pay for it in tail latency.
+      if (sc.canary_interval_ms > 0 &&
+          !w.busy.load(std::memory_order_acquire) && batcher_.depth() == 0 &&
+          now - last_batch_end_ms_.load(std::memory_order_relaxed) >=
+              kDeepCanaryIdleGraceMs &&
+          now - w.last_canary_ms.load(std::memory_order_relaxed) >=
+              sc.canary_interval_ms) {
+        // try_lock: never block the supervisor behind a wedged batch.
+        std::unique_lock<std::mutex> lk(inline_m_, std::try_to_lock);
+        if (lk.owns_lock()) {
+          if (w.state.load(std::memory_order_acquire) ==
+              ReplicaState::kQuarantined) {
+            heal(w);
+          } else {
+            deep_canary(w);
+            if (w.state.load(std::memory_order_acquire) ==
+                ReplicaState::kQuarantined)
+              heal(w);
+          }
+        }
+      }
+    } else {
+      if (sc.heartbeat_timeout_ms <= 0) continue;
+      for (std::size_t i = 0; i < workers_.size(); ++i) {
+        Worker& w = *workers_[i];
+        if (w.deposed.load(std::memory_order_acquire)) continue;
+        if (!w.busy.load(std::memory_order_acquire)) continue;
+        const std::int64_t hb = w.hb_ms.load(std::memory_order_relaxed);
+        if (now - hb > sc.heartbeat_timeout_ms) depose_and_respawn(w, now);
+      }
+    }
+  }
+}
+
+void Server::depose_and_respawn(Worker& w, std::int64_t now) {
+  sup_->note_watchdog_trip();
+  sup_->note_canary_failure("heartbeat missed");
+  sup_->note_quarantine();
+  w.state.store(ReplicaState::kDeposed);
+  w.deposed.store(true, std::memory_order_release);
+  SNNSEC_LOG_WARN("serve: worker "
+                  << w.id << " missed its heartbeat ("
+                  << now - w.hb_ms.load(std::memory_order_relaxed)
+                  << " ms); deposing and rescuing its batch");
+  // Rescue the wedged batch: every row the worker has not delivered is
+  // re-enqueued (or failed, if out of attempts). Slot epochs make the
+  // deposed worker's eventual late deliveries no-ops.
+  SNNSEC_TRACE_SCOPE_ID("serve.rescue", w.id);
+  const std::int64_t nact = w.active_n.load(std::memory_order_acquire);
+  for (std::int64_t i = 0; i < nact; ++i) {
+    const std::int64_t slot_idx =
+        w.active_slots[static_cast<std::size_t>(i)].load(
+            std::memory_order_relaxed);
+    sup_->note_rescue();
+    retry_slot(slot_idx, -1, "worker deposed by watchdog", nact);
+  }
+  // Replacement replica, subject to the fleet-wide respawn budget.
+  if (sup_->stats().respawns >= cfg_.supervisor.max_respawns) {
+    SNNSEC_LOG_WARN("serve: respawn budget exhausted; no replacement for "
+                    "worker "
+                    << w.id);
+    return;
+  }
+  SNNSEC_TRACE_SCOPE_ID("serve.respawn", static_cast<std::int64_t>(
+                                             workers_.size()));
+  // NOLINTNEXTLINE(snnsec-hot-alloc): respawn path, not steady state.
+  workers_.push_back(make_worker_context(
+      static_cast<std::int64_t>(workers_.size())));
+  Worker* fresh = workers_.back().get();
+  {
+    std::lock_guard<std::mutex> lk(join_m_);
+    ++live_workers_;
+  }
+  sup_->note_respawn();
+  util::ThreadPool::global().submit([this, fresh] { worker_loop(*fresh); });
+  SNNSEC_LOG_INFO("serve: replacement worker " << fresh->id << " spawned");
 }
 
 void Server::stop() {
   stopping_.store(true);
+  if (sup_thread_.joinable()) {
+    sup_stop_.store(true, std::memory_order_relaxed);
+    sup_thread_.join();
+  }
   batcher_.stop();
   std::unique_lock<std::mutex> lk(join_m_);
   join_cv_.wait(lk, [this] { return live_workers_ == 0; });
@@ -413,6 +915,16 @@ ServerStats Server::stats() const {
   s.truncated = truncated_.load(std::memory_order_relaxed);
   s.batches = batches_.load(std::memory_order_relaxed);
   s.flagged = flagged_.load(std::memory_order_relaxed);
+  if (sup_) {
+    const SupervisorStats h = sup_->stats();
+    s.canary_failures = h.canary_failures;
+    s.quarantines = h.quarantines;
+    s.respawns = h.respawns;
+    s.watchdog_trips = h.watchdog_trips;
+    s.retries = h.retries;
+    s.rescues = h.rescues;
+    s.degraded = h.degraded;
+  }
   return s;
 }
 

@@ -20,22 +20,40 @@
 //     batch execution themselves under an execution lock. Deterministic and
 //     thread-free, the mode tests and single-threaded benches use.
 //
+// Supervision (ServerConfig::supervisor.enabled): a serve::Supervisor turns
+// the server self-healing. Each worker replica is health-checked by fast
+// (weights digest + armed-fault scan, per batch) and deep (pinned probe vs
+// golden logits, periodic) canaries; a replica that diverges, emits
+// non-finite logits, or whose worker misses its heartbeat is quarantined
+// and respawned in place from the pristine ModelCache artifact, while its
+// in-flight requests are transparently re-enqueued under the bounded retry
+// policy (slot epochs make stale deliveries no-ops, so a request is
+// answered exactly once). A watchdog thread deposes wedged resident
+// workers, rescues their in-flight slots and spawns replacements. Under
+// queue pressure the overload governor steps the per-batch time-step budget
+// down toward the accuracy cliff before the batcher sheds. See
+// serve/supervisor.hpp for the policy and DESIGN.md §13 for the protocol.
+//
 // Anytime semantics: a request's logits after t steps are bit-identical to
 // evaluating the same weights with window T' = t (running-max decode), so
 // deadline truncation degrades accuracy gracefully instead of shedding —
 // the paper's structural time window T acting as a load-shedding knob.
 //
 // The steady-state request path (warm server, fixed batch geometry)
-// performs zero heap allocations end to end; bench_serve asserts this with
-// its operator-new hook.
+// performs zero heap allocations end to end — with supervision on, the
+// per-batch fast canary is an allocation-free parameter sweep and the deep
+// canary runs on a prewarmed dedicated runner; bench_serve and bench_chaos
+// assert this with their operator-new hooks.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/envelope.hpp"
@@ -43,7 +61,9 @@
 #include "serve/batcher.hpp"
 #include "serve/model_cache.hpp"
 #include "serve/request.hpp"
+#include "serve/supervisor.hpp"
 #include "snn/anytime.hpp"
+#include "snn/lif_layer.hpp"
 #include "tensor/tensor.hpp"
 
 namespace snnsec::serve {
@@ -56,6 +76,18 @@ enum class DetectPolicy : std::uint8_t {
 };
 
 const char* to_string(DetectPolicy policy);
+
+/// Handed to the chaos hook at the start of every batch, on the thread that
+/// is about to execute it. The model pointer is the live replica — hooks
+/// may corrupt weights, arm spike faults, or stall to exercise the
+/// supervisor. Test/bench machinery; never set in production configs.
+struct ChaosContext {
+  std::int64_t replica_id = 0;
+  std::int64_t batch_id = 0;
+  std::int64_t respawns = 0;  ///< respawns this replica has consumed so far
+  snn::SpikingClassifier* model = nullptr;
+};
+using ChaosHook = std::function<void(const ChaosContext&)>;
 
 struct ServerConfig {
   std::string model_path;  ///< checkpoint, loaded via ModelCache::global()
@@ -77,12 +109,21 @@ struct ServerConfig {
   /// Pre-loaded envelope (tests/benches); takes precedence over the path.
   std::shared_ptr<const obs::ActivityEnvelope> envelope;
   DetectPolicy detect_policy = DetectPolicy::kObserve;
-  /// Anomaly z-score at which a request is flagged.
+  /// Anomaly z-score at which a request is flagged. Must be finite and
+  /// >= 0 (validated at construction).
   double flag_threshold = 4.0;
+
+  /// Replica supervision / self-healing (see serve/supervisor.hpp).
+  SupervisorConfig supervisor;
+  /// Chaos mode: construct request runners with allow_faults so armed
+  /// LifLayer spike faults are replayed per step instead of rejected.
+  bool allow_faults = false;
+  /// Fault-injection hook for the chaos harness (see ChaosContext).
+  ChaosHook chaos_on_batch;
 };
 
 /// Monotonic counters for tests and ops dashboards (mirrored into
-/// src/obs metrics under serve.*).
+/// src/obs metrics under serve.* / serve.health.*).
 struct ServerStats {
   std::int64_t submitted = 0;
   std::int64_t completed = 0;
@@ -91,6 +132,14 @@ struct ServerStats {
   std::int64_t truncated = 0;
   std::int64_t batches = 0;
   std::int64_t flagged = 0;  ///< detector fired (either policy)
+  // Supervision (all zero when the supervisor is off).
+  std::int64_t canary_failures = 0;
+  std::int64_t quarantines = 0;
+  std::int64_t respawns = 0;
+  std::int64_t watchdog_trips = 0;
+  std::int64_t retries = 0;
+  std::int64_t rescues = 0;
+  std::int64_t degraded = 0;
 };
 
 class Server {
@@ -107,6 +156,7 @@ class Server {
   /// Blocking single-image inference: `x` is [C, H, W] or [1, C, H, W].
   /// Returns true when `out.status == kOk`. Safe to call from any number
   /// of threads; each call occupies one admission slot until it returns.
+  /// Non-finite pixels are rejected before admission (status kError).
   bool infer(const tensor::Tensor& x, const RequestOptions& opt,
              InferResult& out);
 
@@ -126,6 +176,9 @@ class Server {
   /// The installed envelope (nullptr when detection is off).
   const obs::ActivityEnvelope* envelope() const { return envelope_.get(); }
 
+  /// The supervisor (nullptr when supervision is off).
+  const Supervisor* supervisor() const { return sup_.get(); }
+
  private:
   /// Per-admission-slot request state, parallel to the batcher's slot ring.
   struct Slot {
@@ -136,6 +189,11 @@ class Server {
     bool has_deadline = false;
     InferResult* out = nullptr;
     bool done = false;
+    /// Retry generation. An executor latches the value at batch formation
+    /// and may deliver only while it still matches; a requeue bumps it, so
+    /// a stale (quarantined/deposed) executor's delivery is a no-op.
+    std::atomic<std::int64_t> epoch{0};
+    std::atomic<std::int64_t> attempts{0};  ///< executions started
     std::mutex m;
     std::condition_variable cv;
   };
@@ -143,6 +201,7 @@ class Server {
   /// Per-worker execution context: a private model replica + runner and
   /// the reusable batch buffers. Also used (index 0) by inline mode.
   struct Worker {
+    std::int64_t id = 0;
     std::unique_ptr<snn::SpikingClassifier> model;
     std::unique_ptr<snn::AnytimeRunner> runner;
     tensor::Tensor batch_input;            ///< [B, C, H, W], reused
@@ -151,16 +210,55 @@ class Server {
     std::vector<unsigned char> finalized;  ///< per-request done flags
     obs::SketchAccumulator sketch;         ///< attached when detecting
     obs::ActivitySketch sketch_out;        ///< reused finalize buffer
+    // Supervision state (inert when the supervisor is off).
+    std::unique_ptr<snn::AnytimeRunner> canary_runner;  ///< deep canary only
+    std::vector<nn::Parameter*> params;    ///< cached for the weights digest
+    std::vector<snn::LifLayer*> lifs;      ///< cached for the fault scan
+    std::vector<std::int64_t> epochs;      ///< per-row latched slot epochs
+    std::vector<unsigned char> degraded;   ///< per-row governor-capped flag
+    std::atomic<ReplicaState> state{ReplicaState::kHealthy};
+    std::atomic<bool> busy{false};         ///< inside execute_batch
+    std::atomic<std::int64_t> hb_ms{0};    ///< last heartbeat (ms since start)
+    std::atomic<std::int64_t> last_canary_ms{0};
+    std::atomic<std::int64_t> current_batch{-1};
+    std::atomic<bool> deposed{false};
+    std::atomic<bool> supervision_disabled{false};
+    std::atomic<std::int64_t> respawns{0};
+    std::int64_t batches_since_canary = 0;  ///< owner-thread only
+    std::int64_t last_trip_batch = -1;      ///< supervisor-thread only
+    /// In-flight slot indices published for watchdog rescue.
+    std::vector<std::atomic<std::int64_t>> active_slots;
+    std::atomic<std::int64_t> active_n{0};
   };
 
+  std::unique_ptr<Worker> make_worker_context(std::int64_t id);
   void start_workers(std::int64_t requested);
   void worker_loop(Worker& w);
   void execute_batch(Worker& w, std::int64_t n);
   void finalize(Slot& s, Worker& w, std::int64_t row, std::int64_t steps,
                 std::int64_t batch_size,
                 std::chrono::steady_clock::time_point exec_start);
-  void deliver_error(Slot& s, const char* what, std::int64_t batch_size);
+  void deliver_error(Slot& s, const char* what, std::int64_t batch_size,
+                     std::int64_t latched_epoch);
   void drive_inline(Slot& own);
+  // Supervision internals. maintain/fast_canary/deep_canary/heal run on the
+  // thread that owns the worker context (its pool thread, or the supervisor
+  // thread under inline_m_ in inline mode).
+  void maintain(Worker& w);
+  void fast_canary(Worker& w);
+  void deep_canary(Worker& w);
+  void heal(Worker& w);
+  void quarantine(Worker& w, const char* reason);
+  /// Re-enqueue the request in `slot_idx` for another attempt (bumping its
+  /// epoch), or deliver a final error when the retry budget is exhausted.
+  /// `latched_epoch` guards ownership (-1 = adopt the current epoch, used
+  /// by the watchdog rescuing a wedged worker's batch). No-op when the
+  /// request was already delivered or the epoch moved on.
+  void retry_slot(std::int64_t slot_idx, std::int64_t latched_epoch,
+                  const char* why, std::int64_t batch_size);
+  void supervise_loop();
+  void depose_and_respawn(Worker& w, std::int64_t now_ms);
+  std::int64_t now_ms() const;
 
   ServerConfig cfg_;
   std::shared_ptr<const ModelCache::Artifact> artifact_;
@@ -171,9 +269,20 @@ class Server {
   std::chrono::steady_clock::time_point start_;
   MicroBatcher batcher_;
   std::vector<std::unique_ptr<Slot>> slots_;
+  /// Worker contexts. Grows only on the supervisor thread (replacement
+  /// spawn); Worker objects are heap-stable across growth.
   std::vector<std::unique_ptr<Worker>> workers_;
   std::int64_t num_workers_ = 0;  ///< 0 = inline mode
   std::mutex inline_m_;           ///< serializes inline batch execution
+
+  std::unique_ptr<Supervisor> sup_;  ///< null when supervision is off
+  std::thread sup_thread_;
+  std::atomic<bool> sup_stop_{false};
+  /// ms-since-start of the last batch completion: the deep canary requires
+  /// a real idle window (empty queue AND no recent batch), because under
+  /// closed-loop traffic the queue transiently empties between batches and
+  /// a probe in that gap lands straight in request tail latency.
+  std::atomic<std::int64_t> last_batch_end_ms_{0};
 
   std::mutex join_m_;
   std::condition_variable join_cv_;

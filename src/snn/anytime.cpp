@@ -45,10 +45,11 @@ void ensure_2d(Tensor& t, std::int64_t rows, std::int64_t cols) {
 
 }  // namespace
 
-AnytimeRunner::AnytimeRunner(SpikingClassifier& model)
+AnytimeRunner::AnytimeRunner(SpikingClassifier& model, bool allow_faults)
     : model_(model),
       time_steps_(model.time_steps()),
-      num_classes_(model.num_classes()) {
+      num_classes_(model.num_classes()),
+      allow_faults_(allow_faults) {
   nn::Sequential& net = model_.net();
   SNNSEC_CHECK(net.size() > 0, "AnytimeRunner: empty network");
   // One-time stage-table build at construction, never on the per-step path.
@@ -122,14 +123,24 @@ void AnytimeRunner::begin(const Tensor& x) {
   SNNSEC_CHECK(x.ndim() == 4,
                "AnytimeRunner::begin: expects [N, C, H, W], got "
                    << x.shape().to_string());
-  for (const Stage& s : stages_) {
+  for (Stage& s : stages_) {
     if (s.kind != StageKind::kLif) continue;
     const auto& lif = static_cast<const LifLayer&>(*s.layer);
+    if (allow_faults_) {
+      // Chaos mode: latch the armed spec for this request. The per-slot
+      // state (stuck mask, jitter carry) is sized lazily at the first step,
+      // once the stage's activation geometry is known.
+      s.fault = lif.spike_fault();
+      s.fault_active = s.fault.any();
+      continue;
+    }
     SNNSEC_CHECK(!lif.spike_fault().any(),
                  "AnytimeRunner: " << lif.name()
                                    << " has an armed spike fault; the fault "
                                       "post-pass runs in LifLayer::forward, "
-                                      "which anytime stepping bypasses");
+                                      "which anytime stepping bypasses "
+                                      "(construct with allow_faults to opt "
+                                      "into the per-step chaos replay)");
   }
   ensure_like(input_, x);
   std::copy(x.data(), x.data() + x.numel(), input_.data());
@@ -185,6 +196,7 @@ void AnytimeRunner::step() {
         ensure_like(s.out, *cur);
         lif_step(lif.params(), n, cur->data(), s.state_i.data(),
                  s.state_v.data(), s.out.data(), s.scratch.data());
+        if (s.fault_active) apply_stage_fault(s, n);
         if (sketch_ != nullptr)
           sketch_->accumulate(s.sketch_index, s.out.data(), s.scratch.data(),
                               n);
@@ -285,6 +297,63 @@ void AnytimeRunner::step() {
   }
   if (sketch_ != nullptr) sketch_->end_step();
   ++t_;
+}
+
+void AnytimeRunner::apply_stage_fault(Stage& s, std::int64_t n) {
+  if (t_ == 0) {
+    // Rebuild the deterministic per-request fault state. Slot-major mask
+    // draws from fork("slots") make the stuck assignment bit-identical to
+    // LifLayer::apply_spike_fault for the same seed and geometry.
+    util::Rng rng(s.fault.seed);
+    util::Rng slot_rng = rng.fork("slots");
+    // NOLINTNEXTLINE(snnsec-hot-alloc): armed-fault (chaos) path only
+    s.stuck.assign(static_cast<std::size_t>(n), 0);
+    for (std::int64_t k = 0; k < n; ++k) {
+      if (s.fault.stuck_zero_fraction > 0.0 &&
+          slot_rng.bernoulli(s.fault.stuck_zero_fraction))
+        s.stuck[static_cast<std::size_t>(k)] = 1;
+      else if (s.fault.stuck_one_fraction > 0.0 &&
+               slot_rng.bernoulli(s.fault.stuck_one_fraction))
+        s.stuck[static_cast<std::size_t>(k)] = 2;
+    }
+    ensure_flat(s.carry, n);
+    s.carry.zero_();
+    s.fault_rng = rng.fork("spikes");
+  }
+  // Same composition as the one-shot post-pass, one time slab at a time:
+  // stuck masks override, surviving spikes are independently dropped or
+  // delayed one step (the delay rides s.carry into the next slab; a spike
+  // jittered at the final step is emitted in place, matching t+1 < T).
+  const bool last_step = t_ + 1 >= time_steps_;
+  float* z = s.out.data();
+  float* carry = s.carry.data();
+  for (std::int64_t k = 0; k < n; ++k) {
+    const std::uint8_t st = s.stuck[static_cast<std::size_t>(k)];
+    if (st == 1) {
+      z[k] = 0.0f;
+      carry[k] = 0.0f;
+      continue;
+    }
+    if (st == 2) {
+      z[k] = 1.0f;
+      carry[k] = 0.0f;
+      continue;
+    }
+    const bool fired = z[k] > 0.5f;
+    float out = carry[k];  // a spike delayed from step t-1 arrives now
+    carry[k] = 0.0f;
+    if (fired) {
+      if (s.fault.drop_prob > 0.0 && s.fault_rng.bernoulli(s.fault.drop_prob)) {
+        // dropped
+      } else if (s.fault.jitter_prob > 0.0 &&
+                 s.fault_rng.bernoulli(s.fault.jitter_prob) && !last_step) {
+        carry[k] = 1.0f;
+      } else {
+        out = 1.0f;
+      }
+    }
+    z[k] = out;
+  }
 }
 
 const Tensor& AnytimeRunner::run(const Tensor& x, std::int64_t max_steps) {

@@ -27,16 +27,27 @@
 //
 // Not supported (throws at construction / begin): Poisson encoders (fresh
 // RNG per forward — a step-by-step replay would not reproduce the one-shot
-// spike trains) and armed SpikeFaults (the fault post-pass lives in
-// LifLayer::forward, which this runner bypasses).
+// spike trains) and, by default, armed SpikeFaults (the fault post-pass
+// lives in LifLayer::forward, which this runner bypasses). Chaos mode —
+// AnytimeRunner(model, /*allow_faults=*/true) — lifts the fault rejection
+// and replays each armed layer's SpikeFault as a per-step post-pass with
+// the exact per-slot semantics of LifLayer::apply_spike_fault (identical
+// stuck masks; drop/jitter gated per spike; one-step jitter carried into
+// the next slab). Faulted runs are deterministic per (seed, input) but NOT
+// bit-identical to the one-shot faulted forward: the one-shot pass draws
+// drop/jitter slot-major over the whole window, while online stepping must
+// draw time-major. The healthy path is untouched — fault state is only
+// allocated when a begin() observes an armed fault.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "obs/sketch.hpp"
+#include "snn/lif_layer.hpp"
 #include "snn/spiking_network.hpp"
 #include "tensor/tensor.hpp"
+#include "util/rng.hpp"
 
 namespace snnsec::snn {
 
@@ -46,11 +57,17 @@ class AnytimeRunner {
   /// a constant-current-encoded spiking stack ending in LiReadout; throws
   /// util::Error otherwise. The runner borrows the model (weights are read
   /// through the live layers each step) — it must outlive the runner.
-  explicit AnytimeRunner(SpikingClassifier& model);
+  /// `allow_faults` opts into chaos mode: armed LifLayer spike faults are
+  /// replayed per step instead of rejected (see the header comment).
+  explicit AnytimeRunner(SpikingClassifier& model, bool allow_faults = false);
 
   /// Start a new request: latch the input batch [N, C, H, W] and reset all
-  /// neuron state. Rejects armed spike faults on any LIF layer.
+  /// neuron state. Rejects armed spike faults on any LIF layer unless the
+  /// runner was constructed with allow_faults; with it, each armed layer's
+  /// fault spec is latched here for the lifetime of the request.
   void begin(const tensor::Tensor& x);
+
+  bool allow_faults() const { return allow_faults_; }
 
   /// Advance the whole stack by one time step and fold the readout trace
   /// into the running-max logits. Requires begin() and !done().
@@ -108,7 +125,15 @@ class AnytimeRunner {
     tensor::Tensor state_v;  ///< membrane potential (LIF/ALIF/readout)
     tensor::Tensor state_b;  ///< adaptation trace (ALIF only)
     tensor::Tensor scratch;  ///< pre-reset membrane (v_decayed) sink
+    // Chaos mode (allow_faults) only — all empty on the healthy path.
+    SpikeFault fault;               ///< latched at begin() (LIF stages)
+    bool fault_active = false;      ///< fault.any() as of the last begin()
+    std::vector<std::uint8_t> stuck;  ///< per-slot stuck mask (0/1/2)
+    tensor::Tensor carry;           ///< spikes jittered into the next step
+    util::Rng fault_rng{0};         ///< drop/jitter stream for this request
   };
+
+  void apply_stage_fault(Stage& s, std::int64_t n);
 
   SpikingClassifier& model_;
   std::int64_t time_steps_;
@@ -121,6 +146,7 @@ class AnytimeRunner {
   std::int64_t batch_ = 0;
   std::int64_t t_ = 0;
   bool began_ = false;
+  bool allow_faults_ = false;
 };
 
 }  // namespace snnsec::snn

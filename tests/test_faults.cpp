@@ -185,6 +185,115 @@ TEST(ScopedFaultTest, RestoresWeightsAndDisarmsOnExit) {
   EXPECT_TRUE(model->logits(x).allclose(baseline_logits, 0.0f));
 }
 
+TEST(ScopedFaultTest, NestedSpikeScopesRestoreTheOuterFault) {
+  // An inner scope destructing must re-arm whatever the outer scope had
+  // installed on the same LIF layers — not blanket-clear it. Faults are
+  // distinguished by the total spike rate (deterministic per armed state;
+  // this untrained model's *logits* barely react to spike faults).
+  auto model = tiny_model();
+  const auto x = tiny_batch();
+  model->logits(x);
+  const double clean_rate = total_spike_rate(*model);
+  const FaultSpec outer_spec{FaultKind::kSpikeDrop, 0.3, 11};
+  const FaultSpec inner_spec{FaultKind::kSpikeJitter, 0.5, 13};
+
+  double drop_rate = 0.0;
+  double jitter_rate = 0.0;
+  {
+    ScopedFault scope(*model, outer_spec);
+    model->logits(x);
+    drop_rate = total_spike_rate(*model);
+  }
+  {
+    ScopedFault scope(*model, inner_spec);
+    model->logits(x);
+    jitter_rate = total_spike_rate(*model);
+  }
+  ASSERT_LT(drop_rate, clean_rate);
+  ASSERT_NE(jitter_rate, drop_rate);
+  EXPECT_EQ(armed_spike_fault_count(*model), 0u);
+
+  {
+    ScopedFault outer(*model, outer_spec);
+    const std::size_t armed = armed_spike_fault_count(*model);
+    EXPECT_GT(armed, 0u);
+    {
+      ScopedFault inner(*model, inner_spec);
+      EXPECT_EQ(armed_spike_fault_count(*model), armed);
+      model->logits(x);
+      EXPECT_EQ(total_spike_rate(*model), jitter_rate)
+          << "inner scope must replace the outer fault while active";
+    }
+    EXPECT_EQ(armed_spike_fault_count(*model), armed)
+        << "inner exit must restore the outer fault, not disarm";
+    model->logits(x);
+    EXPECT_EQ(total_spike_rate(*model), drop_rate);
+  }
+  EXPECT_EQ(armed_spike_fault_count(*model), 0u);
+  model->logits(x);
+  EXPECT_EQ(total_spike_rate(*model), clean_rate);
+}
+
+TEST(ScopedFaultTest, ReArmAfterClearReproducesTheFault) {
+  auto model = tiny_model();
+  const auto x = tiny_batch();
+  const FaultSpec spec{FaultKind::kSpikeDrop, 0.4, 17};
+  arm_fault(*model, spec);
+  const auto faulted = model->logits(x);
+  clear_spike_faults(*model);
+  EXPECT_EQ(armed_spike_fault_count(*model), 0u);
+  // Arming again from the same spec forks the same per-layer sub-seeds.
+  arm_fault(*model, spec);
+  EXPECT_GT(armed_spike_fault_count(*model), 0u);
+  EXPECT_TRUE(model->logits(x).allclose(faulted, 0.0f));
+  clear_spike_faults(*model);
+}
+
+TEST(ScopedFaultTest, WeightScopeDoesNotDisturbArmedSpikeFaults) {
+  auto model = tiny_model();
+  const auto x = tiny_batch();
+  arm_fault(*model, {FaultKind::kSpikeDrop, 0.3, 19});
+  const std::size_t armed = armed_spike_fault_count(*model);
+  EXPECT_GT(armed, 0u);
+  const auto faulted = model->logits(x);
+  {
+    ScopedFault scope(*model, {FaultKind::kWeightBitflip, 0.01, 23});
+    EXPECT_EQ(armed_spike_fault_count(*model), armed);
+  }
+  EXPECT_EQ(armed_spike_fault_count(*model), armed);
+  EXPECT_TRUE(model->logits(x).allclose(faulted, 0.0f));
+  clear_spike_faults(*model);
+}
+
+TEST(ScopedFaultTest, StackedWeightScopesRestoreLifo) {
+  // Compare bit patterns, not float values: exponent flips mint NaNs, and
+  // NaN != NaN would report a bit-perfect restore as a mismatch.
+  const auto bits = [](snn::SpikingClassifier& model) {
+    std::vector<std::uint32_t> out;
+    for (const float f : flatten_weights(model)) {
+      std::uint32_t b;
+      std::memcpy(&b, &f, sizeof b);
+      out.push_back(b);
+    }
+    return out;
+  };
+  auto model = tiny_model();
+  const auto w0 = bits(*model);
+  {
+    ScopedFault outer(*model, {FaultKind::kWeightBitflip, 0.005, 29});
+    EXPECT_GT(outer.injected(), 0u);
+    const auto w1 = bits(*model);
+    EXPECT_NE(w1, w0);
+    {
+      ScopedFault inner(*model, {FaultKind::kWeightBitflip, 0.005, 31});
+      EXPECT_GT(inner.injected(), 0u);
+      EXPECT_NE(bits(*model), w1);
+    }
+    EXPECT_EQ(bits(*model), w1) << "inner exit must restore outer's view";
+  }
+  EXPECT_EQ(bits(*model), w0);
+}
+
 TEST(FaultSpecTest, LabelsAndValidation) {
   FaultSpec spec{FaultKind::kWeightBitflip, 1e-3, 7};
   EXPECT_EQ(spec.label(), "weight_bitflip@0.001");

@@ -375,3 +375,34 @@ TEST(LintServe, ParallelCaptureFiresOnServeWorkerPath) {
   const auto r = lint_source("src/serve/fake_server.cpp", src);
   EXPECT_TRUE(has(r, "snnsec-parallel-capture", 2));
 }
+
+// ---- supervisor coverage --------------------------------------------------
+// The supervisor's fast canary runs on the serving thread every batch and
+// must stay allocation-free; heal()/respawn is the cold path and uses the
+// justified-NOLINT idiom. These fixtures pin both down for the
+// src/serve/supervisor.* file family.
+
+TEST(LintServe, HotAllocFiresOnFastCanaryPath) {
+  const std::string src =
+      "// SNNSEC_HOT: per-batch fast canary on the serving thread\n"  // 1
+      "void Server::fast_canary(Worker& w) {\n"                       // 2
+      "  auto params = w.model->parameters();\n"                      // 3
+      "  failures_.push_back(w.id);\n"                                // 4
+      "}\n";
+  const auto r = lint_source("src/serve/fake_supervisor.cpp", src);
+  EXPECT_TRUE(has(r, "snnsec-hot-alloc", 4));
+}
+
+TEST(LintServe, JustifiedRespawnGrowthSuppresses) {
+  // heal() stamps a fresh replica — cold path, growth is justified there.
+  const std::string src =
+      "// SNNSEC_HOT\n"
+      "void Server::heal(Worker& w) {\n"
+      "  w.model = artifact_->make_replica();\n"  // 3
+      "  // NOLINTNEXTLINE(snnsec-hot-alloc): quarantine recovery only\n"
+      "  w.params.assign(all.begin(), all.end());\n"  // 5
+      "}\n";
+  const auto r = lint_source("src/serve/fake_supervisor.cpp", src);
+  EXPECT_TRUE(r.findings.empty());
+  EXPECT_TRUE(suppressed(r, "snnsec-hot-alloc", 5));
+}

@@ -160,6 +160,46 @@ TEST(AnytimeRunner, RejectsArmedSpikeFault) {
   EXPECT_THROW(runner.begin(random_batch(1)), util::Error);
 }
 
+TEST(AnytimeRunner, AllowFaultsOptsIntoArmedSpikeFaults) {
+  // Chaos mode: the same armed fault that a default runner rejects is
+  // replayed per step under allow_faults, bit-identically to the one-shot
+  // faulted forward and deterministically across runners.
+  auto model = make_model();
+  const Tensor x = random_batch(2, 21);
+  const Tensor clean = model->logits(x);
+
+  SpikeFault fault;
+  fault.drop_prob = 0.0;
+  fault.stuck_one_fraction = 1.0;  // saturate every LIF: visibly not clean
+  fault.seed = 31;
+  for (std::size_t i = 0; i < model->net().size(); ++i)
+    if (model->net().layer(i).kind() == "LifLayer")
+      static_cast<LifLayer&>(model->net().layer(i)).set_spike_fault(fault);
+
+  AnytimeRunner strict(*model);
+  EXPECT_THROW(strict.begin(x), util::Error)
+      << "default runners must keep rejecting armed faults";
+
+  const Tensor faulted = model->logits(x);  // one-shot under the fault
+  AnytimeRunner a(*model, /*allow_faults=*/true);
+  AnytimeRunner b(*model, /*allow_faults=*/true);
+  const Tensor& la = a.run(x, model->time_steps());
+  expect_bitwise_equal(la, faulted);
+  expect_bitwise_equal(la, b.run(x, model->time_steps()));
+  bool differs = false;
+  for (std::int64_t i = 0; i < clean.numel(); ++i)
+    if (la.data()[i] != clean.data()[i]) differs = true;
+  EXPECT_TRUE(differs) << "a saturated network cannot match clean logits";
+
+  // Disarming restores the clean bit-exact contract for default runners.
+  for (std::size_t i = 0; i < model->net().size(); ++i)
+    if (model->net().layer(i).kind() == "LifLayer")
+      static_cast<LifLayer&>(model->net().layer(i))
+          .set_spike_fault(SpikeFault{});
+  AnytimeRunner healed(*model);
+  expect_bitwise_equal(healed.run(x, model->time_steps()), clean);
+}
+
 TEST(AnytimeRunner, StepGuards) {
   auto model = make_model(2);
   AnytimeRunner runner(*model);

@@ -18,6 +18,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -137,6 +138,16 @@ int main(int argc, char** argv) {
       "detect-policy", "observe", "flagged requests: observe | reject");
   auto& flag_threshold = args.add_double(
       "flag-threshold", 4.0, "anomaly z-score that flags a request");
+  auto& supervise = args.add_flag(
+      "supervise", "enable replica supervision (canaries, self-healing, "
+                   "overload governor)");
+  auto& canary_interval = args.add_int(
+      "canary-interval-ms", 500, "ms between deep canary probes per replica");
+  auto& heartbeat_timeout = args.add_int(
+      "heartbeat-timeout-ms", 1000,
+      "watchdog deposes a worker silent for this long; 0 disables");
+  auto& max_respawns =
+      args.add_int("max-respawns", 16, "respawn budget per worker context");
   auto& metrics_interval = args.add_int(
       "metrics-interval", 0,
       "ms between obs::Registry snapshots appended to the metrics sink; "
@@ -145,6 +156,12 @@ int main(int argc, char** argv) {
       "metrics-file", "", "JSONL metrics sink (default SNNSEC_METRICS_FILE)");
   auto& verbose = args.add_flag("verbose", "print one line per request");
   args.parse(argc, argv);
+
+  // Reject nonsense thresholds at parse time, before any model is trained
+  // or loaded: a negative threshold would flag every request.
+  SNNSEC_CHECK(std::isfinite(flag_threshold) && flag_threshold >= 0.0,
+               "snnsec_serve: --flag-threshold must be finite and >= 0, got "
+                   << flag_threshold);
 
   if (!metrics_file.empty())
     obs::Registry::instance().set_sink_path(metrics_file);
@@ -182,16 +199,21 @@ int main(int argc, char** argv) {
                  "got '" << detect_policy << "'");
   }
   scfg.flag_threshold = flag_threshold;
+  scfg.supervisor.enabled = supervise;
+  scfg.supervisor.canary_interval_ms = canary_interval;
+  scfg.supervisor.heartbeat_timeout_ms = heartbeat_timeout;
+  scfg.supervisor.max_respawns = max_respawns;
   serve::Server server(scfg);
   std::printf(
       "serving %s | T=%lld | workers=%lld (%s) | max_batch=%lld "
-      "delay=%lldus capacity=%lld | detection %s\n",
+      "delay=%lldus capacity=%lld | detection %s | supervision %s\n",
       model_path.c_str(), static_cast<long long>(server.time_steps()),
       static_cast<long long>(server.worker_count()),
       server.worker_count() > 0 ? "resident" : "inline",
       static_cast<long long>(max_batch), static_cast<long long>(max_delay),
       static_cast<long long>(capacity),
-      server.detector_ready() ? serve::to_string(scfg.detect_policy) : "off");
+      server.detector_ready() ? serve::to_string(scfg.detect_policy) : "off",
+      server.supervisor() ? "on" : "off");
 
   std::vector<Request> requests;
   if (requests_path.empty()) {
@@ -286,6 +308,26 @@ int main(int argc, char** argv) {
       answered > 0 ? static_cast<double>(latency_sum) /
                          static_cast<double>(answered)
                    : 0.0);
+  // One-line ServerStats dump: the server's own monotonic counters (the
+  // replay tallies above count only this process's accepted requests).
+  std::printf(
+      "server stats: submitted=%lld completed=%lld shed=%lld errors=%lld "
+      "truncated=%lld flagged=%lld batches=%lld quarantines=%lld "
+      "respawns=%lld watchdog_trips=%lld retries=%lld rescues=%lld "
+      "degraded=%lld\n",
+      static_cast<long long>(stats.submitted),
+      static_cast<long long>(stats.completed),
+      static_cast<long long>(stats.shed),
+      static_cast<long long>(stats.errors),
+      static_cast<long long>(stats.truncated),
+      static_cast<long long>(stats.flagged),
+      static_cast<long long>(stats.batches),
+      static_cast<long long>(stats.quarantines),
+      static_cast<long long>(stats.respawns),
+      static_cast<long long>(stats.watchdog_trips),
+      static_cast<long long>(stats.retries),
+      static_cast<long long>(stats.rescues),
+      static_cast<long long>(stats.degraded));
   server.stop();
   return stats.errors == 0 ? 0 : 1;
 }
