@@ -7,8 +7,9 @@
 #include <sstream>
 
 #include "nn/init.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
-#include "tensor/gemm.hpp"
+#include "tensor/spike_events.hpp"
 #include "util/checked.hpp"
 #include "util/thread_pool.hpp"
 #include "util/workspace.hpp"
@@ -57,6 +58,77 @@ Tensor Conv2d::forward(const Tensor& x, Mode mode) {
   return y;
 }
 
+void Conv2d::set_input_hint(tensor::SparsityHint hint) {
+  SNNSEC_CHECK(!kernel_resolved_,
+               name() << ": set_input_hint after the layer has run — kernel "
+                         "resolution is sticky (one kernel per operand role "
+                         "for the layer's lifetime); build-time declaration "
+                         "only");
+  SNNSEC_CHECK(hint != tensor::SparsityHint::kSparse,
+               name() << ": kSparse is meaningless for conv — the im2col "
+                         "lowering puts the spike sparsity in the B operand "
+                         "where the zero-skip A kernel cannot reach it; "
+                         "declare kEvents instead");
+  input_hint_ = hint;
+}
+
+void Conv2d::resolve_kernel() {
+  if (kernel_resolved_) return;
+  kernel_resolved_ = true;
+  if (input_hint_ == tensor::SparsityHint::kEvents)
+    SNNSEC_COUNTER_ADD("tensor.gemm.kernel.events", 1);
+  else
+    SNNSEC_COUNTER_ADD("tensor.gemm.kernel.dense", 1);
+}
+
+/// Event-driven eval forward: scatter-accumulate value-scaled W^T rows into
+/// the transposed output for every nonzero input pixel —
+///   Ct [N*OHW, Cout] += x[i, c, iy, ix] * W^T[patch position, :]
+/// across the receptive-field windows each pixel occupies — then fuse
+/// bias + reorder into [N, Cout, OH, OW]. The transposed formulation is
+/// what moves the spike sparsity to the operand the kernel walks; the
+/// classic im2col lowering leaves it in B where no row skip can see it,
+/// and materializing per-patch event lists (build_conv_events) would
+/// duplicate every spike up to KH*KW-fold.
+void Conv2d::forward_events(const Tensor& x, Tensor& y,
+                            const ConvGeometry& g) {
+  const std::int64_t n = x.dim(0);
+  const std::int64_t oh = g.out_h();
+  const std::int64_t ow = g.out_w();
+  const std::int64_t ohw = oh * ow;
+  const std::int64_t cout = spec_.out_channels;
+
+  util::Workspace& ws = util::Workspace::local();
+  util::Workspace::Scope scope(ws);
+  float* pct = ws.alloc<float>(static_cast<std::size_t>(n * ohw * cout));
+  {
+    SNNSEC_TRACE_SCOPE("conv.event_scatter");
+    tensor::conv_events(g, x.data(), n, weight_.value.data(), cout, pct, ws);
+  }
+
+  if (y.ndim() != 4 || y.dim(0) != n || y.dim(1) != cout || y.dim(2) != oh ||
+      y.dim(3) != ow)
+    y = Tensor(Shape{n, cout, oh, ow});
+  {
+    SNNSEC_TRACE_SCOPE("conv.bias_reorder");
+    float* py = y.data();
+    const float* pb = bias_.value.data();
+    const bool has_bias = has_bias_;
+    util::parallel_for_chunked(
+        0, cout, [&, py, pb, has_bias, cout](std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t co = lo; co < hi; ++co) {
+            const float b = has_bias ? pb[co] : 0.0f;
+            for (std::int64_t i = 0; i < n; ++i) {
+              const float* src = pct + i * ohw * cout + co;
+              float* dst = py + (i * cout + co) * ohw;
+              for (std::int64_t j = 0; j < ohw; ++j)
+                dst[j] = src[j * cout] + b;
+            }
+          }
+        });
+  }
+}
+
 void Conv2d::forward_into(const Tensor& x, Tensor& y, Mode mode) {
   SNNSEC_CHECK(x.ndim() == 4 && x.dim(1) == spec_.in_channels,
                name() << ": bad input shape " << x.shape().to_string());
@@ -68,6 +140,15 @@ void Conv2d::forward_into(const Tensor& x, Tensor& y, Mode mode) {
   const std::int64_t patch = g.patch_size();
   const std::int64_t image_size = g.channels * g.height * g.width;
   const bool caching = cache_enabled(mode);
+  resolve_kernel();
+  if (!caching && input_hint_ == tensor::SparsityHint::kEvents) {
+    // Event path is eval-only: train/attack forwards must materialize the
+    // dense column matrix anyway (backward consumes it), so they keep the
+    // classic lowering. The choice is fixed per (layer, mode) — no data
+    // probe, no mid-run flips.
+    forward_events(x, y, g);
+    return;
+  }
 
   util::Workspace& ws = util::Workspace::local();
   util::Workspace::Scope scope(ws);
@@ -95,13 +176,16 @@ void Conv2d::forward_into(const Tensor& x, Tensor& y, Mode mode) {
   }
 
   // raw = W [Cout, patch] x columns [patch, N*OHW] -> [Cout, N*OHW], GEMM'd
-  // straight into workspace memory. The weight operand is dense, so the
-  // zero-skip probe is pointless — pin the blocked kernel.
+  // straight into workspace memory. In this lowering op(A) is the WEIGHT
+  // matrix — dense by role whatever the input hint says — so the layer's
+  // event resolution is applied above by switching the lowering itself, not
+  // by re-tagging this operand.
+  const tensor::SparsityHint weight_role = tensor::SparsityHint::kDense;
   float* praw =
       ws.alloc<float>(static_cast<std::size_t>(spec_.out_channels * n * ohw));
   tensor::gemm_raw(Trans::kNo, Trans::kNo, spec_.out_channels, n * ohw, patch,
                    1.0f, weight_.value.data(), patch, pcol, n * ohw, 0.0f,
-                   praw, n * ohw, tensor::SparsityHint::kDense);
+                   praw, n * ohw, weight_role);
 
   // Fused bias-add + reorder [Cout][n][ohw] -> [n][Cout][ohw], parallel over
   // output channels (each channel writes disjoint rows of y).
@@ -182,12 +266,16 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
     });
   }
 
-  // dW += G x columns^T : [Cout, patch]
+  // dW += G x columns^T : [Cout, patch]. op(A) is the upstream gradient —
+  // dense by role (surrogate gradients are real-valued, not spikes); the
+  // cached spike columns sit in the B operand, out of any A-side skip's
+  // reach, so the layer's input hint does not apply here.
   tensor::gemm_raw(Trans::kNo, Trans::kYes, cout, patch, n * ohw, 1.0f, pm,
                    n * ohw, cached_columns_.data(), n * ohw, 1.0f,
                    weight_.grad.data(), patch, tensor::SparsityHint::kDense);
 
-  // dColumns = W^T x G : [patch, N*OHW]; then col2im per sample.
+  // dColumns = W^T x G : [patch, N*OHW]; then col2im per sample. op(A) is
+  // the weight matrix — dense by role regardless of the input hint.
   float* pdcol = ws.alloc<float>(static_cast<std::size_t>(patch * n * ohw));
   tensor::gemm_raw(Trans::kYes, Trans::kNo, patch, n * ohw, cout, 1.0f,
                    weight_.value.data(), patch, pm, n * ohw, 0.0f, pdcol,

@@ -13,6 +13,7 @@
 #pragma once
 
 #include "nn/layer.hpp"
+#include "tensor/gemm.hpp"
 #include "tensor/im2col.hpp"
 #include "util/rng.hpp"
 
@@ -50,6 +51,18 @@ class Conv2d final : public Layer {
   Parameter& weight() { return weight_; }
   Parameter& bias() { return bias_; }
 
+  /// Declare how this layer's input operand is populated. Conv resolves to
+  /// kDense (im2col + blocked GEMM, the default) or kEvents (receptive
+  /// fields compressed to event lists, spike inputs); kSparse is rejected —
+  /// in the im2col lowering the spike sparsity sits in the B operand where
+  /// the zero-skip row kernel cannot reach it. Resolution is STICKY (must
+  /// precede the first forward, never flips afterwards; throws util::Error
+  /// otherwise). The event path runs in eval mode; training/attack forwards
+  /// keep the dense lowering because backward consumes the cached dense
+  /// columns — still one fixed kernel per (layer, mode), never data-probed.
+  void set_input_hint(tensor::SparsityHint hint);
+  tensor::SparsityHint input_hint() const { return input_hint_; }
+
   /// Output spatial size for a given input size.
   std::int64_t out_size(std::int64_t in_size) const {
     return (in_size + 2 * spec_.padding - spec_.kernel) / spec_.stride + 1;
@@ -57,9 +70,14 @@ class Conv2d final : public Layer {
 
  private:
   tensor::ConvGeometry geometry(std::int64_t h, std::int64_t w) const;
+  void resolve_kernel();  ///< first-forward latch + tensor.gemm.kernel metric
+  void forward_events(const tensor::Tensor& x, tensor::Tensor& y,
+                      const tensor::ConvGeometry& g);
 
   Conv2dSpec spec_;
   bool has_bias_;
+  tensor::SparsityHint input_hint_ = tensor::SparsityHint::kDense;
+  bool kernel_resolved_ = false;  ///< set at first forward; hint frozen after
   Parameter weight_;  // [Cout, Cin*K*K]
   Parameter bias_;    // [Cout]
 

@@ -3,9 +3,10 @@
 #include <sstream>
 
 #include "nn/init.hpp"
-#include "tensor/gemm.hpp"
+#include "obs/metrics.hpp"
 #include "tensor/ops.hpp"
 #include "util/checked.hpp"
+#include "util/workspace.hpp"
 
 namespace snnsec::nn {
 
@@ -40,24 +41,89 @@ Tensor Linear::forward(const Tensor& x, Mode mode) {
   return y;
 }
 
+void Linear::set_input_hint(tensor::SparsityHint hint) {
+  SNNSEC_CHECK(!kernel_resolved_,
+               "Linear::set_input_hint after the layer has run — kernel "
+               "resolution is sticky (one kernel per operand role for the "
+               "layer's lifetime); build-time declaration only");
+  input_hint_ = hint;
+}
+
+void Linear::resolve_kernel() {
+  if (kernel_resolved_) return;
+  kernel_resolved_ = true;
+  // One increment per layer at resolution time: the counters expose which
+  // kernels the deployed model actually resolved to, without any per-call
+  // hot-path cost.
+  switch (input_hint_) {
+    case tensor::SparsityHint::kDense:
+      SNNSEC_COUNTER_ADD("tensor.gemm.kernel.dense", 1);
+      break;
+    case tensor::SparsityHint::kSparse:
+      SNNSEC_COUNTER_ADD("tensor.gemm.kernel.sparse", 1);
+      break;
+    case tensor::SparsityHint::kEvents:
+      SNNSEC_COUNTER_ADD("tensor.gemm.kernel.events", 1);
+      break;
+  }
+}
+
+void Linear::add_bias(Tensor& y) const {
+  if (!has_bias_) return;
+  const std::int64_t n = y.dim(0);
+  float* py = y.data();
+  const float* pb = bias_.value.data();
+  for (std::int64_t i = 0; i < n; ++i)
+    for (std::int64_t j = 0; j < out_features_; ++j)
+      py[i * out_features_ + j] += pb[j];
+}
+
 void Linear::forward_into(const Tensor& x, Tensor& y) {
   SNNSEC_CHECK(x.ndim() == 2 && x.dim(1) == in_features_,
                "Linear(" << in_features_ << "->" << out_features_
                          << "): bad input shape " << x.shape().to_string());
+  resolve_kernel();
   const std::int64_t n = x.dim(0);
   // Dim-wise compare so a warm steady state never reallocates.
   if (y.ndim() != 2 || y.dim(0) != n || y.dim(1) != out_features_)
     y = Tensor(Shape{n, out_features_});
   // beta = 0 is the kernels' overwrite path, so stale y contents are
   // ignored and the result is bit-identical to matmul into a fresh tensor.
-  tensor::gemm(Trans::kNo, Trans::kYes, 1.0f, x, weight_.value, 0.0f, y);
-  if (has_bias_) {
-    float* py = y.data();
-    const float* pb = bias_.value.data();
-    for (std::int64_t i = 0; i < n; ++i)
-      for (std::int64_t j = 0; j < out_features_; ++j)
-        py[i * out_features_ + j] += pb[j];
+  if (input_hint_ == tensor::SparsityHint::kEvents) {
+    // Compress the spike operand and event-accumulate weight rows. Building
+    // the lists here (when no producer handed them over) costs one scan of
+    // x and is bit-identical to the producer-built path: both emit events
+    // in increasing column order and the kernel is per-row.
+    util::Workspace& ws = util::Workspace::local();
+    util::Workspace::Scope scope(ws);
+    const tensor::EventRows ev =
+        tensor::build_event_rows(x.data(), in_features_, n, in_features_, ws);
+    tensor::gemm_events(ev, Trans::kYes, out_features_, 1.0f,
+                        weight_.value.data(), in_features_, 0.0f, y.data(),
+                        out_features_);
+  } else {
+    tensor::gemm(Trans::kNo, Trans::kYes, 1.0f, x, weight_.value, 0.0f, y,
+                 input_hint_);
   }
+  add_bias(y);
+}
+
+void Linear::forward_into_events(const tensor::EventRows& ev, Tensor& y) {
+  SNNSEC_CHECK(input_hint_ == tensor::SparsityHint::kEvents,
+               "Linear::forward_into_events on a layer resolved to a dense "
+               "kernel — the caller-built event lists would be dead weight");
+  SNNSEC_CHECK(ev.cols == in_features_,
+               "Linear(" << in_features_ << "->" << out_features_
+                         << "): event operand has " << ev.cols
+                         << " columns");
+  resolve_kernel();
+  const std::int64_t n = ev.rows;
+  if (y.ndim() != 2 || y.dim(0) != n || y.dim(1) != out_features_)
+    y = Tensor(Shape{n, out_features_});
+  tensor::gemm_events(ev, Trans::kYes, out_features_, 1.0f,
+                      weight_.value.data(), in_features_, 0.0f, y.data(),
+                      out_features_);
+  add_bias(y);
 }
 
 Tensor Linear::backward(const Tensor& grad_out) {

@@ -4,10 +4,12 @@
 // zero-alloc (asserted by bench_runner's operator-new hook).
 #include "snn/alif_layer.hpp"
 
+#include <algorithm>
 #include <sstream>
-#include <vector>
 
+#include "util/simd.hpp"
 #include "util/thread_pool.hpp"
+#include "util/workspace.hpp"
 
 namespace snnsec::snn {
 
@@ -18,6 +20,35 @@ void AlifParameters::validate() const {
   SNNSEC_CHECK(beta >= 0.0f, "AlifParameters: negative beta");
   SNNSEC_CHECK(rho >= 0.0f && rho < 1.0f,
                "AlifParameters: rho must be in [0, 1)");
+}
+
+// Branch-free per-element update (the spike is a select), vectorized by the
+// target_clones v3 version. Single source of truth for the ALIF dynamics:
+// the unrolled forward below and AnytimeRunner's kAlif stage both call this
+// symbol, which keeps the two paths bit-identical per machine.
+SNNSEC_KERNEL_CLONES
+void alif_step(const AlifParameters& p, std::int64_t n, const float* x,
+               float* state_i, float* state_v, float* state_b, float* z_out,
+               float* v_decayed_out, float* b0_out) {
+  const float a = p.lif.a();
+  const float bsyn = p.lif.b();
+  const float beta = p.beta;
+  const float rho = p.rho;
+  for (std::int64_t k = 0; k < n; ++k) {
+    const float v0 = state_v[k];
+    const float i0 = state_i[k];
+    const float b0 = state_b[k];
+    const float v_decayed = v0 + a * ((p.lif.v_leak - v0) + i0);
+    const float i_decayed = bsyn * i0;
+    const float theta = p.lif.v_th + beta * b0;
+    const float spike = v_decayed > theta ? 1.0f : 0.0f;
+    v_decayed_out[k] = v_decayed;
+    b0_out[k] = b0;  // pre-update adaptation (enters theta); BPTT input
+    z_out[k] = spike;
+    state_v[k] = (1.0f - spike) * v_decayed + spike * p.lif.v_reset;
+    state_i[k] = i_decayed + x[k];
+    state_b[k] = rho * b0 + (1.0f - rho) * spike;
+  }
 }
 
 AlifLayer::AlifLayer(std::int64_t time_steps, AlifParameters params,
@@ -33,11 +64,6 @@ Tensor AlifLayer::forward(const Tensor& x, nn::Mode mode) {
                name() << ": dim0 " << total << " not divisible by T="
                       << time_steps_);
   const std::int64_t per_step = x.numel() / time_steps_;
-  const LifParameters& p = params_.lif;
-  const float a = p.a();
-  const float bsyn = p.b();
-  const float beta = params_.beta;
-  const float rho = params_.rho;
 
   Tensor z(x.shape());
   Tensor vd(x.shape());
@@ -49,28 +75,21 @@ Tensor AlifLayer::forward(const Tensor& x, nn::Mode mode) {
 
   util::parallel_for_chunked(0, per_step, [&](std::int64_t lo, std::int64_t hi) {
     const std::int64_t len = hi - lo;
-    std::vector<float> state_i(static_cast<std::size_t>(len), 0.0f);
-    std::vector<float> state_v(static_cast<std::size_t>(len), 0.0f);
-    std::vector<float> state_b(static_cast<std::size_t>(len), 0.0f);
+    // State carries come from the worker thread's arena — the per-call
+    // vectors this replaced were a steady malloc/free drumbeat at attack
+    // and serving scale.
+    util::Workspace& tws = util::Workspace::local();
+    util::Workspace::Scope chunk_scope(tws);
+    float* state_i = tws.alloc<float>(static_cast<std::size_t>(len));
+    float* state_v = tws.alloc<float>(static_cast<std::size_t>(len));
+    float* state_b = tws.alloc<float>(static_cast<std::size_t>(len));
+    std::fill(state_i, state_i + len, 0.0f);
+    std::fill(state_v, state_v + len, 0.0f);
+    std::fill(state_b, state_b + len, 0.0f);
     for (std::int64_t t = 0; t < time_steps_; ++t) {
       const std::int64_t off = t * per_step + lo;
-      for (std::int64_t k = 0; k < len; ++k) {
-        const float v0 = state_v[static_cast<std::size_t>(k)];
-        const float i0 = state_i[static_cast<std::size_t>(k)];
-        const float b0 = state_b[static_cast<std::size_t>(k)];
-        const float v_decayed = v0 + a * ((p.v_leak - v0) + i0);
-        const float i_decayed = bsyn * i0;
-        const float theta = p.v_th + beta * b0;
-        const float spike = v_decayed > theta ? 1.0f : 0.0f;
-        pvd[off + k] = v_decayed;
-        pb[off + k] = b0;  // pre-update adaptation (enters theta)
-        pz[off + k] = spike;
-        state_v[static_cast<std::size_t>(k)] =
-            (1.0f - spike) * v_decayed + spike * p.v_reset;
-        state_i[static_cast<std::size_t>(k)] = i_decayed + px[off + k];
-        state_b[static_cast<std::size_t>(k)] =
-            rho * b0 + (1.0f - rho) * spike;
-      }
+      alif_step(params_, len, px + off, state_i, state_v, state_b, pz + off,
+                pvd + off, pb + off);
     }
   });
 

@@ -28,6 +28,17 @@ struct AlifParameters {
   void validate() const;
 };
 
+/// One forward Euler step of the ALIF dynamics over a population (flat
+/// arrays of length n), the adaptive-threshold analogue of lif_step. Writes
+/// spikes into z_out, the pre-reset membrane into v_decayed_out, and the
+/// PRE-update adaptation trace (the value that entered the threshold) into
+/// b0_out — BPTT needs it. Updates state_i/state_v/state_b in place.
+/// Shared by AlifLayer::forward and AnytimeRunner's kAlif stage so both
+/// paths run the identical arithmetic (the bit-identity contract).
+void alif_step(const AlifParameters& p, std::int64_t n, const float* x,
+               float* state_i, float* state_v, float* state_b, float* z_out,
+               float* v_decayed_out, float* b0_out);
+
 class AlifLayer final : public nn::Layer {
  public:
   AlifLayer(std::int64_t time_steps, AlifParameters params,

@@ -14,6 +14,7 @@
 #include "snn/li_readout.hpp"
 #include "snn/lif_layer.hpp"
 #include "util/checked.hpp"
+#include "util/workspace.hpp"
 
 namespace snnsec::snn {
 
@@ -117,6 +118,25 @@ AnytimeRunner::AnytimeRunner(SpikingClassifier& model, bool allow_faults)
   }
   SNNSEC_CHECK(stages_.back().kind == StageKind::kReadout,
                "AnytimeRunner: network must end in LiReadout");
+  // Wire the producer -> consumer event handoff: a spiking stage whose
+  // downstream GEMM (looking past the pure-reshape Flatten) is a Linear
+  // resolved to the event kernel compresses its slab once per step; the
+  // Linear consumes the lists instead of re-scanning the dense slab. This
+  // is topology-derived at construction — which stages hand off never
+  // depends on the data flowing through them.
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    if (stages_[i].kind != StageKind::kLinear) continue;
+    const auto& lin = static_cast<const nn::Linear&>(*stages_[i].layer);
+    if (lin.input_hint() != tensor::SparsityHint::kEvents) continue;
+    std::size_t j = i;
+    while (j > 0 && stages_[j - 1].kind == StageKind::kFlatten) --j;
+    if (j == 0) continue;
+    const StageKind pk = stages_[j - 1].kind;
+    if (pk == StageKind::kLif || pk == StageKind::kAlif) {
+      stages_[j - 1].build_events = true;
+      stages_[i].event_source = static_cast<int>(j - 1);
+    }
+  }
 }
 
 void AnytimeRunner::begin(const Tensor& x) {
@@ -171,6 +191,11 @@ void AnytimeRunner::step() {
                             << time_steps_);
   // Constant-current encoding replays the same latched image every step, so
   // the chain below is exactly one time-slab of the unrolled forward.
+  // Event lists built by spiking stages live in this arena scope until the
+  // consuming Linear has run; nested scopes opened by conv/linear stages
+  // rewind only to their own marks, so the handoff stays valid all step.
+  util::Workspace& ws = util::Workspace::local();
+  util::Workspace::Scope slab_scope(ws);
   const Tensor* cur = &input_;
   for (Stage& s : stages_) {
     switch (s.kind) {
@@ -200,53 +225,45 @@ void AnytimeRunner::step() {
         if (sketch_ != nullptr)
           sketch_->accumulate(s.sketch_index, s.out.data(), s.scratch.data(),
                               n);
+        // Compress AFTER the fault post-pass — the consumer must see the
+        // same slab values the dense path would.
+        if (s.build_events) {
+          const std::int64_t rows = s.out.dim(0);
+          const std::int64_t cols = n / rows;
+          s.events = tensor::build_event_rows(s.out.data(), cols, rows, cols,
+                                              ws);
+        }
         break;
       }
       case StageKind::kAlif: {
-        // Same per-element update as AlifLayer::forward's inner loop; the
-        // recurrence is elementwise, so stepping it one t at a time outside
-        // the layer reorders no floating-point operation.
+        // One time slab of AlifLayer::forward — the same alif_step symbol
+        // the layer's unrolled loop calls, so stepping time outside the
+        // layer reorders no floating-point operation.
         const auto& alif = static_cast<const AlifLayer&>(*s.layer);
-        const AlifParameters& ap = alif.params();
-        const LifParameters& p = ap.lif;
-        const float a = p.a();
-        const float bsyn = p.b();
-        const float beta = ap.beta;
-        const float rho = ap.rho;
         const std::int64_t n = cur->numel();
         ensure_flat(s.state_i, n);
         ensure_flat(s.state_v, n);
         ensure_flat(s.state_b, n);
         ensure_flat(s.scratch, n);
+        ensure_flat(s.scratch_b, n);
         if (t_ == 0) {
           s.state_i.zero_();
           s.state_v.zero_();
           s.state_b.zero_();
         }
         ensure_like(s.out, *cur);
-        const float* px = cur->data();
-        float* pz = s.out.data();
-        float* si = s.state_i.data();
-        float* sv = s.state_v.data();
-        float* sb = s.state_b.data();
-        float* pvd = s.scratch.data();
-        for (std::int64_t k = 0; k < n; ++k) {
-          const float v0 = sv[k];
-          const float i0 = si[k];
-          const float b0 = sb[k];
-          const float v_decayed = v0 + a * ((p.v_leak - v0) + i0);
-          const float i_decayed = bsyn * i0;
-          const float theta = p.v_th + beta * b0;
-          const float spike = v_decayed > theta ? 1.0f : 0.0f;
-          pz[k] = spike;
-          pvd[k] = v_decayed;  // pre-reset membrane for the telemetry sketch
-          sv[k] = (1.0f - spike) * v_decayed + spike * p.v_reset;
-          si[k] = i_decayed + px[k];
-          sb[k] = rho * b0 + (1.0f - rho) * spike;
-        }
+        alif_step(alif.params(), n, cur->data(), s.state_i.data(),
+                  s.state_v.data(), s.state_b.data(), s.out.data(),
+                  s.scratch.data(), s.scratch_b.data());
         if (sketch_ != nullptr)
           sketch_->accumulate(s.sketch_index, s.out.data(), s.scratch.data(),
                               n);
+        if (s.build_events) {
+          const std::int64_t rows = s.out.dim(0);
+          const std::int64_t cols = n / rows;
+          s.events = tensor::build_event_rows(s.out.data(), cols, rows, cols,
+                                              ws);
+        }
         break;
       }
       case StageKind::kConv: {
@@ -265,7 +282,16 @@ void AnytimeRunner::step() {
         break;
       }
       case StageKind::kLinear: {
-        static_cast<nn::Linear&>(*s.layer).forward_into(*cur, s.out);
+        auto& lin = static_cast<nn::Linear&>(*s.layer);
+        if (s.event_source >= 0)
+          // Consume the event lists the producing spiking stage built this
+          // step — same slab values, same build order, so the result is
+          // bit-identical to lin.forward_into on the dense slab.
+          lin.forward_into_events(
+              stages_[static_cast<std::size_t>(s.event_source)].events,
+              s.out);
+        else
+          lin.forward_into(*cur, s.out);
         break;
       }
       case StageKind::kReadout: {

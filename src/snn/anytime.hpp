@@ -18,10 +18,18 @@
 // step — the property bench_serve asserts with its operator-new hook.
 //
 // Bit-identity with the one-shot path: every stage reuses the exact
-// per-step math of the corresponding layer (lif_step / li_step / the
-// layers' own forward_into entry points, conv pinned to the same dense
-// GEMM), and the LIF recurrences are elementwise, so stepping time outside
-// the layers instead of inside them reorders no floating-point operation.
+// per-step math of the corresponding layer (lif_step / alif_step / li_step
+// / the layers' own forward_into entry points), and each conv/linear runs
+// whatever kernel the layer resolved at build time — dense GEMM or the
+// event-accumulate kernel — identically in both paths; the sticky
+// resolution rule (DESIGN.md §14) guarantees the choice never differs
+// between one-shot and stepped execution. The LIF recurrences are
+// elementwise and the event kernel computes each output row independently,
+// so stepping time outside the layers reorders no floating-point
+// operation. Spike slabs feeding an event-resolved Linear are compressed
+// ONCE where they are produced (the LIF/ALIF stage) and handed over as
+// event lists; building them from the identical slab values is what keeps
+// this bit-identical to the Linear's own internal build.
 // tests/test_serve_anytime.cpp checks logits()@t==T against
 // SpikingClassifier::logits() bit-for-bit.
 //
@@ -46,6 +54,7 @@
 #include "obs/sketch.hpp"
 #include "snn/lif_layer.hpp"
 #include "snn/spiking_network.hpp"
+#include "tensor/spike_events.hpp"
 #include "tensor/tensor.hpp"
 #include "util/rng.hpp"
 
@@ -125,6 +134,14 @@ class AnytimeRunner {
     tensor::Tensor state_v;  ///< membrane potential (LIF/ALIF/readout)
     tensor::Tensor state_b;  ///< adaptation trace (ALIF only)
     tensor::Tensor scratch;  ///< pre-reset membrane (v_decayed) sink
+    tensor::Tensor scratch_b;  ///< pre-update adaptation (b0) sink (ALIF)
+    // Event handoff (wired at construction, never data-dependent): a
+    // spiking stage with build_events compresses its slab once per step;
+    // the consuming Linear stage reads it via event_source. The EventRows
+    // views workspace memory scoped to the current step() call only.
+    bool build_events = false;
+    int event_source = -1;  ///< producer stage index (kLinear consumers)
+    tensor::EventRows events;
     // Chaos mode (allow_faults) only — all empty on the healthy path.
     SpikeFault fault;               ///< latched at begin() (LIF stages)
     bool fault_active = false;      ///< fault.any() as of the last begin()

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/simd.hpp"
 
 namespace snnsec::snn {
 
@@ -33,6 +34,12 @@ std::string LifParameters::to_string() const {
   return oss.str();
 }
 
+// The per-element update is branch-free (the spike is a select), so the
+// target_clones v3 version vectorizes the whole state update. Both lif_step
+// and li_step are the single source of truth for the dynamics: LifLayer's
+// unrolled forward and AnytimeRunner's per-slab stepping call the same
+// symbols, which is what keeps the two paths bit-identical per machine.
+SNNSEC_KERNEL_CLONES
 void lif_step(const LifParameters& p, std::int64_t n, const float* x,
               float* state_i, float* state_v, float* z_out,
               float* v_decayed_out) {
@@ -49,6 +56,7 @@ void lif_step(const LifParameters& p, std::int64_t n, const float* x,
   }
 }
 
+SNNSEC_KERNEL_CLONES
 void li_step(const LifParameters& p, std::int64_t n, const float* x,
              float* state_i, float* state_v, float* v_out) {
   const float a = p.a();

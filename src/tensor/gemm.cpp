@@ -9,6 +9,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/simd.hpp"
 #include "util/thread_pool.hpp"
 #include "util/workspace.hpp"
 
@@ -141,19 +142,6 @@ inline void store_tile(float* c, std::int64_t ldc, const float* acc,
   }
 }
 
-// The baseline x86-64 ABI only guarantees SSE2, which caps the microkernel
-// well below what the machines this actually runs on (CI and dev boxes are
-// all AVX2+FMA capable) can do. target_clones compiles the tile loop twice —
-// generic and x86-64-v3 — and picks at load time, so one binary serves both
-// without a -march flag that would break older hosts. GCC-only: clang's
-// target_clones doesn't accept arch= strings.
-#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
-#define SNNSEC_KERNEL_CLONES \
-  __attribute__((target_clones("arch=x86-64-v3", "default")))
-#else
-#define SNNSEC_KERNEL_CLONES
-#endif
-
 /// All register-tile work for one packed (A block, B block) pair: the
 /// jp x ip sweep of MR x NR microkernels plus the C stores.
 SNNSEC_KERNEL_CLONES
@@ -271,36 +259,38 @@ void gemm_sparse(Trans ta, Trans tb, std::int64_t m, std::int64_t n,
     util::parallel_for_chunked(0, m, row_panel);
 }
 
-/// kAuto probe: sample up to 256 evenly-strided elements of op(A); the skip
-/// kernel only pays off when well over half the operand is zeros.
-bool probe_sparse(Trans ta, const float* a, std::int64_t lda, std::int64_t m,
-                  std::int64_t k) {
+}  // namespace
+
+// Diagnostic only (header comment): no production call site reaches this —
+// kernel selection is declared per layer and sticky, never data-probed.
+bool probe_sparse(Trans trans_a, const float* a, std::int64_t lda,
+                  std::int64_t m, std::int64_t k) {
   const std::int64_t total = m * k;
   const std::int64_t samples = std::min<std::int64_t>(256, total);
   if (samples <= 0) return false;
-  const std::int64_t stride = std::max<std::int64_t>(1, total / samples);
-  std::int64_t zeros = 0, count = 0;
-  for (std::int64_t t = 0; t < total && count < samples; t += stride) {
+  std::int64_t zeros = 0;
+  for (std::int64_t t = 0; t < samples; ++t) {
+    // Rounded endpoint positions: t = samples-1 lands exactly on total-1,
+    // so the matrix tail is always sampled (the old floor-stride walk ended
+    // at most (total % samples) short of it and over-weighted early rows).
+    const std::int64_t pos = ((t + 1) * total) / samples - 1;
     // NOLINTNEXTLINE(snnsec-float-eq): sparsity probe counts exact zeros, mirroring the kernel's skip test
-    if (load_a(ta, a, lda, t / k, t % k) == 0.0f) ++zeros;
-    ++count;
+    if (load_a(trans_a, a, lda, pos / k, pos % k) == 0.0f) ++zeros;
   }
-  return zeros * 10 >= count * 6;  // >= 60% zeros
+  return zeros * 10 >= samples * 6;  // >= 60% zeros
 }
-
-}  // namespace
 
 void gemm_raw(Trans trans_a, Trans trans_b, std::int64_t m, std::int64_t n,
               std::int64_t k, float alpha, const float* a, std::int64_t lda,
               const float* b, std::int64_t ldb, float beta, float* c,
               std::int64_t ldc, SparsityHint hint) {
   if (m <= 0 || n <= 0) return;
+  SNNSEC_CHECK(hint != SparsityHint::kEvents,
+               "gemm_raw: kEvents needs prebuilt event lists — build them "
+               "with build_event_rows and call gemm_events instead");
   SNNSEC_COUNTER_ADD("tensor.gemm.calls", 1);
   SNNSEC_COUNTER_ADD("tensor.gemm.flops", 2 * m * n * k);
-  const bool sparse =
-      hint == SparsityHint::kSparse ||
-      (hint == SparsityHint::kAuto && probe_sparse(trans_a, a, lda, m, k));
-  if (sparse) {
+  if (hint == SparsityHint::kSparse) {
     SNNSEC_COUNTER_ADD("tensor.gemm.sparse_path", 1);
     gemm_sparse(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c,
                 ldc);

@@ -140,6 +140,43 @@ TEST(LintParallelCapture, ValueCaptureIsClean) {
   EXPECT_TRUE(r.findings.empty());
 }
 
+// The event-kernel shape (tensor/spike_events.cpp): SNNSEC_HOT file whose
+// scratch comes from a caller-passed workspace OUTSIDE the parallel region
+// and whose per-sample scatter lambda captures only plain pointers by
+// value. Both rules must stay quiet on this pattern.
+TEST(LintParallelCapture, EventScatterPatternIsClean) {
+  const std::string src =
+      "// SNNSEC_HOT\n"
+      "void conv_events(const Geometry& g, util::Workspace& ws) {\n"
+      "  float* wt = ws.alloc<float>(patch * cout);\n"
+      "  const auto ev = build_event_rows(images, w, rows, w, ws);\n"
+      "  util::parallel_for(0, batch, [=](i64 i) {\n"
+      "    scatter_sample(g, ev.count + i * r, ev.value + i * r * w, wt);\n"
+      "  });\n"
+      "}\n";
+  const auto r = lint_source("src/tensor/fake_events.cpp", src);
+  EXPECT_TRUE(r.findings.empty());
+}
+
+// The anti-pattern the event path replaced: growing heap containers per
+// call inside a hot kernel file, and reaching into a by-ref workspace from
+// worker threads. Both rules must fire.
+TEST(LintParallelCapture, EventBuildAntiPatternFires) {
+  const std::string src =
+      "// SNNSEC_HOT\n"                                            // 1
+      "void build(util::Workspace& ws) {\n"                        // 2
+      "  std::vector<i32> idx;\n"                                  // 3
+      "  idx.push_back(7);\n"                                      // 4
+      "  util::parallel_for(0, n, [&](i64 i) {\n"                  // 5
+      "    float* p = ws.alloc<float>(64);\n"                      // 6
+      "    scan(p, i);\n"                                          // 7
+      "  });\n"
+      "}\n";
+  const auto r = lint_source("src/tensor/fake_events.cpp", src);
+  EXPECT_TRUE(has(r, "snnsec-hot-alloc", 4));
+  EXPECT_TRUE(has(r, "snnsec-parallel-capture", 5));
+}
+
 // ---- R4: snnsec-float-eq --------------------------------------------------
 
 TEST(LintFloatEq, FiresOnLiteralComparisons) {
