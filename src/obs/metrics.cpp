@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "util/csv.hpp"
+#include "util/metrics_hooks.hpp"
 #include "util/string_util.hpp"
 
 namespace snnsec::obs {
@@ -234,7 +235,9 @@ void Registry::set_sink_path(const std::string& path) {
 
 void Registry::record(const std::string& name, double value,
                       const Labels& labels) {
+  // NOLINTNEXTLINE(snnsec-relaxed-atomic): on/off gate, stale read is harmless
   if (!has_sink_.load(std::memory_order_relaxed) ||
+      // NOLINTNEXTLINE(snnsec-relaxed-atomic): same gate, stale read harmless
       !enabled_.load(std::memory_order_relaxed))
     return;
   std::lock_guard lock(sink_mutex_);
@@ -372,5 +375,74 @@ void Registry::reset_for_tests() {
   has_sink_.store(false, std::memory_order_relaxed);
   snapshot_flushed_ = false;
 }
+
+// ---------------------------------------------------------------------------
+// util::MetricsHooks backend. src/util (thread pool, retry) sits below obs
+// in the layering and emits through function-pointer hooks; this TU installs
+// the real implementations during static initialization. Series lookups go
+// through a per-thread cache keyed on the name *pointer* (the hook contract
+// requires string literals), so steady-state emission takes no lock and
+// performs no allocation — names like "pool.queue_depth" exceed libstdc++'s
+// SSO capacity, and building a std::string key per call would heap-allocate
+// on the hot submit path.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+template <typename Series>
+struct SeriesCacheEntry {
+  const char* name = nullptr;
+  Series* series = nullptr;
+};
+
+template <typename Series, typename Resolve>
+Series& cached_series(const char* name, const Resolve& resolve) {
+  // NOLINTNEXTLINE(snnsec-hot-path-alloc, snnsec-hot-alloc): one-time growth
+  // per (thread, series); steady state is a short pointer-compare scan.
+  thread_local std::vector<SeriesCacheEntry<Series>> cache;
+  for (const auto& e : cache)
+    if (e.name == name) return *e.series;
+  Series& s = resolve(name);
+  cache.push_back({name, &s});
+  return s;
+}
+
+bool hook_enabled() { return Registry::enabled(); }
+
+void hook_counter_add(const char* name, std::int64_t delta) {
+  if (!Registry::enabled()) return;
+  cached_series<Counter>(name, [](const char* n) -> Counter& {
+    return Registry::instance().counter(n);
+  }).add(delta);
+}
+
+void hook_gauge_set(const char* name, double value) {
+  if (!Registry::enabled()) return;
+  cached_series<Gauge>(name, [](const char* n) -> Gauge& {
+    return Registry::instance().gauge(n);
+  }).set(value);
+}
+
+void hook_histogram_observe(const char* name, double value,
+                            const double* bounds, std::size_t n_bounds) {
+  if (!Registry::enabled()) return;
+  cached_series<Histogram>(name, [&](const char* n) -> Histogram& {
+    return Registry::instance().histogram(
+        n, std::vector<double>(bounds, bounds + n_bounds));
+  }).observe(value);
+}
+
+bool install_metrics_hooks() {
+  util::MetricsHooks& h = util::metrics_hooks();
+  h.enabled = &hook_enabled;
+  h.counter_add = &hook_counter_add;
+  h.gauge_set = &hook_gauge_set;
+  h.histogram_observe = &hook_histogram_observe;
+  return true;
+}
+
+[[maybe_unused]] const bool g_metrics_hooks_installed = install_metrics_hooks();
+
+}  // namespace
 
 }  // namespace snnsec::obs

@@ -117,9 +117,11 @@ class Registry {
 
   /// Runtime master switch (SNNSEC_METRICS=off|0|false disables at startup).
   static bool enabled() {
+    // NOLINTNEXTLINE(snnsec-relaxed-atomic): hot-path gate, stale read harmless
     return instance().enabled_.load(std::memory_order_relaxed);
   }
   void set_enabled(bool on) {
+    // NOLINTNEXTLINE(snnsec-relaxed-atomic): gate publishes no data, mutex orders
     enabled_.store(on, std::memory_order_relaxed);
   }
 

@@ -32,10 +32,12 @@ void Tracer::start(std::string path) {
     std::lock_guard lock(registry_mutex_);
     path_ = std::move(path);
   }
+  // NOLINTNEXTLINE(snnsec-relaxed-atomic): gate only, path_ published by mutex
   enabled_.store(true, std::memory_order_relaxed);
 }
 
 void Tracer::stop() {
+  // NOLINTNEXTLINE(snnsec-relaxed-atomic): gate only, buffers drained under mutex
   enabled_.store(false, std::memory_order_relaxed);
   std::string path;
   {

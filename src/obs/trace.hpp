@@ -35,6 +35,7 @@ class Tracer {
   static Tracer& instance();
 
   static bool enabled() {
+    // NOLINTNEXTLINE(snnsec-relaxed-atomic): hot-path gate, stale read harmless
     return instance().enabled_.load(std::memory_order_relaxed);
   }
 

@@ -31,15 +31,19 @@ MicroBatcher::MicroBatcher(BatcherConfig cfg)
     free_[static_cast<std::size_t>(i)] = i;
 }
 
+// SNNSEC_HOT entry: admission fast path, called once per request.
 std::int64_t MicroBatcher::try_acquire() {
+  // NOLINTNEXTLINE(snnsec-hot-path-lock): admission lock, O(1) critical section
   std::lock_guard<std::mutex> lk(m_);
   if (stopped_ || free_top_ == 0) return -1;
   --free_top_;
   return free_[static_cast<std::size_t>(free_top_)];
 }
 
+// SNNSEC_HOT entry: publish path, called once per admitted request.
 void MicroBatcher::enqueue(std::int64_t slot) {
   {
+    // NOLINTNEXTLINE(snnsec-hot-path-lock): ring publish, O(1) critical section
     std::lock_guard<std::mutex> lk(m_);
     SNNSEC_CHECK(count_ < cfg_.capacity,
                  "MicroBatcher::enqueue: ring overflow (slot " << slot
@@ -111,7 +115,9 @@ std::int64_t MicroBatcher::next_batch_for(std::int64_t* out,
   return n;
 }
 
+// SNNSEC_HOT entry: slot recycling, called once per completed request.
 void MicroBatcher::release(std::int64_t slot) {
+  // NOLINTNEXTLINE(snnsec-hot-path-lock): slot recycle, O(1) critical section
   std::lock_guard<std::mutex> lk(m_);
   SNNSEC_CHECK(slot >= 0 && slot < cfg_.capacity && free_top_ < cfg_.capacity,
                "MicroBatcher::release: bad slot " << slot);
@@ -133,6 +139,7 @@ bool MicroBatcher::stopped() const {
 }
 
 std::int64_t MicroBatcher::depth() const {
+  // NOLINTNEXTLINE(snnsec-hot-path-lock): single-field snapshot, O(1) critical section
   std::lock_guard<std::mutex> lk(m_);
   return count_;
 }

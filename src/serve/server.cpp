@@ -266,6 +266,7 @@ bool Server::infer(const Tensor& x, const RequestOptions& opt,
   if (s.has_deadline)
     s.deadline = s.submitted + std::chrono::microseconds(s.opt.deadline_us);
   s.out = &out;
+  // NOLINTNEXTLINE(snnsec-mixed-guard): slot exclusively ours until enqueue()
   s.done = false;
   s.attempts.store(0, std::memory_order_relaxed);
   {
@@ -302,6 +303,7 @@ void Server::drive_inline(Slot& own) {
     // land back on the quarantined replica it just escaped.
     Worker& w = *workers_.front();
     if (sup_) maintain(w);
+    // NOLINTNEXTLINE(snnsec-lock-across-wait): inline_m_ serializes inline executors; wait bounded by flush deadline
     const std::int64_t n = batcher_.next_batch(w.slots.data());
     if (n > 0) execute_batch(w, n);
   }
@@ -336,6 +338,7 @@ void Server::worker_loop(Worker& w) {
   join_cv_.notify_all();
 }
 
+// SNNSEC_HOT entry: per-batch inference drive, reached from every request.
 void Server::execute_batch(Worker& w, std::int64_t n) {
   const auto exec_start = std::chrono::steady_clock::now();
   const std::int64_t batch_id =
@@ -516,6 +519,7 @@ void Server::finalize(Slot& s, Worker& w, std::int64_t row,
   bool was_truncated = false;
   bool was_degraded = false;
   {
+    // NOLINTNEXTLINE(snnsec-hot-path-lock): per-slot delivery lock, uncontended per request
     std::lock_guard<std::mutex> lk(s.m);
     const bool stale =
         s.done || s.epoch.load(std::memory_order_relaxed) !=
@@ -565,6 +569,7 @@ void Server::finalize(Slot& s, Worker& w, std::int64_t row,
         detect_age_base_s_ +
             static_cast<double>(elapsed_us(start_, now)) * 1e-6);
     if (flagged) {
+      // NOLINTNEXTLINE(snnsec-relaxed-atomic): pure event counter, only aggregated
       flagged_.fetch_add(1, std::memory_order_relaxed);
       SNNSEC_COUNTER_ADD("serve.detect.flagged", 1);
       if (cfg_.detect_policy == DetectPolicy::kReject)
@@ -590,6 +595,7 @@ void Server::deliver_error(Slot& s, const char* what,
   const auto now = std::chrono::steady_clock::now();
   bool delivered = false;
   {
+    // NOLINTNEXTLINE(snnsec-hot-path-lock): per-slot delivery lock, error path only
     std::lock_guard<std::mutex> lk(s.m);
     const bool stale =
         s.done || (latched_epoch >= 0 &&
@@ -626,6 +632,7 @@ void Server::retry_slot(std::int64_t slot_idx, std::int64_t latched_epoch,
   bool requeued = false;
   bool exhausted = false;
   {
+    // NOLINTNEXTLINE(snnsec-hot-path-lock): per-slot retry lock, canary path only
     std::lock_guard<std::mutex> lk(s.m);
     if (s.done) return;
     const std::int64_t cur = s.epoch.load(std::memory_order_relaxed);
@@ -795,7 +802,7 @@ void Server::supervise_loop() {
   for (;;) {
     // Small sleep slices so stop() joins promptly.
     for (int i = 0; i < 5; ++i) {
-      if (sup_stop_.load(std::memory_order_relaxed)) return;
+      if (sup_stop_.load(std::memory_order_acquire)) return;
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
     const std::int64_t now = now_ms();
@@ -898,7 +905,7 @@ void Server::depose_and_respawn(Worker& w, std::int64_t now) {
 void Server::stop() {
   stopping_.store(true);
   if (sup_thread_.joinable()) {
-    sup_stop_.store(true, std::memory_order_relaxed);
+    sup_stop_.store(true, std::memory_order_release);
     sup_thread_.join();
   }
   batcher_.stop();
@@ -914,6 +921,7 @@ ServerStats Server::stats() const {
   s.errors = errors_.load(std::memory_order_relaxed);
   s.truncated = truncated_.load(std::memory_order_relaxed);
   s.batches = batches_.load(std::memory_order_relaxed);
+  // NOLINTNEXTLINE(snnsec-relaxed-atomic): advisory counter snapshot, no ordering
   s.flagged = flagged_.load(std::memory_order_relaxed);
   if (sup_) {
     const SupervisorStats h = sup_->stats();

@@ -185,6 +185,7 @@ void AnytimeRunner::set_sketch(obs::SketchAccumulator* sketch) {
   sketch_ = sketch;
 }
 
+// SNNSEC_HOT entry: one simulated timestep, the serving inner loop.
 void AnytimeRunner::step() {
   SNNSEC_CHECK(began_, "AnytimeRunner::step before begin");
   SNNSEC_CHECK(!done(), "AnytimeRunner::step past the time window T="

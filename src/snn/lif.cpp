@@ -39,6 +39,7 @@ std::string LifParameters::to_string() const {
 // and li_step are the single source of truth for the dynamics: LifLayer's
 // unrolled forward and AnytimeRunner's per-slab stepping call the same
 // symbols, which is what keeps the two paths bit-identical per machine.
+// SNNSEC_HOT entry: the per-neuron membrane update kernel.
 SNNSEC_KERNEL_CLONES
 void lif_step(const LifParameters& p, std::int64_t n, const float* x,
               float* state_i, float* state_v, float* z_out,

@@ -300,6 +300,7 @@ void gemm_raw(Trans trans_a, Trans trans_b, std::int64_t m, std::int64_t n,
   }
 }
 
+// SNNSEC_HOT entry: every conv/fc lowers onto this call.
 void gemm(Trans trans_a, Trans trans_b, float alpha, const Tensor& a,
           const Tensor& b, float beta, Tensor& c, SparsityHint hint) {
   SNNSEC_TRACE_SCOPE("gemm");

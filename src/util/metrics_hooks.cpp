@@ -1,0 +1,10 @@
+#include "util/metrics_hooks.hpp"
+
+namespace snnsec::util {
+
+MetricsHooks& metrics_hooks() {
+  static MetricsHooks hooks;
+  return hooks;
+}
+
+}  // namespace snnsec::util

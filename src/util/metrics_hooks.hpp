@@ -1,0 +1,59 @@
+// Function-pointer seam that lets src/util emit metrics without including
+// src/obs: util is the bottom layer (the snnsec-layering rule forbids
+// util -> {nn,snn,serve,obs,tensor} includes), yet the thread pool and retry
+// helpers are exactly the places whose queue depths and failure counts the
+// observability layer wants. src/obs/metrics.cpp installs the hooks from a
+// namespace-scope initializer, so any binary that links an obs symbol gets
+// them before main(); binaries without obs see null hooks and every emit is
+// a cheap branch.
+//
+// Names must be string literals (or otherwise process-lifetime pointers):
+// the obs-side implementation caches the resolved series per name *pointer*
+// so steady-state emission stays allocation-free.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace snnsec::util {
+
+struct MetricsHooks {
+  bool (*enabled)() = nullptr;
+  void (*counter_add)(const char* name, std::int64_t delta) = nullptr;
+  void (*gauge_set)(const char* name, double value) = nullptr;
+  void (*histogram_observe)(const char* name, double value,
+                            const double* bounds,
+                            std::size_t n_bounds) = nullptr;
+};
+
+/// The process-wide hook table. Written once during static initialization
+/// (before threads exist) and read-only afterwards.
+MetricsHooks& metrics_hooks();
+
+namespace metrics {
+
+inline bool enabled() {
+  const MetricsHooks& h = metrics_hooks();
+  return h.enabled != nullptr && h.enabled();
+}
+
+inline void counter_add(const char* name, std::int64_t delta) {
+  const MetricsHooks& h = metrics_hooks();
+  if (h.counter_add != nullptr) h.counter_add(name, delta);
+}
+
+inline void gauge_set(const char* name, double value) {
+  const MetricsHooks& h = metrics_hooks();
+  if (h.gauge_set != nullptr) h.gauge_set(name, value);
+}
+
+inline void histogram_observe(const char* name, double value,
+                              const double* bounds, std::size_t n_bounds) {
+  const MetricsHooks& h = metrics_hooks();
+  if (h.histogram_observe != nullptr)
+    h.histogram_observe(name, value, bounds, n_bounds);
+}
+
+}  // namespace metrics
+
+}  // namespace snnsec::util

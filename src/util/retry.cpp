@@ -5,8 +5,8 @@
 #include <cmath>
 #include <thread>
 
-#include "obs/metrics.hpp"
 #include "util/logging.hpp"
+#include "util/metrics_hooks.hpp"
 
 namespace snnsec::util {
 
@@ -45,7 +45,7 @@ RetryOutcome retry_with_backoff(
     } catch (const Error& e) {
       if (retryable && !retryable(e)) throw;
       outcome.errors.emplace_back(e.what());
-      SNNSEC_COUNTER_ADD("retry.failures", 1);
+      metrics::counter_add("retry.failures", 1);
       if (attempt + 1 >= policy.max_attempts) break;
       const double delay = policy.delay_ms(attempt + 1);
       SNNSEC_LOG_WARN("retry " << label << ": attempt " << attempt + 1 << "/"
@@ -57,7 +57,7 @@ RetryOutcome retry_with_backoff(
   }
   SNNSEC_LOG_WARN("retry " << label << ": exhausted " << policy.max_attempts
                            << " attempts");
-  SNNSEC_COUNTER_ADD("retry.exhausted", 1);
+  metrics::counter_add("retry.exhausted", 1);
   return outcome;
 }
 

@@ -4,9 +4,10 @@
 #include <atomic>
 #include <cstdlib>
 #include <exception>
+#include <iterator>
 
-#include "obs/metrics.hpp"
 #include "util/error.hpp"
+#include "util/metrics_hooks.hpp"
 
 namespace snnsec::util {
 
@@ -34,18 +35,20 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(std::function<void()> task) {
   Task entry;
   entry.fn = std::move(task);
-  if (obs::Registry::enabled())
+  if (metrics::enabled())
     entry.enqueued = std::chrono::steady_clock::now();
   std::size_t depth;
   {
+    // NOLINTNEXTLINE(snnsec-hot-path-lock): queue handoff, O(1) critical section
     std::lock_guard lock(mutex_);
     SNNSEC_CHECK(!stop_, "submit() on stopped ThreadPool");
+    // NOLINTNEXTLINE(snnsec-hot-path-alloc): deque growth amortized, steady state reuses blocks
     tasks_.push(std::move(entry));
     ++in_flight_;
     depth = tasks_.size();
   }
-  SNNSEC_COUNTER_ADD("pool.tasks", 1);
-  SNNSEC_GAUGE_SET("pool.queue_depth", static_cast<double>(depth));
+  metrics::counter_add("pool.tasks", 1);
+  metrics::gauge_set("pool.queue_depth", static_cast<double>(depth));
   cv_task_.notify_one();
 }
 
@@ -71,14 +74,16 @@ void ThreadPool::worker_loop() {
       tasks_.pop();
       depth = tasks_.size();
     }
-    SNNSEC_GAUGE_SET("pool.queue_depth", static_cast<double>(depth));
+    metrics::gauge_set("pool.queue_depth", static_cast<double>(depth));
     if (task.enqueued != std::chrono::steady_clock::time_point{}) {
       const double wait_ms =
           std::chrono::duration<double, std::milli>(
               std::chrono::steady_clock::now() - task.enqueued)
               .count();
-      SNNSEC_HISTOGRAM_OBSERVE("pool.task_wait_ms", wait_ms, 0.01, 0.1, 1.0,
-                               10.0, 100.0, 1000.0);
+      static constexpr double kWaitBoundsMs[] = {0.01, 0.1, 1.0,
+                                                 10.0, 100.0, 1000.0};
+      metrics::histogram_observe("pool.task_wait_ms", wait_ms, kWaitBoundsMs,
+                                 std::size(kWaitBoundsMs));
     }
     // in_flight_ must reach zero even when the task throws — otherwise
     // wait_idle() deadlocks — so the decrement is RAII, not a statement
@@ -97,7 +102,7 @@ void ThreadPool::worker_loop() {
       // (parallel_for catches and rethrows its own); letting it escape a
       // worker thread would std::terminate the process mid-sweep. Swallow
       // it, count the drop, keep the worker alive.
-      SNNSEC_COUNTER_ADD("pool.task_exceptions", 1);
+      metrics::counter_add("pool.task_exceptions", 1);
     }
   }
 }
@@ -134,12 +139,15 @@ void detail::parallel_for_chunked_impl(
     ++launched;
     pool.submit([&, lo, hi] {
       try {
+        // NOLINTNEXTLINE(snnsec-relaxed-atomic): advisory probe, exchange is seq_cst
         if (!failed.load(std::memory_order_relaxed)) fn(lo, hi);
       } catch (...) {
+        // NOLINTNEXTLINE(snnsec-hot-path-lock): first-error latch, exception path only
         std::lock_guard lock(error_mutex);
         if (!failed.exchange(true)) first_error = std::current_exception();
       }
       {
+        // NOLINTNEXTLINE(snnsec-hot-path-lock): completion count, O(1) critical section
         std::lock_guard lock(done_mutex);
         ++done;
       }
@@ -147,6 +155,7 @@ void detail::parallel_for_chunked_impl(
     });
   }
   {
+    // NOLINTNEXTLINE(snnsec-hot-path-lock): join barrier, fan-out caller must block here
     std::unique_lock lock(done_mutex);
     done_cv.wait(lock, [&] { return done.load() == launched; });
   }

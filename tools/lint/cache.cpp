@@ -1,0 +1,78 @@
+#include "cache.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace snnsec::lint {
+
+namespace {
+
+constexpr std::string_view kMagic = "snnsec-cache v1 ";
+
+}  // namespace
+
+FileCache::FileCache(std::string path, std::string version)
+    : path_(std::move(path)), version_(std::move(version)) {
+  if (path_.empty()) return;
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) return;
+  std::string header;
+  if (!std::getline(in, header)) return;
+  if (header != std::string(kMagic) + version_) return;  // stale rule set
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream head(line);
+    std::string digest_hex;
+    std::size_t bytes = 0;
+    std::string file;
+    if (!(head >> digest_hex >> bytes)) break;
+    std::getline(head >> std::ws, file);
+    if (file.empty()) break;
+    Entry e;
+    e.digest = std::stoull(digest_hex, nullptr, 16);
+    e.payload.resize(bytes);
+    if (bytes > 0 && !in.read(e.payload.data(),
+                              static_cast<std::streamsize>(bytes)))
+      break;
+    in.get();  // trailing newline
+    entries_[file] = std::move(e);
+  }
+}
+
+std::optional<std::string> FileCache::lookup(const std::string& file,
+                                             std::uint64_t digest) {
+  const auto it = entries_.find(file);
+  if (it != entries_.end() && it->second.digest == digest) {
+    ++hits_;
+    return it->second.payload;
+  }
+  ++misses_;
+  return std::nullopt;
+}
+
+void FileCache::store(const std::string& file, std::uint64_t digest,
+                      std::string payload) {
+  entries_[file] = Entry{digest, std::move(payload)};
+}
+
+bool FileCache::save() const {
+  if (path_.empty()) return true;
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out << kMagic << version_ << "\n";
+    char hex[17];
+    for (const auto& [file, e] : entries_) {
+      std::snprintf(hex, sizeof hex, "%016llx",
+                    static_cast<unsigned long long>(e.digest));
+      out << hex << " " << e.payload.size() << " " << file << "\n"
+          << e.payload << "\n";
+    }
+    if (!out) return false;
+  }
+  return std::rename(tmp.c_str(), path_.c_str()) == 0;
+}
+
+}  // namespace snnsec::lint

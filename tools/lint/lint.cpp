@@ -6,157 +6,11 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "source_view.hpp"
+
 namespace snnsec::lint {
 
 namespace {
-
-// ---------------------------------------------------------------------------
-// Source model: raw lines, a comment-stripped "code view" (string and char
-// literal contents blanked too, so fixture snippets embedded in test string
-// literals can never trigger rules), and the comment text per line (markers
-// and NOLINT directives are only honored inside real comments).
-// ---------------------------------------------------------------------------
-
-struct SourceView {
-  std::vector<std::string> code;      ///< per-line, literals/comments blanked
-  std::vector<std::string> comments;  ///< per-line, concatenated comment text
-};
-
-SourceView strip(const std::string& content) {
-  SourceView v;
-  std::string code_line, comment_line;
-  enum class State { kCode, kLine, kBlock, kString, kChar, kRaw };
-  State st = State::kCode;
-  std::string raw_delim;  // for raw string literals: ")<delim>"
-  const std::size_t n = content.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    const char c = content[i];
-    const char next = i + 1 < n ? content[i + 1] : '\0';
-    if (c == '\n') {
-      v.code.push_back(code_line);
-      v.comments.push_back(comment_line);
-      code_line.clear();
-      comment_line.clear();
-      if (st == State::kLine) st = State::kCode;
-      continue;
-    }
-    switch (st) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          st = State::kLine;
-          code_line += "  ";
-          ++i;
-        } else if (c == '/' && next == '*') {
-          st = State::kBlock;
-          code_line += "  ";
-          ++i;
-        } else if (c == '"') {
-          // Raw string literal? Look back for R / uR / u8R / LR prefix.
-          bool raw = false;
-          if (!code_line.empty() && code_line.back() == 'R') {
-            const std::size_t len = code_line.size();
-            const bool prefixed =
-                len < 2 || !(std::isalnum(static_cast<unsigned char>(
-                                 code_line[len - 2])) ||
-                             code_line[len - 2] == '_');
-            raw = prefixed || (len >= 2 && (code_line[len - 2] == 'u' ||
-                                            code_line[len - 2] == 'U' ||
-                                            code_line[len - 2] == 'L' ||
-                                            code_line[len - 2] == '8'));
-          }
-          if (raw) {
-            raw_delim = ")";
-            std::size_t j = i + 1;
-            while (j < n && content[j] != '(') raw_delim += content[j++];
-            raw_delim += '"';
-            st = State::kRaw;
-          } else {
-            st = State::kString;
-          }
-          code_line += '"';
-        } else if (c == '\'') {
-          st = State::kChar;
-          code_line += '\'';
-        } else {
-          code_line += c;
-        }
-        break;
-      case State::kLine:
-        comment_line += c;
-        code_line += ' ';
-        break;
-      case State::kBlock:
-        if (c == '*' && next == '/') {
-          st = State::kCode;
-          code_line += "  ";
-          ++i;
-        } else {
-          comment_line += c;
-          code_line += ' ';
-        }
-        break;
-      case State::kString:
-        if (c == '\\') {
-          code_line += "  ";
-          ++i;
-          if (next == '\0') break;
-        } else if (c == '"') {
-          st = State::kCode;
-          code_line += '"';
-        } else {
-          code_line += ' ';
-        }
-        break;
-      case State::kChar:
-        if (c == '\\') {
-          code_line += "  ";
-          ++i;
-          if (next == '\0') break;
-        } else if (c == '\'') {
-          st = State::kCode;
-          code_line += '\'';
-        } else {
-          code_line += ' ';
-        }
-        break;
-      case State::kRaw:
-        if (c == ')' && content.compare(i, raw_delim.size(), raw_delim) == 0) {
-          // Blank all but the newlines inside the terminator span.
-          i += raw_delim.size() - 1;
-          st = State::kCode;
-          code_line += '"';
-        } else {
-          code_line += ' ';
-        }
-        break;
-    }
-  }
-  v.code.push_back(code_line);
-  v.comments.push_back(comment_line);
-  return v;
-}
-
-bool ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-/// Position of whole-word `word` in `s` starting at `from`, or npos.
-std::size_t find_word(std::string_view s, std::string_view word,
-                      std::size_t from = 0) {
-  while (true) {
-    const std::size_t p = s.find(word, from);
-    if (p == std::string_view::npos) return p;
-    const bool left_ok = p == 0 || !ident_char(s[p - 1]);
-    const std::size_t after = p + word.size();
-    const bool right_ok = after >= s.size() || !ident_char(s[after]);
-    if (left_ok && right_ok) return p;
-    from = p + 1;
-  }
-}
-
-bool contains_word(std::string_view s, std::string_view word) {
-  return find_word(s, word) != std::string_view::npos;
-}
 
 bool is_header(std::string_view path) {
   return path.ends_with(".hpp") || path.ends_with(".h");
@@ -164,67 +18,6 @@ bool is_header(std::string_view path) {
 
 bool path_contains(std::string_view path, std::string_view frag) {
   return path.find(frag) != std::string_view::npos;
-}
-
-// ---------------------------------------------------------------------------
-// NOLINT handling. A suppression for rule R applies to line L when a comment
-// on L (or a NOLINTNEXTLINE comment on L-1) names snnsec-R and carries a
-// non-empty justification after "):". An unjustified snnsec NOLINT is itself
-// reported and suppresses nothing.
-// ---------------------------------------------------------------------------
-
-struct Suppression {
-  std::vector<std::string> rules;  ///< rule IDs with the snnsec- prefix
-  bool justified = false;
-  bool next_line = false;
-};
-
-std::vector<Suppression> parse_suppressions(const std::string& comment) {
-  std::vector<Suppression> out;
-  std::size_t pos = 0;
-  while (true) {
-    const std::size_t at = comment.find("NOLINT", pos);
-    if (at == std::string::npos) break;
-    std::size_t cur = at + 6;
-    Suppression s;
-    if (comment.compare(cur, 8, "NEXTLINE") == 0) {
-      s.next_line = true;
-      cur += 8;
-    }
-    if (cur >= comment.size() || comment[cur] != '(') {
-      pos = cur;  // bare NOLINT (e.g. for clang-tidy) — not ours
-      continue;
-    }
-    const std::size_t close = comment.find(')', cur);
-    if (close == std::string::npos) break;
-    std::stringstream list(comment.substr(cur + 1, close - cur - 1));
-    std::string item;
-    bool ours = false;
-    while (std::getline(list, item, ',')) {
-      const std::size_t b = item.find_first_not_of(" \t");
-      const std::size_t e = item.find_last_not_of(" \t");
-      if (b == std::string::npos) continue;
-      item = item.substr(b, e - b + 1);
-      if (item.rfind("snnsec-", 0) == 0) {
-        s.rules.push_back(item);
-        ours = true;
-      }
-    }
-    if (ours) {
-      // Justification: "): <non-empty text>".
-      std::size_t j = close + 1;
-      if (j < comment.size() && comment[j] == ':') {
-        ++j;
-        while (j < comment.size() &&
-               std::isspace(static_cast<unsigned char>(comment[j])))
-          ++j;
-        s.justified = j < comment.size();
-      }
-      out.push_back(std::move(s));
-    }
-    pos = close + 1;
-  }
-  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -277,18 +70,7 @@ class Linter {
   }
 
   bool suppressed(int line, const std::string& rule) const {
-    const auto applies = [&](const std::string& comment, bool want_next) {
-      for (const Suppression& s : parse_suppressions(comment)) {
-        if (s.next_line != want_next || !s.justified) continue;
-        for (const std::string& r : s.rules)
-          if (r == rule) return true;
-      }
-      return false;
-    };
-    const std::size_t i = static_cast<std::size_t>(line - 1);
-    if (i < view_.comments.size() && applies(view_.comments[i], false))
-      return true;
-    return i >= 1 && applies(view_.comments[i - 1], true);
+    return suppressed_at(view_, line, rule);
   }
 
   // R1 — heap traffic in SNNSEC_HOT files.
@@ -666,6 +448,76 @@ LintResult lint_file(const std::string& path, const Options& opts) {
 bool lintable_file(std::string_view path) {
   return path.ends_with(".hpp") || path.ends_with(".h") ||
          path.ends_with(".cpp") || path.ends_with(".cc");
+}
+
+// --- shared-cache plumbing -------------------------------------------------
+//
+// Payload: one record per line; fields separated by 0x1f (unit separator,
+// which cannot appear in rule IDs and never appears in the messages the
+// rules emit). First field tags the record: F = finding, S = suppressed.
+
+std::string_view lint_cache_version() { return "lint-v1"; }
+
+namespace {
+
+constexpr char kFieldSep = '\x1f';
+
+void append_record(std::string& out, char tag, const Finding& f) {
+  out += tag;
+  out += kFieldSep;
+  out += std::to_string(f.line);
+  out += kFieldSep;
+  out += f.rule;
+  out += kFieldSep;
+  out += f.message;
+  out += kFieldSep;
+  out += f.suggestion;
+  out += '\n';
+}
+
+}  // namespace
+
+std::string serialize_result(const LintResult& result) {
+  std::string out;
+  for (const Finding& f : result.findings) append_record(out, 'F', f);
+  for (const Finding& f : result.suppressed) append_record(out, 'S', f);
+  return out;
+}
+
+bool deserialize_result(const std::string& payload, const std::string& path,
+                        LintResult& out) {
+  out = {};
+  std::istringstream in(payload);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<std::string> fields;
+    std::size_t pos = 0;
+    while (pos <= line.size()) {
+      const std::size_t sep = line.find(kFieldSep, pos);
+      if (sep == std::string::npos) {
+        fields.push_back(line.substr(pos));
+        break;
+      }
+      fields.push_back(line.substr(pos, sep - pos));
+      pos = sep + 1;
+    }
+    if (fields.size() != 5 || fields[0].size() != 1) return false;
+    Finding f{path, 0, fields[2], fields[3], fields[4]};
+    try {
+      f.line = std::stoi(fields[1]);
+    } catch (const std::exception&) {
+      return false;
+    }
+    if (fields[0][0] == 'F') {
+      out.findings.push_back(std::move(f));
+    } else if (fields[0][0] == 'S') {
+      out.suppressed.push_back(std::move(f));
+    } else {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace snnsec::lint

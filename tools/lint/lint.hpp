@@ -74,4 +74,19 @@ LintResult lint_file(const std::string& path, const Options& opts = {});
 /// True for the extensions the tree scan considers (.hpp/.h/.cpp/.cc).
 bool lintable_file(std::string_view path);
 
+// --- shared-cache plumbing (see tools/lint/cache.hpp) ----------------------
+
+/// Version stamp covering the rule set and the payload format below. Bump
+/// whenever either changes so stale caches self-invalidate.
+std::string_view lint_cache_version();
+
+/// Serialize a per-file result for the FileCache payload (file paths are the
+/// cache key and are not stored).
+std::string serialize_result(const LintResult& result);
+
+/// Inverse of serialize_result; `path` re-labels the findings. Returns false
+/// on a malformed payload (treat as a cache miss).
+bool deserialize_result(const std::string& payload, const std::string& path,
+                        LintResult& out);
+
 }  // namespace snnsec::lint
