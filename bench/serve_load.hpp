@@ -1,18 +1,20 @@
 // Shared load-generation helpers for the serving benches (bench_serve,
 // bench_chaos): closed/open-loop drivers, latency percentiles, and the
-// accuracy-vs-truncation curve point. Header-only so each bench stays a
-// single self-contained binary with its own operator-new hook.
+// accuracy-vs-truncation curve point. The client loops themselves live in
+// the reusable fleet loadgen engine (src/fleet/loadgen.hpp, also behind
+// the snnsec_loadgen CLI); this header keeps the bench-facing result
+// shapes and JSON emission so each bench stays a single self-contained
+// binary with its own operator-new hook.
 #pragma once
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
-#include <thread>
 #include <vector>
 
 #include "data/provider.hpp"
+#include "fleet/loadgen.hpp"
 #include "nn/metrics.hpp"
 #include "serve/server.hpp"
 #include "tensor/tensor.hpp"
@@ -54,57 +56,34 @@ inline void finish_percentiles(LoadResult& r, std::vector<double>& latencies) {
   r.p99_us = percentile(latencies, 0.99);
 }
 
+inline LoadResult from_report(const fleet::LoadReport& rep) {
+  LoadResult out;
+  out.offered = rep.offered;
+  out.completed = rep.completed;
+  // Bench semantics: anything not completed was shed, whichever admission
+  // layer said no.
+  out.shed = rep.offered - rep.completed;
+  out.truncated = rep.truncated;
+  out.wall_s = rep.wall_s;
+  out.throughput_rps = rep.throughput_rps;
+  out.p50_us = rep.p50_us;
+  out.p95_us = rep.p95_us;
+  out.p99_us = rep.p99_us;
+  out.mean_batch = rep.mean_batch;
+  return out;
+}
+
 /// Closed loop: `clients` threads each fire `per_client` back-to-back
 /// requests cycling through the test images.
 inline LoadResult closed_loop(serve::Server& server,
                               const tensor::Tensor& images,
                               std::int64_t clients, std::int64_t per_client) {
-  LoadResult out;
-  out.offered = clients * per_client;
-  const std::int64_t n_images = images.dim(0);
-  std::vector<std::vector<double>> lat(static_cast<std::size_t>(clients));
-  std::vector<std::int64_t> batch_sum(static_cast<std::size_t>(clients), 0);
-  std::atomic<std::int64_t> completed{0};
-  std::atomic<std::int64_t> truncated{0};
-
-  const auto t0 = Clock::now();
-  std::vector<std::thread> pool;
-  for (std::int64_t c = 0; c < clients; ++c) {
-    pool.emplace_back([&, c] {
-      auto& samples = lat[static_cast<std::size_t>(c)];
-      samples.reserve(static_cast<std::size_t>(per_client));
-      serve::InferResult r;
-      for (std::int64_t i = 0; i < per_client; ++i) {
-        const std::int64_t idx = (c * per_client + i) % n_images;
-        const tensor::Tensor x = nn::slice_batch(images, idx, idx + 1);
-        if (!server.infer(x, serve::RequestOptions{}, r)) continue;
-        completed.fetch_add(1, std::memory_order_relaxed);
-        if (r.truncated) truncated.fetch_add(1, std::memory_order_relaxed);
-        samples.push_back(static_cast<double>(r.latency_us));
-        batch_sum[static_cast<std::size_t>(c)] += r.batch_size;
-      }
-    });
-  }
-  for (auto& t : pool) t.join();
-  out.wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
-
-  out.completed = completed.load();
-  out.truncated = truncated.load();
-  std::vector<double> all;
-  std::int64_t batches = 0;
-  for (std::int64_t c = 0; c < clients; ++c) {
-    const auto& samples = lat[static_cast<std::size_t>(c)];
-    all.insert(all.end(), samples.begin(), samples.end());
-    batches += batch_sum[static_cast<std::size_t>(c)];
-  }
-  out.shed = out.offered - out.completed;
-  out.throughput_rps =
-      out.wall_s > 0 ? static_cast<double>(out.completed) / out.wall_s : 0.0;
-  out.mean_batch = out.completed > 0 ? static_cast<double>(batches) /
-                                           static_cast<double>(out.completed)
-                                     : 0.0;
-  finish_percentiles(out, all);
-  return out;
+  fleet::ServerTarget target(server);
+  fleet::LoadSpec spec;
+  spec.mode = fleet::LoadSpec::Mode::kClosed;
+  spec.total = clients * per_client;
+  spec.clients = clients;
+  return from_report(fleet::run_load(target, images, spec));
 }
 
 /// Open loop: arrivals paced at `rate_rps` across a submitter pool, each
@@ -114,58 +93,14 @@ inline LoadResult open_loop(serve::Server& server,
                             const tensor::Tensor& images, std::int64_t total,
                             double rate_rps, std::int64_t deadline_us,
                             std::int64_t submitters) {
-  LoadResult out;
-  out.offered = total;
-  const std::int64_t n_images = images.dim(0);
-  const double interval_us = 1e6 / std::max(rate_rps, 1.0);
-  std::vector<std::vector<double>> lat(static_cast<std::size_t>(submitters));
-  std::atomic<std::int64_t> next_tick{0};
-  std::atomic<std::int64_t> completed{0};
-  std::atomic<std::int64_t> shed{0};
-  std::atomic<std::int64_t> truncated{0};
-
-  const auto t0 = Clock::now();
-  std::vector<std::thread> pool;
-  for (std::int64_t c = 0; c < submitters; ++c) {
-    pool.emplace_back([&, c] {
-      auto& samples = lat[static_cast<std::size_t>(c)];
-      samples.reserve(static_cast<std::size_t>(total));
-      serve::InferResult r;
-      serve::RequestOptions opt;
-      opt.deadline_us = deadline_us;
-      for (;;) {
-        const std::int64_t tick =
-            next_tick.fetch_add(1, std::memory_order_relaxed);
-        if (tick >= total) break;
-        const auto due =
-            t0 + std::chrono::microseconds(static_cast<std::int64_t>(
-                     interval_us * static_cast<double>(tick)));
-        std::this_thread::sleep_until(due);
-        const tensor::Tensor x =
-            nn::slice_batch(images, tick % n_images, tick % n_images + 1);
-        if (!server.infer(x, opt, r)) {
-          shed.fetch_add(1, std::memory_order_relaxed);
-          continue;
-        }
-        completed.fetch_add(1, std::memory_order_relaxed);
-        if (r.truncated) truncated.fetch_add(1, std::memory_order_relaxed);
-        samples.push_back(static_cast<double>(r.latency_us));
-      }
-    });
-  }
-  for (auto& t : pool) t.join();
-  out.wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
-
-  out.completed = completed.load();
-  out.shed = shed.load();
-  out.truncated = truncated.load();
-  out.throughput_rps =
-      out.wall_s > 0 ? static_cast<double>(out.completed) / out.wall_s : 0.0;
-  std::vector<double> all;
-  for (auto& samples : lat)
-    all.insert(all.end(), samples.begin(), samples.end());
-  finish_percentiles(out, all);
-  return out;
+  fleet::ServerTarget target(server);
+  fleet::LoadSpec spec;
+  spec.mode = fleet::LoadSpec::Mode::kOpen;
+  spec.total = total;
+  spec.clients = submitters;
+  spec.rate_rps = rate_rps;
+  spec.options.deadline_us = deadline_us;
+  return from_report(fleet::run_load(target, images, spec));
 }
 
 /// Serve the whole test split sequentially at a fixed step budget.

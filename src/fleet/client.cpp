@@ -1,0 +1,146 @@
+#include "fleet/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "util/logging.hpp"
+
+namespace snnsec::fleet {
+
+WireClient::WireClient(const std::string& host, int port,
+                       std::size_t max_payload)
+    : dec_(max_payload) {
+  tx_.resize(encoded_size(max_payload));
+  const char* addr = host == "localhost" ? "127.0.0.1" : host.c_str();
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (inet_pton(AF_INET, addr, &sa.sin_addr) != 1) {
+    SNNSEC_LOG_WARN("fleet::WireClient: bad IPv4 address '" << host << "'");
+    return;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) !=
+      0) {
+    ::close(fd);
+    return;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+}
+
+WireClient::~WireClient() { close(); }
+
+void WireClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  dec_.reset();
+}
+
+bool WireClient::send_all(const std::uint8_t* p, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::send(fd_, p, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      close();
+      return false;
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+bool WireClient::read_frame(FrameView& f) {
+  std::uint8_t chunk[4096];
+  for (;;) {
+    if (dec_.next(f)) return true;
+    if (dec_.error() != WireError::kNone) {
+      close();
+      return false;
+    }
+    const std::size_t want = std::min(sizeof(chunk), dec_.free());
+    const ssize_t r = ::recv(fd_, chunk, want, 0);
+    if (r < 0 && errno == EINTR) continue;
+    if (r <= 0) {  // peer closed or transport error
+      close();
+      return false;
+    }
+    if (!dec_.feed(chunk, static_cast<std::size_t>(r))) {
+      close();
+      return false;
+    }
+  }
+}
+
+bool WireClient::request(const RequestMeta& meta, const float* pixels,
+                         std::size_t n, ResponseMeta& out,
+                         std::vector<float>* scores,
+                         std::string* error_out) {
+  if (fd_ < 0) {
+    if (error_out != nullptr) error_out->assign("not connected");
+    return false;
+  }
+  const std::size_t len =
+      encode_request(tx_.data(), tx_.size(), meta, pixels, n);
+  if (len == 0) {
+    if (error_out != nullptr) error_out->assign("request too large");
+    return false;
+  }
+  if (!send_all(tx_.data(), len)) {
+    if (error_out != nullptr) error_out->assign("send failed");
+    return false;
+  }
+  FrameView f;
+  for (;;) {
+    if (!read_frame(f)) {
+      if (error_out != nullptr) error_out->assign("connection lost");
+      return false;
+    }
+    if (f.request_id != meta.request_id) continue;  // stale reply
+    if (f.type == FrameType::kError) {
+      if (error_out != nullptr)
+        error_out->assign(reinterpret_cast<const char*>(f.payload),
+                          f.payload_len);
+      return false;
+    }
+    if (f.type != FrameType::kResponse) continue;
+    const std::uint8_t* raw_scores = nullptr;
+    if (!decode_response_payload(f, out, raw_scores)) {
+      if (error_out != nullptr) error_out->assign("bad response payload");
+      close();
+      return false;
+    }
+    if (scores != nullptr) {
+      scores->resize(out.num_scores);
+      if (out.num_scores > 0)
+        std::memcpy(scores->data(), raw_scores, 4 * out.num_scores);
+    }
+    return true;
+  }
+}
+
+bool WireClient::ping(const void* payload, std::size_t n) {
+  if (fd_ < 0) return false;
+  const std::size_t len = encode_frame(tx_.data(), tx_.size(),
+                                       FrameType::kPing, 0, 0, 0, 0, payload,
+                                       n);
+  if (len == 0 || !send_all(tx_.data(), len)) return false;
+  FrameView f;
+  if (!read_frame(f)) return false;
+  return f.type == FrameType::kPong && f.payload_len == n &&
+         (n == 0 || std::memcmp(f.payload, payload, n) == 0);
+}
+
+}  // namespace snnsec::fleet

@@ -1,0 +1,55 @@
+// Blocking TCP client for the fleet wire protocol (IPv4/loopback).
+//
+// One WireClient owns one connection and supports one outstanding request
+// at a time: request() sends a kRequest frame and blocks until the frame
+// with the matching request_id comes back (kResponse or kError). Buffers
+// (encode scratch + decoder) are reserved at construction, so a client
+// polling in a loop allocates nothing after the first response.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fleet/wire.hpp"
+
+namespace snnsec::fleet {
+
+class WireClient {
+ public:
+  /// Connect to host:port (dotted-quad IPv4 or "localhost"). Check
+  /// connected() — construction never throws on refused connections.
+  WireClient(const std::string& host, int port, std::size_t max_payload);
+  ~WireClient();
+
+  WireClient(const WireClient&) = delete;
+  WireClient& operator=(const WireClient&) = delete;
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Send one request and block for its reply. Returns true when a
+  /// kResponse frame with meta.request_id arrived; `scores`, when non-null,
+  /// receives the per-class scores. A kError frame or transport failure
+  /// returns false (`error_out`, when non-null, gets the reason) and
+  /// closes the connection on transport/stream errors.
+  bool request(const RequestMeta& meta, const float* pixels, std::size_t n,
+               ResponseMeta& out, std::vector<float>* scores = nullptr,
+               std::string* error_out = nullptr);
+
+  /// Send a kPing carrying `n` opaque bytes; true when the kPong echoed
+  /// them back verbatim.
+  bool ping(const void* payload, std::size_t n);
+
+  void close();
+
+ private:
+  bool send_all(const std::uint8_t* p, std::size_t n);
+  /// Read from the socket until a complete frame or failure.
+  bool read_frame(FrameView& f);
+
+  int fd_ = -1;
+  Decoder dec_;
+  std::vector<std::uint8_t> tx_;
+};
+
+}  // namespace snnsec::fleet

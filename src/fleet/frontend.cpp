@@ -1,0 +1,448 @@
+// SNNSEC_HOT: per-frame I/O + dispatch path — steady state must not
+// allocate between accept and response write.
+#include "fleet/frontend.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <arpa/inet.h>
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+
+#include "fleet/wire.hpp"
+#include "obs/metrics.hpp"
+#include "util/checked.hpp"
+#include "util/logging.hpp"
+
+namespace snnsec::fleet {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+/// One client connection. The I/O thread owns fd lifecycle and the
+/// decoder; executors only write, and every write / open-flag access /
+/// close happens under write_m, so a response write never races teardown.
+struct Frontend::Conn {
+  Conn(int f, std::size_t max_payload) : fd(f), dec(max_payload) {}
+
+  int fd = -1;
+  Decoder dec;
+  std::mutex write_m;
+  bool open = true;  // guarded by write_m
+};
+
+/// One dispatched request: the connection it answers to, the latched
+/// image, and the request metadata. input is preallocated at construction.
+struct Frontend::DispatchSlot {
+  std::shared_ptr<Conn> conn;
+  Tensor input;
+  RequestMeta meta;
+};
+
+/// Fixed dispatch ring: free slots are a stack, ready slots a FIFO.
+/// A full ring sheds at the I/O thread instead of buffering unboundedly.
+struct Frontend::Ring {
+  std::mutex m;
+  std::condition_variable cv;
+  std::vector<DispatchSlot> slots;
+  std::vector<std::int64_t> ready;  // FIFO ring buffer of slot indices
+  std::size_t ready_head = 0;
+  std::size_t ready_count = 0;
+  std::vector<std::int64_t> free_list;  // stack of slot indices
+  bool draining = false;
+};
+
+namespace {
+
+/// Blocking send loop; returns false on transport failure.
+bool write_fd(int fd, const std::uint8_t* p, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+}  // namespace
+
+Frontend::Frontend(Router& router, FrontendConfig cfg)
+    : router_(router), cfg_(std::move(cfg)) {
+  SNNSEC_CHECK(cfg_.executors >= 1, "Frontend: executors must be >= 1");
+  SNNSEC_CHECK(cfg_.queue_capacity >= 1,
+               "Frontend: queue_capacity must be >= 1");
+  SNNSEC_CHECK(cfg_.max_connections >= 1,
+               "Frontend: max_connections must be >= 1");
+  const nn::LenetSpec& arch = router_.arch();
+  const std::size_t pixels = static_cast<std::size_t>(
+      arch.in_channels * arch.image_size * arch.image_size);
+  SNNSEC_CHECK(cfg_.max_payload >= 4 + 4 * pixels,
+               "Frontend: max_payload " << cfg_.max_payload
+                                        << " cannot hold a request image ("
+                                        << 4 + 4 * pixels << " bytes)");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  SNNSEC_CHECK(listen_fd_ >= 0, "Frontend: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(static_cast<std::uint16_t>(cfg_.port));
+  const char* addr =
+      cfg_.host == "localhost" ? "127.0.0.1" : cfg_.host.c_str();
+  SNNSEC_CHECK(inet_pton(AF_INET, addr, &sa.sin_addr) == 1,
+               "Frontend: bad IPv4 address '" << cfg_.host << "'");
+  SNNSEC_CHECK(::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&sa),
+                      sizeof(sa)) == 0,
+               "Frontend: bind to " << cfg_.host << ":" << cfg_.port
+                                    << " failed (errno " << errno << ")");
+  SNNSEC_CHECK(::listen(listen_fd_, 64) == 0, "Frontend: listen() failed");
+  sockaddr_in bound{};
+  socklen_t blen = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &blen);
+  port_ = static_cast<int>(ntohs(bound.sin_port));
+  SNNSEC_CHECK(::pipe(wake_pipe_) == 0, "Frontend: pipe() failed");
+
+  ring_ = std::make_unique<Ring>();
+  // NOLINTNEXTLINE(snnsec-hot-alloc): startup-time dispatch ring sizing.
+  ring_->slots.resize(static_cast<std::size_t>(cfg_.queue_capacity));
+  for (DispatchSlot& s : ring_->slots)
+    s.input = Tensor::zeros(
+        Shape{1, arch.in_channels, arch.image_size, arch.image_size});
+  // NOLINTNEXTLINE(snnsec-hot-alloc): startup-time dispatch ring sizing.
+  ring_->ready.resize(static_cast<std::size_t>(cfg_.queue_capacity), 0);
+  // NOLINTNEXTLINE(snnsec-hot-alloc): startup-time free-list capacity.
+  ring_->free_list.reserve(static_cast<std::size_t>(cfg_.queue_capacity));
+  for (std::int64_t i = cfg_.queue_capacity - 1; i >= 0; --i)
+    // NOLINTNEXTLINE(snnsec-hot-alloc): fills capacity reserved above.
+    ring_->free_list.push_back(i);
+  // NOLINTNEXTLINE(snnsec-hot-alloc): startup-time connection-table capacity.
+  conns_.reserve(static_cast<std::size_t>(cfg_.max_connections));
+  // NOLINTNEXTLINE(snnsec-hot-alloc): startup-time io scratch buffer sizing.
+  io_tx_.resize(encoded_size(cfg_.max_payload));
+
+  // NOLINTNEXTLINE(snnsec-hot-alloc): startup-time executor construction.
+  executors_.reserve(static_cast<std::size_t>(cfg_.executors));
+  for (std::int64_t e = 0; e < cfg_.executors; ++e)
+    // NOLINTNEXTLINE(snnsec-hot-alloc): startup-time executor construction.
+    executors_.emplace_back([this, e] { executor_loop(e); });
+  io_thread_ = std::thread([this] { io_loop(); });
+  SNNSEC_LOG_INFO("fleet::Frontend: listening on " << cfg_.host << ":"
+                                                   << port_ << " ("
+                                                   << cfg_.executors
+                                                   << " executors)");
+}
+
+Frontend::~Frontend() { stop(); }
+
+void Frontend::stop() {
+  if (stopped_.exchange(true)) return;
+  // Phase 1: stop accepting and reading — no new work enters the ring.
+  stop_requested_.store(true, std::memory_order_release);
+  const char wake = 'x';
+  [[maybe_unused]] const ssize_t w = ::write(wake_pipe_[1], &wake, 1);
+  if (io_thread_.joinable()) io_thread_.join();
+  // Phase 2: drain — executors finish every dispatched request and write
+  // its response before exiting.
+  {
+    std::lock_guard<std::mutex> lk(ring_->m);
+    ring_->draining = true;
+  }
+  ring_->cv.notify_all();
+  for (std::thread& t : executors_) t.join();
+  // Phase 3: close.
+  for (const std::shared_ptr<Conn>& c : conns_) close_conn(c);
+  conns_.clear();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::close(wake_pipe_[0]);
+  ::close(wake_pipe_[1]);
+}
+
+FrontendStats Frontend::stats() const {
+  FrontendStats s;
+  s.connections_accepted = accepted_.load(std::memory_order_relaxed);
+  s.connections_rejected = rejected_.load(std::memory_order_relaxed);
+  s.connections_open = open_.load(std::memory_order_relaxed);
+  s.frames = frames_.load(std::memory_order_relaxed);
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.responses = responses_.load(std::memory_order_relaxed);
+  s.malformed = malformed_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Frontend::send_error(Conn& conn, std::uint64_t request_id,
+                          std::uint64_t tenant, const char* msg) {
+  std::uint8_t buf[256];
+  const std::size_t n = std::min(std::strlen(msg), sizeof(buf) - kWireHeaderSize);
+  const std::size_t len = encode_frame(buf, sizeof(buf), FrameType::kError,
+                                       0, request_id, tenant, 0, msg, n);
+  if (len == 0) return;
+  std::lock_guard<std::mutex> lk(conn.write_m);
+  if (!conn.open) return;
+  if (!write_fd(conn.fd, buf, len)) conn.open = false;
+}
+
+void Frontend::close_conn(const std::shared_ptr<Conn>& conn) {
+  std::lock_guard<std::mutex> lk(conn->write_m);
+  if (conn->fd >= 0) {
+    ::close(conn->fd);
+    conn->fd = -1;
+    open_.fetch_add(-1, std::memory_order_relaxed);
+  }
+  conn->open = false;
+}
+
+void Frontend::dispatch_frame(const std::shared_ptr<Conn>& conn,
+                              const FrameView& frame) {
+  frames_.fetch_add(1, std::memory_order_relaxed);
+  SNNSEC_COUNTER_ADD("fleet.frontend.frames", 1);
+  switch (frame.type) {
+    case FrameType::kPing: {
+      // Answered inline on the I/O thread; echoes the payload.
+      std::uint8_t* tx = io_tx_.data();
+      const std::size_t len = encode_frame(
+          tx, io_tx_.size(), FrameType::kPong, 0, frame.request_id,
+          frame.tenant, 0, frame.payload, frame.payload_len);
+      std::lock_guard<std::mutex> lk(conn->write_m);
+      if (conn->open && len > 0 && !write_fd(conn->fd, tx, len))
+        conn->open = false;
+      return;
+    }
+    case FrameType::kRequest:
+      break;
+    default:
+      // Clients must not send responses/pongs/errors; treat it as a
+      // protocol violation and tear the stream down.
+      malformed_.fetch_add(1, std::memory_order_relaxed);
+      SNNSEC_COUNTER_ADD("fleet.frontend.malformed", 1);
+      send_error(*conn, frame.request_id, frame.tenant, "bad frame type");
+      close_conn(conn);
+      return;
+  }
+
+  std::uint32_t max_steps = 0;
+  const std::uint8_t* pixels = nullptr;
+  std::size_t n = 0;
+  if (!decode_request_payload(frame, max_steps, pixels, n)) {
+    malformed_.fetch_add(1, std::memory_order_relaxed);
+    SNNSEC_COUNTER_ADD("fleet.frontend.malformed", 1);
+    send_error(*conn, frame.request_id, frame.tenant, "bad request");
+    close_conn(conn);
+    return;
+  }
+  const nn::LenetSpec& arch = router_.arch();
+  const std::size_t want = static_cast<std::size_t>(
+      arch.in_channels * arch.image_size * arch.image_size);
+  if (n != want) {
+    // Wrong image geometry is an application error, not stream desync:
+    // reply and keep the connection.
+    malformed_.fetch_add(1, std::memory_order_relaxed);
+    SNNSEC_COUNTER_ADD("fleet.frontend.malformed", 1);
+    send_error(*conn, frame.request_id, frame.tenant, "bad image size");
+    return;
+  }
+
+  std::int64_t idx = -1;
+  {
+    std::lock_guard<std::mutex> lk(ring_->m);
+    if (!ring_->free_list.empty()) {
+      idx = ring_->free_list.back();
+      ring_->free_list.pop_back();
+    }
+  }
+  if (idx < 0) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    SNNSEC_COUNTER_ADD("fleet.frontend.shed", 1);
+    send_error(*conn, frame.request_id, frame.tenant, "overloaded");
+    return;
+  }
+  DispatchSlot& slot = ring_->slots[static_cast<std::size_t>(idx)];
+  slot.conn = conn;
+  slot.meta.request_id = frame.request_id;
+  slot.meta.tenant = frame.tenant;
+  slot.meta.deadline_us = std::max<std::int64_t>(0, frame.deadline_us);
+  slot.meta.max_steps = max_steps;
+  // Raw little-endian float32 pixels straight into the latched tensor.
+  std::memcpy(slot.input.data(), pixels, 4 * n);
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(ring_->m);
+    const std::size_t tail =
+        (ring_->ready_head + ring_->ready_count) % ring_->ready.size();
+    ring_->ready[tail] = idx;
+    ++ring_->ready_count;
+  }
+  ring_->cv.notify_one();
+}
+
+void Frontend::handle_readable(const std::shared_ptr<Conn>& conn) {
+  std::uint8_t buf[4096];
+  const std::size_t want = std::min(sizeof(buf), conn->dec.free());
+  const ssize_t r = want > 0 ? ::recv(conn->fd, buf, want, 0) : 0;
+  if (r < 0) {
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) return;
+    close_conn(conn);
+    return;
+  }
+  if (r == 0 && want > 0) {  // orderly peer shutdown
+    close_conn(conn);
+    return;
+  }
+  if (!conn->dec.feed(buf, static_cast<std::size_t>(r))) {
+    close_conn(conn);
+    return;
+  }
+  FrameView frame;
+  while (conn->dec.next(frame)) {
+    dispatch_frame(conn, frame);
+    if (conn->fd < 0) return;  // dispatch tore the connection down
+  }
+  if (conn->dec.error() != WireError::kNone) {
+    malformed_.fetch_add(1, std::memory_order_relaxed);
+    SNNSEC_COUNTER_ADD("fleet.frontend.malformed", 1);
+    send_error(*conn, 0, 0, to_string(conn->dec.error()));
+    close_conn(conn);
+  }
+}
+
+void Frontend::io_loop() {
+  // Fixed poll set: [0] listener, [1] wake pipe, [2..] connections.
+  // NOLINTNEXTLINE(snnsec-hot-alloc): one-time poll-set reservation
+  std::vector<pollfd> pfds(static_cast<std::size_t>(cfg_.max_connections) +
+                           2);
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    pfds[0] = pollfd{listen_fd_, POLLIN, 0};
+    pfds[1] = pollfd{wake_pipe_[0], POLLIN, 0};
+    const std::size_t nconn = conns_.size();
+    for (std::size_t i = 0; i < nconn; ++i)
+      pfds[i + 2] = pollfd{conns_[i]->fd, POLLIN, 0};
+    const int rc =
+        ::poll(pfds.data(), static_cast<nfds_t>(nconn + 2), -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      SNNSEC_LOG_WARN("fleet::Frontend: poll failed (errno " << errno
+                                                             << ")");
+      break;
+    }
+    if ((pfds[1].revents & POLLIN) != 0) {
+      char drain[16];
+      [[maybe_unused]] const ssize_t d =
+          ::read(wake_pipe_[0], drain, sizeof(drain));
+      continue;  // loop condition re-checks stop_requested_
+    }
+    for (std::size_t i = 0; i < nconn; ++i) {
+      const short ev = pfds[i + 2].revents;
+      if ((ev & (POLLIN | POLLHUP | POLLERR)) != 0)
+        handle_readable(conns_[i]);
+    }
+    // Compact closed connections out of the poll set.
+    conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
+                                [](const std::shared_ptr<Conn>& c) {
+                                  return c->fd < 0;
+                                }),
+                 conns_.end());
+    if ((pfds[0].revents & POLLIN) != 0) {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd >= 0) {
+        if (conns_.size() >=
+            static_cast<std::size_t>(cfg_.max_connections)) {
+          rejected_.fetch_add(1, std::memory_order_relaxed);
+          ::close(fd);
+        } else {
+          const int one = 1;
+          ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+          // NOLINTNEXTLINE(snnsec-hot-alloc): per-connection setup, not per-frame
+          conns_.push_back(std::make_shared<Conn>(fd, cfg_.max_payload));
+          accepted_.fetch_add(1, std::memory_order_relaxed);
+          open_.fetch_add(1, std::memory_order_relaxed);
+          SNNSEC_COUNTER_ADD("fleet.frontend.connections", 1);
+        }
+      }
+    }
+  }
+}
+
+void Frontend::executor_loop(std::int64_t id) {
+  (void)id;
+  const std::int64_t classes = router_.num_classes();
+  // NOLINTNEXTLINE(snnsec-hot-alloc): one-time response scratch reservation
+  std::vector<std::uint8_t> tx(encoded_size(
+      kResponsePrefixSize + 4 * static_cast<std::size_t>(classes)));
+  FleetResult fr;
+  for (;;) {
+    std::int64_t idx = -1;
+    {
+      std::unique_lock<std::mutex> lk(ring_->m);
+      ring_->cv.wait(lk, [&] {
+        return ring_->ready_count > 0 || ring_->draining;
+      });
+      if (ring_->ready_count == 0) return;  // draining and empty
+      idx = ring_->ready[ring_->ready_head];
+      ring_->ready_head = (ring_->ready_head + 1) % ring_->ready.size();
+      --ring_->ready_count;
+    }
+    DispatchSlot& slot = ring_->slots[static_cast<std::size_t>(idx)];
+    serve::RequestOptions opt;
+    opt.deadline_us = slot.meta.deadline_us;
+    opt.max_steps = static_cast<std::int64_t>(slot.meta.max_steps);
+    router_.infer(slot.meta.tenant, slot.input, opt, fr);
+
+    ResponseMeta rm;
+    rm.request_id = slot.meta.request_id;
+    rm.tenant = slot.meta.tenant;
+    rm.latency_us = fr.fleet_latency_us;
+    rm.status = static_cast<std::uint8_t>(fr.result.status);
+    rm.group = fr.group >= 0 && fr.group <= 0xFE
+                   ? static_cast<std::uint8_t>(fr.group)
+                   : 0xFF;
+    rm.resp_flags = 0;
+    if (fr.result.flagged) rm.resp_flags |= kRespFlagged;
+    if (fr.rerouted) rm.resp_flags |= kRespRerouted;
+    if (fr.ensemble) rm.resp_flags |= kRespEnsemble;
+    if (fr.result.truncated) rm.resp_flags |= kRespTruncated;
+    if (fr.result.degraded) rm.resp_flags |= kRespDegraded;
+    rm.pred = fr.result.pred >= 0
+                  ? static_cast<std::uint32_t>(fr.result.pred)
+                  : 0xFFFFFFFFU;
+    rm.steps_used = static_cast<std::uint32_t>(fr.result.steps_used);
+    rm.batch_size = static_cast<std::uint32_t>(fr.result.batch_size);
+    rm.anomaly_score = static_cast<float>(fr.result.anomaly_score);
+    rm.num_scores = fr.result.status == serve::ResultStatus::kOk
+                        ? static_cast<std::uint32_t>(fr.result.scores.size())
+                        : 0;
+    const std::size_t len = encode_response(
+        tx.data(), tx.size(), rm,
+        rm.num_scores > 0 ? fr.result.scores.data() : nullptr);
+    {
+      std::lock_guard<std::mutex> lk(slot.conn->write_m);
+      if (slot.conn->open && len > 0) {
+        if (write_fd(slot.conn->fd, tx.data(), len))
+          responses_.fetch_add(1, std::memory_order_relaxed);
+        else
+          slot.conn->open = false;
+      }
+    }
+    slot.conn.reset();
+    {
+      std::lock_guard<std::mutex> lk(ring_->m);
+      // The free list never exceeds the queue_capacity reserved at
+      // construction, so this push_back cannot grow the vector.
+      // NOLINTNEXTLINE(snnsec-hot-alloc): within reserved capacity, no heap.
+      ring_->free_list.push_back(idx);
+    }
+  }
+}
+
+}  // namespace snnsec::fleet

@@ -1,0 +1,120 @@
+// fleet::Frontend — TCP front-end for a fleet::Router.
+//
+// One poll(2)-based I/O thread owns the listening socket and every
+// connection: it accepts, reads into each connection's incremental wire
+// Decoder, answers pings inline, and hands complete request frames to a
+// fixed ring of dispatch slots. Executor threads pop slots, drive the
+// routed replica's inline micro-batch (this is where the request meets the
+// MicroBatcher), and write the response frame back under the connection's
+// write lock. poll() was chosen over epoll deliberately: the fleet fronts
+// tens of connections, not tens of thousands, and poll keeps the state
+// machine portable and obviously correct.
+//
+// Overload behaves like the rest of the stack: a full dispatch ring sheds
+// the frame with a kError reply instead of buffering unboundedly, the
+// per-tenant quota and the MicroBatcher's shed-at-capacity ring sit
+// underneath, and a malformed frame (bad magic/version/type/digest,
+// oversized) earns one kError frame and connection teardown — a
+// desynchronised byte stream cannot be re-trusted.
+//
+// Shutdown is stop-then-drain: stop accepting and reading first, finish
+// every dispatched request and write its response, then close.
+//
+// All dispatch slots (including their input tensors) are preallocated at
+// construction; the steady-state frame -> response path allocates nothing.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fleet/router.hpp"
+#include "fleet/wire.hpp"
+
+namespace snnsec::fleet {
+
+struct FrontendConfig {
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; read the bound port back via port().
+  int port = 0;
+  std::int64_t max_connections = 64;
+  /// Executor threads driving routed inference.
+  std::int64_t executors = 2;
+  /// Dispatch ring depth; a full ring sheds with a kError reply.
+  std::int64_t queue_capacity = 64;
+  /// Largest accepted frame payload. Must hold a request image
+  /// (4 + 4*C*H*W bytes); validated at construction.
+  std::size_t max_payload = 1 << 20;
+};
+
+struct FrontendStats {
+  std::int64_t connections_accepted = 0;
+  std::int64_t connections_rejected = 0;  ///< over max_connections
+  std::int64_t connections_open = 0;
+  std::int64_t frames = 0;     ///< complete frames decoded
+  std::int64_t requests = 0;   ///< kRequest frames dispatched
+  std::int64_t responses = 0;  ///< kResponse frames written
+  std::int64_t malformed = 0;  ///< decode errors + protocol violations
+  std::int64_t shed = 0;       ///< dispatch ring full
+};
+
+class Frontend {
+ public:
+  /// Binds and starts the I/O + executor threads. Throws util::Error when
+  /// the socket cannot be bound.
+  Frontend(Router& router, FrontendConfig cfg);
+  ~Frontend();
+
+  Frontend(const Frontend&) = delete;
+  Frontend& operator=(const Frontend&) = delete;
+
+  /// The bound TCP port (useful with cfg.port == 0).
+  int port() const { return port_; }
+
+  /// Stop-then-drain shutdown. Idempotent; the destructor calls it.
+  void stop();
+
+  FrontendStats stats() const;
+
+ private:
+  struct Conn;
+  struct DispatchSlot;
+  struct Ring;
+
+  void io_loop();
+  void executor_loop(std::int64_t id);
+  void handle_readable(const std::shared_ptr<Conn>& conn);
+  void dispatch_frame(const std::shared_ptr<Conn>& conn,
+                      const FrameView& frame);
+  void send_error(Conn& conn, std::uint64_t request_id, std::uint64_t tenant,
+                  const char* msg);
+  void close_conn(const std::shared_ptr<Conn>& conn);
+
+  Router& router_;
+  FrontendConfig cfg_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  int wake_pipe_[2] = {-1, -1};
+
+  std::unique_ptr<Ring> ring_;
+  std::vector<std::uint8_t> io_tx_;  // I/O-thread pong/error scratch
+  std::vector<std::shared_ptr<Conn>> conns_;  // I/O thread only
+  std::thread io_thread_;
+  std::vector<std::thread> executors_;
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> stopped_{false};
+
+  std::atomic<std::int64_t> accepted_{0};
+  std::atomic<std::int64_t> rejected_{0};
+  std::atomic<std::int64_t> open_{0};
+  std::atomic<std::int64_t> frames_{0};
+  std::atomic<std::int64_t> requests_{0};
+  std::atomic<std::int64_t> responses_{0};
+  std::atomic<std::int64_t> malformed_{0};
+  std::atomic<std::int64_t> shed_{0};
+};
+
+}  // namespace snnsec::fleet

@@ -1,0 +1,348 @@
+#include "fleet/loadgen.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <istream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "fleet/client.hpp"
+#include "nn/metrics.hpp"
+#include "util/checked.hpp"
+#include "util/rng.hpp"
+
+namespace snnsec::fleet {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+class ServerClient : public LoadClient {
+ public:
+  explicit ServerClient(serve::Server& server) : server_(server) {}
+
+  void submit(std::uint64_t /*tenant*/, const tensor::Tensor& x,
+              const LoadOptions& opt, Reply& out) override {
+    serve::RequestOptions ro;
+    ro.deadline_us = opt.deadline_us;
+    ro.max_steps = opt.max_steps;
+    const bool ok = server_.infer(x, ro, r_);
+    out = Reply{};
+    out.ok = ok;
+    out.shed = r_.status == serve::ResultStatus::kRejected;
+    out.error = r_.status == serve::ResultStatus::kError;
+    out.pred = r_.pred;
+    out.latency_us = r_.latency_us;
+    out.batch_size = r_.batch_size;
+    out.truncated = r_.truncated;
+    out.flagged = r_.flagged;
+  }
+
+ private:
+  serve::Server& server_;
+  serve::InferResult r_;
+};
+
+class RouterClient : public LoadClient {
+ public:
+  explicit RouterClient(Router& router) : router_(router) {}
+
+  void submit(std::uint64_t tenant, const tensor::Tensor& x,
+              const LoadOptions& opt, Reply& out) override {
+    serve::RequestOptions ro;
+    ro.deadline_us = opt.deadline_us;
+    ro.max_steps = opt.max_steps;
+    const bool ok = router_.infer(tenant, x, ro, fr_);
+    out = Reply{};
+    out.ok = ok;
+    out.quota_rejected = fr_.quota_rejected;
+    out.shed = !fr_.quota_rejected &&
+               fr_.result.status == serve::ResultStatus::kRejected;
+    out.error = fr_.result.status == serve::ResultStatus::kError;
+    out.pred = fr_.result.pred;
+    out.latency_us = fr_.fleet_latency_us;
+    out.batch_size = fr_.result.batch_size;
+    out.truncated = fr_.result.truncated;
+    out.flagged = fr_.result.flagged;
+  }
+
+ private:
+  Router& router_;
+  FleetResult fr_;
+};
+
+class WireLoadClient : public LoadClient {
+ public:
+  WireLoadClient(const std::string& host, int port, std::size_t max_payload)
+      : client_(host, port, max_payload) {}
+
+  void submit(std::uint64_t tenant, const tensor::Tensor& x,
+              const LoadOptions& opt, Reply& out) override {
+    out = Reply{};
+    if (!client_.connected()) {
+      out.error = true;
+      return;
+    }
+    RequestMeta meta;
+    meta.request_id = ++next_id_;
+    meta.tenant = tenant;
+    meta.deadline_us = opt.deadline_us;
+    meta.max_steps = static_cast<std::uint32_t>(opt.max_steps);
+    ResponseMeta resp;
+    if (!client_.request(meta, x.data(),
+                         static_cast<std::size_t>(x.numel()), resp)) {
+      out.error = true;
+      return;
+    }
+    const auto status = static_cast<serve::ResultStatus>(resp.status);
+    out.ok = status == serve::ResultStatus::kOk;
+    // The wire response does not distinguish quota from queue shed; the
+    // front-end's error string does, but replies keep the fast path.
+    out.shed = status == serve::ResultStatus::kRejected;
+    out.error = status == serve::ResultStatus::kError;
+    out.pred = resp.pred == 0xFFFFFFFFU
+                   ? -1
+                   : static_cast<std::int64_t>(resp.pred);
+    out.latency_us = resp.latency_us;
+    out.batch_size = resp.batch_size;
+    out.truncated = (resp.resp_flags & kRespTruncated) != 0;
+    out.flagged = (resp.resp_flags & kRespFlagged) != 0;
+  }
+
+ private:
+  WireClient client_;
+  std::uint64_t next_id_ = 0;
+};
+
+/// Deterministic weighted tenant pick from cumulative weights.
+std::uint64_t pick_tenant(const std::vector<TenantShare>& mix,
+                          const std::vector<double>& cumulative,
+                          util::Rng& rng) {
+  if (mix.empty()) return 0;
+  const double u = rng.uniform() * cumulative.back();
+  const auto it =
+      std::upper_bound(cumulative.begin(), cumulative.end(), u);
+  const std::size_t idx = std::min(
+      static_cast<std::size_t>(it - cumulative.begin()), mix.size() - 1);
+  return mix[idx].tenant;
+}
+
+struct ClientTally {
+  std::vector<double> latencies;
+  std::int64_t completed = 0;
+  std::int64_t shed = 0;
+  std::int64_t quota_rejected = 0;
+  std::int64_t errors = 0;
+  std::int64_t truncated = 0;
+  std::int64_t flagged = 0;
+  std::int64_t batch_sum = 0;
+};
+
+void tally(ClientTally& t, const LoadClient::Reply& r) {
+  if (r.ok) {
+    ++t.completed;
+    t.latencies.push_back(static_cast<double>(r.latency_us));
+    t.batch_sum += r.batch_size;
+    if (r.truncated) ++t.truncated;
+    if (r.flagged) ++t.flagged;
+  } else if (r.quota_rejected) {
+    ++t.quota_rejected;
+  } else if (r.shed) {
+    ++t.shed;
+  } else {
+    ++t.errors;
+  }
+}
+
+LoadReport finish(std::vector<ClientTally>& tallies, std::int64_t offered,
+                  double wall_s) {
+  LoadReport rep;
+  rep.offered = offered;
+  rep.wall_s = wall_s;
+  std::vector<double> all;
+  for (ClientTally& t : tallies) {
+    rep.completed += t.completed;
+    rep.shed += t.shed;
+    rep.quota_rejected += t.quota_rejected;
+    rep.errors += t.errors;
+    rep.truncated += t.truncated;
+    rep.flagged += t.flagged;
+    all.insert(all.end(), t.latencies.begin(), t.latencies.end());
+  }
+  std::int64_t batch_sum = 0;
+  for (const ClientTally& t : tallies) batch_sum += t.batch_sum;
+  rep.mean_batch = rep.completed > 0
+                       ? static_cast<double>(batch_sum) /
+                             static_cast<double>(rep.completed)
+                       : 0.0;
+  rep.throughput_rps =
+      wall_s > 0 ? static_cast<double>(rep.completed) / wall_s : 0.0;
+  rep.offered_rps =
+      wall_s > 0 ? static_cast<double>(rep.offered) / wall_s : 0.0;
+  std::sort(all.begin(), all.end());
+  const auto pct = [&](double q) {
+    if (all.empty()) return 0.0;
+    const double pos = q * static_cast<double>(all.size() - 1);
+    const auto idx = static_cast<std::size_t>(pos + 0.5);
+    return all[std::min(idx, all.size() - 1)];
+  };
+  rep.p50_us = pct(0.50);
+  rep.p95_us = pct(0.95);
+  rep.p99_us = pct(0.99);
+  return rep;
+}
+
+}  // namespace
+
+std::unique_ptr<LoadClient> ServerTarget::connect() {
+  return std::make_unique<ServerClient>(server_);
+}
+
+std::unique_ptr<LoadClient> RouterTarget::connect() {
+  return std::make_unique<RouterClient>(router_);
+}
+
+WireTarget::WireTarget(std::string host, int port, std::size_t max_payload)
+    : host_(std::move(host)), port_(port), max_payload_(max_payload) {}
+
+std::unique_ptr<LoadClient> WireTarget::connect() {
+  return std::make_unique<WireLoadClient>(host_, port_, max_payload_);
+}
+
+LoadReport run_load(LoadTarget& target, const tensor::Tensor& images,
+                    const LoadSpec& spec) {
+  SNNSEC_CHECK(spec.total >= 0, "run_load: negative total");
+  SNNSEC_CHECK(spec.clients >= 1, "run_load: clients must be >= 1");
+  SNNSEC_CHECK(spec.mode != LoadSpec::Mode::kOpen || spec.rate_rps > 0,
+               "run_load: open loop needs rate_rps > 0");
+  const std::int64_t n_images = images.dim(0);
+  SNNSEC_CHECK(n_images > 0, "run_load: empty image set");
+
+  std::vector<double> cumulative;
+  cumulative.reserve(spec.mix.size());
+  double acc = 0.0;
+  for (const TenantShare& s : spec.mix) {
+    SNNSEC_CHECK(s.weight > 0, "run_load: tenant " << s.tenant
+                                                   << " has weight <= 0");
+    acc += s.weight;
+    cumulative.push_back(acc);
+  }
+
+  const std::int64_t clients = spec.clients;
+  std::vector<ClientTally> tallies(static_cast<std::size_t>(clients));
+  const double interval_us =
+      spec.mode == LoadSpec::Mode::kOpen ? 1e6 / spec.rate_rps : 0.0;
+  std::atomic<std::int64_t> next_tick{0};
+
+  const auto t0 = Clock::now();
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(clients));
+  for (std::int64_t c = 0; c < clients; ++c) {
+    pool.emplace_back([&, c] {
+      ClientTally& t = tallies[static_cast<std::size_t>(c)];
+      util::Rng rng =
+          util::Rng(spec.seed).fork(static_cast<std::uint64_t>(c));
+      auto client = target.connect();
+      LoadClient::Reply r;
+      if (spec.mode == LoadSpec::Mode::kClosed) {
+        // Static partition: client c owns [start, start + count).
+        const std::int64_t base = spec.total / clients;
+        const std::int64_t rem = spec.total % clients;
+        const std::int64_t count = base + (c < rem ? 1 : 0);
+        const std::int64_t start = c * base + std::min(c, rem);
+        t.latencies.reserve(static_cast<std::size_t>(count));
+        for (std::int64_t i = 0; i < count; ++i) {
+          const std::int64_t idx = (start + i) % n_images;
+          const tensor::Tensor x = nn::slice_batch(images, idx, idx + 1);
+          const std::uint64_t tenant =
+              pick_tenant(spec.mix, cumulative, rng);
+          client->submit(tenant, x, spec.options, r);
+          tally(t, r);
+        }
+      } else {
+        // Open loop: a shared tick sequence paces aggregate arrivals.
+        t.latencies.reserve(static_cast<std::size_t>(spec.total));
+        for (;;) {
+          const std::int64_t tick =
+              next_tick.fetch_add(1, std::memory_order_relaxed);
+          if (tick >= spec.total) break;
+          const auto due =
+              t0 + std::chrono::microseconds(static_cast<std::int64_t>(
+                       interval_us * static_cast<double>(tick)));
+          std::this_thread::sleep_until(due);
+          const std::int64_t idx = tick % n_images;
+          const tensor::Tensor x = nn::slice_batch(images, idx, idx + 1);
+          const std::uint64_t tenant =
+              pick_tenant(spec.mix, cumulative, rng);
+          client->submit(tenant, x, spec.options, r);
+          tally(t, r);
+        }
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  return finish(tallies, spec.total, wall_s);
+}
+
+std::vector<TraceEntry> parse_trace(std::istream& in) {
+  std::vector<TraceEntry> entries;
+  std::string line;
+  std::int64_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    TraceEntry e;
+    if (!(ls >> e.tenant)) continue;  // blank/comment line
+    SNNSEC_CHECK(static_cast<bool>(ls >> e.sample),
+                 "parse_trace: line " << lineno
+                                      << ": expected 'tenant sample "
+                                         "[deadline_us] [max_steps]'");
+    ls >> e.deadline_us >> e.max_steps;  // optional, default 0
+    SNNSEC_CHECK(e.sample >= 0 && e.deadline_us >= 0 && e.max_steps >= 0,
+                 "parse_trace: line " << lineno << ": negative field");
+    entries.push_back(e);
+  }
+  return entries;
+}
+
+LoadReport replay_trace(LoadTarget& target, const tensor::Tensor& images,
+                        const std::vector<TraceEntry>& entries,
+                        std::int64_t clients) {
+  SNNSEC_CHECK(clients >= 1, "replay_trace: clients must be >= 1");
+  const std::int64_t n_images = images.dim(0);
+  SNNSEC_CHECK(n_images > 0, "replay_trace: empty image set");
+  std::vector<ClientTally> tallies(static_cast<std::size_t>(clients));
+
+  const auto t0 = Clock::now();
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(clients));
+  for (std::int64_t c = 0; c < clients; ++c) {
+    pool.emplace_back([&, c] {
+      ClientTally& t = tallies[static_cast<std::size_t>(c)];
+      auto client = target.connect();
+      LoadClient::Reply r;
+      for (std::size_t i = static_cast<std::size_t>(c); i < entries.size();
+           i += static_cast<std::size_t>(clients)) {
+        const TraceEntry& e = entries[i];
+        const std::int64_t idx = e.sample % n_images;
+        const tensor::Tensor x = nn::slice_batch(images, idx, idx + 1);
+        LoadOptions opt;
+        opt.deadline_us = e.deadline_us;
+        opt.max_steps = e.max_steps;
+        client->submit(e.tenant, x, opt, r);
+        tally(t, r);
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  return finish(tallies, static_cast<std::int64_t>(entries.size()), wall_s);
+}
+
+}  // namespace snnsec::fleet

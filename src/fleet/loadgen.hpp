@@ -1,0 +1,160 @@
+// Reusable load-generation engine shared by bench_serve / bench_chaos /
+// bench_fleet and the snnsec_loadgen CLI.
+//
+// The engine separates three concerns that the old ad-hoc client loops in
+// bench/serve_load.hpp fused together:
+//
+//   LoadTarget / LoadClient — where requests go. Each client thread calls
+//     target.connect() once and owns the returned LoadClient: an in-process
+//     serve::Server, a fleet::Router (tenant-aware), or a TCP connection to
+//     a fleet front-end (WireTarget).
+//   LoadSpec — how requests are generated: closed loop (back-to-back per
+//     client) or open loop (arrivals paced at an aggregate rate), a
+//     weighted tenant mix, per-request deadline/step budgets, and a seed
+//     (the tenant draw is a seeded util::Rng sub-stream per client, so a
+//     given spec offers a deterministic request sequence).
+//   replay_trace — replays an explicit recorded request list instead of a
+//     synthetic mix ("tenant sample [deadline_us] [max_steps]" lines).
+//
+// The per-client submit loop reuses one Reply and one latency buffer, so
+// in-process targets keep the zero-alloc steady state of the servers they
+// drive.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "fleet/router.hpp"
+#include "serve/server.hpp"
+#include "tensor/tensor.hpp"
+
+namespace snnsec::fleet {
+
+/// Per-request scheduling knobs carried by the generated load.
+struct LoadOptions {
+  std::int64_t deadline_us = 0;
+  std::int64_t max_steps = 0;
+};
+
+/// One submission endpoint, owned by exactly one client thread.
+class LoadClient {
+ public:
+  /// Outcome of one request, normalized across target kinds.
+  struct Reply {
+    bool ok = false;
+    bool shed = false;            ///< admission/queue rejection
+    bool quota_rejected = false;  ///< fleet token bucket said no
+    bool error = false;
+    std::int64_t pred = -1;
+    std::int64_t latency_us = 0;  ///< server-reported when available
+    std::int64_t batch_size = 0;
+    bool truncated = false;
+    bool flagged = false;
+  };
+
+  virtual ~LoadClient() = default;
+  virtual void submit(std::uint64_t tenant, const tensor::Tensor& x,
+                      const LoadOptions& opt, Reply& out) = 0;
+};
+
+/// Factory for per-thread clients.
+class LoadTarget {
+ public:
+  virtual ~LoadTarget() = default;
+  virtual std::unique_ptr<LoadClient> connect() = 0;
+};
+
+/// Drives a single in-process serve::Server (ignores the tenant id).
+class ServerTarget : public LoadTarget {
+ public:
+  explicit ServerTarget(serve::Server& server) : server_(server) {}
+  std::unique_ptr<LoadClient> connect() override;
+
+ private:
+  serve::Server& server_;
+};
+
+/// Drives an in-process fleet::Router (tenant-aware routing + quota).
+class RouterTarget : public LoadTarget {
+ public:
+  explicit RouterTarget(Router& router) : router_(router) {}
+  std::unique_ptr<LoadClient> connect() override;
+
+ private:
+  Router& router_;
+};
+
+/// Connects to a fleet front-end over TCP; one connection per client.
+class WireTarget : public LoadTarget {
+ public:
+  WireTarget(std::string host, int port, std::size_t max_payload);
+  std::unique_ptr<LoadClient> connect() override;
+
+ private:
+  std::string host_;
+  int port_;
+  std::size_t max_payload_;
+};
+
+/// Weighted tenant share of the generated traffic.
+struct TenantShare {
+  std::uint64_t tenant = 0;
+  double weight = 1.0;
+};
+
+struct LoadSpec {
+  enum class Mode : std::uint8_t { kClosed, kOpen };
+  Mode mode = Mode::kClosed;
+  std::int64_t total = 0;    ///< requests across all clients
+  std::int64_t clients = 1;  ///< client threads (open loop: submitters)
+  double rate_rps = 0.0;     ///< open loop aggregate arrival rate
+  LoadOptions options;       ///< applied to every request
+  /// Weighted tenant mix; empty = every request from tenant 0.
+  std::vector<TenantShare> mix;
+  std::uint64_t seed = 1;
+};
+
+struct LoadReport {
+  std::int64_t offered = 0;
+  std::int64_t completed = 0;
+  std::int64_t shed = 0;
+  std::int64_t quota_rejected = 0;
+  std::int64_t errors = 0;
+  std::int64_t truncated = 0;
+  std::int64_t flagged = 0;
+  double wall_s = 0.0;
+  double throughput_rps = 0.0;  ///< completed / wall
+  double offered_rps = 0.0;     ///< offered / wall
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double mean_batch = 0.0;
+};
+
+/// Generate spec.total requests against `target`, cycling through
+/// `images` ([N, C, H, W]).
+LoadReport run_load(LoadTarget& target, const tensor::Tensor& images,
+                    const LoadSpec& spec);
+
+/// One recorded request of a replayable trace.
+struct TraceEntry {
+  std::uint64_t tenant = 0;
+  std::int64_t sample = 0;  ///< index into the image set (mod N)
+  std::int64_t deadline_us = 0;
+  std::int64_t max_steps = 0;
+};
+
+/// Parse a trace: one "tenant sample [deadline_us] [max_steps]" per line;
+/// blank lines and '#' comments are skipped. Throws util::Error on a
+/// malformed line.
+std::vector<TraceEntry> parse_trace(std::istream& in);
+
+/// Replay `entries` closed-loop across `clients` threads (entry i goes to
+/// client i % clients; each client preserves its subsequence's order).
+LoadReport replay_trace(LoadTarget& target, const tensor::Tensor& images,
+                        const std::vector<TraceEntry>& entries,
+                        std::int64_t clients);
+
+}  // namespace snnsec::fleet

@@ -1,0 +1,236 @@
+// SNNSEC_HOT: per-frame encode/decode path — steady state must not allocate.
+#include "fleet/wire.hpp"
+
+#include <cstring>
+
+#include "util/rng.hpp"
+
+namespace snnsec::fleet {
+namespace {
+
+// Explicit little-endian serialization: the wire format is defined in LE
+// regardless of host order.
+void store_u32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+void store_u64(std::uint8_t* p, std::uint64_t v) {
+  store_u32(p, static_cast<std::uint32_t>(v));
+  store_u32(p + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t load_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t load_u64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(load_u32(p)) |
+         (static_cast<std::uint64_t>(load_u32(p + 4)) << 32);
+}
+
+std::uint64_t payload_digest(const void* payload, std::size_t len) {
+  // FNV-1a 64, same function the RNG label hasher uses.
+  return util::hash_label(std::string_view(
+      static_cast<const char*>(len == 0 ? "" : payload), len));
+}
+
+bool valid_type(std::uint8_t t) {
+  return t >= static_cast<std::uint8_t>(FrameType::kRequest) &&
+         t <= static_cast<std::uint8_t>(FrameType::kError);
+}
+
+}  // namespace
+
+const char* to_string(WireError e) {
+  switch (e) {
+    case WireError::kNone: return "none";
+    case WireError::kBadMagic: return "bad-magic";
+    case WireError::kBadVersion: return "bad-version";
+    case WireError::kBadType: return "bad-type";
+    case WireError::kOversized: return "oversized";
+    case WireError::kBadDigest: return "bad-digest";
+    case WireError::kOverflow: return "overflow";
+  }
+  return "unknown";
+}
+
+std::size_t encode_frame(std::uint8_t* dst, std::size_t cap, FrameType type,
+                         std::uint8_t flags, std::uint64_t request_id,
+                         std::uint64_t tenant, std::int64_t deadline_us,
+                         const void* payload, std::size_t len) {
+  const std::size_t total = encoded_size(len);
+  if (cap < total || len > 0xFFFFFFFFULL) return 0;
+  dst[0] = kWireMagic;
+  dst[1] = kWireVersion;
+  dst[2] = static_cast<std::uint8_t>(type);
+  dst[3] = flags;
+  store_u32(dst + 4, static_cast<std::uint32_t>(len));
+  store_u64(dst + 8, request_id);
+  store_u64(dst + 16, tenant);
+  store_u64(dst + 24, static_cast<std::uint64_t>(deadline_us));
+  store_u64(dst + 32, payload_digest(payload, len));
+  if (len > 0) std::memcpy(dst + kWireHeaderSize, payload, len);
+  return total;
+}
+
+std::size_t encode_request(std::uint8_t* dst, std::size_t cap,
+                           const RequestMeta& meta, const float* pixels,
+                           std::size_t n) {
+  const std::size_t payload_len = 4 + 4 * n;
+  const std::size_t total = encoded_size(payload_len);
+  if (cap < total) return 0;
+  std::uint8_t* p = dst + kWireHeaderSize;
+  store_u32(p, meta.max_steps);
+  if (n > 0) std::memcpy(p + 4, pixels, 4 * n);
+  // Header last: the digest covers the payload bytes just written.
+  return encode_frame(dst, cap, FrameType::kRequest, 0, meta.request_id,
+                      meta.tenant, meta.deadline_us, p, payload_len);
+}
+
+std::size_t encode_response(std::uint8_t* dst, std::size_t cap,
+                            const ResponseMeta& meta, const float* scores) {
+  const std::size_t payload_len =
+      kResponsePrefixSize + 4 * static_cast<std::size_t>(meta.num_scores);
+  const std::size_t total = encoded_size(payload_len);
+  if (cap < total) return 0;
+  std::uint8_t* p = dst + kWireHeaderSize;
+  p[0] = meta.status;
+  p[1] = meta.group;
+  p[2] = meta.resp_flags;
+  p[3] = 0;
+  store_u32(p + 4, meta.pred);
+  store_u32(p + 8, meta.steps_used);
+  store_u32(p + 12, meta.batch_size);
+  std::uint32_t score_bits = 0;
+  std::memcpy(&score_bits, &meta.anomaly_score, 4);
+  store_u32(p + 16, score_bits);
+  store_u32(p + 20, meta.num_scores);
+  if (meta.num_scores > 0) std::memcpy(p + kResponsePrefixSize, scores,
+                                       4 * meta.num_scores);
+  return encode_frame(dst, cap, FrameType::kResponse, 0, meta.request_id,
+                      meta.tenant, meta.latency_us, p, payload_len);
+}
+
+bool decode_request_payload(const FrameView& f, std::uint32_t& max_steps,
+                            const std::uint8_t*& pixels, std::size_t& n) {
+  if (f.type != FrameType::kRequest || f.payload_len < 4 ||
+      (f.payload_len - 4) % 4 != 0)
+    return false;
+  max_steps = load_u32(f.payload);
+  pixels = f.payload + 4;
+  n = (f.payload_len - 4) / 4;
+  return true;
+}
+
+bool decode_response_payload(const FrameView& f, ResponseMeta& meta,
+                             const std::uint8_t*& scores) {
+  if (f.type != FrameType::kResponse || f.payload_len < kResponsePrefixSize)
+    return false;
+  const std::uint8_t* p = f.payload;
+  meta.request_id = f.request_id;
+  meta.tenant = f.tenant;
+  meta.latency_us = f.deadline_us;
+  meta.status = p[0];
+  meta.group = p[1];
+  meta.resp_flags = p[2];
+  meta.pred = load_u32(p + 4);
+  meta.steps_used = load_u32(p + 8);
+  meta.batch_size = load_u32(p + 12);
+  const std::uint32_t score_bits = load_u32(p + 16);
+  std::memcpy(&meta.anomaly_score, &score_bits, 4);
+  meta.num_scores = load_u32(p + 20);
+  if (f.payload_len !=
+      kResponsePrefixSize + 4 * static_cast<std::size_t>(meta.num_scores))
+    return false;
+  scores = p + kResponsePrefixSize;
+  return true;
+}
+
+Decoder::Decoder(std::size_t max_payload) : max_payload_(max_payload) {
+  // Room for one maximal frame plus a partially-read successor; feed() is
+  // bounded by free() so the buffer never grows after construction.
+  // NOLINTNEXTLINE(snnsec-hot-alloc): one-time buffer reservation in ctor
+  buf_.resize(2 * encoded_size(max_payload_));
+}
+
+std::size_t Decoder::free() const {
+  if (err_ != WireError::kNone) return 0;
+  // Compaction in feed() reclaims everything before consumed_.
+  return buf_.size() - (fill_ - consumed_);
+}
+
+void Decoder::reset() {
+  fill_ = 0;
+  consumed_ = 0;
+  err_ = WireError::kNone;
+}
+
+bool Decoder::feed(const void* data, std::size_t n) {
+  if (err_ != WireError::kNone) return false;
+  if (n > free()) {
+    err_ = WireError::kOverflow;
+    return false;
+  }
+  if (fill_ + n > buf_.size()) {
+    // Compact: drop consumed bytes. This moves any frame surfaced by the
+    // last next(), which is why feed() invalidates outstanding views.
+    std::memmove(buf_.data(), buf_.data() + consumed_, fill_ - consumed_);
+    fill_ -= consumed_;
+    consumed_ = 0;
+  }
+  if (n > 0) std::memcpy(buf_.data() + fill_, data, n);
+  fill_ += n;
+  return true;
+}
+
+// SNNSEC_HOT entry: wire frame decode, once per received frame.
+bool Decoder::next(FrameView& out) {
+  if (err_ != WireError::kNone) return false;
+  return parse_header(out);
+}
+
+bool Decoder::parse_header(FrameView& out) {
+  if (buffered() < kWireHeaderSize) return false;
+  const std::uint8_t* h = buf_.data() + consumed_;
+  if (h[0] != kWireMagic) {
+    err_ = WireError::kBadMagic;
+    return false;
+  }
+  if (h[1] != kWireVersion) {
+    err_ = WireError::kBadVersion;
+    return false;
+  }
+  if (!valid_type(h[2])) {
+    err_ = WireError::kBadType;
+    return false;
+  }
+  const std::uint32_t len = load_u32(h + 4);
+  if (len > max_payload_) {
+    err_ = WireError::kOversized;
+    return false;
+  }
+  const std::size_t total = encoded_size(len);
+  if (buffered() < total) return false;  // wait for the rest of the payload
+  const std::uint8_t* payload = h + kWireHeaderSize;
+  if (load_u64(h + 32) != payload_digest(payload, len)) {
+    err_ = WireError::kBadDigest;
+    return false;
+  }
+  out.type = static_cast<FrameType>(h[2]);
+  out.flags = h[3];
+  out.request_id = load_u64(h + 8);
+  out.tenant = load_u64(h + 16);
+  out.deadline_us = static_cast<std::int64_t>(load_u64(h + 24));
+  out.payload = payload;
+  out.payload_len = len;
+  consumed_ += total;
+  return true;
+}
+
+}  // namespace snnsec::fleet

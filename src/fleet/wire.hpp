@@ -1,0 +1,184 @@
+// Binary wire protocol for the fleet front-end.
+//
+// Every frame is a fixed 40-byte little-endian header followed by a
+// length-prefixed payload:
+//
+//   offset size field
+//   0      1    magic        (kWireMagic, 0xC5)
+//   1      1    version      (kWireVersion; other versions are rejected)
+//   2      1    type         (FrameType)
+//   3      1    flags        (frame-type specific, see below)
+//   4      4    payload_len  (u32, bounded by the decoder's max_payload)
+//   8      8    request_id   (client-chosen correlation id, echoed back)
+//   16     8    tenant       (tenant id; routing + quota key)
+//   24     8    deadline_us  (request: latency budget; response: latency)
+//   32     8    digest       (FNV-1a 64 over the payload bytes)
+//   40     ...  payload
+//
+// Payload layouts:
+//   kRequest:  u32 max_steps, then float32 pixels (C*H*W of them).
+//   kResponse: ResponseMeta fields (see encode_response), then
+//              num_scores float32 class scores.
+//   kPing/kPong: opaque bytes, echoed verbatim.
+//   kError:    UTF-8 message.
+//
+// The Decoder is incremental: bytes arrive in arbitrary chunks (partial
+// reads across syscalls), frames are surfaced once complete, and malformed
+// input (bad magic/version/type, oversized length, digest mismatch) parks
+// the decoder in a sticky error state — a byte stream that desynchronised
+// once cannot be trusted again, so the connection must be torn down. The
+// steady-state feed/next path performs no heap allocation; the only
+// allocation is the buffer reserved in the constructor.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace snnsec::fleet {
+
+inline constexpr std::uint8_t kWireMagic = 0xC5;
+inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::size_t kWireHeaderSize = 40;
+
+/// Frame discriminator (header byte 2).
+enum class FrameType : std::uint8_t {
+  kRequest = 1,
+  kResponse = 2,
+  kPing = 3,
+  kPong = 4,
+  kError = 5,
+};
+
+/// Response flag bits (ResponseMeta::resp_flags).
+inline constexpr std::uint8_t kRespFlagged = 1U << 0;
+inline constexpr std::uint8_t kRespRerouted = 1U << 1;
+inline constexpr std::uint8_t kRespEnsemble = 1U << 2;
+inline constexpr std::uint8_t kRespTruncated = 1U << 3;
+inline constexpr std::uint8_t kRespDegraded = 1U << 4;
+
+/// Decoded frame header plus a view of the payload bytes. The payload
+/// pointer aliases the Decoder's internal buffer and is invalidated by the
+/// next feed()/next() call.
+struct FrameView {
+  FrameType type = FrameType::kError;
+  std::uint8_t flags = 0;
+  std::uint64_t request_id = 0;
+  std::uint64_t tenant = 0;
+  std::int64_t deadline_us = 0;
+  const std::uint8_t* payload = nullptr;
+  std::size_t payload_len = 0;
+};
+
+/// Why the decoder rejected the stream (sticky until reset()).
+enum class WireError : std::uint8_t {
+  kNone = 0,
+  kBadMagic,
+  kBadVersion,
+  kBadType,
+  kOversized,
+  kBadDigest,
+  kOverflow,  // caller fed more bytes than free() allowed
+};
+
+const char* to_string(WireError e);
+
+/// Metadata for an encoded request frame.
+struct RequestMeta {
+  std::uint64_t request_id = 0;
+  std::uint64_t tenant = 0;
+  std::int64_t deadline_us = 0;
+  std::uint32_t max_steps = 0;  // 0 = server default
+};
+
+/// Metadata for an encoded response frame (mirrors serve::InferResult).
+struct ResponseMeta {
+  std::uint64_t request_id = 0;
+  std::uint64_t tenant = 0;
+  std::int64_t latency_us = 0;
+  std::uint8_t status = 0;     // serve::ResultStatus as u8
+  std::uint8_t group = 0xFF;   // fleet group index, 0xFF = none
+  std::uint8_t resp_flags = 0; // kResp* bits
+  std::uint32_t pred = 0xFFFFFFFFU;
+  std::uint32_t steps_used = 0;
+  std::uint32_t batch_size = 0;
+  float anomaly_score = 0.0F;
+  std::uint32_t num_scores = 0;
+};
+
+/// Fixed prefix of a response payload before the scores array.
+inline constexpr std::size_t kResponsePrefixSize = 24;
+
+/// Total frame size for a payload of `payload_len` bytes.
+inline constexpr std::size_t encoded_size(std::size_t payload_len) {
+  return kWireHeaderSize + payload_len;
+}
+
+/// Encode one frame into dst (capacity cap). Returns the number of bytes
+/// written, or 0 if cap is too small. `payload` may be null when len == 0.
+std::size_t encode_frame(std::uint8_t* dst, std::size_t cap, FrameType type,
+                         std::uint8_t flags, std::uint64_t request_id,
+                         std::uint64_t tenant, std::int64_t deadline_us,
+                         const void* payload, std::size_t len);
+
+/// Encode a request frame: meta + max_steps + n float32 pixels.
+std::size_t encode_request(std::uint8_t* dst, std::size_t cap,
+                           const RequestMeta& meta, const float* pixels,
+                           std::size_t n);
+
+/// Encode a response frame: meta + meta.num_scores float32 scores (scores
+/// may be null when num_scores == 0).
+std::size_t encode_response(std::uint8_t* dst, std::size_t cap,
+                            const ResponseMeta& meta, const float* scores);
+
+/// Parse a kRequest payload. Returns false if the payload is too short or
+/// its pixel bytes are not a whole number of float32s.
+bool decode_request_payload(const FrameView& f, std::uint32_t& max_steps,
+                            const std::uint8_t*& pixels, std::size_t& n);
+
+/// Parse a kResponse payload into meta (+ pointer to the raw score bytes).
+/// Returns false on a short or inconsistent payload.
+bool decode_response_payload(const FrameView& f, ResponseMeta& meta,
+                             const std::uint8_t*& scores);
+
+/// Incremental frame decoder over a byte stream. All buffers are reserved
+/// in the constructor; feed()/next() never allocate.
+class Decoder {
+ public:
+  explicit Decoder(std::size_t max_payload);
+
+  /// Append bytes from the stream. Returns false if the decoder is already
+  /// in error, or n exceeds free() (error becomes kOverflow).
+  bool feed(const void* data, std::size_t n);
+
+  /// Surface the next complete frame, if any. The returned view aliases the
+  /// internal buffer and is consumed by the following next()/feed() call.
+  /// Returns false when no complete frame is buffered or the stream is in
+  /// error (check error()).
+  bool next(FrameView& out);
+
+  /// Sticky stream error; kNone while the stream is healthy.
+  WireError error() const { return err_; }
+
+  /// Bytes buffered but not yet consumed.
+  std::size_t buffered() const { return fill_ - consumed_; }
+
+  /// Bytes feed() can accept right now (after internal compaction).
+  std::size_t free() const;
+
+  /// Forget all buffered bytes and clear the error state.
+  void reset();
+
+  std::size_t max_payload() const { return max_payload_; }
+
+ private:
+  bool parse_header(FrameView& out);
+
+  std::size_t max_payload_;
+  std::vector<std::uint8_t> buf_;
+  std::size_t fill_ = 0;      // bytes valid in buf_
+  std::size_t consumed_ = 0;  // bytes already surfaced to the caller
+  WireError err_ = WireError::kNone;
+};
+
+}  // namespace snnsec::fleet

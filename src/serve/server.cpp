@@ -964,6 +964,8 @@ const char* to_string(DetectPolicy policy) {
       return "observe";
     case DetectPolicy::kReject:
       return "reject";
+    case DetectPolicy::kReroute:
+      return "reroute";
   }
   return "unknown";
 }

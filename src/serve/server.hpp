@@ -73,6 +73,10 @@ enum class DetectPolicy : std::uint8_t {
   kObserve,  ///< annotate + count only; the prediction is still served
   kReject,   ///< result status becomes kFlagged (prediction kept for
              ///< forensics, infer() returns false)
+  kReroute,  ///< within one Server this behaves like kObserve (the result
+             ///< is served, flagged); the fleet Router escalates flagged
+             ///< results to the hardened high-Vth group and returns that
+             ///< cell's prediction instead (see fleet/router.hpp)
 };
 
 const char* to_string(DetectPolicy policy);

@@ -436,6 +436,51 @@ TEST(AnalyzeMetrics, UndocumentedNameAgainstDesignDoc) {
   EXPECT_FALSE(has(r2.findings, "snnsec-metric-undocumented"));
 }
 
+TEST(AnalyzeMetrics, FleetPrefixIsCollected) {
+  // The fleet.* namespace joined the registry with the router/front-end:
+  // near-miss detection and the documentation requirement both apply.
+  const auto r = run({{"src/fleet/emit.cpp",
+                       "void e() {\n"
+                       "  metrics::counter_add(\"fleet.requests\", 1);\n"
+                       "  metrics::counter_add(\"fleet.request\", 1);\n"
+                       "}\n"}});
+  EXPECT_TRUE(has(r.findings, "snnsec-metric-near-miss"));
+  Options opts;
+  opts.design_source =
+      "| `fleet.requests` | counter | requests entering the router |\n";
+  const auto r2 = run({{"src/fleet/emit.cpp",
+                        "void e() {\n"
+                        "  metrics::counter_add(\"fleet.requests\", 1);\n"
+                        "  metrics::counter_add(\"fleet.rerouted\", 1);\n"
+                        "}\n"}},
+                      opts);
+  EXPECT_FALSE(
+      has_at(r2.findings, "snnsec-metric-undocumented", "src/fleet/emit.cpp", 2));
+  EXPECT_TRUE(
+      has_at(r2.findings, "snnsec-metric-undocumented", "src/fleet/emit.cpp", 3));
+}
+
+// The fleet wire-decode shape: the hot entry is the front-end's frame
+// dispatch, and an allocation hiding in a helper TU without a file-level
+// hot marker is only visible to the whole-program walk.
+TEST(AnalyzeHotPath, FleetDispatchReachesHelperAlloc) {
+  const auto r = run({
+      {"src/fleet/frontend_entry.cpp",
+       "// fixture\n"
+       "// SNNSEC_HOT entry: frame dispatch\n"
+       "void dispatch_frame(const FrameView& f) {\n"
+       "  decode_request(f);\n"
+       "}\n"},
+      {"src/fleet/wire_helpers.cpp",
+       "bool decode_request(const FrameView& f) {\n"
+       "  scores.push_back(0.0f);\n"  // line 2: growth on the decode path
+       "  return true;\n"
+       "}\n"},
+  });
+  EXPECT_TRUE(has_at(r.findings, "snnsec-hot-path-alloc",
+                     "src/fleet/wire_helpers.cpp", 2));
+}
+
 // ---- L: layering and include cycles ---------------------------------------
 
 TEST(AnalyzeLayering, UtilMustNotIncludeUpperLayers) {

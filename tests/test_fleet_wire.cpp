@@ -1,0 +1,353 @@
+// Fleet wire codec: roundtrip for every frame type, malformed / truncated /
+// oversized frame rejection, partial-read reassembly across split syscalls,
+// and cross-version rejection.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "fleet/wire.hpp"
+
+namespace snnsec::fleet {
+namespace {
+
+std::vector<std::uint8_t> encode(FrameType type, std::uint64_t request_id,
+                                 std::uint64_t tenant,
+                                 std::int64_t deadline_us,
+                                 const std::vector<std::uint8_t>& payload,
+                                 std::uint8_t flags = 0) {
+  std::vector<std::uint8_t> buf(encoded_size(payload.size()));
+  const std::size_t n =
+      encode_frame(buf.data(), buf.size(), type, flags, request_id, tenant,
+                   deadline_us, payload.empty() ? nullptr : payload.data(),
+                   payload.size());
+  EXPECT_EQ(n, buf.size());
+  return buf;
+}
+
+TEST(FleetWire, RoundtripAllFrameTypes) {
+  const std::vector<std::uint8_t> payload = {1, 2, 3, 4, 5};
+  const FrameType types[] = {FrameType::kRequest, FrameType::kResponse,
+                             FrameType::kPing, FrameType::kPong,
+                             FrameType::kError};
+  Decoder dec(1 << 10);
+  std::uint64_t id = 100;
+  for (const FrameType t : types) {
+    const auto buf = encode(t, id, /*tenant=*/7, /*deadline_us=*/2500,
+                            payload, /*flags=*/0x11);
+    ASSERT_TRUE(dec.feed(buf.data(), buf.size()));
+    FrameView f;
+    ASSERT_TRUE(dec.next(f));
+    EXPECT_EQ(f.type, t);
+    EXPECT_EQ(f.flags, 0x11);
+    EXPECT_EQ(f.request_id, id);
+    EXPECT_EQ(f.tenant, 7U);
+    EXPECT_EQ(f.deadline_us, 2500);
+    ASSERT_EQ(f.payload_len, payload.size());
+    EXPECT_EQ(std::memcmp(f.payload, payload.data(), payload.size()), 0);
+    EXPECT_FALSE(dec.next(f));
+    EXPECT_EQ(dec.error(), WireError::kNone);
+    ++id;
+  }
+}
+
+TEST(FleetWire, EmptyPayloadRoundtrip) {
+  Decoder dec(64);
+  const auto buf = encode(FrameType::kPing, 1, 0, 0, {});
+  ASSERT_TRUE(dec.feed(buf.data(), buf.size()));
+  FrameView f;
+  ASSERT_TRUE(dec.next(f));
+  EXPECT_EQ(f.type, FrameType::kPing);
+  EXPECT_EQ(f.payload_len, 0U);
+}
+
+TEST(FleetWire, RequestPayloadRoundtrip) {
+  RequestMeta meta;
+  meta.request_id = 42;
+  meta.tenant = 9;
+  meta.deadline_us = 8000;
+  meta.max_steps = 14;
+  const std::vector<float> pixels = {0.0F, 0.25F, 0.5F, -1.0F};
+  std::vector<std::uint8_t> buf(encoded_size(4 + 4 * pixels.size()));
+  const std::size_t n = encode_request(buf.data(), buf.size(), meta,
+                                       pixels.data(), pixels.size());
+  ASSERT_EQ(n, buf.size());
+
+  Decoder dec(1 << 10);
+  ASSERT_TRUE(dec.feed(buf.data(), n));
+  FrameView f;
+  ASSERT_TRUE(dec.next(f));
+  EXPECT_EQ(f.type, FrameType::kRequest);
+  EXPECT_EQ(f.request_id, 42U);
+  EXPECT_EQ(f.tenant, 9U);
+  EXPECT_EQ(f.deadline_us, 8000);
+
+  std::uint32_t max_steps = 0;
+  const std::uint8_t* raw = nullptr;
+  std::size_t count = 0;
+  ASSERT_TRUE(decode_request_payload(f, max_steps, raw, count));
+  EXPECT_EQ(max_steps, 14U);
+  ASSERT_EQ(count, pixels.size());
+  std::vector<float> got(count);
+  std::memcpy(got.data(), raw, 4 * count);
+  EXPECT_EQ(got, pixels);
+}
+
+TEST(FleetWire, RequestPayloadRejectsShortAndRagged) {
+  FrameView f;
+  f.type = FrameType::kRequest;
+  const std::uint8_t three[3] = {0, 0, 0};
+  f.payload = three;
+  f.payload_len = 3;  // shorter than the u32 max_steps prefix
+  std::uint32_t max_steps = 0;
+  const std::uint8_t* raw = nullptr;
+  std::size_t count = 0;
+  EXPECT_FALSE(decode_request_payload(f, max_steps, raw, count));
+
+  const std::uint8_t ragged[7] = {0};  // 4 + 3: not a whole float32
+  f.payload = ragged;
+  f.payload_len = 7;
+  EXPECT_FALSE(decode_request_payload(f, max_steps, raw, count));
+}
+
+TEST(FleetWire, ResponsePayloadRoundtrip) {
+  ResponseMeta meta;
+  meta.request_id = 77;
+  meta.tenant = 3;
+  meta.latency_us = 1234;
+  meta.status = 2;
+  meta.group = 1;
+  meta.resp_flags = kRespFlagged | kRespEnsemble;
+  meta.pred = 6;
+  meta.steps_used = 12;
+  meta.batch_size = 4;
+  meta.anomaly_score = 1.5F;
+  meta.num_scores = 3;
+  const float scores[3] = {0.1F, 0.7F, 0.2F};
+  std::vector<std::uint8_t> buf(
+      encoded_size(kResponsePrefixSize + 4 * meta.num_scores));
+  const std::size_t n = encode_response(buf.data(), buf.size(), meta, scores);
+  ASSERT_EQ(n, buf.size());
+
+  Decoder dec(1 << 10);
+  ASSERT_TRUE(dec.feed(buf.data(), n));
+  FrameView f;
+  ASSERT_TRUE(dec.next(f));
+  EXPECT_EQ(f.type, FrameType::kResponse);
+
+  ResponseMeta got;
+  const std::uint8_t* raw = nullptr;
+  ASSERT_TRUE(decode_response_payload(f, got, raw));
+  EXPECT_EQ(got.request_id, 77U);
+  EXPECT_EQ(got.tenant, 3U);
+  EXPECT_EQ(got.latency_us, 1234);
+  EXPECT_EQ(got.status, 2);
+  EXPECT_EQ(got.group, 1);
+  EXPECT_EQ(got.resp_flags, kRespFlagged | kRespEnsemble);
+  EXPECT_EQ(got.pred, 6U);
+  EXPECT_EQ(got.steps_used, 12U);
+  EXPECT_EQ(got.batch_size, 4U);
+  EXPECT_FLOAT_EQ(got.anomaly_score, 1.5F);
+  ASSERT_EQ(got.num_scores, 3U);
+  float fs[3];
+  std::memcpy(fs, raw, sizeof(fs));
+  EXPECT_FLOAT_EQ(fs[1], 0.7F);
+}
+
+TEST(FleetWire, ResponsePayloadRejectsInconsistentScoreCount) {
+  ResponseMeta meta;
+  meta.num_scores = 8;  // payload will only carry 2 scores
+  const float scores[8] = {0};
+  std::vector<std::uint8_t> buf(encoded_size(kResponsePrefixSize + 4 * 8));
+  ASSERT_EQ(encode_response(buf.data(), buf.size(), meta, scores),
+            buf.size());
+  buf.resize(buf.size() - 4 * 6);  // truncate the scores...
+
+  FrameView f;
+  f.type = FrameType::kResponse;
+  f.payload = buf.data() + kWireHeaderSize;
+  f.payload_len = buf.size() - kWireHeaderSize;
+  ResponseMeta got;
+  const std::uint8_t* raw = nullptr;
+  EXPECT_FALSE(decode_response_payload(f, got, raw));
+}
+
+TEST(FleetWire, EncodeFailsOnSmallBuffer) {
+  const std::vector<std::uint8_t> payload(16, 0xAB);
+  std::uint8_t dst[32];  // < 40-byte header + payload
+  EXPECT_EQ(encode_frame(dst, sizeof(dst), FrameType::kPing, 0, 1, 2, 3,
+                         payload.data(), payload.size()),
+            0U);
+}
+
+TEST(FleetWire, BadMagicIsStickyRejection) {
+  auto buf = encode(FrameType::kPing, 1, 2, 3, {9, 9});
+  buf[0] = 0x00;
+  Decoder dec(64);
+  ASSERT_TRUE(dec.feed(buf.data(), buf.size()));
+  FrameView f;
+  EXPECT_FALSE(dec.next(f));
+  EXPECT_EQ(dec.error(), WireError::kBadMagic);
+  // Sticky: further feeds are refused, next keeps failing.
+  EXPECT_FALSE(dec.feed(buf.data(), 1));
+  EXPECT_FALSE(dec.next(f));
+  EXPECT_EQ(dec.error(), WireError::kBadMagic);
+}
+
+TEST(FleetWire, CrossVersionFrameRejected) {
+  auto buf = encode(FrameType::kPing, 1, 2, 3, {9, 9});
+  buf[1] = kWireVersion + 1;
+  Decoder dec(64);
+  ASSERT_TRUE(dec.feed(buf.data(), buf.size()));
+  FrameView f;
+  EXPECT_FALSE(dec.next(f));
+  EXPECT_EQ(dec.error(), WireError::kBadVersion);
+}
+
+TEST(FleetWire, UnknownFrameTypeRejected) {
+  auto buf = encode(FrameType::kPing, 1, 2, 3, {});
+  buf[2] = 0x7F;
+  Decoder dec(64);
+  ASSERT_TRUE(dec.feed(buf.data(), buf.size()));
+  FrameView f;
+  EXPECT_FALSE(dec.next(f));
+  EXPECT_EQ(dec.error(), WireError::kBadType);
+}
+
+TEST(FleetWire, OversizedPayloadLengthRejected) {
+  auto buf = encode(FrameType::kPing, 1, 2, 3, {1, 2, 3});
+  // Rewrite payload_len (bytes 4..7, LE) far past max_payload.
+  buf[4] = 0xFF;
+  buf[5] = 0xFF;
+  buf[6] = 0x00;
+  buf[7] = 0x00;
+  Decoder dec(/*max_payload=*/64);
+  ASSERT_TRUE(dec.feed(buf.data(), std::min<std::size_t>(buf.size(), 40)));
+  FrameView f;
+  EXPECT_FALSE(dec.next(f));
+  EXPECT_EQ(dec.error(), WireError::kOversized);
+}
+
+TEST(FleetWire, CorruptedPayloadFailsDigest) {
+  auto buf = encode(FrameType::kError, 1, 2, 3, {'b', 'a', 'd'});
+  buf[kWireHeaderSize] ^= 0x40;  // flip one payload bit
+  Decoder dec(64);
+  ASSERT_TRUE(dec.feed(buf.data(), buf.size()));
+  FrameView f;
+  EXPECT_FALSE(dec.next(f));
+  EXPECT_EQ(dec.error(), WireError::kBadDigest);
+}
+
+TEST(FleetWire, TruncatedFrameStaysPendingUntilCompleted) {
+  const auto buf = encode(FrameType::kPong, 5, 6, 7, {1, 2, 3, 4});
+  Decoder dec(64);
+  // Header only: no frame yet, but no error either.
+  ASSERT_TRUE(dec.feed(buf.data(), kWireHeaderSize));
+  FrameView f;
+  EXPECT_FALSE(dec.next(f));
+  EXPECT_EQ(dec.error(), WireError::kNone);
+  EXPECT_EQ(dec.buffered(), kWireHeaderSize);
+  // Remaining payload arrives: the frame completes.
+  ASSERT_TRUE(dec.feed(buf.data() + kWireHeaderSize,
+                       buf.size() - kWireHeaderSize));
+  ASSERT_TRUE(dec.next(f));
+  EXPECT_EQ(f.type, FrameType::kPong);
+  EXPECT_EQ(f.payload_len, 4U);
+}
+
+TEST(FleetWire, ByteAtATimeReassembly) {
+  const std::vector<std::uint8_t> payload = {10, 20, 30, 40, 50, 60};
+  const auto buf = encode(FrameType::kRequest, 11, 12, 13, payload);
+  Decoder dec(64);
+  FrameView f;
+  for (std::size_t i = 0; i + 1 < buf.size(); ++i) {
+    ASSERT_TRUE(dec.feed(&buf[i], 1));
+    ASSERT_FALSE(dec.next(f)) << "frame surfaced early at byte " << i;
+    ASSERT_EQ(dec.error(), WireError::kNone);
+  }
+  ASSERT_TRUE(dec.feed(&buf[buf.size() - 1], 1));
+  ASSERT_TRUE(dec.next(f));
+  EXPECT_EQ(f.request_id, 11U);
+  ASSERT_EQ(f.payload_len, payload.size());
+  EXPECT_EQ(std::memcmp(f.payload, payload.data(), payload.size()), 0);
+}
+
+TEST(FleetWire, MultipleFramesInOneFeed) {
+  const auto a = encode(FrameType::kPing, 1, 0, 0, {1});
+  const auto b = encode(FrameType::kPong, 2, 0, 0, {2, 2});
+  const auto c = encode(FrameType::kError, 3, 0, 0, {'x'});
+  std::vector<std::uint8_t> stream;
+  stream.insert(stream.end(), a.begin(), a.end());
+  stream.insert(stream.end(), b.begin(), b.end());
+  stream.insert(stream.end(), c.begin(), c.end());
+
+  Decoder dec(256);
+  ASSERT_TRUE(dec.feed(stream.data(), stream.size()));
+  FrameView f;
+  ASSERT_TRUE(dec.next(f));
+  EXPECT_EQ(f.request_id, 1U);
+  ASSERT_TRUE(dec.next(f));
+  EXPECT_EQ(f.request_id, 2U);
+  ASSERT_TRUE(dec.next(f));
+  EXPECT_EQ(f.request_id, 3U);
+  EXPECT_FALSE(dec.next(f));
+  EXPECT_EQ(dec.buffered(), 0U);
+}
+
+TEST(FleetWire, FeedOverflowIsRejected) {
+  Decoder dec(16);
+  std::vector<std::uint8_t> junk(dec.free() + 1, 0);
+  EXPECT_FALSE(dec.feed(junk.data(), junk.size()));
+  EXPECT_EQ(dec.error(), WireError::kOverflow);
+}
+
+TEST(FleetWire, ResetClearsErrorAndBufferedBytes) {
+  auto bad = encode(FrameType::kPing, 1, 2, 3, {9});
+  bad[0] = 0;  // break the magic
+  Decoder dec(64);
+  ASSERT_TRUE(dec.feed(bad.data(), bad.size()));
+  FrameView f;
+  EXPECT_FALSE(dec.next(f));
+  EXPECT_NE(dec.error(), WireError::kNone);
+
+  dec.reset();
+  EXPECT_EQ(dec.error(), WireError::kNone);
+  EXPECT_EQ(dec.buffered(), 0U);
+  const auto good = encode(FrameType::kPing, 4, 5, 6, {7});
+  ASSERT_TRUE(dec.feed(good.data(), good.size()));
+  ASSERT_TRUE(dec.next(f));
+  EXPECT_EQ(f.request_id, 4U);
+}
+
+TEST(FleetWire, LongStreamOfFramesCompactsWithoutLoss) {
+  // Many frames pushed through a small decoder buffer force repeated
+  // compaction; every frame must still surface exactly once, in order.
+  Decoder dec(64);
+  std::uint64_t next_id = 1;
+  FrameView f;
+  for (std::uint64_t i = 1; i <= 500; ++i) {
+    std::vector<std::uint8_t> payload(i % 32, static_cast<std::uint8_t>(i));
+    const auto buf = encode(FrameType::kPing, i, 0, 0, payload);
+    std::size_t off = 0;
+    while (off < buf.size()) {
+      const std::size_t n = std::min(buf.size() - off, dec.free());
+      ASSERT_GT(n, 0U);
+      ASSERT_TRUE(dec.feed(buf.data() + off, n));
+      off += n;
+      while (dec.next(f)) {
+        ASSERT_EQ(f.request_id, next_id);
+        ++next_id;
+      }
+      ASSERT_EQ(dec.error(), WireError::kNone);
+    }
+  }
+  while (dec.next(f)) {
+    ASSERT_EQ(f.request_id, next_id);
+    ++next_id;
+  }
+  EXPECT_EQ(next_id, 501U);
+}
+
+}  // namespace
+}  // namespace snnsec::fleet

@@ -177,6 +177,41 @@ TEST(LintParallelCapture, EventBuildAntiPatternFires) {
   EXPECT_TRUE(has(r, "snnsec-parallel-capture", 5));
 }
 
+// The fleet-frontend executor shape (fleet/frontend.cpp): SNNSEC_HOT file
+// whose steady path recycles a dispatch slot into a free list reserved at
+// construction. The growth call needs — and gets — a justification; the
+// rest of the loop (index juggling, lock scopes, writev) must stay quiet.
+TEST(LintHotAlloc, FleetExecutorRecycleIsCleanWithJustification) {
+  const std::string src =
+      "// SNNSEC_HOT\n"
+      "void executor_loop(Ring& ring) {\n"
+      "  std::unique_lock<std::mutex> lk(ring.m);\n"
+      "  const std::int64_t idx = ring.pop_ready();\n"
+      "  lk.unlock();\n"
+      "  drive_replica(ring.slots[idx]);\n"
+      "  lk.lock();\n"
+      "  // NOLINTNEXTLINE(snnsec-hot-alloc): within reserved capacity\n"
+      "  ring.free_list.push_back(idx);\n"
+      "}\n";
+  const auto r = lint_source("src/fleet/fake_frontend.cpp", src);
+  EXPECT_TRUE(r.findings.empty());
+  EXPECT_TRUE(suppressed(r, "snnsec-hot-alloc", 9));
+}
+
+// The anti-pattern the router's reused FleetResult avoids: allocating the
+// per-cell scratch on every routed request in a hot fleet file.
+TEST(LintHotAlloc, FleetPerRequestScratchFires) {
+  const std::string src =
+      "// SNNSEC_HOT\n"                                      // 1
+      "bool route(const Tensor& x, FleetResult& out) {\n"    // 2
+      "  std::vector<InferResult> cells(num_groups());\n"    // 3
+      "  out.scores = new float[10];\n"                      // 4
+      "  return vote(cells, out);\n"                         // 5
+      "}\n";
+  const auto r = lint_source("src/fleet/fake_router.cpp", src);
+  EXPECT_TRUE(has(r, "snnsec-hot-alloc", 4));
+}
+
 // ---- R4: snnsec-float-eq --------------------------------------------------
 
 TEST(LintFloatEq, FiresOnLiteralComparisons) {

@@ -463,8 +463,8 @@ class Extractor {
   }
 
   static bool metric_name(std::string_view lit) {
-    static const std::array<std::string_view, 4> prefixes = {
-        "serve.", "tensor.", "attack.", "pool."};
+    static const std::array<std::string_view, 5> prefixes = {
+        "serve.", "tensor.", "attack.", "pool.", "fleet."};
     bool prefixed = false;
     for (std::string_view p : prefixes)
       if (lit.size() > p.size() && lit.compare(0, p.size(), p) == 0)

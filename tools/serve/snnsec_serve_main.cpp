@@ -135,7 +135,9 @@ int main(int argc, char** argv) {
       "envelope", "", "clean-traffic envelope (snnsec_calibrate); arms "
                       "online adversarial detection");
   auto& detect_policy = args.add_string(
-      "detect-policy", "observe", "flagged requests: observe | reject");
+      "detect-policy", "observe",
+      "flagged requests: observe | reject | reroute (reroute only escalates "
+      "behind the fleet router; standalone it behaves like observe)");
   auto& flag_threshold = args.add_double(
       "flag-threshold", 4.0, "anomaly z-score that flags a request");
   auto& supervise = args.add_flag(
@@ -193,10 +195,12 @@ int main(int argc, char** argv) {
   scfg.envelope_path = envelope_path;
   if (detect_policy == "reject") {
     scfg.detect_policy = serve::DetectPolicy::kReject;
+  } else if (detect_policy == "reroute") {
+    scfg.detect_policy = serve::DetectPolicy::kReroute;
   } else {
     SNNSEC_CHECK(detect_policy == "observe",
-                 "snnsec_serve: --detect-policy must be observe or reject, "
-                 "got '" << detect_policy << "'");
+                 "snnsec_serve: --detect-policy must be observe, reject or "
+                 "reroute, got '" << detect_policy << "'");
   }
   scfg.flag_threshold = flag_threshold;
   scfg.supervisor.enabled = supervise;
