@@ -2,6 +2,7 @@
 // allocate between accept and response write.
 #include "fleet/frontend.hpp"
 
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -11,6 +12,7 @@
 #include <algorithm>
 #include <arpa/inet.h>
 #include <cerrno>
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
 #include <mutex>
@@ -58,23 +60,42 @@ struct Frontend::Ring {
   bool draining = false;
 };
 
-namespace {
-
-/// Blocking send loop; returns false on transport failure.
-bool write_fd(int fd, const std::uint8_t* p, std::size_t n) {
+/// Bounded send loop over a non-blocking socket. On EAGAIN waits for
+/// writability with poll(POLLOUT) up to cfg_.write_timeout_ms total, then
+/// gives up: a client that stops reading (full receive window) is treated
+/// as a transport failure instead of wedging the I/O or executor thread.
+/// Caller holds conn.write_m. Returns false on failure or timeout.
+bool Frontend::write_conn(Conn& conn, const std::uint8_t* p, std::size_t n) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(cfg_.write_timeout_ms);
   while (n > 0) {
-    const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
-    if (w < 0) {
-      if (errno == EINTR) continue;
-      return false;
+    const ssize_t w = ::send(conn.fd, p, n, MSG_NOSIGNAL);
+    if (w > 0) {
+      p += w;
+      n -= static_cast<std::size_t>(w);
+      continue;
     }
-    p += w;
-    n -= static_cast<std::size_t>(w);
+    if (w < 0 && errno == EINTR) continue;
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      const auto left =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              deadline - std::chrono::steady_clock::now())
+              .count();
+      if (left <= 0) {
+        write_timeouts_.fetch_add(1, std::memory_order_relaxed);
+        SNNSEC_COUNTER_ADD("fleet.frontend.write_timeouts", 1);
+        return false;
+      }
+      pollfd pfd{conn.fd, POLLOUT, 0};
+      const int rc = ::poll(&pfd, 1, static_cast<int>(left));
+      if (rc < 0 && errno != EINTR) return false;
+      continue;  // writable, timed out (deadline re-checked), or EINTR
+    }
+    return false;
   }
   return true;
 }
-
-}  // namespace
 
 Frontend::Frontend(Router& router, FrontendConfig cfg)
     : router_(router), cfg_(std::move(cfg)) {
@@ -179,6 +200,7 @@ FrontendStats Frontend::stats() const {
   s.responses = responses_.load(std::memory_order_relaxed);
   s.malformed = malformed_.load(std::memory_order_relaxed);
   s.shed = shed_.load(std::memory_order_relaxed);
+  s.write_timeouts = write_timeouts_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -191,7 +213,7 @@ void Frontend::send_error(Conn& conn, std::uint64_t request_id,
   if (len == 0) return;
   std::lock_guard<std::mutex> lk(conn.write_m);
   if (!conn.open) return;
-  if (!write_fd(conn.fd, buf, len)) conn.open = false;
+  if (!write_conn(conn, buf, len)) conn.open = false;
 }
 
 void Frontend::close_conn(const std::shared_ptr<Conn>& conn) {
@@ -216,7 +238,7 @@ void Frontend::dispatch_frame(const std::shared_ptr<Conn>& conn,
           tx, io_tx_.size(), FrameType::kPong, 0, frame.request_id,
           frame.tenant, 0, frame.payload, frame.payload_len);
       std::lock_guard<std::mutex> lk(conn->write_m);
-      if (conn->open && len > 0 && !write_fd(conn->fd, tx, len))
+      if (conn->open && len > 0 && !write_conn(*conn, tx, len))
         conn->open = false;
       return;
     }
@@ -363,6 +385,10 @@ void Frontend::io_loop() {
         } else {
           const int one = 1;
           ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+          // Non-blocking so a stalled peer can never wedge a writer;
+          // write_conn bounds each write with poll(POLLOUT, timeout).
+          const int fl = ::fcntl(fd, F_GETFL, 0);
+          ::fcntl(fd, F_SETFL, fl | O_NONBLOCK);
           // NOLINTNEXTLINE(snnsec-hot-alloc): per-connection setup, not per-frame
           conns_.push_back(std::make_shared<Conn>(fd, cfg_.max_payload));
           accepted_.fetch_add(1, std::memory_order_relaxed);
@@ -428,7 +454,7 @@ void Frontend::executor_loop(std::int64_t id) {
     {
       std::lock_guard<std::mutex> lk(slot.conn->write_m);
       if (slot.conn->open && len > 0) {
-        if (write_fd(slot.conn->fd, tx.data(), len))
+        if (write_conn(*slot.conn, tx.data(), len))
           responses_.fetch_add(1, std::memory_order_relaxed);
         else
           slot.conn->open = false;

@@ -48,6 +48,12 @@ struct FrontendConfig {
   /// Largest accepted frame payload. Must hold a request image
   /// (4 + 4*C*H*W bytes); validated at construction.
   std::size_t max_payload = 1 << 20;
+  /// Upper bound on one response/error write. Accepted sockets are
+  /// non-blocking; a client that stops reading long enough to exhaust
+  /// this budget is treated as failed and its connection is closed, so a
+  /// slow or malicious reader can never wedge the I/O or executor
+  /// threads.
+  int write_timeout_ms = 2000;
 };
 
 struct FrontendStats {
@@ -59,6 +65,7 @@ struct FrontendStats {
   std::int64_t responses = 0;  ///< kResponse frames written
   std::int64_t malformed = 0;  ///< decode errors + protocol violations
   std::int64_t shed = 0;       ///< dispatch ring full
+  std::int64_t write_timeouts = 0;  ///< writes abandoned (slow reader)
 };
 
 class Frontend {
@@ -92,6 +99,7 @@ class Frontend {
   void send_error(Conn& conn, std::uint64_t request_id, std::uint64_t tenant,
                   const char* msg);
   void close_conn(const std::shared_ptr<Conn>& conn);
+  bool write_conn(Conn& conn, const std::uint8_t* p, std::size_t n);
 
   Router& router_;
   FrontendConfig cfg_;
@@ -115,6 +123,7 @@ class Frontend {
   std::atomic<std::int64_t> responses_{0};
   std::atomic<std::int64_t> malformed_{0};
   std::atomic<std::int64_t> shed_{0};
+  std::atomic<std::int64_t> write_timeouts_{0};
 };
 
 }  // namespace snnsec::fleet

@@ -262,7 +262,11 @@ LoadReport run_load(LoadTarget& target, const tensor::Tensor& images,
         }
       } else {
         // Open loop: a shared tick sequence paces aggregate arrivals.
-        t.latencies.reserve(static_cast<std::size_t>(spec.total));
+        // Ticks are shared across clients, so each sees roughly an equal
+        // slice; reserving spec.total per client would cost clients x
+        // total x 8 bytes. An uneven split just grows past the reserve.
+        t.latencies.reserve(
+            static_cast<std::size_t>(spec.total / clients + 1));
         for (;;) {
           const std::int64_t tick =
               next_tick.fetch_add(1, std::memory_order_relaxed);

@@ -252,9 +252,14 @@ bool Router::infer_ensemble(const tensor::Tensor& x,
                             const serve::RequestOptions& opt,
                             FleetResult& out) {
   const std::size_t n = groups_.size();
+  // Guard the two scratch vectors independently: the kReroute path grows
+  // cell_results alone, so a reused FleetResult can arrive here with
+  // cell_results already sized but cell_ok still empty.
   if (out.cell_results.size() < n) {
     // NOLINTNEXTLINE(snnsec-hot-alloc): first-use scratch growth, reused after
     out.cell_results.resize(n);
+  }
+  if (out.cell_ok.size() < n) {
     // NOLINTNEXTLINE(snnsec-hot-alloc): first-use scratch growth, reused after
     out.cell_ok.resize(n, 0);
   }
@@ -289,16 +294,21 @@ bool Router::infer_ensemble(const tensor::Tensor& x,
       if (out.cell_ok[h] != 0 &&
           out.cell_results[h].pred == out.cell_results[g].pred)
         ++votes;
+    const auto key = [&](std::size_t i) {
+      return std::make_pair(groups_[i]->artifact->config().v_th,
+                            groups_[i]->artifact->config().time_steps);
+    };
     if (winner == n) {
       winner = g;
       winner_votes = votes;
       continue;
     }
-    if (out.cell_results[g].pred == out.cell_results[winner].pred) continue;
-    const auto key = [&](std::size_t i) {
-      return std::make_pair(groups_[i]->artifact->config().v_th,
-                            groups_[i]->artifact->config().time_steps);
-    };
+    if (out.cell_results[g].pred == out.cell_results[winner].pred) {
+      // Same class: keep the strongest (highest-Vth, then longest-T) cell as
+      // that class's representative so later tie-breaks compare against it.
+      if (key(g) > key(winner)) winner = g;
+      continue;
+    }
     if (votes > winner_votes) {
       winner = g;
       winner_votes = votes;

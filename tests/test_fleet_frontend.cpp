@@ -311,6 +311,57 @@ TEST(FleetFrontend, ConcurrentClientsAllAnswered) {
   EXPECT_EQ(s.responses, kClients * kPerClient);
 }
 
+TEST(FleetFrontend, SlowReaderCannotWedgeWriters) {
+  // Regression: writes used to block without bound, so a client that
+  // stopped reading could wedge the I/O thread (inline ping replies) and
+  // make stop() hang. Writes are now bounded by write_timeout_ms; a
+  // stalled reader is dropped and the front-end stays responsive.
+  Router router(fleet_config());
+  FrontendConfig fc = frontend_config();
+  fc.write_timeout_ms = 50;
+  Frontend fe(router, fc);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  // Pin the receive window small before connecting; this client never
+  // reads, so echoed pongs back up into the server's send path fast.
+  const int rcv = 4096;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcv, sizeof(rcv));
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(static_cast<std::uint16_t>(fe.port()));
+  inet_pton(AF_INET, "127.0.0.1", &sa.sin_addr);
+  ASSERT_EQ(
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)), 0);
+
+  const std::size_t kPing = 32 * 1024;
+  std::vector<std::uint8_t> payload(kPing, 0xAB);
+  std::vector<std::uint8_t> frame(encoded_size(kPing));
+  const std::size_t len =
+      encode_frame(frame.data(), frame.size(), FrameType::kPing, 0, 1, 1, 0,
+                   payload.data(), payload.size());
+  ASSERT_EQ(len, frame.size());
+  // Pour pings at the server until one echoed pong write times out. The
+  // 256-frame ceiling (8 MB of pongs) is far beyond any kernel buffering.
+  bool timed_out = false;
+  for (int i = 0; i < 256 && !timed_out; ++i) {
+    const std::uint8_t* p = frame.data();
+    std::size_t n = len;
+    while (n > 0) {
+      const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+      if (w <= 0) break;
+      p += w;
+      n -= static_cast<std::size_t>(w);
+    }
+    timed_out = fe.stats().write_timeouts >= 1;
+  }
+  EXPECT_TRUE(timed_out);
+  ::close(fd);
+  // The wedge used to surface here: stop() joining a blocked thread.
+  fe.stop();
+  EXPECT_GE(fe.stats().write_timeouts, 1);
+}
+
 TEST(FleetFrontend, StopThenDrainIsIdempotent) {
   Router router(fleet_config());
   Frontend fe(router, frontend_config());

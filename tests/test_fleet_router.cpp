@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "fleet/router.hpp"
@@ -262,6 +263,48 @@ TEST(FleetRouter, RerouteEscalatesFlaggedToHardenedCell) {
   EXPECT_GE(s.groups[static_cast<std::size_t>(router.low_latency_group())]
                 .flagged,
             1);
+}
+
+TEST(FleetRouter, ReusedResultSurvivesRerouteThenEnsemble) {
+  // Regression: the kReroute path grows cell_results alone. A FleetResult
+  // reused across requests (exactly what Frontend executors and the
+  // loadgen RouterClient do) then reaches the ensemble path with
+  // cell_results already sized but cell_ok still empty; the ensemble must
+  // size each scratch vector independently or it writes out of bounds.
+  RouterConfig cfg = three_cell_config();
+  auto& low = cfg.groups[0].server;
+  low.envelope = absurd_envelope(low_path());
+  low.detect_policy = serve::DetectPolicy::kReroute;
+  Router router(cfg);
+
+  FleetResult r;  // one result object reused across tenants
+  ASSERT_TRUE(router.infer(1, random_image(80), {}, r));
+  ASSERT_TRUE(r.rerouted);
+  ASSERT_EQ(static_cast<std::int64_t>(r.cell_results.size()),
+            router.num_groups());
+  ASSERT_TRUE(r.cell_ok.empty());  // the precondition that triggered OOB
+
+  ASSERT_TRUE(router.infer(3, random_image(81), {}, r));
+  EXPECT_TRUE(r.ensemble);
+  ASSERT_EQ(static_cast<std::int64_t>(r.cell_ok.size()),
+            router.num_groups());
+  ASSERT_GE(r.group, 0);
+  EXPECT_EQ(r.result.pred,
+            r.cell_results[static_cast<std::size_t>(r.group)].pred);
+
+  // The winner represents its class with the structurally strongest cell:
+  // no surviving same-pred cell has a higher (Vth, T) key.
+  const RouterStats s = router.stats();
+  const auto key = [&](std::int64_t g) {
+    const auto& grp = s.groups[static_cast<std::size_t>(g)];
+    return std::make_pair(grp.v_th, grp.time_steps);
+  };
+  for (std::int64_t g = 0; g < router.num_groups(); ++g) {
+    if (!r.cell_ok[static_cast<std::size_t>(g)]) continue;
+    if (r.cell_results[static_cast<std::size_t>(g)].pred != r.result.pred)
+      continue;
+    EXPECT_GE(key(r.group), key(g));
+  }
 }
 
 TEST(FleetRouter, ObservePolicyDoesNotEscalate) {
